@@ -1,0 +1,270 @@
+//! # nt-automata
+//!
+//! A small input/output automaton framework (§2.1 of the paper), specialized
+//! to the workspace's global action alphabet [`nt_model::Action`].
+//!
+//! The paper models every component — transactions, objects, schedulers — as
+//! an I/O automaton and composes them into systems whose behaviors are the
+//! sequences of external actions. Here a component is a boxed
+//! [`Component`]: it declares which actions are its inputs and outputs,
+//! applies actions to its encapsulated state, and enumerates the output
+//! actions currently enabled. A [`System`] composes components, fires one
+//! enabled output at a time (chosen by a pluggable policy, giving seeded
+//! pseudo-random interleavings), delivers it to every component sharing the
+//! action, and records the resulting behavior.
+//!
+//! Fidelity notes:
+//! * *Input-enabledness*: components must accept any of their input actions
+//!   in any state; `apply` must not fail on inputs.
+//! * *Internal actions* are folded into component state (none of the paper's
+//!   component automata need observable internal steps).
+//! * *Strong compatibility* (at most one component outputs a given action)
+//!   is asserted at fire time in debug builds.
+
+use nt_model::Action;
+
+/// One component automaton of a composed system.
+pub trait Component {
+    /// Diagnostic name (e.g. `"serial-scheduler"`, `"M1(X3)"`).
+    fn name(&self) -> String;
+
+    /// Is `a` an input action of this component?
+    fn is_input(&self, a: &Action) -> bool;
+
+    /// Is `a` an output action of this component?
+    fn is_output(&self, a: &Action) -> bool;
+
+    /// Apply an action this component shares (input or currently-enabled
+    /// output), updating internal state.
+    ///
+    /// Called exactly once per fired action that the component shares.
+    fn apply(&mut self, a: &Action);
+
+    /// Push every currently enabled output action into `buf`.
+    fn enabled_outputs(&self, buf: &mut Vec<Action>);
+}
+
+/// Does this component share action `a` (as input or output)?
+pub fn shares(c: &dyn Component, a: &Action) -> bool {
+    c.is_input(a) || c.is_output(a)
+}
+
+/// A composition of components plus the recorded behavior so far.
+pub struct System {
+    components: Vec<Box<dyn Component>>,
+    trace: Vec<Action>,
+    scratch: Vec<Action>,
+}
+
+impl System {
+    /// Compose the given components. The composition starts with an empty
+    /// behavior.
+    pub fn new(components: Vec<Box<dyn Component>>) -> Self {
+        System {
+            components,
+            trace: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The behavior recorded so far.
+    pub fn trace(&self) -> &[Action] {
+        &self.trace
+    }
+
+    /// Consume the system, returning the recorded behavior.
+    pub fn into_trace(self) -> Vec<Action> {
+        self.trace
+    }
+
+    /// Immutable access to the components (for invariant inspection).
+    pub fn components(&self) -> &[Box<dyn Component>] {
+        &self.components
+    }
+
+    /// Collect every output action currently enabled in some component.
+    pub fn enabled(&mut self) -> &[Action] {
+        self.scratch.clear();
+        for c in &self.components {
+            let before = self.scratch.len();
+            c.enabled_outputs(&mut self.scratch);
+            debug_assert!(
+                self.scratch[before..].iter().all(|a| c.is_output(a)),
+                "{} offered an action it does not claim as output",
+                c.name()
+            );
+        }
+        &self.scratch
+    }
+
+    /// Fire `a`: deliver it to every component that shares it and record it.
+    ///
+    /// The caller is responsible for firing only enabled outputs (normally
+    /// by picking from [`System::enabled`]).
+    pub fn fire(&mut self, a: &Action) {
+        debug_assert!(
+            self.components.iter().filter(|c| c.is_output(a)).count() <= 1,
+            "strong compatibility violated for {a}"
+        );
+        for c in &mut self.components {
+            if shares(c.as_ref(), a) {
+                c.apply(a);
+            }
+        }
+        self.trace.push(a.clone());
+    }
+
+    /// Run until quiescence (no enabled outputs) or until `max_steps` have
+    /// fired, choosing each step with `choose` (given the enabled actions,
+    /// return the index to fire, or `None` to stop).
+    ///
+    /// Returns the number of steps fired.
+    pub fn run<F>(&mut self, max_steps: usize, mut choose: F) -> usize
+    where
+        F: FnMut(&[Action]) -> Option<usize>,
+    {
+        let mut fired = 0;
+        while fired < max_steps {
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                break;
+            }
+            let Some(k) = choose(enabled) else { break };
+            assert!(k < enabled.len(), "choice out of range");
+            let a = enabled[k].clone();
+            self.fire(&a);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Run until quiescence firing always the first enabled action
+    /// (a deterministic schedule, useful in tests).
+    pub fn run_first(&mut self, max_steps: usize) -> usize {
+        self.run(max_steps, |_| Some(0))
+    }
+
+    /// True iff no component has an enabled output.
+    pub fn is_quiescent(&mut self) -> bool {
+        self.enabled().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::{TxId, TxTree};
+
+    /// Toy producer: outputs REQUEST_CREATE for each of its targets once.
+    struct Producer {
+        targets: Vec<TxId>,
+        next: usize,
+    }
+
+    impl Component for Producer {
+        fn name(&self) -> String {
+            "producer".into()
+        }
+        fn is_input(&self, _a: &Action) -> bool {
+            false
+        }
+        fn is_output(&self, a: &Action) -> bool {
+            matches!(a, Action::RequestCreate(t) if self.targets.contains(t))
+        }
+        fn apply(&mut self, a: &Action) {
+            assert_eq!(*a, Action::RequestCreate(self.targets[self.next]));
+            self.next += 1;
+        }
+        fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+            if let Some(&t) = self.targets.get(self.next) {
+                buf.push(Action::RequestCreate(t));
+            }
+        }
+    }
+
+    /// Toy consumer: echoes each REQUEST_CREATE(T) as CREATE(T).
+    struct Consumer {
+        pending: Vec<TxId>,
+    }
+
+    impl Component for Consumer {
+        fn name(&self) -> String {
+            "consumer".into()
+        }
+        fn is_input(&self, a: &Action) -> bool {
+            matches!(a, Action::RequestCreate(_))
+        }
+        fn is_output(&self, a: &Action) -> bool {
+            matches!(a, Action::Create(_))
+        }
+        fn apply(&mut self, a: &Action) {
+            match a {
+                Action::RequestCreate(t) => self.pending.push(*t),
+                Action::Create(t) => {
+                    let i = self.pending.iter().position(|u| u == t).unwrap();
+                    self.pending.remove(i);
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+            buf.extend(self.pending.iter().map(|&t| Action::Create(t)));
+        }
+    }
+
+    fn tree_with(n: usize) -> (TxTree, Vec<TxId>) {
+        let mut tree = TxTree::new();
+        let ids = (0..n).map(|_| tree.add_inner(TxId::ROOT)).collect();
+        (tree, ids)
+    }
+
+    fn mk(ids: &[TxId]) -> System {
+        System::new(vec![
+            Box::new(Producer {
+                targets: ids.to_vec(),
+                next: 0,
+            }),
+            Box::new(Consumer {
+                pending: Vec::new(),
+            }),
+        ])
+    }
+
+    #[test]
+    fn producer_consumer_round_trip() {
+        let (_tree, ids) = tree_with(3);
+        let mut sys = mk(&ids);
+        let steps = sys.run_first(100);
+        assert_eq!(steps, 6);
+        assert!(sys.is_quiescent());
+        let trace = sys.into_trace();
+        // First-choice policy: the producer (listed first) drains before
+        // the consumer starts echoing.
+        assert_eq!(trace[0], Action::RequestCreate(ids[0]));
+        assert_eq!(trace[1], Action::RequestCreate(ids[1]));
+        assert_eq!(trace[3], Action::Create(ids[0]));
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn custom_policy_controls_interleaving() {
+        let (_tree, ids) = tree_with(2);
+        let mut sys = mk(&ids);
+        // Always prefer the last enabled action: drains the producer first.
+        sys.run(100, |enabled| Some(enabled.len() - 1));
+        let trace = sys.trace();
+        assert_eq!(trace[0], Action::RequestCreate(ids[0]));
+        // Second step: enabled = [RequestCreate(ids[1]), Create(ids[0])];
+        // last = Create(ids[0]).
+        assert_eq!(trace[1], Action::Create(ids[0]));
+    }
+
+    #[test]
+    fn run_respects_step_budget_and_stop() {
+        let (_tree, ids) = tree_with(3);
+        let mut sys = mk(&ids);
+        assert_eq!(sys.run_first(2), 2);
+        let mut sys2 = mk(&ids);
+        assert_eq!(sys2.run(100, |_| None), 0, "policy can stop immediately");
+    }
+}

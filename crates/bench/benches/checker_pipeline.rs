@@ -1,0 +1,59 @@
+//! Cost of each stage of the Theorem 8 checker pipeline on a fixed
+//! Moss-locking behavior: simple-behavior validation, appropriate return
+//! values (replay path), current & safe (Lemma 6 path), graph + topo sort,
+//! witness reconstruction, and the full end-to-end verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nt_bench::moss_trace;
+use nt_model::rw::RwInitials;
+use nt_model::wellformed::check_simple_behavior;
+use nt_sgt::{
+    appropriate_return_values, build_sg, check_current_and_safe, check_serial_correctness,
+    reconstruct_witness, ConflictSource,
+};
+use nt_sim::WorkloadSpec;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        seed: 5,
+        top_level: 32,
+        objects: 8,
+        max_depth: 2,
+        ..WorkloadSpec::default()
+    };
+    let (tree, types, serial) = moss_trace(&spec);
+    let init = RwInitials::uniform(0);
+    let graph = build_sg(&tree, &serial, ConflictSource::ReadWrite);
+    let order = graph.topological_order().expect("acyclic");
+
+    let mut group = c.benchmark_group("checker_pipeline");
+    group.bench_function("simple_behavior_wf", |b| {
+        b.iter(|| check_simple_behavior(&tree, &serial).is_ok())
+    });
+    group.bench_function("appropriate_values_replay", |b| {
+        b.iter(|| appropriate_return_values(&tree, &serial, &types).is_ok())
+    });
+    group.bench_function("current_and_safe", |b| {
+        b.iter(|| check_current_and_safe(&tree, &serial, &init).is_ok())
+    });
+    group.bench_function("build_sg_and_toposort", |b| {
+        b.iter(|| {
+            build_sg(&tree, &serial, ConflictSource::ReadWrite)
+                .topological_order()
+                .is_some()
+        })
+    });
+    group.bench_function("witness_reconstruction", |b| {
+        b.iter(|| reconstruct_witness(&tree, &serial, &order, &types).unwrap().len())
+    });
+    group.bench_function("full_check", |b| {
+        b.iter(|| {
+            check_serial_correctness(&tree, &serial, &types, ConflictSource::ReadWrite)
+                .is_serially_correct()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E8 (criterion form): on flat (trivially nested) workloads, the nested
+//! serialization-graph construction vs. the classical flat one — the
+//! generalization's overhead should be a small constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nt_bench::moss_trace;
+use nt_sgt::{build_classical_sg, conflict_edges, ConflictSource, SerializationGraph};
+use nt_sim::WorkloadSpec;
+
+fn bench_nested_vs_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_vs_classical");
+    for &top in &[16usize, 64, 128] {
+        let spec = WorkloadSpec {
+            seed: 23,
+            top_level: top,
+            objects: (top / 4).max(2),
+            max_depth: 0,
+            ..WorkloadSpec::default()
+        };
+        let (tree, _types, serial) = moss_trace(&spec);
+        group.bench_with_input(BenchmarkId::new("nested", top), &serial, |b, s| {
+            b.iter(|| {
+                let mut g = SerializationGraph::new();
+                conflict_edges(&tree, s, ConflictSource::ReadWrite, &mut g);
+                g.is_acyclic()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classical", top), &serial, |b, s| {
+            b.iter(|| build_classical_sg(&tree, s).is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_vs_classical);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E6/E7/E9 (criterion form): end-to-end simulation cost of each
+//! protocol on a fixed workload family — Moss read/write, Moss exclusive,
+//! undo logging, chaos, and the serial-scheduler baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nt_locking::LockMode;
+use nt_sim::{run_generic, run_serial, OpMix, Protocol, SimConfig, WorkloadSpec};
+
+fn spec_rw() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 13,
+        top_level: 16,
+        objects: 6,
+        max_depth: 2,
+        mix: OpMix::ReadWrite { read_ratio: 0.6 },
+        ..WorkloadSpec::default()
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols_rw_workload");
+    group.bench_function("moss_rw", |b| {
+        b.iter(|| {
+            let mut w = spec_rw().generate();
+            run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default()).steps
+        })
+    });
+    group.bench_function("moss_exclusive", |b| {
+        b.iter(|| {
+            let mut w = spec_rw().generate();
+            run_generic(&mut w, Protocol::Moss(LockMode::Exclusive), &SimConfig::default()).steps
+        })
+    });
+    group.bench_function("undo_logging", |b| {
+        b.iter(|| {
+            let mut w = spec_rw().generate();
+            run_generic(&mut w, Protocol::Undo, &SimConfig::default()).steps
+        })
+    });
+    group.bench_function("chaos", |b| {
+        b.iter(|| {
+            let mut w = spec_rw().generate();
+            run_generic(&mut w, Protocol::Chaos, &SimConfig::default()).steps
+        })
+    });
+    group.bench_function("serial_scheduler", |b| {
+        b.iter(|| {
+            let mut w = spec_rw().generate();
+            run_serial(&mut w, &SimConfig::default()).steps
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("protocols_counter_hotspot");
+    let counter_spec = WorkloadSpec {
+        seed: 13,
+        top_level: 16,
+        objects: 1,
+        hotspot: 1.0,
+        mix: OpMix::Counter { read_ratio: 0.05 },
+        ..WorkloadSpec::default()
+    };
+    group.bench_function("undo_commuting_adds", |b| {
+        b.iter(|| {
+            let mut w = counter_spec.generate();
+            run_generic(&mut w, Protocol::Undo, &SimConfig::default()).steps
+        })
+    });
+    let register_spec = WorkloadSpec {
+        mix: OpMix::ReadWrite { read_ratio: 0.05 },
+        ..counter_spec.clone()
+    };
+    group.bench_function("moss_conflicting_writes", |b| {
+        b.iter(|| {
+            let mut w = register_spec.generate();
+            run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default()).steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

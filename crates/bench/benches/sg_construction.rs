@@ -1,0 +1,58 @@
+//! E5 (criterion form): cost of the serialization-graph construction —
+//! `conflict(β)` + `precedes(β)` + cycle check — as behavior size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nt_bench::moss_trace;
+use nt_sgt::{build_sg, ConflictSource};
+use nt_sim::WorkloadSpec;
+
+fn bench_build_sg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_sg");
+    for &top in &[16usize, 64, 256] {
+        let spec = WorkloadSpec {
+            seed: 7,
+            top_level: top,
+            objects: (top / 2).max(4),
+            max_depth: 2,
+            ..WorkloadSpec::default()
+        };
+        let (tree, _types, serial) = moss_trace(&spec);
+        group.throughput(Throughput::Elements(serial.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("events", serial.len()),
+            &serial,
+            |b, serial| {
+                b.iter(|| {
+                    let g = build_sg(&tree, serial, ConflictSource::ReadWrite);
+                    assert!(g.is_acyclic());
+                    g.edge_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hotspot_quadratic(c: &mut Criterion) {
+    // Hotspot object: conflict enumeration is quadratic in per-object
+    // operations; this group documents that worst case.
+    let mut group = c.benchmark_group("build_sg_hotspot");
+    for &top in &[16usize, 32, 64] {
+        let spec = WorkloadSpec {
+            seed: 11,
+            top_level: top,
+            objects: 2,
+            hotspot: 0.9,
+            max_depth: 1,
+            ..WorkloadSpec::default()
+        };
+        let (tree, _types, serial) = moss_trace(&spec);
+        group.bench_with_input(BenchmarkId::new("txs", top), &serial, |b, serial| {
+            b.iter(|| build_sg(&tree, serial, ConflictSource::ReadWrite).edge_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_sg, bench_hotspot_quadratic);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! # nt-bench
+//!
+//! Experiment harness for the reproduction: shared helpers used by the
+//! `experiments` binary (which regenerates every table in
+//! `EXPERIMENTS.md`) and the criterion benches.
+
+use nt_locking::LockMode;
+use nt_model::seq::serial_projection;
+use nt_sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nt_sim::{run_generic, Protocol, SimConfig, SimResult, WorkloadSpec};
+
+/// Outcome summary of checking one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Verdict::SeriallyCorrect.
+    Correct,
+    /// Cyclic serialization graph.
+    Cyclic,
+    /// Inappropriate return values.
+    Inappropriate,
+    /// Malformed / witness failure (never expected).
+    Other,
+}
+
+/// Run a workload under a protocol and check it, returning the sim result,
+/// the verdict summary, and the serialization-graph size when available.
+pub fn run_and_check(
+    spec: &WorkloadSpec,
+    protocol: Protocol,
+    cfg: &SimConfig,
+    source_rw: bool,
+) -> (SimResult, CheckOutcome, usize) {
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, protocol, cfg);
+    let source = if source_rw {
+        ConflictSource::ReadWrite
+    } else {
+        ConflictSource::Types(&w.types)
+    };
+    let verdict = check_serial_correctness(&w.tree, &r.trace, &w.types, source);
+    let (outcome, edges) = match &verdict {
+        Verdict::SeriallyCorrect { graph, .. } => (CheckOutcome::Correct, graph.edge_count()),
+        Verdict::Cyclic { graph, .. } => (CheckOutcome::Cyclic, graph.edge_count()),
+        Verdict::InappropriateReturnValues(_) => (CheckOutcome::Inappropriate, 0),
+        _ => (CheckOutcome::Other, 0),
+    };
+    (r, outcome, edges)
+}
+
+/// Convenience: a Moss run's serial projection plus tree/types, for
+/// checker micro-benchmarks.
+pub fn moss_trace(
+    spec: &WorkloadSpec,
+) -> (
+    std::sync::Arc<nt_model::TxTree>,
+    nt_serial::ObjectTypes,
+    Vec<nt_model::Action>,
+) {
+    let mut w = spec.generate();
+    let r = run_generic(
+        &mut w,
+        Protocol::Moss(LockMode::ReadWrite),
+        &SimConfig::default(),
+    );
+    assert!(r.quiescent);
+    (w.tree, w.types, serial_projection(&r.trace))
+}
+
+/// Simple fixed-width table printer for experiment outputs.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn print(&self) {
+        let mut width: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect();
+            println!("| {} |", body.join(" | "));
+        };
+        line(&self.headers);
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_and_check_moss_is_correct() {
+        let spec = WorkloadSpec {
+            top_level: 4,
+            ..WorkloadSpec::default()
+        };
+        let (r, outcome, edges) = run_and_check(
+            &spec,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+            true,
+        );
+        assert!(r.quiescent);
+        assert_eq!(outcome, CheckOutcome::Correct);
+        let _ = edges;
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "bbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

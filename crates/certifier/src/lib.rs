@@ -1,0 +1,452 @@
+//! # nt-certifier
+//!
+//! **Online serialization-graph certification** for nested transactions:
+//! the paper's `SG(β)` construction used not as a post-hoc checker but as a
+//! *scheduler* — the nested generalization of the classical theory's third
+//! family of concurrency control (after locking and timestamps), the
+//! "serialization graph testing" schedulers of Casanova and
+//! Bernstein–Hadzilacos–Goodman.
+//!
+//! A single [`SgtCertifier`] component manages every read/write object. It
+//! maintains, online, a superset of the graph the checker would build —
+//! conflict edges between *all* performed operations (not just the ones
+//! eventually visible to `T0`) and `precedes` edges from overheard
+//! report/request events — and answers an access only if doing so keeps
+//! the graph acyclic. Since the checker's final graph is a subgraph of the
+//! certifier's (visibility only removes events, and removed log entries
+//! only remove edges), every behavior of a certified system satisfies
+//! Theorem 8's graph hypothesis *by construction*; the read-visibility
+//! rule (reads return the last logged write, and wait until its writer is
+//! locally visible) supplies appropriate return values. Hence Theorem 8
+//! applies: certified systems are serially correct for `T0` — validated
+//! empirically by experiment E12.
+//!
+//! Compared with Moss' locking:
+//! * **writes never block writes** — they order optimistically (the write
+//!   lock chain of `M1_X` is replaced by graph edges);
+//! * the price is *certification aborts*: an access whose edges would
+//!   close a cycle is refused and its transaction is wounded by the
+//!   simulator's victim selection (the classical SGT-scheduler abort).
+//!
+//! Read/write objects only (the value of a read is the last logged write).
+
+use nt_automata::Component;
+use nt_model::{Action, TxId, TxTree, Value};
+use nt_sgt::{EdgeKind, SerializationGraph, SgEdge};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One logged operation.
+#[derive(Clone, Debug)]
+struct LoggedOp {
+    tx: TxId,
+    is_write: bool,
+}
+
+/// An edge retained with the transactions that witnessed it, so it can be
+/// dropped when a witness's subtree aborts.
+#[derive(Clone, Debug)]
+struct WitnessedEdge {
+    parent: TxId,
+    from: TxId,
+    to: TxId,
+    kind: EdgeKind,
+    wit_a: TxId,
+    wit_b: TxId,
+}
+
+/// The online certification scheduler for all read/write objects of a
+/// system type.
+pub struct SgtCertifier {
+    tree: Arc<TxTree>,
+    initials: Vec<i64>,
+    /// Per-object operation log (performed accesses, in order).
+    logs: Vec<Vec<LoggedOp>>,
+    /// Per-object current value (last logged write, or the initial value).
+    values: Vec<i64>,
+    created: BTreeSet<TxId>,
+    responded: BTreeSet<TxId>,
+    committed: BTreeSet<TxId>,
+    aborted_seen: BTreeSet<TxId>,
+    /// Transactions with a report event so far (for `precedes` edges).
+    reported: BTreeSet<TxId>,
+    edges: Vec<WitnessedEdge>,
+    /// Cached graph rebuilt from `edges` when dirty.
+    graph: SerializationGraph,
+    dirty: bool,
+}
+
+impl SgtCertifier {
+    /// A fresh certifier over all objects of the tree, with per-object
+    /// initial values (missing entries default to 0).
+    pub fn new(tree: Arc<TxTree>, initials: Vec<i64>) -> Self {
+        let n = tree.num_objects();
+        let mut init = initials;
+        init.resize(n, 0);
+        SgtCertifier {
+            values: init.clone(),
+            initials: init,
+            logs: vec![Vec::new(); n],
+            created: BTreeSet::new(),
+            responded: BTreeSet::new(),
+            committed: BTreeSet::new(),
+            aborted_seen: BTreeSet::new(),
+            reported: BTreeSet::new(),
+            edges: Vec::new(),
+            graph: SerializationGraph::new(),
+            dirty: false,
+            tree,
+        }
+    }
+
+    fn locally_visible(&self, u: TxId, t: TxId) -> bool {
+        let stop = self.tree.lca(u, t);
+        let mut cur = u;
+        while cur != stop {
+            if !self.committed.contains(&cur) {
+                return false;
+            }
+            cur = self.tree.parent(cur).expect("walk ends at lca");
+        }
+        true
+    }
+
+    fn is_local_orphan(&self, t: TxId) -> bool {
+        self.tree
+            .ancestors(t)
+            .any(|u| self.aborted_seen.contains(&u))
+    }
+
+    fn push_edge(&mut self, a: TxId, b: TxId, kind: EdgeKind) {
+        if a == b {
+            return;
+        }
+        let l = self.tree.lca(a, b);
+        if l == a || l == b {
+            return; // ancestor-related: no sibling projection
+        }
+        let from = self.tree.child_toward(l, a);
+        let to = self.tree.child_toward(l, b);
+        self.edges.push(WitnessedEdge {
+            parent: l,
+            from,
+            to,
+            kind,
+            wit_a: a,
+            wit_b: b,
+        });
+        self.dirty = true;
+    }
+
+    fn rebuild(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let mut g = SerializationGraph::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            g.add_edge(SgEdge {
+                parent: e.parent,
+                from: e.from,
+                to: e.to,
+                kind: e.kind,
+                witness: (i, i),
+            });
+        }
+        self.graph = g;
+        self.dirty = false;
+    }
+
+    /// Value-side gate for access `t` (read visibility / write value).
+    fn try_respond(&self, t: TxId) -> Result<Value, Vec<TxId>> {
+        let x = self.tree.object_of(t).expect("access");
+        let op = self.tree.op_of(t).expect("access");
+        match op.write_data() {
+            None => {
+                // Read: last logged write must be locally visible.
+                let last_writer = self.logs[x.index()]
+                    .iter()
+                    .rev()
+                    .find(|o| o.is_write)
+                    .map(|o| o.tx);
+                match last_writer {
+                    Some(w) if !self.locally_visible(w, t) => Err(vec![w]),
+                    _ => Ok(Value::Int(self.values[x.index()])),
+                }
+                // Reads only add edges INTO t's branch from earlier ops;
+                // they cannot close a cycle that does not already exist…
+                // except through projection. Be precise: check like writes.
+            }
+            Some(_d) => Ok(Value::Ok),
+        }
+        // (Cycle check shared below in `respond_gate`.)
+    }
+
+    /// Full gate: value + acyclicity of the graph extended with the
+    /// op's new conflict edges. (`self.graph` is kept current by `apply`.)
+    fn respond_gate(&self, t: TxId) -> Result<Value, Vec<TxId>> {
+        debug_assert!(!self.dirty, "apply keeps the graph cache fresh");
+        let v = self.try_respond(t)?;
+        let x = self.tree.object_of(t).expect("access");
+        let is_write = self.tree.op_of(t).unwrap().is_rw_write();
+        // Tentative edges: prior conflicting ops at x → t.
+        let new_pairs: Vec<TxId> = self.logs[x.index()]
+            .iter()
+            .filter(|o| o.is_write || is_write)
+            .map(|o| o.tx)
+            .collect();
+        let mut g = self.graph.clone();
+        for &u in &new_pairs {
+            if u == t {
+                continue;
+            }
+            let l = self.tree.lca(u, t);
+            if l == u || l == t {
+                continue;
+            }
+            g.add_edge(SgEdge {
+                parent: l,
+                from: self.tree.child_toward(l, u),
+                to: self.tree.child_toward(l, t),
+                kind: EdgeKind::Conflict,
+                witness: (0, 0),
+            });
+        }
+        if g.is_acyclic() {
+            Ok(v)
+        } else {
+            // Certification failure: wound the requester.
+            Err(vec![t])
+        }
+    }
+
+    /// Blocked or refused accesses and their blockers.
+    pub fn waiting(&self) -> Vec<(TxId, Vec<TxId>)> {
+        let mut out = Vec::new();
+        for &t in self.created.difference(&self.responded) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if let Err(blockers) = self.respond_gate(t) {
+                out.push((t, blockers));
+            }
+        }
+        out
+    }
+
+    /// Number of retained (non-aborted) edges (inspection).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl Component for SgtCertifier {
+    fn name(&self) -> String {
+        "sgt-certifier".into()
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(t) => self.tree.is_access(*t),
+            Action::InformCommit(_, t) | Action::InformAbort(_, t) => *t != TxId::ROOT,
+            // Overheard for precedes edges.
+            Action::RequestCreate(_) => true,
+            Action::ReportCommit(_, _) | Action::ReportAbort(_) => true,
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.is_access(*t))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::RequestCreate(t2) => {
+                // precedes: reported sibling before this request.
+                let preceding: Vec<TxId> = match self.tree.parent(*t2) {
+                    Some(parent) => self
+                        .tree
+                        .children(parent)
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != *t2 && self.reported.contains(&s))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                for s in preceding {
+                    self.push_edge(s, *t2, EdgeKind::Precedes);
+                }
+            }
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                self.reported.insert(*t);
+            }
+            Action::InformCommit(_, t) => {
+                self.committed.insert(*t);
+            }
+            Action::InformAbort(_, t) => {
+                if self.aborted_seen.insert(*t) {
+                    let tree = Arc::clone(&self.tree);
+                    let t = *t;
+                    // Erase the aborted subtree's operations and replay
+                    // the affected object values.
+                    for (xi, log) in self.logs.iter_mut().enumerate() {
+                        let before = log.len();
+                        log.retain(|o| !tree.is_ancestor(t, o.tx));
+                        if log.len() != before {
+                            let mut v = self.initials[xi];
+                            for o in log.iter() {
+                                if o.is_write {
+                                    v = tree
+                                        .op_of(o.tx)
+                                        .and_then(|op| op.write_data())
+                                        .expect("write");
+                                }
+                            }
+                            self.values[xi] = v;
+                        }
+                    }
+                    // Drop edges witnessed by the aborted subtree (both
+                    // conflict and precedes witnesses die with it).
+                    let before = self.edges.len();
+                    self.edges.retain(|e| {
+                        !tree.is_ancestor(t, e.wit_a) && !tree.is_ancestor(t, e.wit_b)
+                    });
+                    if self.edges.len() != before {
+                        self.dirty = true;
+                    }
+                }
+            }
+            Action::RequestCommit(t, v) => {
+                debug_assert_eq!(self.respond_gate(*t).as_ref(), Ok(v));
+                self.responded.insert(*t);
+                let x = self.tree.object_of(*t).expect("access");
+                let is_write = self.tree.op_of(*t).unwrap().is_rw_write();
+                // Record conflict edges permanently.
+                let prior: Vec<TxId> = self.logs[x.index()]
+                    .iter()
+                    .filter(|o| o.is_write || is_write)
+                    .map(|o| o.tx)
+                    .collect();
+                for u in prior {
+                    self.push_edge(u, *t, EdgeKind::Conflict);
+                }
+                self.logs[x.index()].push(LoggedOp {
+                    tx: *t,
+                    is_write,
+                });
+                if is_write {
+                    self.values[x.index()] = self
+                        .tree
+                        .op_of(*t)
+                        .and_then(|op| op.write_data())
+                        .expect("write");
+                }
+            }
+            _ => unreachable!("certifier shares no other action"),
+        }
+        self.rebuild();
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        for &t in self.created.difference(&self.responded) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if let Ok(v) = self.respond_gate(t) {
+                buf.push(Action::RequestCommit(t, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    fn setup() -> (Arc<TxTree>, SgtCertifier, [TxId; 8]) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let ax = tree.add_access(a, x, Op::Write(1));
+        let ay = tree.add_access(a, y, Op::Read);
+        let bx = tree.add_access(b, x, Op::Read);
+        let by = tree.add_access(b, y, Op::Write(2));
+        let tree = Arc::new(tree);
+        let c = SgtCertifier::new(Arc::clone(&tree), vec![0, 0]);
+        (tree, c, [a, b, ax, ay, bx, by, TxId::ROOT, TxId::ROOT])
+    }
+
+    fn enabled(c: &SgtCertifier) -> Vec<Action> {
+        let mut buf = Vec::new();
+        c.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn writes_do_not_block_writes() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let wa = tree.add_access(a, x, Op::Write(1));
+        let wb = tree.add_access(b, x, Op::Write(2));
+        let tree = Arc::new(tree);
+        let mut c = SgtCertifier::new(Arc::clone(&tree), vec![0]);
+        c.apply(&Action::Create(wa));
+        c.apply(&Action::RequestCommit(wa, Value::Ok));
+        c.apply(&Action::Create(wb));
+        // Moss would block here; the certifier orders optimistically.
+        assert_eq!(enabled(&c), vec![Action::RequestCommit(wb, Value::Ok)]);
+        c.apply(&Action::RequestCommit(wb, Value::Ok));
+        assert_eq!(c.edge_count(), 1, "conflict edge a→b recorded");
+    }
+
+    #[test]
+    fn read_waits_for_writer_visibility() {
+        let (_tree, mut c, [a, _b, ax, _ay, bx, ..]) = setup();
+        c.apply(&Action::Create(ax));
+        c.apply(&Action::RequestCommit(ax, Value::Ok));
+        c.apply(&Action::Create(bx));
+        assert!(enabled(&c).is_empty(), "dirty read prevented");
+        assert_eq!(c.waiting(), vec![(bx, vec![ax])]);
+        c.apply(&Action::InformCommit(nt_model::ObjId(0), ax));
+        c.apply(&Action::InformCommit(nt_model::ObjId(0), a));
+        assert_eq!(enabled(&c), vec![Action::RequestCommit(bx, Value::Int(1))]);
+    }
+
+    #[test]
+    fn cycle_is_refused() {
+        let (_tree, mut c, [a, b, ax, ay, bx, by, ..]) = setup();
+        // a writes X, b writes Y, commits flow so reads are allowed,
+        // b reads X (edge a→b), then a's read of Y would add b→a: cycle.
+        for (acc, anc) in [(ax, a), (by, b)] {
+            c.apply(&Action::Create(acc));
+            c.apply(&Action::RequestCommit(acc, Value::Ok));
+            c.apply(&Action::InformCommit(nt_model::ObjId(0), acc));
+            c.apply(&Action::InformCommit(nt_model::ObjId(0), anc));
+        }
+        c.apply(&Action::Create(bx));
+        c.apply(&Action::RequestCommit(bx, Value::Int(1))); // edge a→b
+        c.apply(&Action::Create(ay));
+        assert!(enabled(&c).is_empty(), "ay would close the cycle");
+        assert_eq!(c.waiting(), vec![(ay, vec![ay])], "wound the requester");
+    }
+
+    #[test]
+    fn abort_erases_log_edges_and_values() {
+        let (_tree, mut c, [a, _b, ax, _ay, bx, ..]) = setup();
+        c.apply(&Action::Create(ax));
+        c.apply(&Action::RequestCommit(ax, Value::Ok));
+        c.apply(&Action::Create(bx));
+        assert!(enabled(&c).is_empty());
+        // Abort a: ax's write erased, value restored, read proceeds at 0.
+        c.apply(&Action::InformAbort(nt_model::ObjId(0), a));
+        assert_eq!(enabled(&c), vec![Action::RequestCommit(bx, Value::Int(0))]);
+    }
+}

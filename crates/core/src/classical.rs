@@ -1,0 +1,196 @@
+//! The classical (flat, non-nested) serialization-graph test, as presented
+//! in Bernstein–Hadzilacos–Goodman and Papadimitriou — the baseline the
+//! paper generalizes.
+//!
+//! Nodes are the committed top-level transactions (children of `T0`); there
+//! is an edge `Ti → Tj` when some committed access of `Ti` conflicts with a
+//! later committed access of `Tj`. Conflicts are read/write. The classical
+//! theory considers the *committed projection* only and knows nothing about
+//! nesting: accesses anywhere in a subtree are attributed to the top-level
+//! ancestor. Used by experiment E8 to compare the nested construction
+//! against its classical ancestor on flat workloads, and to show that the
+//! nested construction coincides with the classical one when nesting is
+//! trivial.
+
+use nt_model::seq::Status;
+use nt_model::{Action, ObjId, TxId, TxTree};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The classical serialization graph over top-level transactions.
+#[derive(Clone, Debug, Default)]
+pub struct ClassicalSg {
+    /// Adjacency between top-level transactions.
+    pub succ: BTreeMap<TxId, BTreeSet<TxId>>,
+    /// All node names (committed top-level transactions with accesses).
+    pub nodes: BTreeSet<TxId>,
+}
+
+impl ClassicalSg {
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.values().map(BTreeSet::len).sum()
+    }
+
+    /// Is the graph acyclic (the classical criterion for conflict
+    /// serializability of the committed projection)?
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let mut indeg: BTreeMap<TxId, usize> =
+            self.nodes.iter().map(|&n| (n, 0)).collect();
+        for succs in self.succ.values() {
+            for &t in succs {
+                *indeg.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut ready: Vec<TxId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(n) = ready.pop() {
+            seen += 1;
+            if let Some(succs) = self.succ.get(&n) {
+                for &m in succs {
+                    let d = indeg.get_mut(&m).expect("node");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(m);
+                    }
+                }
+            }
+        }
+        seen == self.nodes.len()
+    }
+}
+
+/// Build the classical serialization graph of `beta`'s committed
+/// projection: each access is attributed to its top-level ancestor, and two
+/// committed accesses to the same object conflict unless both are reads.
+pub fn build_classical_sg(tree: &TxTree, beta: &[Action]) -> ClassicalSg {
+    let status = Status::of(tree, beta);
+    let mut g = ClassicalSg::default();
+    // Committed-projection accesses in order: (top-level tx, object, is_write).
+    let mut per_object: HashMap<ObjId, Vec<(TxId, bool)>> = HashMap::new();
+    for a in beta {
+        if let Action::RequestCommit(t, _) = a {
+            let Some(x) = tree.object_of(*t) else { continue };
+            // Committed projection: the access and its whole chain committed.
+            if !status.is_visible(tree, *t, TxId::ROOT) {
+                continue;
+            }
+            let top = if tree.parent(*t) == Some(TxId::ROOT) {
+                *t
+            } else {
+                tree.child_toward(TxId::ROOT, *t)
+            };
+            let is_write = tree.op_of(*t).is_some_and(|op| !op.is_observer());
+            g.nodes.insert(top);
+            per_object.entry(x).or_default().push((top, is_write));
+        }
+    }
+    for events in per_object.values() {
+        for (p, &(ti, wi)) in events.iter().enumerate() {
+            for &(tj, wj) in events.iter().skip(p + 1) {
+                if ti != tj && (wi || wj) {
+                    g.succ.entry(ti).or_default().insert(tj);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::{Op, Value};
+
+    fn flat_two_tx() -> (TxTree, TxId, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Write(5));
+        let w = tree.add_access(b, x, Op::Read);
+        (tree, a, b, u, w)
+    }
+
+    #[test]
+    fn flat_conflict_produces_edge() {
+        let (tree, a, b, u, w) = flat_two_tx();
+        let beta = vec![
+            Action::RequestCommit(u, Value::Ok),
+            Action::Commit(u),
+            Action::Commit(a),
+            Action::RequestCommit(w, Value::Int(5)),
+            Action::Commit(w),
+            Action::Commit(b),
+        ];
+        let g = build_classical_sg(&tree, &beta);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.succ[&a].contains(&b));
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn uncommitted_accesses_ignored() {
+        let (tree, _a, _b, u, w) = flat_two_tx();
+        let beta = vec![
+            Action::RequestCommit(u, Value::Ok),
+            Action::RequestCommit(w, Value::Int(5)),
+        ];
+        let g = build_classical_sg(&tree, &beta);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.nodes.is_empty());
+    }
+
+    #[test]
+    fn crossing_conflicts_make_cycle() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let ax = tree.add_access(a, x, Op::Write(1));
+        let ay = tree.add_access(a, y, Op::Read);
+        let bx = tree.add_access(b, x, Op::Read);
+        let by = tree.add_access(b, y, Op::Write(2));
+        let beta = vec![
+            Action::RequestCommit(ax, Value::Ok),
+            Action::Commit(ax),
+            Action::RequestCommit(by, Value::Ok),
+            Action::Commit(by),
+            Action::RequestCommit(bx, Value::Int(1)),
+            Action::Commit(bx),
+            Action::RequestCommit(ay, Value::Int(2)),
+            Action::Commit(ay),
+            Action::Commit(a),
+            Action::Commit(b),
+        ];
+        let g = build_classical_sg(&tree, &beta);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn nested_accesses_attributed_to_top_level() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let a1 = tree.add_inner(a);
+        let b = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a1, x, Op::Write(1));
+        let w = tree.add_access(b, x, Op::Write(2));
+        let beta = vec![
+            Action::RequestCommit(u, Value::Ok),
+            Action::Commit(u),
+            Action::Commit(a1),
+            Action::Commit(a),
+            Action::RequestCommit(w, Value::Ok),
+            Action::Commit(w),
+            Action::Commit(b),
+        ];
+        let g = build_classical_sg(&tree, &beta);
+        assert!(g.succ[&a].contains(&b), "u attributed to a, not a1");
+    }
+}

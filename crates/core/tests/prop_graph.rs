@@ -1,0 +1,122 @@
+//! Property tests for the serialization-graph data structure: topological
+//! orders respect edges, cycle detection agrees with sortability, and the
+//! construction is deterministic.
+
+use nt_model::{TxId, TxTree};
+use nt_sgt::{EdgeKind, SerializationGraph, SgEdge};
+use proptest::prelude::*;
+
+fn flat_tree(n: usize) -> (TxTree, Vec<TxId>) {
+    let mut tree = TxTree::new();
+    let kids = (0..n).map(|_| tree.add_inner(TxId::ROOT)).collect();
+    (tree, kids)
+}
+
+fn graph_from(pairs: &[(u8, u8)], kids: &[TxId]) -> SerializationGraph {
+    let mut g = SerializationGraph::new();
+    for &k in kids {
+        g.add_node(TxId::ROOT, k);
+    }
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let from = kids[a as usize % kids.len()];
+        let to = kids[b as usize % kids.len()];
+        if from != to {
+            g.add_edge(SgEdge {
+                parent: TxId::ROOT,
+                from,
+                to,
+                kind: if i % 2 == 0 {
+                    EdgeKind::Conflict
+                } else {
+                    EdgeKind::Precedes
+                },
+                witness: (i, i + 1),
+            });
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn toposort_iff_acyclic(
+        n in 2usize..10,
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 0..30),
+    ) {
+        let (_tree, kids) = flat_tree(n);
+        let g = graph_from(&pairs, &kids);
+        let acyclic = g.is_acyclic();
+        let topo = g.topological_order();
+        prop_assert_eq!(acyclic, topo.is_some());
+        prop_assert_eq!(!acyclic, g.find_cycle().is_some());
+    }
+
+    #[test]
+    fn toposort_respects_every_edge(
+        n in 2usize..10,
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 0..20),
+    ) {
+        let (_tree, kids) = flat_tree(n);
+        let g = graph_from(&pairs, &kids);
+        if let Some(order) = g.topological_order() {
+            for e in &g.edges {
+                prop_assert_eq!(
+                    order.orders(e.from, e.to),
+                    Some(true),
+                    "edge {:?}→{:?} violated", e.from, e.to
+                );
+            }
+            // The order totalizes all nodes.
+            for &a in &kids {
+                for &b in &kids {
+                    if a != b {
+                        prop_assert!(order.orders(a, b).is_some());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_report_is_a_real_cycle(
+        n in 2usize..8,
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let (_tree, kids) = flat_tree(n);
+        let g = graph_from(&pairs, &kids);
+        if let Some(cycle) = g.find_cycle() {
+            prop_assert!(cycle.len() >= 2);
+            prop_assert_eq!(cycle.first(), cycle.last());
+            for w in cycle.windows(2) {
+                prop_assert!(
+                    g.successors(TxId::ROOT, w[0]).contains(&w[1]),
+                    "cycle edge {:?}→{:?} not in graph", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic(
+        n in 2usize..8,
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 0..20),
+    ) {
+        let (_tree, kids) = flat_tree(n);
+        let g1 = graph_from(&pairs, &kids);
+        let g2 = graph_from(&pairs, &kids);
+        prop_assert_eq!(&g1.edges, &g2.edges);
+        match (g1.topological_order(), g2.topological_order()) {
+            (Some(o1), Some(o2)) => {
+                for &a in &kids {
+                    for &b in &kids {
+                        prop_assert_eq!(o1.orders(a, b), o2.orders(a, b));
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "nondeterministic acyclicity"),
+        }
+    }
+}

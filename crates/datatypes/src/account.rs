@@ -1,0 +1,177 @@
+//! A bank account: `Deposit` / conditional `Withdraw` / `Balance`.
+//!
+//! The classic example (due to Weihl) of *return-value-dependent*
+//! commutativity: two successful withdrawals commute backward (if both
+//! succeeded in one order, the balance covered both, so they succeed in
+//! the other), and two failed withdrawals commute — but a successful one
+//! conflicts with a failed one, and deposits conflict with withdrawals
+//! (a deposit can flip a failure into a success).
+
+use nt_model::{Op, Value};
+use nt_serial::{OpVal, SerialType};
+
+/// Bank account serial type. The balance never goes negative: `Withdraw`
+/// is conditional, returning `Bool(false)` and leaving the balance alone
+/// when funds are insufficient.
+#[derive(Clone, Debug)]
+pub struct Account {
+    /// Initial balance (non-negative).
+    pub init: i64,
+}
+
+impl Account {
+    /// An account with the given opening balance.
+    pub fn new(init: i64) -> Self {
+        assert!(init >= 0, "opening balance must be non-negative");
+        Account { init }
+    }
+}
+
+impl SerialType for Account {
+    fn type_name(&self) -> &'static str {
+        "account"
+    }
+
+    fn initial(&self) -> Value {
+        Value::Int(self.init)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> (Value, Value) {
+        let s = state.as_int().expect("account state is Int");
+        match op {
+            Op::Deposit(a) => {
+                debug_assert!(*a >= 0, "deposits are non-negative");
+                (Value::Int(s + a), Value::Ok)
+            }
+            Op::Withdraw(a) => {
+                debug_assert!(*a >= 0, "withdrawals are non-negative");
+                if s >= *a {
+                    (Value::Int(s - a), Value::Bool(true))
+                } else {
+                    (state.clone(), Value::Bool(false))
+                }
+            }
+            Op::Balance => (state.clone(), Value::Int(s)),
+            other => panic!("account does not support {other}"),
+        }
+    }
+
+    /// Exact backward commutativity (amount-0 operations are no-ops and
+    /// commute with everything):
+    ///
+    /// | pair                                   | commute? |
+    /// |----------------------------------------|----------|
+    /// | `Deposit`/`Deposit`                    | yes |
+    /// | `Deposit`/`Withdraw(·, true or false)` | iff an amount is 0 |
+    /// | `Withdraw(true)`/`Withdraw(true)`      | yes |
+    /// | `Withdraw(false)`/`Withdraw(false)`    | yes |
+    /// | `Withdraw(true)`/`Withdraw(false)`     | iff an amount is 0¹ |
+    /// | `Deposit`/`Balance`                    | iff amount 0 |
+    /// | `Withdraw(true)`/`Balance`             | iff amount 0 |
+    /// | `Withdraw(false)`/`Balance`            | yes |
+    /// | `Balance`/`Balance`                    | yes |
+    ///
+    /// ¹ `Withdraw(0)` always returns `true`, so a 0-amount never appears
+    /// on the `false` side; the 0-amount escape applies to the `true` side.
+    fn commutes_backward(&self, a: &OpVal, b: &OpVal) -> bool {
+        use Op::{Balance, Deposit, Withdraw};
+        let ok = |v: &Value| *v == Value::Bool(true);
+        match ((&a.0, &a.1), (&b.0, &b.1)) {
+            ((Deposit(x), _), (Deposit(y), _)) => {
+                let _ = (x, y);
+                true
+            }
+            ((Deposit(x), _), (Withdraw(y), _)) | ((Withdraw(y), _), (Deposit(x), _)) => {
+                *x == 0 || *y == 0
+            }
+            ((Withdraw(x), va), (Withdraw(y), vb)) => {
+                if ok(va) == ok(vb) {
+                    true
+                } else {
+                    *x == 0 || *y == 0
+                }
+            }
+            ((Deposit(x), _), (Balance, _)) | ((Balance, _), (Deposit(x), _)) => *x == 0,
+            ((Withdraw(x), v), (Balance, _)) | ((Balance, _), (Withdraw(x), v)) => {
+                !ok(v) || *x == 0
+            }
+            ((Balance, _), (Balance, _)) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_serial::commute_by_definition;
+
+    fn states() -> Vec<Value> {
+        (0..=12).map(Value::Int).collect()
+    }
+
+    fn all_ops() -> Vec<OpVal> {
+        let mut ops = Vec::new();
+        for amt in [0i64, 1, 3, 7] {
+            ops.push((Op::Deposit(amt), Value::Ok));
+            ops.push((Op::Withdraw(amt), Value::Bool(true)));
+            if amt > 0 {
+                ops.push((Op::Withdraw(amt), Value::Bool(false)));
+            }
+        }
+        for b in [0i64, 3, 12] {
+            ops.push((Op::Balance, Value::Int(b)));
+        }
+        ops
+    }
+
+    #[test]
+    fn semantics() {
+        let acc = Account::new(10);
+        let (s, v) = acc.apply(&Value::Int(10), &Op::Withdraw(4));
+        assert_eq!((s, v), (Value::Int(6), Value::Bool(true)));
+        let (s, v) = acc.apply(&Value::Int(3), &Op::Withdraw(4));
+        assert_eq!((s, v), (Value::Int(3), Value::Bool(false)));
+        let (s, v) = acc.apply(&Value::Int(3), &Op::Deposit(4));
+        assert_eq!((s, v), (Value::Int(7), Value::Ok));
+        let (_, v) = acc.apply(&Value::Int(3), &Op::Balance);
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn declared_commutativity_is_exactly_the_definition() {
+        // Exhaustive over a representative operation set and all states
+        // 0..=12 (closed under the op amounts used): declared == derived.
+        let acc = Account::new(0);
+        let ops = all_ops();
+        for a in &ops {
+            for b in &ops {
+                let declared = acc.commutes_backward(a, b);
+                let derived = commute_by_definition(&acc, a, b, &states());
+                assert_eq!(
+                    declared, derived,
+                    "mismatch for {a:?} vs {b:?}: declared={declared} derived={derived}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn successful_withdrawals_commute() {
+        let acc = Account::new(0);
+        let w1 = (Op::Withdraw(3), Value::Bool(true));
+        let w2 = (Op::Withdraw(7), Value::Bool(true));
+        assert!(acc.commutes_backward(&w1, &w2));
+    }
+
+    #[test]
+    fn deposit_conflicts_with_withdrawal() {
+        let acc = Account::new(0);
+        let d = (Op::Deposit(5), Value::Ok);
+        let wt = (Op::Withdraw(3), Value::Bool(true));
+        let wf = (Op::Withdraw(3), Value::Bool(false));
+        assert!(!acc.commutes_backward(&d, &wt));
+        assert!(!acc.commutes_backward(&d, &wf));
+        assert!(!acc.commutes_backward(&wf, &d), "symmetric");
+    }
+}

@@ -1,0 +1,105 @@
+//! # nt-datatypes
+//!
+//! The library of serial data types used by the workspace (§6 of the
+//! paper): each type supplies its deterministic serial specification plus
+//! an **exact backward-commutativity relation**, property-tested against
+//! the paper's definition (via `nt_serial::commute_by_definition`).
+//!
+//! | type | operations | commutativity highlights |
+//! |------|------------|--------------------------|
+//! | [`RwRegister`] (re-export) | `Read`, `Write` | only read/read commutes (§3.1) |
+//! | [`Counter`] | `Add`, `GetCount` | adds commute with adds |
+//! | [`Account`] | `Deposit`, `Withdraw`, `Balance` | successful withdrawals commute (Weihl) |
+//! | [`IntSetType`] | `Insert`, `Remove`, `Contains`, `Size` | distinct-element ops commute; insert/insert idempotent |
+//! | [`QueueType`] | `Enqueue`, `Dequeue` | same-outcome dequeues commute |
+//! | [`KvMapType`] | `Put`, `Get`, `Delete` | distinct keys always commute |
+//!
+//! ```
+//! use nt_datatypes::Account;
+//! use nt_model::{Op, Value};
+//! use nt_serial::SerialType;
+//! let acc = Account::new(100);
+//! // Two successful withdrawals commute backward (Weihl's example)…
+//! let w1 = (Op::Withdraw(30), Value::Bool(true));
+//! let w2 = (Op::Withdraw(50), Value::Bool(true));
+//! assert!(acc.commutes_backward(&w1, &w2));
+//! // …but a deposit conflicts with a withdrawal.
+//! let d = (Op::Deposit(10), Value::Ok);
+//! assert!(!acc.commutes_backward(&d, &w1));
+//! ```
+
+pub mod account;
+pub mod counter;
+pub mod kvmap;
+pub mod queue;
+pub mod set;
+
+pub use account::Account;
+pub use counter::Counter;
+pub use kvmap::KvMapType;
+pub use nt_serial::RwRegister;
+pub use queue::QueueType;
+pub use set::IntSetType;
+
+use nt_serial::SerialType;
+use std::sync::Arc;
+
+/// Convenience: every library type, for data-driven tests and benches.
+pub fn all_types() -> Vec<(&'static str, Arc<dyn SerialType>)> {
+    vec![
+        ("register", Arc::new(RwRegister::new(0))),
+        ("counter", Arc::new(Counter::new(0))),
+        ("account", Arc::new(Account::new(100))),
+        ("intset", Arc::new(IntSetType::new())),
+        ("queue", Arc::new(QueueType::new())),
+        ("kvmap", Arc::new(KvMapType::new())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_listing() {
+        let ts = all_types();
+        assert_eq!(ts.len(), 6);
+        for (name, ty) in &ts {
+            assert_eq!(*name, ty.type_name());
+        }
+    }
+
+    #[test]
+    fn commutativity_relations_are_symmetric() {
+        use nt_model::{Op, Value};
+        let probes = vec![
+            (Op::Read, Value::Int(0)),
+            (Op::Write(1), Value::Ok),
+            (Op::Add(2), Value::Ok),
+            (Op::GetCount, Value::Int(2)),
+            (Op::Deposit(3), Value::Ok),
+            (Op::Withdraw(3), Value::Bool(true)),
+            (Op::Withdraw(3), Value::Bool(false)),
+            (Op::Balance, Value::Int(0)),
+            (Op::Insert(1), Value::Ok),
+            (Op::Remove(1), Value::Ok),
+            (Op::Contains(1), Value::Bool(true)),
+            (Op::Size, Value::Int(0)),
+            (Op::Enqueue(1), Value::Ok),
+            (Op::Dequeue, Value::Int(1)),
+            (Op::Dequeue, Value::Nil),
+        ];
+        for (_, ty) in all_types() {
+            for a in &probes {
+                for b in &probes {
+                    assert_eq!(
+                        ty.commutes_backward(a, b),
+                        ty.commutes_backward(b, a),
+                        "{}: symmetry for {a:?} vs {b:?}",
+                        ty.type_name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the datatype commutativity relations and the
+//! reordering proposition.
+//!
+//! * **Soundness** of every declared relation against the paper's
+//!   definition (`commute_by_definition`) over random reachable states.
+//! * **Proposition 7/18**: in a legal operation sequence, swapping adjacent
+//!   *backward-commuting* operations preserves legality and the final
+//!   state — the lemma the serialization-graph theorem rests on.
+
+use nt_datatypes::all_types;
+use nt_model::{Op, Value};
+use nt_serial::{commute_by_definition, replay, OpVal, SerialType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random operation suitable for a given type, by index.
+fn arb_op(type_name: &'static str) -> BoxedStrategy<Op> {
+    match type_name {
+        "register" => prop_oneof![
+            Just(Op::Read),
+            (0i64..5).prop_map(Op::Write),
+        ]
+        .boxed(),
+        "counter" => prop_oneof![
+            (-3i64..4).prop_map(Op::Add),
+            Just(Op::GetCount),
+        ]
+        .boxed(),
+        "account" => prop_oneof![
+            (0i64..6).prop_map(Op::Deposit),
+            (0i64..6).prop_map(Op::Withdraw),
+            Just(Op::Balance),
+        ]
+        .boxed(),
+        "intset" => prop_oneof![
+            (0i64..4).prop_map(Op::Insert),
+            (0i64..4).prop_map(Op::Remove),
+            (0i64..4).prop_map(Op::Contains),
+            Just(Op::Size),
+        ]
+        .boxed(),
+        "queue" => prop_oneof![
+            (0i64..4).prop_map(Op::Enqueue),
+            Just(Op::Dequeue),
+        ]
+        .boxed(),
+        "kvmap" => prop_oneof![
+            ((0i64..3), (0i64..4)).prop_map(|(k, v)| Op::Put(k, v)),
+            (0i64..3).prop_map(Op::Get),
+            (0i64..3).prop_map(Op::Delete),
+        ]
+        .boxed(),
+        other => panic!("unknown type {other}"),
+    }
+}
+
+/// Build the legal `(op, value)` sequence by replaying ops through the
+/// specification (values are whatever the spec returns).
+fn legalize(ty: &dyn SerialType, ops: &[Op]) -> Vec<OpVal> {
+    let mut state = ty.initial();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let (next, v) = ty.apply(&state, op);
+        out.push((op.clone(), v));
+        state = next;
+    }
+    out
+}
+
+/// The states reachable by all prefixes of a set of op sequences — a
+/// definitional quantification domain that includes everything relevant.
+fn reachable_states(ty: &dyn SerialType, opseqs: &[Vec<Op>]) -> Vec<Value> {
+    let mut states = vec![ty.initial()];
+    for ops in opseqs {
+        let mut s = ty.initial();
+        for op in ops {
+            s = ty.apply(&s, op).0;
+            if !states.contains(&s) {
+                states.push(s.clone());
+            }
+        }
+    }
+    states
+}
+
+fn types_and_ops() -> Vec<(&'static str, Arc<dyn SerialType>)> {
+    all_types()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Declared commutes ⇒ definitional commutes, on states reachable by
+    /// the generated prefixes.
+    #[test]
+    fn declared_commutativity_is_sound(
+        raw in prop::collection::vec(any::<u16>(), 2..14),
+        type_idx in 0usize..6,
+    ) {
+        let (name, ty) = types_and_ops().swap_remove(type_idx);
+        // Derive ops deterministically from raw bytes via the strategy's
+        // value tree is awkward; instead map integers to ops directly.
+        let ops: Vec<Op> = raw.iter().map(|&r| int_to_op(name, r)).collect();
+        let legal_seq = legalize(ty.as_ref(), &ops);
+        let states = reachable_states(ty.as_ref(), std::slice::from_ref(&ops));
+        for i in 0..legal_seq.len() {
+            for j in 0..legal_seq.len() {
+                let (a, b) = (&legal_seq[i], &legal_seq[j]);
+                if ty.commutes_backward(a, b) {
+                    prop_assert!(
+                        commute_by_definition(ty.as_ref(), a, b, &states),
+                        "{name}: declared commuting but definition refutes: {a:?} {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Proposition 7/18: swapping adjacent backward-commuting operations
+    /// in a legal sequence keeps it legal and preserves the final state.
+    #[test]
+    fn adjacent_commuting_swaps_preserve_legality(
+        raw in prop::collection::vec(any::<u16>(), 2..16),
+        swaps in prop::collection::vec(any::<u16>(), 1..8),
+        type_idx in 0usize..6,
+    ) {
+        let (name, ty) = types_and_ops().swap_remove(type_idx);
+        let ops: Vec<Op> = raw.iter().map(|&r| int_to_op(name, r)).collect();
+        let mut seq = legalize(ty.as_ref(), &ops);
+        let original_final = replay(ty.as_ref(), &seq);
+        prop_assert!(original_final.is_some());
+        for &s in &swaps {
+            let i = (s as usize) % (seq.len() - 1);
+            if ty.commutes_backward(&seq[i], &seq[i + 1]) {
+                seq.swap(i, i + 1);
+                let after = replay(ty.as_ref(), &seq);
+                prop_assert_eq!(
+                    after.clone(), original_final.clone(),
+                    "{}: swap at {} broke legality or changed state", name, i
+                );
+            }
+        }
+    }
+}
+
+fn int_to_op(type_name: &str, r: u16) -> Op {
+    let k = i64::from(r % 7);
+    match type_name {
+        "register" => {
+            if r.is_multiple_of(2) {
+                Op::Read
+            } else {
+                Op::Write(k)
+            }
+        }
+        "counter" => {
+            if r.is_multiple_of(3) {
+                Op::GetCount
+            } else {
+                Op::Add(k - 3)
+            }
+        }
+        "account" => match r % 3 {
+            0 => Op::Deposit(k),
+            1 => Op::Withdraw(k),
+            _ => Op::Balance,
+        },
+        "intset" => match r % 4 {
+            0 => Op::Insert(k % 4),
+            1 => Op::Remove(k % 4),
+            2 => Op::Contains(k % 4),
+            _ => Op::Size,
+        },
+        "queue" => {
+            if r.is_multiple_of(3) {
+                Op::Dequeue
+            } else {
+                Op::Enqueue(k % 4)
+            }
+        }
+        "kvmap" => match r % 4 {
+            0 | 1 => Op::Put(k % 3, i64::from(r % 5)),
+            2 => Op::Get(k % 3),
+            _ => Op::Delete(k % 3),
+        },
+        other => panic!("unknown type {other}"),
+    }
+}
+
+/// Ensure the unused strategy helper stays exercised (it documents how to
+/// generate ops for external users).
+#[test]
+fn arb_op_strategies_produce_valid_ops() {
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for (name, ty) in all_types() {
+        let strat = arb_op(name);
+        for _ in 0..16 {
+            let op = strat.new_tree(&mut runner).unwrap().current();
+            // Applying to the initial state must not panic.
+            let _ = ty.apply(&ty.initial(), &op);
+        }
+    }
+}

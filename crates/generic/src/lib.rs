@@ -1,0 +1,333 @@
+//! # nt-generic
+//!
+//! Generic systems (§5.1): the *implementation*-side counterpart of serial
+//! systems. A generic system composes the same transaction automata with
+//! *generic objects* (which perform their own concurrency control and
+//! recovery, e.g. Moss locking in `nt-locking` or undo logging in
+//! `nt-undolog`) and the **generic controller** defined here.
+//!
+//! Unlike the serial scheduler, the generic controller permits sibling
+//! transactions to run concurrently and permits aborting transactions that
+//! have already been created and run — it "leaves the task of coping with
+//! concurrency and recovery to the generic objects." Its duties are purely
+//! clerical: pass creation requests on, decide completions, report
+//! completions to parents, and inform objects of the fate of transactions
+//! (the `INFORM_COMMIT` / `INFORM_ABORT` actions generic objects consume).
+
+pub mod simple;
+
+pub use simple::SimpleDatabase;
+
+use nt_automata::Component;
+use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Which completion outputs the controller should offer. The paper's
+/// controller is maximally nondeterministic; execution policies restrict
+/// it (the `nt-sim` chooser decides among what is offered here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortMode {
+    /// Offer `ABORT(T)` for every incomplete requested transaction
+    /// (the paper's full nondeterminism).
+    Any,
+    /// Never offer spontaneous aborts; only external `request_abort` calls
+    /// (used by the simulator for deadlock victims / fault injection) are
+    /// offered.
+    OnDemand,
+}
+
+/// The generic controller automaton (§5.1).
+pub struct GenericController {
+    /// Abort nondeterminism policy.
+    pub abort_mode: AbortMode,
+    create_requested: BTreeSet<TxId>,
+    created: BTreeSet<TxId>,
+    commit_requested: BTreeMap<TxId, Value>,
+    committed: BTreeSet<TxId>,
+    aborted: BTreeSet<TxId>,
+    reported: BTreeSet<TxId>,
+    /// Incrementally maintained frontiers, so `enabled_outputs` is
+    /// O(actionable work) rather than O(every transaction ever seen).
+    pending_creates: BTreeSet<TxId>,
+    pending_commits: BTreeSet<TxId>,
+    pending_reports: BTreeSet<TxId>,
+    /// Completion notices still owed to each object, FIFO per object:
+    /// `(T, committed?)`. FIFO delivery guarantees the leaf-to-root
+    /// ("ascending") inform order the paper's lock-visibility notion
+    /// relies on — a transaction's completion always follows its
+    /// descendants' completions, so the queue order is ascending.
+    pending_informs: Vec<VecDeque<(TxId, bool)>>,
+    /// Externally requested abort victims (deadlock resolution, fault
+    /// injection) still to be offered.
+    abort_queue: BTreeSet<TxId>,
+}
+
+impl GenericController {
+    /// A fresh controller for the given naming tree.
+    pub fn new(tree: Arc<TxTree>) -> Self {
+        let num_objects = tree.num_objects();
+        GenericController {
+            abort_mode: AbortMode::OnDemand,
+            create_requested: BTreeSet::new(),
+            created: BTreeSet::new(),
+            commit_requested: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+            reported: BTreeSet::new(),
+            pending_creates: BTreeSet::new(),
+            pending_commits: BTreeSet::new(),
+            pending_reports: BTreeSet::new(),
+            pending_informs: vec![VecDeque::new(); num_objects],
+            abort_queue: BTreeSet::new(),
+        }
+    }
+
+    fn is_completed(&self, t: TxId) -> bool {
+        self.committed.contains(&t) || self.aborted.contains(&t)
+    }
+
+    /// Ask the controller to offer `ABORT(t)` (deadlock victim / injected
+    /// fault). Ignored if `t` already completed or was never requested.
+    pub fn request_abort(&mut self, t: TxId) {
+        if self.create_requested.contains(&t) && !self.is_completed(t) {
+            self.abort_queue.insert(t);
+        }
+    }
+
+    /// True iff `t` committed (inspection).
+    pub fn is_committed(&self, t: TxId) -> bool {
+        self.committed.contains(&t)
+    }
+
+    /// True iff `t` aborted (inspection).
+    pub fn is_aborted(&self, t: TxId) -> bool {
+        self.aborted.contains(&t)
+    }
+
+    /// Transactions created and not yet completed (inspection; used for
+    /// deadlock victim selection).
+    pub fn live(&self) -> Vec<TxId> {
+        self.created
+            .iter()
+            .copied()
+            .filter(|&t| t != TxId::ROOT && !self.is_completed(t))
+            .collect()
+    }
+}
+
+impl Component for GenericController {
+    fn name(&self) -> String {
+        "generic-controller".into()
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCreate(_) | Action::RequestCommit(_, _))
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(
+            a,
+            Action::Create(_)
+                | Action::Commit(_)
+                | Action::Abort(_)
+                | Action::ReportCommit(_, _)
+                | Action::ReportAbort(_)
+                | Action::InformCommit(_, _)
+                | Action::InformAbort(_, _)
+        )
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::RequestCreate(t) => {
+                self.create_requested.insert(*t);
+                if !self.created.contains(t) && !self.aborted.contains(t) {
+                    self.pending_creates.insert(*t);
+                }
+            }
+            Action::RequestCommit(t, v) => {
+                self.commit_requested.insert(*t, v.clone());
+                if *t != TxId::ROOT && !self.is_completed(*t) {
+                    self.pending_commits.insert(*t);
+                }
+            }
+            Action::Create(t) => {
+                self.created.insert(*t);
+                self.pending_creates.remove(t);
+            }
+            Action::Commit(t) => {
+                self.committed.insert(*t);
+                self.abort_queue.remove(t);
+                self.pending_commits.remove(t);
+                if !self.reported.contains(t) {
+                    self.pending_reports.insert(*t);
+                }
+                for q in &mut self.pending_informs {
+                    q.push_back((*t, true));
+                }
+            }
+            Action::Abort(t) => {
+                self.aborted.insert(*t);
+                self.abort_queue.remove(t);
+                self.pending_creates.remove(t);
+                self.pending_commits.remove(t);
+                if !self.reported.contains(t) {
+                    self.pending_reports.insert(*t);
+                }
+                for q in &mut self.pending_informs {
+                    q.push_back((*t, false));
+                }
+            }
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                self.reported.insert(*t);
+                self.pending_reports.remove(t);
+            }
+            Action::InformCommit(x, t) => {
+                let front = self.pending_informs[x.index()].pop_front();
+                debug_assert_eq!(front, Some((*t, true)));
+            }
+            Action::InformAbort(x, t) => {
+                let front = self.pending_informs[x.index()].pop_front();
+                debug_assert_eq!(front, Some((*t, false)));
+            }
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        if !self.created.contains(&TxId::ROOT) {
+            buf.push(Action::Create(TxId::ROOT));
+        }
+        for &t in &self.pending_creates {
+            buf.push(Action::Create(t));
+        }
+        for &t in &self.pending_commits {
+            buf.push(Action::Commit(t));
+        }
+        match self.abort_mode {
+            AbortMode::Any => {
+                for &t in &self.create_requested {
+                    if !self.is_completed(t) {
+                        buf.push(Action::Abort(t));
+                    }
+                }
+            }
+            AbortMode::OnDemand => {
+                for &t in &self.abort_queue {
+                    if !self.is_completed(t) {
+                        buf.push(Action::Abort(t));
+                    }
+                }
+            }
+        }
+        for &t in &self.pending_reports {
+            if self.committed.contains(&t) {
+                let v = self.commit_requested.get(&t).expect("committed implies requested");
+                buf.push(Action::ReportCommit(t, v.clone()));
+            } else {
+                buf.push(Action::ReportAbort(t));
+            }
+        }
+        for (xi, q) in self.pending_informs.iter().enumerate() {
+            if let Some(&(t, ok)) = q.front() {
+                let x = ObjId(xi as u32);
+                buf.push(if ok {
+                    Action::InformCommit(x, t)
+                } else {
+                    Action::InformAbort(x, t)
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    fn setup() -> (Arc<TxTree>, GenericController, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let _u = tree.add_access(a, x, Op::Read);
+        let tree = Arc::new(tree);
+        let c = GenericController::new(Arc::clone(&tree));
+        (tree, c, a, b)
+    }
+
+    fn enabled(c: &GenericController) -> Vec<Action> {
+        let mut buf = Vec::new();
+        c.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn allows_concurrent_siblings() {
+        let (_tree, mut c, a, b) = setup();
+        c.apply(&Action::Create(TxId::ROOT));
+        c.apply(&Action::RequestCreate(a));
+        c.apply(&Action::RequestCreate(b));
+        c.apply(&Action::Create(a));
+        // Unlike the serial scheduler, b can be created while a is live.
+        assert!(enabled(&c).contains(&Action::Create(b)));
+    }
+
+    #[test]
+    fn informs_all_objects_after_completion() {
+        let (_tree, mut c, a, _b) = setup();
+        c.apply(&Action::Create(TxId::ROOT));
+        c.apply(&Action::RequestCreate(a));
+        c.apply(&Action::Create(a));
+        c.apply(&Action::RequestCommit(a, Value::Ok));
+        c.apply(&Action::Commit(a));
+        let e = enabled(&c);
+        assert!(e.contains(&Action::InformCommit(ObjId(0), a)));
+        assert!(e.contains(&Action::ReportCommit(a, Value::Ok)));
+        c.apply(&Action::InformCommit(ObjId(0), a));
+        assert!(!enabled(&c).contains(&Action::InformCommit(ObjId(0), a)));
+    }
+
+    #[test]
+    fn can_abort_created_transactions_on_demand() {
+        let (_tree, mut c, a, _b) = setup();
+        c.apply(&Action::Create(TxId::ROOT));
+        c.apply(&Action::RequestCreate(a));
+        c.apply(&Action::Create(a));
+        assert!(!enabled(&c).iter().any(|x| matches!(x, Action::Abort(_))));
+        c.request_abort(a);
+        assert!(enabled(&c).contains(&Action::Abort(a)));
+        c.apply(&Action::Abort(a));
+        assert!(enabled(&c).contains(&Action::ReportAbort(a)));
+        assert!(enabled(&c).contains(&Action::InformAbort(ObjId(0), a)));
+        // No commit after abort.
+        c.apply(&Action::RequestCommit(a, Value::Ok));
+        assert!(!enabled(&c).contains(&Action::Commit(a)));
+    }
+
+    #[test]
+    fn any_mode_offers_aborts_everywhere() {
+        let (_tree, mut c, a, _b) = setup();
+        c.abort_mode = AbortMode::Any;
+        c.apply(&Action::Create(TxId::ROOT));
+        c.apply(&Action::RequestCreate(a));
+        assert!(enabled(&c).contains(&Action::Abort(a)));
+    }
+
+    #[test]
+    fn live_listing() {
+        let (_tree, mut c, a, b) = setup();
+        c.apply(&Action::Create(TxId::ROOT));
+        c.apply(&Action::RequestCreate(a));
+        c.apply(&Action::RequestCreate(b));
+        c.apply(&Action::Create(a));
+        c.apply(&Action::Create(b));
+        assert_eq!(c.live(), vec![a, b]);
+        c.apply(&Action::RequestCommit(a, Value::Ok));
+        c.apply(&Action::Commit(a));
+        assert_eq!(c.live(), vec![b]);
+        assert!(c.is_committed(a));
+        assert!(!c.is_aborted(a));
+    }
+}

@@ -1,0 +1,238 @@
+//! The *simple database* automaton (§2.3.1).
+//!
+//! The simple database embodies only the constraints "any reasonable
+//! transaction-processing system" satisfies: no creations or completions
+//! without requests, no duplicates, no reports of completions that never
+//! happened, no unsolicited or duplicated access responses. Everything
+//! else — ordering, concurrency, and crucially the **values returned by
+//! accesses** — is left nondeterministic.
+//!
+//! The paper uses the simple system (simple database + transaction
+//! automata) as the domain of the Serializability Theorem. Here the
+//! automaton doubles as a *generator-based fuzzer*: composed with scripted
+//! clients and driven randomly, it produces arbitrary simple behaviors —
+//! most of them incorrect — which exercise every path of the checker (the
+//! accepted ones must all carry validated witnesses).
+//!
+//! Access responses draw values from a finite `value_pool` (the true
+//! automaton allows any value; a pool keeps the enabled-output set finite).
+
+use nt_automata::Component;
+use nt_model::{Action, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The simple database automaton, §2.3.1.
+pub struct SimpleDatabase {
+    tree: Arc<TxTree>,
+    /// Candidate return values offered for access responses.
+    pub value_pool: Vec<Value>,
+    /// Offer spontaneous `ABORT`s (the full §2.3.1 nondeterminism). With a
+    /// uniform random driver aborts dominate; disable to bias runs toward
+    /// commitment.
+    pub offer_aborts: bool,
+    create_requested: BTreeSet<TxId>,
+    created: BTreeSet<TxId>,
+    commit_requested: BTreeMap<TxId, Value>,
+    committed: BTreeSet<TxId>,
+    aborted: BTreeSet<TxId>,
+    reported: BTreeSet<TxId>,
+}
+
+impl SimpleDatabase {
+    /// A fresh simple database over the tree with the given value pool
+    /// (used for access responses; `OK` is always offered for writes via
+    /// the pool too — include it).
+    pub fn new(tree: Arc<TxTree>, value_pool: Vec<Value>) -> Self {
+        SimpleDatabase {
+            tree,
+            value_pool,
+            offer_aborts: true,
+            create_requested: BTreeSet::new(),
+            created: BTreeSet::new(),
+            commit_requested: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+            reported: BTreeSet::new(),
+        }
+    }
+
+    fn is_completed(&self, t: TxId) -> bool {
+        self.committed.contains(&t) || self.aborted.contains(&t)
+    }
+}
+
+impl Component for SimpleDatabase {
+    fn name(&self) -> String {
+        "simple-database".into()
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::RequestCreate(t) => *t != TxId::ROOT,
+            // Non-access REQUEST_COMMITs come from transaction automata.
+            Action::RequestCommit(t, _) => !self.tree.is_access(*t),
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(_) => true,
+            Action::Commit(t) | Action::Abort(t) => *t != TxId::ROOT,
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => *t != TxId::ROOT,
+            // Access responses are simple-database outputs (§2.3.1).
+            Action::RequestCommit(t, _) => self.tree.is_access(*t),
+            _ => false,
+        }
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::RequestCreate(t) => {
+                self.create_requested.insert(*t);
+            }
+            Action::RequestCommit(t, v) => {
+                self.commit_requested.insert(*t, v.clone());
+            }
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::Commit(t) => {
+                self.committed.insert(*t);
+            }
+            Action::Abort(t) => {
+                self.aborted.insert(*t);
+            }
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                self.reported.insert(*t);
+            }
+            _ => unreachable!("simple database shares no other action"),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        if !self.created.contains(&TxId::ROOT) {
+            buf.push(Action::Create(TxId::ROOT));
+        }
+        for &t in &self.create_requested {
+            if !self.created.contains(&t) && !self.aborted.contains(&t) {
+                buf.push(Action::Create(t));
+            }
+            // The simple database may abort anything requested and
+            // incomplete — even after creation (unlike the serial
+            // scheduler).
+            if self.offer_aborts && !self.is_completed(t) {
+                buf.push(Action::Abort(t));
+            }
+        }
+        // Arbitrary responses to created, unanswered accesses.
+        for &t in &self.created {
+            if self.tree.is_access(t) && !self.commit_requested.contains_key(&t) {
+                for v in &self.value_pool {
+                    buf.push(Action::RequestCommit(t, v.clone()));
+                }
+            }
+        }
+        for (&t, v) in &self.commit_requested {
+            if t != TxId::ROOT && !self.is_completed(t) {
+                buf.push(Action::Commit(t));
+            }
+            if self.committed.contains(&t) && !self.reported.contains(&t) {
+                buf.push(Action::ReportCommit(t, v.clone()));
+            }
+        }
+        for &t in &self.aborted {
+            if !self.reported.contains(&t) {
+                buf.push(Action::ReportAbort(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::wellformed::check_simple_behavior;
+    use nt_model::Op;
+
+    fn setup() -> (Arc<TxTree>, SimpleDatabase, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Read);
+        let tree = Arc::new(tree);
+        let db = SimpleDatabase::new(
+            Arc::clone(&tree),
+            vec![Value::Ok, Value::Int(0), Value::Int(1)],
+        );
+        (tree, db, a, u)
+    }
+
+    fn enabled(db: &SimpleDatabase) -> Vec<Action> {
+        let mut buf = Vec::new();
+        db.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn offers_arbitrary_access_values() {
+        let (_tree, mut db, a, u) = setup();
+        db.apply(&Action::Create(TxId::ROOT));
+        db.apply(&Action::RequestCreate(a));
+        db.apply(&Action::Create(a));
+        db.apply(&Action::RequestCreate(u));
+        db.apply(&Action::Create(u));
+        let e = enabled(&db);
+        // The read may return ANY pool value — no serial-spec discipline.
+        assert!(e.contains(&Action::RequestCommit(u, Value::Int(0))));
+        assert!(e.contains(&Action::RequestCommit(u, Value::Int(1))));
+        assert!(e.contains(&Action::RequestCommit(u, Value::Ok)));
+    }
+
+    #[test]
+    fn can_abort_created_transactions() {
+        let (_tree, mut db, a, _u) = setup();
+        db.apply(&Action::Create(TxId::ROOT));
+        db.apply(&Action::RequestCreate(a));
+        db.apply(&Action::Create(a));
+        assert!(enabled(&db).contains(&Action::Abort(a)));
+    }
+
+    #[test]
+    fn random_drives_yield_simple_behaviors() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20 {
+            let (tree, mut db, a, u) = setup();
+            let _ = (a, u);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut trace = Vec::new();
+            // Feed the requests a well-formed client would make, then let
+            // the database act randomly.
+            db.apply(&Action::Create(TxId::ROOT));
+            trace.push(Action::Create(TxId::ROOT));
+            db.apply(&Action::RequestCreate(a));
+            trace.push(Action::RequestCreate(a));
+            for _ in 0..30 {
+                // Randomly interleave: maybe request u once a exists.
+                if trace.contains(&Action::Create(a))
+                    && !trace.contains(&Action::RequestCreate(u))
+                    && rng.gen_bool(0.3)
+                {
+                    db.apply(&Action::RequestCreate(u));
+                    trace.push(Action::RequestCreate(u));
+                }
+                let e = enabled(&db);
+                if e.is_empty() {
+                    break;
+                }
+                let act = e[rng.gen_range(0..e.len())].clone();
+                db.apply(&act);
+                trace.push(act);
+            }
+            check_simple_behavior(&tree, &trace)
+                .expect("the simple database enforces exactly the §2.3.1 constraints");
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! # nt-locking
+//!
+//! Moss' read/write locking algorithm for nested transactions (§5.2) — the
+//! default concurrency control of Argus and Camelot, proved correct by the
+//! paper's Theorem 17 — implemented as the generic object automaton `M1_X`.
+//!
+//! ## The algorithm
+//!
+//! `M1_X` maintains read-lockholders, write-lockholders, and one stored
+//! value per write-lockholder (a stack of tentative versions along the
+//! transaction tree):
+//!
+//! * an access may be answered only when every holder of a conflicting lock
+//!   is an *ancestor* of the access — otherwise the access simply waits
+//!   (its `REQUEST_COMMIT` is not enabled);
+//! * a read returns the value of the *least* write-lockholder (the most
+//!   deeply nested tentative version) and takes a read lock;
+//! * a write stores its value under itself and takes a write lock;
+//! * `INFORM_COMMIT(T)` passes `T`'s locks — and tentative value — up to
+//!   `parent(T)` (lock inheritance);
+//! * `INFORM_ABORT(T)` discards all locks held by descendants of `T`
+//!   (recovery: the aborted subtree leaves no trace).
+//!
+//! The crate also provides an *exclusive-only* variant (reads take write
+//! locks) used by experiment E7 to measure what the read/write distinction
+//! buys.
+//!
+//! Lemma 9 (conflicting lockholders form an ancestor chain) is checked as a
+//! debug-mode invariant after every step.
+
+use nt_automata::Component;
+use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Locking discipline: Moss read/write locks, or exclusive-only (ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// §5.2: reads take read locks, writes take write locks.
+    ReadWrite,
+    /// Every access takes a write lock (reads still return the stacked
+    /// value). Baseline for experiment E7.
+    Exclusive,
+}
+
+/// Moss' read/write locking object automaton `M1_X`.
+pub struct MossObject {
+    tree: Arc<TxTree>,
+    x: ObjId,
+    mode: LockMode,
+    created: BTreeSet<TxId>,
+    commit_requested: BTreeSet<TxId>,
+    /// `write_lockholders` with the paper's `value` map folded in:
+    /// holder → its tentative value.
+    write_lockholders: BTreeMap<TxId, i64>,
+    read_lockholders: BTreeSet<TxId>,
+    /// Transactions whose `INFORM_ABORT` this object has received.
+    /// Accesses that are descendants of one (*local orphans*, §5.3) are
+    /// never answered — a sound strengthening of M1's preconditions that
+    /// keeps late orphan requests from acquiring unreclaimable locks.
+    aborted_seen: BTreeSet<TxId>,
+}
+
+impl MossObject {
+    /// A fresh `M1_X` for object `x` with initial value `init`
+    /// (the start state has `T0` holding a write lock on `init`).
+    pub fn new(tree: Arc<TxTree>, x: ObjId, init: i64, mode: LockMode) -> Self {
+        let mut write_lockholders = BTreeMap::new();
+        write_lockholders.insert(TxId::ROOT, init);
+        MossObject {
+            tree,
+            x,
+            mode,
+            created: BTreeSet::new(),
+            commit_requested: BTreeSet::new(),
+            write_lockholders,
+            read_lockholders: BTreeSet::new(),
+            aborted_seen: BTreeSet::new(),
+        }
+    }
+
+    /// The least (deepest) write-lockholder. The write-lockholders always
+    /// form an ancestor chain (Lemma 9), so this is the unique holder that
+    /// is a descendant of all others.
+    fn least_write_lockholder(&self) -> TxId {
+        *self
+            .write_lockholders
+            .iter()
+            .max_by_key(|(t, _)| self.tree.depth(**t))
+            .expect("T0 always holds a write lock")
+            .0
+    }
+
+    /// Current value a read would observe (inspection).
+    pub fn current_value(&self) -> i64 {
+        self.write_lockholders[&self.least_write_lockholder()]
+    }
+
+    /// The lock chain invariant of Lemma 9: every pair drawn from
+    /// write-lockholders × (read ∪ write)-lockholders is ancestor-related.
+    fn check_lemma9(&self) {
+        for &w in self.write_lockholders.keys() {
+            for other in self
+                .write_lockholders
+                .keys()
+                .chain(self.read_lockholders.iter())
+            {
+                assert!(
+                    self.tree.is_ancestor(w, *other) || self.tree.is_ancestor(*other, w),
+                    "Lemma 9 violated at {:?}: {w} vs {other} unrelated",
+                    self.x
+                );
+            }
+        }
+    }
+
+    /// Is `t` a local orphan at this object (§5.3): has an ancestor whose
+    /// `INFORM_ABORT` was received here?
+    pub fn is_local_orphan(&self, t: TxId) -> bool {
+        self.tree.ancestors(t).any(|u| self.aborted_seen.contains(&u))
+    }
+
+    /// Is the lock precondition for access `t` met?
+    fn lock_precondition(&self, t: TxId) -> bool {
+        let op = self.tree.op_of(t).expect("access");
+        let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
+        let writes_ok = self
+            .write_lockholders
+            .keys()
+            .all(|&h| self.tree.is_ancestor(h, t));
+        if !write_like {
+            writes_ok
+        } else {
+            writes_ok
+                && self
+                    .read_lockholders
+                    .iter()
+                    .all(|&h| self.tree.is_ancestor(h, t))
+        }
+    }
+
+    /// Accesses created but not yet answered whose locks are unavailable
+    /// (inspection; the simulator's deadlock detector uses this).
+    pub fn waiting(&self) -> Vec<(TxId, Vec<TxId>)> {
+        let mut out = Vec::new();
+        for &t in self.created.difference(&self.commit_requested) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if !self.lock_precondition(t) {
+                let op = self.tree.op_of(t).expect("access");
+                let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
+                let mut blockers: Vec<TxId> = self
+                    .write_lockholders
+                    .keys()
+                    .copied()
+                    .filter(|&h| !self.tree.is_ancestor(h, t))
+                    .collect();
+                if write_like {
+                    blockers.extend(
+                        self.read_lockholders
+                            .iter()
+                            .copied()
+                            .filter(|&h| !self.tree.is_ancestor(h, t)),
+                    );
+                }
+                out.push((t, blockers));
+            }
+        }
+        out
+    }
+
+    /// Lockholders (inspection).
+    pub fn lockholders(&self) -> (Vec<TxId>, Vec<TxId>) {
+        (
+            self.write_lockholders.keys().copied().collect(),
+            self.read_lockholders.iter().copied().collect(),
+        )
+    }
+}
+
+impl Component for MossObject {
+    fn name(&self) -> String {
+        format!("M1({})", self.x)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(t) => self.tree.object_of(*t) == Some(self.x),
+            Action::InformCommit(x, t) | Action::InformAbort(x, t) => {
+                *x == self.x && *t != TxId::ROOT
+            }
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::InformCommit(_, t) => {
+                // Pass locks (and tentative value) up to the parent.
+                if let Some(v) = self.write_lockholders.remove(t) {
+                    let p = self.tree.parent(*t).expect("t != T0");
+                    self.write_lockholders.insert(p, v);
+                }
+                if self.read_lockholders.remove(t) {
+                    let p = self.tree.parent(*t).expect("t != T0");
+                    self.read_lockholders.insert(p);
+                }
+            }
+            Action::InformAbort(_, t) => {
+                self.aborted_seen.insert(*t);
+                let tree = &self.tree;
+                let t = *t;
+                self.write_lockholders
+                    .retain(|&h, _| !tree.is_ancestor(t, h));
+                self.read_lockholders.retain(|&h| !tree.is_ancestor(t, h));
+            }
+            Action::RequestCommit(t, v) => {
+                debug_assert!(self.lock_precondition(*t));
+                self.commit_requested.insert(*t);
+                let op = self.tree.op_of(*t).expect("access");
+                match op.write_data() {
+                    Some(d) => {
+                        debug_assert_eq!(*v, Value::Ok);
+                        self.write_lockholders.insert(*t, d);
+                    }
+                    None => {
+                        debug_assert_eq!(*v, Value::Int(self.current_value()));
+                        if self.mode == LockMode::Exclusive {
+                            // Exclusive variant: the read takes a write lock
+                            // carrying the unchanged current value.
+                            let cur = self.current_value();
+                            self.write_lockholders.insert(*t, cur);
+                        } else {
+                            self.read_lockholders.insert(*t);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("M1 shares no other action"),
+        }
+        if cfg!(debug_assertions) {
+            self.check_lemma9();
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        for &t in self.created.difference(&self.commit_requested) {
+            if self.is_local_orphan(t) || !self.lock_precondition(t) {
+                continue;
+            }
+            let op = self.tree.op_of(t).expect("access");
+            let v = match op.write_data() {
+                Some(_) => Value::Ok,
+                None => Value::Int(self.current_value()),
+            };
+            buf.push(Action::RequestCommit(t, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    /// T0 ── a ── (w: write 5, r1: read) ; T0 ── b ── r2: read
+    fn setup(mode: LockMode) -> (Arc<TxTree>, MossObject, TxId, TxId, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let w = tree.add_access(a, x, Op::Write(5));
+        let r1 = tree.add_access(a, x, Op::Read);
+        let r2 = tree.add_access(b, x, Op::Read);
+        let tree = Arc::new(tree);
+        let obj = MossObject::new(Arc::clone(&tree), x, 0, mode);
+        (tree, obj, a, b, w, r1, r2)
+    }
+
+    fn enabled(o: &MossObject) -> Vec<Action> {
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn write_blocks_external_reader_until_commit_informs() {
+        let (_tree, mut o, a, _b, w, _r1, r2) = setup(LockMode::ReadWrite);
+        o.apply(&Action::Create(w));
+        o.apply(&Action::RequestCommit(w, Value::Ok));
+        // r2 (different branch) must wait: w holds a write lock.
+        o.apply(&Action::Create(r2));
+        assert!(enabled(&o).is_empty(), "r2 blocked by w's lock");
+        assert_eq!(o.waiting().len(), 1);
+        assert_eq!(o.waiting()[0].0, r2);
+        assert_eq!(o.waiting()[0].1, vec![w]);
+        // w commits, lock moves to a — still not an ancestor of r2.
+        o.apply(&Action::InformCommit(ObjId(0), w));
+        assert!(enabled(&o).is_empty());
+        // a commits, lock moves to T0 — ancestor of r2: the read fires
+        // and sees the inherited value 5.
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r2, Value::Int(5))]);
+    }
+
+    #[test]
+    fn sibling_reader_within_writer_branch_waits_only_for_the_write() {
+        let (_tree, mut o, _a, _b, w, r1, _r2) = setup(LockMode::ReadWrite);
+        o.apply(&Action::Create(w));
+        o.apply(&Action::RequestCommit(w, Value::Ok));
+        o.apply(&Action::Create(r1));
+        // r1's sibling w holds the write lock; w is NOT an ancestor of r1.
+        assert!(enabled(&o).is_empty());
+        // After w commits to a, a IS an ancestor of r1: read sees 5.
+        o.apply(&Action::InformCommit(ObjId(0), w));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r1, Value::Int(5))]);
+    }
+
+    #[test]
+    fn abort_discards_tentative_value() {
+        let (_tree, mut o, a, _b, w, _r1, r2) = setup(LockMode::ReadWrite);
+        o.apply(&Action::Create(w));
+        o.apply(&Action::RequestCommit(w, Value::Ok));
+        assert_eq!(o.current_value(), 5);
+        // Abort a: w's lock (a descendant of a) is discarded, value restored.
+        o.apply(&Action::InformAbort(ObjId(0), a));
+        assert_eq!(o.current_value(), 0);
+        o.apply(&Action::Create(r2));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r2, Value::Int(0))]);
+    }
+
+    #[test]
+    fn concurrent_readers_share() {
+        let (_tree, mut o, _a, _b, _w, r1, r2) = setup(LockMode::ReadWrite);
+        o.apply(&Action::Create(r1));
+        o.apply(&Action::Create(r2));
+        let e = enabled(&o);
+        assert_eq!(e.len(), 2, "both reads enabled: read locks are shared");
+        o.apply(&Action::RequestCommit(r1, Value::Int(0)));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r2, Value::Int(0))]);
+    }
+
+    #[test]
+    fn exclusive_mode_blocks_second_reader() {
+        let (_tree, mut o, a, _b, _w, r1, r2) = setup(LockMode::Exclusive);
+        o.apply(&Action::Create(r1));
+        o.apply(&Action::RequestCommit(r1, Value::Int(0)));
+        o.apply(&Action::Create(r2));
+        assert!(
+            enabled(&o).is_empty(),
+            "exclusive mode: r1's lock blocks r2"
+        );
+        // Release by committing r1 up to T0.
+        o.apply(&Action::InformCommit(ObjId(0), r1));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r2, Value::Int(0))]);
+    }
+
+    #[test]
+    fn reader_blocks_external_writer_in_rw_mode() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let r = tree.add_access(a, x, Op::Read);
+        let w = tree.add_access(b, x, Op::Write(9));
+        let tree = Arc::new(tree);
+        let mut o = MossObject::new(Arc::clone(&tree), x, 0, LockMode::ReadWrite);
+        o.apply(&Action::Create(r));
+        o.apply(&Action::RequestCommit(r, Value::Int(0)));
+        let (wl, rl) = o.lockholders();
+        assert_eq!(wl, vec![TxId::ROOT]);
+        assert_eq!(rl, vec![r]);
+        // The external writer waits on r's read lock.
+        o.apply(&Action::Create(w));
+        assert!(enabled(&o).is_empty());
+        assert_eq!(o.waiting()[0], (w, vec![r]));
+        // Release r's lock up to T0: the write proceeds.
+        o.apply(&Action::InformCommit(ObjId(0), r));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(w, Value::Ok)]);
+    }
+
+    #[test]
+    fn value_inheritance_stacks() {
+        // Nested writers: a ── a1(w1: write 1), then a's own w overwrite.
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let a1 = tree.add_inner(a);
+        let w1 = tree.add_access(a1, x, Op::Write(1));
+        let w2 = tree.add_access(a, x, Op::Write(2));
+        let r = tree.add_access(a, x, Op::Read);
+        let tree = Arc::new(tree);
+        let mut o = MossObject::new(Arc::clone(&tree), x, 0, LockMode::ReadWrite);
+        o.apply(&Action::Create(w1));
+        o.apply(&Action::RequestCommit(w1, Value::Ok));
+        o.apply(&Action::InformCommit(ObjId(0), w1));
+        o.apply(&Action::InformCommit(ObjId(0), a1));
+        // a now holds the write lock with value 1.
+        assert_eq!(o.current_value(), 1);
+        o.apply(&Action::Create(w2));
+        o.apply(&Action::RequestCommit(w2, Value::Ok));
+        assert_eq!(o.current_value(), 2);
+        // Abort w2 alone: restores a's value 1.
+        o.apply(&Action::InformAbort(ObjId(0), w2));
+        assert_eq!(o.current_value(), 1);
+        o.apply(&Action::Create(r));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(r, Value::Int(1))]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Property tests for the §5.3 lemmas about `M1_X`, driven by a randomized
+//! controller-faithful harness (creates, responses, ascending-order
+//! informs, and subtree aborts):
+//!
+//! * **Lemma 9** (conflicting lockholders form an ancestor chain) is
+//!   asserted inside `M1_X` after every step in debug builds — these tests
+//!   exercise it thousands of times.
+//! * **Lemma 10**: after a non-orphan access responds, the highest
+//!   ancestor to which it is lock-visible holds the corresponding lock.
+//! * **Lemma 13** (instantiated at enabled reads): the value `M1_X` offers
+//!   a read equals the `final-value` of the responded writes that are
+//!   lock-visible to the reader.
+
+use nt_locking::{LockMode, MossObject};
+use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
+use nt_automata::Component;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Driver state mirroring what a generic controller would know.
+struct Driver {
+    tree: Arc<TxTree>,
+    obj: MossObject,
+    /// Accesses not yet created.
+    uncreated: Vec<TxId>,
+    /// Responded accesses, in response order, with their write data.
+    responded: Vec<(TxId, Option<i64>)>,
+    /// Transactions whose INFORM_COMMIT has been delivered.
+    informed_commit: BTreeSet<TxId>,
+    /// Transactions whose INFORM_ABORT has been delivered.
+    informed_abort: BTreeSet<TxId>,
+}
+
+impl Driver {
+    /// Lock-visibility per the paper (§5.3): informs for every ancestor of
+    /// `t` strictly below `lca(t, t2)`, delivered in ascending order. The
+    /// driver delivers informs leaf-to-root, so set membership suffices.
+    fn lock_visible(&self, t: TxId, t2: TxId) -> bool {
+        let stop = self.tree.lca(t, t2);
+        let mut cur = t;
+        while cur != stop {
+            if !self.informed_commit.contains(&cur) {
+                return false;
+            }
+            cur = self.tree.parent(cur).expect("ends at lca");
+        }
+        true
+    }
+
+    fn local_orphan(&self, t: TxId) -> bool {
+        self.tree
+            .ancestors(t)
+            .any(|u| self.informed_abort.contains(&u))
+    }
+
+    /// Lemma 13's reference value for reader `t`: the data of the last
+    /// responded write lock-visible to `t` (initial 0 otherwise).
+    fn expected_read_value(&self, t: TxId) -> i64 {
+        let mut v = 0;
+        for &(w, data) in &self.responded {
+            if let Some(d) = data {
+                if !self.local_orphan(w) && self.lock_visible(w, t) {
+                    v = d;
+                }
+            }
+        }
+        v
+    }
+
+    fn check_lemma10(&self) {
+        let (wl, rl) = self.obj.lockholders();
+        for &(t, data) in &self.responded {
+            if self.local_orphan(t) {
+                continue;
+            }
+            // Highest ancestor to which t is lock-visible.
+            let highest = self
+                .tree
+                .ancestors(t)
+                .filter(|&u| self.lock_visible(t, u))
+                .last()
+                .unwrap_or(t);
+            if data.is_some() {
+                assert!(
+                    wl.contains(&highest),
+                    "Lemma 10: write lock for {t} must sit at {highest}"
+                );
+            } else {
+                assert!(
+                    rl.contains(&highest) || wl.contains(&highest),
+                    "Lemma 10: read lock for {t} must sit at {highest}"
+                );
+            }
+        }
+    }
+
+    fn check_lemma13_on_enabled_reads(&self) {
+        let mut buf = Vec::new();
+        self.obj.enabled_outputs(&mut buf);
+        for a in buf {
+            if let Action::RequestCommit(t, Value::Int(v)) = a {
+                let expect = self.expected_read_value(t);
+                assert_eq!(
+                    v, expect,
+                    "Lemma 13: read {t} offered {v}, lock-visible final value is {expect}"
+                );
+            }
+        }
+    }
+}
+
+/// Build a tree: `tops` top-level transactions × one access each to X0,
+/// write/read per the bit pattern.
+fn build(tops: usize, writes: &[bool]) -> (Arc<TxTree>, Vec<TxId>, Vec<TxId>) {
+    let mut tree = TxTree::new();
+    let x = tree.add_object();
+    let mut top = Vec::new();
+    let mut accesses = Vec::new();
+    for i in 0..tops {
+        let t = tree.add_inner(TxId::ROOT);
+        let op = if writes[i % writes.len()] {
+            Op::Write(100 + i as i64)
+        } else {
+            Op::Read
+        };
+        accesses.push(tree.add_access(t, x, op));
+        top.push(t);
+    }
+    (Arc::new(tree), top, accesses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lemmas_hold_under_random_schedules(
+        tops in 2usize..6,
+        writes in prop::collection::vec(any::<bool>(), 1..6),
+        choices in prop::collection::vec(any::<u16>(), 4..60),
+    ) {
+        let (tree, top, accesses) = build(tops, &writes);
+        let mut d = Driver {
+            obj: MossObject::new(Arc::clone(&tree), ObjId(0), 0, LockMode::ReadWrite),
+            uncreated: accesses.clone(),
+            responded: Vec::new(),
+            informed_commit: BTreeSet::new(),
+            informed_abort: BTreeSet::new(),
+            tree: Arc::clone(&tree),
+        };
+        for &c in &choices {
+            match c % 4 {
+                // Create a pending access.
+                0 if !d.uncreated.is_empty() => {
+                    let t = d.uncreated.remove(c as usize % d.uncreated.len());
+                    d.obj.apply(&Action::Create(t));
+                }
+                // Fire an enabled response.
+                1 => {
+                    let mut buf = Vec::new();
+                    d.obj.enabled_outputs(&mut buf);
+                    if !buf.is_empty() {
+                        let a = buf[c as usize % buf.len()].clone();
+                        if let Action::RequestCommit(t, _) = &a {
+                            let data = tree.op_of(*t).and_then(|op| op.write_data());
+                            d.responded.push((*t, data));
+                        }
+                        d.obj.apply(&a);
+                    }
+                }
+                // Commit-and-inform a responded access and its parent
+                // (ascending order), if not already done or dead.
+                2 => {
+                    let candidates: Vec<TxId> = d
+                        .responded
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| {
+                            !d.informed_commit.contains(&t) && !d.local_orphan(t)
+                        })
+                        .collect();
+                    if !candidates.is_empty() {
+                        let t = candidates[c as usize % candidates.len()];
+                        d.obj.apply(&Action::InformCommit(ObjId(0), t));
+                        d.informed_commit.insert(t);
+                        let p = tree.parent(t).unwrap();
+                        if p != TxId::ROOT && !d.informed_commit.contains(&p) {
+                            d.obj.apply(&Action::InformCommit(ObjId(0), p));
+                            d.informed_commit.insert(p);
+                        }
+                    }
+                }
+                // Abort a top-level transaction that has not committed.
+                _ => {
+                    let candidates: Vec<TxId> = top
+                        .iter()
+                        .copied()
+                        .filter(|t| {
+                            !d.informed_commit.contains(t) && !d.informed_abort.contains(t)
+                        })
+                        .collect();
+                    // Abort rarely, and only if something else remains live.
+                    if !candidates.is_empty() && c % 16 == 3 {
+                        let t = candidates[c as usize % candidates.len()];
+                        d.obj.apply(&Action::InformAbort(ObjId(0), t));
+                        d.informed_abort.insert(t);
+                    }
+                }
+            }
+            d.check_lemma10();
+            d.check_lemma13_on_enabled_reads();
+        }
+    }
+}
+
+/// A deterministic end-to-end walk of Lemma 13: nested writers at
+/// different levels, informs flowing up, a read observing each stage.
+#[test]
+fn lemma13_value_tracks_lock_visibility_stages() {
+    let mut tree = TxTree::new();
+    let x = tree.add_object();
+    let a = tree.add_inner(TxId::ROOT);
+    let a1 = tree.add_inner(a);
+    let w = tree.add_access(a1, x, Op::Write(7));
+    let r_in_a = tree.add_access(a, x, Op::Read);
+    let b = tree.add_inner(TxId::ROOT);
+    let r_out = tree.add_access(b, x, Op::Read);
+    let tree = Arc::new(tree);
+    let mut o = MossObject::new(Arc::clone(&tree), x, 0, LockMode::ReadWrite);
+
+    o.apply(&Action::Create(w));
+    o.apply(&Action::RequestCommit(w, Value::Ok));
+    // Stage 1: w uncommitted — the sibling-level read inside a waits; the
+    // outside read waits too.
+    o.apply(&Action::Create(r_in_a));
+    o.apply(&Action::Create(r_out));
+    let mut buf = Vec::new();
+    o.enabled_outputs(&mut buf);
+    assert!(buf.is_empty());
+    // Stage 2: w committed → lock at a1; r_in_a still waits (a1 is not its
+    // ancestor); commit a1 → lock at a; now r_in_a sees 7, r_out still
+    // waits.
+    o.apply(&Action::InformCommit(x, w));
+    o.apply(&Action::InformCommit(x, a1));
+    buf.clear();
+    o.enabled_outputs(&mut buf);
+    assert_eq!(buf, vec![Action::RequestCommit(r_in_a, Value::Int(7))]);
+    o.apply(&buf[0]);
+    // Stage 3: a commits → lock at T0 → the outside read sees 7.
+    o.apply(&Action::InformCommit(x, r_in_a));
+    o.apply(&Action::InformCommit(x, a));
+    buf.clear();
+    o.enabled_outputs(&mut buf);
+    assert_eq!(buf, vec![Action::RequestCommit(r_out, Value::Int(7))]);
+}

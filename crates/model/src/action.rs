@@ -1,0 +1,207 @@
+//! The global action alphabet and the paper's derived maps over actions.
+//!
+//! The first seven variants are the *serial actions* of §2.2.4 (the external
+//! actions of the serial system); `InformCommit`/`InformAbort` are the extra
+//! input actions of *generic* objects (§5.1) and are stripped by
+//! [`Action::is_serial`] / the `serial(β)` projection.
+
+use crate::tree::{ObjId, TxId, TxTree};
+use crate::value::Value;
+use std::fmt;
+
+/// One action of a nested transaction system.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `CREATE(T)`: wakes up transaction `T` (for accesses: the invocation
+    /// of the operation at its object).
+    Create(TxId),
+    /// `REQUEST_CREATE(T)`: `parent(T)` asks for child `T` to be created.
+    RequestCreate(TxId),
+    /// `REQUEST_COMMIT(T, v)`: `T` announces it finished with value `v`
+    /// (for accesses: the object's response to the invocation).
+    RequestCommit(TxId, Value),
+    /// `COMMIT(T)`: the decision that `T` commits (irrevocable).
+    Commit(TxId),
+    /// `ABORT(T)`: the decision that `T` aborts (irrevocable).
+    Abort(TxId),
+    /// `REPORT_COMMIT(T, v)`: tells `parent(T)` that `T` committed with `v`.
+    ReportCommit(TxId, Value),
+    /// `REPORT_ABORT(T)`: tells `parent(T)` that `T` aborted.
+    ReportAbort(TxId),
+    /// `INFORM_COMMIT_AT(X) OF(T)`: tells generic object `X` that `T`
+    /// committed. Not a serial action.
+    InformCommit(ObjId, TxId),
+    /// `INFORM_ABORT_AT(X) OF(T)`: tells generic object `X` that `T`
+    /// aborted. Not a serial action.
+    InformAbort(ObjId, TxId),
+}
+
+impl Action {
+    /// True iff this is one of the seven serial actions (§2.2.4).
+    pub fn is_serial(&self) -> bool {
+        !matches!(self, Action::InformCommit(..) | Action::InformAbort(..))
+    }
+
+    /// True iff this is a completion action (`COMMIT` or `ABORT`).
+    pub fn is_completion(&self) -> bool {
+        matches!(self, Action::Commit(_) | Action::Abort(_))
+    }
+
+    /// True iff this is a report action (`REPORT_COMMIT` or `REPORT_ABORT`).
+    pub fn is_report(&self) -> bool {
+        matches!(self, Action::ReportCommit(..) | Action::ReportAbort(_))
+    }
+
+    /// The transaction name syntactically mentioned by this action
+    /// (the `T` in `CREATE(T)`, `COMMIT(T)`, `INFORM_ABORT_AT(X)OF(T)`, …).
+    pub fn subject(&self) -> TxId {
+        match self {
+            Action::Create(t)
+            | Action::RequestCreate(t)
+            | Action::RequestCommit(t, _)
+            | Action::Commit(t)
+            | Action::Abort(t)
+            | Action::ReportCommit(t, _)
+            | Action::ReportAbort(t)
+            | Action::InformCommit(_, t)
+            | Action::InformAbort(_, t) => *t,
+        }
+    }
+
+    /// The paper's `transaction(π)` (§2.2.4): the transaction an action
+    /// "belongs to". For `REQUEST_CREATE(T')` and report actions this is
+    /// `parent(T')`; for `CREATE(T)`/`REQUEST_COMMIT(T, v)` it is `T`.
+    /// Undefined (`None`) for completion and inform actions.
+    pub fn transaction(&self, tree: &TxTree) -> Option<TxId> {
+        match self {
+            Action::Create(t) | Action::RequestCommit(t, _) => Some(*t),
+            Action::RequestCreate(t) | Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                tree.parent(*t)
+            }
+            Action::Commit(_) | Action::Abort(_) => None,
+            Action::InformCommit(..) | Action::InformAbort(..) => None,
+        }
+    }
+
+    /// The paper's `hightransaction(π)` (§2.2.4): `transaction(π)` for
+    /// non-completion serial actions, and `parent(T)` for a completion
+    /// action of `T`. Undefined for inform actions.
+    pub fn hightransaction(&self, tree: &TxTree) -> Option<TxId> {
+        match self {
+            Action::Commit(t) | Action::Abort(t) => tree.parent(*t),
+            Action::InformCommit(..) | Action::InformAbort(..) => None,
+            _ => self.transaction(tree),
+        }
+    }
+
+    /// The paper's `lowtransaction(π)` (§2.2.4): `transaction(π)` for
+    /// non-completion serial actions, and `T` itself for a completion
+    /// action of `T`. Undefined for inform actions.
+    pub fn lowtransaction(&self, tree: &TxTree) -> Option<TxId> {
+        match self {
+            Action::Commit(t) | Action::Abort(t) => Some(*t),
+            Action::InformCommit(..) | Action::InformAbort(..) => None,
+            _ => self.transaction(tree),
+        }
+    }
+
+    /// The paper's `object(π)` (§2.2.4): for `CREATE(T)` or
+    /// `REQUEST_COMMIT(T, v)` where `T` is an access to `X`, the object `X`.
+    pub fn object(&self, tree: &TxTree) -> Option<ObjId> {
+        match self {
+            Action::Create(t) | Action::RequestCommit(t, _) => tree.object_of(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Create(t) => write!(f, "CREATE({t})"),
+            Action::RequestCreate(t) => write!(f, "REQUEST_CREATE({t})"),
+            Action::RequestCommit(t, v) => write!(f, "REQUEST_COMMIT({t},{v})"),
+            Action::Commit(t) => write!(f, "COMMIT({t})"),
+            Action::Abort(t) => write!(f, "ABORT({t})"),
+            Action::ReportCommit(t, v) => write!(f, "REPORT_COMMIT({t},{v})"),
+            Action::ReportAbort(t) => write!(f, "REPORT_ABORT({t})"),
+            Action::InformCommit(x, t) => write!(f, "INFORM_COMMIT_AT({x})OF({t})"),
+            Action::InformAbort(x, t) => write!(f, "INFORM_ABORT_AT({x})OF({t})"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn setup() -> (TxTree, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Read);
+        (tree, a, u)
+    }
+
+    #[test]
+    fn serial_classification() {
+        let (_, a, _) = setup();
+        assert!(Action::Create(a).is_serial());
+        assert!(Action::Commit(a).is_serial());
+        assert!(!Action::InformCommit(ObjId(0), a).is_serial());
+        assert!(Action::Commit(a).is_completion());
+        assert!(!Action::Create(a).is_completion());
+        assert!(Action::ReportAbort(a).is_report());
+    }
+
+    #[test]
+    fn transaction_map_follows_paper() {
+        let (tree, a, u) = setup();
+        // CREATE(T) and REQUEST_COMMIT(T, v) belong to T itself.
+        assert_eq!(Action::Create(a).transaction(&tree), Some(a));
+        assert_eq!(
+            Action::RequestCommit(u, Value::Int(0)).transaction(&tree),
+            Some(u)
+        );
+        // REQUEST_CREATE(T') and reports about T' belong to parent(T').
+        assert_eq!(Action::RequestCreate(u).transaction(&tree), Some(a));
+        assert_eq!(
+            Action::ReportCommit(a, Value::Ok).transaction(&tree),
+            Some(TxId::ROOT)
+        );
+        assert_eq!(Action::ReportAbort(u).transaction(&tree), Some(a));
+        // Completion actions have no transaction().
+        assert_eq!(Action::Commit(a).transaction(&tree), None);
+    }
+
+    #[test]
+    fn high_and_low_transaction() {
+        let (tree, a, u) = setup();
+        assert_eq!(Action::Commit(u).hightransaction(&tree), Some(a));
+        assert_eq!(Action::Commit(u).lowtransaction(&tree), Some(u));
+        assert_eq!(Action::Abort(a).hightransaction(&tree), Some(TxId::ROOT));
+        assert_eq!(Action::Abort(a).lowtransaction(&tree), Some(a));
+        assert_eq!(Action::Create(u).hightransaction(&tree), Some(u));
+        assert_eq!(Action::Create(u).lowtransaction(&tree), Some(u));
+        assert_eq!(Action::RequestCreate(u).lowtransaction(&tree), Some(a));
+    }
+
+    #[test]
+    fn object_map() {
+        let (tree, a, u) = setup();
+        assert_eq!(Action::Create(u).object(&tree), Some(ObjId(0)));
+        assert_eq!(
+            Action::RequestCommit(u, Value::Int(1)).object(&tree),
+            Some(ObjId(0))
+        );
+        assert_eq!(Action::Create(a).object(&tree), None);
+        assert_eq!(Action::Commit(u).object(&tree), None);
+    }
+}

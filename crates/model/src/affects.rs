@@ -1,0 +1,339 @@
+//! The `directly-affects` / `affects` dependency relations and the
+//! *suitability* condition on sibling orders (§2.3.2, Lemma 1).
+//!
+//! These are used by the direct (non-graph) validation path: given a sibling
+//! order, check that it is suitable for a behavior and a transaction. The
+//! production checker never needs this — Theorem 8's proof shows suitability
+//! follows from acyclicity — but the direct check is an independent oracle
+//! for tests, so it favors clarity over asymptotics.
+
+use crate::action::Action;
+use crate::order::SiblingOrder;
+use crate::seq::visible_indices;
+use crate::tree::{TxId, TxTree};
+use std::collections::HashMap;
+
+/// The edges of `directly-affects(β)` as index pairs `(i, j)` with `i < j`.
+///
+/// Per §2.3.2, `(φ, π) ∈ directly-affects(β)` iff one of:
+/// 1. `transaction(φ) = transaction(π)` and `φ` precedes `π`;
+/// 2. `φ = REQUEST_CREATE(T)`, `π = CREATE(T)`;
+/// 3. `φ = REQUEST_COMMIT(T, v)`, `π = COMMIT(T)`;
+/// 4. `φ = REQUEST_CREATE(T)`, `π = ABORT(T)`;
+/// 5. `φ = COMMIT(T)`, `π = REPORT_COMMIT(T, v)`;
+/// 6. `φ = ABORT(T)`, `π = REPORT_ABORT(T)`.
+///
+/// Rule 1 is emitted as consecutive-pair chain edges (transitively
+/// equivalent and linear in size).
+pub fn directly_affects_edges(tree: &TxTree, beta: &[Action]) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    // Rule 1: chain per transaction.
+    let mut last_of_tx: HashMap<TxId, usize> = HashMap::new();
+    // Rules 2–6: remember relevant earlier events per subject transaction.
+    let mut request_create: HashMap<TxId, usize> = HashMap::new();
+    let mut request_commit: HashMap<TxId, usize> = HashMap::new();
+    let mut commit: HashMap<TxId, usize> = HashMap::new();
+    let mut abort: HashMap<TxId, usize> = HashMap::new();
+
+    for (j, a) in beta.iter().enumerate() {
+        if let Some(t) = a.transaction(tree) {
+            if let Some(&i) = last_of_tx.get(&t) {
+                edges.push((i, j));
+            }
+            last_of_tx.insert(t, j);
+        }
+        match a {
+            Action::RequestCreate(t) => {
+                request_create.insert(*t, j);
+            }
+            Action::RequestCommit(t, _) => {
+                request_commit.insert(*t, j);
+            }
+            Action::Create(t) => {
+                if let Some(&i) = request_create.get(t) {
+                    edges.push((i, j));
+                }
+            }
+            Action::Commit(t) => {
+                if let Some(&i) = request_commit.get(t) {
+                    edges.push((i, j));
+                }
+                commit.insert(*t, j);
+            }
+            Action::Abort(t) => {
+                if let Some(&i) = request_create.get(t) {
+                    edges.push((i, j));
+                }
+                abort.insert(*t, j);
+            }
+            Action::ReportCommit(t, _) => {
+                if let Some(&i) = commit.get(t) {
+                    edges.push((i, j));
+                }
+            }
+            Action::ReportAbort(t) => {
+                if let Some(&i) = abort.get(t) {
+                    edges.push((i, j));
+                }
+            }
+            _ => {}
+        }
+    }
+    edges
+}
+
+/// Does `φ = beta[i]` affect `π = beta[j]` in `beta`?
+///
+/// `affects(β)` is the transitive closure of `directly-affects(β)`;
+/// answered by forward search over the edge DAG.
+pub fn affects(tree: &TxTree, beta: &[Action], i: usize, j: usize) -> bool {
+    if i >= j {
+        return false;
+    }
+    let edges = directly_affects_edges(tree, beta);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); beta.len()];
+    for (a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut stack = vec![i];
+    let mut seen = vec![false; beta.len()];
+    seen[i] = true;
+    while let Some(v) = stack.pop() {
+        if v == j {
+            return true;
+        }
+        for &w in &adj[v] {
+            if !seen[w] && w <= j {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Why a sibling order fails to be suitable (§2.3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnsuitableReason {
+    /// Condition 1 fails: a pair of sibling lowtransactions of visible
+    /// events is unordered.
+    UnorderedSiblings(TxId, TxId),
+    /// Condition 2 fails: `R_event(β) ∪ affects(β)` has a cycle on the
+    /// visible events (witnessed by one event index on the cycle).
+    Inconsistent(usize),
+}
+
+/// Check that `order` is *suitable* for `beta` and `t` (§2.3.2):
+///
+/// 1. it orders all pairs of siblings that are lowtransactions of events in
+///    `visible(β, t)`, and
+/// 2. `R_event(β)` and `affects(β)` are consistent partial orders on the
+///    events of `visible(β, t)` — i.e. their union is acyclic.
+///
+/// Quadratic in the number of visible events; intended for test oracles.
+pub fn check_suitable(
+    tree: &TxTree,
+    beta: &[Action],
+    t: TxId,
+    order: &SiblingOrder,
+) -> Result<(), UnsuitableReason> {
+    let vis = visible_indices(tree, beta, t);
+    let lows: Vec<Option<TxId>> = vis
+        .iter()
+        .map(|&i| beta[i].lowtransaction(tree))
+        .collect();
+
+    // Condition 1: all sibling lowtransaction pairs ordered.
+    for (p, &li) in lows.iter().enumerate() {
+        for &lj in lows.iter().skip(p + 1) {
+            if let (Some(a), Some(b)) = (li, lj) {
+                if tree.are_siblings(a, b) && !order.relates(a, b) {
+                    return Err(UnsuitableReason::UnorderedSiblings(a, b));
+                }
+            }
+        }
+    }
+
+    // Condition 2: union of R_event and affects acyclic on visible events.
+    let n = vis.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let index_of: HashMap<usize, usize> = vis.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    for (a, b) in directly_affects_edges(tree, beta) {
+        if let (Some(&ka), Some(&kb)) = (index_of.get(&a), index_of.get(&b)) {
+            adj[ka].push(kb);
+        }
+    }
+    for ka in 0..n {
+        for kb in 0..n {
+            if ka == kb {
+                continue;
+            }
+            if order.r_event(tree, &beta[vis[ka]], &beta[vis[kb]]) == Some(true) {
+                adj[ka].push(kb);
+            }
+        }
+    }
+    match find_cycle_vertex(&adj) {
+        Some(k) => Err(UnsuitableReason::Inconsistent(vis[k])),
+        None => Ok(()),
+    }
+}
+
+/// Return a vertex on some cycle of the digraph, or `None` if acyclic.
+/// Iterative colored DFS.
+pub(crate) fn find_cycle_vertex(adj: &[Vec<usize>]) -> Option<usize> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adj.len();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // stack of (vertex, next-edge-index)
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < adj[v].len() {
+                let w = adj[v][*next];
+                *next += 1;
+                match color[w] {
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Gray => return Some(w),
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: is `order` suitable for `beta` and `t`?
+pub fn is_suitable(tree: &TxTree, beta: &[Action], t: TxId, order: &SiblingOrder) -> bool {
+    check_suitable(tree, beta, t, order).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::value::Value;
+
+    fn two_tx_behavior() -> (TxTree, TxId, TxId, Vec<Action>) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Write(1));
+        let w = tree.add_access(b, x, Op::Read);
+        let beta = vec![
+            Action::RequestCreate(a),      // 0
+            Action::Create(a),             // 1
+            Action::RequestCreate(u),      // 2
+            Action::Create(u),             // 3
+            Action::RequestCommit(u, Value::Ok), // 4
+            Action::Commit(u),             // 5
+            Action::ReportCommit(u, Value::Ok), // 6
+            Action::RequestCommit(a, Value::Ok), // 7
+            Action::Commit(a),             // 8
+            Action::ReportCommit(a, Value::Ok), // 9  (report to T0)
+            Action::RequestCreate(b),      // 10 (T0 saw a finish first)
+            Action::Create(b),             // 11
+            Action::RequestCreate(w),      // 12
+            Action::Create(w),             // 13
+            Action::RequestCommit(w, Value::Int(1)), // 14
+            Action::Commit(w),             // 15
+            Action::ReportCommit(w, Value::Int(1)), // 16
+            Action::RequestCommit(b, Value::Ok), // 17
+            Action::Commit(b),             // 18
+        ];
+        (tree, a, b, beta)
+    }
+
+    #[test]
+    fn directly_affects_contains_protocol_edges() {
+        let (tree, _a, _b, beta) = two_tx_behavior();
+        let edges = directly_affects_edges(&tree, &beta);
+        assert!(edges.contains(&(0, 1)), "REQUEST_CREATE→CREATE");
+        assert!(edges.contains(&(4, 5)), "REQUEST_COMMIT→COMMIT");
+        assert!(edges.contains(&(5, 6)), "COMMIT→REPORT_COMMIT");
+        // Chain edge inside transaction a: CREATE(a) → REQUEST_CREATE(u).
+        assert!(edges.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn affects_is_transitive() {
+        let (tree, _a, _b, beta) = two_tx_behavior();
+        // REQUEST_CREATE(a) transitively affects COMMIT(a).
+        assert!(affects(&tree, &beta, 0, 8));
+        // …and through T0's chain (report to T0, then REQUEST_CREATE(b))
+        // it transitively affects b's commit.
+        assert!(affects(&tree, &beta, 0, 18));
+        // Nothing affects an earlier event.
+        assert!(!affects(&tree, &beta, 8, 0));
+    }
+
+    #[test]
+    fn abort_edges() {
+        let mut tree = TxTree::new();
+        let a = tree.add_inner(TxId::ROOT);
+        let beta = vec![
+            Action::RequestCreate(a),
+            Action::Abort(a),
+            Action::ReportAbort(a),
+        ];
+        let edges = directly_affects_edges(&tree, &beta);
+        assert!(edges.contains(&(0, 1)), "REQUEST_CREATE→ABORT");
+        assert!(edges.contains(&(1, 2)), "ABORT→REPORT_ABORT");
+    }
+
+    #[test]
+    fn suitable_order_accepted() {
+        let (tree, a, b, beta) = two_tx_behavior();
+        let order = SiblingOrder::from_lists([(TxId::ROOT, vec![a, b])]);
+        assert!(is_suitable(&tree, &beta, TxId::ROOT, &order));
+    }
+
+    #[test]
+    fn reversed_order_against_precedence_is_unsuitable() {
+        let (tree, a, b, beta) = two_tx_behavior();
+        // b after a is forced: T0 received a's report before requesting b,
+        // so affects(β) orders a's events before b's. Ordering b < a makes
+        // R_event clash with affects → inconsistent.
+        let order = SiblingOrder::from_lists([(TxId::ROOT, vec![b, a])]);
+        assert!(matches!(
+            check_suitable(&tree, &beta, TxId::ROOT, &order),
+            Err(UnsuitableReason::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn missing_sibling_pair_is_unsuitable() {
+        let (tree, a, b, beta) = two_tx_behavior();
+        let order = SiblingOrder::from_lists([(TxId::ROOT, Vec::<TxId>::new())]);
+        match check_suitable(&tree, &beta, TxId::ROOT, &order) {
+            Err(UnsuitableReason::UnorderedSiblings(x, y)) => {
+                assert!((x == a && y == b) || (x == b && y == a));
+            }
+            other => panic!("expected unordered siblings, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_finder_basics() {
+        assert_eq!(find_cycle_vertex(&[vec![1], vec![2], vec![]]), None);
+        assert!(find_cycle_vertex(&[vec![1], vec![2], vec![0]]).is_some());
+        assert_eq!(find_cycle_vertex(&[]), None);
+        assert!(find_cycle_vertex(&[vec![0]]).is_some(), "self-loop");
+    }
+}

@@ -1,0 +1,163 @@
+//! Operation kinds carried by access names.
+//!
+//! In the paper, "all parameters of an access are regarded as encoded in its
+//! name" — the functions `kind(T)` and `data(T)` decode whether a read/write
+//! access is a read or a write and, for writes, the value written (§3.1).
+//! `Op` generalizes this to the arbitrary data types of §6: each access name
+//! carries its full operation, and each serial type interprets the subset of
+//! operations it supports.
+
+use std::fmt;
+
+/// The operation performed by an access.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    // --- read/write objects (§3.1) ---
+    /// Read the current value of a register.
+    Read,
+    /// Overwrite a register with the given value.
+    Write(i64),
+
+    // --- counter ---
+    /// Add a (possibly negative) delta to a counter. Returns `OK`.
+    Add(i64),
+    /// Read the counter total.
+    GetCount,
+
+    // --- bank account ---
+    /// Unconditionally deposit an amount. Returns `OK`.
+    Deposit(i64),
+    /// Conditionally withdraw: succeeds (returns `true`) iff the balance
+    /// is sufficient, otherwise leaves the balance unchanged and returns
+    /// `false`.
+    Withdraw(i64),
+    /// Read the balance.
+    Balance,
+
+    // --- set of integers ---
+    /// Insert an element. Returns `OK`.
+    Insert(i64),
+    /// Remove an element. Returns `OK`.
+    Remove(i64),
+    /// Membership test.
+    Contains(i64),
+    /// Cardinality.
+    Size,
+
+    // --- FIFO queue ---
+    /// Append an element at the back. Returns `OK`.
+    Enqueue(i64),
+    /// Remove and return the front element (`Nil` if empty).
+    Dequeue,
+
+    // --- key-value map ---
+    /// Bind `key` to `value`. Returns `OK`.
+    Put(i64, i64),
+    /// Look up a key (`Nil` if unbound).
+    Get(i64),
+    /// Unbind a key (blind). Returns `OK`.
+    Delete(i64),
+}
+
+impl Op {
+    /// True iff this is the read operation of a read/write object.
+    pub fn is_rw_read(&self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// True iff this is the write operation of a read/write object.
+    pub fn is_rw_write(&self) -> bool {
+        matches!(self, Op::Write(_))
+    }
+
+    /// The paper's `data(T)`: for a write access, the value written.
+    pub fn write_data(&self) -> Option<i64> {
+        match self {
+            Op::Write(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// True iff the operation is a pure observer (never changes state).
+    ///
+    /// Observers of the same object always commute backward with each other.
+    pub fn is_observer(&self) -> bool {
+        matches!(
+            self,
+            Op::Read
+                | Op::GetCount
+                | Op::Balance
+                | Op::Contains(_)
+                | Op::Size
+                | Op::Get(_)
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => write!(f, "read"),
+            Op::Write(d) => write!(f, "write({d})"),
+            Op::Add(d) => write!(f, "add({d})"),
+            Op::GetCount => write!(f, "get_count"),
+            Op::Deposit(a) => write!(f, "deposit({a})"),
+            Op::Withdraw(a) => write!(f, "withdraw({a})"),
+            Op::Balance => write!(f, "balance"),
+            Op::Insert(e) => write!(f, "insert({e})"),
+            Op::Remove(e) => write!(f, "remove({e})"),
+            Op::Contains(e) => write!(f, "contains({e})"),
+            Op::Size => write!(f, "size"),
+            Op::Enqueue(e) => write!(f, "enqueue({e})"),
+            Op::Dequeue => write!(f, "dequeue"),
+            Op::Put(k, v) => write!(f, "put({k},{v})"),
+            Op::Get(k) => write!(f, "get({k})"),
+            Op::Delete(k) => write!(f, "delete({k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_classification() {
+        assert!(Op::Read.is_rw_read());
+        assert!(!Op::Read.is_rw_write());
+        assert!(Op::Write(1).is_rw_write());
+        assert_eq!(Op::Write(9).write_data(), Some(9));
+        assert_eq!(Op::Read.write_data(), None);
+    }
+
+    #[test]
+    fn observers() {
+        for op in [
+            Op::Read,
+            Op::GetCount,
+            Op::Balance,
+            Op::Contains(3),
+            Op::Size,
+        ] {
+            assert!(op.is_observer(), "{op} should be an observer");
+        }
+        for op in [
+            Op::Write(1),
+            Op::Add(1),
+            Op::Deposit(1),
+            Op::Withdraw(1),
+            Op::Insert(1),
+            Op::Remove(1),
+            Op::Enqueue(1),
+            Op::Dequeue,
+        ] {
+            assert!(!op.is_observer(), "{op} should not be an observer");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Op::Write(4).to_string(), "write(4)");
+        assert_eq!(Op::Dequeue.to_string(), "dequeue");
+    }
+}

@@ -1,0 +1,157 @@
+//! Sibling orders and their extensions `R_trans` and `R_event(β)` (§2.3.2).
+//!
+//! A *sibling order* is an irreflexive partial order relating only siblings
+//! in the naming tree. The Serializability Theorem consumes one that is
+//! *suitable* for a behavior; the serialization-graph construction produces
+//! one by topologically sorting each per-parent graph.
+
+use crate::action::Action;
+use crate::tree::{TxId, TxTree};
+use std::collections::HashMap;
+
+/// A sibling order: for each parent, a total order over (some of) its
+/// children. The union over parents is the paper's partial order `R`.
+#[derive(Clone, Debug, Default)]
+pub struct SiblingOrder {
+    /// child → (parent, position of child in parent's chosen total order)
+    pos: HashMap<TxId, (TxId, u32)>,
+}
+
+impl SiblingOrder {
+    /// Build from per-parent ordered child lists.
+    ///
+    /// Panics (debug) if a child appears under two parents or twice.
+    pub fn from_lists<I, L>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = (TxId, L)>,
+        L: IntoIterator<Item = TxId>,
+    {
+        let mut pos = HashMap::new();
+        for (parent, children) in lists {
+            for (i, c) in children.into_iter().enumerate() {
+                let prev = pos.insert(c, (parent, i as u32));
+                debug_assert!(prev.is_none(), "duplicate child {c:?} in sibling order");
+            }
+        }
+        SiblingOrder { pos }
+    }
+
+    /// Does the order relate `a` before `b`? (`Some(true)`: a < b;
+    /// `Some(false)`: b < a; `None`: unordered or not siblings.)
+    pub fn orders(&self, a: TxId, b: TxId) -> Option<bool> {
+        if a == b {
+            return None;
+        }
+        let (pa, ia) = *self.pos.get(&a)?;
+        let (pb, ib) = *self.pos.get(&b)?;
+        if pa != pb || ia == ib {
+            return None;
+        }
+        Some(ia < ib)
+    }
+
+    /// True iff the order relates the sibling pair `{a, b}` at all.
+    pub fn relates(&self, a: TxId, b: TxId) -> bool {
+        self.orders(a, b).is_some()
+    }
+
+    /// The paper's `R_trans`: `(a, b) ∈ R_trans` iff there are ancestors
+    /// `U` of `a` and `U'` of `b` with `(U, U') ∈ R`. Since `R` only
+    /// relates siblings, `U`/`U'` are the children of `lca(a, b)` on the
+    /// respective paths; the relation is empty when one argument is an
+    /// ancestor of the other.
+    ///
+    /// Returns `Some(true)` iff `(a, b) ∈ R_trans`, `Some(false)` iff
+    /// `(b, a) ∈ R_trans`, `None` if unrelated.
+    pub fn r_trans(&self, tree: &TxTree, a: TxId, b: TxId) -> Option<bool> {
+        if a == b {
+            return None;
+        }
+        let l = tree.lca(a, b);
+        if l == a || l == b {
+            return None; // ancestor-related: R_trans never applies
+        }
+        let u = tree.child_toward(l, a);
+        let u2 = tree.child_toward(l, b);
+        self.orders(u, u2)
+    }
+
+    /// The paper's `R_event(β)` on two *events* (given by their actions):
+    /// related iff both have lowtransactions and those are `R_trans`-related.
+    pub fn r_event(&self, tree: &TxTree, phi: &Action, pi: &Action) -> Option<bool> {
+        let low1 = phi.lowtransaction(tree)?;
+        let low2 = pi.lowtransaction(tree)?;
+        self.r_trans(tree, low1, low2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::value::Value;
+
+    /// T0 children: a, b (ordered a < b); a children: c, d (ordered d < c).
+    fn setup() -> (TxTree, TxId, TxId, TxId, TxId, SiblingOrder) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let c = tree.add_access(a, x, Op::Read);
+        let d = tree.add_access(a, x, Op::Write(1));
+        let order =
+            SiblingOrder::from_lists([(TxId::ROOT, vec![a, b]), (a, vec![d, c])]);
+        (tree, a, b, c, d, order)
+    }
+
+    #[test]
+    fn orders_siblings_only() {
+        let (_, a, b, c, d, order) = setup();
+        assert_eq!(order.orders(a, b), Some(true));
+        assert_eq!(order.orders(b, a), Some(false));
+        assert_eq!(order.orders(d, c), Some(true));
+        assert_eq!(order.orders(a, a), None);
+        assert_eq!(order.orders(a, c), None, "not siblings");
+    }
+
+    #[test]
+    fn r_trans_projects_to_lca_children() {
+        let (tree, a, b, c, d, order) = setup();
+        // c under a, b at top: lca = T0, children a vs b, a < b.
+        assert_eq!(order.r_trans(&tree, c, b), Some(true));
+        assert_eq!(order.r_trans(&tree, b, d), Some(false));
+        // Ancestor-related pairs are never R_trans-related.
+        assert_eq!(order.r_trans(&tree, a, c), None);
+        assert_eq!(order.r_trans(&tree, c, a), None);
+        // Siblings directly.
+        assert_eq!(order.r_trans(&tree, d, c), Some(true));
+    }
+
+    #[test]
+    fn r_event_uses_lowtransactions() {
+        let (tree, _a, b, c, _d, order) = setup();
+        // lowtransaction(COMMIT(c)) = c, lowtransaction(CREATE(b)) = b.
+        assert_eq!(
+            order.r_event(&tree, &Action::Commit(c), &Action::Create(b)),
+            Some(true)
+        );
+        // Events of the same transaction are unrelated by R_event.
+        assert_eq!(
+            order.r_event(
+                &tree,
+                &Action::Create(b),
+                &Action::RequestCommit(b, Value::Ok)
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn partial_coverage() {
+        let (tree, _, _, c, d, _) = setup();
+        let partial = SiblingOrder::from_lists([(TxId::ROOT, Vec::<TxId>::new())]);
+        assert_eq!(partial.orders(c, d), None);
+        assert_eq!(partial.r_trans(&tree, c, d), None);
+        assert!(!partial.relates(c, d));
+    }
+}

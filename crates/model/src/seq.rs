@@ -1,0 +1,356 @@
+//! Sequence algebra over behaviors: the derived operators of §2.2.4–§2.3
+//! (`visible`, `orphan`, `live`, `clean`, `operations`, `perform`, projections).
+//!
+//! All operators work on plain `&[Action]` slices plus the naming tree, and
+//! return *indices* into the original slice wherever the identity of events
+//! matters (the paper reasons about *events* — occurrences — not actions).
+
+use crate::action::Action;
+use crate::tree::{ObjId, TxId, TxTree};
+use crate::value::Value;
+
+/// Completion status of every transaction in a behavior: which names have a
+/// `COMMIT` event and which have an `ABORT` event.
+///
+/// Backed by dense bitmaps over the tree arena, so queries are O(1) and
+/// visibility/orphan walks are O(depth).
+#[derive(Clone, Debug)]
+pub struct Status {
+    committed: Vec<bool>,
+    aborted: Vec<bool>,
+}
+
+impl Status {
+    /// Scan a behavior and record every completion event.
+    pub fn of(tree: &TxTree, beta: &[Action]) -> Status {
+        let mut committed = vec![false; tree.len()];
+        let mut aborted = vec![false; tree.len()];
+        for a in beta {
+            match a {
+                Action::Commit(t) => committed[t.index()] = true,
+                Action::Abort(t) => aborted[t.index()] = true,
+                _ => {}
+            }
+        }
+        Status { committed, aborted }
+    }
+
+    /// True iff `COMMIT(t)` occurs.
+    #[inline]
+    pub fn is_committed(&self, t: TxId) -> bool {
+        self.committed[t.index()]
+    }
+
+    /// True iff `ABORT(t)` occurs.
+    #[inline]
+    pub fn is_aborted(&self, t: TxId) -> bool {
+        self.aborted[t.index()]
+    }
+
+    /// True iff some completion event for `t` occurs.
+    #[inline]
+    pub fn is_completed(&self, t: TxId) -> bool {
+        self.is_committed(t) || self.is_aborted(t)
+    }
+
+    /// The paper's *visible* relation: `from` is visible to `to` iff every
+    /// transaction in `ancestors(from) − ancestors(to)` has committed —
+    /// equivalently, every ancestor of `from` strictly below `lca(from, to)`,
+    /// including `from` itself, has committed.
+    pub fn is_visible(&self, tree: &TxTree, from: TxId, to: TxId) -> bool {
+        let stop = tree.lca(from, to);
+        let mut cur = from;
+        while cur != stop {
+            if !self.is_committed(cur) {
+                return false;
+            }
+            cur = tree.parent(cur).expect("walk ends at lca before root");
+        }
+        true
+    }
+
+    /// The paper's *orphan* predicate: some ancestor of `t` has aborted.
+    pub fn is_orphan(&self, tree: &TxTree, t: TxId) -> bool {
+        tree.ancestors(t).any(|u| self.is_aborted(u))
+    }
+}
+
+/// True iff `t` is *live* in `beta`: created but not completed (§2.2.4).
+pub fn is_live(beta: &[Action], t: TxId) -> bool {
+    let mut created = false;
+    for a in beta {
+        match a {
+            Action::Create(u) if *u == t => created = true,
+            Action::Commit(u) | Action::Abort(u) if *u == t => return false,
+            _ => {}
+        }
+    }
+    created
+}
+
+/// Indices of the serial actions in `beta` — the `serial(β)` projection.
+pub fn serial_indices(beta: &[Action]) -> Vec<usize> {
+    (0..beta.len()).filter(|&i| beta[i].is_serial()).collect()
+}
+
+/// Owned `serial(β)`.
+pub fn serial_projection(beta: &[Action]) -> Vec<Action> {
+    beta.iter().filter(|a| a.is_serial()).cloned().collect()
+}
+
+/// Indices of `visible(β, t)`: serial actions whose `hightransaction` is
+/// visible to `t` in `beta` (§2.3.2).
+pub fn visible_indices(tree: &TxTree, beta: &[Action], t: TxId) -> Vec<usize> {
+    let status = Status::of(tree, beta);
+    visible_indices_with(tree, beta, t, &status)
+}
+
+/// As [`visible_indices`], with a precomputed [`Status`] (the status must be
+/// the status *of `beta`* — visibility is judged against the whole sequence).
+pub fn visible_indices_with(
+    tree: &TxTree,
+    beta: &[Action],
+    t: TxId,
+    status: &Status,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, a) in beta.iter().enumerate() {
+        if let Some(high) = a.hightransaction(tree) {
+            if status.is_visible(tree, high, t) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// Indices of `clean(β)`: serial actions whose `hightransaction` is not an
+/// orphan in `beta` (§3.3).
+pub fn clean_indices(tree: &TxTree, beta: &[Action]) -> Vec<usize> {
+    let status = Status::of(tree, beta);
+    let mut out = Vec::new();
+    for (i, a) in beta.iter().enumerate() {
+        if let Some(high) = a.hightransaction(tree) {
+            if !status.is_orphan(tree, high) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// Materialize a projection given by `indices` of `beta`.
+pub fn project(beta: &[Action], indices: &[usize]) -> Vec<Action> {
+    indices.iter().map(|&i| beta[i].clone()).collect()
+}
+
+/// The projection `β|T` of §2.2.4: serial actions `π` with
+/// `transaction(π) = t`.
+pub fn tx_projection(tree: &TxTree, beta: &[Action], t: TxId) -> Vec<Action> {
+    beta.iter()
+        .filter(|a| a.transaction(tree) == Some(t))
+        .cloned()
+        .collect()
+}
+
+/// The projection `β|X` of §2.2.4: serial actions `π` with `object(π) = x`.
+pub fn obj_projection(tree: &TxTree, beta: &[Action], x: ObjId) -> Vec<Action> {
+    beta.iter()
+        .filter(|a| a.object(tree) == Some(x))
+        .cloned()
+        .collect()
+}
+
+/// An *operation* of an object: the pair `(T, v)` of an access name and its
+/// return value (§2.2).
+pub type Operation = (TxId, Value);
+
+/// The paper's `operations(·)` operator: the sequence of operations
+/// corresponding to the `REQUEST_COMMIT` events for accesses in a sequence.
+pub fn operations(tree: &TxTree, beta: &[Action]) -> Vec<Operation> {
+    beta.iter()
+        .filter_map(|a| match a {
+            Action::RequestCommit(t, v) if tree.is_access(*t) => Some((*t, v.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The paper's `perform(ξ)`: `CREATE(T) REQUEST_COMMIT(T, v)` for each
+/// operation `(T, v)` of `ξ`, in order (§2.3.2).
+pub fn perform(ops: &[Operation]) -> Vec<Action> {
+    let mut out = Vec::with_capacity(ops.len() * 2);
+    for (t, v) in ops {
+        out.push(Action::Create(*t));
+        out.push(Action::RequestCommit(*t, v.clone()));
+    }
+    out
+}
+
+/// True iff no two operations in `ops` share a transaction name —
+/// "serial object well-formed" for operation sequences (§2.3.2).
+pub fn ops_well_formed(ops: &[Operation]) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity(ops.len());
+    ops.iter().all(|(t, _)| seen.insert(*t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    /// Build the running example used across this module's tests:
+    ///
+    /// ```text
+    /// T0 ── a ── u (write X 5)        a commits
+    ///    └─ b ── w (read X)           b aborts
+    /// ```
+    fn example() -> (TxTree, TxId, TxId, TxId, TxId, Vec<Action>) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Write(5));
+        let w = tree.add_access(b, x, Op::Read);
+        let beta = vec![
+            Action::RequestCreate(a),
+            Action::Create(a),
+            Action::RequestCreate(u),
+            Action::Create(u),
+            Action::RequestCommit(u, Value::Ok),
+            Action::Commit(u),
+            Action::InformCommit(x, u),
+            Action::ReportCommit(u, Value::Ok),
+            Action::RequestCommit(a, Value::Ok),
+            Action::Commit(a),
+            Action::RequestCreate(b),
+            Action::Create(b),
+            Action::RequestCreate(w),
+            Action::Create(w),
+            Action::RequestCommit(w, Value::Int(5)),
+            Action::Abort(b),
+            Action::InformAbort(x, b),
+        ];
+        (tree, a, b, u, w, beta)
+    }
+
+    #[test]
+    fn status_records_completions() {
+        let (tree, a, b, u, w, beta) = example();
+        let st = Status::of(&tree, &beta);
+        assert!(st.is_committed(a));
+        assert!(st.is_committed(u));
+        assert!(st.is_aborted(b));
+        assert!(!st.is_committed(b));
+        assert!(!st.is_completed(w));
+    }
+
+    #[test]
+    fn visibility_requires_committed_path() {
+        let (tree, a, b, u, w, beta) = example();
+        let st = Status::of(&tree, &beta);
+        // u committed and a committed, so u is visible to T0.
+        assert!(st.is_visible(&tree, u, TxId::ROOT));
+        assert!(st.is_visible(&tree, a, TxId::ROOT));
+        // w never committed: not visible to T0, but visible to itself and
+        // to its own ancestors' descendants through the reflexive rule.
+        assert!(!st.is_visible(&tree, w, TxId::ROOT));
+        assert!(st.is_visible(&tree, w, w));
+        // An ancestor is always visible to its descendant.
+        assert!(st.is_visible(&tree, b, w));
+        // u is visible to w (u's chain up to lca=T0 is committed).
+        assert!(st.is_visible(&tree, u, w));
+        // w is not visible to u.
+        assert!(!st.is_visible(&tree, w, u));
+    }
+
+    #[test]
+    fn orphan_and_live() {
+        let (tree, a, b, _u, w, beta) = example();
+        let st = Status::of(&tree, &beta);
+        assert!(st.is_orphan(&tree, w), "descendant of aborted b");
+        assert!(st.is_orphan(&tree, b), "aborted itself (reflexive ancestor)");
+        assert!(!st.is_orphan(&tree, a));
+        assert!(!is_live(&beta, a), "a completed");
+        assert!(is_live(&beta, w), "w created, never completed");
+        assert!(!is_live(&beta, TxId::ROOT), "T0 never created");
+    }
+
+    #[test]
+    fn serial_projection_strips_informs() {
+        let (_, _, _, _, _, beta) = example();
+        let s = serial_projection(&beta);
+        assert_eq!(s.len(), beta.len() - 2);
+        assert!(s.iter().all(Action::is_serial));
+        assert_eq!(serial_indices(&beta).len(), s.len());
+    }
+
+    #[test]
+    fn visible_to_root_hides_aborted_branch() {
+        let (tree, _a, b, _u, w, beta) = example();
+        let vis = visible_indices(&tree, &beta, TxId::ROOT);
+        let acts = project(&beta, &vis);
+        // Nothing of b's subtree except actions whose hightransaction is T0
+        // (REQUEST_CREATE(b) has hightransaction T0, which is visible).
+        assert!(acts.contains(&Action::RequestCreate(b)));
+        assert!(!acts.contains(&Action::Create(b)));
+        assert!(!acts.contains(&Action::Create(w)));
+        assert!(!acts.contains(&Action::RequestCommit(w, Value::Int(5))));
+        // ABORT(b) has hightransaction T0: visible.
+        assert!(acts.contains(&Action::Abort(b)));
+        // The committed branch is fully visible.
+        assert!(acts.contains(&Action::RequestCommit(_u, Value::Ok)));
+    }
+
+    #[test]
+    fn clean_strips_orphan_activity() {
+        let (tree, _a, b, u, w, beta) = example();
+        let cl = clean_indices(&tree, &beta);
+        let acts = project(&beta, &cl);
+        assert!(!acts.contains(&Action::Create(w)));
+        assert!(!acts.contains(&Action::RequestCommit(w, Value::Int(5))));
+        // ABORT(b) itself has hightransaction T0 (not an orphan): kept.
+        assert!(acts.contains(&Action::Abort(b)));
+        assert!(acts.contains(&Action::RequestCommit(u, Value::Ok)));
+    }
+
+    #[test]
+    fn projections_by_tx_and_object() {
+        let (tree, a, _b, u, _w, beta) = example();
+        let pa = tx_projection(&tree, &beta, a);
+        // a's actions: CREATE(a), REQUEST_CREATE(u), REPORT_COMMIT(u),
+        // REQUEST_COMMIT(a).
+        assert_eq!(pa.len(), 4);
+        assert_eq!(pa[0], Action::Create(a));
+        assert_eq!(pa[3], Action::RequestCommit(a, Value::Ok));
+
+        let px = obj_projection(&tree, &beta, ObjId(0));
+        // X's serial actions: CREATE(u), REQUEST_COMMIT(u), CREATE(w),
+        // REQUEST_COMMIT(w).
+        assert_eq!(px.len(), 4);
+        assert_eq!(px[0], Action::Create(u));
+    }
+
+    #[test]
+    fn operations_and_perform_roundtrip() {
+        let (tree, _a, _b, u, w, beta) = example();
+        let ops = operations(&tree, &beta);
+        assert_eq!(
+            ops,
+            vec![(u, Value::Ok), (w, Value::Int(5))],
+            "only access REQUEST_COMMITs count"
+        );
+        assert!(ops_well_formed(&ops));
+        let performed = perform(&ops);
+        assert_eq!(
+            performed,
+            vec![
+                Action::Create(u),
+                Action::RequestCommit(u, Value::Ok),
+                Action::Create(w),
+                Action::RequestCommit(w, Value::Int(5)),
+            ]
+        );
+        assert!(!ops_well_formed(&[(u, Value::Ok), (u, Value::Ok)]));
+    }
+}

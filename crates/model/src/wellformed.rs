@@ -1,0 +1,362 @@
+//! Syntactic well-formedness conditions (§2.2.1, §2.2.2, §2.3.1).
+//!
+//! Three validators: transaction well-formedness (the constraints every
+//! transaction automaton must preserve), serial object well-formedness (the
+//! alternating invoke/respond discipline of object interfaces), and the
+//! simple-database constraints that any reasonable transaction-processing
+//! system satisfies. The simulator's outputs are checked against all three
+//! in tests.
+
+use crate::action::Action;
+use crate::tree::{ObjId, TxId, TxTree};
+use std::collections::HashSet;
+
+/// A violation of a well-formedness discipline, with the offending index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending event.
+    pub at: usize,
+    /// Human-readable description of the violated constraint.
+    pub what: String,
+}
+
+fn violation(at: usize, what: impl Into<String>) -> Violation {
+    Violation {
+        at,
+        what: what.into(),
+    }
+}
+
+/// Check serial object well-formedness for `x` (§2.2.2): the projection of
+/// `beta` on external actions of `S_x` must be a prefix of
+/// `CREATE(T1) REQUEST_COMMIT(T1,v1) CREATE(T2) REQUEST_COMMIT(T2,v2) …`
+/// with pairwise-distinct access names.
+pub fn check_serial_object_wf(tree: &TxTree, beta: &[Action], x: ObjId) -> Result<(), Violation> {
+    let mut active: Option<TxId> = None;
+    let mut seen: HashSet<TxId> = HashSet::new();
+    for (i, a) in beta.iter().enumerate() {
+        if a.object(tree) != Some(x) {
+            continue;
+        }
+        match a {
+            Action::Create(t) => {
+                if active.is_some() {
+                    return Err(violation(i, format!("CREATE({t}) while another access is active")));
+                }
+                if !seen.insert(*t) {
+                    return Err(violation(i, format!("duplicate CREATE({t})")));
+                }
+                active = Some(*t);
+            }
+            Action::RequestCommit(t, _) => {
+                if active != Some(*t) {
+                    return Err(violation(
+                        i,
+                        format!("REQUEST_COMMIT for {t} which is not the active access"),
+                    ));
+                }
+                active = None;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check transaction well-formedness for non-access `t` (§2.2.1) against the
+/// projection `beta|t`. Constraints:
+///
+/// * the first event of `t` is its `CREATE`, which occurs at most once;
+/// * `t` requests each child at most once, only after its own `CREATE`;
+/// * at most one report per child, and only for requested children;
+/// * `t` requests to commit at most once, only after receiving reports for
+///   all children whose creation it requested, and performs no further
+///   action afterwards.
+pub fn check_transaction_wf(tree: &TxTree, beta: &[Action], t: TxId) -> Result<(), Violation> {
+    let mut created = false;
+    let mut requested: HashSet<TxId> = HashSet::new();
+    let mut reported: HashSet<TxId> = HashSet::new();
+    let mut commit_requested = false;
+    for (i, a) in beta.iter().enumerate() {
+        if a.transaction(tree) != Some(t) {
+            continue;
+        }
+        if commit_requested {
+            return Err(violation(i, format!("{t} acted after REQUEST_COMMIT")));
+        }
+        match a {
+            Action::Create(_) => {
+                if created {
+                    return Err(violation(i, format!("duplicate CREATE({t})")));
+                }
+                created = true;
+            }
+            Action::RequestCreate(c) => {
+                if !created {
+                    return Err(violation(i, format!("{t} requested child before CREATE")));
+                }
+                if tree.parent(*c) != Some(t) {
+                    return Err(violation(i, format!("{c} is not a child of {t}")));
+                }
+                if !requested.insert(*c) {
+                    return Err(violation(i, format!("duplicate REQUEST_CREATE({c})")));
+                }
+            }
+            Action::ReportCommit(c, _) | Action::ReportAbort(c) => {
+                if !requested.contains(c) {
+                    return Err(violation(i, format!("report for unrequested child {c}")));
+                }
+                if !reported.insert(*c) {
+                    return Err(violation(i, format!("duplicate report for child {c}")));
+                }
+            }
+            Action::RequestCommit(_, _) => {
+                if !created {
+                    return Err(violation(i, format!("{t} requested commit before CREATE")));
+                }
+                if reported.len() != requested.len() {
+                    return Err(violation(
+                        i,
+                        format!("{t} requested commit with outstanding children"),
+                    ));
+                }
+                commit_requested = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check the simple-database constraints (§2.3.1) over a whole behavior:
+///
+/// * no `CREATE`, `COMMIT`, or `ABORT` without the appropriate prior request;
+/// * no transaction has two creation events or two completion events
+///   (in particular never both `COMMIT` and `ABORT`);
+/// * no report without the corresponding completion, and at most one report
+///   per transaction;
+/// * no response (access `REQUEST_COMMIT`) without a prior invocation
+///   (`CREATE`), and at most one response per access.
+pub fn check_simple_behavior(tree: &TxTree, beta: &[Action]) -> Result<(), Violation> {
+    let mut requested: HashSet<TxId> = HashSet::new();
+    let mut created: HashSet<TxId> = HashSet::new();
+    let mut commit_requested: HashSet<TxId> = HashSet::new();
+    let mut committed: HashSet<TxId> = HashSet::new();
+    let mut aborted: HashSet<TxId> = HashSet::new();
+    let mut reported: HashSet<TxId> = HashSet::new();
+    for (i, a) in beta.iter().enumerate() {
+        match a {
+            Action::RequestCreate(t) => {
+                if !requested.insert(*t) {
+                    return Err(violation(i, format!("duplicate REQUEST_CREATE({t})")));
+                }
+            }
+            Action::Create(t) => {
+                if *t != TxId::ROOT && !requested.contains(t) {
+                    return Err(violation(i, format!("CREATE({t}) without request")));
+                }
+                if !created.insert(*t) {
+                    return Err(violation(i, format!("duplicate CREATE({t})")));
+                }
+            }
+            Action::RequestCommit(t, _) => {
+                if tree.is_access(*t) && !created.contains(t) {
+                    return Err(violation(i, format!("response for uninvoked access {t}")));
+                }
+                if !commit_requested.insert(*t) {
+                    return Err(violation(i, format!("duplicate REQUEST_COMMIT({t})")));
+                }
+            }
+            Action::Commit(t) => {
+                if !commit_requested.contains(t) {
+                    return Err(violation(i, format!("COMMIT({t}) without request")));
+                }
+                if aborted.contains(t) {
+                    return Err(violation(i, format!("COMMIT({t}) after ABORT({t})")));
+                }
+                if !committed.insert(*t) {
+                    return Err(violation(i, format!("duplicate COMMIT({t})")));
+                }
+            }
+            Action::Abort(t) => {
+                if !requested.contains(t) {
+                    return Err(violation(i, format!("ABORT({t}) without request")));
+                }
+                if committed.contains(t) {
+                    return Err(violation(i, format!("ABORT({t}) after COMMIT({t})")));
+                }
+                if !aborted.insert(*t) {
+                    return Err(violation(i, format!("duplicate ABORT({t})")));
+                }
+            }
+            Action::ReportCommit(t, _) => {
+                if !committed.contains(t) {
+                    return Err(violation(i, format!("REPORT_COMMIT({t}) before COMMIT")));
+                }
+                if !reported.insert(*t) {
+                    return Err(violation(i, format!("duplicate report for {t}")));
+                }
+            }
+            Action::ReportAbort(t) => {
+                if !aborted.contains(t) {
+                    return Err(violation(i, format!("REPORT_ABORT({t}) before ABORT")));
+                }
+                if !reported.insert(*t) {
+                    return Err(violation(i, format!("duplicate report for {t}")));
+                }
+            }
+            Action::InformCommit(_, t) => {
+                if !committed.contains(t) {
+                    return Err(violation(i, format!("INFORM_COMMIT({t}) before COMMIT")));
+                }
+            }
+            Action::InformAbort(_, t) => {
+                if !aborted.contains(t) {
+                    return Err(violation(i, format!("INFORM_ABORT({t}) before ABORT")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::value::Value;
+
+    fn setup() -> (TxTree, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let u = tree.add_access(a, x, Op::Read);
+        let w = tree.add_access(a, x, Op::Write(2));
+        (tree, a, u, w)
+    }
+
+    #[test]
+    fn object_wf_accepts_alternation() {
+        let (tree, _a, u, w) = setup();
+        let beta = vec![
+            Action::Create(u),
+            Action::RequestCommit(u, Value::Int(0)),
+            Action::Create(w),
+            Action::RequestCommit(w, Value::Ok),
+        ];
+        assert!(check_serial_object_wf(&tree, &beta, ObjId(0)).is_ok());
+        // A trailing unanswered CREATE is fine (prefix property).
+        let beta2 = vec![Action::Create(u)];
+        assert!(check_serial_object_wf(&tree, &beta2, ObjId(0)).is_ok());
+    }
+
+    #[test]
+    fn object_wf_rejects_concurrent_and_duplicate_invocations() {
+        let (tree, _a, u, w) = setup();
+        let overlapping = vec![Action::Create(u), Action::Create(w)];
+        assert!(check_serial_object_wf(&tree, &overlapping, ObjId(0)).is_err());
+        let dup = vec![
+            Action::Create(u),
+            Action::RequestCommit(u, Value::Int(0)),
+            Action::Create(u),
+        ];
+        assert!(check_serial_object_wf(&tree, &dup, ObjId(0)).is_err());
+        let unsolicited = vec![Action::RequestCommit(u, Value::Int(0))];
+        assert!(check_serial_object_wf(&tree, &unsolicited, ObjId(0)).is_err());
+    }
+
+    #[test]
+    fn transaction_wf_accepts_normal_run() {
+        let (tree, a, u, _w) = setup();
+        let beta = vec![
+            Action::Create(a),
+            Action::RequestCreate(u),
+            Action::ReportCommit(u, Value::Int(0)),
+            Action::RequestCommit(a, Value::Ok),
+        ];
+        assert!(check_transaction_wf(&tree, &beta, a).is_ok());
+    }
+
+    #[test]
+    fn transaction_wf_rejects_violations() {
+        let (tree, a, u, w) = setup();
+        // Child requested before CREATE.
+        let b1 = vec![Action::RequestCreate(u)];
+        assert!(check_transaction_wf(&tree, &b1, a).is_err());
+        // Commit with an outstanding child.
+        let b2 = vec![
+            Action::Create(a),
+            Action::RequestCreate(u),
+            Action::RequestCommit(a, Value::Ok),
+        ];
+        assert!(check_transaction_wf(&tree, &b2, a).is_err());
+        // Activity after REQUEST_COMMIT.
+        let b3 = vec![
+            Action::Create(a),
+            Action::RequestCommit(a, Value::Ok),
+            Action::RequestCreate(w),
+        ];
+        assert!(check_transaction_wf(&tree, &b3, a).is_err());
+        // Report for an unrequested child.
+        let b4 = vec![Action::Create(a), Action::ReportAbort(u)];
+        assert!(check_transaction_wf(&tree, &b4, a).is_err());
+    }
+
+    #[test]
+    fn simple_behavior_accepts_normal_run() {
+        let (tree, a, u, _w) = setup();
+        let beta = vec![
+            Action::RequestCreate(a),
+            Action::Create(a),
+            Action::RequestCreate(u),
+            Action::Create(u),
+            Action::RequestCommit(u, Value::Int(0)),
+            Action::Commit(u),
+            Action::InformCommit(ObjId(0), u),
+            Action::ReportCommit(u, Value::Int(0)),
+            Action::RequestCommit(a, Value::Ok),
+            Action::Commit(a),
+            Action::ReportCommit(a, Value::Ok),
+        ];
+        assert!(check_simple_behavior(&tree, &beta).is_ok());
+    }
+
+    #[test]
+    fn simple_behavior_rejects_each_violation_kind() {
+        let (tree, a, u, _w) = setup();
+        let cases: Vec<Vec<Action>> = vec![
+            vec![Action::Create(a)], // create without request
+            vec![Action::RequestCreate(a), Action::Commit(a)], // commit without request
+            vec![Action::RequestCreate(a), Action::Abort(a), Action::Abort(a)], // dup abort
+            vec![
+                Action::RequestCreate(a),
+                Action::Create(a),
+                Action::RequestCommit(a, Value::Ok),
+                Action::Commit(a),
+                Action::Abort(a),
+            ], // abort after commit
+            vec![Action::ReportAbort(a)], // report without completion
+            vec![Action::RequestCommit(u, Value::Int(0))], // response w/o invocation
+            vec![Action::InformCommit(ObjId(0), u)], // inform before commit
+        ];
+        for (k, beta) in cases.iter().enumerate() {
+            assert!(
+                check_simple_behavior(&tree, beta).is_err(),
+                "case {k} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_without_create_is_allowed() {
+        // The serial scheduler may abort a transaction that was requested
+        // but never created; the simple database permits this too.
+        let (tree, a, _u, _w) = setup();
+        let beta = vec![
+            Action::RequestCreate(a),
+            Action::Abort(a),
+            Action::ReportAbort(a),
+        ];
+        assert!(check_simple_behavior(&tree, &beta).is_ok());
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the model algebra: tree laws, visibility laws,
+//! clean-projection idempotence, and order extension laws.
+
+use nt_model::seq::{clean_indices, project, Status};
+use nt_model::{Action, Op, SiblingOrder, TxId, TxTree, Value};
+use proptest::prelude::*;
+
+/// Build a random tree from a shape seed: each entry attaches a node to a
+/// previously created node (or the root), as an access or inner node.
+fn build_tree(shape: &[(u8, bool)]) -> TxTree {
+    let mut tree = TxTree::new();
+    let x = tree.add_object();
+    let mut inner_nodes = vec![TxId::ROOT];
+    for &(pick, is_access) in shape {
+        let parent = inner_nodes[pick as usize % inner_nodes.len()];
+        if is_access {
+            tree.add_access(parent, x, Op::Read);
+        } else {
+            inner_nodes.push(tree.add_inner(parent));
+        }
+    }
+    tree
+}
+
+/// A random completion pattern: for each non-root name, committed/aborted/
+/// incomplete — consistently (never both).
+fn completions(tree: &TxTree, pattern: &[u8]) -> Vec<Action> {
+    let mut out = Vec::new();
+    for t in tree.all_tx().skip(1) {
+        match pattern.get(t.index() % pattern.len().max(1)).copied().unwrap_or(0) % 3 {
+            0 => out.push(Action::Commit(t)),
+            1 => out.push(Action::Abort(t)),
+            _ => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_laws(shape in prop::collection::vec((any::<u8>(), any::<bool>()), 1..24)) {
+        let tree = build_tree(&shape);
+        for a in tree.all_tx() {
+            prop_assert!(tree.is_ancestor(TxId::ROOT, a));
+            prop_assert!(tree.is_ancestor(a, a), "reflexive");
+            for b in tree.all_tx() {
+                let l = tree.lca(a, b);
+                prop_assert_eq!(l, tree.lca(b, a), "lca commutative");
+                prop_assert!(tree.is_ancestor(l, a) && tree.is_ancestor(l, b));
+                // lca is the DEEPEST common ancestor.
+                for c in tree.all_tx() {
+                    if tree.is_ancestor(c, a) && tree.is_ancestor(c, b) {
+                        prop_assert!(tree.is_ancestor(c, l));
+                    }
+                }
+                if tree.is_proper_ancestor(a, b) {
+                    let c = tree.child_toward(a, b);
+                    prop_assert_eq!(tree.parent(c), Some(a));
+                    prop_assert!(tree.is_ancestor(c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_is_transitive_and_reflexive(
+        shape in prop::collection::vec((any::<u8>(), any::<bool>()), 1..16),
+        pattern in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let tree = build_tree(&shape);
+        let beta = completions(&tree, &pattern);
+        let st = Status::of(&tree, &beta);
+        let all: Vec<TxId> = tree.all_tx().collect();
+        for &a in &all {
+            prop_assert!(st.is_visible(&tree, a, a), "reflexive");
+            for &b in &all {
+                if tree.is_ancestor(a, b) {
+                    prop_assert!(st.is_visible(&tree, a, b), "ancestors always visible");
+                }
+                for &c in &all {
+                    if st.is_visible(&tree, a, b) && st.is_visible(&tree, b, c) {
+                        prop_assert!(st.is_visible(&tree, a, c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visible_to_root_implies_not_orphan(
+        shape in prop::collection::vec((any::<u8>(), any::<bool>()), 1..16),
+        pattern in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let tree = build_tree(&shape);
+        let beta = completions(&tree, &pattern);
+        let st = Status::of(&tree, &beta);
+        for t in tree.all_tx() {
+            if st.is_visible(&tree, t, TxId::ROOT) {
+                prop_assert!(!st.is_orphan(&tree, t));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_projection_is_idempotent(
+        shape in prop::collection::vec((any::<u8>(), any::<bool>()), 1..16),
+        pattern in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let tree = build_tree(&shape);
+        // Interleave creates and completions for a richer sequence.
+        let mut beta: Vec<Action> = Vec::new();
+        for t in tree.all_tx().skip(1) {
+            beta.push(Action::Create(t));
+        }
+        beta.extend(completions(&tree, &pattern));
+        let once = clean_indices(&tree, &beta);
+        let projected = project(&beta, &once);
+        let twice = clean_indices(&tree, &projected);
+        prop_assert_eq!(
+            twice.len(),
+            projected.len(),
+            "clean of a clean projection removes nothing"
+        );
+    }
+
+    #[test]
+    fn r_trans_is_antisymmetric_and_irreflexive(
+        shape in prop::collection::vec((any::<u8>(), any::<bool>()), 2..20),
+    ) {
+        let tree = build_tree(&shape);
+        // Order each parent's children by TxId.
+        let lists: Vec<(TxId, Vec<TxId>)> = tree
+            .all_tx()
+            .filter(|&t| !tree.is_access(t))
+            .map(|t| (t, tree.children(t).to_vec()))
+            .collect();
+        let order = SiblingOrder::from_lists(lists);
+        for a in tree.all_tx() {
+            prop_assert_eq!(order.r_trans(&tree, a, a), None, "irreflexive");
+            for b in tree.all_tx() {
+                let ab = order.r_trans(&tree, a, b);
+                let ba = order.r_trans(&tree, b, a);
+                match (ab, ba) {
+                    (Some(x), Some(y)) => prop_assert_eq!(x, !y, "antisymmetric"),
+                    (None, None) => {}
+                    other => prop_assert!(false, "asymmetric definedness: {:?}", other),
+                }
+                // R_trans never relates ancestor-related names.
+                if tree.is_ancestor(a, b) || tree.is_ancestor(b, a) {
+                    prop_assert_eq!(ab, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn status_matches_events(
+        shape in prop::collection::vec((any::<u8>(), any::<bool>()), 1..16),
+        pattern in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let tree = build_tree(&shape);
+        let beta = completions(&tree, &pattern);
+        let st = Status::of(&tree, &beta);
+        for t in tree.all_tx() {
+            let committed = beta.contains(&Action::Commit(t));
+            let aborted = beta.contains(&Action::Abort(t));
+            prop_assert_eq!(st.is_committed(t), committed);
+            prop_assert_eq!(st.is_aborted(t), aborted);
+            prop_assert_eq!(st.is_completed(t), committed || aborted);
+        }
+        let _ = Value::Ok;
+    }
+}

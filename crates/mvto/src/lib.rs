@@ -1,0 +1,504 @@
+//! # nt-mvto
+//!
+//! **Nested multiversion timestamp ordering** — the extension the paper's
+//! conclusion points at: "The classical theory has been extended … to model
+//! concurrency control and recovery algorithms that use multiple versions
+//! … It should be possible to develop techniques based on the model
+//! presented in this paper that parallel \[these\]."
+//!
+//! This crate implements a Reed-style multiversion timestamp-ordering
+//! object for nested transactions (in the spirit of Aspnes–Fekete–Lynch's
+//! treatment, reference \[1\] of the paper), and uses it to demonstrate two
+//! things *empirically* (experiment E11):
+//!
+//! 1. multiversion behaviors are serially correct for `T0` — provable with
+//!    this workspace's machinery by reconstructing the witness with the
+//!    **pseudotime sibling order** instead of a topological sort;
+//! 2. they generally **fail the paper's §3–§4 sufficient condition**: a
+//!    read may legally return an *old* version, so the update-in-place
+//!    "appropriate return values" assumption breaks — exactly the
+//!    limitation the paper concedes when comparing itself to multiversion
+//!    algorithms (§1, footnote on Hadzilacos²).
+//!
+//! ## The algorithm
+//!
+//! Every transaction receives a *pseudotime*: the path of per-parent
+//! sequence numbers assigned in `REQUEST_CREATE` order (the object
+//! overhears those events). Pseudotimes are compared lexicographically
+//! along the tree — the nested analogue of Reed's totally ordered
+//! timestamps, and automatically consistent with `precedes(β)`.
+//!
+//! * a **write** installs a new version at its pseudotime — unless it
+//!   arrives *too late* (some read with a later pseudotime already read an
+//!   earlier version it should have observed), in which case it is refused
+//!   and the simulator's victim selection aborts it (the classic MVTO
+//!   wound);
+//! * a **read** returns the version with the greatest pseudotime below its
+//!   own, waiting until that version's writer is *locally visible*
+//!   (committed up to the common ancestor, per `INFORM_COMMIT`s) so dirty
+//!   reads never happen;
+//! * `INFORM_ABORT(T)` discards versions and read records of `T`'s
+//!   descendants.
+
+use nt_automata::Component;
+use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A pseudotime: per-parent sequence numbers along the path from the root.
+/// Lexicographic order; distinct accesses always diverge, so the order is
+/// total on access names.
+pub type Pseudotime = Vec<u32>;
+
+/// One installed version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Version {
+    /// The writing access (`None` = the initial version, at pseudotime −∞).
+    pub writer: Option<TxId>,
+    /// Its pseudotime (empty for the initial version).
+    pub pt: Pseudotime,
+    /// The value written.
+    pub value: i64,
+}
+
+/// One recorded read.
+#[derive(Clone, Debug)]
+struct ReadRecord {
+    reader: TxId,
+    reader_pt: Pseudotime,
+    /// Pseudotime of the version the read observed.
+    version_pt: Pseudotime,
+}
+
+/// The multiversion timestamp-ordering object automaton.
+pub struct MvtoObject {
+    tree: Arc<TxTree>,
+    x: ObjId,
+    /// Sequence numbers: transaction → its index among its siblings in
+    /// `REQUEST_CREATE` order.
+    seq: BTreeMap<TxId, u32>,
+    /// Next sequence number per parent.
+    next_seq: BTreeMap<TxId, u32>,
+    created: BTreeSet<TxId>,
+    responded: BTreeSet<TxId>,
+    committed: BTreeSet<TxId>,
+    aborted_seen: BTreeSet<TxId>,
+    /// Versions sorted by pseudotime (initial version first).
+    versions: Vec<Version>,
+    reads: Vec<ReadRecord>,
+}
+
+impl MvtoObject {
+    /// A fresh MVTO object for `x` with initial value `init`.
+    pub fn new(tree: Arc<TxTree>, x: ObjId, init: i64) -> Self {
+        MvtoObject {
+            tree,
+            x,
+            seq: BTreeMap::new(),
+            next_seq: BTreeMap::new(),
+            created: BTreeSet::new(),
+            responded: BTreeSet::new(),
+            committed: BTreeSet::new(),
+            aborted_seen: BTreeSet::new(),
+            versions: vec![Version {
+                writer: None,
+                pt: Vec::new(),
+                value: init,
+            }],
+            reads: Vec::new(),
+        }
+    }
+
+    /// The pseudotime of `t`: per-parent sequence numbers from the root's
+    /// child down to `t`. Requires that every ancestor of `t` (except the
+    /// root) has been requested (always true when `t` has been created).
+    pub fn pseudotime(&self, t: TxId) -> Pseudotime {
+        let mut path: Vec<u32> = self
+            .tree
+            .ancestors(t)
+            .filter(|&u| u != TxId::ROOT)
+            .map(|u| *self.seq.get(&u).expect("requested before created"))
+            .collect();
+        path.reverse();
+        path
+    }
+
+    /// Is `u` locally visible to `t` per the informs received (every
+    /// ancestor of `u` strictly below `lca(u, t)` committed)?
+    fn locally_visible(&self, u: TxId, t: TxId) -> bool {
+        let stop = self.tree.lca(u, t);
+        let mut cur = u;
+        while cur != stop {
+            if !self.committed.contains(&cur) {
+                return false;
+            }
+            cur = self.tree.parent(cur).expect("walk ends at lca");
+        }
+        true
+    }
+
+    /// Is `t` a local orphan here?
+    pub fn is_local_orphan(&self, t: TxId) -> bool {
+        self.tree
+            .ancestors(t)
+            .any(|u| self.aborted_seen.contains(&u))
+    }
+
+    /// The version a read at pseudotime `pt` observes: greatest pseudotime
+    /// strictly below `pt`. The initial version guarantees existence.
+    fn version_below(&self, pt: &Pseudotime) -> &Version {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.pt < *pt)
+            .expect("initial version is below everything")
+    }
+
+    /// Try to answer access `t`. `Ok(value)` if enabled; `Err(blockers)`
+    /// if it must wait (blockers listed for deadlock resolution); blockers
+    /// containing `t` itself means the access is *refused* (write too
+    /// late) and should be wounded.
+    fn try_respond(&self, t: TxId) -> Result<Value, Vec<TxId>> {
+        let pt = self.pseudotime(t);
+        match self.tree.op_of(t).expect("access").write_data() {
+            Some(_d) => {
+                // Write-too-late: a read with a later pseudotime already
+                // observed a version older than this write.
+                let too_late = self
+                    .reads
+                    .iter()
+                    .any(|r| r.reader_pt > pt && r.version_pt < pt);
+                if too_late {
+                    Err(vec![t]) // wound the writer
+                } else {
+                    Ok(Value::Ok)
+                }
+            }
+            None => {
+                let v = self.version_below(&pt);
+                match v.writer {
+                    None => Ok(Value::Int(v.value)),
+                    Some(w) => {
+                        if self.locally_visible(w, t) {
+                            Ok(Value::Int(v.value))
+                        } else {
+                            Err(vec![w]) // wait for the writer's fate
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waiting/refused accesses with their blockers (deadlock resolution).
+    pub fn waiting(&self) -> Vec<(TxId, Vec<TxId>)> {
+        let mut out = Vec::new();
+        for &t in self.created.difference(&self.responded) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if let Err(blockers) = self.try_respond(t) {
+                out.push((t, blockers));
+            }
+        }
+        out
+    }
+
+    /// Installed versions (inspection).
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// The sibling order induced by the sequence numbers (children of each
+    /// parent in `REQUEST_CREATE` order) — the order that serializes MVTO
+    /// behaviors. Children never requested are appended at the end.
+    pub fn pseudotime_order_lists(&self) -> Vec<(TxId, Vec<TxId>)> {
+        let mut lists = Vec::new();
+        for parent in self.tree.all_tx().filter(|&t| !self.tree.is_access(t)) {
+            let mut kids: Vec<TxId> = self.tree.children(parent).to_vec();
+            kids.sort_by_key(|c| self.seq.get(c).copied().unwrap_or(u32::MAX));
+            lists.push((parent, kids));
+        }
+        lists
+    }
+}
+
+impl Component for MvtoObject {
+    fn name(&self) -> String {
+        format!("MVTO({})", self.x)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            // Overhears every REQUEST_CREATE to assign pseudotimes.
+            Action::RequestCreate(_) => true,
+            Action::Create(t) => self.tree.object_of(*t) == Some(self.x),
+            Action::InformCommit(x, t) | Action::InformAbort(x, t) => {
+                *x == self.x && *t != TxId::ROOT
+            }
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::RequestCreate(t) => {
+                let parent = self.tree.parent(*t).expect("non-root");
+                let ctr = self.next_seq.entry(parent).or_insert(0);
+                self.seq.entry(*t).or_insert_with(|| {
+                    let s = *ctr;
+                    *ctr += 1;
+                    s
+                });
+            }
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::InformCommit(_, t) => {
+                self.committed.insert(*t);
+            }
+            Action::InformAbort(_, t) => {
+                self.aborted_seen.insert(*t);
+                let tree = Arc::clone(&self.tree);
+                let t = *t;
+                self.versions
+                    .retain(|v| v.writer.is_none_or(|w| !tree.is_ancestor(t, w)));
+                self.reads.retain(|r| !tree.is_ancestor(t, r.reader));
+            }
+            Action::RequestCommit(t, v) => {
+                debug_assert_eq!(self.try_respond(*t).as_ref(), Ok(v));
+                self.responded.insert(*t);
+                let pt = self.pseudotime(*t);
+                match self.tree.op_of(*t).expect("access").write_data() {
+                    Some(d) => {
+                        let pos = self
+                            .versions
+                            .partition_point(|existing| existing.pt < pt);
+                        self.versions.insert(
+                            pos,
+                            Version {
+                                writer: Some(*t),
+                                pt,
+                                value: d,
+                            },
+                        );
+                    }
+                    None => {
+                        let version_pt = self.version_below(&pt).pt.clone();
+                        self.reads.push(ReadRecord {
+                            reader: *t,
+                            reader_pt: pt,
+                            version_pt,
+                        });
+                    }
+                }
+            }
+            _ => unreachable!("MVTO shares no other action"),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        for &t in self.created.difference(&self.responded) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if let Ok(v) = self.try_respond(t) {
+                buf.push(Action::RequestCommit(t, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    /// T0 → a(write 5) earlier pseudotime, b(read), c(write 9).
+    fn setup() -> (Arc<TxTree>, MvtoObject, [TxId; 6]) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let c = tree.add_inner(TxId::ROOT);
+        let wa = tree.add_access(a, x, Op::Write(5));
+        let rb = tree.add_access(b, x, Op::Read);
+        let wc = tree.add_access(c, x, Op::Write(9));
+        let tree = Arc::new(tree);
+        let obj = MvtoObject::new(Arc::clone(&tree), x, 0);
+        (tree, obj, [a, b, c, wa, rb, wc])
+    }
+
+    fn request_all(obj: &mut MvtoObject, order: &[TxId]) {
+        for &t in order {
+            obj.apply(&Action::RequestCreate(t));
+        }
+    }
+
+    fn enabled(o: &MvtoObject) -> Vec<Action> {
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn pseudotimes_follow_request_order() {
+        let (_tree, mut o, [a, b, c, wa, rb, _wc]) = setup();
+        request_all(&mut o, &[a, b, c, wa, rb]);
+        assert_eq!(o.pseudotime(a), vec![0]);
+        assert_eq!(o.pseudotime(b), vec![1]);
+        assert_eq!(o.pseudotime(c), vec![2]);
+        assert_eq!(o.pseudotime(wa), vec![0, 0]);
+        assert_eq!(o.pseudotime(rb), vec![1, 0]);
+        assert!(o.pseudotime(wa) < o.pseudotime(rb));
+    }
+
+    #[test]
+    fn read_waits_for_pending_earlier_write_then_sees_it() {
+        let (_tree, mut o, [a, b, c, wa, rb, wc]) = setup();
+        request_all(&mut o, &[a, b, c, wa, rb, wc]);
+        o.apply(&Action::Create(wa));
+        o.apply(&Action::RequestCommit(wa, Value::Ok)); // version @ [0,0]
+        o.apply(&Action::Create(rb));
+        // rb's pseudotime [1,0] > [0,0]: must read wa's version, but wa is
+        // not yet locally visible → wait.
+        assert!(enabled(&o).is_empty());
+        assert_eq!(o.waiting(), vec![(rb, vec![wa])]);
+        o.apply(&Action::InformCommit(ObjId(0), wa));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(rb, Value::Int(5))]);
+    }
+
+    #[test]
+    fn late_read_returns_old_version_not_latest() {
+        // The multiversion signature: c (later pseudotime) writes FIRST,
+        // then b's read (earlier pseudotime than c) still sees the value
+        // below its own pseudotime — wa's 5, not wc's 9.
+        let (_tree, mut o, [a, b, c, wa, rb, wc]) = setup();
+        request_all(&mut o, &[a, b, c, wa, rb, wc]);
+        o.apply(&Action::Create(wa));
+        o.apply(&Action::RequestCommit(wa, Value::Ok));
+        o.apply(&Action::InformCommit(ObjId(0), wa));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        o.apply(&Action::Create(wc));
+        o.apply(&Action::RequestCommit(wc, Value::Ok)); // version @ [2,0]
+        o.apply(&Action::InformCommit(ObjId(0), wc));
+        o.apply(&Action::InformCommit(ObjId(0), c));
+        // Now the read at pseudotime [1,0] arrives *after* wc executed.
+        o.apply(&Action::Create(rb));
+        assert_eq!(
+            enabled(&o),
+            vec![Action::RequestCommit(rb, Value::Int(5))],
+            "reads its pseudotime's version, not the latest"
+        );
+    }
+
+    #[test]
+    fn write_too_late_is_wounded() {
+        // b's read (pt [1,0]) observes the initial version; then a's write
+        // (pt [0,0] < [1,0]) arrives — too late, must be refused.
+        let (_tree, mut o, [a, b, c, wa, rb, wc]) = setup();
+        request_all(&mut o, &[a, b, c, wa, rb, wc]);
+        o.apply(&Action::Create(rb));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(rb, Value::Int(0))]);
+        o.apply(&Action::RequestCommit(rb, Value::Int(0)));
+        o.apply(&Action::Create(wa));
+        assert!(enabled(&o).is_empty(), "write refused");
+        assert_eq!(o.waiting(), vec![(wa, vec![wa])], "wound thyself");
+        // Aborting a clears the refusal bookkeeping relevance; wc (pt
+        // [2,0] > rb) is fine.
+        o.apply(&Action::InformAbort(ObjId(0), a));
+        o.apply(&Action::Create(wc));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(wc, Value::Ok)]);
+    }
+
+    #[test]
+    fn abort_discards_versions_and_reads() {
+        let (_tree, mut o, [a, b, c, wa, rb, wc]) = setup();
+        request_all(&mut o, &[a, b, c, wa, rb, wc]);
+        o.apply(&Action::Create(wa));
+        o.apply(&Action::RequestCommit(wa, Value::Ok));
+        assert_eq!(o.versions().len(), 2);
+        o.apply(&Action::InformAbort(ObjId(0), a));
+        assert_eq!(o.versions().len(), 1, "wa's version gone");
+        // rb now reads the initial version again (nothing below but init).
+        o.apply(&Action::Create(rb));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(rb, Value::Int(0))]);
+    }
+
+    #[test]
+    fn pseudotime_order_lists_sorted_by_request() {
+        let (_tree, mut o, [a, b, c, ..]) = setup();
+        // Request in scrambled order: c, a, b.
+        request_all(&mut o, &[c, a, b]);
+        let lists = o.pseudotime_order_lists();
+        let root_list = lists
+            .iter()
+            .find(|(p, _)| *p == TxId::ROOT)
+            .map(|(_, kids)| kids.clone())
+            .unwrap();
+        assert_eq!(root_list, vec![c, a, b]);
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use nt_model::Op;
+
+    /// Pseudotime is a total order on accesses consistent with precedence:
+    /// sequence numbers follow request order even across scrambles, and
+    /// lexicographic comparison never ties on distinct accesses.
+    #[test]
+    fn pseudotimes_are_total_on_accesses() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let mut accesses = Vec::new();
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            let t = tree.add_inner(TxId::ROOT);
+            all.push(t);
+            for _ in 0..3 {
+                let s = tree.add_inner(t);
+                all.push(s);
+                let u = tree.add_access(s, x, Op::Read);
+                accesses.push(u);
+                all.push(u);
+            }
+        }
+        let tree = Arc::new(tree);
+        let mut o = MvtoObject::new(Arc::clone(&tree), x, 0);
+        // Request in reverse registration order.
+        for &t in all.iter().rev() {
+            o.apply(&Action::RequestCreate(t));
+        }
+        for (i, &a) in accesses.iter().enumerate() {
+            for &b in accesses.iter().skip(i + 1) {
+                let pa = o.pseudotime(a);
+                let pb = o.pseudotime(b);
+                assert_ne!(pa, pb, "{a} vs {b} must differ");
+            }
+        }
+    }
+
+    /// Requesting the same transaction twice must not change its sequence
+    /// number (idempotence against duplicate-delivery).
+    #[test]
+    fn sequence_assignment_is_idempotent() {
+        let mut tree = TxTree::new();
+        let _x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let tree = Arc::new(tree);
+        let mut o = MvtoObject::new(Arc::clone(&tree), nt_model::ObjId(0), 0);
+        o.apply(&Action::RequestCreate(a));
+        o.apply(&Action::RequestCreate(a));
+        o.apply(&Action::RequestCreate(b));
+        assert_eq!(o.pseudotime(a), vec![0]);
+        assert_eq!(o.pseudotime(b), vec![1]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # nt-serial
+//!
+//! Serial systems (§2.2 of the paper): the correctness *specification* side
+//! of the workspace.
+//!
+//! * [`types`] — the [`types::SerialType`] trait giving each data type's
+//!   serial specification (transition function + declared backward
+//!   commutativity, §6.1), the read/write register of §3.1, and the
+//!   definition-based commutativity oracle used by property tests;
+//! * [`object`] — the serial object automaton `S_X` (§2.2.2, §3.1);
+//! * [`scheduler`] — the serial scheduler automaton (§2.2.3);
+//! * [`validate`] — an operational validator deciding whether a sequence is
+//!   a behavior of some serial system; the executable meaning of the
+//!   paper's "serially correct for `T0`" witness.
+
+pub mod object;
+pub mod scheduler;
+pub mod types;
+pub mod validate;
+
+pub use object::SerialObject;
+pub use scheduler::SerialScheduler;
+pub use types::{
+    commute_by_definition, legal, replay, replay_from, resolve_ops, ObjectTypes, OpVal,
+    RwRegister, SerialType,
+};
+pub use validate::{is_serial_behavior, validate_serial_behavior};

@@ -1,0 +1,149 @@
+//! The serial object automaton `S_X` (§2.2.2, §3.1), generalized over any
+//! [`SerialType`].
+//!
+//! A serial object answers one invocation at a time: `CREATE(T)` (input)
+//! activates access `T`; `REQUEST_COMMIT(T, v)` (output) responds with the
+//! value determined by the type's transition function and updates the state.
+//! With [`crate::types::RwRegister`] this is exactly the read/write serial
+//! object of §3.1, whose `REQUEST_COMMIT` preconditions force each read to
+//! return the most recently written value.
+
+use crate::types::SerialType;
+use nt_automata::Component;
+use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use std::sync::Arc;
+
+/// The serial object automaton for one object name.
+pub struct SerialObject {
+    tree: Arc<TxTree>,
+    x: ObjId,
+    ty: Arc<dyn SerialType>,
+    /// The paper's `active` component: the invoked-but-unanswered access.
+    active: Option<TxId>,
+    /// The paper's `data` component.
+    data: Value,
+}
+
+impl SerialObject {
+    /// A fresh serial object for `x` with specification `ty`.
+    pub fn new(tree: Arc<TxTree>, x: ObjId, ty: Arc<dyn SerialType>) -> Self {
+        let data = ty.initial();
+        SerialObject {
+            tree,
+            x,
+            ty,
+            active: None,
+            data,
+        }
+    }
+
+    /// Current state value (for inspection in tests).
+    pub fn data(&self) -> &Value {
+        &self.data
+    }
+
+    /// The active (invoked, unanswered) access, if any.
+    pub fn active(&self) -> Option<TxId> {
+        self.active
+    }
+}
+
+impl Component for SerialObject {
+    fn name(&self) -> String {
+        format!("S({})", self.x)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        matches!(a, Action::Create(t) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) => {
+                debug_assert!(
+                    self.active.is_none(),
+                    "serial object well-formedness violated at {}",
+                    self.name()
+                );
+                self.active = Some(*t);
+            }
+            Action::RequestCommit(t, v) => {
+                debug_assert_eq!(self.active, Some(*t));
+                let op = self.tree.op_of(*t).expect("access carries an op");
+                let (next, value) = self.ty.apply(&self.data, op);
+                debug_assert_eq!(&value, v);
+                self.data = next;
+                self.active = None;
+            }
+            _ => unreachable!("serial object shares no other action"),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        if let Some(t) = self.active {
+            let op = self.tree.op_of(t).expect("access carries an op");
+            let (_, value) = self.ty.apply(&self.data, op);
+            buf.push(Action::RequestCommit(t, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RwRegister;
+    use nt_model::Op;
+
+    fn setup() -> (Arc<TxTree>, SerialObject, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let w = tree.add_access(a, x, Op::Write(5));
+        let r = tree.add_access(a, x, Op::Read);
+        let tree = Arc::new(tree);
+        let obj = SerialObject::new(Arc::clone(&tree), x, Arc::new(RwRegister::new(0)));
+        (tree, obj, w, r)
+    }
+
+    #[test]
+    fn read_returns_latest_write() {
+        let (_tree, mut obj, w, r) = setup();
+        assert_eq!(obj.data(), &Value::Int(0));
+
+        obj.apply(&Action::Create(w));
+        let mut buf = Vec::new();
+        obj.enabled_outputs(&mut buf);
+        assert_eq!(buf, vec![Action::RequestCommit(w, Value::Ok)]);
+        obj.apply(&buf[0]);
+        assert_eq!(obj.data(), &Value::Int(5));
+        assert_eq!(obj.active(), None);
+
+        obj.apply(&Action::Create(r));
+        buf.clear();
+        obj.enabled_outputs(&mut buf);
+        assert_eq!(buf, vec![Action::RequestCommit(r, Value::Int(5))]);
+        obj.apply(&buf[0]);
+        assert_eq!(obj.data(), &Value::Int(5), "reads leave data unchanged");
+    }
+
+    #[test]
+    fn idle_object_offers_nothing() {
+        let (_tree, obj, _w, _r) = setup();
+        let mut buf = Vec::new();
+        obj.enabled_outputs(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn action_signature() {
+        let (_tree, obj, w, _r) = setup();
+        assert!(obj.is_input(&Action::Create(w)));
+        assert!(obj.is_output(&Action::RequestCommit(w, Value::Ok)));
+        assert!(!obj.is_input(&Action::Commit(w)));
+        assert!(!obj.is_output(&Action::Create(w)));
+    }
+}

@@ -1,0 +1,242 @@
+//! The serial scheduler automaton (§2.2.3).
+//!
+//! The serial scheduler runs transactions according to a depth-first
+//! traversal of the naming tree: no two siblings are ever simultaneously
+//! live, a transaction can be aborted only before it is created, and
+//! completions are reported to parents. Serial systems — the composition of
+//! this scheduler, serial objects, and transaction automata — define the
+//! correctness condition every concurrent system must meet.
+
+use nt_automata::Component;
+use nt_model::{Action, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The serial scheduler automaton for one system type.
+pub struct SerialScheduler {
+    tree: Arc<TxTree>,
+    create_requested: BTreeSet<TxId>,
+    created: BTreeSet<TxId>,
+    commit_requested: BTreeMap<TxId, Value>,
+    committed: BTreeSet<TxId>,
+    aborted: BTreeSet<TxId>,
+    reported: BTreeSet<TxId>,
+    /// Whether the scheduler may spontaneously abort requested-but-uncreated
+    /// transactions (the paper allows it; deterministic replays disable it).
+    pub allow_spontaneous_abort: bool,
+}
+
+impl SerialScheduler {
+    /// A fresh serial scheduler over the given naming tree.
+    pub fn new(tree: Arc<TxTree>) -> Self {
+        SerialScheduler {
+            tree,
+            create_requested: BTreeSet::new(),
+            created: BTreeSet::new(),
+            commit_requested: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+            reported: BTreeSet::new(),
+            allow_spontaneous_abort: false,
+        }
+    }
+
+    fn is_completed(&self, t: TxId) -> bool {
+        self.committed.contains(&t) || self.aborted.contains(&t)
+    }
+
+    /// §2.2.3 CREATE precondition: requested (except `T0`), not yet created
+    /// or aborted, and — the *serial* discipline — every created sibling has
+    /// completed.
+    fn can_create(&self, t: TxId) -> bool {
+        if self.created.contains(&t) || self.aborted.contains(&t) {
+            return false;
+        }
+        if t != TxId::ROOT && !self.create_requested.contains(&t) {
+            return false;
+        }
+        if let Some(p) = self.tree.parent(t) {
+            for &s in self.tree.children(p) {
+                if s != t && self.created.contains(&s) && !self.is_completed(s) {
+                    return false; // a sibling is live
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff `t` committed (for tests).
+    pub fn is_committed(&self, t: TxId) -> bool {
+        self.committed.contains(&t)
+    }
+}
+
+impl Component for SerialScheduler {
+    fn name(&self) -> String {
+        "serial-scheduler".into()
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::RequestCreate(t) => *t != TxId::ROOT,
+            // REQUEST_COMMITs of *non-access* transactions come from
+            // transaction automata; those of accesses come from objects.
+            // Both are scheduler inputs.
+            Action::RequestCommit(_, _) => true,
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(_) => true,
+            Action::Commit(t) | Action::Abort(t) => *t != TxId::ROOT,
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => *t != TxId::ROOT,
+            _ => false,
+        }
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::RequestCreate(t) => {
+                self.create_requested.insert(*t);
+            }
+            Action::RequestCommit(t, v) => {
+                self.commit_requested.insert(*t, v.clone());
+            }
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::Commit(t) => {
+                self.committed.insert(*t);
+            }
+            Action::Abort(t) => {
+                self.aborted.insert(*t);
+            }
+            Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                self.reported.insert(*t);
+            }
+            _ => unreachable!("serial scheduler shares no other action"),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        // CREATE(T0) needs no request.
+        if self.can_create(TxId::ROOT) {
+            buf.push(Action::Create(TxId::ROOT));
+        }
+        for &t in &self.create_requested {
+            if self.can_create(t) {
+                buf.push(Action::Create(t));
+            }
+            if self.allow_spontaneous_abort
+                && !self.created.contains(&t)
+                && !self.is_completed(t)
+            {
+                buf.push(Action::Abort(t));
+            }
+        }
+        for (&t, v) in &self.commit_requested {
+            if t != TxId::ROOT && !self.is_completed(t) {
+                buf.push(Action::Commit(t));
+            }
+            if self.committed.contains(&t) && !self.reported.contains(&t) {
+                buf.push(Action::ReportCommit(t, v.clone()));
+            }
+        }
+        for &t in &self.aborted {
+            if !self.reported.contains(&t) {
+                buf.push(Action::ReportAbort(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_siblings() -> (Arc<TxTree>, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        (Arc::new(tree), a, b)
+    }
+
+    fn enabled(s: &SerialScheduler) -> Vec<Action> {
+        let mut buf = Vec::new();
+        s.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn creates_root_first() {
+        let (tree, _a, _b) = two_siblings();
+        let s = SerialScheduler::new(tree);
+        assert_eq!(enabled(&s), vec![Action::Create(TxId::ROOT)]);
+    }
+
+    #[test]
+    fn no_two_siblings_live() {
+        let (tree, a, b) = two_siblings();
+        let mut s = SerialScheduler::new(tree);
+        s.apply(&Action::Create(TxId::ROOT));
+        s.apply(&Action::RequestCreate(a));
+        s.apply(&Action::RequestCreate(b));
+        // Both creations enabled while neither is live…
+        let e = enabled(&s);
+        assert!(e.contains(&Action::Create(a)));
+        assert!(e.contains(&Action::Create(b)));
+        // …but once a is created, b must wait.
+        s.apply(&Action::Create(a));
+        let e = enabled(&s);
+        assert!(!e.contains(&Action::Create(b)));
+        // a completes → b may run.
+        s.apply(&Action::RequestCommit(a, Value::Ok));
+        s.apply(&Action::Commit(a));
+        let e = enabled(&s);
+        assert!(e.contains(&Action::Create(b)));
+        assert!(e.contains(&Action::ReportCommit(a, Value::Ok)));
+    }
+
+    #[test]
+    fn abort_only_before_creation() {
+        let (tree, a, _b) = two_siblings();
+        let mut s = SerialScheduler::new(tree);
+        s.allow_spontaneous_abort = true;
+        s.apply(&Action::Create(TxId::ROOT));
+        s.apply(&Action::RequestCreate(a));
+        assert!(enabled(&s).contains(&Action::Abort(a)));
+        s.apply(&Action::Create(a));
+        assert!(
+            !enabled(&s).contains(&Action::Abort(a)),
+            "the serial scheduler never aborts a created transaction"
+        );
+    }
+
+    #[test]
+    fn reports_after_completion_only_once() {
+        let (tree, a, _b) = two_siblings();
+        let mut s = SerialScheduler::new(tree);
+        s.apply(&Action::Create(TxId::ROOT));
+        s.apply(&Action::RequestCreate(a));
+        s.apply(&Action::Create(a));
+        s.apply(&Action::RequestCommit(a, Value::Int(3)));
+        s.apply(&Action::Commit(a));
+        assert!(enabled(&s).contains(&Action::ReportCommit(a, Value::Int(3))));
+        s.apply(&Action::ReportCommit(a, Value::Int(3)));
+        assert!(!enabled(&s)
+            .iter()
+            .any(|x| matches!(x, Action::ReportCommit(t, _) if *t == a)));
+    }
+
+    #[test]
+    fn no_commit_without_request() {
+        let (tree, a, _b) = two_siblings();
+        let mut s = SerialScheduler::new(tree);
+        s.apply(&Action::Create(TxId::ROOT));
+        s.apply(&Action::RequestCreate(a));
+        s.apply(&Action::Create(a));
+        assert!(!enabled(&s).iter().any(|x| matches!(x, Action::Commit(_))));
+    }
+}

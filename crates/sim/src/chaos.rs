@@ -1,0 +1,109 @@
+//! An *uncontrolled* read/write object: no locks, no recovery.
+//!
+//! `ChaosObject` answers every access immediately against a single
+//! update-in-place cell and ignores `INFORM_*` entirely. Systems built from
+//! it are exactly the kind of system the serialization-graph checker must
+//! reject: interleavings produce cyclic graphs, and aborts leave dirty data
+//! behind, producing inappropriate return values. Used by experiment E3 to
+//! show the checker discriminates.
+
+use nt_automata::Component;
+use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A lock-free, recovery-free read/write object.
+pub struct ChaosObject {
+    tree: Arc<TxTree>,
+    x: ObjId,
+    data: i64,
+    created: BTreeSet<TxId>,
+    responded: BTreeSet<TxId>,
+}
+
+impl ChaosObject {
+    /// A fresh chaos object with initial value `init`.
+    pub fn new(tree: Arc<TxTree>, x: ObjId, init: i64) -> Self {
+        ChaosObject {
+            tree,
+            x,
+            data: init,
+            created: BTreeSet::new(),
+            responded: BTreeSet::new(),
+        }
+    }
+}
+
+impl Component for ChaosObject {
+    fn name(&self) -> String {
+        format!("chaos({})", self.x)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(t) => self.tree.object_of(*t) == Some(self.x),
+            Action::InformCommit(x, _) | Action::InformAbort(x, _) => *x == self.x,
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::InformCommit(..) | Action::InformAbort(..) => {
+                // Chaos: no recovery, no lock inheritance. Ignore.
+            }
+            Action::RequestCommit(t, _) => {
+                self.responded.insert(*t);
+                if let Some(d) = self.tree.op_of(*t).and_then(|op| op.write_data()) {
+                    self.data = d; // update in place, no undo
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        for &t in self.created.difference(&self.responded) {
+            let v = match self.tree.op_of(t).and_then(|op| op.write_data()) {
+                Some(_) => Value::Ok,
+                None => Value::Int(self.data),
+            };
+            buf.push(Action::RequestCommit(t, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    #[test]
+    fn answers_immediately_and_never_restores() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let w = tree.add_access(a, x, Op::Write(9));
+        let r = tree.add_access(a, x, Op::Read);
+        let tree = Arc::new(tree);
+        let mut o = ChaosObject::new(Arc::clone(&tree), x, 0);
+        o.apply(&Action::Create(w));
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        assert_eq!(buf, vec![Action::RequestCommit(w, Value::Ok)]);
+        o.apply(&buf[0]);
+        // Abort a: chaos ignores it — the dirty 9 persists.
+        o.apply(&Action::InformAbort(x, a));
+        o.apply(&Action::Create(r));
+        buf.clear();
+        o.enabled_outputs(&mut buf);
+        assert_eq!(buf, vec![Action::RequestCommit(r, Value::Int(9))]);
+    }
+}

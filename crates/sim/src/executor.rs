@@ -1,0 +1,565 @@
+//! Execution engines: the generic-system simulator (with deadlock
+//! resolution and fault injection) and the serial-scheduler baseline.
+//!
+//! Both record the full behavior for checking. Time is counted two ways:
+//! `steps` (total actions fired — the work metric) and `rounds` (scheduler
+//! rounds in which every component may fire once — the concurrency-adjusted
+//! latency metric used by experiments E6/E7/E9).
+
+use crate::chaos::ChaosObject;
+use crate::script::ScriptedTx;
+use crate::workload::Workload;
+use nt_automata::Component;
+use nt_generic::GenericController;
+use nt_locking::{LockMode, MossObject};
+use nt_model::{Action, ObjId, TxId};
+use nt_certifier::SgtCertifier;
+use nt_mvto::MvtoObject;
+use nt_serial::{SerialObject, SerialScheduler};
+use nt_undolog::UndoLogObject;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The concurrency-control / recovery protocol run by every object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Moss read/write locking (`M1_X`, §5.2). Read/write workloads only.
+    Moss(LockMode),
+    /// Undo logging (`U_X`, §6.2). Any data type.
+    Undo,
+    /// Multiversion timestamp ordering (`nt-mvto`; the paper's future-work
+    /// direction). Read/write workloads only. Its behaviors serialize in
+    /// pseudotime order, which generally differs from any order the §4
+    /// serialization graph admits — see experiment E11.
+    Mvto,
+    /// Online serialization-graph certification (`nt-certifier`): the
+    /// paper's construction used as an optimistic scheduler. Read/write
+    /// workloads only.
+    Certifier,
+    /// No concurrency control, no recovery (checker-discrimination runs).
+    Chaos,
+}
+
+/// One generic object automaton of any protocol.
+enum ObjectAutomaton {
+    Moss(MossObject),
+    Undo(UndoLogObject),
+    Mvto(MvtoObject),
+    /// The certifier manages every object in one component; it is stored
+    /// once (at index 0) and the remaining slots stay empty.
+    Certifier(SgtCertifier),
+    Chaos(ChaosObject),
+}
+
+impl ObjectAutomaton {
+    fn as_component(&mut self) -> &mut dyn Component {
+        match self {
+            ObjectAutomaton::Moss(o) => o,
+            ObjectAutomaton::Undo(o) => o,
+            ObjectAutomaton::Mvto(o) => o,
+            ObjectAutomaton::Certifier(o) => o,
+            ObjectAutomaton::Chaos(o) => o,
+        }
+    }
+
+    fn as_component_ref(&self) -> &dyn Component {
+        match self {
+            ObjectAutomaton::Moss(o) => o,
+            ObjectAutomaton::Undo(o) => o,
+            ObjectAutomaton::Mvto(o) => o,
+            ObjectAutomaton::Certifier(o) => o,
+            ObjectAutomaton::Chaos(o) => o,
+        }
+    }
+
+    /// Waiting accesses and the transactions blocking them.
+    fn waiting(&self) -> Vec<(TxId, Vec<TxId>)> {
+        match self {
+            ObjectAutomaton::Moss(o) => o.waiting(),
+            ObjectAutomaton::Undo(o) => o.waiting(),
+            ObjectAutomaton::Mvto(o) => o.waiting(),
+            ObjectAutomaton::Certifier(o) => o.waiting(),
+            ObjectAutomaton::Chaos(_) => Vec::new(),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// RNG seed for interleaving choices (independent of the workload seed).
+    pub seed: u64,
+    /// Hard cap on fired actions.
+    pub max_steps: usize,
+    /// Per-step probability of injecting an abort of a random live
+    /// transaction (fault injection; deadlock victims come on top).
+    pub abort_prob: f64,
+    /// Run the controller with the paper's full abort nondeterminism
+    /// (`AbortMode::Any`): `ABORT(T)` is offered for every incomplete
+    /// transaction at every step and the random chooser may pick it.
+    pub any_abort: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            max_steps: 2_000_000,
+            abort_prob: 0.0,
+            any_abort: false,
+        }
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// The recorded behavior (generic actions, or serial actions for the
+    /// serial baseline).
+    pub trace: Vec<Action>,
+    /// Actions fired.
+    pub steps: usize,
+    /// Scheduler rounds (concurrency-adjusted latency).
+    pub rounds: usize,
+    /// Top-level transactions that committed.
+    pub committed_top: usize,
+    /// Top-level transactions that aborted.
+    pub aborted_top: usize,
+    /// Aborts requested to break deadlocks.
+    pub deadlock_victims: usize,
+    /// Aborts injected by fault injection.
+    pub injected_aborts: usize,
+    /// Did the run reach quiescence (vs. hitting `max_steps`)?
+    pub quiescent: bool,
+    /// Accumulated count of blocked accesses summed over rounds
+    /// (a contention measure).
+    pub wait_rounds: u64,
+    /// For MVTO runs: the pseudotime sibling order (per-parent child
+    /// lists in `REQUEST_CREATE` order) — the order that serializes the
+    /// behavior. `None` for other protocols.
+    pub pseudotime_order: Option<Vec<(TxId, Vec<TxId>)>>,
+}
+
+/// Run a generic system (controller + protocol objects + scripted clients)
+/// over the workload.
+pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig) -> SimResult {
+    let tree = Arc::clone(&workload.tree);
+    let mut controller = GenericController::new(Arc::clone(&tree));
+    if cfg.any_abort {
+        controller.abort_mode = nt_generic::AbortMode::Any;
+    }
+    let mut objects: Vec<ObjectAutomaton> = if protocol == Protocol::Certifier {
+        let initials = (0..workload.types.len())
+            .map(|xi| workload.initials.initial(ObjId(xi as u32)))
+            .collect();
+        vec![ObjectAutomaton::Certifier(SgtCertifier::new(
+            Arc::clone(&tree),
+            initials,
+        ))]
+    } else {
+        (0..workload.types.len())
+        .map(|xi| {
+            let x = ObjId(xi as u32);
+            match protocol {
+                Protocol::Moss(mode) => ObjectAutomaton::Moss(MossObject::new(
+                    Arc::clone(&tree),
+                    x,
+                    workload.initials.initial(x),
+                    mode,
+                )),
+                Protocol::Undo => ObjectAutomaton::Undo(UndoLogObject::new(
+                    Arc::clone(&tree),
+                    x,
+                    Arc::clone(workload.types.get(x)),
+                )),
+                Protocol::Mvto => ObjectAutomaton::Mvto(MvtoObject::new(
+                    Arc::clone(&tree),
+                    x,
+                    workload.initials.initial(x),
+                )),
+                Protocol::Certifier => unreachable!("handled above"),
+                Protocol::Chaos => ObjectAutomaton::Chaos(ChaosObject::new(
+                    Arc::clone(&tree),
+                    x,
+                    workload.initials.initial(x),
+                )),
+            }
+        })
+        .collect()
+    };
+    let workload_types_len = workload.types.len();
+    let clients = &mut workload.clients;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut trace: Vec<Action> = Vec::new();
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+    let mut deadlock_victims = 0usize;
+    let mut injected_aborts = 0usize;
+    let mut wait_rounds = 0u64;
+    let mut quiescent = false;
+
+    // Component visit order, reshuffled each round for interleaving variety.
+    // Index scheme: 0 = controller, 1..=K objects, rest clients.
+    let n_components = 1 + objects.len() + clients.len();
+    let mut visit: Vec<usize> = (0..n_components).collect();
+
+    'outer: while steps < cfg.max_steps {
+        rounds += 1;
+        visit.shuffle(&mut rng);
+        let mut fired_this_round = 0usize;
+        let mut buf: Vec<Action> = Vec::new();
+
+        for &ci in &visit {
+            if steps >= cfg.max_steps {
+                break 'outer;
+            }
+            // Finished clients never act again; skip them cheaply.
+            if ci > objects.len() && clients[ci - 1 - objects.len()].is_done() {
+                continue;
+            }
+            // The controller models the runtime substrate (message passing
+            // and bookkeeping): it drains *all* its enabled actions within
+            // the round, so that rounds measure the critical path of
+            // object/client work, not controller serialization. Objects and
+            // clients fire at most one action per round (unit work); the
+            // certifier, which manages every object in one component, gets
+            // one unit per object so service capacity matches the other
+            // protocols.
+            let budget = if ci == 0 {
+                usize::MAX
+            } else if ci <= objects.len()
+                && matches!(objects[ci - 1], ObjectAutomaton::Certifier(_))
+            {
+                workload_types_len
+            } else {
+                1
+            };
+            let mut fired_here = 0usize;
+            while fired_here < budget && steps < cfg.max_steps {
+                buf.clear();
+                {
+                    let comp: &dyn Component = if ci == 0 {
+                        &controller
+                    } else if ci <= objects.len() {
+                        objects[ci - 1].as_component_ref()
+                    } else {
+                        &clients[ci - 1 - objects.len()]
+                    };
+                    comp.enabled_outputs(&mut buf);
+                }
+                if buf.is_empty() {
+                    break;
+                }
+                let a = buf[rng.gen_range(0..buf.len())].clone();
+                // Deliver to every component sharing the action.
+                deliver(&mut controller, &mut objects, clients, &a);
+                trace.push(a);
+                steps += 1;
+                fired_here += 1;
+            }
+            fired_this_round += fired_here;
+        }
+
+        // Fault injection.
+        if cfg.abort_prob > 0.0 && rng.gen_bool(cfg.abort_prob) {
+            let live = controller.live();
+            if !live.is_empty() {
+                let victim = live[rng.gen_range(0..live.len())];
+                controller.request_abort(victim);
+                injected_aborts += 1;
+            }
+        }
+
+        // Contention accounting.
+        let waiting: Vec<(TxId, Vec<TxId>)> =
+            objects.iter().flat_map(|o| o.waiting()).collect();
+        wait_rounds += waiting.len() as u64;
+
+        if fired_this_round == 0 {
+            if waiting.is_empty() {
+                quiescent = true;
+                break;
+            }
+            // Blocked with no enabled action anywhere: break the wait by
+            // aborting the lowest incomplete transaction in some blocker's
+            // ancestor chain.
+            let mut resolved = false;
+            for (_waiter, blockers) in &waiting {
+                for &b in blockers {
+                    if let Some(victim) = lowest_incomplete(&tree, &controller, b) {
+                        controller.request_abort(victim);
+                        deadlock_victims += 1;
+                        resolved = true;
+                        break;
+                    }
+                }
+                if resolved {
+                    break;
+                }
+            }
+            if !resolved {
+                // Nothing abortable: give up (should not happen).
+                break;
+            }
+        }
+    }
+
+    let mut committed_top = 0;
+    let mut aborted_top = 0;
+    for &t in &workload.top {
+        if controller.is_committed(t) {
+            committed_top += 1;
+        } else if controller.is_aborted(t) {
+            aborted_top += 1;
+        }
+    }
+    let pseudotime_order = objects.iter().find_map(|o| match o {
+        ObjectAutomaton::Mvto(m) => Some(m.pseudotime_order_lists()),
+        _ => None,
+    });
+
+    SimResult {
+        trace,
+        steps,
+        rounds,
+        committed_top,
+        aborted_top,
+        deadlock_victims,
+        injected_aborts,
+        quiescent,
+        wait_rounds,
+        pseudotime_order,
+    }
+}
+
+/// Walk up from `b`: the first transaction (strictly below `T0`) that is
+/// neither committed nor aborted, i.e. an abortable victim whose abort
+/// releases `b`'s effects.
+fn lowest_incomplete(
+    tree: &nt_model::TxTree,
+    controller: &GenericController,
+    b: TxId,
+) -> Option<TxId> {
+    let mut cur = b;
+    while cur != TxId::ROOT {
+        if !controller.is_committed(cur) && !controller.is_aborted(cur) {
+            return Some(cur);
+        }
+        cur = tree.parent(cur)?;
+    }
+    None
+}
+
+fn deliver(
+    controller: &mut GenericController,
+    objects: &mut [ObjectAutomaton],
+    clients: &mut [ScriptedTx],
+    a: &Action,
+) {
+    if controller.is_input(a) || controller.is_output(a) {
+        controller.apply(a);
+    }
+    for o in objects.iter_mut() {
+        let c = o.as_component();
+        if c.is_input(a) || c.is_output(a) {
+            c.apply(a);
+        }
+    }
+    for cl in clients.iter_mut() {
+        if cl.is_input(a) || cl.is_output(a) {
+            cl.apply(a);
+        }
+    }
+}
+
+/// Run the same workload through the *serial system* (serial scheduler +
+/// serial objects + the same scripted clients): the no-concurrency
+/// baseline of experiment E6 and the ground-truth generator for tests.
+pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
+    let tree = Arc::clone(&workload.tree);
+    let mut components: Vec<Box<dyn Component>> = Vec::new();
+    components.push(Box::new(SerialScheduler::new(Arc::clone(&tree))));
+    for (x, ty) in workload.types.iter() {
+        components.push(Box::new(SerialObject::new(
+            Arc::clone(&tree),
+            x,
+            Arc::clone(ty),
+        )));
+    }
+    let clients = std::mem::take(&mut workload.clients);
+    for c in clients {
+        components.push(Box::new(c));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut trace: Vec<Action> = Vec::new();
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+    let mut quiescent = false;
+    let mut visit: Vec<usize> = (0..components.len()).collect();
+    let mut buf: Vec<Action> = Vec::new();
+    'outer: while steps < cfg.max_steps {
+        rounds += 1;
+        visit.shuffle(&mut rng);
+        let mut fired_this_round = 0usize;
+        for &ci in &visit {
+            // Same round semantics as the generic executor: the scheduler
+            // (index 0) is the substrate and drains; others fire once.
+            let budget = if ci == 0 { usize::MAX } else { 1 };
+            let mut fired_here = 0usize;
+            while fired_here < budget && steps < cfg.max_steps {
+                buf.clear();
+                components[ci].enabled_outputs(&mut buf);
+                if buf.is_empty() {
+                    break;
+                }
+                let a = buf[rng.gen_range(0..buf.len())].clone();
+                for comp in components.iter_mut() {
+                    if comp.is_input(&a) || comp.is_output(&a) {
+                        comp.apply(&a);
+                    }
+                }
+                trace.push(a);
+                steps += 1;
+                fired_here += 1;
+            }
+            fired_this_round += fired_here;
+            if steps >= cfg.max_steps {
+                break 'outer;
+            }
+        }
+        if fired_this_round == 0 {
+            quiescent = true;
+            break;
+        }
+    }
+    let status = nt_model::seq::Status::of(&tree, &trace);
+    let committed_top = workload
+        .top
+        .iter()
+        .filter(|&&t| status.is_committed(t))
+        .count();
+    let aborted_top = workload
+        .top
+        .iter()
+        .filter(|&&t| status.is_aborted(t))
+        .count();
+    SimResult {
+        steps,
+        rounds,
+        committed_top,
+        aborted_top,
+        deadlock_victims: 0,
+        injected_aborts: 0,
+        quiescent,
+        wait_rounds: 0,
+        pseudotime_order: None,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{OpMix, WorkloadSpec};
+
+    #[test]
+    fn moss_run_reaches_quiescence_and_commits_everything() {
+        let mut w = WorkloadSpec::default().generate();
+        let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        assert!(r.quiescent, "run must finish");
+        assert_eq!(r.committed_top + r.aborted_top, w.top.len());
+        assert!(r.committed_top > 0);
+        assert!(!r.trace.is_empty());
+        // The behavior satisfies the simple-database constraints.
+        let serial = nt_model::seq::serial_projection(&r.trace);
+        assert!(nt_model::wellformed::check_simple_behavior(&w.tree, &serial).is_ok());
+    }
+
+    #[test]
+    fn undo_run_on_counters_reaches_quiescence() {
+        let mut w = WorkloadSpec {
+            mix: OpMix::Counter { read_ratio: 0.3 },
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let r = run_generic(&mut w, Protocol::Undo, &SimConfig::default());
+        assert!(r.quiescent);
+        assert!(r.committed_top > 0);
+    }
+
+    #[test]
+    fn serial_baseline_commits_everything() {
+        let mut w = WorkloadSpec::default().generate();
+        let r = run_serial(&mut w, &SimConfig::default());
+        assert!(r.quiescent);
+        assert_eq!(r.committed_top, w.top.len());
+        // And the trace is literally a serial behavior.
+        assert!(
+            nt_serial::validate_serial_behavior(&w.tree, &r.trace, &w.types).is_ok(),
+            "serial system produces serial behaviors"
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let spec = WorkloadSpec::default();
+        let mut w1 = spec.generate();
+        let mut w2 = spec.generate();
+        let r1 = run_generic(&mut w1, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        let r2 = run_generic(&mut w2, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        assert_eq!(r1.trace, r2.trace);
+        let r3 = run_generic(
+            &mut spec.generate(),
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig {
+                seed: 99,
+                ..SimConfig::default()
+            },
+        );
+        assert!(r1.trace != r3.trace, "different interleaving seed");
+    }
+
+    #[test]
+    fn abort_injection_aborts_some_transactions() {
+        let spec = WorkloadSpec {
+            top_level: 12,
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig {
+                abort_prob: 0.5,
+                ..SimConfig::default()
+            },
+        );
+        assert!(r.quiescent);
+        assert!(r.injected_aborts > 0);
+        assert!(r.aborted_top > 0 || r.committed_top == w.top.len());
+    }
+
+    #[test]
+    fn hotspot_exclusive_locking_still_terminates() {
+        // Maximal contention: every access hits object 0 with exclusive
+        // locks. Deadlock resolution must keep the run live.
+        let spec = WorkloadSpec {
+            top_level: 10,
+            objects: 2,
+            hotspot: 1.0,
+            mix: OpMix::ReadWrite { read_ratio: 0.0 },
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::Exclusive),
+            &SimConfig::default(),
+        );
+        assert!(r.quiescent, "deadlock resolution unstuck the run");
+        assert_eq!(r.committed_top + r.aborted_top, w.top.len());
+    }
+}

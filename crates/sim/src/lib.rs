@@ -1,0 +1,24 @@
+//! # nt-sim
+//!
+//! Workload generation and simulation for nested-transaction systems.
+//!
+//! The paper's theorems quantify over *all* behaviors of the composed
+//! automata; this crate samples that space: seeded pseudo-random workloads
+//! ([`workload::WorkloadSpec`]) drive generic systems (Moss locking, undo
+//! logging, or an uncontrolled chaos baseline) and the serial-scheduler
+//! baseline, with random interleavings, optional fault injection, and
+//! deadlock detection/resolution. Every run records the full behavior for
+//! the `nt-sgt` checker.
+//!
+//! Note: a [`workload::Workload`]'s client automata carry run state — use a
+//! freshly generated workload for each run.
+
+pub mod chaos;
+pub mod executor;
+pub mod script;
+pub mod workload;
+
+pub use chaos::ChaosObject;
+pub use executor::{run_generic, run_serial, Protocol, SimConfig, SimResult};
+pub use script::{ChildOrder, ScriptedTx};
+pub use workload::{OpMix, Workload, WorkloadSpec};

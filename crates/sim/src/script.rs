@@ -1,0 +1,229 @@
+//! Scripted transaction automata.
+//!
+//! The paper leaves transaction automata as black boxes constrained only by
+//! transaction well-formedness (§2.2.1). The simulator instantiates them as
+//! `ScriptedTx`: a transaction that, once created, requests a fixed list of
+//! children (all at once — the "simultaneous remote procedure calls" of the
+//! paper's introduction — or one at a time, which exercises the `precedes`
+//! relation), waits for every report, and then requests to commit.
+//!
+//! A scripted transaction also *listens* for `ABORT` of itself or an
+//! ancestor and halts: this models a well-behaved runtime that stops doing
+//! work for dead transactions. The theory does not require it (orphan
+//! activity is legal and the checkers tolerate it) but it keeps long
+//! simulations from accumulating orphan work.
+
+use nt_automata::Component;
+use nt_model::{Action, TxId, TxTree, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// How a scripted transaction schedules its children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildOrder {
+    /// Request every child immediately (maximal intra-transaction
+    /// concurrency).
+    Parallel,
+    /// Request child *i+1* only after child *i* reported (creates
+    /// `precedes(β)` edges between the children).
+    Sequential,
+}
+
+/// A scripted (non-access) transaction automaton.
+pub struct ScriptedTx {
+    tree: Arc<TxTree>,
+    t: TxId,
+    children: Vec<TxId>,
+    order: ChildOrder,
+    created: bool,
+    requested: usize,
+    reported: BTreeSet<TxId>,
+    commit_requested: bool,
+    halted: bool,
+    /// Whether to stop acting when an ancestor aborts (default true).
+    /// Disabling it exercises *orphan activity*, which the paper's theory
+    /// tolerates: orphans may keep running, and serial correctness for
+    /// `T0` is unaffected.
+    pub halt_on_abort: bool,
+}
+
+impl ScriptedTx {
+    /// A scripted transaction `t` that will run `children` (which must all
+    /// be children of `t` in the tree).
+    pub fn new(tree: Arc<TxTree>, t: TxId, children: Vec<TxId>, order: ChildOrder) -> Self {
+        debug_assert!(children.iter().all(|&c| tree.parent(c) == Some(t)));
+        ScriptedTx {
+            tree,
+            t,
+            children,
+            order,
+            created: false,
+            requested: 0,
+            reported: BTreeSet::new(),
+            commit_requested: false,
+            halted: false,
+            halt_on_abort: true,
+        }
+    }
+
+    /// The transaction this automaton animates.
+    pub fn tx(&self) -> TxId {
+        self.t
+    }
+
+    /// Has this transaction finished its script (committed-requested or
+    /// halted)?
+    pub fn is_done(&self) -> bool {
+        self.commit_requested || self.halted
+    }
+}
+
+impl Component for ScriptedTx {
+    fn name(&self) -> String {
+        format!("tx({})", self.t)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(t) => *t == self.t,
+            Action::ReportCommit(c, _) | Action::ReportAbort(c) => {
+                self.tree.parent(*c) == Some(self.t)
+            }
+            // Listen for the fate of self and ancestors (halt on abort).
+            Action::Abort(u) => self.tree.is_ancestor(*u, self.t),
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        match a {
+            Action::RequestCreate(c) => self.tree.parent(*c) == Some(self.t),
+            Action::RequestCommit(t, _) => *t == self.t && !self.tree.is_access(self.t),
+            _ => false,
+        }
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) if *t == self.t => self.created = true,
+            Action::ReportCommit(c, _) | Action::ReportAbort(c) => {
+                self.reported.insert(*c);
+            }
+            Action::Abort(_)
+                if self.halt_on_abort => {
+                    self.halted = true;
+                }
+            Action::RequestCreate(_) => self.requested += 1,
+            Action::RequestCommit(_, _) => self.commit_requested = true,
+            _ => {}
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        if !self.created || self.halted || self.commit_requested {
+            return;
+        }
+        let can_request_next = match self.order {
+            ChildOrder::Parallel => self.requested < self.children.len(),
+            ChildOrder::Sequential => {
+                self.requested < self.children.len() && self.reported.len() == self.requested
+            }
+        };
+        if can_request_next {
+            buf.push(Action::RequestCreate(self.children[self.requested]));
+        }
+        if self.t != TxId::ROOT
+            && self.requested == self.children.len()
+            && self.reported.len() == self.children.len()
+        {
+            buf.push(Action::RequestCommit(self.t, Value::Ok));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::Op;
+
+    fn setup(order: ChildOrder) -> (Arc<TxTree>, ScriptedTx, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let c1 = tree.add_access(a, x, Op::Read);
+        let c2 = tree.add_access(a, x, Op::Write(1));
+        let tree = Arc::new(tree);
+        let tx = ScriptedTx::new(Arc::clone(&tree), a, vec![c1, c2], order);
+        (tree, tx, a, c1, c2)
+    }
+
+    fn enabled(t: &ScriptedTx) -> Vec<Action> {
+        let mut buf = Vec::new();
+        t.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn lifecycle_parallel() {
+        let (_tree, mut tx, a, c1, c2) = setup(ChildOrder::Parallel);
+        assert!(enabled(&tx).is_empty(), "nothing before CREATE");
+        tx.apply(&Action::Create(a));
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c1)]);
+        tx.apply(&Action::RequestCreate(c1));
+        // Parallel: second request available before any report.
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c2)]);
+        tx.apply(&Action::RequestCreate(c2));
+        assert!(enabled(&tx).is_empty(), "waiting for reports");
+        tx.apply(&Action::ReportCommit(c1, Value::Int(0)));
+        tx.apply(&Action::ReportAbort(c2));
+        assert_eq!(enabled(&tx), vec![Action::RequestCommit(a, Value::Ok)]);
+        tx.apply(&Action::RequestCommit(a, Value::Ok));
+        assert!(tx.is_done());
+        assert!(enabled(&tx).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_sequential_waits_for_reports() {
+        let (_tree, mut tx, a, c1, c2) = setup(ChildOrder::Sequential);
+        tx.apply(&Action::Create(a));
+        tx.apply(&Action::RequestCreate(c1));
+        assert!(
+            enabled(&tx).is_empty(),
+            "sequential: c2 must wait for c1's report"
+        );
+        tx.apply(&Action::ReportCommit(c1, Value::Int(0)));
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c2)]);
+    }
+
+    #[test]
+    fn halts_on_ancestor_abort() {
+        let (_tree, mut tx, a, _c1, _c2) = setup(ChildOrder::Parallel);
+        tx.apply(&Action::Create(a));
+        assert!(!enabled(&tx).is_empty());
+        assert!(tx.is_input(&Action::Abort(a)));
+        assert!(tx.is_input(&Action::Abort(TxId::ROOT)));
+        tx.apply(&Action::Abort(a));
+        assert!(tx.is_done());
+        assert!(enabled(&tx).is_empty());
+    }
+
+    #[test]
+    fn root_never_requests_commit() {
+        let mut tree = TxTree::new();
+        let a = tree.add_inner(TxId::ROOT);
+        let tree = Arc::new(tree);
+        let mut root = ScriptedTx::new(
+            Arc::clone(&tree),
+            TxId::ROOT,
+            vec![a],
+            ChildOrder::Parallel,
+        );
+        root.apply(&Action::Create(TxId::ROOT));
+        root.apply(&Action::RequestCreate(a));
+        root.apply(&Action::ReportCommit(a, Value::Ok));
+        assert!(
+            enabled(&root).is_empty(),
+            "T0 models the environment and never finishes"
+        );
+    }
+}

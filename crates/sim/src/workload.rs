@@ -1,0 +1,346 @@
+//! Workload specification and generation.
+//!
+//! A [`WorkloadSpec`] describes a family of nested-transaction workloads:
+//! how many top-level transactions, how deep and bushy the nesting is, how
+//! many objects of which type, the operation mix, and access skew. From a
+//! seed it deterministically generates the naming tree and the per-
+//! transaction scripts the simulator animates.
+
+use crate::script::{ChildOrder, ScriptedTx};
+use nt_model::rw::RwInitials;
+use nt_model::{Op, ObjId, TxId, TxTree};
+use nt_serial::{ObjectTypes, RwRegister, SerialType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Which data type the workload's objects have, with its operation mix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpMix {
+    /// Read/write registers; reads drawn with the given probability.
+    ReadWrite {
+        /// Probability an access is a read.
+        read_ratio: f64,
+    },
+    /// Counters; `GetCount` drawn with the given probability, otherwise
+    /// `Add` of a small positive delta.
+    Counter {
+        /// Probability an access is a `GetCount`.
+        read_ratio: f64,
+    },
+    /// Bank accounts (opening balance 1000): `Balance` with probability
+    /// `read_ratio`, the rest split between deposits and withdrawals.
+    Account {
+        /// Probability an access is a `Balance`.
+        read_ratio: f64,
+    },
+    /// Integer sets over a small element domain.
+    IntSet,
+    /// FIFO queues.
+    Queue,
+    /// Key-value maps over a small key domain.
+    KvMap,
+}
+
+impl OpMix {
+    /// The serial type objects of this mix have.
+    pub fn serial_type(&self) -> Arc<dyn SerialType> {
+        match self {
+            OpMix::ReadWrite { .. } => Arc::new(RwRegister::new(0)),
+            OpMix::Counter { .. } => Arc::new(nt_datatypes::Counter::new(0)),
+            OpMix::Account { .. } => Arc::new(nt_datatypes::Account::new(1000)),
+            OpMix::IntSet => Arc::new(nt_datatypes::IntSetType::new()),
+            OpMix::Queue => Arc::new(nt_datatypes::QueueType::new()),
+            OpMix::KvMap => Arc::new(nt_datatypes::KvMapType::new()),
+        }
+    }
+
+    /// Is this a read/write-register mix (Moss locking applies)?
+    pub fn is_read_write(&self) -> bool {
+        matches!(self, OpMix::ReadWrite { .. })
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> Op {
+        match self {
+            OpMix::ReadWrite { read_ratio } => {
+                if rng.gen_bool(*read_ratio) {
+                    Op::Read
+                } else {
+                    Op::Write(rng.gen_range(0..1000))
+                }
+            }
+            OpMix::Counter { read_ratio } => {
+                if rng.gen_bool(*read_ratio) {
+                    Op::GetCount
+                } else {
+                    Op::Add(rng.gen_range(1..10))
+                }
+            }
+            OpMix::Account { read_ratio } => {
+                if rng.gen_bool(*read_ratio) {
+                    Op::Balance
+                } else if rng.gen_bool(0.5) {
+                    Op::Deposit(rng.gen_range(1..50))
+                } else {
+                    Op::Withdraw(rng.gen_range(1..50))
+                }
+            }
+            OpMix::IntSet => match rng.gen_range(0..4) {
+                0 => Op::Insert(rng.gen_range(0..8)),
+                1 => Op::Remove(rng.gen_range(0..8)),
+                2 => Op::Contains(rng.gen_range(0..8)),
+                _ => Op::Size,
+            },
+            OpMix::Queue => {
+                if rng.gen_bool(0.6) {
+                    Op::Enqueue(rng.gen_range(0..100))
+                } else {
+                    Op::Dequeue
+                }
+            }
+            OpMix::KvMap => match rng.gen_range(0..4) {
+                0 | 1 => Op::Put(rng.gen_range(0..6), rng.gen_range(0..100)),
+                2 => Op::Get(rng.gen_range(0..6)),
+                _ => Op::Delete(rng.gen_range(0..6)),
+            },
+        }
+    }
+}
+
+/// A family of workloads, deterministic given `seed`.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of top-level transactions (children of `T0`).
+    pub top_level: usize,
+    /// Number of objects.
+    pub objects: usize,
+    /// Maximum nesting depth *below* top-level transactions
+    /// (0 = flat: top-level transactions contain accesses only).
+    pub max_depth: u32,
+    /// Children per non-access transaction: uniform in
+    /// `min_children..=max_children`.
+    pub min_children: usize,
+    /// See `min_children`.
+    pub max_children: usize,
+    /// Probability a child of a non-maximal-depth transaction is a
+    /// subtransaction rather than an access.
+    pub subtx_prob: f64,
+    /// Probability a transaction runs its children sequentially
+    /// (producing `precedes` edges) rather than in parallel.
+    pub sequential_prob: f64,
+    /// Operation mix / object type.
+    pub mix: OpMix,
+    /// Access skew: probability an access goes to object 0 (the hotspot);
+    /// otherwise uniform over all objects.
+    pub hotspot: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// If true, transactions keep acting after an ancestor aborts
+    /// (orphan activity — legal per the paper, default off for liveness).
+    pub orphan_activity: bool,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            top_level: 8,
+            objects: 4,
+            max_depth: 2,
+            min_children: 1,
+            max_children: 3,
+            subtx_prob: 0.4,
+            sequential_prob: 0.3,
+            mix: OpMix::ReadWrite { read_ratio: 0.5 },
+            hotspot: 0.0,
+            seed: 0,
+            orphan_activity: false,
+        }
+    }
+}
+
+/// A generated workload: the naming tree, the client automata scripts, and
+/// the serial types (for checking).
+pub struct Workload {
+    /// The naming tree (shared by every component).
+    pub tree: Arc<TxTree>,
+    /// One scripted automaton per non-access transaction, `T0` first.
+    pub clients: Vec<ScriptedTx>,
+    /// The serial types of the objects.
+    pub types: ObjectTypes,
+    /// Initial values for read/write checking paths.
+    pub initials: RwInitials,
+    /// The top-level transaction names.
+    pub top: Vec<TxId>,
+}
+
+impl WorkloadSpec {
+    /// Generate the workload deterministically from the seed.
+    pub fn generate(&self) -> Workload {
+        assert!(self.top_level >= 1 && self.objects >= 1);
+        assert!(self.min_children >= 1 && self.min_children <= self.max_children);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tree = TxTree::new();
+        tree.add_objects(self.objects);
+        // (tx, children, order) scripts, built during tree construction.
+        let mut scripts: Vec<(TxId, Vec<TxId>, ChildOrder)> = Vec::new();
+        let mut top = Vec::with_capacity(self.top_level);
+        for _ in 0..self.top_level {
+            let t = self.gen_tx(&mut tree, TxId::ROOT, 0, &mut rng, &mut scripts);
+            top.push(t);
+        }
+        let tree = Arc::new(tree);
+        let mut clients = Vec::with_capacity(scripts.len() + 1);
+        clients.push(ScriptedTx::new(
+            Arc::clone(&tree),
+            TxId::ROOT,
+            top.clone(),
+            ChildOrder::Parallel,
+        ));
+        for (t, children, order) in scripts {
+            let mut c = ScriptedTx::new(Arc::clone(&tree), t, children, order);
+            c.halt_on_abort = !self.orphan_activity;
+            clients.push(c);
+        }
+        let types = ObjectTypes::uniform(self.objects, self.mix.serial_type());
+        Workload {
+            tree,
+            clients,
+            types,
+            initials: RwInitials::uniform(0),
+            top,
+        }
+    }
+
+    fn pick_object(&self, rng: &mut StdRng) -> ObjId {
+        if self.hotspot > 0.0 && rng.gen_bool(self.hotspot) {
+            ObjId(0)
+        } else {
+            ObjId(rng.gen_range(0..self.objects as u32))
+        }
+    }
+
+    fn gen_tx(
+        &self,
+        tree: &mut TxTree,
+        parent: TxId,
+        depth: u32,
+        rng: &mut StdRng,
+        scripts: &mut Vec<(TxId, Vec<TxId>, ChildOrder)>,
+    ) -> TxId {
+        let t = tree.add_inner(parent);
+        let n = rng.gen_range(self.min_children..=self.max_children);
+        let mut children = Vec::with_capacity(n);
+        for _ in 0..n {
+            if depth < self.max_depth && rng.gen_bool(self.subtx_prob) {
+                children.push(self.gen_tx(tree, t, depth + 1, rng, scripts));
+            } else {
+                let x = self.pick_object(rng);
+                let op = self.mix.draw(rng);
+                children.push(tree.add_access(t, x, op));
+            }
+        }
+        let order = if rng.gen_bool(self.sequential_prob) {
+            ChildOrder::Sequential
+        } else {
+            ChildOrder::Parallel
+        };
+        scripts.push((t, children, order));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        let w1 = spec.generate();
+        let w2 = spec.generate();
+        assert_eq!(w1.tree.len(), w2.tree.len());
+        assert_eq!(w1.top, w2.top);
+        assert_eq!(w1.clients.len(), w2.clients.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::default().generate();
+        let b = WorkloadSpec {
+            seed: 1,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        // Trees almost surely differ in size for different seeds.
+        assert!(a.tree.len() != b.tree.len() || a.tree.accesses().count() != b.tree.accesses().count());
+    }
+
+    #[test]
+    fn respects_shape_bounds() {
+        let spec = WorkloadSpec {
+            top_level: 5,
+            max_depth: 1,
+            min_children: 2,
+            max_children: 3,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        assert_eq!(w.top.len(), 5);
+        for t in w.tree.all_tx() {
+            if t == TxId::ROOT {
+                continue;
+            }
+            assert!(w.tree.depth(t) <= 3, "top(1) + depth(1) + access(1)");
+            if !w.tree.is_access(t) {
+                let n = w.tree.children(t).len();
+                assert!((2..=3).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_workload_has_depth_two_accesses() {
+        let spec = WorkloadSpec {
+            max_depth: 0,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        for u in w.tree.accesses() {
+            assert_eq!(w.tree.depth(u), 2, "T0 → top-level → access");
+        }
+    }
+
+    #[test]
+    fn all_mixes_generate() {
+        for mix in [
+            OpMix::ReadWrite { read_ratio: 0.5 },
+            OpMix::Counter { read_ratio: 0.2 },
+            OpMix::Account { read_ratio: 0.2 },
+            OpMix::IntSet,
+            OpMix::Queue,
+            OpMix::KvMap,
+        ] {
+            let w = WorkloadSpec {
+                mix,
+                ..WorkloadSpec::default()
+            }
+            .generate();
+            assert!(w.tree.accesses().count() > 0);
+            assert_eq!(w.types.len(), 4);
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_accesses() {
+        let spec = WorkloadSpec {
+            hotspot: 1.0,
+            objects: 8,
+            top_level: 10,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        for u in w.tree.accesses() {
+            assert_eq!(w.tree.object_of(u), Some(ObjId(0)));
+        }
+    }
+}

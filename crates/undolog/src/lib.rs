@@ -1,0 +1,376 @@
+//! # nt-undolog
+//!
+//! The undo logging algorithm of §6.2 — a generalization to nested
+//! transactions of Weihl's commutativity-based recovery — implemented as
+//! the generic object automaton `U_X`, proved correct by the paper's
+//! Theorem 25. Works for objects of **arbitrary data type**: the more
+//! operations commute backward, the more concurrency it admits.
+//!
+//! ## The algorithm
+//!
+//! `U_X` keeps the object "state" abstractly, as a log of operations
+//! `(T, v)` in execution order:
+//!
+//! * an access `T` may be answered with value `v` only when `(T, v)`
+//!   *commutes backward* with every logged operation performed by a
+//!   transaction not yet visible to `T` (per the `INFORM_COMMIT`s received
+//!   so far), and the extended log replays legally;
+//! * `INFORM_COMMIT(T)` merely records `T` in the `committed` set
+//!   (enlarging visibility);
+//! * `INFORM_ABORT(T)` deletes all of `T`'s descendants' operations from
+//!   the log — the *undo*. Backward commutativity of everything that was
+//!   allowed to run concurrently guarantees the surviving log is still
+//!   replayable (Lemma 21).
+
+use nt_automata::Component;
+use nt_model::{Action, Op, ObjId, TxId, TxTree, Value};
+use nt_serial::{replay_from, SerialType};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One undo-log entry: the access, its operation, and its return value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The access transaction.
+    pub tx: TxId,
+    /// Its operation.
+    pub op: Op,
+    /// Its recorded return value.
+    pub value: Value,
+}
+
+/// The undo logging object automaton `U_X`.
+pub struct UndoLogObject {
+    tree: Arc<TxTree>,
+    x: ObjId,
+    ty: Arc<dyn SerialType>,
+    created: BTreeSet<TxId>,
+    commit_requested: BTreeSet<TxId>,
+    committed: BTreeSet<TxId>,
+    /// Transactions whose `INFORM_ABORT` this object has received; their
+    /// descendants (*local orphans*) are never answered — a sound
+    /// strengthening that keeps late orphan operations from clogging the
+    /// log forever.
+    aborted_seen: BTreeSet<TxId>,
+    operations: Vec<LogEntry>,
+    /// Cached replay state of `operations` (kept in sync incrementally;
+    /// rebuilt after log erasures).
+    state: Value,
+}
+
+impl UndoLogObject {
+    /// A fresh `U_X` for object `x` with serial type `ty`.
+    pub fn new(tree: Arc<TxTree>, x: ObjId, ty: Arc<dyn SerialType>) -> Self {
+        let state = ty.initial();
+        UndoLogObject {
+            tree,
+            x,
+            ty,
+            created: BTreeSet::new(),
+            commit_requested: BTreeSet::new(),
+            committed: BTreeSet::new(),
+            aborted_seen: BTreeSet::new(),
+            operations: Vec::new(),
+            state,
+        }
+    }
+
+    /// The current log (inspection).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.operations
+    }
+
+    /// The current replayed state (inspection).
+    pub fn state(&self) -> &Value {
+        &self.state
+    }
+
+    /// Is logged access `t_logged` *locally visible* to `t` per the
+    /// `INFORM_COMMIT`s received: every ancestor of `t_logged` strictly
+    /// below `lca(t_logged, t)` is in `committed`?
+    fn locally_visible(&self, t_logged: TxId, t: TxId) -> bool {
+        let stop = self.tree.lca(t_logged, t);
+        let mut cur = t_logged;
+        while cur != stop {
+            if !self.committed.contains(&cur) {
+                return false;
+            }
+            cur = self.tree.parent(cur).expect("walk ends at lca");
+        }
+        true
+    }
+
+    /// Is `t` a local orphan at this object: has an ancestor whose
+    /// `INFORM_ABORT` was received here?
+    pub fn is_local_orphan(&self, t: TxId) -> bool {
+        self.tree.ancestors(t).any(|u| self.aborted_seen.contains(&u))
+    }
+
+    /// The §6.2 `REQUEST_COMMIT` precondition for access `t`, with the
+    /// value the serial type determines. Returns `Some(v)` iff enabled.
+    fn try_respond(&self, t: TxId) -> Option<Value> {
+        let op = self.tree.op_of(t).expect("access");
+        let (_, v) = self.ty.apply(&self.state, op);
+        let candidate = (op.clone(), v.clone());
+        for e in &self.operations {
+            if self.locally_visible(e.tx, t) {
+                continue;
+            }
+            if !self
+                .ty
+                .commutes_backward(&candidate, &(e.op.clone(), e.value.clone()))
+            {
+                return None;
+            }
+        }
+        // `perform(operations · (t, v))` is a behavior of S_X: the log
+        // replays to `state` by construction, and `v` was computed by the
+        // specification from `state`, so the extended log is legal.
+        Some(v)
+    }
+
+    /// Accesses created but unanswered whose precondition fails, with the
+    /// log entries blocking them (inspection; deadlock detection).
+    pub fn waiting(&self) -> Vec<(TxId, Vec<TxId>)> {
+        let mut out = Vec::new();
+        for &t in self.created.difference(&self.commit_requested) {
+            if self.is_local_orphan(t) || self.try_respond(t).is_some() {
+                continue;
+            }
+            let op = self.tree.op_of(t).expect("access");
+            let (_, v) = self.ty.apply(&self.state, op);
+            let candidate = (op.clone(), v);
+            let blockers: Vec<TxId> = self
+                .operations
+                .iter()
+                .filter(|e| {
+                    !self.locally_visible(e.tx, t)
+                        && !self
+                            .ty
+                            .commutes_backward(&candidate, &(e.op.clone(), e.value.clone()))
+                })
+                .map(|e| e.tx)
+                .collect();
+            out.push((t, blockers));
+        }
+        out
+    }
+
+    fn rebuild_state(&mut self) {
+        let ops: Vec<(Op, Value)> = self
+            .operations
+            .iter()
+            .map(|e| (e.op.clone(), e.value.clone()))
+            .collect();
+        self.state = replay_from(self.ty.as_ref(), self.ty.initial(), &ops)
+            .expect("undo log must stay replayable (Lemma 21)");
+    }
+}
+
+impl Component for UndoLogObject {
+    fn name(&self) -> String {
+        format!("U({})", self.x)
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        match a {
+            Action::Create(t) => self.tree.object_of(*t) == Some(self.x),
+            Action::InformCommit(x, t) | Action::InformAbort(x, t) => {
+                *x == self.x && *t != TxId::ROOT
+            }
+            _ => false,
+        }
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::RequestCommit(t, _) if self.tree.object_of(*t) == Some(self.x))
+    }
+
+    fn apply(&mut self, a: &Action) {
+        match a {
+            Action::Create(t) => {
+                self.created.insert(*t);
+            }
+            Action::InformCommit(_, t) => {
+                self.committed.insert(*t);
+            }
+            Action::InformAbort(_, t) => {
+                self.aborted_seen.insert(*t);
+                let tree = Arc::clone(&self.tree);
+                let t = *t;
+                let before = self.operations.len();
+                self.operations.retain(|e| !tree.is_ancestor(t, e.tx));
+                if self.operations.len() != before {
+                    self.rebuild_state();
+                }
+            }
+            Action::RequestCommit(t, v) => {
+                debug_assert_eq!(self.try_respond(*t).as_ref(), Some(v));
+                self.commit_requested.insert(*t);
+                let op = self.tree.op_of(*t).expect("access").clone();
+                let (next, _) = self.ty.apply(&self.state, &op);
+                self.state = next;
+                self.operations.push(LogEntry {
+                    tx: *t,
+                    op,
+                    value: v.clone(),
+                });
+            }
+            _ => unreachable!("U_X shares no other action"),
+        }
+    }
+
+    fn enabled_outputs(&self, buf: &mut Vec<Action>) {
+        for &t in self.created.difference(&self.commit_requested) {
+            if self.is_local_orphan(t) {
+                continue;
+            }
+            if let Some(v) = self.try_respond(t) {
+                buf.push(Action::RequestCommit(t, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_serial::RwRegister;
+
+    /// A tiny counter type local to the tests (the full library version
+    /// lives in nt-datatypes; this keeps the dependency direction clean).
+    #[derive(Debug)]
+    struct TestCounter;
+    impl SerialType for TestCounter {
+        fn type_name(&self) -> &'static str {
+            "test-counter"
+        }
+        fn initial(&self) -> Value {
+            Value::Int(0)
+        }
+        fn apply(&self, state: &Value, op: &Op) -> (Value, Value) {
+            let s = state.as_int().unwrap();
+            match op {
+                Op::Add(d) => (Value::Int(s + d), Value::Ok),
+                Op::GetCount => (state.clone(), Value::Int(s)),
+                other => panic!("counter does not support {other}"),
+            }
+        }
+        fn commutes_backward(&self, a: &(Op, Value), b: &(Op, Value)) -> bool {
+            matches!((&a.0, &b.0), (Op::Add(_), Op::Add(_)))
+                || matches!((&a.0, &b.0), (Op::GetCount, Op::GetCount))
+        }
+    }
+
+    fn counter_setup() -> (Arc<TxTree>, UndoLogObject, TxId, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let ua = tree.add_access(a, x, Op::Add(3));
+        let ub = tree.add_access(b, x, Op::Add(4));
+        let ga = tree.add_access(a, x, Op::GetCount);
+        let _ = ga;
+        let tree = Arc::new(tree);
+        let obj = UndoLogObject::new(Arc::clone(&tree), x, Arc::new(TestCounter));
+        (tree, obj, a, b, ua, ub)
+    }
+
+    fn enabled(o: &UndoLogObject) -> Vec<Action> {
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn commuting_adds_run_concurrently() {
+        let (_tree, mut o, _a, _b, ua, ub) = counter_setup();
+        o.apply(&Action::Create(ua));
+        o.apply(&Action::Create(ub));
+        // Both adds enabled simultaneously: they commute backward.
+        assert_eq!(enabled(&o).len(), 2);
+        o.apply(&Action::RequestCommit(ua, Value::Ok));
+        // ub still enabled with ua's add uncommitted — Moss locking would
+        // block here; undo logging does not.
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(ub, Value::Ok)]);
+        o.apply(&Action::RequestCommit(ub, Value::Ok));
+        assert_eq!(o.state(), &Value::Int(7));
+        assert_eq!(o.log().len(), 2);
+    }
+
+    #[test]
+    fn get_blocks_on_uncommitted_add() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let ua = tree.add_access(a, x, Op::Add(3));
+        let gb = tree.add_access(b, x, Op::GetCount);
+        let tree = Arc::new(tree);
+        let mut o = UndoLogObject::new(Arc::clone(&tree), x, Arc::new(TestCounter));
+        o.apply(&Action::Create(ua));
+        o.apply(&Action::RequestCommit(ua, Value::Ok));
+        o.apply(&Action::Create(gb));
+        assert!(enabled(&o).is_empty(), "GetCount vs uncommitted Add");
+        assert_eq!(o.waiting()[0], (gb, vec![ua]));
+        // Commit ua and a: the add becomes visible to gb.
+        o.apply(&Action::InformCommit(ObjId(0), ua));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(gb, Value::Int(3))]);
+    }
+
+    #[test]
+    fn abort_undoes_descendant_operations() {
+        let (_tree, mut o, a, _b, ua, ub) = counter_setup();
+        o.apply(&Action::Create(ua));
+        o.apply(&Action::RequestCommit(ua, Value::Ok));
+        o.apply(&Action::Create(ub));
+        o.apply(&Action::RequestCommit(ub, Value::Ok));
+        assert_eq!(o.state(), &Value::Int(7));
+        // Abort a: ua's add is erased from the log, state recomputed.
+        o.apply(&Action::InformAbort(ObjId(0), a));
+        assert_eq!(o.state(), &Value::Int(4));
+        assert_eq!(o.log().len(), 1);
+        assert_eq!(o.log()[0].tx, ub);
+    }
+
+    #[test]
+    fn register_type_behaves_like_locking_for_conflicts() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let wa = tree.add_access(a, x, Op::Write(5));
+        let rb = tree.add_access(b, x, Op::Read);
+        let tree = Arc::new(tree);
+        let mut o = UndoLogObject::new(Arc::clone(&tree), x, Arc::new(RwRegister::new(0)));
+        o.apply(&Action::Create(wa));
+        o.apply(&Action::RequestCommit(wa, Value::Ok));
+        o.apply(&Action::Create(rb));
+        assert!(enabled(&o).is_empty(), "read waits on uncommitted write");
+        o.apply(&Action::InformCommit(ObjId(0), wa));
+        o.apply(&Action::InformCommit(ObjId(0), a));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(rb, Value::Int(5))]);
+    }
+
+    #[test]
+    fn nested_visibility_insider_sees_parents_operations() {
+        // a's second access can run even though a's first is uncommitted:
+        // the first is locally visible to the second (same branch).
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let u1 = tree.add_access(a, x, Op::Add(3));
+        let g1 = tree.add_access(a, x, Op::GetCount);
+        let tree = Arc::new(tree);
+        let mut o = UndoLogObject::new(Arc::clone(&tree), x, Arc::new(TestCounter));
+        o.apply(&Action::Create(u1));
+        o.apply(&Action::RequestCommit(u1, Value::Ok));
+        o.apply(&Action::Create(g1));
+        // u1 is not committed, but committing u1 (the access) makes it
+        // locally visible to g1 (their lca is a; only u1 itself is below).
+        assert!(enabled(&o).is_empty());
+        o.apply(&Action::InformCommit(ObjId(0), u1));
+        assert_eq!(enabled(&o), vec![Action::RequestCommit(g1, Value::Int(3))]);
+    }
+}

@@ -1,0 +1,139 @@
+//! `sgtcheck` — check a recorded nested-transaction behavior for serial
+//! correctness using the serialization-graph construction of Fekete, Lynch
+//! & Weihl (PODS 1990).
+//!
+//! ```sh
+//! sgtcheck TRACE_FILE [--rw | --types] [--witness] [--quiet]
+//! ```
+//!
+//! * `--types` (default): conflicts from the declared object types'
+//!   backward-commutativity relations (§6.1; Theorem 19);
+//! * `--rw`: the read/write conflict table (§4; Theorem 8) — only for
+//!   traces whose objects are registers;
+//! * `--witness`: on success, print the reconstructed witness serial
+//!   behavior;
+//! * `--quiet`: verdict only, no diagnostics.
+//!
+//! Exit code 0 iff the sufficient condition holds (serially correct with
+//! validated witness); 1 on rejection; 2 on usage/parse errors.
+
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource, EdgeKind, Verdict};
+use nested_sgt::trace::parse_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut use_rw = false;
+    let mut show_witness = false;
+    let mut quiet = false;
+    for a in &args {
+        match a.as_str() {
+            "--rw" => use_rw = true,
+            "--types" => use_rw = false,
+            "--witness" => show_witness = true,
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                eprintln!("usage: sgtcheck TRACE_FILE [--rw | --types] [--witness] [--quiet]");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string())
+            }
+            other => {
+                eprintln!("sgtcheck: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: sgtcheck TRACE_FILE [--rw | --types] [--witness] [--quiet]");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sgtcheck: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match parse_trace(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sgtcheck: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        println!(
+            "{file}: {} transactions ({} accesses), {} objects, {} actions",
+            trace.tree.len(),
+            trace.tree.accesses().count(),
+            trace.types.len(),
+            trace.actions.len()
+        );
+    }
+    let source = if use_rw {
+        ConflictSource::ReadWrite
+    } else {
+        ConflictSource::Types(&trace.types)
+    };
+    let verdict =
+        check_serial_correctness(&trace.tree, &trace.actions, &trace.types, source);
+    match verdict {
+        Verdict::SeriallyCorrect {
+            graph, witness, ..
+        } => {
+            let conflicts = graph
+                .edges
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Conflict)
+                .count();
+            println!(
+                "SERIALLY CORRECT for T0 — SG acyclic ({} nodes, {} conflict + {} precedes edges); witness validated ({} actions)",
+                graph.node_count(),
+                conflicts,
+                graph.edge_count() - conflicts,
+                witness.len()
+            );
+            if show_witness {
+                for a in &witness {
+                    println!("  {a}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Verdict::NotSimple(v) => {
+            println!("REJECTED: not a simple-system behavior — event {}: {}", v.at, v.what);
+            ExitCode::FAILURE
+        }
+        Verdict::InappropriateReturnValues(bad) => {
+            println!(
+                "REJECTED: inappropriate return values — object {}, operation #{}: access {} returned {}",
+                bad.object, bad.op_index, bad.operation.0, bad.operation.1
+            );
+            ExitCode::FAILURE
+        }
+        Verdict::Cyclic { cycle, graph } => {
+            println!("REJECTED: serialization graph is cyclic — cycle {cycle:?}");
+            if !quiet {
+                for e in &graph.edges {
+                    println!(
+                        "  edge {} -> {} in SG(beta, {}) [{:?}] from events #{} and #{}",
+                        e.from, e.to, e.parent, e.kind, e.witness.0, e.witness.1
+                    );
+                }
+                println!(
+                    "note: acyclicity is sufficient, not necessary — the behavior \
+                     may still be serially correct (see EXPERIMENTS.md, E4/E11)"
+                );
+            }
+            ExitCode::FAILURE
+        }
+        Verdict::WitnessFailed(e) => {
+            println!("INTERNAL: hypotheses held but witness construction failed: {e:?}");
+            println!("(this would falsify Theorem 8/19 — please report it)");
+            ExitCode::FAILURE
+        }
+    }
+}

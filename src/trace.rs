@@ -1,0 +1,463 @@
+//! Text codec for system types and behaviors, powering the `sgtcheck` CLI.
+//!
+//! A trace file declares the naming tree and object types, then lists the
+//! behavior's actions, one per line:
+//!
+//! ```text
+//! # objects (id order must be dense, starting at X0)
+//! object X0 register 0
+//! object X1 counter 10
+//!
+//! # transactions (parents must be declared before children)
+//! tx T1 parent T0
+//! access T2 parent T1 object X0 op write 5
+//! access T3 parent T1 object X1 op add 3
+//!
+//! # the behavior
+//! begin
+//! create T0
+//! request_create T1
+//! create T1
+//! request_create T2
+//! create T2
+//! request_commit T2 ok
+//! commit T2
+//! inform_commit X0 T2
+//! report_commit T2 ok
+//! ...
+//! ```
+//!
+//! Identifiers follow the library's display form (`T0`, `T7`, `X3`);
+//! values are `ok`, `nil`, `true`, `false`, or integers. Writing and
+//! parsing round-trip (`format_trace` / `parse_trace`).
+
+use nt_datatypes::{Account, Counter, IntSetType, QueueType};
+use nt_model::{Action, Op, ObjId, TxId, TxTree, Value};
+use nt_serial::{ObjectTypes, RwRegister, SerialType};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A parsed trace: naming tree, object types, and the behavior.
+#[derive(Debug)]
+pub struct Trace {
+    /// The naming tree.
+    pub tree: TxTree,
+    /// Serial types per object.
+    pub types: ObjectTypes,
+    /// The behavior.
+    pub actions: Vec<Action>,
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_tx(tok: &str, line: usize) -> Result<u32, ParseError> {
+    tok.strip_prefix('T')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected transaction id like T3, got {tok}")))
+}
+
+fn parse_obj(tok: &str, line: usize) -> Result<u32, ParseError> {
+    tok.strip_prefix('X')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected object id like X0, got {tok}")))
+}
+
+fn parse_value(toks: &[&str], line: usize) -> Result<Value, ParseError> {
+    match toks {
+        ["ok"] => Ok(Value::Ok),
+        ["nil"] => Ok(Value::Nil),
+        ["true"] => Ok(Value::Bool(true)),
+        ["false"] => Ok(Value::Bool(false)),
+        [n] => n
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| err(line, format!("bad value: {n}"))),
+        other => Err(err(line, format!("bad value: {other:?}"))),
+    }
+}
+
+fn parse_op(toks: &[&str], line: usize) -> Result<Op, ParseError> {
+    let int = |s: &str| -> Result<i64, ParseError> {
+        s.parse().map_err(|_| err(line, format!("bad number {s}")))
+    };
+    match toks {
+        ["read"] => Ok(Op::Read),
+        ["write", n] => Ok(Op::Write(int(n)?)),
+        ["add", n] => Ok(Op::Add(int(n)?)),
+        ["getcount"] => Ok(Op::GetCount),
+        ["deposit", n] => Ok(Op::Deposit(int(n)?)),
+        ["withdraw", n] => Ok(Op::Withdraw(int(n)?)),
+        ["balance"] => Ok(Op::Balance),
+        ["insert", n] => Ok(Op::Insert(int(n)?)),
+        ["remove", n] => Ok(Op::Remove(int(n)?)),
+        ["contains", n] => Ok(Op::Contains(int(n)?)),
+        ["size"] => Ok(Op::Size),
+        ["enqueue", n] => Ok(Op::Enqueue(int(n)?)),
+        ["dequeue"] => Ok(Op::Dequeue),
+        ["put", k, v] => Ok(Op::Put(int(k)?, int(v)?)),
+        ["get", k] => Ok(Op::Get(int(k)?)),
+        ["delete", k] => Ok(Op::Delete(int(k)?)),
+        other => Err(err(line, format!("unknown op: {other:?}"))),
+    }
+}
+
+fn op_to_string(op: &Op) -> String {
+    match op {
+        Op::Read => "read".into(),
+        Op::Write(n) => format!("write {n}"),
+        Op::Add(n) => format!("add {n}"),
+        Op::GetCount => "getcount".into(),
+        Op::Deposit(n) => format!("deposit {n}"),
+        Op::Withdraw(n) => format!("withdraw {n}"),
+        Op::Balance => "balance".into(),
+        Op::Insert(n) => format!("insert {n}"),
+        Op::Remove(n) => format!("remove {n}"),
+        Op::Contains(n) => format!("contains {n}"),
+        Op::Size => "size".into(),
+        Op::Enqueue(n) => format!("enqueue {n}"),
+        Op::Dequeue => "dequeue".into(),
+        Op::Put(k, v) => format!("put {k} {v}"),
+        Op::Get(k) => format!("get {k}"),
+        Op::Delete(k) => format!("delete {k}"),
+    }
+}
+
+fn value_to_string(v: &Value) -> String {
+    match v {
+        Value::Ok => "ok".into(),
+        Value::Nil => "nil".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        other => panic!("composite value {other} not representable in traces"),
+    }
+}
+
+/// Parse a trace file.
+pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
+    let mut tree = TxTree::new();
+    let mut types: Vec<Arc<dyn SerialType>> = Vec::new();
+    // External id → arena id (declaration order need not be dense).
+    let mut txmap: HashMap<u32, TxId> = HashMap::new();
+    txmap.insert(0, TxId::ROOT);
+    let mut actions: Vec<Action> = Vec::new();
+    let mut in_behavior = false;
+
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if !in_behavior {
+            match toks.as_slice() {
+                ["begin"] => {
+                    in_behavior = true;
+                }
+                ["object", x, rest @ ..] => {
+                    let xi = parse_obj(x, line_no)?;
+                    if xi as usize != types.len() {
+                        return Err(err(line_no, "objects must be declared in order X0, X1, …"));
+                    }
+                    let int = |s: &str| -> Result<i64, ParseError> {
+                        s.parse().map_err(|_| err(line_no, format!("bad number {s}")))
+                    };
+                    let ty: Arc<dyn SerialType> = match rest {
+                        ["register", n] => Arc::new(RwRegister::new(int(n)?)),
+                        ["register"] => Arc::new(RwRegister::new(0)),
+                        ["counter", n] => Arc::new(Counter::new(int(n)?)),
+                        ["counter"] => Arc::new(Counter::new(0)),
+                        ["account", n] => Arc::new(Account::new(int(n)?)),
+                        ["intset"] => Arc::new(IntSetType::new()),
+                        ["queue"] => Arc::new(QueueType::new()),
+                        ["kvmap"] => Arc::new(nt_datatypes::KvMapType::new()),
+                        other => return Err(err(line_no, format!("unknown type {other:?}"))),
+                    };
+                    tree.add_object();
+                    types.push(ty);
+                }
+                ["tx", t, "parent", p] => {
+                    let te = parse_tx(t, line_no)?;
+                    let pe = parse_tx(p, line_no)?;
+                    let parent = *txmap
+                        .get(&pe)
+                        .ok_or_else(|| err(line_no, format!("unknown parent T{pe}")))?;
+                    let id = tree.add_inner(parent);
+                    if txmap.insert(te, id).is_some() {
+                        return Err(err(line_no, format!("duplicate transaction T{te}")));
+                    }
+                }
+                ["access", t, "parent", p, "object", x, "op", op @ ..] => {
+                    let te = parse_tx(t, line_no)?;
+                    let pe = parse_tx(p, line_no)?;
+                    let xi = parse_obj(x, line_no)?;
+                    if xi as usize >= types.len() {
+                        return Err(err(line_no, format!("undeclared object X{xi}")));
+                    }
+                    let parent = *txmap
+                        .get(&pe)
+                        .ok_or_else(|| err(line_no, format!("unknown parent T{pe}")))?;
+                    let op = parse_op(op, line_no)?;
+                    let id = tree.add_access(parent, ObjId(xi), op);
+                    if txmap.insert(te, id).is_some() {
+                        return Err(err(line_no, format!("duplicate transaction T{te}")));
+                    }
+                }
+                other => return Err(err(line_no, format!("unknown declaration: {other:?}"))),
+            }
+            continue;
+        }
+        // Behavior section.
+        let tx = |tok: &str| -> Result<TxId, ParseError> {
+            let e = parse_tx(tok, line_no)?;
+            txmap
+                .get(&e)
+                .copied()
+                .ok_or_else(|| err(line_no, format!("unknown transaction T{e}")))
+        };
+        let action = match toks.as_slice() {
+            ["create", t] => Action::Create(tx(t)?),
+            ["request_create", t] => Action::RequestCreate(tx(t)?),
+            ["request_commit", t, v @ ..] => {
+                Action::RequestCommit(tx(t)?, parse_value(v, line_no)?)
+            }
+            ["commit", t] => Action::Commit(tx(t)?),
+            ["abort", t] => Action::Abort(tx(t)?),
+            ["report_commit", t, v @ ..] => {
+                Action::ReportCommit(tx(t)?, parse_value(v, line_no)?)
+            }
+            ["report_abort", t] => Action::ReportAbort(tx(t)?),
+            ["inform_commit", x, t] => {
+                Action::InformCommit(ObjId(parse_obj(x, line_no)?), tx(t)?)
+            }
+            ["inform_abort", x, t] => {
+                Action::InformAbort(ObjId(parse_obj(x, line_no)?), tx(t)?)
+            }
+            other => return Err(err(line_no, format!("unknown action: {other:?}"))),
+        };
+        actions.push(action);
+    }
+    if !in_behavior {
+        return Err(err(input.lines().count(), "missing `begin` section"));
+    }
+    Ok(Trace {
+        tree,
+        types: ObjectTypes::new(types),
+        actions,
+    })
+}
+
+/// Serialize a tree + types + behavior into the trace format.
+///
+/// Object types are emitted by name with their initial state where the
+/// format supports it; the tree is emitted in registration order (so
+/// parents precede children by construction).
+pub fn format_trace(tree: &TxTree, types: &ObjectTypes, actions: &[Action]) -> String {
+    let mut out = String::new();
+    for (x, ty) in types.iter() {
+        let init = ty.initial();
+        match (ty.type_name(), &init) {
+            ("register", Value::Int(n)) => {
+                let _ = writeln!(out, "object {x} register {n}");
+            }
+            ("counter", Value::Int(n)) => {
+                let _ = writeln!(out, "object {x} counter {n}");
+            }
+            ("account", Value::Int(n)) => {
+                let _ = writeln!(out, "object {x} account {n}");
+            }
+            ("intset", _) => {
+                let _ = writeln!(out, "object {x} intset");
+            }
+            ("queue", _) => {
+                let _ = writeln!(out, "object {x} queue");
+            }
+            ("kvmap", _) => {
+                let _ = writeln!(out, "object {x} kvmap");
+            }
+            other => panic!("type {other:?} not representable in traces"),
+        }
+    }
+    for t in tree.all_tx().skip(1) {
+        let p = tree.parent(t).expect("non-root");
+        match tree.op_of(t) {
+            None => {
+                let _ = writeln!(out, "tx {t} parent {p}");
+            }
+            Some(op) => {
+                let x = tree.object_of(t).expect("access");
+                let _ = writeln!(out, "access {t} parent {p} object {x} op {}", op_to_string(op));
+            }
+        }
+    }
+    let _ = writeln!(out, "begin");
+    for a in actions {
+        let line = match a {
+            Action::Create(t) => format!("create {t}"),
+            Action::RequestCreate(t) => format!("request_create {t}"),
+            Action::RequestCommit(t, v) => {
+                format!("request_commit {t} {}", value_to_string(v))
+            }
+            Action::Commit(t) => format!("commit {t}"),
+            Action::Abort(t) => format!("abort {t}"),
+            Action::ReportCommit(t, v) => {
+                format!("report_commit {t} {}", value_to_string(v))
+            }
+            Action::ReportAbort(t) => format!("report_abort {t}"),
+            Action::InformCommit(x, t) => format!("inform_commit {x} {t}"),
+            Action::InformAbort(x, t) => format!("inform_abort {x} {t}"),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a tiny read/write trace
+object X0 register 0
+tx T1 parent T0
+access T2 parent T1 object X0 op write 5
+begin
+create T0
+request_create T1
+create T1
+request_create T2
+create T2
+request_commit T2 ok
+commit T2
+inform_commit X0 T2
+report_commit T2 ok
+request_commit T1 ok
+commit T1
+";
+
+    #[test]
+    fn parses_sample() {
+        let tr = parse_trace(SAMPLE).expect("parse");
+        assert_eq!(tr.tree.len(), 3);
+        assert_eq!(tr.types.len(), 1);
+        assert_eq!(tr.actions.len(), 11);
+        assert_eq!(tr.actions[0], Action::Create(TxId::ROOT));
+    }
+
+    #[test]
+    fn round_trips() {
+        let tr = parse_trace(SAMPLE).expect("parse");
+        let text = format_trace(&tr.tree, &tr.types, &tr.actions);
+        let tr2 = parse_trace(&text).expect("reparse");
+        assert_eq!(tr.actions, tr2.actions);
+        assert_eq!(tr.tree.len(), tr2.tree.len());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "object X0 register 0\nbegin\nfrobnicate T1\n";
+        let e = parse_trace(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("unknown action"));
+    }
+
+    #[test]
+    fn rejects_unknown_parent_and_object() {
+        let e = parse_trace("tx T1 parent T9\nbegin\n").unwrap_err();
+        assert!(e.msg.contains("unknown parent"));
+        let e = parse_trace("access T1 parent T0 object X4 op read\nbegin\n").unwrap_err();
+        assert!(e.msg.contains("undeclared object"));
+    }
+
+    #[test]
+    fn all_ops_round_trip() {
+        let ops = [
+            Op::Read,
+            Op::Write(1),
+            Op::Add(-2),
+            Op::GetCount,
+            Op::Deposit(3),
+            Op::Withdraw(4),
+            Op::Balance,
+            Op::Insert(5),
+            Op::Remove(6),
+            Op::Contains(7),
+            Op::Size,
+            Op::Enqueue(8),
+            Op::Dequeue,
+        ];
+        for op in ops {
+            let s = op_to_string(&op);
+            let toks: Vec<&str> = s.split_whitespace().collect();
+            assert_eq!(parse_op(&toks, 1).unwrap(), op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod kvmap_tests {
+    use super::*;
+
+    #[test]
+    fn kvmap_trace_round_trips() {
+        let input = r"
+object X0 kvmap
+tx T1 parent T0
+access T2 parent T1 object X0 op put 3 42
+access T3 parent T1 object X0 op get 3
+begin
+create T0
+request_create T1
+create T1
+request_create T2
+create T2
+request_commit T2 ok
+commit T2
+inform_commit X0 T2
+report_commit T2 ok
+request_create T3
+create T3
+request_commit T3 42
+commit T3
+report_commit T3 42
+request_commit T1 ok
+commit T1
+";
+        let tr = parse_trace(input).expect("parse");
+        assert_eq!(tr.types.get(nt_model::ObjId(0)).type_name(), "kvmap");
+        let text = format_trace(&tr.tree, &tr.types, &tr.actions);
+        let tr2 = parse_trace(&text).expect("reparse");
+        assert_eq!(tr.actions, tr2.actions);
+        // And it checks out.
+        let verdict = nt_sgt::check_serial_correctness(
+            &tr.tree,
+            &tr.actions,
+            &tr.types,
+            nt_sgt::ConflictSource::Types(&tr.types),
+        );
+        assert!(verdict.is_serially_correct(), "{verdict:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! The checker must *discriminate*: systems with no concurrency control
+//! (the chaos object — update in place, no locks, no recovery) produce
+//! behaviors the Theorem 8 checker rejects, through one of its two
+//! hypotheses: inappropriate return values (dirty/stale reads surviving
+//! aborts) or a cyclic serialization graph (crossed conflict orders).
+//!
+//! This is experiment E3's assertion set. Note the checker is *sound but
+//! conservative*: some chaos runs are genuinely serializable by luck, so we
+//! assert (a) contended chaos runs get rejected at a substantial rate, and
+//! (b) every rejection is one of the two legitimate kinds — never a
+//! witness-construction failure (which would indicate a checker bug).
+
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
+
+#[test]
+fn chaos_under_contention_is_mostly_rejected() {
+    let mut rejected = 0;
+    let mut cyclic = 0;
+    let mut inappropriate = 0;
+    let total = 30;
+    for seed in 0..total {
+        let spec = WorkloadSpec {
+            seed,
+            top_level: 10,
+            objects: 2,
+            hotspot: 0.7,
+            mix: OpMix::ReadWrite { read_ratio: 0.5 },
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(&mut w, Protocol::Chaos, &SimConfig::default());
+        assert!(r.quiescent, "chaos never blocks");
+        let verdict =
+            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+        match verdict {
+            Verdict::SeriallyCorrect { .. } => {}
+            Verdict::Cyclic { .. } => {
+                rejected += 1;
+                cyclic += 1;
+            }
+            Verdict::InappropriateReturnValues(_) => {
+                rejected += 1;
+                inappropriate += 1;
+            }
+            other => panic!("unexpected verdict kind: {other:?}"),
+        }
+    }
+    assert!(
+        rejected * 2 >= total,
+        "expected most contended chaos runs rejected, got {rejected}/{total}"
+    );
+    assert!(cyclic > 0, "some rejections must be cycles");
+    let _ = inappropriate;
+}
+
+#[test]
+fn chaos_with_aborts_yields_inappropriate_values() {
+    // Aborts with no recovery leave dirty data: the replay path must
+    // catch it on some seeds.
+    let mut inappropriate = 0;
+    for seed in 0..20 {
+        let spec = WorkloadSpec {
+            seed: seed + 400,
+            top_level: 10,
+            objects: 2,
+            hotspot: 0.8,
+            mix: OpMix::ReadWrite { read_ratio: 0.4 },
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let cfg = SimConfig {
+            seed,
+            abort_prob: 0.05,
+            ..SimConfig::default()
+        };
+        let r = run_generic(&mut w, Protocol::Chaos, &cfg);
+        let verdict =
+            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+        if matches!(verdict, Verdict::InappropriateReturnValues(_)) {
+            inappropriate += 1;
+        }
+    }
+    assert!(
+        inappropriate > 0,
+        "dirty data from unrecovered aborts must be detected"
+    );
+}
+
+#[test]
+fn chaos_without_contention_can_pass() {
+    // Soundness sanity: one transaction, one object — chaos is harmless
+    // and the checker must NOT reject (no false alarms on serial-like
+    // executions).
+    let spec = WorkloadSpec {
+        seed: 3,
+        top_level: 1,
+        objects: 1,
+        ..WorkloadSpec::default()
+    };
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, Protocol::Chaos, &SimConfig::default());
+    let verdict =
+        check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+    assert!(verdict.is_serially_correct(), "{verdict:?}");
+}
+
+#[test]
+fn moss_and_chaos_disagree_on_the_same_workload() {
+    // Direct head-to-head: same workload family, locking passes, chaos
+    // fails somewhere in the seed range.
+    let mut chaos_failed = false;
+    for seed in 0..15 {
+        let spec = WorkloadSpec {
+            seed,
+            top_level: 12,
+            objects: 2,
+            hotspot: 0.9,
+            mix: OpMix::ReadWrite { read_ratio: 0.5 },
+            ..WorkloadSpec::default()
+        };
+        let mut w1 = spec.generate();
+        let r1 = run_generic(
+            &mut w1,
+            Protocol::Moss(nested_sgt::locking::LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
+        assert!(check_serial_correctness(
+            &w1.tree,
+            &r1.trace,
+            &w1.types,
+            ConflictSource::ReadWrite
+        )
+        .is_serially_correct());
+
+        let mut w2 = spec.generate();
+        let r2 = run_generic(&mut w2, Protocol::Chaos, &SimConfig::default());
+        if !check_serial_correctness(&w2.tree, &r2.trace, &w2.types, ConflictSource::ReadWrite)
+            .is_serially_correct()
+        {
+            chaos_failed = true;
+        }
+    }
+    assert!(chaos_failed);
+}

@@ -1,0 +1,152 @@
+//! Robustness fuzzing: the checker is a *diagnostic tool* and must return
+//! a verdict — never panic — on arbitrary corruptions of real behaviors:
+//! dropped actions, duplicated actions, swapped neighbors, flipped values,
+//! truncations. Corruptions that break the simple-system discipline must
+//! be classified `NotSimple`; the rest must land in one of the legitimate
+//! verdicts.
+
+use nested_sgt::locking::LockMode;
+use nested_sgt::model::{Action, Value};
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nested_sgt::sim::{run_generic, Protocol, SimConfig, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn base_run(seed: u64) -> (nested_sgt::sim::Workload, Vec<Action>) {
+    let spec = WorkloadSpec {
+        seed,
+        top_level: 6,
+        objects: 3,
+        ..WorkloadSpec::default()
+    };
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+    (w, r.trace)
+}
+
+fn mutate(trace: &mut Vec<Action>, rng: &mut StdRng) {
+    if trace.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..5) {
+        0 => {
+            // Drop a random action.
+            let i = rng.gen_range(0..trace.len());
+            trace.remove(i);
+        }
+        1 => {
+            // Duplicate a random action.
+            let i = rng.gen_range(0..trace.len());
+            let a = trace[i].clone();
+            trace.insert(i, a);
+        }
+        2 => {
+            // Swap two neighbors.
+            if trace.len() >= 2 {
+                let i = rng.gen_range(0..trace.len() - 1);
+                trace.swap(i, i + 1);
+            }
+        }
+        3 => {
+            // Flip a value in a REQUEST_COMMIT.
+            let i = rng.gen_range(0..trace.len());
+            if let Action::RequestCommit(t, _) = &trace[i] {
+                trace[i] = Action::RequestCommit(*t, Value::Int(rng.gen_range(-5..5)));
+            }
+        }
+        _ => {
+            // Truncate.
+            let keep = rng.gen_range(0..trace.len());
+            trace.truncate(keep);
+        }
+    }
+}
+
+#[test]
+fn mutated_traces_never_panic_the_checker() {
+    let mut rng = StdRng::seed_from_u64(0xfead);
+    for seed in 0..6 {
+        let (w, base) = base_run(seed);
+        for trial in 0..40 {
+            let mut trace = base.clone();
+            let n_mutations = 1 + (trial % 4);
+            for _ in 0..n_mutations {
+                mutate(&mut trace, &mut rng);
+            }
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                check_serial_correctness(&w.tree, &trace, &w.types, ConflictSource::ReadWrite)
+            }));
+            let verdict = verdict.unwrap_or_else(|_| {
+                panic!("checker panicked on mutation trial {trial} of seed {seed}")
+            });
+            // Any verdict is fine; it just must be one of the defined ones
+            // and internally consistent.
+            match verdict {
+                Verdict::SeriallyCorrect { witness, .. } => {
+                    assert!(!witness.is_empty() || trace.is_empty());
+                }
+                Verdict::NotSimple(_)
+                | Verdict::InappropriateReturnValues(_)
+                | Verdict::Cyclic { .. } => {}
+                Verdict::WitnessFailed(e) => {
+                    // Permitted only for traces that are not transaction-
+                    // well-formed (mutations can break wf without breaking
+                    // the simple constraints); the checker surfaces it
+                    // rather than panicking.
+                    let _ = e;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_of_valid_runs_are_handled() {
+    // Every prefix of a generic behavior is a generic behavior; the
+    // checker must accept (or legitimately reject) each one.
+    let (w, base) = base_run(9);
+    for cut in 0..base.len() {
+        let prefix = &base[..cut];
+        let verdict =
+            check_serial_correctness(&w.tree, prefix, &w.types, ConflictSource::ReadWrite);
+        match verdict {
+            Verdict::SeriallyCorrect { .. } => {}
+            other => panic!(
+                "prefixes of Moss behaviors are serially correct (Theorem 17); \
+                 cut {cut}: {other:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn value_flips_are_caught() {
+    // Flipping a visible read's value must flip the verdict to
+    // InappropriateReturnValues (or keep rejection); never stay accepted
+    // with a wrong value that matters.
+    let (w, base) = base_run(4);
+    let mut flipped = 0;
+    for i in 0..base.len() {
+        let Action::RequestCommit(t, Value::Int(v)) = &base[i] else {
+            continue;
+        };
+        if !w.tree.is_access(*t) {
+            continue;
+        }
+        let mut trace = base.clone();
+        trace[i] = Action::RequestCommit(*t, Value::Int(v + 1000));
+        let verdict =
+            check_serial_correctness(&w.tree, &trace, &w.types, ConflictSource::ReadWrite);
+        // The flipped read may or may not be visible to T0; if it is, the
+        // replay path must reject.
+        let status = nested_sgt::model::Status::of(&w.tree, &trace);
+        if status.is_visible(&w.tree, *t, nested_sgt::model::TxId::ROOT) {
+            assert!(
+                matches!(verdict, Verdict::InappropriateReturnValues(_)),
+                "flipped visible read at {i} must be caught, got {verdict:?}"
+            );
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "the run must contain visible reads");
+}

@@ -1,0 +1,72 @@
+//! Generator-based checker fuzzing through the paper's own abstraction:
+//! compose the §2.3.1 **simple database** (maximally nondeterministic,
+//! arbitrary access values) with scripted clients, drive it randomly, and
+//! feed every produced behavior to the checker.
+//!
+//! Guarantees exercised:
+//! * every trace satisfies the simple-system constraints (so the checker
+//!   never answers `NotSimple` — the composition is the theorem's domain);
+//! * the checker never panics and always produces a verdict;
+//! * every `SeriallyCorrect` verdict carries a validated witness (spot
+//!   re-checked here against the serial-system validator).
+
+use nested_sgt::automata::{Component, System};
+use nested_sgt::generic::SimpleDatabase;
+use nested_sgt::model::wellformed::check_simple_behavior;
+use nested_sgt::model::Value;
+use nested_sgt::serial::validate_serial_behavior;
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nested_sgt::sim::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+#[test]
+fn simple_system_fuzz_never_breaks_the_checker() {
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for seed in 0..30 {
+        let spec = WorkloadSpec {
+            seed,
+            top_level: 4,
+            objects: 2,
+            max_depth: 1,
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let tree = Arc::clone(&w.tree);
+        let pool = vec![Value::Ok, Value::Int(0), Value::Int(1), Value::Int(500)];
+        let mut db = SimpleDatabase::new(Arc::clone(&tree), pool);
+        // Bias toward commitment on odd seeds so wrong values become
+        // visible; even seeds keep the full abort nondeterminism.
+        db.offer_aborts = seed % 2 == 0;
+        let mut components: Vec<Box<dyn Component>> = vec![Box::new(db)];
+        for c in std::mem::take(&mut w.clients) {
+            components.push(Box::new(c));
+        }
+        let mut sys = System::new(components);
+        let mut rng = StdRng::seed_from_u64(seed * 31 + 7);
+        sys.run(5_000, |enabled| Some(rng.gen_range(0..enabled.len())));
+        let trace = sys.into_trace();
+
+        // Domain check: the composition IS a simple system.
+        check_simple_behavior(&tree, &trace).expect("simple database enforces §2.3.1");
+
+        let verdict =
+            check_serial_correctness(&tree, &trace, &w.types, ConflictSource::ReadWrite);
+        match verdict {
+            Verdict::SeriallyCorrect { witness, .. } => {
+                accepted += 1;
+                validate_serial_behavior(&tree, &witness, &w.types)
+                    .expect("accepted ⇒ witness is serial");
+            }
+            Verdict::InappropriateReturnValues(_) | Verdict::Cyclic { .. } => rejected += 1,
+            Verdict::NotSimple(v) => panic!("domain violated: {v:?}"),
+            Verdict::WitnessFailed(e) => panic!("hypotheses held but witness failed: {e:?}"),
+        }
+    }
+    // Arbitrary values are almost never appropriate: rejections dominate.
+    assert!(rejected > 0, "fuzz must exercise rejection paths");
+    // (accepted may be 0; the pool rarely matches the serial spec.)
+    let _ = accepted;
+}

@@ -1,0 +1,132 @@
+//! Stress the theory's full nondeterminism envelope:
+//!
+//! * **AbortMode::Any** — the paper's generic controller may abort any
+//!   incomplete transaction at any moment; the simulator's random chooser
+//!   then picks aborts constantly. Correctness must survive.
+//! * **Orphan activity** — transactions keep running after an ancestor
+//!   aborts (no runtime halting). The paper explicitly tolerates orphans
+//!   (their activity is invisible to `T0`); the checkers must too.
+
+use nested_sgt::locking::LockMode;
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
+
+fn check(spec: &WorkloadSpec, protocol: Protocol, cfg: &SimConfig, rw: bool) {
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, protocol, cfg);
+    assert!(
+        r.quiescent,
+        "seed {} must quiesce (steps {})",
+        spec.seed, r.steps
+    );
+    let source = if rw {
+        ConflictSource::ReadWrite
+    } else {
+        ConflictSource::Types(&w.types)
+    };
+    let verdict = check_serial_correctness(&w.tree, &r.trace, &w.types, source);
+    match verdict {
+        Verdict::SeriallyCorrect { .. } => {}
+        other => panic!("seed {}: {other:?}", spec.seed),
+    }
+}
+
+#[test]
+fn moss_with_full_abort_nondeterminism() {
+    for seed in 0..10 {
+        let spec = WorkloadSpec {
+            seed,
+            top_level: 6,
+            objects: 3,
+            ..WorkloadSpec::default()
+        };
+        let cfg = SimConfig {
+            seed: seed * 3 + 1,
+            any_abort: true,
+            ..SimConfig::default()
+        };
+        check(&spec, Protocol::Moss(LockMode::ReadWrite), &cfg, true);
+    }
+}
+
+#[test]
+fn undo_with_full_abort_nondeterminism() {
+    for (mix, rw) in [
+        (OpMix::Counter { read_ratio: 0.3 }, false),
+        (OpMix::Account { read_ratio: 0.2 }, false),
+    ] {
+        for seed in 0..6 {
+            let spec = WorkloadSpec {
+                seed: seed + 50,
+                top_level: 6,
+                mix,
+                ..WorkloadSpec::default()
+            };
+            let cfg = SimConfig {
+                seed,
+                any_abort: true,
+                ..SimConfig::default()
+            };
+            check(&spec, Protocol::Undo, &cfg, rw);
+        }
+    }
+}
+
+#[test]
+fn moss_with_orphan_activity() {
+    for seed in 0..10 {
+        let spec = WorkloadSpec {
+            seed: seed + 13,
+            top_level: 8,
+            objects: 3,
+            orphan_activity: true,
+            ..WorkloadSpec::default()
+        };
+        let cfg = SimConfig {
+            seed,
+            abort_prob: 0.03,
+            ..SimConfig::default()
+        };
+        check(&spec, Protocol::Moss(LockMode::ReadWrite), &cfg, true);
+    }
+}
+
+#[test]
+fn undo_with_orphan_activity() {
+    for seed in 0..8 {
+        let spec = WorkloadSpec {
+            seed: seed + 29,
+            top_level: 8,
+            mix: OpMix::IntSet,
+            orphan_activity: true,
+            ..WorkloadSpec::default()
+        };
+        let cfg = SimConfig {
+            seed,
+            abort_prob: 0.03,
+            ..SimConfig::default()
+        };
+        check(&spec, Protocol::Undo, &cfg, false);
+    }
+}
+
+#[test]
+fn everything_at_once() {
+    // Orphans + full abort nondeterminism + hotspot contention.
+    for seed in 0..6 {
+        let spec = WorkloadSpec {
+            seed: seed + 99,
+            top_level: 8,
+            objects: 2,
+            hotspot: 0.7,
+            orphan_activity: true,
+            ..WorkloadSpec::default()
+        };
+        let cfg = SimConfig {
+            seed,
+            any_abort: true,
+            ..SimConfig::default()
+        };
+        check(&spec, Protocol::Moss(LockMode::ReadWrite), &cfg, true);
+    }
+}
