@@ -44,7 +44,11 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
     group.bench_function("witness_reconstruction", |b| {
-        b.iter(|| reconstruct_witness(&tree, &serial, &order, &types).unwrap().len())
+        b.iter(|| {
+            reconstruct_witness(&tree, &serial, &order, &types)
+                .unwrap()
+                .len()
+        })
     });
     group.bench_function("full_check", |b| {
         b.iter(|| {

@@ -22,13 +22,23 @@ fn bench_protocols(c: &mut Criterion) {
     group.bench_function("moss_rw", |b| {
         b.iter(|| {
             let mut w = spec_rw().generate();
-            run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default()).steps
+            run_generic(
+                &mut w,
+                Protocol::Moss(LockMode::ReadWrite),
+                &SimConfig::default(),
+            )
+            .steps
         })
     });
     group.bench_function("moss_exclusive", |b| {
         b.iter(|| {
             let mut w = spec_rw().generate();
-            run_generic(&mut w, Protocol::Moss(LockMode::Exclusive), &SimConfig::default()).steps
+            run_generic(
+                &mut w,
+                Protocol::Moss(LockMode::Exclusive),
+                &SimConfig::default(),
+            )
+            .steps
         })
     });
     group.bench_function("undo_logging", |b| {
@@ -73,7 +83,12 @@ fn bench_protocols(c: &mut Criterion) {
     group.bench_function("moss_conflicting_writes", |b| {
         b.iter(|| {
             let mut w = register_spec.generate();
-            run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default()).steps
+            run_generic(
+                &mut w,
+                Protocol::Moss(LockMode::ReadWrite),
+                &SimConfig::default(),
+            )
+            .steps
         })
     });
     group.finish();

@@ -65,7 +65,14 @@ fn main() {
 fn e1_moss_validation() {
     println!("## E1 — Theorem 17 validation (Moss read/write locking)\n");
     let mut t = Table::new(&[
-        "depth", "objects", "read%", "abort_p", "runs", "correct", "avg SG edges", "victims",
+        "depth",
+        "objects",
+        "read%",
+        "abort_p",
+        "runs",
+        "correct",
+        "avg SG edges",
+        "victims",
     ]);
     for &(depth, objects, read, abort_p) in &[
         (0u32, 4usize, 0.5f64, 0.0f64),
@@ -119,7 +126,14 @@ fn e1_moss_validation() {
 /// for all five data types. Paper prediction: 100%.
 fn e2_undolog_validation() {
     println!("## E2 — Theorem 25 validation (undo logging, arbitrary types)\n");
-    let mut t = Table::new(&["type", "abort_p", "runs", "correct", "avg SG edges", "victims"]);
+    let mut t = Table::new(&[
+        "type",
+        "abort_p",
+        "runs",
+        "correct",
+        "avg SG edges",
+        "victims",
+    ]);
     for (name, mix) in [
         ("register", OpMix::ReadWrite { read_ratio: 0.5 }),
         ("counter", OpMix::Counter { read_ratio: 0.25 }),
@@ -169,7 +183,14 @@ fn e2_undolog_validation() {
 /// rejected, increasingly so with contention and aborts.
 fn e3_checker_discrimination() {
     println!("## E3 — checker discrimination on uncontrolled systems\n");
-    let mut t = Table::new(&["hotspot", "abort_p", "runs", "correct", "cyclic", "inappropriate"]);
+    let mut t = Table::new(&[
+        "hotspot",
+        "abort_p",
+        "runs",
+        "correct",
+        "cyclic",
+        "inappropriate",
+    ]);
     for &(hotspot, abort_p) in &[(0.0, 0.0), (0.5, 0.0), (0.9, 0.0), (0.5, 0.03), (0.9, 0.03)] {
         let mut c = [0u64; 3];
         for seed in 0..SEEDS_PER_CELL {
@@ -228,8 +249,7 @@ fn e4_sufficiency_gap() {
         };
         let mut w = spec.generate();
         let r = run_generic(&mut w, Protocol::Chaos, &SimConfig::default());
-        let v_rw =
-            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+        let v_rw = check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
         if matches!(v_rw, Verdict::Cyclic { .. }) {
             rejected_rw += 1;
             let v_gen = check_serial_correctness(
@@ -243,7 +263,11 @@ fn e4_sufficiency_gap() {
             }
         }
     }
-    let mut t = Table::new(&["rw-cyclic runs", "still rejected by §6.1 conflicts", "accepted by finer relation"]);
+    let mut t = Table::new(&[
+        "rw-cyclic runs",
+        "still rejected by §6.1 conflicts",
+        "accepted by finer relation",
+    ]);
     t.row(vec![
         rejected_rw.to_string(),
         also_rejected_general.to_string(),
@@ -371,13 +395,19 @@ fn e7_rw_vs_exclusive() {
             let r1 = run_generic(
                 &mut w1,
                 Protocol::Moss(LockMode::ReadWrite),
-                &SimConfig { seed, ..SimConfig::default() },
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
             );
             let mut w2 = spec.generate();
             let r2 = run_generic(
                 &mut w2,
                 Protocol::Moss(LockMode::Exclusive),
-                &SimConfig { seed, ..SimConfig::default() },
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
             );
             acc[0] += r1.rounds as f64;
             acc[1] += r2.rounds as f64;
@@ -404,12 +434,7 @@ fn e7_rw_vs_exclusive() {
 /// same verdicts, comparable cost (the generalization is cheap).
 fn e8_nested_vs_classical() {
     println!("## E8 — nested vs classical serialization graphs (flat workloads)\n");
-    let mut t = Table::new(&[
-        "runs",
-        "agree",
-        "nested ms (total)",
-        "classical ms (total)",
-    ]);
+    let mut t = Table::new(&["runs", "agree", "nested ms (total)", "classical ms (total)"]);
     let mut agree = 0u64;
     let runs = 40u64;
     let mut nested_time = 0f64;
@@ -526,7 +551,10 @@ fn e12_certifier() {
                 mix: OpMix::ReadWrite { read_ratio: read },
                 ..WorkloadSpec::default()
             };
-            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
             let (rc, outcome, _) = run_and_check(&spec, Protocol::Certifier, &cfg, true);
             if outcome == CheckOutcome::Correct {
                 correct += 1;
@@ -592,10 +620,14 @@ fn e11_mvto_beyond_sgt() {
                 ..WorkloadSpec::default()
             };
             let mut w = spec.generate();
-            let r = run_generic(&mut w, Protocol::Mvto, &SimConfig {
-                seed,
-                ..SimConfig::default()
-            });
+            let r = run_generic(
+                &mut w,
+                Protocol::Mvto,
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            );
             assert!(r.quiescent);
             let serial = serial_projection(&r.trace);
             let order = SiblingOrder::from_lists(r.pseudotime_order.clone().unwrap());
@@ -606,8 +638,7 @@ fn e11_mvto_beyond_sgt() {
                     witness_ok += 1;
                 }
             }
-            match check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite)
-            {
+            match check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite) {
                 Verdict::SeriallyCorrect { .. } => c[0] += 1,
                 Verdict::InappropriateReturnValues(_) => c[1] += 1,
                 Verdict::Cyclic { .. } => c[2] += 1,

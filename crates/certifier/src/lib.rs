@@ -311,9 +311,8 @@ impl Component for SgtCertifier {
                     // Drop edges witnessed by the aborted subtree (both
                     // conflict and precedes witnesses die with it).
                     let before = self.edges.len();
-                    self.edges.retain(|e| {
-                        !tree.is_ancestor(t, e.wit_a) && !tree.is_ancestor(t, e.wit_b)
-                    });
+                    self.edges
+                        .retain(|e| !tree.is_ancestor(t, e.wit_a) && !tree.is_ancestor(t, e.wit_b));
                     if self.edges.len() != before {
                         self.dirty = true;
                     }
@@ -333,10 +332,7 @@ impl Component for SgtCertifier {
                 for u in prior {
                     self.push_edge(u, *t, EdgeKind::Conflict);
                 }
-                self.logs[x.index()].push(LoggedOp {
-                    tx: *t,
-                    is_write,
-                });
+                self.logs[x.index()].push(LoggedOp { tx: *t, is_write });
                 if is_write {
                     self.values[x.index()] = self
                         .tree

@@ -20,9 +20,7 @@ use crate::graph::SerializationGraph;
 use crate::relations::{build_sg, ConflictSource};
 use crate::witness::{reconstruct_witness, WitnessError};
 use nt_model::rw::{is_current, is_safe, RwInitials};
-use nt_model::seq::{
-    operations, serial_projection, visible_indices, Status,
-};
+use nt_model::seq::{operations, serial_projection, visible_indices, Status};
 use nt_model::wellformed::check_simple_behavior;
 use nt_model::{Action, ObjId, SiblingOrder, TxId, TxTree, Value};
 use nt_serial::{replay, resolve_ops, ObjectTypes};
@@ -128,12 +126,7 @@ pub fn check_current_and_safe(
 /// `R_trans` does not relate a pair, which for suitable `R` cannot happen
 /// between distinct visible accesses of one object… except through ancestor
 /// relations, which distinct leaves never have).
-pub fn view(
-    tree: &TxTree,
-    beta: &[Action],
-    order: &SiblingOrder,
-    x: ObjId,
-) -> Vec<(TxId, Value)> {
+pub fn view(tree: &TxTree, beta: &[Action], order: &SiblingOrder, x: ObjId) -> Vec<(TxId, Value)> {
     let status = Status::of(tree, beta);
     let mut ops: Vec<(TxId, Value)> = Vec::new();
     for a in beta {
@@ -293,15 +286,12 @@ mod tests {
     fn correct_behavior_passes_all_stages() {
         let (tree, types, a, b, u, w) = simple_two_tx();
         let beta = good_behavior(a, b, u, w);
-        assert!(appropriate_return_values(
-            &tree,
-            &nt_model::seq::serial_projection(&beta),
-            &types
-        )
-        .is_ok());
+        assert!(
+            appropriate_return_values(&tree, &nt_model::seq::serial_projection(&beta), &types)
+                .is_ok()
+        );
         assert!(check_current_and_safe(&tree, &beta, &RwInitials::default()).is_ok());
-        let verdict =
-            check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
+        let verdict = check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
         assert!(verdict.is_serially_correct(), "{verdict:?}");
     }
 
@@ -319,8 +309,7 @@ mod tests {
             check_current_and_safe(&tree, &beta, &RwInitials::default()),
             Err(RwConditionFailure::NotCurrent { .. })
         ));
-        let verdict =
-            check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
+        let verdict = check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
         assert!(matches!(verdict, Verdict::InappropriateReturnValues(_)));
     }
 
@@ -371,8 +360,7 @@ mod tests {
             Action::RequestCommit(b, Value::Ok),
             Action::Commit(b),
         ];
-        let verdict =
-            check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
+        let verdict = check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
         match verdict {
             Verdict::Cyclic { cycle, .. } => {
                 assert!(cycle.contains(&a) && cycle.contains(&b));
@@ -386,8 +374,7 @@ mod tests {
     fn malformed_behavior_rejected_as_not_simple() {
         let (tree, types, a, _b, _u, _w) = simple_two_tx();
         let beta = vec![Action::Commit(a)]; // commit without request
-        let verdict =
-            check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
+        let verdict = check_serial_correctness(&tree, &beta, &types, ConflictSource::ReadWrite);
         assert!(matches!(verdict, Verdict::NotSimple(_)));
     }
 

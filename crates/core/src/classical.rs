@@ -35,8 +35,7 @@ impl ClassicalSg {
     /// serializability of the committed projection)?
     pub fn is_acyclic(&self) -> bool {
         // Kahn's algorithm.
-        let mut indeg: BTreeMap<TxId, usize> =
-            self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut indeg: BTreeMap<TxId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
         for succs in self.succ.values() {
             for &t in succs {
                 *indeg.entry(t).or_insert(0) += 1;
@@ -52,7 +51,9 @@ impl ClassicalSg {
             seen += 1;
             if let Some(succs) = self.succ.get(&n) {
                 for &m in succs {
-                    let d = indeg.get_mut(&m).expect("node");
+                    let d = indeg
+                        .get_mut(&m)
+                        .expect("every edge target got an indeg entry in the seeding loop");
                     *d -= 1;
                     if *d == 0 {
                         ready.push(m);
@@ -74,7 +75,9 @@ pub fn build_classical_sg(tree: &TxTree, beta: &[Action]) -> ClassicalSg {
     let mut per_object: HashMap<ObjId, Vec<(TxId, bool)>> = HashMap::new();
     for a in beta {
         if let Action::RequestCommit(t, _) = a {
-            let Some(x) = tree.object_of(*t) else { continue };
+            let Some(x) = tree.object_of(*t) else {
+                continue;
+            };
             // Committed projection: the access and its whole chain committed.
             if !status.is_visible(tree, *t, TxId::ROOT) {
                 continue;

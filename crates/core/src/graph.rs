@@ -68,11 +68,7 @@ impl SerializationGraph {
         let g = self.graphs.entry(e.parent).or_default();
         g.nodes.insert(e.from);
         g.nodes.insert(e.to);
-        if self
-            .dedup
-            .insert((e.from, e.to, e.kind), ())
-            .is_none()
-        {
+        if self.dedup.insert((e.from, e.to, e.kind), ()).is_none() {
             g.succ.entry(e.from).or_default().insert(e.to);
             self.edges.push(e);
         }
@@ -161,7 +157,9 @@ fn topo_sort(g: &SubGraph) -> Option<Vec<TxId>> {
         out.push(n);
         if let Some(succs) = g.succ.get(&n) {
             for &m in succs {
-                let d = indeg.get_mut(&m).expect("node");
+                let d = indeg
+                    .get_mut(&m)
+                    .expect("add_edge inserts both endpoints into the node set");
                 *d -= 1;
                 if *d == 0 {
                     ready.insert(m);
@@ -179,8 +177,7 @@ fn find_cycle_in(g: &SubGraph) -> Option<Vec<TxId>> {
         Gray,
         Black,
     }
-    let mut color: BTreeMap<TxId, Color> =
-        g.nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut color: BTreeMap<TxId, Color> = g.nodes.iter().map(|&n| (n, Color::White)).collect();
     let empty = BTreeSet::new();
     for &start in &g.nodes {
         if color[&start] != Color::White {
@@ -199,9 +196,11 @@ fn find_cycle_in(g: &SubGraph) -> Option<Vec<TxId>> {
                     }
                     Color::Gray => {
                         // Reconstruct the cycle from the gray stack.
-                        let pos = stack.iter().position(|(u, _)| *u == w).expect("on stack");
-                        let mut cycle: Vec<TxId> =
-                            stack[pos..].iter().map(|(u, _)| *u).collect();
+                        let pos = stack
+                            .iter()
+                            .position(|(u, _)| *u == w)
+                            .expect("a Gray node is always on the DFS stack");
+                        let mut cycle: Vec<TxId> = stack[pos..].iter().map(|(u, _)| *u).collect();
                         cycle.push(w);
                         return Some(cycle);
                     }

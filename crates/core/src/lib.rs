@@ -73,8 +73,8 @@ pub mod relations;
 pub mod witness;
 
 pub use checker::{
-    appropriate_return_values, check_current_and_safe, check_serial_correctness,
-    sg_is_acyclic, view, visible_operations, Inappropriate, RwConditionFailure, Verdict,
+    appropriate_return_values, check_current_and_safe, check_serial_correctness, sg_is_acyclic,
+    view, visible_operations, Inappropriate, RwConditionFailure, Verdict,
 };
 pub use classical::{build_classical_sg, ClassicalSg};
 pub use graph::{EdgeKind, SerializationGraph, SgEdge};

@@ -35,10 +35,9 @@ impl ConflictSource<'_> {
     ) -> bool {
         match self {
             ConflictSource::ReadWrite => !(op_a.is_rw_read() && op_b.is_rw_read()),
-            ConflictSource::Types(types) => !types.get(x).commutes_backward(
-                &(op_a.clone(), v_a.clone()),
-                &(op_b.clone(), v_b.clone()),
-            ),
+            ConflictSource::Types(types) => !types
+                .get(x)
+                .commutes_backward(&(op_a.clone(), v_a.clone()), &(op_b.clone(), v_b.clone())),
         }
     }
 }
@@ -70,9 +69,13 @@ pub fn conflict_edges(
     }
     for (x, events) in per_object {
         for (p, &(i, u, v)) in events.iter().enumerate() {
-            let op_u = tree.op_of(u).expect("access");
+            let op_u = tree
+                .op_of(u)
+                .expect("object_of was Some, so u is an access with an op");
             for &(j, u2, v2) in events.iter().skip(p + 1) {
-                let op_u2 = tree.op_of(u2).expect("access");
+                let op_u2 = tree
+                    .op_of(u2)
+                    .expect("object_of was Some, so u2 is an access with an op");
                 if !source.conflicts(x, op_u, v, op_u2, v2) {
                     continue;
                 }
@@ -136,11 +139,7 @@ pub fn precedes_edges(tree: &TxTree, beta: &[Action], out: &mut SerializationGra
 /// precedence edges, with a node for every child of a visible parent that
 /// is the lowtransaction of some visible event (so topological sorting
 /// totalizes the order over every pair suitability condition 1 mentions).
-pub fn build_sg(
-    tree: &TxTree,
-    beta: &[Action],
-    source: ConflictSource<'_>,
-) -> SerializationGraph {
+pub fn build_sg(tree: &TxTree, beta: &[Action], source: ConflictSource<'_>) -> SerializationGraph {
     let mut g = SerializationGraph::new();
     let status = Status::of(tree, beta);
     for a in beta {
@@ -150,7 +149,9 @@ pub fn build_sg(
         if !status.is_visible(tree, high, TxId::ROOT) {
             continue;
         }
-        let low = a.lowtransaction(tree).expect("serial action");
+        let low = a
+            .lowtransaction(tree)
+            .expect("every action with a hightransaction has a lowtransaction");
         if let Some(p) = tree.parent(low) {
             g.add_node(p, low);
         }

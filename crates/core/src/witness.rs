@@ -66,14 +66,14 @@ impl Builder<'_> {
         }
         debug_assert!(self.status.is_committed(c));
         if self.tree.is_access(c) {
-            let v = self
-                .access_value
-                .get(&c)
-                .cloned()
-                .ok_or_else(|| WitnessError::NotWellFormed {
-                    tx: c,
-                    why: "committed access without visible REQUEST_COMMIT".into(),
-                })?;
+            let v =
+                self.access_value
+                    .get(&c)
+                    .cloned()
+                    .ok_or_else(|| WitnessError::NotWellFormed {
+                        tx: c,
+                        why: "committed access without visible REQUEST_COMMIT".into(),
+                    })?;
             self.out.push(Action::Create(c));
             self.out.push(Action::RequestCommit(c, v));
         } else {
@@ -130,8 +130,7 @@ impl Builder<'_> {
                     if !due.contains(&c) {
                         return Err(WitnessError::NotWellFormed {
                             tx: c,
-                            why: "report for a child never requested or never completed"
-                                .into(),
+                            why: "report for a child never requested or never completed".into(),
                         });
                     }
                     for d in due {
@@ -199,7 +198,9 @@ pub fn reconstruct_witness(
         // accesses likewise.
     }
 
-    let had_root_create = beta.iter().any(|a| matches!(a, Action::Create(t) if *t == TxId::ROOT));
+    let had_root_create = beta
+        .iter()
+        .any(|a| matches!(a, Action::Create(t) if *t == TxId::ROOT));
     let mut b = Builder {
         tree,
         order,
@@ -336,8 +337,7 @@ mod tests {
         assert!(pos(&Action::Create(b)) < pos(&Action::Create(a)));
         // Root view preserved: reports still arrive a first.
         assert!(
-            pos(&Action::ReportCommit(a, Value::Ok))
-                < pos(&Action::ReportCommit(b, Value::Ok))
+            pos(&Action::ReportCommit(a, Value::Ok)) < pos(&Action::ReportCommit(b, Value::Ok))
         );
     }
 
@@ -362,7 +362,10 @@ mod tests {
         let order = g.topological_order().expect("acyclic");
         let gamma = reconstruct_witness(&tree, &beta, &order, &types).expect("witness");
         assert!(gamma.contains(&Action::Abort(a)));
-        assert!(!gamma.contains(&Action::Create(a)), "aborted ⇒ never created in γ");
+        assert!(
+            !gamma.contains(&Action::Create(a)),
+            "aborted ⇒ never created in γ"
+        );
         assert!(!gamma.contains(&Action::RequestCommit(u, Value::Ok)));
         assert_eq!(
             nt_model::seq::tx_projection(&tree, &gamma, TxId::ROOT),
@@ -396,7 +399,7 @@ mod flush_tests {
     use super::*;
     use crate::relations::{build_sg, ConflictSource};
     use nt_model::Op;
-    use nt_serial::{RwRegister, ObjectTypes};
+    use nt_serial::{ObjectTypes, RwRegister};
     use std::sync::Arc;
 
     /// A committed top-level transaction whose report never arrived: the
@@ -525,7 +528,7 @@ mod error_path_tests {
         let beta2 = vec![
             Action::Create(TxId::ROOT),
             Action::Commit(a), // completion without request (not simple,
-                               // but the builder must not panic)
+            // but the builder must not panic)
             Action::ReportCommit(a, Value::Ok),
         ];
         let r2 = reconstruct_witness(&tree, &beta2, &order, &types);
@@ -549,7 +552,10 @@ mod error_path_tests {
             Action::ReportCommit(a, Value::Ok),
         ];
         let r = reconstruct_witness(&tree, &beta, &order, &types);
-        assert!(matches!(r, Err(WitnessError::NotWellFormed { .. })), "{r:?}");
+        assert!(
+            matches!(r, Err(WitnessError::NotWellFormed { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]

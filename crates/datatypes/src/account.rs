@@ -99,6 +99,24 @@ impl SerialType for Account {
             _ => false,
         }
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for amt in [0i64, 1, 3, 7] {
+            ops.push(Op::Deposit(amt));
+            ops.push(Op::Withdraw(amt));
+        }
+        ops.push(Op::Balance);
+        ops
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        let mut vals: Vec<i64> = (0..=12).collect();
+        if !vals.contains(&self.init) {
+            vals.push(self.init);
+        }
+        vals.into_iter().map(Value::Int).collect()
+    }
 }
 
 #[cfg(test)]

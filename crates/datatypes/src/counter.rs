@@ -52,6 +52,14 @@ impl SerialType for Counter {
             _ => false,
         }
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        vec![Op::Add(-1), Op::Add(0), Op::Add(2), Op::GetCount]
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        (-4..=4).map(Value::Int).collect()
+    }
 }
 
 #[cfg(test)]

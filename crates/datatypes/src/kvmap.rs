@@ -86,6 +86,36 @@ impl SerialType for KvMapType {
             _ => false,
         }
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for k in [1i64, 2] {
+            for v in [10i64, 20] {
+                ops.push(Op::Put(k, v));
+            }
+            ops.push(Op::Get(k));
+            ops.push(Op::Delete(k));
+        }
+        ops
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        // All maps over keys {1,2} and values {10, 20}.
+        let mut out = Vec::new();
+        for v1 in [None, Some(10i64), Some(20)] {
+            for v2 in [None, Some(10i64), Some(20)] {
+                let mut m = BTreeMap::new();
+                if let Some(v) = v1 {
+                    m.insert(1, v);
+                }
+                if let Some(v) = v2 {
+                    m.insert(2, v);
+                }
+                out.push(Value::IntMap(m));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,24 @@ impl SerialType for QueueType {
             _ => false,
         }
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        vec![Op::Enqueue(1), Op::Enqueue(2), Op::Dequeue]
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        let lists: [&[i64]; 8] = [
+            &[],
+            &[1],
+            &[2],
+            &[1, 1],
+            &[1, 2],
+            &[2, 1],
+            &[2, 2],
+            &[1, 2, 1],
+        ];
+        lists.iter().map(|l| Value::IntList(l.to_vec())).collect()
+    }
 }
 
 #[cfg(test)]

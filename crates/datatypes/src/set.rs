@@ -80,6 +80,24 @@ impl SerialType for IntSetType {
             _ => false,
         }
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for e in [1i64, 2] {
+            ops.push(Op::Insert(e));
+            ops.push(Op::Remove(e));
+            ops.push(Op::Contains(e));
+        }
+        ops.push(Op::Size);
+        ops
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        let sets: [&[i64]; 5] = [&[], &[1], &[2], &[1, 2], &[1, 2, 3]];
+        sets.iter()
+            .map(|xs| Value::IntSet(xs.iter().copied().collect()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

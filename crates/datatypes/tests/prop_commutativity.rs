@@ -16,16 +16,8 @@ use std::sync::Arc;
 /// Random operation suitable for a given type, by index.
 fn arb_op(type_name: &'static str) -> BoxedStrategy<Op> {
     match type_name {
-        "register" => prop_oneof![
-            Just(Op::Read),
-            (0i64..5).prop_map(Op::Write),
-        ]
-        .boxed(),
-        "counter" => prop_oneof![
-            (-3i64..4).prop_map(Op::Add),
-            Just(Op::GetCount),
-        ]
-        .boxed(),
+        "register" => prop_oneof![Just(Op::Read), (0i64..5).prop_map(Op::Write),].boxed(),
+        "counter" => prop_oneof![(-3i64..4).prop_map(Op::Add), Just(Op::GetCount),].boxed(),
         "account" => prop_oneof![
             (0i64..6).prop_map(Op::Deposit),
             (0i64..6).prop_map(Op::Withdraw),
@@ -39,11 +31,7 @@ fn arb_op(type_name: &'static str) -> BoxedStrategy<Op> {
             Just(Op::Size),
         ]
         .boxed(),
-        "queue" => prop_oneof![
-            (0i64..4).prop_map(Op::Enqueue),
-            Just(Op::Dequeue),
-        ]
-        .boxed(),
+        "queue" => prop_oneof![(0i64..4).prop_map(Op::Enqueue), Just(Op::Dequeue),].boxed(),
         "kvmap" => prop_oneof![
             ((0i64..3), (0i64..4)).prop_map(|(k, v)| Op::Put(k, v)),
             (0i64..3).prop_map(Op::Get),

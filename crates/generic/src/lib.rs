@@ -222,7 +222,10 @@ impl Component for GenericController {
         }
         for &t in &self.pending_reports {
             if self.committed.contains(&t) {
-                let v = self.commit_requested.get(&t).expect("committed implies requested");
+                let v = self
+                    .commit_requested
+                    .get(&t)
+                    .expect("committed implies requested");
                 buf.push(Action::ReportCommit(t, v.clone()));
             } else {
                 buf.push(Action::ReportAbort(t));

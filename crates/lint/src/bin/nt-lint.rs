@@ -1,0 +1,155 @@
+//! Static soundness analyzer for the workspace.
+//!
+//! ```text
+//! nt-lint [--json] [--plant-defect] [types|workloads|all]
+//! ```
+//!
+//! * `types` — certify the declared commutativity relation of every shipped
+//!   serial type against the backward-commutativity definition over a
+//!   bounded exhaustive domain.
+//! * `workloads` — statically lint a representative matrix of workload
+//!   specs and their generated script/tree artifacts against the protocols
+//!   that run them.
+//! * `all` (default) — both.
+//!
+//! `--json` emits a machine-readable report. `--plant-defect` injects a
+//! deliberately unsound fixture type into the analyzed set — a self-check
+//! that the analyzer still detects planted defects (used by the golden
+//! tests; must make the exit code nonzero).
+//!
+//! Exit codes: 0 = no errors, 1 = at least one error-severity finding,
+//! 2 = usage error.
+
+use nt_lint::selftest::BrokenCounter;
+use nt_lint::{soundness, workload, Report, SoundnessConfig};
+use nt_locking::LockMode;
+use nt_serial::SerialType;
+use nt_sim::{OpMix, Protocol, WorkloadSpec};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pass {
+    All,
+    Types,
+    Workloads,
+}
+
+fn usage(program: &str) {
+    eprintln!("usage: {program} [--json] [--plant-defect] [types|workloads|all]");
+}
+
+/// The analyzed workload matrix: every mix under every protocol that is
+/// supposed to run it (mirroring the experiment suite in `nt-bench`).
+fn workload_matrix() -> Vec<(&'static str, WorkloadSpec, Protocol)> {
+    let rw = |seed| WorkloadSpec {
+        mix: OpMix::ReadWrite { read_ratio: 0.5 },
+        seed,
+        ..WorkloadSpec::default()
+    };
+    let with_mix = |mix, seed| WorkloadSpec {
+        mix,
+        seed,
+        ..WorkloadSpec::default()
+    };
+    vec![
+        ("moss-rw", rw(1), Protocol::Moss(LockMode::ReadWrite)),
+        ("moss-exclusive", rw(2), Protocol::Moss(LockMode::Exclusive)),
+        ("mvto-rw", rw(3), Protocol::Mvto),
+        ("certifier-rw", rw(4), Protocol::Certifier),
+        ("chaos-rw", rw(5), Protocol::Chaos),
+        ("undo-rw", rw(6), Protocol::Undo),
+        (
+            "undo-counter",
+            with_mix(OpMix::Counter { read_ratio: 0.2 }, 7),
+            Protocol::Undo,
+        ),
+        (
+            "undo-account",
+            with_mix(OpMix::Account { read_ratio: 0.2 }, 8),
+            Protocol::Undo,
+        ),
+        ("undo-intset", with_mix(OpMix::IntSet, 9), Protocol::Undo),
+        ("undo-queue", with_mix(OpMix::Queue, 10), Protocol::Undo),
+        ("undo-kvmap", with_mix(OpMix::KvMap, 11), Protocol::Undo),
+        (
+            "deep-sequential",
+            WorkloadSpec {
+                max_depth: 3,
+                subtx_prob: 0.6,
+                sequential_prob: 0.8,
+                seed: 12,
+                ..WorkloadSpec::default()
+            },
+            Protocol::Moss(LockMode::ReadWrite),
+        ),
+        (
+            "hotspot-certifier",
+            WorkloadSpec {
+                hotspot: 0.8,
+                seed: 13,
+                ..WorkloadSpec::default()
+            },
+            Protocol::Certifier,
+        ),
+    ]
+}
+
+fn run_types(report: &mut Report, plant_defect: bool) {
+    let mut types: Vec<(&'static str, Arc<dyn SerialType>)> = nt_datatypes::all_types();
+    if plant_defect {
+        types.push(("broken-counter", Arc::new(BrokenCounter)));
+    }
+    let cfg = SoundnessConfig::default();
+    for (_, ty) in &types {
+        let tr = soundness::analyze_type(ty.as_ref(), &cfg);
+        report.extend(soundness::findings(&tr));
+    }
+}
+
+fn run_workloads(report: &mut Report) {
+    for (name, spec, protocol) in workload_matrix() {
+        report.extend(workload::lint_spec(name, &spec));
+        let generated = spec.generate();
+        report.extend(workload::lint_generated(name, &generated, protocol));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let program = args.first().map(String::as_str).unwrap_or("nt-lint");
+    let mut json = false;
+    let mut plant_defect = false;
+    let mut pass = Pass::All;
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--plant-defect" => plant_defect = true,
+            "types" => pass = Pass::Types,
+            "workloads" => pass = Pass::Workloads,
+            "all" => pass = Pass::All,
+            "--help" | "-h" => {
+                usage(program);
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("{program}: unknown argument {other:?}");
+                usage(program);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut report = Report::new();
+    if pass == Pass::All || pass == Pass::Types {
+        run_types(&mut report, plant_defect);
+    }
+    if pass == Pass::All || pass == Pass::Workloads {
+        run_workloads(&mut report);
+    }
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    ExitCode::from(report.exit_code())
+}

@@ -1,0 +1,77 @@
+//! nt-lint: static soundness analysis for the nested-sgt workspace.
+//!
+//! Two pass families, no execution involved:
+//!
+//! 1. **Commutativity soundness** ([`soundness`]): certify every shipped
+//!    [`nt_serial::SerialType`]'s declared `commutes_backward` relation
+//!    against the backward-commutativity *definition* over a bounded
+//!    exhaustive domain. Over-permissive declarations (UNSOUND) are errors —
+//!    they would silently drop serialization-graph edges and void the
+//!    paper's Theorem 25 guarantee. Over-conservative ones (INCOMPLETE) are
+//!    warnings with a quantified concurrency-loss ratio.
+//! 2. **Workload/script well-formedness** ([`workload`]): lint
+//!    [`nt_sim::WorkloadSpec`]s and generated script/tree artifacts for
+//!    panics-in-waiting, dead knobs, orphaned subtrees, and per-protocol
+//!    preconditions (e.g. Moss locking is read/write-only) that the
+//!    simulator otherwise only catches at run time, if at all.
+//!
+//! The `nt-lint` binary aggregates both into one human or JSON report and
+//! exits nonzero iff any error-severity finding exists, making it usable as
+//! a CI gate.
+
+pub mod report;
+pub mod soundness;
+pub mod workload;
+
+pub use report::{Finding, Report, Severity};
+pub use soundness::{analyze_type, SoundnessConfig, TypeReport};
+
+/// Planted-defect fixtures used to validate the analyzer's detection power
+/// (the `--plant-defect` flag and the golden tests). Not part of the public
+/// API and never a real datatype.
+#[doc(hidden)]
+pub mod selftest {
+    use nt_model::{Op, Value};
+    use nt_serial::{OpVal, SerialType};
+
+    /// A counter whose declared commutativity is deliberately UNSOUND: it
+    /// claims `Add`/`GetCount` always commute, though an `Add(δ≠0)` changes
+    /// what a reordered `GetCount` observes. `nt-lint` must refute it.
+    #[derive(Clone, Debug)]
+    pub struct BrokenCounter;
+
+    impl SerialType for BrokenCounter {
+        fn type_name(&self) -> &'static str {
+            "broken-counter"
+        }
+
+        fn initial(&self) -> Value {
+            Value::Int(0)
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> (Value, Value) {
+            let s = state.as_int().expect("counter state is Int");
+            match op {
+                Op::Add(d) => (Value::Int(s + d), Value::Ok),
+                Op::GetCount => (state.clone(), Value::Int(s)),
+                other => panic!("counter does not support {other}"),
+            }
+        }
+
+        // DELIBERATE BUG: Add/GetCount declared commuting unconditionally.
+        fn commutes_backward(&self, a: &OpVal, b: &OpVal) -> bool {
+            matches!(
+                (&a.0, &b.0),
+                (Op::Add(_) | Op::GetCount, Op::Add(_) | Op::GetCount)
+            )
+        }
+
+        fn op_domain(&self) -> Vec<Op> {
+            vec![Op::Add(-1), Op::Add(0), Op::Add(2), Op::GetCount]
+        }
+
+        fn bounded_states(&self) -> Vec<Value> {
+            (-4..=4).map(Value::Int).collect()
+        }
+    }
+}

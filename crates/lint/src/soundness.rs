@@ -1,0 +1,398 @@
+//! The commutativity soundness pass.
+//!
+//! For each serial type, enumerate a bounded but exhaustive domain of
+//! realizable `(Op, Value)` pairs — every operation of
+//! [`SerialType::op_domain`] applied to every state in the closure of
+//! [`SerialType::bounded_states`] — and cross-check the *declared*
+//! [`SerialType::commutes_backward`] relation against backward
+//! commutativity *by the definition* ([`nt_serial::commute_by_definition`])
+//! over that state set.
+//!
+//! Classification of each unordered pair:
+//!
+//! * **UNSOUND** (error): declared commuting, but some explored state
+//!   refutes commutativity. An unsound declaration silently drops
+//!   serialization-graph edges, breaking Theorem 25's guarantee — the
+//!   checkers would accept non-serializable executions.
+//! * **ASYMMETRIC** (error): `commutes_backward(a, b) ≠
+//!   commutes_backward(b, a)`. The trait contract requires symmetry, like
+//!   the paper's relation.
+//! * **INCOMPLETE** (warning): declared conflicting, yet the pair commutes
+//!   from every explored state. Sound but conservative: each such pair is
+//!   concurrency given away (extra SG edges, extra lock conflicts). The
+//!   ratio of such pairs to all derived-commuting pairs quantifies the
+//!   loss.
+//!
+//! The exploration is *bounded*, so "commutes from every explored state"
+//! is evidence, not proof — which is exactly the right asymmetry: UNSOUND
+//! findings carry a concrete counterexample state and are definitive, while
+//! INCOMPLETE findings are advisory. Caps that were actually hit are
+//! reported (never silently).
+
+use crate::report::{Finding, Severity};
+use nt_model::Value;
+use nt_serial::{commute_refutation, OpVal, SerialType};
+use std::collections::HashSet;
+
+/// Exploration bounds for the soundness pass.
+#[derive(Clone, Copy, Debug)]
+pub struct SoundnessConfig {
+    /// Cap on the state closure (seed states closed under the op domain).
+    pub max_states: usize,
+    /// Cap on distinct realizable `(Op, Value)` pairs.
+    pub max_opvals: usize,
+}
+
+impl Default for SoundnessConfig {
+    fn default() -> Self {
+        SoundnessConfig {
+            max_states: 64,
+            max_opvals: 192,
+        }
+    }
+}
+
+/// Why a pair was flagged.
+#[derive(Clone, Debug)]
+pub enum PairClass {
+    /// Declared commuting but refuted from `witness`.
+    Unsound {
+        /// A state from which the swapped order is illegal or
+        /// non-equieffective.
+        witness: Value,
+    },
+    /// Declared conflicting but never refuted: conservatism.
+    Incomplete,
+    /// `commutes_backward` disagrees with itself under argument swap.
+    Asymmetric,
+}
+
+/// One flagged pair of realizable operation/value pairs.
+#[derive(Clone, Debug)]
+pub struct PairFinding {
+    /// First operation with its return value.
+    pub a: OpVal,
+    /// Second operation with its return value.
+    pub b: OpVal,
+    /// The classification.
+    pub class: PairClass,
+}
+
+/// Everything the pass learned about one type.
+#[derive(Clone, Debug)]
+pub struct TypeReport {
+    /// `SerialType::type_name` of the analyzed type.
+    pub type_name: String,
+    /// False iff the type opted out by returning an empty op domain.
+    pub analyzable: bool,
+    /// Size of the explored state closure.
+    pub states: usize,
+    /// True iff the closure was truncated at `max_states`.
+    pub state_cap_hit: bool,
+    /// Number of distinct realizable `(Op, Value)` pairs explored.
+    pub opvals: usize,
+    /// True iff opval enumeration was truncated at `max_opvals`.
+    pub opval_cap_hit: bool,
+    /// Unordered pairs checked.
+    pub pairs: usize,
+    /// Pairs the type declares commuting.
+    pub declared_commuting: usize,
+    /// Pairs that commute by the definition over the explored states.
+    pub derived_commuting: usize,
+    /// Declared-commuting pairs refuted by a concrete state (errors).
+    pub unsound: Vec<PairFinding>,
+    /// Declared-conflicting pairs never refuted (warnings).
+    pub incomplete: Vec<PairFinding>,
+    /// Pairs on which the declared relation is asymmetric (errors).
+    pub asymmetric: Vec<PairFinding>,
+}
+
+impl TypeReport {
+    /// No unsound or asymmetric pairs: the declared relation never
+    /// over-approximates commutativity on the explored domain.
+    pub fn is_sound(&self) -> bool {
+        self.unsound.is_empty() && self.asymmetric.is_empty()
+    }
+
+    /// Fraction of truly-commuting pairs the declaration gives away:
+    /// `incomplete / derived_commuting` (0 when nothing commutes).
+    pub fn concurrency_loss(&self) -> f64 {
+        if self.derived_commuting == 0 {
+            0.0
+        } else {
+            self.incomplete.len() as f64 / self.derived_commuting as f64
+        }
+    }
+}
+
+/// Close the seed states under the op domain (breadth-first, deterministic
+/// order), up to `cap` states. Returns the closure and whether the cap cut
+/// it off.
+pub fn closure_states(ty: &dyn SerialType, cap: usize) -> (Vec<Value>, bool) {
+    let ops = ty.op_domain();
+    let mut states: Vec<Value> = Vec::new();
+    let mut seen: HashSet<Value> = HashSet::new();
+    let mut frontier_start = 0usize;
+    for s in std::iter::once(ty.initial()).chain(ty.bounded_states()) {
+        if states.len() >= cap {
+            return (states, true);
+        }
+        if seen.insert(s.clone()) {
+            states.push(s);
+        }
+    }
+    loop {
+        let frontier_end = states.len();
+        if frontier_start == frontier_end {
+            return (states, false);
+        }
+        for i in frontier_start..frontier_end {
+            for op in &ops {
+                let (next, _) = ty.apply(&states[i].clone(), op);
+                if seen.contains(&next) {
+                    continue;
+                }
+                if states.len() >= cap {
+                    return (states, true);
+                }
+                seen.insert(next.clone());
+                states.push(next);
+            }
+        }
+        frontier_start = frontier_end;
+    }
+}
+
+/// Enumerate the distinct realizable `(Op, Value)` pairs: each domain
+/// operation applied to each explored state, with the return value it
+/// produces there. Returns the pairs and whether `cap` cut them off.
+pub fn realizable_opvals(ty: &dyn SerialType, states: &[Value], cap: usize) -> (Vec<OpVal>, bool) {
+    let mut out: Vec<OpVal> = Vec::new();
+    let mut seen: HashSet<OpVal> = HashSet::new();
+    for op in ty.op_domain() {
+        for s in states {
+            let (_, v) = ty.apply(s, &op);
+            let ov = (op.clone(), v);
+            if seen.contains(&ov) {
+                continue;
+            }
+            if out.len() >= cap {
+                return (out, true);
+            }
+            seen.insert(ov.clone());
+            out.push(ov);
+        }
+    }
+    (out, false)
+}
+
+/// Run the soundness pass on one type.
+pub fn analyze_type(ty: &dyn SerialType, cfg: &SoundnessConfig) -> TypeReport {
+    let mut report = TypeReport {
+        type_name: ty.type_name().to_string(),
+        analyzable: !ty.op_domain().is_empty(),
+        states: 0,
+        state_cap_hit: false,
+        opvals: 0,
+        opval_cap_hit: false,
+        pairs: 0,
+        declared_commuting: 0,
+        derived_commuting: 0,
+        unsound: Vec::new(),
+        incomplete: Vec::new(),
+        asymmetric: Vec::new(),
+    };
+    if !report.analyzable {
+        return report;
+    }
+    let (states, state_cap_hit) = closure_states(ty, cfg.max_states);
+    let (opvals, opval_cap_hit) = realizable_opvals(ty, &states, cfg.max_opvals);
+    report.states = states.len();
+    report.state_cap_hit = state_cap_hit;
+    report.opvals = opvals.len();
+    report.opval_cap_hit = opval_cap_hit;
+    for (i, a) in opvals.iter().enumerate() {
+        for b in &opvals[i..] {
+            report.pairs += 1;
+            let declared_ab = ty.commutes_backward(a, b);
+            let declared_ba = ty.commutes_backward(b, a);
+            if declared_ab != declared_ba {
+                report.asymmetric.push(PairFinding {
+                    a: a.clone(),
+                    b: b.clone(),
+                    class: PairClass::Asymmetric,
+                });
+            }
+            let declared = declared_ab && declared_ba;
+            if declared {
+                report.declared_commuting += 1;
+            }
+            match commute_refutation(ty, a, b, &states) {
+                Some(witness) => {
+                    if declared {
+                        report.unsound.push(PairFinding {
+                            a: a.clone(),
+                            b: b.clone(),
+                            class: PairClass::Unsound {
+                                witness: witness.clone(),
+                            },
+                        });
+                    }
+                }
+                None => {
+                    report.derived_commuting += 1;
+                    if !declared {
+                        report.incomplete.push(PairFinding {
+                            a: a.clone(),
+                            b: b.clone(),
+                            class: PairClass::Incomplete,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+fn opval_str(ov: &OpVal) -> String {
+    format!("{} -> {}", ov.0, ov.1)
+}
+
+/// Convert one type's report into findings for the aggregate report.
+pub fn findings(r: &TypeReport) -> Vec<Finding> {
+    let subject = format!("type {}", r.type_name);
+    let mut out = Vec::new();
+    if !r.analyzable {
+        out.push(Finding::new(
+            Severity::Warning,
+            "soundness",
+            subject,
+            "empty op_domain(): type opted out of static certification",
+        ));
+        return out;
+    }
+    for p in &r.unsound {
+        let witness = match &p.class {
+            PairClass::Unsound { witness } => format!("{witness}"),
+            _ => String::new(),
+        };
+        out.push(Finding::new(
+            Severity::Error,
+            "soundness",
+            subject.clone(),
+            format!(
+                "UNSOUND: declared commuting but refuted from state {witness}: [{}] vs [{}]",
+                opval_str(&p.a),
+                opval_str(&p.b)
+            ),
+        ));
+    }
+    for p in &r.asymmetric {
+        out.push(Finding::new(
+            Severity::Error,
+            "soundness",
+            subject.clone(),
+            format!(
+                "ASYMMETRIC: commutes_backward disagrees under swap: [{}] vs [{}]",
+                opval_str(&p.a),
+                opval_str(&p.b)
+            ),
+        ));
+    }
+    for p in &r.incomplete {
+        out.push(Finding::new(
+            Severity::Warning,
+            "soundness",
+            subject.clone(),
+            format!(
+                "INCOMPLETE: declared conflicting but commutes on all {} explored states: [{}] vs [{}]",
+                r.states,
+                opval_str(&p.a),
+                opval_str(&p.b)
+            ),
+        ));
+    }
+    if r.state_cap_hit {
+        out.push(Finding::new(
+            Severity::Info,
+            "soundness",
+            subject.clone(),
+            format!("state closure truncated at {} states", r.states),
+        ));
+    }
+    if r.opval_cap_hit {
+        out.push(Finding::new(
+            Severity::Info,
+            "soundness",
+            subject.clone(),
+            format!("opval enumeration truncated at {} pairs", r.opvals),
+        ));
+    }
+    out.push(Finding::new(
+        Severity::Info,
+        "soundness",
+        subject,
+        format!(
+            "certified: {} states, {} opvals, {} pairs ({} declared / {} derived commuting), \
+             {} unsound, {} incomplete, concurrency loss {:.1}%",
+            r.states,
+            r.opvals,
+            r.pairs,
+            r.declared_commuting,
+            r.derived_commuting,
+            r.unsound.len(),
+            r.incomplete.len(),
+            100.0 * r.concurrency_loss()
+        ),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_serial::RwRegister;
+
+    #[test]
+    fn register_closure_and_opvals() {
+        let reg = RwRegister::new(0);
+        let (states, capped) = closure_states(&reg, 64);
+        assert!(!capped);
+        // init 0, plus write targets {0, 1}: closure is {0, 1}.
+        assert!(states.contains(&Value::Int(0)));
+        assert!(states.contains(&Value::Int(1)));
+        let (opvals, capped) = realizable_opvals(&reg, &states, 64);
+        assert!(!capped);
+        // Read -> 0, Read -> 1, Write(0) -> Ok, Write(1) -> Ok.
+        assert!(opvals.len() >= 4);
+    }
+
+    #[test]
+    fn register_is_sound_but_conservative() {
+        let r = analyze_type(&RwRegister::new(0), &SoundnessConfig::default());
+        assert!(r.analyzable);
+        assert!(r.is_sound(), "unsound: {:?}", r.unsound);
+        // Equal writes are declared conflicting though they commute.
+        assert!(
+            !r.incomplete.is_empty(),
+            "register's relation is documented conservative"
+        );
+        assert!(r.concurrency_loss() > 0.0);
+    }
+
+    #[test]
+    fn caps_are_reported() {
+        let r = analyze_type(
+            &RwRegister::new(0),
+            &SoundnessConfig {
+                max_states: 1,
+                max_opvals: 2,
+            },
+        );
+        assert!(r.state_cap_hit);
+        assert!(r.opval_cap_hit);
+        let fs = findings(&r);
+        assert!(fs.iter().any(|f| f.message.contains("truncated")));
+    }
+}

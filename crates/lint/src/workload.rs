@@ -1,0 +1,368 @@
+//! Static well-formedness lints for workload specs and generated
+//! script/tree artifacts.
+//!
+//! Nothing here *executes* a workload: the spec pass reasons about the
+//! [`WorkloadSpec`] fields alone (would `generate()` panic? are knobs
+//! dead?), and the generated pass reasons about the naming tree and the
+//! `ScriptedTx` scripts as data — tree structure, script/tree agreement,
+//! orphaned subtrees, and per-protocol preconditions that the simulator
+//! only enforces with `debug_assert!` or runtime panics.
+
+use crate::report::{Finding, Severity};
+use nt_model::wellformed::check_tree;
+use nt_model::{Op, TxId};
+use nt_sim::{OpMix, Protocol, Workload, WorkloadSpec};
+use std::collections::{HashMap, HashSet};
+
+/// Estimated-size threshold above which a spec draws a warning.
+const SIZE_WARN_THRESHOLD: f64 = 1e6;
+
+fn prob_ok(p: f64) -> bool {
+    (0.0..=1.0).contains(&p)
+}
+
+/// Lint a workload specification without generating it.
+pub fn lint_spec(name: &str, spec: &WorkloadSpec) -> Vec<Finding> {
+    let subject = format!("spec {name}");
+    let mut out = Vec::new();
+    let err = |msg: String, out: &mut Vec<Finding>| {
+        out.push(Finding::new(Severity::Error, "spec", subject.clone(), msg));
+    };
+    if spec.top_level < 1 {
+        err(
+            "top_level must be >= 1 (generate() would panic)".into(),
+            &mut out,
+        );
+    }
+    if spec.objects < 1 {
+        err(
+            "objects must be >= 1 (generate() would panic)".into(),
+            &mut out,
+        );
+    }
+    if spec.min_children < 1 {
+        err(
+            "min_children must be >= 1 (generate() would panic)".into(),
+            &mut out,
+        );
+    }
+    if spec.min_children > spec.max_children {
+        err(
+            format!(
+                "min_children ({}) exceeds max_children ({})",
+                spec.min_children, spec.max_children
+            ),
+            &mut out,
+        );
+    }
+    for (knob, p) in [
+        ("subtx_prob", spec.subtx_prob),
+        ("sequential_prob", spec.sequential_prob),
+        ("hotspot", spec.hotspot),
+    ] {
+        if !prob_ok(p) {
+            err(
+                format!("{knob} = {p} is not a probability in [0, 1]"),
+                &mut out,
+            );
+        }
+    }
+    match spec.mix {
+        OpMix::ReadWrite { read_ratio }
+        | OpMix::Counter { read_ratio }
+        | OpMix::Account { read_ratio } => {
+            if !prob_ok(read_ratio) {
+                err(
+                    format!("read_ratio = {read_ratio} is not a probability in [0, 1]"),
+                    &mut out,
+                );
+            }
+        }
+        OpMix::IntSet | OpMix::Queue | OpMix::KvMap => {}
+    }
+    // Dead knobs: configuration that cannot influence generation.
+    if spec.max_depth == 0 && spec.subtx_prob > 0.0 {
+        out.push(Finding::new(
+            Severity::Warning,
+            "spec",
+            subject.clone(),
+            "subtx_prob > 0 has no effect when max_depth = 0 (flat workload)",
+        ));
+    }
+    if spec.hotspot > 0.0 && spec.objects == 1 {
+        out.push(Finding::new(
+            Severity::Warning,
+            "spec",
+            subject.clone(),
+            "hotspot > 0 has no effect with a single object",
+        ));
+    }
+    // Size estimate: every non-access transaction has at most max_children
+    // children, nesting at most max_depth deep below the top level.
+    let est = spec.top_level as f64 * (spec.max_children as f64).powi(spec.max_depth as i32 + 1);
+    if est > SIZE_WARN_THRESHOLD {
+        out.push(Finding::new(
+            Severity::Warning,
+            "spec",
+            subject,
+            format!("worst-case tree size ~{est:.0} names; expect slow generation/simulation"),
+        ));
+    }
+    out
+}
+
+/// Which operations a serial type (by name) accepts; mirrors each type's
+/// `apply` match arms, whose fall-through is a panic.
+fn op_supported(type_name: &str, op: &Op) -> bool {
+    matches!(
+        (type_name, op),
+        ("register", Op::Read | Op::Write(_))
+            | ("counter", Op::Add(_) | Op::GetCount)
+            | ("account", Op::Deposit(_) | Op::Withdraw(_) | Op::Balance)
+            | (
+                "intset",
+                Op::Insert(_) | Op::Remove(_) | Op::Contains(_) | Op::Size
+            )
+            | ("queue", Op::Enqueue(_) | Op::Dequeue)
+            | ("kvmap", Op::Put(..) | Op::Get(_) | Op::Delete(_))
+    )
+}
+
+/// Value-level preconditions `apply` only checks with `debug_assert!`.
+fn op_precondition_violation(op: &Op) -> Option<String> {
+    match op {
+        Op::Deposit(a) if *a < 0 => Some(format!("Deposit({a}): deposits must be non-negative")),
+        Op::Withdraw(a) if *a < 0 => {
+            Some(format!("Withdraw({a}): withdrawals must be non-negative"))
+        }
+        _ => None,
+    }
+}
+
+/// Lint a generated workload's tree and scripts against a protocol, without
+/// running anything.
+pub fn lint_generated(name: &str, w: &Workload, protocol: Protocol) -> Vec<Finding> {
+    let subject = format!("workload {name}");
+    let mut out = Vec::new();
+    let tree = &w.tree;
+
+    // 1. Structural tree well-formedness.
+    for v in check_tree(tree) {
+        out.push(Finding::new(
+            Severity::Error,
+            "workload",
+            subject.clone(),
+            format!("malformed tree at index {}: {}", v.at, v.what),
+        ));
+    }
+
+    // 2. Script/tree agreement: each non-access transaction is animated by
+    //    exactly one script whose children are its tree children.
+    let mut scripted: HashMap<TxId, usize> = HashMap::new();
+    for (i, client) in w.clients.iter().enumerate() {
+        let t = client.tx();
+        if tree.is_access(t) {
+            out.push(Finding::new(
+                Severity::Error,
+                "script",
+                subject.clone(),
+                format!("client #{i} animates access {t}; accesses have no script"),
+            ));
+            continue;
+        }
+        if let Some(prev) = scripted.insert(t, i) {
+            out.push(Finding::new(
+                Severity::Error,
+                "script",
+                subject.clone(),
+                format!("{t} is animated by two clients (#{prev} and #{i})"),
+            ));
+        }
+        let mut seen: HashSet<TxId> = HashSet::new();
+        for &c in client.script_children() {
+            if tree.parent(c) != Some(t) {
+                out.push(Finding::new(
+                    Severity::Error,
+                    "script",
+                    subject.clone(),
+                    format!("script of {t} requests {c}, which is not a child of {t}"),
+                ));
+            }
+            if !seen.insert(c) {
+                out.push(Finding::new(
+                    Severity::Error,
+                    "script",
+                    subject.clone(),
+                    format!("script of {t} requests child {c} twice"),
+                ));
+            }
+        }
+        for &c in tree.children(t) {
+            if !seen.contains(&c) {
+                out.push(Finding::new(
+                    Severity::Warning,
+                    "script",
+                    subject.clone(),
+                    format!("child {c} of {t} is never requested: orphaned subtree"),
+                ));
+            }
+        }
+    }
+    for t in tree.all_tx() {
+        if !tree.is_access(t) && !scripted.contains_key(&t) {
+            out.push(Finding::new(
+                Severity::Warning,
+                "script",
+                subject.clone(),
+                format!("no client animates {t}: its subtree can never run"),
+            ));
+        }
+    }
+
+    // 3. Protocol preconditions on every access.
+    for u in tree.accesses() {
+        let op = tree.op_of(u).expect("accesses carry an op");
+        let x = tree.object_of(u).expect("accesses carry an object");
+        let ty = w.types.get(x);
+        match protocol {
+            Protocol::Moss(_) | Protocol::Mvto | Protocol::Certifier => {
+                if !(op.is_rw_read() || op.is_rw_write()) {
+                    out.push(Finding::new(
+                        Severity::Error,
+                        "protocol",
+                        subject.clone(),
+                        format!(
+                            "{protocol:?} is read/write-only but access {u} performs {op} on {x}"
+                        ),
+                    ));
+                }
+            }
+            Protocol::Undo | Protocol::Chaos => {}
+        }
+        if !op_supported(ty.type_name(), op) {
+            out.push(Finding::new(
+                Severity::Error,
+                "protocol",
+                subject.clone(),
+                format!(
+                    "access {u} performs {op} on {x} of type {}, which does not support it",
+                    ty.type_name()
+                ),
+            ));
+        }
+        if let Some(msg) = op_precondition_violation(op) {
+            out.push(Finding::new(
+                Severity::Error,
+                "protocol",
+                subject.clone(),
+                format!("access {u} on {x}: {msg}"),
+            ));
+        }
+        if tree.depth(u) < 2 {
+            out.push(Finding::new(
+                Severity::Warning,
+                "workload",
+                subject.clone(),
+                format!("access {u} is a direct child of T0; no transaction isolates it"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_locking::LockMode;
+
+    fn errors(fs: &[Finding]) -> usize {
+        fs.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    #[test]
+    fn default_spec_is_clean() {
+        let fs = lint_spec("default", &WorkloadSpec::default());
+        assert_eq!(errors(&fs), 0, "{fs:?}");
+    }
+
+    #[test]
+    fn bad_spec_fields_are_errors() {
+        let spec = WorkloadSpec {
+            top_level: 0,
+            objects: 0,
+            min_children: 3,
+            max_children: 2,
+            subtx_prob: 1.5,
+            hotspot: -0.1,
+            mix: OpMix::ReadWrite { read_ratio: 2.0 },
+            ..WorkloadSpec::default()
+        };
+        let fs = lint_spec("bad", &spec);
+        assert!(errors(&fs) >= 6, "{fs:?}");
+    }
+
+    #[test]
+    fn dead_knobs_are_warnings() {
+        let spec = WorkloadSpec {
+            max_depth: 0,
+            subtx_prob: 0.5,
+            objects: 1,
+            hotspot: 0.5,
+            ..WorkloadSpec::default()
+        };
+        let fs = lint_spec("dead", &spec);
+        assert_eq!(errors(&fs), 0);
+        assert!(fs.iter().any(|f| f.message.contains("subtx_prob")));
+        assert!(fs.iter().any(|f| f.message.contains("hotspot")));
+    }
+
+    #[test]
+    fn generated_default_is_clean_under_moss() {
+        let w = WorkloadSpec::default().generate();
+        let fs = lint_generated("default", &w, Protocol::Moss(LockMode::ReadWrite));
+        assert_eq!(errors(&fs), 0, "{fs:?}");
+    }
+
+    #[test]
+    fn counter_mix_under_rw_protocol_is_flagged() {
+        let w = WorkloadSpec {
+            mix: OpMix::Counter { read_ratio: 0.2 },
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let fs = lint_generated("counter-moss", &w, Protocol::Moss(LockMode::ReadWrite));
+        assert!(
+            fs.iter()
+                .any(|f| f.severity == Severity::Error && f.message.contains("read/write-only")),
+            "{fs:?}"
+        );
+        // The same workload is fine under undo logging.
+        let fs = lint_generated("counter-undo", &w, Protocol::Undo);
+        assert_eq!(errors(&fs), 0, "{fs:?}");
+    }
+
+    #[test]
+    fn every_mix_is_clean_under_its_natural_protocol() {
+        for (mix, protocol) in [
+            (
+                OpMix::ReadWrite { read_ratio: 0.5 },
+                Protocol::Moss(LockMode::ReadWrite),
+            ),
+            (OpMix::ReadWrite { read_ratio: 0.5 }, Protocol::Mvto),
+            (OpMix::ReadWrite { read_ratio: 0.5 }, Protocol::Certifier),
+            (OpMix::Counter { read_ratio: 0.2 }, Protocol::Undo),
+            (OpMix::Account { read_ratio: 0.2 }, Protocol::Undo),
+            (OpMix::IntSet, Protocol::Undo),
+            (OpMix::Queue, Protocol::Undo),
+            (OpMix::KvMap, Protocol::Undo),
+        ] {
+            let w = WorkloadSpec {
+                mix,
+                ..WorkloadSpec::default()
+            }
+            .generate();
+            let fs = lint_generated("matrix", &w, protocol);
+            assert_eq!(errors(&fs), 0, "{mix:?} under {protocol:?}: {fs:?}");
+        }
+    }
+}

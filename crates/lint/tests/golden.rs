@@ -1,0 +1,195 @@
+//! Golden tests for the analyzer: the six shipped types certify clean, a
+//! planted unsound type is detected (library- and CLI-level, with nonzero
+//! exit), and hand-built malformed workloads are flagged.
+
+use nt_lint::selftest::BrokenCounter;
+use nt_lint::{analyze_type, soundness, workload, Report, Severity, SoundnessConfig};
+use nt_model::{Op, TxId, TxTree};
+use nt_serial::ObjectTypes;
+use nt_sim::{ChildOrder, Protocol, ScriptedTx, Workload, WorkloadSpec};
+use std::process::Command;
+use std::sync::Arc;
+
+#[test]
+fn all_six_shipped_types_certify_clean() {
+    let cfg = SoundnessConfig::default();
+    for (name, ty) in nt_datatypes::all_types() {
+        let r = analyze_type(ty.as_ref(), &cfg);
+        assert!(r.analyzable, "{name} must expose an op domain");
+        assert!(
+            r.is_sound(),
+            "{name} must have no unsound/asymmetric pairs: {:?} {:?}",
+            r.unsound,
+            r.asymmetric
+        );
+        assert!(r.pairs > 0, "{name} must actually be exercised");
+        if name == "register" {
+            // The register's relation is documented conservative: equal
+            // writes commute by the definition but are declared conflicting.
+            assert!(!r.incomplete.is_empty());
+            assert!(r.concurrency_loss() > 0.0);
+        } else {
+            // The five datatype relations are documented exact.
+            assert!(
+                r.incomplete.is_empty(),
+                "{name} is documented exact but has conservative pairs: {:?}",
+                r.incomplete
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_unsound_type_is_detected() {
+    let r = analyze_type(&BrokenCounter, &SoundnessConfig::default());
+    assert!(!r.is_sound(), "the planted defect must be refuted");
+    assert!(!r.unsound.is_empty());
+    // Every unsound finding carries a concrete counterexample state.
+    for p in &r.unsound {
+        match &p.class {
+            soundness::PairClass::Unsound { .. } => {}
+            other => panic!("expected Unsound, got {other:?}"),
+        }
+    }
+    // And the aggregate report turns it into a nonzero exit code.
+    let mut report = Report::new();
+    report.extend(soundness::findings(&r));
+    assert_eq!(report.exit_code(), 1);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Error && f.message.contains("UNSOUND")));
+}
+
+#[test]
+fn cli_clean_run_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .output()
+        .expect("spawn nt-lint");
+    assert!(
+        out.status.success(),
+        "clean run must exit 0; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"));
+    assert!(!stdout.contains("UNSOUND"));
+}
+
+#[test]
+fn cli_flags_planted_defect_with_nonzero_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["types", "--plant-defect"])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted defect must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNSOUND"));
+    assert!(stdout.contains("broken-counter"));
+}
+
+#[test]
+fn cli_json_output_is_well_formed_enough() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["--json", "types", "--plant-defect"])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.contains("\"findings\""));
+    assert!(stdout.contains("\"exit_code\": 1"));
+}
+
+#[test]
+fn cli_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Build a minimal hand-rolled workload: T0 -> A -> {two accesses}, with
+/// the scripts given per transaction.
+fn tiny_workload(ops: [Op; 2], ty: Arc<dyn nt_serial::SerialType>, skip_second: bool) -> Workload {
+    let mut tree = TxTree::new();
+    let x = tree.add_object();
+    let a = tree.add_inner(TxId::ROOT);
+    let u1 = tree.add_access(a, x, ops[0].clone());
+    let u2 = tree.add_access(a, x, ops[1].clone());
+    let tree = Arc::new(tree);
+    let scripted = if skip_second { vec![u1] } else { vec![u1, u2] };
+    let clients = vec![
+        ScriptedTx::new(Arc::clone(&tree), TxId::ROOT, vec![a], ChildOrder::Parallel),
+        ScriptedTx::new(Arc::clone(&tree), a, scripted, ChildOrder::Sequential),
+    ];
+    Workload {
+        tree,
+        clients,
+        types: ObjectTypes::uniform(1, ty),
+        initials: nt_model::rw::RwInitials::uniform(0),
+        top: vec![a],
+    }
+}
+
+#[test]
+fn negative_account_amount_is_flagged() {
+    let w = tiny_workload(
+        [Op::Deposit(-5), Op::Balance],
+        Arc::new(nt_datatypes::Account::new(0)),
+        false,
+    );
+    let fs = workload::lint_generated("neg-deposit", &w, Protocol::Undo);
+    assert!(
+        fs.iter()
+            .any(|f| f.severity == Severity::Error && f.message.contains("non-negative")),
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn op_type_mismatch_is_flagged() {
+    // Counter ops against register-typed objects: apply() would panic.
+    let w = tiny_workload(
+        [Op::Add(1), Op::GetCount],
+        Arc::new(nt_serial::RwRegister::new(0)),
+        false,
+    );
+    let fs = workload::lint_generated("mismatch", &w, Protocol::Undo);
+    assert!(
+        fs.iter()
+            .any(|f| f.severity == Severity::Error && f.message.contains("does not support")),
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn orphaned_access_is_flagged() {
+    let w = tiny_workload(
+        [Op::Read, Op::Write(1)],
+        Arc::new(nt_serial::RwRegister::new(0)),
+        true,
+    );
+    let fs = workload::lint_generated(
+        "orphan",
+        &w,
+        Protocol::Moss(nt_locking::LockMode::ReadWrite),
+    );
+    assert!(
+        fs.iter().any(|f| f.message.contains("never requested")),
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn spec_matrix_used_by_the_cli_is_clean() {
+    // The default spec under every protocol-compatible mix must produce no
+    // errors — this is the configuration the CI gate runs.
+    let fs = workload::lint_spec("default", &WorkloadSpec::default());
+    assert!(fs.iter().all(|f| f.severity != Severity::Error), "{fs:?}");
+}

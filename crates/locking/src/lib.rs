@@ -117,12 +117,17 @@ impl MossObject {
     /// Is `t` a local orphan at this object (§5.3): has an ancestor whose
     /// `INFORM_ABORT` was received here?
     pub fn is_local_orphan(&self, t: TxId) -> bool {
-        self.tree.ancestors(t).any(|u| self.aborted_seen.contains(&u))
+        self.tree
+            .ancestors(t)
+            .any(|u| self.aborted_seen.contains(&u))
     }
 
     /// Is the lock precondition for access `t` met?
     fn lock_precondition(&self, t: TxId) -> bool {
-        let op = self.tree.op_of(t).expect("access");
+        let op = self
+            .tree
+            .op_of(t)
+            .expect("created only holds accesses of x (is_input admits Create(t) only then)");
         let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
         let writes_ok = self
             .write_lockholders
@@ -148,7 +153,9 @@ impl MossObject {
                 continue;
             }
             if !self.lock_precondition(t) {
-                let op = self.tree.op_of(t).expect("access");
+                let op = self.tree.op_of(t).expect(
+                    "created only holds accesses of x (is_input admits Create(t) only then)",
+                );
                 let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
                 let mut blockers: Vec<TxId> = self
                     .write_lockholders
@@ -206,11 +213,17 @@ impl Component for MossObject {
             Action::InformCommit(_, t) => {
                 // Pass locks (and tentative value) up to the parent.
                 if let Some(v) = self.write_lockholders.remove(t) {
-                    let p = self.tree.parent(*t).expect("t != T0");
+                    let p = self
+                        .tree
+                        .parent(*t)
+                        .expect("is_input rejects InformCommit(T0), so t has a parent");
                     self.write_lockholders.insert(p, v);
                 }
                 if self.read_lockholders.remove(t) {
-                    let p = self.tree.parent(*t).expect("t != T0");
+                    let p = self
+                        .tree
+                        .parent(*t)
+                        .expect("is_input rejects InformCommit(T0), so t has a parent");
                     self.read_lockholders.insert(p);
                 }
             }
@@ -225,7 +238,10 @@ impl Component for MossObject {
             Action::RequestCommit(t, v) => {
                 debug_assert!(self.lock_precondition(*t));
                 self.commit_requested.insert(*t);
-                let op = self.tree.op_of(*t).expect("access");
+                let op = self
+                    .tree
+                    .op_of(*t)
+                    .expect("RequestCommit is shared only for accesses of x (is_output)");
                 match op.write_data() {
                     Some(d) => {
                         debug_assert_eq!(*v, Value::Ok);
@@ -256,7 +272,10 @@ impl Component for MossObject {
             if self.is_local_orphan(t) || !self.lock_precondition(t) {
                 continue;
             }
-            let op = self.tree.op_of(t).expect("access");
+            let op = self
+                .tree
+                .op_of(t)
+                .expect("created only holds accesses of x (is_input admits Create(t) only then)");
             let v = match op.write_data() {
                 Some(_) => Value::Ok,
                 None => Value::Int(self.current_value()),

@@ -11,9 +11,9 @@
 //!   a read equals the `final-value` of the responded writes that are
 //!   lock-visible to the reader.
 
+use nt_automata::Component;
 use nt_locking::{LockMode, MossObject};
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
-use nt_automata::Component;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;

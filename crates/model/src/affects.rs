@@ -138,10 +138,7 @@ pub fn check_suitable(
     order: &SiblingOrder,
 ) -> Result<(), UnsuitableReason> {
     let vis = visible_indices(tree, beta, t);
-    let lows: Vec<Option<TxId>> = vis
-        .iter()
-        .map(|&i| beta[i].lowtransaction(tree))
-        .collect();
+    let lows: Vec<Option<TxId>> = vis.iter().map(|&i| beta[i].lowtransaction(tree)).collect();
 
     // Condition 1: all sibling lowtransaction pairs ordered.
     for (p, &li) in lows.iter().enumerate() {
@@ -237,25 +234,25 @@ mod tests {
         let u = tree.add_access(a, x, Op::Write(1));
         let w = tree.add_access(b, x, Op::Read);
         let beta = vec![
-            Action::RequestCreate(a),      // 0
-            Action::Create(a),             // 1
-            Action::RequestCreate(u),      // 2
-            Action::Create(u),             // 3
-            Action::RequestCommit(u, Value::Ok), // 4
-            Action::Commit(u),             // 5
-            Action::ReportCommit(u, Value::Ok), // 6
-            Action::RequestCommit(a, Value::Ok), // 7
-            Action::Commit(a),             // 8
-            Action::ReportCommit(a, Value::Ok), // 9  (report to T0)
-            Action::RequestCreate(b),      // 10 (T0 saw a finish first)
-            Action::Create(b),             // 11
-            Action::RequestCreate(w),      // 12
-            Action::Create(w),             // 13
+            Action::RequestCreate(a),                // 0
+            Action::Create(a),                       // 1
+            Action::RequestCreate(u),                // 2
+            Action::Create(u),                       // 3
+            Action::RequestCommit(u, Value::Ok),     // 4
+            Action::Commit(u),                       // 5
+            Action::ReportCommit(u, Value::Ok),      // 6
+            Action::RequestCommit(a, Value::Ok),     // 7
+            Action::Commit(a),                       // 8
+            Action::ReportCommit(a, Value::Ok),      // 9  (report to T0)
+            Action::RequestCreate(b),                // 10 (T0 saw a finish first)
+            Action::Create(b),                       // 11
+            Action::RequestCreate(w),                // 12
+            Action::Create(w),                       // 13
             Action::RequestCommit(w, Value::Int(1)), // 14
-            Action::Commit(w),             // 15
-            Action::ReportCommit(w, Value::Int(1)), // 16
-            Action::RequestCommit(b, Value::Ok), // 17
-            Action::Commit(b),             // 18
+            Action::Commit(w),                       // 15
+            Action::ReportCommit(w, Value::Int(1)),  // 16
+            Action::RequestCommit(b, Value::Ok),     // 17
+            Action::Commit(b),                       // 18
         ];
         (tree, a, b, beta)
     }

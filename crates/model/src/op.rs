@@ -84,12 +84,7 @@ impl Op {
     pub fn is_observer(&self) -> bool {
         matches!(
             self,
-            Op::Read
-                | Op::GetCount
-                | Op::Balance
-                | Op::Contains(_)
-                | Op::Size
-                | Op::Get(_)
+            Op::Read | Op::GetCount | Op::Balance | Op::Contains(_) | Op::Size | Op::Get(_)
         )
     }
 }

@@ -99,8 +99,7 @@ mod tests {
         let b = tree.add_inner(TxId::ROOT);
         let c = tree.add_access(a, x, Op::Read);
         let d = tree.add_access(a, x, Op::Write(1));
-        let order =
-            SiblingOrder::from_lists([(TxId::ROOT, vec![a, b]), (a, vec![d, c])]);
+        let order = SiblingOrder::from_lists([(TxId::ROOT, vec![a, b]), (a, vec![d, c])]);
         (tree, a, b, c, d, order)
     }
 

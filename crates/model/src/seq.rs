@@ -269,7 +269,10 @@ mod tests {
         let (tree, a, b, _u, w, beta) = example();
         let st = Status::of(&tree, &beta);
         assert!(st.is_orphan(&tree, w), "descendant of aborted b");
-        assert!(st.is_orphan(&tree, b), "aborted itself (reflexive ancestor)");
+        assert!(
+            st.is_orphan(&tree, b),
+            "aborted itself (reflexive ancestor)"
+        );
         assert!(!st.is_orphan(&tree, a));
         assert!(!is_live(&beta, a), "a completed");
         assert!(is_live(&beta, w), "w created, never completed");

@@ -27,6 +27,75 @@ fn violation(at: usize, what: impl Into<String>) -> Violation {
     }
 }
 
+/// Statically check structural well-formedness of a naming tree: root at
+/// index 0, consistent parent/child links and depths, accesses as leaves
+/// bound to registered objects.
+///
+/// [`TxTree`]'s constructors maintain these invariants, so violations can
+/// only arise from future construction paths (deserialization, fuzzing,
+/// hand-built fixtures); static analyzers check them defensively before
+/// reasoning about a tree. `at` in each returned [`Violation`] is the arena
+/// index of the offending transaction name.
+pub fn check_tree(tree: &TxTree) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for t in tree.all_tx() {
+        let i = t.index();
+        match tree.parent(t) {
+            None => {
+                if t != TxId::ROOT {
+                    out.push(violation(i, format!("{t} has no parent but is not T0")));
+                }
+                if tree.depth(t) != 0 {
+                    out.push(violation(
+                        i,
+                        format!("{t} is parentless with nonzero depth"),
+                    ));
+                }
+            }
+            Some(p) => {
+                if t == TxId::ROOT {
+                    out.push(violation(i, "T0 must not have a parent".to_string()));
+                    continue;
+                }
+                if p.index() >= tree.len() {
+                    out.push(violation(i, format!("{t} has unregistered parent {p}")));
+                    continue;
+                }
+                if !tree.children(p).contains(&t) {
+                    out.push(violation(i, format!("{t} missing from children of {p}")));
+                }
+                if tree.depth(t) != tree.depth(p) + 1 {
+                    out.push(violation(
+                        i,
+                        format!("depth of {t} is not one more than depth of its parent {p}"),
+                    ));
+                }
+            }
+        }
+        for &c in tree.children(t) {
+            if c.index() >= tree.len() {
+                out.push(violation(i, format!("{t} lists unregistered child {c}")));
+            } else if tree.parent(c) != Some(t) {
+                out.push(violation(
+                    i,
+                    format!("child {c} of {t} does not point back"),
+                ));
+            }
+        }
+        if tree.is_access(t) {
+            if !tree.children(t).is_empty() {
+                out.push(violation(i, format!("access {t} has children")));
+            }
+            if let Some(x) = tree.object_of(t) {
+                if x.index() >= tree.num_objects() {
+                    out.push(violation(i, format!("access {t} touches unregistered {x}")));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Check serial object well-formedness for `x` (§2.2.2): the projection of
 /// `beta` on external actions of `S_x` must be a prefix of
 /// `CREATE(T1) REQUEST_COMMIT(T1,v1) CREATE(T2) REQUEST_COMMIT(T2,v2) …`
@@ -41,7 +110,10 @@ pub fn check_serial_object_wf(tree: &TxTree, beta: &[Action], x: ObjId) -> Resul
         match a {
             Action::Create(t) => {
                 if active.is_some() {
-                    return Err(violation(i, format!("CREATE({t}) while another access is active")));
+                    return Err(violation(
+                        i,
+                        format!("CREATE({t}) while another access is active"),
+                    ));
                 }
                 if !seen.insert(*t) {
                     return Err(violation(i, format!("duplicate CREATE({t})")));
@@ -325,7 +397,7 @@ mod tests {
     fn simple_behavior_rejects_each_violation_kind() {
         let (tree, a, u, _w) = setup();
         let cases: Vec<Vec<Action>> = vec![
-            vec![Action::Create(a)], // create without request
+            vec![Action::Create(a)],                           // create without request
             vec![Action::RequestCreate(a), Action::Commit(a)], // commit without request
             vec![Action::RequestCreate(a), Action::Abort(a), Action::Abort(a)], // dup abort
             vec![
@@ -335,9 +407,9 @@ mod tests {
                 Action::Commit(a),
                 Action::Abort(a),
             ], // abort after commit
-            vec![Action::ReportAbort(a)], // report without completion
-            vec![Action::RequestCommit(u, Value::Int(0))], // response w/o invocation
-            vec![Action::InformCommit(ObjId(0), u)], // inform before commit
+            vec![Action::ReportAbort(a)],                      // report without completion
+            vec![Action::RequestCommit(u, Value::Int(0))],     // response w/o invocation
+            vec![Action::InformCommit(ObjId(0), u)],           // inform before commit
         ];
         for (k, beta) in cases.iter().enumerate() {
             assert!(
@@ -345,6 +417,13 @@ mod tests {
                 "case {k} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn check_tree_accepts_constructed_trees() {
+        let (tree, _a, _u, _w) = setup();
+        assert_eq!(check_tree(&tree), Vec::new());
+        assert_eq!(check_tree(&TxTree::new()), Vec::new());
     }
 
     #[test]

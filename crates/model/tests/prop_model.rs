@@ -27,7 +27,12 @@ fn build_tree(shape: &[(u8, bool)]) -> TxTree {
 fn completions(tree: &TxTree, pattern: &[u8]) -> Vec<Action> {
     let mut out = Vec::new();
     for t in tree.all_tx().skip(1) {
-        match pattern.get(t.index() % pattern.len().max(1)).copied().unwrap_or(0) % 3 {
+        match pattern
+            .get(t.index() % pattern.len().max(1))
+            .copied()
+            .unwrap_or(0)
+            % 3
+        {
             0 => out.push(Action::Commit(t)),
             1 => out.push(Action::Abort(t)),
             _ => {}

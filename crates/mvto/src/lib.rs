@@ -275,9 +275,7 @@ impl Component for MvtoObject {
                 let pt = self.pseudotime(*t);
                 match self.tree.op_of(*t).expect("access").write_data() {
                     Some(d) => {
-                        let pos = self
-                            .versions
-                            .partition_point(|existing| existing.pt < pt);
+                        let pos = self.versions.partition_point(|existing| existing.pt < pt);
                         self.versions.insert(
                             pos,
                             Version {

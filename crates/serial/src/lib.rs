@@ -21,7 +21,7 @@ pub mod validate;
 pub use object::SerialObject;
 pub use scheduler::SerialScheduler;
 pub use types::{
-    commute_by_definition, legal, replay, replay_from, resolve_ops, ObjectTypes, OpVal,
-    RwRegister, SerialType,
+    commute_by_definition, commute_refutation, legal, replay, replay_from, resolve_ops,
+    ObjectTypes, OpVal, RwRegister, SerialType,
 };
 pub use validate::{is_serial_behavior, validate_serial_behavior};

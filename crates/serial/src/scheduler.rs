@@ -129,10 +129,7 @@ impl Component for SerialScheduler {
             if self.can_create(t) {
                 buf.push(Action::Create(t));
             }
-            if self.allow_spontaneous_abort
-                && !self.created.contains(&t)
-                && !self.is_completed(t)
-            {
+            if self.allow_spontaneous_abort && !self.created.contains(&t) && !self.is_completed(t) {
                 buf.push(Action::Abort(t));
             }
         }

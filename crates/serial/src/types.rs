@@ -44,6 +44,31 @@ pub trait SerialType: fmt::Debug + Send + Sync {
     /// Declared backward-commutativity relation (must be symmetric and
     /// sound w.r.t. the definition, may be conservative).
     fn commutes_backward(&self, a: &OpVal, b: &OpVal) -> bool;
+
+    /// A small, representative set of operations for bounded exhaustive
+    /// analysis of this type (the `nt-lint` soundness pass).
+    ///
+    /// The domain should exercise every operation kind the type supports,
+    /// with enough distinct parameters to distinguish conflicting pairs
+    /// (e.g. two different write values, one present and one absent set
+    /// element). An empty domain (the default) opts the type out of static
+    /// certification; `nt-lint` reports such types as unanalyzable.
+    fn op_domain(&self) -> Vec<Op> {
+        Vec::new()
+    }
+
+    /// A bounded set of starting states for quantifying the
+    /// backward-commutativity definition (the prefix `ξ` of the paper is
+    /// represented by its final state).
+    ///
+    /// Should contain [`SerialType::initial`] and enough distinguishing
+    /// states that any declared-commuting pair that truly conflicts is
+    /// refuted from at least one of them. Analyzers additionally close this
+    /// set under [`SerialType::op_domain`], so supplying seed states that
+    /// generate the interesting region is sufficient.
+    fn bounded_states(&self) -> Vec<Value> {
+        vec![self.initial()]
+    }
 }
 
 /// Replay a sequence of `(Op, Value)` pairs from the initial state.
@@ -132,15 +157,22 @@ fn commute_dir_from(ty: &dyn SerialType, s: &Value, first: &OpVal, second: &OpVa
 ///
 /// Both directions are checked, making the result symmetric like the
 /// paper's relation.
-pub fn commute_by_definition(
+pub fn commute_by_definition(ty: &dyn SerialType, a: &OpVal, b: &OpVal, states: &[Value]) -> bool {
+    commute_refutation(ty, a, b, states).is_none()
+}
+
+/// As [`commute_by_definition`], but on failure return the first starting
+/// state from which the pair fails to commute — a concrete counterexample
+/// for diagnostics. `None` means the pair commutes from every given state.
+pub fn commute_refutation<'a>(
     ty: &dyn SerialType,
     a: &OpVal,
     b: &OpVal,
-    states: &[Value],
-) -> bool {
+    states: &'a [Value],
+) -> Option<&'a Value> {
     states
         .iter()
-        .all(|s| commute_dir_from(ty, s, a, b) && commute_dir_from(ty, s, b, a))
+        .find(|s| !(commute_dir_from(ty, s, a, b) && commute_dir_from(ty, s, b, a)))
 }
 
 /// The serial types of every object in a system, indexed by [`nt_model::ObjId`].
@@ -234,6 +266,17 @@ impl SerialType for RwRegister {
     fn commutes_backward(&self, a: &OpVal, b: &OpVal) -> bool {
         a.0.is_rw_read() && b.0.is_rw_read()
     }
+
+    fn op_domain(&self) -> Vec<Op> {
+        vec![Op::Read, Op::Write(0), Op::Write(1)]
+    }
+
+    fn bounded_states(&self) -> Vec<Value> {
+        let mut vals = vec![self.init, self.init + 1, 0, 1];
+        vals.sort_unstable();
+        vals.dedup();
+        vals.into_iter().map(Value::Int).collect()
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +331,12 @@ mod tests {
         // Equal writes: declared conflicting (conservative) although the
         // definition lets them commute.
         assert!(!r.commutes_backward(&write3, &write3.clone()));
-        assert!(commute_by_definition(&r, &write3, &(Op::Write(3), Value::Ok), &states));
+        assert!(commute_by_definition(
+            &r,
+            &write3,
+            &(Op::Write(3), Value::Ok),
+            &states
+        ));
     }
 
     #[test]

@@ -42,10 +42,9 @@ pub fn validate_serial_behavior(
     let mut obj_state: Vec<Value> = types.iter().map(|(_, t)| t.initial()).collect();
     let mut obj_active: Vec<Option<TxId>> = vec![None; types.len()];
 
-    let completed =
-        |committed: &HashSet<TxId>, aborted: &HashSet<TxId>, t: TxId| -> bool {
-            committed.contains(&t) || aborted.contains(&t)
-        };
+    let completed = |committed: &HashSet<TxId>, aborted: &HashSet<TxId>, t: TxId| -> bool {
+        committed.contains(&t) || aborted.contains(&t)
+    };
 
     for (i, a) in gamma.iter().enumerate() {
         if !a.is_serial() {
@@ -83,10 +82,7 @@ pub fn validate_serial_behavior(
                 // Serial discipline: no live sibling.
                 if let Some(p) = tree.parent(*t) {
                     for &s in tree.children(p) {
-                        if s != *t
-                            && created.contains(&s)
-                            && !completed(&committed, &aborted, s)
-                        {
+                        if s != *t && created.contains(&s) && !completed(&committed, &aborted, s) {
                             return Err(violation(
                                 i,
                                 format!("CREATE({t}) while sibling {s} is live"),

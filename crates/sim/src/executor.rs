@@ -10,10 +10,10 @@ use crate::chaos::ChaosObject;
 use crate::script::ScriptedTx;
 use crate::workload::Workload;
 use nt_automata::Component;
+use nt_certifier::SgtCertifier;
 use nt_generic::GenericController;
 use nt_locking::{LockMode, MossObject};
 use nt_model::{Action, ObjId, TxId};
-use nt_certifier::SgtCertifier;
 use nt_mvto::MvtoObject;
 use nt_serial::{SerialObject, SerialScheduler};
 use nt_undolog::UndoLogObject;
@@ -160,34 +160,34 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         ))]
     } else {
         (0..workload.types.len())
-        .map(|xi| {
-            let x = ObjId(xi as u32);
-            match protocol {
-                Protocol::Moss(mode) => ObjectAutomaton::Moss(MossObject::new(
-                    Arc::clone(&tree),
-                    x,
-                    workload.initials.initial(x),
-                    mode,
-                )),
-                Protocol::Undo => ObjectAutomaton::Undo(UndoLogObject::new(
-                    Arc::clone(&tree),
-                    x,
-                    Arc::clone(workload.types.get(x)),
-                )),
-                Protocol::Mvto => ObjectAutomaton::Mvto(MvtoObject::new(
-                    Arc::clone(&tree),
-                    x,
-                    workload.initials.initial(x),
-                )),
-                Protocol::Certifier => unreachable!("handled above"),
-                Protocol::Chaos => ObjectAutomaton::Chaos(ChaosObject::new(
-                    Arc::clone(&tree),
-                    x,
-                    workload.initials.initial(x),
-                )),
-            }
-        })
-        .collect()
+            .map(|xi| {
+                let x = ObjId(xi as u32);
+                match protocol {
+                    Protocol::Moss(mode) => ObjectAutomaton::Moss(MossObject::new(
+                        Arc::clone(&tree),
+                        x,
+                        workload.initials.initial(x),
+                        mode,
+                    )),
+                    Protocol::Undo => ObjectAutomaton::Undo(UndoLogObject::new(
+                        Arc::clone(&tree),
+                        x,
+                        Arc::clone(workload.types.get(x)),
+                    )),
+                    Protocol::Mvto => ObjectAutomaton::Mvto(MvtoObject::new(
+                        Arc::clone(&tree),
+                        x,
+                        workload.initials.initial(x),
+                    )),
+                    Protocol::Certifier => unreachable!("handled above"),
+                    Protocol::Chaos => ObjectAutomaton::Chaos(ChaosObject::new(
+                        Arc::clone(&tree),
+                        x,
+                        workload.initials.initial(x),
+                    )),
+                }
+            })
+            .collect()
     };
     let workload_types_len = workload.types.len();
     let clients = &mut workload.clients;
@@ -274,8 +274,7 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         }
 
         // Contention accounting.
-        let waiting: Vec<(TxId, Vec<TxId>)> =
-            objects.iter().flat_map(|o| o.waiting()).collect();
+        let waiting: Vec<(TxId, Vec<TxId>)> = objects.iter().flat_map(|o| o.waiting()).collect();
         wait_rounds += waiting.len() as u64;
 
         if fired_this_round == 0 {
@@ -468,7 +467,11 @@ mod tests {
     #[test]
     fn moss_run_reaches_quiescence_and_commits_everything() {
         let mut w = WorkloadSpec::default().generate();
-        let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
         assert!(r.quiescent, "run must finish");
         assert_eq!(r.committed_top + r.aborted_top, w.top.len());
         assert!(r.committed_top > 0);
@@ -508,8 +511,16 @@ mod tests {
         let spec = WorkloadSpec::default();
         let mut w1 = spec.generate();
         let mut w2 = spec.generate();
-        let r1 = run_generic(&mut w1, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
-        let r2 = run_generic(&mut w2, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        let r1 = run_generic(
+            &mut w1,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
+        let r2 = run_generic(
+            &mut w2,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
         assert_eq!(r1.trace, r2.trace);
         let r3 = run_generic(
             &mut spec.generate(),

@@ -71,6 +71,16 @@ impl ScriptedTx {
         self.t
     }
 
+    /// The children this script will request, in request order.
+    pub fn script_children(&self) -> &[TxId] {
+        &self.children
+    }
+
+    /// How this script schedules its children.
+    pub fn order(&self) -> ChildOrder {
+        self.order
+    }
+
     /// Has this transaction finished its script (committed-requested or
     /// halted)?
     pub fn is_done(&self) -> bool {
@@ -109,10 +119,9 @@ impl Component for ScriptedTx {
             Action::ReportCommit(c, _) | Action::ReportAbort(c) => {
                 self.reported.insert(*c);
             }
-            Action::Abort(_)
-                if self.halt_on_abort => {
-                    self.halted = true;
-                }
+            Action::Abort(_) if self.halt_on_abort => {
+                self.halted = true;
+            }
             Action::RequestCreate(_) => self.requested += 1,
             Action::RequestCommit(_, _) => self.commit_requested = true,
             _ => {}
@@ -212,12 +221,8 @@ mod tests {
         let mut tree = TxTree::new();
         let a = tree.add_inner(TxId::ROOT);
         let tree = Arc::new(tree);
-        let mut root = ScriptedTx::new(
-            Arc::clone(&tree),
-            TxId::ROOT,
-            vec![a],
-            ChildOrder::Parallel,
-        );
+        let mut root =
+            ScriptedTx::new(Arc::clone(&tree), TxId::ROOT, vec![a], ChildOrder::Parallel);
         root.apply(&Action::Create(TxId::ROOT));
         root.apply(&Action::RequestCreate(a));
         root.apply(&Action::ReportCommit(a, Value::Ok));

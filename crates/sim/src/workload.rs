@@ -8,7 +8,7 @@
 
 use crate::script::{ChildOrder, ScriptedTx};
 use nt_model::rw::RwInitials;
-use nt_model::{Op, ObjId, TxId, TxTree};
+use nt_model::{ObjId, Op, TxId, TxTree};
 use nt_serial::{ObjectTypes, RwRegister, SerialType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -272,7 +272,9 @@ mod tests {
         }
         .generate();
         // Trees almost surely differ in size for different seeds.
-        assert!(a.tree.len() != b.tree.len() || a.tree.accesses().count() != b.tree.accesses().count());
+        assert!(
+            a.tree.len() != b.tree.len() || a.tree.accesses().count() != b.tree.accesses().count()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   replayable (Lemma 21).
 
 use nt_automata::Component;
-use nt_model::{Action, Op, ObjId, TxId, TxTree, Value};
+use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 use nt_serial::{replay_from, SerialType};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -95,7 +95,10 @@ impl UndoLogObject {
             if !self.committed.contains(&cur) {
                 return false;
             }
-            cur = self.tree.parent(cur).expect("walk ends at lca");
+            cur = self
+                .tree
+                .parent(cur)
+                .expect("the lca is an ancestor of t_logged, so the parent walk reaches it");
         }
         true
     }
@@ -103,13 +106,18 @@ impl UndoLogObject {
     /// Is `t` a local orphan at this object: has an ancestor whose
     /// `INFORM_ABORT` was received here?
     pub fn is_local_orphan(&self, t: TxId) -> bool {
-        self.tree.ancestors(t).any(|u| self.aborted_seen.contains(&u))
+        self.tree
+            .ancestors(t)
+            .any(|u| self.aborted_seen.contains(&u))
     }
 
     /// The §6.2 `REQUEST_COMMIT` precondition for access `t`, with the
     /// value the serial type determines. Returns `Some(v)` iff enabled.
     fn try_respond(&self, t: TxId) -> Option<Value> {
-        let op = self.tree.op_of(t).expect("access");
+        let op = self
+            .tree
+            .op_of(t)
+            .expect("created only holds accesses of x (is_input admits Create(t) only then)");
         let (_, v) = self.ty.apply(&self.state, op);
         let candidate = (op.clone(), v.clone());
         for e in &self.operations {
@@ -137,7 +145,10 @@ impl UndoLogObject {
             if self.is_local_orphan(t) || self.try_respond(t).is_some() {
                 continue;
             }
-            let op = self.tree.op_of(t).expect("access");
+            let op = self
+                .tree
+                .op_of(t)
+                .expect("created only holds accesses of x (is_input admits Create(t) only then)");
             let (_, v) = self.ty.apply(&self.state, op);
             let candidate = (op.clone(), v);
             let blockers: Vec<TxId> = self
@@ -207,7 +218,11 @@ impl Component for UndoLogObject {
             Action::RequestCommit(t, v) => {
                 debug_assert_eq!(self.try_respond(*t).as_ref(), Some(v));
                 self.commit_requested.insert(*t);
-                let op = self.tree.op_of(*t).expect("access").clone();
+                let op = self
+                    .tree
+                    .op_of(*t)
+                    .expect("RequestCommit is shared only for accesses of x (is_output)")
+                    .clone();
                 let (next, _) = self.ty.apply(&self.state, &op);
                 self.state = next;
                 self.operations.push(LogEntry {

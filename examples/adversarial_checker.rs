@@ -21,7 +21,10 @@ fn main() {
     let malformed = vec![Action::Commit(a)]; // commit without any request
     match check_serial_correctness(&tree, &malformed, &types, ConflictSource::ReadWrite) {
         Verdict::NotSimple(v) => {
-            println!("1) malformed behavior rejected at event {}: {}", v.at, v.what)
+            println!(
+                "1) malformed behavior rejected at event {}: {}",
+                v.at, v.what
+            )
         }
         other => panic!("expected NotSimple, got {other:?}"),
     }

@@ -11,6 +11,7 @@
 //!
 //! Run with: `cargo run --example banking`
 
+use nested_sgt::automata::Component;
 use nested_sgt::datatypes::Account;
 use nested_sgt::generic::GenericController;
 use nested_sgt::model::{Action, Op, TxId, TxTree, Value};
@@ -18,7 +19,6 @@ use nested_sgt::serial::ObjectTypes;
 use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
 use nested_sgt::sim::{ChildOrder, ScriptedTx};
 use nested_sgt::undolog::UndoLogObject;
-use nested_sgt::automata::Component;
 use std::sync::Arc;
 
 fn main() {
@@ -81,8 +81,18 @@ fn main() {
         vec![leg_out, leg_in],
         ChildOrder::Parallel,
     ));
-    clients.push(ScriptedTx::new(Arc::clone(&tree), leg_out, vec![wd], ChildOrder::Parallel));
-    clients.push(ScriptedTx::new(Arc::clone(&tree), leg_in, vec![dep], ChildOrder::Parallel));
+    clients.push(ScriptedTx::new(
+        Arc::clone(&tree),
+        leg_out,
+        vec![wd],
+        ChildOrder::Parallel,
+    ));
+    clients.push(ScriptedTx::new(
+        Arc::clone(&tree),
+        leg_in,
+        vec![dep],
+        ChildOrder::Parallel,
+    ));
     clients.push(ScriptedTx::new(
         Arc::clone(&tree),
         audit,
@@ -99,9 +109,7 @@ fn main() {
         let mut fired = false;
         let mut buf = Vec::new();
         // Inject the abort once the withdraw has been logged.
-        if !injected
-            && objects[0].log().iter().any(|e| e.tx == wd)
-        {
+        if !injected && objects[0].log().iter().any(|e| e.tx == wd) {
             controller.request_abort(transfer);
             injected = true;
             println!("!! aborting the transfer mid-flight (withdraw already executed)");

@@ -26,7 +26,9 @@ fn main() {
     };
     let protocol = get("--protocol").unwrap_or_else(|| "moss".into());
     let mix_name = get("--mix").unwrap_or_else(|| "rw".into());
-    let read_ratio: f64 = get("--read-ratio").and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let read_ratio: f64 = get("--read-ratio")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let mix = match mix_name.as_str() {
         "rw" => OpMix::ReadWrite { read_ratio },
         "counter" => OpMix::Counter { read_ratio },
@@ -46,8 +48,12 @@ fn main() {
         ..WorkloadSpec::default()
     };
     let cfg = SimConfig {
-        seed: get("--sim-seed").and_then(|s| s.parse().ok()).unwrap_or(spec.seed),
-        abort_prob: get("--abort-prob").and_then(|s| s.parse().ok()).unwrap_or(0.0),
+        seed: get("--sim-seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(spec.seed),
+        abort_prob: get("--abort-prob")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0),
         ..SimConfig::default()
     };
 
@@ -133,8 +139,7 @@ fn main() {
             if let Some(lists) = &result.pseudotime_order {
                 let order = SiblingOrder::from_lists(lists.clone());
                 let serial = nested_sgt::model::seq::serial_projection(&result.trace);
-                if let Ok(w) =
-                    reconstruct_witness(&workload.tree, &serial, &order, &workload.types)
+                if let Ok(w) = reconstruct_witness(&workload.tree, &serial, &order, &workload.types)
                 {
                     println!(
                         "…but the pseudotime witness ({} actions) proves serial \

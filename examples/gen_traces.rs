@@ -1,19 +1,44 @@
-use nested_sgt::sim::{run_generic, Protocol, SimConfig, WorkloadSpec, OpMix};
 use nested_sgt::locking::LockMode;
+use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
 use nested_sgt::trace::format_trace;
 fn main() {
-    let spec = WorkloadSpec { seed: 42, top_level: 3, objects: 2, ..WorkloadSpec::default() };
+    let spec = WorkloadSpec {
+        seed: 42,
+        top_level: 3,
+        objects: 2,
+        ..WorkloadSpec::default()
+    };
     let mut w = spec.generate();
-    let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
-    std::fs::write("examples/traces/moss_ok.trace",
-        format!("# A Moss-locking run recorded by nt-sim (seed 42).\n{}",
-                format_trace(&w.tree, &w.types, &r.trace))).unwrap();
-    let spec = WorkloadSpec { seed: 7, top_level: 8, objects: 2, hotspot: 0.9,
-        mix: OpMix::ReadWrite { read_ratio: 0.5 }, ..WorkloadSpec::default() };
+    let r = run_generic(
+        &mut w,
+        Protocol::Moss(LockMode::ReadWrite),
+        &SimConfig::default(),
+    );
+    std::fs::write(
+        "examples/traces/moss_ok.trace",
+        format!(
+            "# A Moss-locking run recorded by nt-sim (seed 42).\n{}",
+            format_trace(&w.tree, &w.types, &r.trace)
+        ),
+    )
+    .unwrap();
+    let spec = WorkloadSpec {
+        seed: 7,
+        top_level: 8,
+        objects: 2,
+        hotspot: 0.9,
+        mix: OpMix::ReadWrite { read_ratio: 0.5 },
+        ..WorkloadSpec::default()
+    };
     let mut w = spec.generate();
     let r = run_generic(&mut w, Protocol::Chaos, &SimConfig::default());
-    std::fs::write("examples/traces/chaos_cyclic.trace",
-        format!("# An uncontrolled (chaos) run: expect a cyclic graph.\n{}",
-                format_trace(&w.tree, &w.types, &r.trace))).unwrap();
+    std::fs::write(
+        "examples/traces/chaos_cyclic.trace",
+        format!(
+            "# An uncontrolled (chaos) run: expect a cyclic graph.\n{}",
+            format_trace(&w.tree, &w.types, &r.trace)
+        ),
+    )
+    .unwrap();
     println!("written");
 }

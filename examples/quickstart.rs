@@ -52,9 +52,7 @@ fn main() {
         ConflictSource::ReadWrite,
     );
     match verdict {
-        Verdict::SeriallyCorrect {
-            graph, witness, ..
-        } => {
+        Verdict::SeriallyCorrect { graph, witness, .. } => {
             let conflicts = graph
                 .edges
                 .iter()

@@ -18,11 +18,11 @@
 //! Run with: `cargo run --example travel_booking`
 
 use nested_sgt::locking::LockMode;
+use nested_sgt::model::rw::RwInitials;
 use nested_sgt::model::{Action, Op, TxId, TxTree, Value};
 use nested_sgt::serial::{ObjectTypes, RwRegister};
 use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
 use nested_sgt::sim::{run_generic, ChildOrder, ScriptedTx, SimConfig, Workload};
-use nested_sgt::model::rw::RwInitials;
 use std::sync::Arc;
 
 const SEATS: i64 = 100;

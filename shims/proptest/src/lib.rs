@@ -1,0 +1,510 @@
+//! Workspace-local stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the [`proptest!`] macro with a `proptest_config` inner
+//! attribute, `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`/`boxed`, [`strategy::Just`], [`prop_oneof!`], [`any`],
+//! integer-range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! The workspace builds in environments with no access to crates.io; this
+//! crate keeps the property tests runnable there. Semantics match upstream
+//! with two deliberate simplifications:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic runs.** Generation is seeded from a fixed seed, so a
+//!   failure reproduces by re-running the test (upstream needs a
+//!   regression file for that).
+
+use std::fmt;
+
+pub mod test_runner {
+    //! Test-case driving: configuration and the RNG-bearing runner.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Subset of upstream's run configuration: the number of cases.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives test-case generation: owns the RNG strategies draw from.
+    pub struct TestRunner {
+        rng: StdRng,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner for the given configuration (fixed generation seed —
+        /// see the crate docs).
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x5eed_cafe),
+                config,
+            }
+        }
+
+        /// A runner with a fixed seed and the default configuration
+        /// (upstream's name for the same thing).
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Uniform draw below `n` (n > 0).
+        pub fn below(&mut self, n: usize) -> usize {
+            self.rng.gen_range(0..n)
+        }
+
+        /// Raw 64 random bits.
+        pub fn bits(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRunner;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generated value plus (upstream) its shrink state. Without
+    /// shrinking this is just a value holder.
+    pub trait ValueTree {
+        /// The value type produced.
+        type Value;
+        /// The current candidate value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The single [`ValueTree`] implementation: a generated value.
+    pub struct Candidate<T>(T);
+
+    impl<T: Clone> ValueTree for Candidate<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A way of generating values of some type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Clone + fmt::Debug + 'static;
+
+        /// Generate one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Upstream's entry point: a value tree for one case. Never fails
+        /// here; the `Result` keeps call sites (`.new_tree(..).unwrap()`)
+        /// source-compatible.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Candidate<Self::Value>, String>
+        where
+            Self: Sized,
+        {
+            Ok(Candidate(self.generate(runner)))
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Clone + fmt::Debug + 'static,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn ErasedStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    /// Object-safe generation, implemented blanket-wise for strategies.
+    trait ErasedStrategy<T> {
+        fn erased_generate(&self, runner: &mut TestRunner) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn erased_generate(&self, runner: &mut TestRunner) -> S::Value {
+            self.generate(runner)
+        }
+    }
+
+    impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.erased_generate(runner)
+        }
+    }
+
+    /// Always generates a clone of the held value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adaptor.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Clone + fmt::Debug + 'static,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Clone + fmt::Debug + 'static> Union<T> {
+        /// A union of the given (non-empty) alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let i = runner.below(self.arms.len());
+            self.arms[i].generate(runner)
+        }
+    }
+
+    /// Full-range strategy behind [`crate::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.bits() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.bits() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::SampleRange;
+                    self.clone().sample_from(&mut Bits(runner))
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::SampleRange;
+                    self.clone().sample_from(&mut Bits(runner))
+                }
+            }
+        )*};
+    }
+
+    /// Adapts the runner's bit stream to the `rand` sampling traits.
+    struct Bits<'a>(&'a mut TestRunner);
+
+    impl rand::Rng for Bits<'_> {
+        fn next_u64(&mut self) -> u64 {
+            self.0.bits()
+        }
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// A strategy generating any value of `T` (full range for integers).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug + 'static,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + runner.below(span);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, in one import.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Upstream re-exports the crate under this alias so call sites can
+    /// say `prop::collection::vec(..)`.
+    pub use crate as prop;
+}
+
+/// Assert inside a property (panics on failure; upstream would shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategies = ($($strat,)+);
+            for _case in 0..runner.cases() {
+                let ($($arg,)+) = strategies.generate(&mut runner);
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+}
+
+/// Shared `Debug` plumbing used by generated code; kept public so macro
+/// expansions can reference it.
+#[doc(hidden)]
+pub fn __debug_fmt<T: fmt::Debug>(t: &T) -> String {
+    format!("{t:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, ValueTree};
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        let strat = (0i64..5, prop::collection::vec(any::<u8>(), 2..6));
+        for _ in 0..200 {
+            let (x, v) = strat.generate(&mut runner);
+            assert!((0..5).contains(&x));
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_boxed_compose() {
+        let mut runner = TestRunner::deterministic();
+        let strat: BoxedStrategy<i64> =
+            prop_oneof![Just(7i64), (0i64..3).prop_map(|x| x + 100),].boxed();
+        let mut seen_just = false;
+        let mut seen_mapped = false;
+        for _ in 0..200 {
+            let v = strat.new_tree(&mut runner).unwrap().current();
+            match v {
+                7 => seen_just = true,
+                100..=102 => seen_mapped = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen_just && seen_mapped);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            xs in prop::collection::vec(any::<u16>(), 1..8),
+            k in 0usize..4,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(k.min(3), k);
+        }
+    }
+}

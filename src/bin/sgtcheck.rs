@@ -37,9 +37,7 @@ fn main() -> ExitCode {
                 eprintln!("usage: sgtcheck TRACE_FILE [--rw | --types] [--witness] [--quiet]");
                 return ExitCode::from(2);
             }
-            other if !other.starts_with('-') && file.is_none() => {
-                file = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => {
                 eprintln!("sgtcheck: unknown argument {other}");
                 return ExitCode::from(2);
@@ -78,12 +76,9 @@ fn main() -> ExitCode {
     } else {
         ConflictSource::Types(&trace.types)
     };
-    let verdict =
-        check_serial_correctness(&trace.tree, &trace.actions, &trace.types, source);
+    let verdict = check_serial_correctness(&trace.tree, &trace.actions, &trace.types, source);
     match verdict {
-        Verdict::SeriallyCorrect {
-            graph, witness, ..
-        } => {
+        Verdict::SeriallyCorrect { graph, witness, .. } => {
             let conflicts = graph
                 .edges
                 .iter()
@@ -104,7 +99,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Verdict::NotSimple(v) => {
-            println!("REJECTED: not a simple-system behavior — event {}: {}", v.at, v.what);
+            println!(
+                "REJECTED: not a simple-system behavior — event {}: {}",
+                v.at, v.what
+            );
             ExitCode::FAILURE
         }
         Verdict::InappropriateReturnValues(bad) => {

@@ -42,5 +42,5 @@ pub use nt_sgt as sgt;
 pub use nt_sim as sim;
 pub use nt_undolog as undolog;
 
-pub use nt_model::{Action, Op, ObjId, TxId, TxTree, Value};
+pub use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 pub use nt_sgt::{check_serial_correctness, ConflictSource, Verdict};

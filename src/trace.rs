@@ -32,7 +32,7 @@
 //! parsing round-trip (`format_trace` / `parse_trace`).
 
 use nt_datatypes::{Account, Counter, IntSetType, QueueType};
-use nt_model::{Action, Op, ObjId, TxId, TxTree, Value};
+use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 use nt_serial::{ObjectTypes, RwRegister, SerialType};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -183,7 +183,8 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
                         return Err(err(line_no, "objects must be declared in order X0, X1, …"));
                     }
                     let int = |s: &str| -> Result<i64, ParseError> {
-                        s.parse().map_err(|_| err(line_no, format!("bad number {s}")))
+                        s.parse()
+                            .map_err(|_| err(line_no, format!("bad number {s}")))
                     };
                     let ty: Arc<dyn SerialType> = match rest {
                         ["register", n] => Arc::new(RwRegister::new(int(n)?)),
@@ -246,16 +247,10 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
             }
             ["commit", t] => Action::Commit(tx(t)?),
             ["abort", t] => Action::Abort(tx(t)?),
-            ["report_commit", t, v @ ..] => {
-                Action::ReportCommit(tx(t)?, parse_value(v, line_no)?)
-            }
+            ["report_commit", t, v @ ..] => Action::ReportCommit(tx(t)?, parse_value(v, line_no)?),
             ["report_abort", t] => Action::ReportAbort(tx(t)?),
-            ["inform_commit", x, t] => {
-                Action::InformCommit(ObjId(parse_obj(x, line_no)?), tx(t)?)
-            }
-            ["inform_abort", x, t] => {
-                Action::InformAbort(ObjId(parse_obj(x, line_no)?), tx(t)?)
-            }
+            ["inform_commit", x, t] => Action::InformCommit(ObjId(parse_obj(x, line_no)?), tx(t)?),
+            ["inform_abort", x, t] => Action::InformAbort(ObjId(parse_obj(x, line_no)?), tx(t)?),
             other => return Err(err(line_no, format!("unknown action: {other:?}"))),
         };
         actions.push(action);
@@ -309,7 +304,11 @@ pub fn format_trace(tree: &TxTree, types: &ObjectTypes, actions: &[Action]) -> S
             }
             Some(op) => {
                 let x = tree.object_of(t).expect("access");
-                let _ = writeln!(out, "access {t} parent {p} object {x} op {}", op_to_string(op));
+                let _ = writeln!(
+                    out,
+                    "access {t} parent {p} object {x} op {}",
+                    op_to_string(op)
+                );
             }
         }
     }

@@ -14,12 +14,18 @@ use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
 fn assert_correct(spec: &WorkloadSpec, cfg: &SimConfig) {
     let mut w = spec.generate();
     let r = run_generic(&mut w, Protocol::Certifier, cfg);
-    assert!(r.quiescent, "certified run must quiesce (seed {})", spec.seed);
-    let verdict =
-        check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+    assert!(
+        r.quiescent,
+        "certified run must quiesce (seed {})",
+        spec.seed
+    );
+    let verdict = check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
     match verdict {
         Verdict::SeriallyCorrect { .. } => {}
-        other => panic!("certifier guarantees the condition; seed {}: {other:?}", spec.seed),
+        other => panic!(
+            "certifier guarantees the condition; seed {}: {other:?}",
+            spec.seed
+        ),
     }
 }
 
@@ -33,7 +39,13 @@ fn certified_runs_always_pass_the_checker() {
             mix: OpMix::ReadWrite { read_ratio: 0.5 },
             ..WorkloadSpec::default()
         };
-        assert_correct(&spec, &SimConfig { seed, ..SimConfig::default() });
+        assert_correct(
+            &spec,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
     }
 }
 
@@ -77,15 +89,26 @@ fn certifier_beats_moss_on_write_heavy_hotspots() {
         let r1 = run_generic(
             &mut w1,
             Protocol::Moss(LockMode::ReadWrite),
-            &SimConfig { seed, ..SimConfig::default() },
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
         );
         let mut w2 = spec.generate();
-        let r2 = run_generic(&mut w2, Protocol::Certifier, &SimConfig { seed, ..SimConfig::default() });
+        let r2 = run_generic(
+            &mut w2,
+            Protocol::Certifier,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
         assert!(r1.quiescent && r2.quiescent);
         moss_rounds += r1.rounds;
         cert_rounds += r2.rounds;
         // Both must be correct regardless of speed.
-        let v2 = check_serial_correctness(&w2.tree, &r2.trace, &w2.types, ConflictSource::ReadWrite);
+        let v2 =
+            check_serial_correctness(&w2.tree, &r2.trace, &w2.types, ConflictSource::ReadWrite);
         assert!(v2.is_serially_correct());
     }
     assert!(

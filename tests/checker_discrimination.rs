@@ -100,8 +100,7 @@ fn chaos_without_contention_can_pass() {
     };
     let mut w = spec.generate();
     let r = run_generic(&mut w, Protocol::Chaos, &SimConfig::default());
-    let verdict =
-        check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
+    let verdict = check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite);
     assert!(verdict.is_serially_correct(), "{verdict:?}");
 }
 

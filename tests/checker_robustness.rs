@@ -20,7 +20,11 @@ fn base_run(seed: u64) -> (nested_sgt::sim::Workload, Vec<Action>) {
         ..WorkloadSpec::default()
     };
     let mut w = spec.generate();
-    let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+    let r = run_generic(
+        &mut w,
+        Protocol::Moss(LockMode::ReadWrite),
+        &SimConfig::default(),
+    );
     (w, r.trace)
 }
 

@@ -18,8 +18,7 @@ use nested_sgt::model::seq::serial_projection;
 use nested_sgt::model::wellformed::{check_simple_behavior, check_transaction_wf};
 use nested_sgt::model::TxId;
 use nested_sgt::sgt::{
-    appropriate_return_values, build_classical_sg, build_sg, check_current_and_safe,
-    ConflictSource,
+    appropriate_return_values, build_classical_sg, build_sg, check_current_and_safe, ConflictSource,
 };
 use nested_sgt::sim::{run_generic, run_serial, OpMix, Protocol, SimConfig, WorkloadSpec};
 
@@ -71,7 +70,11 @@ fn topological_orders_are_suitable() {
             ..WorkloadSpec::default()
         };
         let mut w = spec.generate();
-        let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
         let serial = serial_projection(&r.trace);
         let g = build_sg(&w.tree, &serial, ConflictSource::ReadWrite);
         let order = g.topological_order().expect("Moss graphs are acyclic");
@@ -120,7 +123,10 @@ fn nested_and_classical_graphs_agree_on_flat_workloads() {
 #[test]
 fn generic_behaviors_satisfy_simple_and_transaction_wf() {
     for (protocol, mix) in [
-        (Protocol::Moss(LockMode::ReadWrite), OpMix::ReadWrite { read_ratio: 0.5 }),
+        (
+            Protocol::Moss(LockMode::ReadWrite),
+            OpMix::ReadWrite { read_ratio: 0.5 },
+        ),
         (Protocol::Undo, OpMix::Counter { read_ratio: 0.3 }),
         (Protocol::Chaos, OpMix::ReadWrite { read_ratio: 0.5 }),
     ] {
@@ -164,7 +170,13 @@ fn serial_runs_pass_every_checker_trivially() {
             ..WorkloadSpec::default()
         };
         let mut w = spec.generate();
-        let r = run_serial(&mut w, &SimConfig { seed, ..SimConfig::default() });
+        let r = run_serial(
+            &mut w,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
         assert!(r.quiescent);
         let verdict = nested_sgt::sgt::check_serial_correctness(
             &w.tree,
@@ -189,7 +201,11 @@ fn moss_and_undo_agree_on_rw_workloads() {
             ..WorkloadSpec::default()
         };
         let mut w1 = spec.generate();
-        let r1 = run_generic(&mut w1, Protocol::Moss(LockMode::ReadWrite), &SimConfig::default());
+        let r1 = run_generic(
+            &mut w1,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
         let mut w2 = spec.generate();
         let r2 = run_generic(&mut w2, Protocol::Undo, &SimConfig::default());
         for (r, w) in [(&r1, &w1), (&r2, &w2)] {

@@ -2,12 +2,12 @@
 //! assertions about the concurrency each type's commutativity admits —
 //! the quantitative side of §6's motivation, as test assertions.
 
-use nested_sgt::model::{Op, TxId, TxTree, Value, Action};
+use nested_sgt::automata::Component;
+use nested_sgt::model::{Action, Op, TxId, TxTree, Value};
 use nested_sgt::serial::ObjectTypes;
 use nested_sgt::sgt::{check_serial_correctness, ConflictSource, Verdict};
 use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
 use nested_sgt::undolog::UndoLogObject;
-use nested_sgt::automata::Component;
 use std::sync::Arc;
 
 #[test]
@@ -22,7 +22,11 @@ fn kvmap_distinct_keys_run_concurrently_under_undo() {
     let ga = tree.add_access(a, x, Op::Get(1));
     let tree = Arc::new(tree);
     let types = ObjectTypes::uniform(1, Arc::new(nested_sgt::datatypes::KvMapType::new()));
-    let mut o = UndoLogObject::new(Arc::clone(&tree), nested_sgt::model::ObjId(0), Arc::clone(types.get(nested_sgt::model::ObjId(0))));
+    let mut o = UndoLogObject::new(
+        Arc::clone(&tree),
+        nested_sgt::model::ObjId(0),
+        Arc::clone(types.get(nested_sgt::model::ObjId(0))),
+    );
     o.apply(&Action::Create(pa));
     o.apply(&Action::RequestCommit(pa, Value::Ok));
     // pb touches key 2: enabled although pa (key 1) is uncommitted.
@@ -59,14 +63,32 @@ fn kvmap_hotspot_blocks_less_than_registers() {
             hotspot: 1.0,
             ..WorkloadSpec::default()
         };
-        let mut wm = WorkloadSpec { mix: OpMix::KvMap, ..base.clone() }.generate();
-        let rm = run_generic(&mut wm, Protocol::Undo, &SimConfig { seed, ..SimConfig::default() });
+        let mut wm = WorkloadSpec {
+            mix: OpMix::KvMap,
+            ..base.clone()
+        }
+        .generate();
+        let rm = run_generic(
+            &mut wm,
+            Protocol::Undo,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
         let mut wq = WorkloadSpec {
             mix: OpMix::ReadWrite { read_ratio: 0.25 },
             ..base
         }
         .generate();
-        let rq = run_generic(&mut wq, Protocol::Undo, &SimConfig { seed, ..SimConfig::default() });
+        let rq = run_generic(
+            &mut wq,
+            Protocol::Undo,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
         assert!(rm.quiescent && rq.quiescent);
         map_wait += rm.wait_rounds;
         reg_wait += rq.wait_rounds;

@@ -58,7 +58,13 @@ fn mvto_always_serially_correct_via_pseudotime_witness() {
             mix: OpMix::ReadWrite { read_ratio: 0.5 },
             ..WorkloadSpec::default()
         };
-        let _ = run_and_prove(&spec, &SimConfig { seed, ..SimConfig::default() });
+        let _ = run_and_prove(
+            &spec,
+            &SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
     }
 }
 
@@ -100,7 +106,13 @@ fn mvto_escapes_the_sufficient_condition_somewhere() {
                 mix: OpMix::ReadWrite { read_ratio: 0.5 },
                 ..WorkloadSpec::default()
             };
-            let verdict = run_and_prove(&spec, &SimConfig { seed, ..SimConfig::default() });
+            let verdict = run_and_prove(
+                &spec,
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            );
             match verdict {
                 Verdict::SeriallyCorrect { .. } => accepted += 1,
                 Verdict::InappropriateReturnValues(_) | Verdict::Cyclic { .. } => rejected += 1,

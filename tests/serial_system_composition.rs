@@ -127,7 +127,11 @@ fn spontaneous_aborts_only_before_creation() {
     sched.allow_spontaneous_abort = true;
     let mut components: Vec<Box<dyn Component>> = vec![Box::new(sched)];
     for (x, ty) in w.types.iter() {
-        components.push(Box::new(SerialObject::new(Arc::clone(&tree), x, Arc::clone(ty))));
+        components.push(Box::new(SerialObject::new(
+            Arc::clone(&tree),
+            x,
+            Arc::clone(ty),
+        )));
     }
     for c in std::mem::take(&mut w.clients) {
         components.push(Box::new(c));

@@ -52,8 +52,7 @@ fn simple_system_fuzz_never_breaks_the_checker() {
         // Domain check: the composition IS a simple system.
         check_simple_behavior(&tree, &trace).expect("simple database enforces §2.3.1");
 
-        let verdict =
-            check_serial_correctness(&tree, &trace, &w.types, ConflictSource::ReadWrite);
+        let verdict = check_serial_correctness(&tree, &trace, &w.types, ConflictSource::ReadWrite);
         match verdict {
             Verdict::SeriallyCorrect { witness, .. } => {
                 accepted += 1;

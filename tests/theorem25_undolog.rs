@@ -89,12 +89,8 @@ fn undo_logging_counter_hotspot_commutes_without_deadlock() {
         assert!(r.quiescent);
         assert_eq!(r.deadlock_victims, 0, "adds never block each other");
         assert_eq!(r.committed_top, w.top.len());
-        let verdict = check_serial_correctness(
-            &w.tree,
-            &r.trace,
-            &w.types,
-            ConflictSource::Types(&w.types),
-        );
+        let verdict =
+            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::Types(&w.types));
         assert!(verdict.is_serially_correct(), "{verdict:?}");
     }
 }

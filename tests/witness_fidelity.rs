@@ -90,7 +90,11 @@ fn soak_thousands_of_runs() {
             ),
             (Protocol::Undo, OpMix::Counter { read_ratio: 0.2 }, false),
             (Protocol::Undo, OpMix::KvMap, false),
-            (Protocol::Certifier, OpMix::ReadWrite { read_ratio: 0.5 }, true),
+            (
+                Protocol::Certifier,
+                OpMix::ReadWrite { read_ratio: 0.5 },
+                true,
+            ),
         ] {
             let spec = WorkloadSpec {
                 seed,
