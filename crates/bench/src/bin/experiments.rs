@@ -1,4 +1,4 @@
-//! Regenerates every experiment table of `EXPERIMENTS.md` (E1–E10).
+//! Regenerates every experiment table of `EXPERIMENTS.md` (E1–E12).
 //!
 //! The paper (PODS 1990) is a theory paper with no empirical tables or
 //! figures; each experiment makes one of its theorems or claims
@@ -8,8 +8,19 @@
 //! cargo run --release -p nt-bench --bin experiments           # all
 //! cargo run --release -p nt-bench --bin experiments -- e5 e6  # subset
 //! ```
+//!
+//! Besides the human-readable markdown tables, a structured snapshot of
+//! every table is written to `BENCH_experiments.json` after a run.
+//!
+//! Observability (see `nt-obs` and DESIGN.md): `--trace-out PATH.jsonl`
+//! runs a small traced simulation + check and writes the deterministic
+//! event journal there, plus a Chrome `trace_event` export next to it
+//! (`PATH.chrome.json`, loadable in `chrome://tracing` / Perfetto). Add
+//! `--metrics-out PATH` to also dump the metrics registry as JSON
+//! (otherwise a plain-text summary goes to stdout). With no experiment
+//! names, `--trace-out` runs only the traced demo.
 
-use nt_bench::{run_and_check, CheckOutcome, Table};
+use nt_bench::{run_and_check, CheckOutcome, Report, Table};
 use nt_locking::LockMode;
 use nt_model::seq::serial_projection;
 use nt_model::TxId;
@@ -19,51 +30,146 @@ use std::time::Instant;
 
 const SEEDS_PER_CELL: u64 = 20;
 
+/// Render a `SimResult::blocked_by_object` breakdown as
+/// `"X<i>:<n>/<total>"` for the most-contended object (`"-"` when nothing
+/// ever blocked), for the E6/E9 contention columns.
+fn hottest_object(blocked: &[u64]) -> String {
+    let total: u64 = blocked.iter().sum();
+    if total == 0 {
+        return "-".to_string();
+    }
+    let (i, n) = blocked
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, n)| *n)
+        .expect("non-empty when total > 0");
+    format!("X{i}:{n}/{total}")
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out needs a path")),
+            other => names.push(other.to_string()),
+        }
+    }
+    // `--trace-out` alone means "just the traced demo" (fast; used by CI).
+    let demo_only = trace_out.is_some() && names.is_empty();
+    let want = |name: &str| !demo_only && (names.is_empty() || names.iter().any(|a| a == name));
+    let mut rep = Report::new();
     if want("e1") {
-        e1_moss_validation();
+        e1_moss_validation(&mut rep);
     }
     if want("e2") {
-        e2_undolog_validation();
+        e2_undolog_validation(&mut rep);
     }
     if want("e3") {
-        e3_checker_discrimination();
+        e3_checker_discrimination(&mut rep);
     }
     if want("e4") {
-        e4_sufficiency_gap();
+        e4_sufficiency_gap(&mut rep);
     }
     if want("e5") {
-        e5_sg_scaling();
+        e5_sg_scaling(&mut rep);
     }
     if want("e6") {
-        e6_concurrency_benefit();
+        e6_concurrency_benefit(&mut rep);
     }
     if want("e7") {
-        e7_rw_vs_exclusive();
+        e7_rw_vs_exclusive(&mut rep);
     }
     if want("e8") {
-        e8_nested_vs_classical();
+        e8_nested_vs_classical(&mut rep);
     }
     if want("e9") {
-        e9_commutativity_benefit();
+        e9_commutativity_benefit(&mut rep);
     }
     if want("e10") {
-        e10_abort_storm();
+        e10_abort_storm(&mut rep);
     }
     if want("e11") {
-        e11_mvto_beyond_sgt();
+        e11_mvto_beyond_sgt(&mut rep);
     }
     if want("e12") {
-        e12_certifier();
+        e12_certifier(&mut rep);
     }
+    if let Some(path) = &trace_out {
+        run_traced_demo(path, metrics_out.as_deref());
+    }
+    if !rep.is_empty() {
+        std::fs::write("BENCH_experiments.json", rep.to_json())
+            .expect("write BENCH_experiments.json");
+        eprintln!("wrote BENCH_experiments.json ({} experiments)", rep.len());
+    }
+}
+
+/// The traced demo behind `--trace-out`: one small Moss run plus the full
+/// checker with every `nt-obs` sink enabled, exported as a schema-validated
+/// JSONL journal and a Chrome trace, both re-parsed before being written
+/// (the exports gate themselves).
+fn run_traced_demo(trace_out: &str, metrics_out: Option<&str>) {
+    let trace = nt_obs::Recorder::full();
+    nt_obs::install_panic_flight_dump(trace.clone());
+    let spec = WorkloadSpec {
+        seed: 42,
+        top_level: 6,
+        objects: 3,
+        hotspot: 0.5,
+        mix: OpMix::ReadWrite { read_ratio: 0.5 },
+        ..WorkloadSpec::default()
+    };
+    let cfg = SimConfig {
+        seed: 42,
+        trace: trace.clone(),
+        ..SimConfig::default()
+    };
+    let (r, outcome, _) = run_and_check(&spec, Protocol::Moss(LockMode::ReadWrite), &cfg, true);
+    assert!(r.quiescent, "traced demo must quiesce");
+    assert_eq!(
+        outcome,
+        CheckOutcome::Correct,
+        "traced demo must check clean"
+    );
+    let jsonl = trace.journal_jsonl().expect("recorder keeps the journal");
+    let events = match nt_obs::schema::validate_journal(&jsonl) {
+        Ok(n) => n,
+        Err((line, msg)) => panic!("journal schema violation at line {line}: {msg}"),
+    };
+    std::fs::write(trace_out, &jsonl).expect("write journal");
+    let chrome_path = match trace_out.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{trace_out}.chrome.json"),
+    };
+    let chrome = trace
+        .chrome_trace_json()
+        .expect("recorder keeps the journal");
+    nt_obs::json::Json::parse(&chrome).expect("chrome trace must be valid JSON");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+    match metrics_out {
+        Some(p) => {
+            let mj = trace.metrics_json().expect("recorder keeps metrics");
+            nt_obs::json::Json::parse(&mj).expect("metrics must be valid JSON");
+            std::fs::write(p, &mj).expect("write metrics");
+            println!("metrics -> {p}");
+        }
+        None => {
+            if let Some(m) = trace.metrics_snapshot() {
+                println!("{}", m.summary());
+            }
+        }
+    }
+    println!("trace: {events} events -> {trace_out} (+ {chrome_path} for chrome://tracing)");
 }
 
 /// E1 — Theorem 17: Moss-locking behaviors are serially correct for T0,
 /// across workload shapes and fault rates. Paper prediction: 100%.
-fn e1_moss_validation() {
-    println!("## E1 — Theorem 17 validation (Moss read/write locking)\n");
+fn e1_moss_validation(rep: &mut Report) {
+    rep.section("e1", "E1 — Theorem 17 validation (Moss read/write locking)");
     let mut t = Table::new(&[
         "depth",
         "objects",
@@ -119,13 +225,16 @@ fn e1_moss_validation() {
             victims.to_string(),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E2 — Theorem 25: undo-logging behaviors are serially correct for T0,
 /// for all five data types. Paper prediction: 100%.
-fn e2_undolog_validation() {
-    println!("## E2 — Theorem 25 validation (undo logging, arbitrary types)\n");
+fn e2_undolog_validation(rep: &mut Report) {
+    rep.section(
+        "e2",
+        "E2 — Theorem 25 validation (undo logging, arbitrary types)",
+    );
     let mut t = Table::new(&[
         "type",
         "abort_p",
@@ -176,13 +285,13 @@ fn e2_undolog_validation() {
             ]);
         }
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E3 — the checker discriminates: uncontrolled (chaos) systems are
 /// rejected, increasingly so with contention and aborts.
-fn e3_checker_discrimination() {
-    println!("## E3 — checker discrimination on uncontrolled systems\n");
+fn e3_checker_discrimination(rep: &mut Report) {
+    rep.section("e3", "E3 — checker discrimination on uncontrolled systems");
     let mut t = Table::new(&[
         "hotspot",
         "abort_p",
@@ -224,14 +333,14 @@ fn e3_checker_discrimination() {
             c[2].to_string(),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E4 — sufficiency, not necessity: a serially-correct behavior whose
 /// graph is cyclic (see tests/sufficiency_gap.rs for the machine-checked
 /// construction).
-fn e4_sufficiency_gap() {
-    println!("## E4 — acyclicity is sufficient, not necessary\n");
+fn e4_sufficiency_gap(rep: &mut Report) {
+    rep.section("e4", "E4 — acyclicity is sufficient, not necessary");
     // Count, among REJECTED chaos runs without aborts, how many are
     // nevertheless "value-coincidence serializable": we approximate by
     // re-checking with commutativity conflicts for the register type,
@@ -273,7 +382,7 @@ fn e4_sufficiency_gap() {
         also_rejected_general.to_string(),
         (rejected_rw - also_rejected_general).to_string(),
     ]);
-    t.print();
+    rep.table(&t);
     println!(
         "(Plus the hand-constructed cyclic-yet-correct behavior in \
          tests/sufficiency_gap.rs, verified by explicit serial witness.)\n"
@@ -282,8 +391,8 @@ fn e4_sufficiency_gap() {
 
 /// E5 — checker scalability: SG construction + full check cost vs.
 /// behavior length.
-fn e5_sg_scaling() {
-    println!("## E5 — serialization-graph checker scaling\n");
+fn e5_sg_scaling(rep: &mut Report) {
+    rep.section("e5", "E5 — serialization-graph checker scaling");
     let mut t = Table::new(&[
         "top-level txs",
         "events",
@@ -324,19 +433,23 @@ fn e5_sg_scaling() {
             format!("{:.2}", full.as_secs_f64() * 1e3),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E6 — the concurrency benefit of nested locking over the serial
 /// scheduler (the paper's §1 motivation), in scheduler rounds.
-fn e6_concurrency_benefit() {
-    println!("## E6 — concurrency benefit: Moss locking vs serial scheduler\n");
+fn e6_concurrency_benefit(rep: &mut Report) {
+    rep.section(
+        "e6",
+        "E6 — concurrency benefit: Moss locking vs serial scheduler",
+    );
     let mut t = Table::new(&[
         "top-level txs",
         "objects",
         "serial rounds",
         "moss rounds",
         "speedup",
+        "hot object (blocked)",
     ]);
     for &(top, objects) in &[(4usize, 8usize), (8, 8), (16, 16), (32, 32)] {
         let spec = WorkloadSpec {
@@ -361,15 +474,16 @@ fn e6_concurrency_benefit() {
             rs.rounds.to_string(),
             rm.rounds.to_string(),
             format!("{:.1}x", rs.rounds as f64 / rm.rounds as f64),
+            hottest_object(&rm.blocked_by_object),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E7 — what the read/write lock distinction buys: read-ratio sweep,
 /// Moss read/write vs exclusive-only locking.
-fn e7_rw_vs_exclusive() {
-    println!("## E7 — read/write locks vs exclusive-only locks\n");
+fn e7_rw_vs_exclusive(rep: &mut Report) {
+    rep.section("e7", "E7 — read/write locks vs exclusive-only locks");
     let mut t = Table::new(&[
         "read%",
         "rw rounds",
@@ -427,13 +541,16 @@ fn e7_rw_vs_exclusive() {
             format!("{:.1}", acc[5] / n),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E8 — nested construction vs the classical flat one, on flat workloads:
 /// same verdicts, comparable cost (the generalization is cheap).
-fn e8_nested_vs_classical() {
-    println!("## E8 — nested vs classical serialization graphs (flat workloads)\n");
+fn e8_nested_vs_classical(rep: &mut Report) {
+    rep.section(
+        "e8",
+        "E8 — nested vs classical serialization graphs (flat workloads)",
+    );
     let mut t = Table::new(&["runs", "agree", "nested ms (total)", "classical ms (total)"]);
     let mut agree = 0u64;
     let runs = 40u64;
@@ -475,20 +592,22 @@ fn e8_nested_vs_classical() {
         format!("{:.2}", nested_time * 1e3),
         format!("{:.2}", classical_time * 1e3),
     ]);
-    t.print();
+    rep.table(&t);
 }
 
 /// E9 — commutativity benefit (§6 motivation): increment-heavy hotspot,
 /// commuting counters under undo logging vs conflicting registers under
 /// Moss locking.
-fn e9_commutativity_benefit() {
-    println!("## E9 — commutativity benefit on an increment hotspot\n");
+fn e9_commutativity_benefit(rep: &mut Report) {
+    rep.section("e9", "E9 — commutativity benefit on an increment hotspot");
     let mut t = Table::new(&[
         "top-level txs",
         "counter+undo rounds",
         "register+moss rounds",
         "counter victims",
         "register victims",
+        "counter blocked",
+        "register blocked",
     ]);
     for &top in &[8usize, 16, 32] {
         let counter_spec = WorkloadSpec {
@@ -518,16 +637,18 @@ fn e9_commutativity_benefit() {
             rr.rounds.to_string(),
             rc.deadlock_victims.to_string(),
             rr.deadlock_victims.to_string(),
+            hottest_object(&rc.blocked_by_object),
+            hottest_object(&rr.blocked_by_object),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E12 — online SGT certification: the construction as a scheduler.
 /// Correctness 100% (the gate enforces the Theorem 8 hypotheses), and on
 /// write-heavy hotspots optimistic ordering beats lock waiting.
-fn e12_certifier() {
-    println!("## E12 — online SGT certification vs Moss locking\n");
+fn e12_certifier(rep: &mut Report) {
+    rep.section("e12", "E12 — online SGT certification vs Moss locking");
     let mut t = Table::new(&[
         "read%",
         "hotspot",
@@ -578,7 +699,7 @@ fn e12_certifier() {
             format!("{:.1}", acc[3] / nf),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E11 — multiversion timestamp ordering vs the §4 technique: every run
@@ -586,11 +707,14 @@ fn e12_certifier() {
 /// concurrency most runs escape the sufficient condition — acyclicity +
 /// appropriate values is not necessary (the paper's own §1 caveat about
 /// multiversion implementations).
-fn e11_mvto_beyond_sgt() {
+fn e11_mvto_beyond_sgt(rep: &mut Report) {
     use nt_model::seq::{serial_projection, tx_projection};
     use nt_model::{SiblingOrder, TxId};
     use nt_sgt::reconstruct_witness;
-    println!("## E11 — MVTO: serially correct yet outside the sufficient condition\n");
+    rep.section(
+        "e11",
+        "E11 — MVTO: serially correct yet outside the sufficient condition",
+    );
     let mut t = Table::new(&[
         "txs",
         "hotspot",
@@ -656,13 +780,16 @@ fn e11_mvto_beyond_sgt() {
             c[2].to_string(),
         ]);
     }
-    t.print();
+    rep.table(&t);
 }
 
 /// E10 — abort storms: correctness under heavy failure injection; undo
 /// erasure and lock discard leave no trace.
-fn e10_abort_storm() {
-    println!("## E10 — abort storm (recovery correctness under failures)\n");
+fn e10_abort_storm(rep: &mut Report) {
+    rep.section(
+        "e10",
+        "E10 — abort storm (recovery correctness under failures)",
+    );
     let mut t = Table::new(&[
         "abort_p",
         "protocol",
@@ -712,6 +839,6 @@ fn e10_abort_storm() {
             ]);
         }
     }
-    t.print();
+    rep.table(&t);
     let _ = TxId::ROOT;
 }

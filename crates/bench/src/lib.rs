@@ -6,7 +6,9 @@
 
 use nt_locking::LockMode;
 use nt_model::seq::serial_projection;
-use nt_sgt::{check_serial_correctness, ConflictSource, Verdict};
+use nt_obs::json::JsonObj;
+use nt_obs::Event;
+use nt_sgt::{check_serial_correctness_traced, ConflictSource, Verdict};
 use nt_sim::{run_generic, Protocol, SimConfig, SimResult, WorkloadSpec};
 
 /// Outcome summary of checking one run.
@@ -37,13 +39,23 @@ pub fn run_and_check(
     } else {
         ConflictSource::Types(&w.types)
     };
-    let verdict = check_serial_correctness(&w.tree, &r.trace, &w.types, source);
+    let verdict = check_serial_correctness_traced(&w.tree, &r.trace, &w.types, source, &cfg.trace);
     let (outcome, edges) = match &verdict {
         Verdict::SeriallyCorrect { graph, .. } => (CheckOutcome::Correct, graph.edge_count()),
         Verdict::Cyclic { graph, .. } => (CheckOutcome::Cyclic, graph.edge_count()),
         Verdict::InappropriateReturnValues(_) => (CheckOutcome::Inappropriate, 0),
         _ => (CheckOutcome::Other, 0),
     };
+    if outcome != CheckOutcome::Correct && cfg.trace.enabled() {
+        // A non-correct verdict under tracing is worth a flight dump: the
+        // recorder's tail shows what the protocol did just before the
+        // checker rejected the behavior.
+        cfg.trace.record(Event::Violation {
+            reason: format!("checker verdict: {}", verdict.name()),
+        });
+        cfg.trace
+            .dump_flight_to_stderr(&format!("checker verdict: {}", verdict.name()));
+    }
     (r, outcome, edges)
 }
 
@@ -87,6 +99,28 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// Snapshot as a JSON object: `{"headers": [...], "rows": [[...]]}`
+    /// (cells stay strings — they are already formatted for humans, and
+    /// string cells keep the snapshot schema uniform across experiments).
+    pub fn to_json(&self) -> String {
+        let row_json = |cells: &[String]| {
+            let quoted: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    let mut s = String::new();
+                    nt_obs::json::escape_str(c, &mut s);
+                    s
+                })
+                .collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let mut o = JsonObj::new();
+        o.raw("headers", row_json(&self.headers));
+        let rows: Vec<String> = self.rows.iter().map(|r| row_json(r)).collect();
+        o.raw("rows", format!("[{}]", rows.join(",")));
+        o.build()
+    }
+
     /// Render as a GitHub-flavored markdown table.
     pub fn print(&self) {
         let mut width: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -113,9 +147,105 @@ impl Table {
     }
 }
 
+/// One experiment's snapshot inside a [`Report`].
+struct ExperimentSnapshot {
+    id: String,
+    title: String,
+    tables: Vec<String>,
+}
+
+/// Structured experiment reporting: every experiment registers its title
+/// and tables here; tables still render to stdout for humans, and the
+/// whole report serializes to one JSON document
+/// (`BENCH_experiments.json`), so downstream tooling never scrapes the
+/// markdown.
+#[derive(Default)]
+pub struct Report {
+    experiments: Vec<ExperimentSnapshot>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start an experiment section: prints the markdown heading and opens
+    /// a snapshot that subsequent [`Report::table`] calls attach to.
+    pub fn section(&mut self, id: &str, title: &str) {
+        println!("## {title}\n");
+        self.experiments.push(ExperimentSnapshot {
+            id: id.to_string(),
+            title: title.to_string(),
+            tables: Vec::new(),
+        });
+    }
+
+    /// Print a table to stdout and record its JSON snapshot under the
+    /// current section.
+    pub fn table(&mut self, t: &Table) {
+        t.print();
+        self.experiments
+            .last_mut()
+            .expect("section() before table()")
+            .tables
+            .push(t.to_json());
+    }
+
+    /// Number of experiments recorded.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// True when no experiment has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// The whole report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let exps: Vec<String> = self
+            .experiments
+            .iter()
+            .map(|e| {
+                let mut o = JsonObj::new();
+                o.str("id", &e.id);
+                o.str("title", &e.title);
+                o.raw("tables", format!("[{}]", e.tables.join(",")));
+                o.build()
+            })
+            .collect();
+        let mut root = JsonObj::new();
+        root.str("schema", "nt-bench/experiments/v1");
+        root.raw("experiments", format!("[{}]", exps.join(",")));
+        root.build()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_serializes_sections_and_tables() {
+        let mut rep = Report::new();
+        rep.section("e0", "demo");
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x \"quoted\"".into()]);
+        rep.table(&t);
+        assert_eq!(rep.len(), 1);
+        let j = rep.to_json();
+        let v = nt_obs::json::Json::parse(&j).expect("report JSON parses");
+        let exps = v.get("experiments").unwrap();
+        let nt_obs::json::Json::Arr(items) = exps else {
+            panic!("experiments array");
+        };
+        assert_eq!(items.len(), 1);
+        assert_eq!(
+            items[0].get("id").and_then(nt_obs::json::Json::as_str),
+            Some("e0")
+        );
+    }
 
     #[test]
     fn run_and_check_moss_is_correct() {

@@ -17,12 +17,13 @@
 //! of correctness comes with machine-checked evidence.
 
 use crate::graph::SerializationGraph;
-use crate::relations::{build_sg, ConflictSource};
+use crate::relations::{build_sg, build_sg_traced, ConflictSource};
 use crate::witness::{reconstruct_witness, WitnessError};
 use nt_model::rw::{is_current, is_safe, RwInitials};
 use nt_model::seq::{operations, serial_projection, visible_indices, Status};
 use nt_model::wellformed::check_simple_behavior;
 use nt_model::{Action, ObjId, SiblingOrder, TxId, TxTree, Value};
+use nt_obs::{Event, TraceHandle};
 use nt_serial::{replay, resolve_ops, ObjectTypes};
 
 /// Why a behavior's return values are not appropriate.
@@ -185,6 +186,17 @@ impl Verdict {
     pub fn is_serially_correct(&self) -> bool {
         matches!(self, Verdict::SeriallyCorrect { .. })
     }
+
+    /// Stable snake_case name (journal / export vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::SeriallyCorrect { .. } => "serially_correct",
+            Verdict::NotSimple(_) => "not_simple",
+            Verdict::InappropriateReturnValues(_) => "inappropriate_return_values",
+            Verdict::Cyclic { .. } => "cyclic",
+            Verdict::WitnessFailed(_) => "witness_failed",
+        }
+    }
 }
 
 /// The Theorem 8 / Theorem 19 checker.
@@ -199,19 +211,80 @@ pub fn check_serial_correctness(
     types: &ObjectTypes,
     source: ConflictSource<'_>,
 ) -> Verdict {
+    check_serial_correctness_traced(tree, beta, types, source, &TraceHandle::disabled())
+}
+
+/// [`check_serial_correctness`] with an observability sink: each stage is
+/// bracketed by `check_phase_start`/`check_phase_end` events, edge
+/// insertions during graph construction are journaled, graph sizes are
+/// recorded as metrics, and the final [`Verdict`] is journaled by name.
+pub fn check_serial_correctness_traced(
+    tree: &TxTree,
+    beta: &[Action],
+    types: &ObjectTypes,
+    source: ConflictSource<'_>,
+    trace: &TraceHandle,
+) -> Verdict {
+    let verdict = check_stages(tree, beta, types, source, trace);
+    if trace.enabled() {
+        trace.record(Event::CheckVerdict {
+            verdict: verdict.name(),
+        });
+        trace.inc("check.runs");
+    }
+    verdict
+}
+
+/// The checker pipeline with per-stage phase events (factored out so the
+/// verdict event wraps every early return).
+fn check_stages(
+    tree: &TxTree,
+    beta: &[Action],
+    types: &ObjectTypes,
+    source: ConflictSource<'_>,
+    trace: &TraceHandle,
+) -> Verdict {
+    let phase_start = |p: &'static str| {
+        if trace.enabled() {
+            trace.record(Event::CheckPhaseStart { phase: p });
+        }
+    };
+    let phase_end = |p: &'static str| {
+        if trace.enabled() {
+            trace.record(Event::CheckPhaseEnd { phase: p });
+        }
+    };
+    phase_start("simple_check");
     let serial = serial_projection(beta);
-    if let Err(v) = check_simple_behavior(tree, &serial) {
+    let simple = check_simple_behavior(tree, &serial);
+    phase_end("simple_check");
+    if let Err(v) = simple {
         return Verdict::NotSimple(v);
     }
-    if let Err(bad) = appropriate_return_values(tree, &serial, types) {
+    phase_start("return_values");
+    let appropriate = appropriate_return_values(tree, &serial, types);
+    phase_end("return_values");
+    if let Err(bad) = appropriate {
         return Verdict::InappropriateReturnValues(bad);
     }
-    let graph = build_sg(tree, &serial, source);
-    let Some(order) = graph.topological_order() else {
+    phase_start("sg_build");
+    let graph = build_sg_traced(tree, &serial, source, trace.clone());
+    if trace.enabled() {
+        trace.observe("sg.edges", graph.edge_count() as u64);
+        trace.observe("sg.nodes", graph.node_count() as u64);
+    }
+    phase_end("sg_build");
+    phase_start("cycle_check");
+    let order = graph.topological_order();
+    phase_end("cycle_check");
+    let Some(order) = order else {
         let cycle = graph.find_cycle().expect("topo failed ⇒ cycle exists");
         return Verdict::Cyclic { cycle, graph };
     };
-    match reconstruct_witness(tree, &serial, &order, types) {
+    phase_start("witness");
+    let witness = reconstruct_witness(tree, &serial, &order, types);
+    phase_end("witness");
+    match witness {
         Ok(witness) => Verdict::SeriallyCorrect {
             order,
             witness,

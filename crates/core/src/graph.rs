@@ -4,6 +4,7 @@
 //! `precedes(β)` relations.
 
 use nt_model::{SiblingOrder, TxId};
+use nt_obs::{Event, TraceHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Why an edge is present.
@@ -15,6 +16,16 @@ pub enum EdgeKind {
     /// A precedence edge: a report event for `from` preceded
     /// `REQUEST_CREATE(to)` (external consistency, §4).
     Precedes,
+}
+
+impl EdgeKind {
+    /// Stable lowercase name (journal / export vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Conflict => "conflict",
+            EdgeKind::Precedes => "precedes",
+        }
+    }
 }
 
 /// One edge of the serialization graph, with a witness for diagnostics.
@@ -50,12 +61,21 @@ pub struct SerializationGraph {
     pub edges: Vec<SgEdge>,
     graphs: BTreeMap<TxId, SubGraph>,
     dedup: HashMap<(TxId, TxId, EdgeKind), ()>,
+    /// Observability sink; every deduplicated edge insertion is journaled
+    /// (disabled by default, so plain construction stays silent).
+    trace: TraceHandle,
 }
 
 impl SerializationGraph {
     /// An empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach an observability sink: subsequent edge insertions emit
+    /// `sg_edge_inserted` journal events.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Ensure `child` is a node of `SG(β, parent)`.
@@ -70,6 +90,14 @@ impl SerializationGraph {
         g.nodes.insert(e.to);
         if self.dedup.insert((e.from, e.to, e.kind), ()).is_none() {
             g.succ.entry(e.from).or_default().insert(e.to);
+            if self.trace.enabled() {
+                self.trace.record(Event::SgEdgeInserted {
+                    parent: e.parent.0,
+                    from: e.from.0,
+                    to: e.to.0,
+                    kind: e.kind.as_str(),
+                });
+            }
             self.edges.push(e);
         }
     }

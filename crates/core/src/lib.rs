@@ -73,10 +73,11 @@ pub mod relations;
 pub mod witness;
 
 pub use checker::{
-    appropriate_return_values, check_current_and_safe, check_serial_correctness, sg_is_acyclic,
-    view, visible_operations, Inappropriate, RwConditionFailure, Verdict,
+    appropriate_return_values, check_current_and_safe, check_serial_correctness,
+    check_serial_correctness_traced, sg_is_acyclic, view, visible_operations, Inappropriate,
+    RwConditionFailure, Verdict,
 };
 pub use classical::{build_classical_sg, ClassicalSg};
 pub use graph::{EdgeKind, SerializationGraph, SgEdge};
-pub use relations::{build_sg, conflict_edges, precedes_edges, ConflictSource};
+pub use relations::{build_sg, build_sg_traced, conflict_edges, precedes_edges, ConflictSource};
 pub use witness::{reconstruct_witness, WitnessError};

@@ -140,7 +140,19 @@ pub fn precedes_edges(tree: &TxTree, beta: &[Action], out: &mut SerializationGra
 /// is the lowtransaction of some visible event (so topological sorting
 /// totalizes the order over every pair suitability condition 1 mentions).
 pub fn build_sg(tree: &TxTree, beta: &[Action], source: ConflictSource<'_>) -> SerializationGraph {
+    build_sg_traced(tree, beta, source, nt_obs::TraceHandle::disabled())
+}
+
+/// [`build_sg`] with an observability sink attached to the graph: every
+/// deduplicated edge insertion is journaled as `sg_edge_inserted`.
+pub fn build_sg_traced(
+    tree: &TxTree,
+    beta: &[Action],
+    source: ConflictSource<'_>,
+    trace: nt_obs::TraceHandle,
+) -> SerializationGraph {
     let mut g = SerializationGraph::new();
+    g.attach_trace(trace);
     let status = Status::of(tree, beta);
     for a in beta {
         let Some(high) = a.hightransaction(tree) else {

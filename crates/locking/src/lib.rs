@@ -30,6 +30,7 @@
 
 use nt_automata::Component;
 use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use nt_obs::{Event, LockClass, TraceHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -59,6 +60,8 @@ pub struct MossObject {
     /// never answered — a sound strengthening of M1's preconditions that
     /// keeps late orphan requests from acquiring unreclaimable locks.
     aborted_seen: BTreeSet<TxId>,
+    /// Observability sink (disabled by default; see `nt-obs`).
+    trace: TraceHandle,
 }
 
 impl MossObject {
@@ -76,7 +79,14 @@ impl MossObject {
             write_lockholders,
             read_lockholders: BTreeSet::new(),
             aborted_seen: BTreeSet::new(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach an observability sink: lock acquisitions, inheritances, and
+    /// abort-time discards are journaled through it.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The least (deepest) write-lockholder. The write-lockholders always
@@ -212,12 +222,14 @@ impl Component for MossObject {
             }
             Action::InformCommit(_, t) => {
                 // Pass locks (and tentative value) up to the parent.
+                let mut inherited = false;
                 if let Some(v) = self.write_lockholders.remove(t) {
                     let p = self
                         .tree
                         .parent(*t)
                         .expect("is_input rejects InformCommit(T0), so t has a parent");
                     self.write_lockholders.insert(p, v);
+                    inherited = true;
                 }
                 if self.read_lockholders.remove(t) {
                     let p = self
@@ -225,15 +237,37 @@ impl Component for MossObject {
                         .parent(*t)
                         .expect("is_input rejects InformCommit(T0), so t has a parent");
                     self.read_lockholders.insert(p);
+                    inherited = true;
+                }
+                if inherited && self.trace.enabled() {
+                    let p = self
+                        .tree
+                        .parent(*t)
+                        .expect("is_input rejects InformCommit(T0), so t has a parent");
+                    self.trace.record(Event::LockInherited {
+                        obj: self.x.0,
+                        tx: t.0,
+                        to: p.0,
+                    });
                 }
             }
             Action::InformAbort(_, t) => {
                 self.aborted_seen.insert(*t);
                 let tree = &self.tree;
                 let t = *t;
+                let before = self.write_lockholders.len() + self.read_lockholders.len();
                 self.write_lockholders
                     .retain(|&h, _| !tree.is_ancestor(t, h));
                 self.read_lockholders.retain(|&h| !tree.is_ancestor(t, h));
+                let discarded =
+                    before - (self.write_lockholders.len() + self.read_lockholders.len());
+                if self.trace.enabled() {
+                    self.trace.record(Event::AbortApplied {
+                        obj: self.x.0,
+                        tx: t.0,
+                        discarded: discarded as u64,
+                    });
+                }
             }
             Action::RequestCommit(t, v) => {
                 debug_assert!(self.lock_precondition(*t));
@@ -242,10 +276,11 @@ impl Component for MossObject {
                     .tree
                     .op_of(*t)
                     .expect("RequestCommit is shared only for accesses of x (is_output)");
-                match op.write_data() {
+                let class = match op.write_data() {
                     Some(d) => {
                         debug_assert_eq!(*v, Value::Ok);
                         self.write_lockholders.insert(*t, d);
+                        LockClass::Write
                     }
                     None => {
                         debug_assert_eq!(*v, Value::Int(self.current_value()));
@@ -257,7 +292,17 @@ impl Component for MossObject {
                         } else {
                             self.read_lockholders.insert(*t);
                         }
+                        LockClass::Read
                     }
+                };
+                if self.trace.enabled() {
+                    self.trace.record(Event::LockAcquired {
+                        obj: self.x.0,
+                        tx: t.0,
+                        class,
+                    });
+                    self.trace
+                        .add_depth("lock.acquired", self.tree.depth(*t), 1);
                 }
             }
             _ => unreachable!("M1 shares no other action"),

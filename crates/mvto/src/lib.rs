@@ -42,6 +42,7 @@
 
 use nt_automata::Component;
 use nt_model::{Action, ObjId, TxId, TxTree, Value};
+use nt_obs::{Event, TraceHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -86,6 +87,8 @@ pub struct MvtoObject {
     /// Versions sorted by pseudotime (initial version first).
     versions: Vec<Version>,
     reads: Vec<ReadRecord>,
+    /// Observability sink (disabled by default; see `nt-obs`).
+    trace: TraceHandle,
 }
 
 impl MvtoObject {
@@ -106,7 +109,14 @@ impl MvtoObject {
                 value: init,
             }],
             reads: Vec::new(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach an observability sink: version installs, reads, and
+    /// abort-time discards are journaled through it.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The pseudotime of `t`: per-parent sequence numbers from the root's
@@ -265,9 +275,18 @@ impl Component for MvtoObject {
                 self.aborted_seen.insert(*t);
                 let tree = Arc::clone(&self.tree);
                 let t = *t;
+                let (v_before, r_before) = (self.versions.len(), self.reads.len());
                 self.versions
                     .retain(|v| v.writer.is_none_or(|w| !tree.is_ancestor(t, w)));
                 self.reads.retain(|r| !tree.is_ancestor(t, r.reader));
+                if self.trace.enabled() {
+                    self.trace.record(Event::VersionsDiscarded {
+                        obj: self.x.0,
+                        tx: t.0,
+                        versions: (v_before - self.versions.len()) as u64,
+                        reads: (r_before - self.reads.len()) as u64,
+                    });
+                }
             }
             Action::RequestCommit(t, v) => {
                 debug_assert_eq!(self.try_respond(*t).as_ref(), Ok(v));
@@ -284,9 +303,26 @@ impl Component for MvtoObject {
                                 value: d,
                             },
                         );
+                        if self.trace.enabled() {
+                            self.trace.record(Event::VersionInstalled {
+                                obj: self.x.0,
+                                tx: t.0,
+                                versions: self.versions.len() as u64,
+                            });
+                            self.trace
+                                .add_depth("mvto.installed", self.tree.depth(*t), 1);
+                        }
                     }
                     None => {
-                        let version_pt = self.version_below(&pt).pt.clone();
+                        let observed = self.version_below(&pt);
+                        let version_pt = observed.pt.clone();
+                        if self.trace.enabled() {
+                            self.trace.record(Event::VersionRead {
+                                obj: self.x.0,
+                                tx: t.0,
+                                writer: observed.writer.map(|w| w.0),
+                            });
+                        }
                         self.reads.push(ReadRecord {
                             reader: *t,
                             reader_pt: pt,

@@ -1,0 +1,182 @@
+//! Journal exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both are pure functions of the stamped journal, so exports inherit the
+//! recorder's determinism. The Chrome export uses the event sequence
+//! number as its microsecond timestamp (monotonic, deterministic) and maps
+//! checker phases to `B`/`E` duration events so `chrome://tracing` and
+//! Perfetto render phase spans; everything else becomes a thread-scoped
+//! instant event on the track of the object it concerns.
+
+use crate::event::{Event, Stamped};
+use crate::json::JsonObj;
+
+/// Render a journal as JSONL (one object per line, trailing newline;
+/// empty string for an empty journal).
+pub fn to_jsonl(journal: &[Stamped]) -> String {
+    let mut out = String::new();
+    for s in journal {
+        out.push_str(&s.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a journal in Chrome `trace_event` format ("JSON object format":
+/// `{"traceEvents": [...], ...}`).
+///
+/// Track mapping: `pid` 1 is the simulation; `tid` 0 is the executor /
+/// controller, `tid` 100+x is object `X_x`, and `pid` 2 / `tid` 0 is the
+/// checker. Timestamps are sequence numbers in microseconds.
+pub fn to_chrome_trace(journal: &[Stamped]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(journal.len() + 8);
+    for meta in [(1u64, "nt-sim"), (2u64, "nt-sgt checker")] {
+        let mut m = JsonObj::new();
+        let mut args = JsonObj::new();
+        args.str("name", meta.1);
+        m.str("name", "process_name")
+            .str("ph", "M")
+            .num("pid", meta.0)
+            .num("tid", 0)
+            .raw("args", args.build());
+        events.push(m.build());
+    }
+    for s in journal {
+        let (pid, tid) = track_of(&s.event);
+        let ph = match &s.event {
+            Event::CheckPhaseStart { .. } => "B",
+            Event::CheckPhaseEnd { .. } => "E",
+            _ => "i",
+        };
+        let name: &str = match &s.event {
+            Event::CheckPhaseStart { phase } | Event::CheckPhaseEnd { phase } => phase,
+            e => e.kind(),
+        };
+        let mut o = JsonObj::new();
+        o.str("name", name)
+            .str("ph", ph)
+            .num("ts", s.seq)
+            .num("pid", pid)
+            .num("tid", tid);
+        if ph == "i" {
+            o.str("s", "t"); // thread-scoped instant
+        }
+        let mut args = JsonObj::new();
+        args.num("round", s.round).num("step", s.step);
+        s.event.write_fields(&mut args);
+        o.raw("args", args.build());
+        events.push(o.build());
+    }
+    let mut root = JsonObj::new();
+    root.raw("traceEvents", format!("[{}]", events.join(",")))
+        .str("displayTimeUnit", "ms");
+    root.build()
+}
+
+fn track_of(e: &Event) -> (u64, u64) {
+    match e {
+        Event::CheckPhaseStart { .. }
+        | Event::CheckPhaseEnd { .. }
+        | Event::SgEdgeInserted { .. }
+        | Event::CheckVerdict { .. } => (2, 0),
+        other => match other.object() {
+            Some(x) => (1, 100 + u64::from(x)),
+            None => (1, 0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::{Event, LockClass};
+
+    fn sample() -> Vec<Stamped> {
+        let mk = |seq, event| Stamped {
+            round: 1,
+            step: seq,
+            seq,
+            event,
+        };
+        vec![
+            mk(
+                0,
+                Event::RunStart {
+                    protocol: "moss-rw",
+                    seed: 1,
+                },
+            ),
+            mk(
+                1,
+                Event::LockAcquired {
+                    obj: 0,
+                    tx: 3,
+                    class: LockClass::Write,
+                },
+            ),
+            mk(2, Event::CheckPhaseStart { phase: "sg_build" }),
+            mk(
+                3,
+                Event::SgEdgeInserted {
+                    parent: 0,
+                    from: 1,
+                    to: 2,
+                    kind: "conflict",
+                },
+            ),
+            mk(4, Event::CheckPhaseEnd { phase: "sg_build" }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let jl = to_jsonl(&sample());
+        assert_eq!(jl.lines().count(), 5);
+        for line in jl.lines() {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_pairs_phases() {
+        let ct = to_chrome_trace(&sample());
+        let v = Json::parse(&ct).unwrap();
+        let Some(Json::Arr(evs)) = v.get("traceEvents") else {
+            panic!("traceEvents array");
+        };
+        // 2 metadata + 5 events.
+        assert_eq!(evs.len(), 7);
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "E").count(), 1);
+        // ts are monotonic.
+        let ts: Vec<f64> = evs
+            .iter()
+            .skip(2)
+            .filter_map(|e| e.get("ts").and_then(Json::as_num))
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn object_events_land_on_object_tracks() {
+        let ct = to_chrome_trace(&sample());
+        let v = Json::parse(&ct).unwrap();
+        let Some(Json::Arr(evs)) = v.get("traceEvents") else {
+            panic!("traceEvents array");
+        };
+        let lock = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("lock_acquired"))
+            .unwrap();
+        assert_eq!(lock.get("tid").unwrap().as_num(), Some(100.0));
+        let sg = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sg_edge_inserted"))
+            .unwrap();
+        assert_eq!(sg.get("pid").unwrap().as_num(), Some(2.0));
+    }
+}

@@ -1,0 +1,413 @@
+//! # nt-obs
+//!
+//! Deterministic, zero-external-dependency observability for the
+//! protocol/checker stack: a structured event journal with logical-clock
+//! timestamps, a metrics registry (counters / gauges / fixed-bucket
+//! histograms with per-object and per-depth breakdowns), JSONL /
+//! Chrome-`trace_event` / summary exporters, and a bounded flight-recorder
+//! ring buffer dumped on violations, invariant failures, and
+//! non-quiescent runs.
+//!
+//! ## Design constraints
+//!
+//! * **Deterministic**: events are stamped with the scheduler's logical
+//!   clock (round, step) plus a monotonic sequence number — never
+//!   wall-clock — so same-seed runs emit *byte-identical* journals.
+//! * **Near-zero overhead when disabled**: instrumented sites hold a
+//!   [`TraceHandle`]; a disabled handle is a `None` and every recording
+//!   call is a single branch.
+//! * **No new dependencies**: std only (compatible with the vendored-shims
+//!   offline build); JSON is written and parsed by [`json`].
+//!
+//! ## Usage sketch
+//!
+//! ```
+//! use nt_obs::{Event, Recorder, TraceHandle};
+//! let h: TraceHandle = Recorder::full();
+//! h.set_now(1, 3); // the executor advances the logical clock
+//! h.record(Event::Note { text: "hello".into() });
+//! h.inc("my.counter");
+//! let journal = h.journal_jsonl().unwrap();
+//! assert!(journal.contains("\"type\":\"note\""));
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+
+pub use event::{obj, tx, Event, LockClass, Stamped};
+pub use metrics::{Histogram, MetricsRegistry, HIST_BOUNDS};
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Default flight-recorder capacity (events kept for post-mortem dumps).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+struct Inner {
+    round: u64,
+    step: u64,
+    seq: u64,
+    /// Keep the full journal (`Recorder::full`) or only the flight ring.
+    keep_journal: bool,
+    flight_capacity: usize,
+    journal: VecDeque<Stamped>,
+    metrics: MetricsRegistry,
+}
+
+/// The event/metrics sink. Create one via [`Recorder::full`] (unbounded
+/// journal, for exports) or [`Recorder::flight`] (bounded ring only, for
+/// always-on post-mortem recording); both return a cheap [`TraceHandle`].
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    fn make(keep_journal: bool, flight_capacity: usize) -> TraceHandle {
+        TraceHandle(Some(Arc::new(Recorder {
+            inner: Mutex::new(Inner {
+                round: 0,
+                step: 0,
+                seq: 0,
+                keep_journal,
+                flight_capacity: flight_capacity.max(1),
+                journal: VecDeque::new(),
+                metrics: MetricsRegistry::new(),
+            }),
+        })))
+    }
+
+    /// A recorder that keeps the whole journal (exportable as JSONL /
+    /// Chrome trace) plus the metrics registry.
+    pub fn full() -> TraceHandle {
+        Recorder::make(true, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A recorder that keeps only the last `capacity` events (the flight
+    /// ring) plus the metrics registry — bounded memory, always-on use.
+    pub fn flight(capacity: usize) -> TraceHandle {
+        Recorder::make(false, capacity)
+    }
+}
+
+/// A cheap, cloneable handle to a [`Recorder`], or a disabled no-op.
+///
+/// Everything in the stack that can emit events holds one of these; the
+/// default is disabled, in which case every method returns immediately
+/// after one `Option` branch.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Recorder>>);
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TraceHandle(enabled)"
+        } else {
+            "TraceHandle(disabled)"
+        })
+    }
+}
+
+impl TraceHandle {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// Is a recorder attached?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Set the logical clock (the executor calls this as rounds/steps
+    /// advance; events recorded afterwards carry this stamp).
+    #[inline]
+    pub fn set_now(&self, round: u64, step: u64) {
+        if let Some(r) = &self.0 {
+            let mut g = r.inner.lock().expect("nt-obs recorder poisoned");
+            g.round = round;
+            g.step = step;
+        }
+    }
+
+    /// Advance the step component by one (post-hoc phases, tests).
+    #[inline]
+    pub fn tick(&self) {
+        if let Some(r) = &self.0 {
+            let mut g = r.inner.lock().expect("nt-obs recorder poisoned");
+            g.step += 1;
+        }
+    }
+
+    /// Record an event (stamped with the current logical clock). Also
+    /// auto-derives metrics: an `ev.<kind>` counter and, when the event
+    /// names an object, a per-object breakdown of the same key.
+    #[inline]
+    pub fn record(&self, event: Event) {
+        if let Some(r) = &self.0 {
+            let mut g = r.inner.lock().expect("nt-obs recorder poisoned");
+            let kind = event.kind();
+            g.metrics.add(kind_counter(kind), 1);
+            if let Some(o) = event.object() {
+                g.metrics.add_obj(kind_counter(kind), o, 1);
+            }
+            let stamped = Stamped {
+                round: g.round,
+                step: g.step,
+                seq: g.seq,
+                event,
+            };
+            g.seq += 1;
+            g.journal.push_back(stamped);
+            if !g.keep_journal {
+                while g.journal.len() > g.flight_capacity {
+                    g.journal.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Run `f` against the metrics registry (no-op when disabled).
+    #[inline]
+    pub fn metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+        self.0.as_ref().map(|r| {
+            let mut g = r.inner.lock().expect("nt-obs recorder poisoned");
+            f(&mut g.metrics)
+        })
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn inc(&self, name: &'static str) {
+        self.metrics(|m| m.inc(name));
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.metrics(|m| m.add(name, n));
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, v: i64) {
+        self.metrics(|m| m.gauge_set(name, v));
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn observe(&self, name: &'static str, v: u64) {
+        self.metrics(|m| m.observe(name, v));
+    }
+
+    /// Add to a per-object counter.
+    #[inline]
+    pub fn add_obj(&self, name: &'static str, obj: u32, n: u64) {
+        self.metrics(|m| m.add_obj(name, obj, n));
+    }
+
+    /// Add to a per-depth counter.
+    #[inline]
+    pub fn add_depth(&self, name: &'static str, depth: u32, n: u64) {
+        self.metrics(|m| m.add_depth(name, depth, n));
+    }
+
+    /// Snapshot the recorded journal (full journal or flight ring).
+    pub fn journal(&self) -> Option<Vec<Stamped>> {
+        self.0.as_ref().map(|r| {
+            let g = r.inner.lock().expect("nt-obs recorder poisoned");
+            g.journal.iter().cloned().collect()
+        })
+    }
+
+    /// Snapshot the metrics registry.
+    pub fn metrics_snapshot(&self) -> Option<MetricsRegistry> {
+        self.0.as_ref().map(|r| {
+            let g = r.inner.lock().expect("nt-obs recorder poisoned");
+            g.metrics.clone()
+        })
+    }
+
+    /// Export the journal as JSONL (one event object per line, trailing
+    /// newline). `None` when disabled.
+    pub fn journal_jsonl(&self) -> Option<String> {
+        self.journal().map(|j| export::to_jsonl(&j))
+    }
+
+    /// Export the journal in Chrome `trace_event` format (a JSON object
+    /// loadable by `chrome://tracing` / Perfetto). `None` when disabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.journal().map(|j| export::to_chrome_trace(&j))
+    }
+
+    /// Export the metrics registry as JSON. `None` when disabled.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics_snapshot().map(|m| m.to_json())
+    }
+
+    /// The last events (at most the flight capacity) rendered as a
+    /// JSONL post-mortem dump with a leading `violation` header line.
+    /// `None` when disabled or empty.
+    pub fn flight_dump(&self, reason: &str) -> Option<String> {
+        let r = self.0.as_ref()?;
+        let (mut tail, cap): (Vec<Stamped>, usize) = {
+            let g = r.inner.lock().expect("nt-obs recorder poisoned");
+            (g.journal.iter().cloned().collect(), g.flight_capacity)
+        };
+        if tail.is_empty() {
+            return None;
+        }
+        if tail.len() > cap {
+            tail.drain(..tail.len() - cap);
+        }
+        let header = Stamped {
+            round: tail.last().map(|s| s.round).unwrap_or(0),
+            step: tail.last().map(|s| s.step).unwrap_or(0),
+            seq: tail.last().map(|s| s.seq + 1).unwrap_or(0),
+            event: Event::Violation {
+                reason: reason.to_string(),
+            },
+        };
+        let mut out = String::new();
+        out.push_str(&header.to_json_line());
+        out.push('\n');
+        out.push_str(&export::to_jsonl(&tail));
+        Some(out)
+    }
+
+    /// Record a violation event and write the flight dump to stderr
+    /// (the automatic trigger path: checker violations, failed runs).
+    pub fn dump_flight_to_stderr(&self, reason: &str) {
+        if let Some(dump) = self.flight_dump(reason) {
+            eprintln!("=== nt-obs flight recorder dump ({reason}) ===");
+            eprint!("{dump}");
+            eprintln!("=== end flight dump ===");
+        }
+    }
+}
+
+/// Install a panic hook that dumps `handle`'s flight ring to stderr before
+/// the default hook runs — so an invariant `expect`/`assert!` firing
+/// anywhere in the stack leaves a post-mortem trace. Intended for binaries
+/// (the hook is process-global).
+pub fn install_panic_flight_dump(handle: TraceHandle) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        handle.dump_flight_to_stderr("panic (invariant failure)");
+        previous(info);
+    }));
+}
+
+/// Map an event kind to its auto-derived counter name. The set of kinds is
+/// closed (see [`Event::kind`]), so this is a static table — keeping the
+/// counter keys `&'static str` without allocation.
+fn kind_counter(kind: &'static str) -> &'static str {
+    match kind {
+        "run_start" => "ev.run_start",
+        "run_end" => "ev.run_end",
+        "lock_acquired" => "ev.lock_acquired",
+        "lock_inherited" => "ev.lock_inherited",
+        "abort_applied" => "ev.abort_applied",
+        "access_blocked" => "ev.access_blocked",
+        "access_unblocked" => "ev.access_unblocked",
+        "undo_push" => "ev.undo_push",
+        "undo_rollback" => "ev.undo_rollback",
+        "version_installed" => "ev.version_installed",
+        "version_read" => "ev.version_read",
+        "versions_discarded" => "ev.versions_discarded",
+        "deadlock_victim" => "ev.deadlock_victim",
+        "abort_injected" => "ev.abort_injected",
+        "check_phase_start" => "ev.check_phase_start",
+        "check_phase_end" => "ev.check_phase_end",
+        "sg_edge_inserted" => "ev.sg_edge_inserted",
+        "check_verdict" => "ev.check_verdict",
+        "violation" => "ev.violation",
+        "note" => "ev.note",
+        _ => "ev.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.enabled());
+        h.record(Event::Note { text: "x".into() });
+        h.inc("c");
+        h.set_now(1, 1);
+        assert!(h.journal().is_none());
+        assert!(h.journal_jsonl().is_none());
+        assert!(h.flight_dump("r").is_none());
+    }
+
+    #[test]
+    fn recording_stamps_logical_clock_and_seq() {
+        let h = Recorder::full();
+        h.set_now(2, 5);
+        h.record(Event::Note { text: "a".into() });
+        h.set_now(3, 9);
+        h.record(Event::Note { text: "b".into() });
+        let j = h.journal().unwrap();
+        assert_eq!((j[0].round, j[0].step, j[0].seq), (2, 5, 0));
+        assert_eq!((j[1].round, j[1].step, j[1].seq), (3, 9, 1));
+    }
+
+    #[test]
+    fn auto_metrics_from_events() {
+        let h = Recorder::full();
+        h.record(Event::LockAcquired {
+            obj: 2,
+            tx: 5,
+            class: LockClass::Read,
+        });
+        h.record(Event::LockAcquired {
+            obj: 2,
+            tx: 6,
+            class: LockClass::Write,
+        });
+        let m = h.metrics_snapshot().unwrap();
+        assert_eq!(m.counter("ev.lock_acquired"), 2);
+        assert_eq!(m.object_breakdown("ev.lock_acquired"), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn flight_ring_keeps_only_tail() {
+        let h = Recorder::flight(3);
+        for i in 0..10u64 {
+            h.record(Event::Note {
+                text: format!("n{i}"),
+            });
+        }
+        let j = h.journal().unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j[0].seq, 7, "oldest kept event");
+        let dump = h.flight_dump("test").unwrap();
+        assert!(dump.lines().count() == 4, "header + 3 events");
+        assert!(dump.starts_with('{'));
+        assert!(dump.contains("\"type\":\"violation\""));
+    }
+
+    #[test]
+    fn full_recorder_flight_dump_truncates_to_capacity() {
+        let h = Recorder::full();
+        for i in 0..(DEFAULT_FLIGHT_CAPACITY as u64 + 40) {
+            h.record(Event::Note {
+                text: format!("n{i}"),
+            });
+        }
+        assert_eq!(
+            h.journal().unwrap().len(),
+            DEFAULT_FLIGHT_CAPACITY + 40,
+            "full journal unbounded"
+        );
+        let dump = h.flight_dump("test").unwrap();
+        assert_eq!(dump.lines().count(), DEFAULT_FLIGHT_CAPACITY + 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The journal schema, as an executable validator.
+//!
+//! `validate_line` re-parses one JSONL journal line with the independent
+//! [`crate::json`] parser and checks it against the event taxonomy: the
+//! stamp fields must be present and numeric, the `type` must be a known
+//! kind, and every kind's required payload fields must be present with the
+//! right JSON type. The CI gate and the golden-file test both run emitted
+//! journals through this, so schema drift is caught at the PR that causes
+//! it (and must update the golden file deliberately).
+
+use crate::json::Json;
+
+/// Field type expectations for the validator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FieldTy {
+    Num,
+    Str,
+    Bool,
+    NumArr,
+    /// A number or `null` (e.g. `version_read.writer`).
+    NumOrNull,
+}
+
+/// Required payload fields per event kind (the stamp fields `round`,
+/// `step`, `seq`, `type` are checked for every kind).
+const SCHEMA: &[(&str, &[(&str, FieldTy)])] = &[
+    (
+        "run_start",
+        &[("protocol", FieldTy::Str), ("seed", FieldTy::Num)],
+    ),
+    (
+        "run_end",
+        &[
+            ("steps", FieldTy::Num),
+            ("rounds", FieldTy::Num),
+            ("quiescent", FieldTy::Bool),
+        ],
+    ),
+    (
+        "lock_acquired",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("class", FieldTy::Str),
+        ],
+    ),
+    (
+        "lock_inherited",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("to", FieldTy::Num),
+        ],
+    ),
+    (
+        "abort_applied",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("discarded", FieldTy::Num),
+        ],
+    ),
+    (
+        "access_blocked",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("blockers", FieldTy::NumArr),
+        ],
+    ),
+    (
+        "access_unblocked",
+        &[("obj", FieldTy::Num), ("tx", FieldTy::Num)],
+    ),
+    (
+        "undo_push",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("log_len", FieldTy::Num),
+        ],
+    ),
+    (
+        "undo_rollback",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("erased", FieldTy::Num),
+        ],
+    ),
+    (
+        "version_installed",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("versions", FieldTy::Num),
+        ],
+    ),
+    (
+        "version_read",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("writer", FieldTy::NumOrNull),
+        ],
+    ),
+    (
+        "versions_discarded",
+        &[
+            ("obj", FieldTy::Num),
+            ("tx", FieldTy::Num),
+            ("versions", FieldTy::Num),
+            ("reads", FieldTy::Num),
+        ],
+    ),
+    (
+        "deadlock_victim",
+        &[
+            ("victim", FieldTy::Num),
+            ("waiter", FieldTy::Num),
+            ("blocker", FieldTy::Num),
+        ],
+    ),
+    ("abort_injected", &[("tx", FieldTy::Num)]),
+    ("check_phase_start", &[("phase", FieldTy::Str)]),
+    ("check_phase_end", &[("phase", FieldTy::Str)]),
+    (
+        "sg_edge_inserted",
+        &[
+            ("parent", FieldTy::Num),
+            ("from", FieldTy::Num),
+            ("to", FieldTy::Num),
+            ("kind", FieldTy::Str),
+        ],
+    ),
+    ("check_verdict", &[("verdict", FieldTy::Str)]),
+    ("violation", &[("reason", FieldTy::Str)]),
+    ("note", &[("text", FieldTy::Str)]),
+];
+
+fn check_field(v: &Json, key: &str, ty: FieldTy) -> Result<(), String> {
+    let field = v.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let ok = match ty {
+        FieldTy::Num => matches!(field, Json::Num(_)),
+        FieldTy::Str => matches!(field, Json::Str(_)),
+        FieldTy::Bool => matches!(field, Json::Bool(_)),
+        FieldTy::NumArr => match field {
+            Json::Arr(items) => items.iter().all(|i| matches!(i, Json::Num(_))),
+            _ => false,
+        },
+        FieldTy::NumOrNull => matches!(field, Json::Num(_) | Json::Null),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field {key:?} has wrong type (expected {ty:?})"))
+    }
+}
+
+/// Validate one journal line against the schema.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = Json::parse(line).map_err(|e| format!("not JSON: {e}"))?;
+    for stamp in ["round", "step", "seq"] {
+        check_field(&v, stamp, FieldTy::Num)?;
+    }
+    check_field(&v, "type", FieldTy::Str)?;
+    let kind = v.get("type").and_then(Json::as_str).expect("checked above");
+    let Some((_, fields)) = SCHEMA.iter().find(|(k, _)| *k == kind) else {
+        return Err(format!("unknown event type {kind:?}"));
+    };
+    for (key, ty) in *fields {
+        check_field(&v, key, *ty).map_err(|e| format!("{kind}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validate a whole JSONL journal; returns the (1-based) line number and
+/// message of the first offending line.
+pub fn validate_journal(jsonl: &str) -> Result<usize, (usize, String)> {
+    let mut n = 0;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Stamped};
+    use crate::LockClass;
+
+    #[test]
+    fn emitted_lines_validate() {
+        let s = Stamped {
+            round: 1,
+            step: 2,
+            seq: 3,
+            event: Event::LockAcquired {
+                obj: 0,
+                tx: 7,
+                class: LockClass::Read,
+            },
+        };
+        validate_line(&s.to_json_line()).unwrap();
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(
+            validate_line(r#"{"round":1,"step":2,"seq":3,"type":"lock_acquired","obj":0}"#)
+                .is_err()
+        );
+        assert!(validate_line(r#"{"round":1,"type":"note","text":"x"}"#).is_err());
+        assert!(
+            validate_line(r#"{"round":1,"step":2,"seq":3,"type":"nonsense"}"#).is_err(),
+            "unknown kinds rejected"
+        );
+        assert!(validate_line("not json").is_err());
+    }
+
+    #[test]
+    fn journal_validation_reports_line_numbers() {
+        let good = Stamped {
+            round: 0,
+            step: 0,
+            seq: 0,
+            event: Event::Note { text: "ok".into() },
+        }
+        .to_json_line();
+        let journal = format!("{good}\n{{\"broken\":true}}\n");
+        let err = validate_journal(&journal).unwrap_err();
+        assert_eq!(err.0, 2);
+        assert_eq!(validate_journal(&format!("{good}\n{good}\n")), Ok(2));
+    }
+
+    #[test]
+    fn schema_covers_every_event_kind() {
+        // Compile-time-ish exhaustiveness: every kind the taxonomy can emit
+        // must be in SCHEMA (catches adding an Event variant without a
+        // schema entry).
+        let kinds = [
+            "run_start",
+            "run_end",
+            "lock_acquired",
+            "lock_inherited",
+            "abort_applied",
+            "access_blocked",
+            "access_unblocked",
+            "undo_push",
+            "undo_rollback",
+            "version_installed",
+            "version_read",
+            "versions_discarded",
+            "deadlock_victim",
+            "abort_injected",
+            "check_phase_start",
+            "check_phase_end",
+            "sg_edge_inserted",
+            "check_verdict",
+            "violation",
+            "note",
+        ];
+        for k in kinds {
+            assert!(
+                SCHEMA.iter().any(|(s, _)| *s == k),
+                "schema missing kind {k}"
+            );
+        }
+        assert_eq!(SCHEMA.len(), kinds.len());
+    }
+}

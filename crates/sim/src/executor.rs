@@ -15,6 +15,7 @@ use nt_generic::GenericController;
 use nt_locking::{LockMode, MossObject};
 use nt_model::{Action, ObjId, TxId};
 use nt_mvto::MvtoObject;
+use nt_obs::{Event, TraceHandle};
 use nt_serial::{SerialObject, SerialScheduler};
 use nt_undolog::UndoLogObject;
 use rand::rngs::StdRng;
@@ -40,6 +41,20 @@ pub enum Protocol {
     Certifier,
     /// No concurrency control, no recovery (checker-discrimination runs).
     Chaos,
+}
+
+impl Protocol {
+    /// Stable lowercase name (journal / export vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Moss(LockMode::ReadWrite) => "moss-rw",
+            Protocol::Moss(LockMode::Exclusive) => "moss-ex",
+            Protocol::Undo => "undo",
+            Protocol::Mvto => "mvto",
+            Protocol::Certifier => "certifier",
+            Protocol::Chaos => "chaos",
+        }
+    }
 }
 
 /// One generic object automaton of any protocol.
@@ -100,6 +115,11 @@ pub struct SimConfig {
     /// (`AbortMode::Any`): `ABORT(T)` is offered for every incomplete
     /// transaction at every step and the random chooser may pick it.
     pub any_abort: bool,
+    /// Observability sink. Disabled by default; when enabled, the executor
+    /// drives its logical clock (scheduler round + step) and threads it to
+    /// every protocol object, so journals of same-seed runs are
+    /// byte-identical.
+    pub trace: TraceHandle,
 }
 
 impl Default for SimConfig {
@@ -109,6 +129,7 @@ impl Default for SimConfig {
             max_steps: 2_000_000,
             abort_prob: 0.0,
             any_abort: false,
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -136,6 +157,11 @@ pub struct SimResult {
     /// Accumulated count of blocked accesses summed over rounds
     /// (a contention measure).
     pub wait_rounds: u64,
+    /// `wait_rounds` broken down per object: `blocked_by_object[x]` is the
+    /// number of (access, round) pairs in which an access of object `x`
+    /// was blocked. Sums to `wait_rounds`. Always recorded (cheap), so
+    /// experiments can report contention hotspots without tracing.
+    pub blocked_by_object: Vec<u64>,
     /// For MVTO runs: the pseudotime sibling order (per-parent child
     /// lists in `REQUEST_CREATE` order) — the order that serializes the
     /// behavior. `None` for other protocols.
@@ -189,6 +215,24 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
             })
             .collect()
     };
+    if cfg.trace.enabled() {
+        for o in objects.iter_mut() {
+            match o {
+                ObjectAutomaton::Moss(m) => m.attach_trace(cfg.trace.clone()),
+                ObjectAutomaton::Undo(u) => u.attach_trace(cfg.trace.clone()),
+                ObjectAutomaton::Mvto(m) => m.attach_trace(cfg.trace.clone()),
+                // The certifier and chaos objects journal nothing themselves;
+                // their contention still shows up via the executor's
+                // block/unblock transition events below.
+                ObjectAutomaton::Certifier(_) | ObjectAutomaton::Chaos(_) => {}
+            }
+        }
+        cfg.trace.set_now(0, 0);
+        cfg.trace.record(Event::RunStart {
+            protocol: protocol.name(),
+            seed: cfg.seed,
+        });
+    }
     let workload_types_len = workload.types.len();
     let clients = &mut workload.clients;
 
@@ -199,6 +243,10 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
     let mut deadlock_victims = 0usize;
     let mut injected_aborts = 0usize;
     let mut wait_rounds = 0u64;
+    let mut blocked_by_object = vec![0u64; workload_types_len];
+    // Accesses blocked at the end of the previous round — journal only the
+    // *transitions* (blocked/unblocked edges), not every blocked round.
+    let mut prev_blocked: std::collections::BTreeSet<TxId> = std::collections::BTreeSet::new();
     let mut quiescent = false;
 
     // Component visit order, reshuffled each round for interleaving variety.
@@ -254,6 +302,10 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
                     break;
                 }
                 let a = buf[rng.gen_range(0..buf.len())].clone();
+                // Stamp the logical clock before delivery so every event an
+                // object journals while applying `a` carries this (round,
+                // step) — purely a function of the seeded schedule.
+                cfg.trace.set_now(rounds as u64, steps as u64);
                 // Deliver to every component sharing the action.
                 deliver(&mut controller, &mut objects, clients, &a);
                 trace.push(a);
@@ -270,12 +322,45 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
                 let victim = live[rng.gen_range(0..live.len())];
                 controller.request_abort(victim);
                 injected_aborts += 1;
+                if cfg.trace.enabled() {
+                    cfg.trace.set_now(rounds as u64, steps as u64);
+                    cfg.trace.record(Event::AbortInjected { tx: victim.0 });
+                }
             }
         }
 
-        // Contention accounting.
+        // Contention accounting: aggregate and per-object (the waiter is an
+        // access, so it names its object — this also attributes the
+        // certifier's waiters, which all live in one component).
         let waiting: Vec<(TxId, Vec<TxId>)> = objects.iter().flat_map(|o| o.waiting()).collect();
         wait_rounds += waiting.len() as u64;
+        for (waiter, _) in &waiting {
+            if let Some(x) = tree.object_of(*waiter) {
+                blocked_by_object[x.index()] += 1;
+            }
+        }
+        if cfg.trace.enabled() {
+            cfg.trace.set_now(rounds as u64, steps as u64);
+            let now_blocked: std::collections::BTreeSet<TxId> =
+                waiting.iter().map(|(w, _)| *w).collect();
+            for (waiter, blockers) in &waiting {
+                if !prev_blocked.contains(waiter) {
+                    let obj = tree.object_of(*waiter).map_or(0, |x| x.0);
+                    cfg.trace.record(Event::AccessBlocked {
+                        obj,
+                        tx: waiter.0,
+                        blockers: blockers.iter().map(|b| b.0).collect(),
+                    });
+                    cfg.trace.add_depth("blocked", tree.depth(*waiter), 1);
+                }
+            }
+            for waiter in prev_blocked.difference(&now_blocked) {
+                let obj = tree.object_of(*waiter).map_or(0, |x| x.0);
+                cfg.trace
+                    .record(Event::AccessUnblocked { obj, tx: waiter.0 });
+            }
+            prev_blocked = now_blocked;
+        }
 
         if fired_this_round == 0 {
             if waiting.is_empty() {
@@ -286,11 +371,19 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
             // aborting the lowest incomplete transaction in some blocker's
             // ancestor chain.
             let mut resolved = false;
-            for (_waiter, blockers) in &waiting {
+            for (waiter, blockers) in &waiting {
                 for &b in blockers {
                     if let Some(victim) = lowest_incomplete(&tree, &controller, b) {
                         controller.request_abort(victim);
                         deadlock_victims += 1;
+                        if cfg.trace.enabled() {
+                            cfg.trace.set_now(rounds as u64, steps as u64);
+                            cfg.trace.record(Event::DeadlockVictim {
+                                victim: victim.0,
+                                waiter: waiter.0,
+                                blocker: b.0,
+                            });
+                        }
                         resolved = true;
                         break;
                     }
@@ -320,6 +413,30 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         _ => None,
     });
 
+    if cfg.trace.enabled() {
+        cfg.trace.set_now(rounds as u64, steps as u64);
+        cfg.trace.record(Event::RunEnd {
+            steps: steps as u64,
+            rounds: rounds as u64,
+            quiescent,
+        });
+        cfg.trace.add("run.steps", steps as u64);
+        cfg.trace.add("run.rounds", rounds as u64);
+        cfg.trace.add("run.committed_top", committed_top as u64);
+        cfg.trace.add("run.aborted_top", aborted_top as u64);
+        cfg.trace.observe("run.wait_rounds", wait_rounds);
+        for (xi, &n) in blocked_by_object.iter().enumerate() {
+            if n > 0 {
+                cfg.trace.add_obj("wait.rounds", xi as u32, n);
+            }
+        }
+        if !quiescent {
+            // The run hit max_steps while work remained — dump the flight
+            // recorder so the tail of the schedule is inspectable.
+            cfg.trace.dump_flight_to_stderr("failed to quiesce");
+        }
+    }
+
     SimResult {
         trace,
         steps,
@@ -330,6 +447,7 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         injected_aborts,
         quiescent,
         wait_rounds,
+        blocked_by_object,
         pseudotime_order,
     }
 }
@@ -392,6 +510,13 @@ pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
     for c in clients {
         components.push(Box::new(c));
     }
+    if cfg.trace.enabled() {
+        cfg.trace.set_now(0, 0);
+        cfg.trace.record(Event::RunStart {
+            protocol: "serial",
+            seed: cfg.seed,
+        });
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut trace: Vec<Action> = Vec::new();
     let mut steps = 0usize;
@@ -415,6 +540,7 @@ pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
                     break;
                 }
                 let a = buf[rng.gen_range(0..buf.len())].clone();
+                cfg.trace.set_now(rounds as u64, steps as u64);
                 for comp in components.iter_mut() {
                     if comp.is_input(&a) || comp.is_output(&a) {
                         comp.apply(&a);
@@ -445,6 +571,14 @@ pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
         .iter()
         .filter(|&&t| status.is_aborted(t))
         .count();
+    if cfg.trace.enabled() {
+        cfg.trace.set_now(rounds as u64, steps as u64);
+        cfg.trace.record(Event::RunEnd {
+            steps: steps as u64,
+            rounds: rounds as u64,
+            quiescent,
+        });
+    }
     SimResult {
         steps,
         rounds,
@@ -454,6 +588,7 @@ pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
         injected_aborts: 0,
         quiescent,
         wait_rounds: 0,
+        blocked_by_object: vec![0; workload.types.len()],
         pseudotime_order: None,
         trace,
     }

@@ -24,6 +24,7 @@
 
 use nt_automata::Component;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
+use nt_obs::{Event, TraceHandle};
 use nt_serial::{replay_from, SerialType};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -56,6 +57,8 @@ pub struct UndoLogObject {
     /// Cached replay state of `operations` (kept in sync incrementally;
     /// rebuilt after log erasures).
     state: Value,
+    /// Observability sink (disabled by default; see `nt-obs`).
+    trace: TraceHandle,
 }
 
 impl UndoLogObject {
@@ -72,7 +75,14 @@ impl UndoLogObject {
             aborted_seen: BTreeSet::new(),
             operations: Vec::new(),
             state,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach an observability sink: log pushes and abort-time rollbacks
+    /// are journaled through it.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The current log (inspection).
@@ -211,8 +221,16 @@ impl Component for UndoLogObject {
                 let t = *t;
                 let before = self.operations.len();
                 self.operations.retain(|e| !tree.is_ancestor(t, e.tx));
-                if self.operations.len() != before {
+                let erased = before - self.operations.len();
+                if erased != 0 {
                     self.rebuild_state();
+                }
+                if self.trace.enabled() {
+                    self.trace.record(Event::UndoRollback {
+                        obj: self.x.0,
+                        tx: t.0,
+                        erased: erased as u64,
+                    });
                 }
             }
             Action::RequestCommit(t, v) => {
@@ -230,6 +248,14 @@ impl Component for UndoLogObject {
                     op,
                     value: v.clone(),
                 });
+                if self.trace.enabled() {
+                    self.trace.record(Event::UndoPush {
+                        obj: self.x.0,
+                        tx: t.0,
+                        log_len: self.operations.len() as u64,
+                    });
+                    self.trace.add_depth("undo.push", self.tree.depth(*t), 1);
+                }
             }
             _ => unreachable!("U_X shares no other action"),
         }

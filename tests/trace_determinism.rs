@@ -1,0 +1,146 @@
+//! Determinism guarantees of the `nt-obs` journal (DESIGN.md,
+//! "Observability"): tracing must never perturb or desynchronize a run.
+//!
+//! - Same workload seed + same scheduler seed ⇒ **byte-identical** JSONL
+//!   journals, per protocol. The journal is stamped with the logical clock
+//!   (round, step, seq) only — any wall-clock leak or iteration-order
+//!   instability breaks this.
+//! - Different scheduler seeds ⇒ different journals (the stamp actually
+//!   reflects the schedule; it is not a constant).
+//! - A committed golden journal (`tests/golden/moss_demo.jsonl`) pins both
+//!   the event schema and the executor's schedule: it fails loudly when
+//!   either changes, so schema evolution is a reviewed decision.
+
+use nt_locking::LockMode;
+use nt_obs::Recorder;
+use nt_sim::{run_generic, OpMix, Protocol, SimConfig, WorkloadSpec};
+
+/// One traced run: fresh workload from `spec_seed`, fresh recorder,
+/// scheduler seeded with `sim_seed`; returns the JSONL journal.
+fn traced_journal(protocol: Protocol, spec_seed: u64, sim_seed: u64) -> String {
+    let spec = WorkloadSpec {
+        seed: spec_seed,
+        top_level: 6,
+        objects: 3,
+        hotspot: 0.5,
+        mix: OpMix::ReadWrite { read_ratio: 0.5 },
+        ..WorkloadSpec::default()
+    };
+    let trace = Recorder::full();
+    let cfg = SimConfig {
+        seed: sim_seed,
+        trace: trace.clone(),
+        ..SimConfig::default()
+    };
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, protocol, &cfg);
+    assert!(r.quiescent, "traced run must quiesce");
+    trace
+        .journal_jsonl()
+        .expect("full recorder keeps the journal")
+}
+
+#[test]
+fn same_seed_same_journal_per_protocol() {
+    for protocol in [
+        Protocol::Moss(LockMode::ReadWrite),
+        Protocol::Undo,
+        Protocol::Mvto,
+    ] {
+        let a = traced_journal(protocol, 7, 99);
+        let b = traced_journal(protocol, 7, 99);
+        assert!(!a.is_empty(), "{protocol:?}: journal must not be empty");
+        assert_eq!(
+            a, b,
+            "{protocol:?}: same seeds must give identical journals"
+        );
+        // And every replay is schema-clean.
+        if let Err((line, msg)) = nt_obs::schema::validate_journal(&a) {
+            panic!("{protocol:?}: schema violation at line {line}: {msg}");
+        }
+    }
+}
+
+#[test]
+fn different_sim_seed_different_journal() {
+    let a = traced_journal(Protocol::Moss(LockMode::ReadWrite), 7, 1);
+    let b = traced_journal(Protocol::Moss(LockMode::ReadWrite), 7, 2);
+    assert_ne!(
+        a, b,
+        "journals must reflect the schedule, not just the workload"
+    );
+}
+
+#[test]
+fn chrome_and_metrics_exports_are_deterministic() {
+    let run = || {
+        let spec = WorkloadSpec {
+            seed: 5,
+            top_level: 5,
+            objects: 2,
+            mix: OpMix::ReadWrite { read_ratio: 0.4 },
+            ..WorkloadSpec::default()
+        };
+        let trace = Recorder::full();
+        let cfg = SimConfig {
+            seed: 5,
+            trace: trace.clone(),
+            ..SimConfig::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(&mut w, Protocol::Moss(LockMode::ReadWrite), &cfg);
+        assert!(r.quiescent);
+        (
+            trace.chrome_trace_json().unwrap(),
+            trace.metrics_json().unwrap(),
+        )
+    };
+    let (c1, m1) = run();
+    let (c2, m2) = run();
+    assert_eq!(c1, c2, "chrome trace export must be deterministic");
+    assert_eq!(m1, m2, "metrics export must be deterministic");
+    nt_obs::json::Json::parse(&c1).expect("chrome trace parses");
+    nt_obs::json::Json::parse(&m1).expect("metrics JSON parses");
+}
+
+/// The exact run the golden file was generated from (see the test below
+/// for the regeneration recipe).
+fn golden_journal() -> String {
+    traced_journal(Protocol::Moss(LockMode::ReadWrite), 42, 42)
+}
+
+#[test]
+fn golden_journal_matches() {
+    let got = golden_journal();
+    let want = include_str!("golden/moss_demo.jsonl");
+    if got != want {
+        // Print a focused diff: the first differing line.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                panic!(
+                    "journal diverges from tests/golden/moss_demo.jsonl at \
+                     line {}:\n  got:  {g}\n  want: {w}\n\
+                     If the event schema or executor schedule changed \
+                     intentionally, regenerate with:\n  \
+                     cargo test --test trace_determinism -- --ignored regenerate",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "journal length changed: got {} lines, golden has {} \
+             (regenerate: cargo test --test trace_determinism -- --ignored regenerate)",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+/// Regeneration helper, excluded from normal runs:
+/// `cargo test --test trace_determinism -- --ignored regenerate`
+#[test]
+#[ignore = "writes tests/golden/moss_demo.jsonl; run explicitly to regenerate"]
+fn regenerate_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/moss_demo.jsonl");
+    std::fs::write(path, golden_journal()).expect("write golden journal");
+}
