@@ -1,4 +1,5 @@
-//! Regenerates every experiment table of `EXPERIMENTS.md` (E1–E12).
+//! Regenerates every experiment table of `EXPERIMENTS.md` (E1–E12, E14;
+//! E13 is the static certification run by `nt-lint`).
 //!
 //! The paper (PODS 1990) is a theory paper with no empirical tables or
 //! figures; each experiment makes one of its theorems or claims
@@ -19,8 +20,17 @@
 //! `--metrics-out PATH` to also dump the metrics registry as JSON
 //! (otherwise a plain-text summary goes to stdout). With no experiment
 //! names, `--trace-out` runs only the traced demo.
+//!
+//! Fault campaigns (see `nt-faults` and E14): `--fault-plan PLAN.json`
+//! replays a serialized fault-plan repro card — workload, seeds, and fault
+//! schedule all come from the document — checks the run, and fails loudly
+//! if the verdict differs from the plan's `expect` field. `--fault-seed N`
+//! overrides the fault-stream seed (both for a replayed plan and for the
+//! E14 campaign library). With no experiment names, `--fault-plan` runs
+//! only the replay.
 
 use nt_bench::{run_and_check, CheckOutcome, Report, Table};
+use nt_faults::{minimize, BackoffPolicy, FaultEvent, FaultKind, FaultPlan};
 use nt_locking::LockMode;
 use nt_model::seq::serial_projection;
 use nt_model::TxId;
@@ -49,18 +59,32 @@ fn hottest_object(blocked: &[u64]) -> String {
 fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut fault_plan_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
             "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out needs a path")),
+            "--fault-plan" => {
+                fault_plan_path = Some(args.next().expect("--fault-plan needs a path"));
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    args.next()
+                        .expect("--fault-seed needs a number")
+                        .parse()
+                        .expect("--fault-seed must be a u64"),
+                );
+            }
             other => names.push(other.to_string()),
         }
     }
-    // `--trace-out` alone means "just the traced demo" (fast; used by CI).
-    let demo_only = trace_out.is_some() && names.is_empty();
-    let want = |name: &str| !demo_only && (names.is_empty() || names.iter().any(|a| a == name));
+    // `--trace-out` / `--fault-plan` alone mean "just the side task" (fast;
+    // used by CI).
+    let side_only = (trace_out.is_some() || fault_plan_path.is_some()) && names.is_empty();
+    let want = |name: &str| !side_only && (names.is_empty() || names.iter().any(|a| a == name));
     let mut rep = Report::new();
     if want("e1") {
         e1_moss_validation(&mut rep);
@@ -98,8 +122,14 @@ fn main() {
     if want("e12") {
         e12_certifier(&mut rep);
     }
+    if want("e14") {
+        e14_fault_campaigns(&mut rep, fault_seed.unwrap_or(29));
+    }
     if let Some(path) = &trace_out {
         run_traced_demo(path, metrics_out.as_deref());
+    }
+    if let Some(path) = &fault_plan_path {
+        replay_fault_plan(path, fault_seed);
     }
     if !rep.is_empty() {
         std::fs::write("BENCH_experiments.json", rep.to_json())
@@ -841,4 +871,255 @@ fn e10_abort_storm(rep: &mut Report) {
     }
     rep.table(&t);
     let _ = TxId::ROOT;
+}
+
+/// Map a plan's protocol label onto the simulator protocol plus the
+/// conflict source flavor the checker should use for it (`true` = the
+/// read/write table). `"any"` — the library placeholder — defaults to Moss
+/// read/write locking.
+fn protocol_of(label: &str) -> (Protocol, bool) {
+    match label {
+        "moss-rw" | "any" => (Protocol::Moss(LockMode::ReadWrite), true),
+        "moss-ex" => (Protocol::Moss(LockMode::Exclusive), true),
+        "undo" => (Protocol::Undo, false),
+        "mvto" => (Protocol::Mvto, true),
+        "certifier" => (Protocol::Certifier, true),
+        "chaos" => (Protocol::Chaos, true),
+        other => panic!("unknown plan protocol {other:?}"),
+    }
+}
+
+/// Expand a plan's embedded workload parameters into a full spec.
+fn spec_of_plan(plan: &FaultPlan) -> WorkloadSpec {
+    let pw = plan.workload.clone().unwrap_or_default();
+    WorkloadSpec {
+        seed: pw.seed,
+        top_level: pw.top_level,
+        objects: pw.objects,
+        hotspot: pw.hotspot,
+        mix: OpMix::ReadWrite {
+            read_ratio: pw.read_ratio,
+        },
+        retry_attempts: pw.retry_attempts,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// `--fault-plan PATH`: replay a serialized repro card end to end and gate
+/// on its expected verdict.
+fn replay_fault_plan(path: &str, fault_seed: Option<u64>) {
+    let doc = std::fs::read_to_string(path).expect("read fault plan");
+    let plan = FaultPlan::from_json(doc.trim()).expect("parse fault plan");
+    let spec = spec_of_plan(&plan);
+    let (protocol, rw) = protocol_of(&plan.protocol);
+    let cfg = SimConfig {
+        seed: plan.sim_seed,
+        fault_seed: fault_seed.unwrap_or(plan.fault_seed),
+        fault_plan: Some(plan.clone()),
+        // Backoff only matters when the workload carries retry replicas;
+        // leaving it off otherwise keeps the replay byte-faithful to runs
+        // recorded without it.
+        retry: (spec.retry_attempts > 0).then(BackoffPolicy::default),
+        ..SimConfig::default()
+    };
+    let (r, outcome, _) = run_and_check(&spec, protocol, &cfg, rw);
+    let verdict = if outcome == CheckOutcome::Correct {
+        "serially-correct"
+    } else {
+        "violation"
+    };
+    println!(
+        "fault-plan {:?} ({} events) on {}: {} faults injected, {} recoveries, verdict {verdict}",
+        plan.name,
+        plan.events.len(),
+        protocol.name(),
+        r.plan_faults,
+        r.crash_recoveries,
+    );
+    if let Some(expect) = &plan.expect {
+        assert_eq!(
+            verdict, expect,
+            "replay of {path} produced {verdict:?} but the plan expects {expect:?}"
+        );
+        println!("verdict matches the plan's expect field");
+    }
+}
+
+/// The E14 chaos counterexample workload: gentle enough that chaos passes
+/// the checker with no faults, so the fault plan is load-bearing. (Pinned
+/// to the same card as `tests/fault_campaigns.rs` and the committed golden
+/// plan `tests/golden/chaos_min.plan.json`.)
+fn chaos_counterexample_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 5,
+        top_level: 3,
+        objects: 2,
+        hotspot: 0.0,
+        mix: OpMix::ReadWrite { read_ratio: 0.6 },
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Does chaos violate serial correctness under this plan (pinned seeds)?
+fn chaos_fails_under(plan: &FaultPlan) -> bool {
+    let mut w = chaos_counterexample_spec().generate();
+    let cfg = SimConfig {
+        seed: 2,
+        fault_seed: 9,
+        fault_plan: Some(plan.clone()),
+        ..SimConfig::default()
+    };
+    let r = run_generic(&mut w, Protocol::Chaos, &cfg);
+    !check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite)
+        .is_serially_correct()
+}
+
+/// E14 — deterministic fault campaigns: under every plan in the shipped
+/// library (storms, orphans, crashes, delayed and duplicated informs), the
+/// recoverable protocols stay 100% serially correct with retry-with-backoff
+/// salvaging victims; chaos under a plan produces a violation whose
+/// minimized schedule is a small committed repro card.
+fn e14_fault_campaigns(rep: &mut Report, fault_seed: u64) {
+    rep.section(
+        "e14",
+        "E14 — fault-injection campaigns (recovery, retry, minimization)",
+    );
+    let n = 10u64;
+    let mut t = Table::new(&[
+        "plan",
+        "protocol",
+        "runs",
+        "correct",
+        "avg faults",
+        "recoveries",
+        "retries sched/salv/exh",
+    ]);
+    for plan in FaultPlan::library(fault_seed) {
+        for (pname, protocol, rw) in [
+            ("moss-rw", Protocol::Moss(LockMode::ReadWrite), true),
+            ("undo", Protocol::Undo, false),
+        ] {
+            let mut correct = 0u64;
+            let mut faults = 0usize;
+            let mut recoveries = 0usize;
+            let mut retry = [0u64; 3];
+            for seed in 0..n {
+                let spec = WorkloadSpec {
+                    seed: seed + 11,
+                    top_level: 6,
+                    objects: 3,
+                    hotspot: 0.5,
+                    mix: OpMix::ReadWrite { read_ratio: 0.5 },
+                    retry_attempts: 1,
+                    ..WorkloadSpec::default()
+                };
+                let cfg = SimConfig {
+                    seed,
+                    fault_seed,
+                    fault_plan: Some(plan.clone()),
+                    retry: Some(BackoffPolicy::default()),
+                    ..SimConfig::default()
+                };
+                let (r, outcome, _) = run_and_check(&spec, protocol, &cfg, rw);
+                assert!(r.quiescent && !r.watchdog_fired, "campaign must finish");
+                if outcome == CheckOutcome::Correct {
+                    correct += 1;
+                }
+                faults += r.plan_faults;
+                recoveries += r.crash_recoveries;
+                retry[0] += r.retry.scheduled;
+                retry[1] += r.retry.salvaged;
+                retry[2] += r.retry.exhausted;
+            }
+            assert_eq!(
+                correct, n,
+                "recoverable protocols must be 100% correct under plan {:?}",
+                plan.name
+            );
+            t.row(vec![
+                plan.name.clone(),
+                pname.into(),
+                n.to_string(),
+                format!("{correct}/{n}"),
+                format!("{:.1}", faults as f64 / n as f64),
+                recoveries.to_string(),
+                format!("{}/{}/{}", retry[0], retry[1], retry[2]),
+            ]);
+        }
+    }
+    rep.table(&t);
+
+    // The discrimination half: chaos under a campaign plan violates serial
+    // correctness, and the minimizer shrinks the schedule to a small core
+    // that replays to the same verdict (committed as
+    // tests/golden/chaos_min.plan.json, re-validated in CI).
+    assert!(
+        !chaos_fails_under(&FaultPlan::new("empty", "chaos")),
+        "baseline chaos run must pass so the faults are load-bearing"
+    );
+    let mut full = FaultPlan::new("chaos-campaign", "chaos");
+    full.sim_seed = 2;
+    full.fault_seed = 9;
+    full.events = vec![
+        FaultEvent {
+            round: 2,
+            kind: FaultKind::AbortStorm {
+                rate: 0.6,
+                window: 10,
+            },
+        },
+        FaultEvent {
+            round: 3,
+            kind: FaultKind::AbortTx { tx: 5 },
+        },
+        FaultEvent {
+            round: 4,
+            kind: FaultKind::OrphanSubtree { tx: 3 },
+        },
+        FaultEvent {
+            round: 5,
+            kind: FaultKind::DelayInform { obj: 0, rounds: 4 },
+        },
+        FaultEvent {
+            round: 6,
+            kind: FaultKind::DuplicateInform { obj: 1 },
+        },
+    ];
+    assert!(
+        chaos_fails_under(&full),
+        "chaos under the campaign plan must violate serial correctness"
+    );
+    let minimal = minimize(&full, chaos_fails_under);
+    assert!(
+        (1..=4).contains(&minimal.events.len()),
+        "minimized counterexample must be small but non-empty"
+    );
+    assert!(
+        chaos_fails_under(&minimal),
+        "minimized plan must replay to the same verdict"
+    );
+    let mut t2 = Table::new(&[
+        "baseline verdict",
+        "full plan events",
+        "full verdict",
+        "minimized events",
+        "minimized verdict",
+    ]);
+    t2.row(vec![
+        "serially-correct".into(),
+        full.events.len().to_string(),
+        "violation".into(),
+        minimal.events.len().to_string(),
+        "violation".into(),
+    ]);
+    rep.table(&t2);
+    println!(
+        "(Minimized chaos schedule: {}; committed as tests/golden/chaos_min.plan.json.)\n",
+        minimal
+            .events
+            .iter()
+            .map(|e| format!("{}@{}", e.kind.name(), e.round))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

@@ -1,0 +1,182 @@
+//! Retry-with-backoff policy and the starvation/fairness ledger.
+//!
+//! When a subtransaction aborts (deadlock victim, injected fault, or storm
+//! casualty), the simulator can resubmit its work as a *fresh sibling*
+//! subtransaction — the paper's central selling point for nesting: an abort
+//! is contained at its subtree, the parent retries instead of dying. The
+//! policy here is classic capped exponential backoff measured in scheduler
+//! rounds (the deterministic logical clock), so retried schedules replay
+//! byte-identically.
+
+/// Capped exponential backoff, in scheduler rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base_rounds: u64,
+    /// Upper bound on any delay.
+    pub cap_rounds: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_rounds: 2,
+            cap_rounds: 16,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (1-based: the first retry
+    /// is attempt 1): `min(base << (attempt-1), cap)`.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_rounds
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(self.cap_rounds);
+        shifted.min(self.cap_rounds)
+    }
+}
+
+/// How one retried slot ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Some attempt (original or retry) committed.
+    Committed,
+    /// Every attempt aborted and the replica budget ran out.
+    Exhausted,
+    /// The run ended (or the parent halted) before the slot resolved.
+    Unresolved,
+}
+
+/// One ledger line: the fate of one retried child slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// The original child transaction of the slot.
+    pub original: u32,
+    /// Attempts consumed beyond the original (0 = never retried).
+    pub retries: u32,
+    /// Final outcome.
+    pub outcome: RetryOutcome,
+}
+
+/// Aggregate retry statistics of a run (`SimResult` carries one).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retry attempts scheduled (backoff timers armed).
+    pub scheduled: u64,
+    /// Slots whose replica budget ran out with every attempt aborted.
+    pub exhausted: u64,
+    /// Slots where a *retry* attempt (not the original) committed —
+    /// work the fault would otherwise have lost.
+    pub salvaged: u64,
+    /// The largest retry count any single slot consumed (starvation
+    /// indicator: a fair system keeps this near the mean).
+    pub max_retries_one_slot: u32,
+}
+
+impl RetryStats {
+    /// Merge another run's (or client's) stats into this one.
+    pub fn absorb(&mut self, other: &RetryStats) {
+        self.scheduled += other.scheduled;
+        self.exhausted += other.exhausted;
+        self.salvaged += other.salvaged;
+        self.max_retries_one_slot = self.max_retries_one_slot.max(other.max_retries_one_slot);
+    }
+}
+
+/// The full per-slot ledger, for fairness inspection and tests.
+#[derive(Clone, Debug, Default)]
+pub struct RetryLedger {
+    /// One record per slot that has a replica chain.
+    pub records: Vec<RetryRecord>,
+}
+
+impl RetryLedger {
+    /// Aggregate the ledger into summary statistics. `scheduled` is the
+    /// total retries across records; outcome counts follow the records.
+    pub fn stats(&self) -> RetryStats {
+        let mut s = RetryStats::default();
+        for r in &self.records {
+            s.scheduled += u64::from(r.retries);
+            s.max_retries_one_slot = s.max_retries_one_slot.max(r.retries);
+            match r.outcome {
+                RetryOutcome::Committed if r.retries > 0 => s.salvaged += 1,
+                RetryOutcome::Exhausted => s.exhausted += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Every slot either committed or exhausted its budget — the no-livelock
+    /// / no-starvation condition retry tests assert.
+    pub fn all_resolved(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| r.outcome != RetryOutcome::Unresolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = BackoffPolicy {
+            base_rounds: 2,
+            cap_rounds: 16,
+        };
+        assert_eq!(p.delay(1), 2);
+        assert_eq!(p.delay(2), 4);
+        assert_eq!(p.delay(3), 8);
+        assert_eq!(p.delay(4), 16);
+        assert_eq!(p.delay(5), 16, "capped");
+        assert_eq!(p.delay(40), 16, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn extreme_shift_does_not_overflow() {
+        let p = BackoffPolicy {
+            base_rounds: u64::MAX / 2,
+            cap_rounds: u64::MAX,
+        };
+        assert_eq!(p.delay(100), u64::MAX, "overflowing shift falls to cap");
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let ledger = RetryLedger {
+            records: vec![
+                RetryRecord {
+                    original: 3,
+                    retries: 0,
+                    outcome: RetryOutcome::Committed,
+                },
+                RetryRecord {
+                    original: 5,
+                    retries: 2,
+                    outcome: RetryOutcome::Committed,
+                },
+                RetryRecord {
+                    original: 9,
+                    retries: 3,
+                    outcome: RetryOutcome::Exhausted,
+                },
+            ],
+        };
+        let s = ledger.stats();
+        assert_eq!(s.scheduled, 5);
+        assert_eq!(s.salvaged, 1, "only the retried-then-committed slot");
+        assert_eq!(s.exhausted, 1);
+        assert_eq!(s.max_retries_one_slot, 3);
+        assert!(ledger.all_resolved());
+
+        let mut total = RetryStats::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.scheduled, 10);
+        assert_eq!(total.max_retries_one_slot, 3);
+    }
+}

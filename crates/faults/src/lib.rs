@@ -1,0 +1,34 @@
+//! # nt-faults
+//!
+//! Deterministic fault-injection for the nested-transaction simulator.
+//!
+//! The paper's correctness theorems (17, 25) are quantified over *all*
+//! behaviors of the composed system — including behaviors where
+//! transactions abort, whole subtrees run as orphans, and objects lose
+//! their volatile state. This crate turns that quantifier into an
+//! adversarial test instrument:
+//!
+//! * [`FaultPlan`] — a replayable schedule of typed fault events
+//!   ([`FaultKind`]) pinned to logical-clock rounds. A plan plus a workload
+//!   seed plus a fault seed fully determines a run: same inputs, byte-
+//!   identical nt-obs journals.
+//! * [`BackoffPolicy`] / [`RetryLedger`] — capped exponential backoff for
+//!   resubmitting aborted subtransactions as fresh siblings, with a
+//!   starvation/fairness ledger.
+//! * [`minimize`] — greedy delta-debugging over a plan's event list: when a
+//!   plan provokes a violation (expected only from the chaos protocol),
+//!   shrink it to a locally minimal counterexample and emit it as a
+//!   replayable artifact (the JSON "repro card" of [`FaultPlan::to_json`]).
+//!
+//! The crate is deliberately execution-free: it depends only on `nt-obs`
+//! (for the dependency-free JSON reader/writer) so that the simulator, the
+//! bench harness, and the static analyzer can all consume plans without
+//! dependency cycles.
+
+pub mod backoff;
+pub mod minimize;
+pub mod plan;
+
+pub use backoff::{BackoffPolicy, RetryLedger, RetryOutcome, RetryRecord, RetryStats};
+pub use minimize::minimize;
+pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanWorkload, SCHEMA_ID};

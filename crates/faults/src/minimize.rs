@@ -1,0 +1,137 @@
+//! Greedy fault-schedule minimization (delta debugging over events).
+//!
+//! When a plan provokes a checker violation, the interesting artifact is
+//! not the 10-event campaign schedule but the smallest sub-schedule that
+//! still fails. [`minimize`] shrinks the event list greedily: first by
+//! halves (cheap big cuts), then event-by-event until no single removal
+//! preserves the failure — a locally minimal (1-minimal) counterexample.
+//! The predicate re-runs the simulator, so minimization is deterministic
+//! whenever the run is.
+
+use crate::plan::FaultPlan;
+
+/// Shrink `plan.events` to a 1-minimal sub-schedule for which `fails`
+/// still returns `true`. Requires `fails(plan)` to hold on entry; returns
+/// the original plan unchanged otherwise. The returned plan preserves
+/// every non-event field (seeds, workload, protocol, expectation).
+pub fn minimize<F: FnMut(&FaultPlan) -> bool>(plan: &FaultPlan, mut fails: F) -> FaultPlan {
+    if !fails(plan) {
+        return plan.clone();
+    }
+    let mut best = plan.clone();
+
+    // Phase 1: binary chops — try dropping contiguous halves while they
+    // keep failing (log-many probes on schedules that barely matter).
+    loop {
+        let n = best.events.len();
+        if n < 2 {
+            break;
+        }
+        let half = n / 2;
+        let front: Vec<_> = best.events[..half].to_vec();
+        let back: Vec<_> = best.events[half..].to_vec();
+        let keep_back = with_events(&best, back);
+        if fails(&keep_back) {
+            best = keep_back;
+            continue;
+        }
+        let keep_front = with_events(&best, front);
+        if fails(&keep_front) {
+            best = keep_front;
+            continue;
+        }
+        break;
+    }
+
+    // Phase 2: 1-minimality — drop single events until fixpoint.
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.events.len() {
+            let mut events = best.events.clone();
+            events.remove(i);
+            let candidate = with_events(&best, events);
+            if fails(&candidate) {
+                best = candidate;
+                shrunk = true;
+                // Same index now names the next event; do not advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    best
+}
+
+fn with_events(base: &FaultPlan, events: Vec<crate::plan::FaultEvent>) -> FaultPlan {
+    let mut p = base.clone();
+    p.events = events;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultEvent, FaultKind};
+
+    fn plan_with(n: u32) -> FaultPlan {
+        let mut p = FaultPlan::new("t", "chaos");
+        p.events = (1..=n)
+            .map(|i| FaultEvent {
+                round: u64::from(i),
+                kind: FaultKind::AbortTx { tx: i },
+            })
+            .collect();
+        p
+    }
+
+    fn has_tx(p: &FaultPlan, tx: u32) -> bool {
+        p.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::AbortTx { tx: t } if t == tx))
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        let p = plan_with(10);
+        let min = minimize(&p, |q| has_tx(q, 7));
+        assert_eq!(min.events.len(), 1);
+        assert!(has_tx(&min, 7));
+        assert_eq!(min.protocol, "chaos", "context fields preserved");
+    }
+
+    #[test]
+    fn shrinks_to_interacting_pair() {
+        // Failure requires BOTH 2 and 9: minimum has exactly those two.
+        let p = plan_with(10);
+        let min = minimize(&p, |q| has_tx(q, 2) && has_tx(q, 9));
+        assert_eq!(min.events.len(), 2);
+        assert!(has_tx(&min, 2) && has_tx(&min, 9));
+    }
+
+    #[test]
+    fn empty_failure_shrinks_to_empty() {
+        // The predicate fails regardless of events (chaos violates with no
+        // faults at all): the minimal schedule is empty.
+        let p = plan_with(6);
+        let min = minimize(&p, |_| true);
+        assert!(min.events.is_empty());
+    }
+
+    #[test]
+    fn non_failing_plan_is_returned_unchanged() {
+        let p = plan_with(4);
+        let min = minimize(&p, |_| false);
+        assert_eq!(min, p);
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let p = plan_with(12);
+        let pred = |q: &FaultPlan| has_tx(q, 3) && has_tx(q, 11);
+        assert_eq!(minimize(&p, pred), minimize(&p, pred));
+    }
+}

@@ -1,0 +1,497 @@
+//! The fault-plan DSL and its JSON "repro card" format.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultEvent`]s applied at scheduler
+//! rounds (the nt-obs logical clock), together with everything needed to
+//! replay the run that exhibited it: the protocol, the workload parameters,
+//! the interleaving seed, and the fault-stream seed. Serialized plans are
+//! self-contained JSON documents (schema [`SCHEMA_ID`]) that the
+//! experiments binary can re-execute with `--fault-plan` and that `nt-lint`
+//! checks statically.
+
+use nt_obs::json::{Json, JsonObj};
+
+/// Schema identifier stamped into every serialized plan.
+pub const SCHEMA_ID: &str = "nt-faults/plan/v1";
+
+/// One typed fault, applied at the start of its event's round.
+///
+/// Transaction targets are *resolved against the live set* at application
+/// time: if `tx` names a live transaction it is used verbatim, otherwise
+/// the target is the `tx`-th live transaction (index modulo the live
+/// count). This keeps hand-written plans portable across workloads while
+/// remaining a deterministic function of the run state, so minimized
+/// counterexamples replay exactly. Object targets are taken modulo the
+/// object count.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Abort one live transaction (the fault analogue of a deadlock
+    /// victim).
+    AbortTx {
+        /// Target transaction (live-set resolution, see above).
+        tx: u32,
+    },
+    /// Abort one live non-access transaction while letting its descendants
+    /// keep running as *orphans* (their clients stop halting on ancestor
+    /// aborts first, then the abort is requested).
+    OrphanSubtree {
+        /// Target transaction (live-set resolution over inner
+        /// transactions).
+        tx: u32,
+    },
+    /// Crash one object: its volatile automaton state is dropped and
+    /// reconstructed by replaying its slice of the recorded behavior
+    /// (create/answer/INFORM prefix). Only meaningful for protocols with a
+    /// recovery discipline (Moss locking, undo logging); other protocols
+    /// skip the crash with a journal note.
+    CrashObject {
+        /// Target object (modulo the object count).
+        obj: u32,
+    },
+    /// Hold back `INFORM_COMMIT`/`INFORM_ABORT` deliveries to one object
+    /// for a window of rounds (models a slow replica link; the controller
+    /// keeps its FIFO order, delivery just stalls).
+    DelayInform {
+        /// Target object (modulo the object count).
+        obj: u32,
+        /// Window length in rounds.
+        rounds: u64,
+    },
+    /// Arm a one-shot duplicate delivery: the next INFORM the object
+    /// receives is applied to it twice (models an at-least-once network;
+    /// the protocols' INFORM handling must be idempotent).
+    DuplicateInform {
+        /// Target object (modulo the object count).
+        obj: u32,
+    },
+    /// A storm window: for `window` rounds, each round aborts a random
+    /// live transaction with probability `rate` (drawn from the dedicated
+    /// fault RNG stream).
+    AbortStorm {
+        /// Per-round abort probability in `(0, 1]`.
+        rate: f64,
+        /// Window length in rounds.
+        window: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable snake_case discriminator (JSON `kind` field, journal label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::AbortTx { .. } => "abort_tx",
+            FaultKind::OrphanSubtree { .. } => "orphan_subtree",
+            FaultKind::CrashObject { .. } => "crash_object",
+            FaultKind::DelayInform { .. } => "delay_inform",
+            FaultKind::DuplicateInform { .. } => "duplicate_inform",
+            FaultKind::AbortStorm { .. } => "abort_storm",
+        }
+    }
+}
+
+/// A fault pinned to a logical-clock round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Scheduler round at whose start the fault applies (rounds are
+    /// 1-based; round 0 is pre-run and invalid).
+    pub round: u64,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// Workload parameters embedded in a plan so the repro card is
+/// self-contained. This mirrors the knobs of `nt_sim::WorkloadSpec` that
+/// campaigns vary; the consumer maps it back onto a full spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanWorkload {
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Top-level transaction count.
+    pub top_level: usize,
+    /// Object count.
+    pub objects: usize,
+    /// Hotspot skew probability.
+    pub hotspot: f64,
+    /// Read ratio of the read/write mix.
+    pub read_ratio: f64,
+    /// Pre-materialized retry replicas per child slot.
+    pub retry_attempts: usize,
+}
+
+impl Default for PlanWorkload {
+    fn default() -> Self {
+        PlanWorkload {
+            seed: 0,
+            top_level: 6,
+            objects: 3,
+            hotspot: 0.5,
+            read_ratio: 0.5,
+            retry_attempts: 0,
+        }
+    }
+}
+
+/// A deterministic, replayable fault schedule plus its run context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Human-readable plan name (campaign label).
+    pub name: String,
+    /// Protocol the plan targets (`moss-rw`, `moss-ex`, `undo`, `mvto`,
+    /// `certifier`, `chaos`).
+    pub protocol: String,
+    /// Interleaving seed of the run.
+    pub sim_seed: u64,
+    /// Seed of the dedicated fault RNG stream.
+    pub fault_seed: u64,
+    /// Embedded workload parameters (`None` = caller supplies them).
+    pub workload: Option<PlanWorkload>,
+    /// Expected checker verdict label when replayed (`None` = unchecked).
+    pub expect: Option<String>,
+    /// The fault schedule, sorted by round.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan for `protocol` named `name`.
+    pub fn new(name: &str, protocol: &str) -> Self {
+        FaultPlan {
+            name: name.to_string(),
+            protocol: protocol.to_string(),
+            sim_seed: 0,
+            fault_seed: 0,
+            workload: None,
+            expect: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// The last round at which this plan still acts (storm/delay windows
+    /// included). 0 for an empty plan.
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::DelayInform { rounds, .. } => e.round.saturating_add(rounds),
+                FaultKind::AbortStorm { window, .. } => e.round.saturating_add(window),
+                _ => e.round,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serialize as a self-contained JSON repro card (single line).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", SCHEMA_ID)
+            .str("name", &self.name)
+            .str("protocol", &self.protocol)
+            .num("sim_seed", self.sim_seed)
+            .num("fault_seed", self.fault_seed);
+        if let Some(w) = &self.workload {
+            let mut wo = JsonObj::new();
+            wo.num("seed", w.seed)
+                .num("top_level", w.top_level as u64)
+                .num("objects", w.objects as u64)
+                .float("hotspot", w.hotspot)
+                .float("read_ratio", w.read_ratio)
+                .num("retry_attempts", w.retry_attempts as u64);
+            o.raw("workload", wo.build());
+        }
+        if let Some(e) = &self.expect {
+            o.str("expect", e);
+        }
+        let mut evs: Vec<String> = Vec::with_capacity(self.events.len());
+        for ev in &self.events {
+            let mut eo = JsonObj::new();
+            eo.num("round", ev.round).str("kind", ev.kind.name());
+            match &ev.kind {
+                FaultKind::AbortTx { tx } | FaultKind::OrphanSubtree { tx } => {
+                    eo.num("tx", u64::from(*tx));
+                }
+                FaultKind::CrashObject { obj } | FaultKind::DuplicateInform { obj } => {
+                    eo.num("obj", u64::from(*obj));
+                }
+                FaultKind::DelayInform { obj, rounds } => {
+                    eo.num("obj", u64::from(*obj)).num("rounds", *rounds);
+                }
+                FaultKind::AbortStorm { rate, window } => {
+                    eo.float("rate", *rate).num("window", *window);
+                }
+            }
+            evs.push(eo.build());
+        }
+        o.raw("events", format!("[{}]", evs.join(",")));
+        o.build()
+    }
+
+    /// Parse a JSON repro card. Structural errors (wrong schema id, missing
+    /// or mistyped fields, unknown fault kinds) are reported with the
+    /// offending path; *semantic* validity (round ordering, target
+    /// legality) is `nt-lint`'s job, so malformed-but-parsable plans load
+    /// and can be linted.
+    pub fn from_json(input: &str) -> Result<FaultPlan, String> {
+        let v = Json::parse(input).map_err(|e| format!("plan is not JSON: {e}"))?;
+        let schema = str_field(&v, "schema")?;
+        if schema != SCHEMA_ID {
+            return Err(format!(
+                "unsupported plan schema {schema:?} (want {SCHEMA_ID:?})"
+            ));
+        }
+        let mut plan = FaultPlan::new(&str_field(&v, "name")?, &str_field(&v, "protocol")?);
+        plan.sim_seed = num_field(&v, "sim_seed")? as u64;
+        plan.fault_seed = num_field(&v, "fault_seed")? as u64;
+        if let Some(w) = v.get("workload") {
+            plan.workload = Some(PlanWorkload {
+                seed: num_field(w, "seed")? as u64,
+                top_level: num_field(w, "top_level")? as usize,
+                objects: num_field(w, "objects")? as usize,
+                hotspot: num_field(w, "hotspot")?,
+                read_ratio: num_field(w, "read_ratio")?,
+                retry_attempts: num_field(w, "retry_attempts")? as usize,
+            });
+        }
+        if let Some(e) = v.get("expect") {
+            plan.expect = Some(
+                e.as_str()
+                    .ok_or_else(|| "field \"expect\" must be a string".to_string())?
+                    .to_string(),
+            );
+        }
+        let Some(Json::Arr(events)) = v.get("events") else {
+            return Err("field \"events\" must be an array".to_string());
+        };
+        for (i, ev) in events.iter().enumerate() {
+            let round = num_field(ev, "round").map_err(|e| format!("events[{i}]: {e}"))? as u64;
+            let kind_name = str_field(ev, "kind").map_err(|e| format!("events[{i}]: {e}"))?;
+            let kind = match kind_name.as_str() {
+                "abort_tx" => FaultKind::AbortTx {
+                    tx: num_field(ev, "tx").map_err(|e| format!("events[{i}]: {e}"))? as u32,
+                },
+                "orphan_subtree" => FaultKind::OrphanSubtree {
+                    tx: num_field(ev, "tx").map_err(|e| format!("events[{i}]: {e}"))? as u32,
+                },
+                "crash_object" => FaultKind::CrashObject {
+                    obj: num_field(ev, "obj").map_err(|e| format!("events[{i}]: {e}"))? as u32,
+                },
+                "delay_inform" => FaultKind::DelayInform {
+                    obj: num_field(ev, "obj").map_err(|e| format!("events[{i}]: {e}"))? as u32,
+                    rounds: num_field(ev, "rounds").map_err(|e| format!("events[{i}]: {e}"))?
+                        as u64,
+                },
+                "duplicate_inform" => FaultKind::DuplicateInform {
+                    obj: num_field(ev, "obj").map_err(|e| format!("events[{i}]: {e}"))? as u32,
+                },
+                "abort_storm" => FaultKind::AbortStorm {
+                    rate: num_field(ev, "rate").map_err(|e| format!("events[{i}]: {e}"))?,
+                    window: num_field(ev, "window").map_err(|e| format!("events[{i}]: {e}"))?
+                        as u64,
+                },
+                other => return Err(format!("events[{i}]: unknown fault kind {other:?}")),
+            };
+            plan.events.push(FaultEvent { round, kind });
+        }
+        Ok(plan)
+    }
+
+    /// The shipped campaign plan library: one plan per fault family plus a
+    /// mixed plan, parameterized by the fault seed (stamped into the plan)
+    /// and written against the default campaign workload shape. Rounds and
+    /// targets are fixed small numbers — target resolution (see
+    /// [`FaultKind`]) makes them meaningful on any workload.
+    pub fn library(fault_seed: u64) -> Vec<FaultPlan> {
+        let mk = |name: &str, events: Vec<FaultEvent>| {
+            let mut p = FaultPlan::new(name, "any");
+            p.fault_seed = fault_seed;
+            p.events = events;
+            p
+        };
+        let ev = |round: u64, kind: FaultKind| FaultEvent { round, kind };
+        vec![
+            mk(
+                "abort-storm",
+                vec![ev(
+                    2,
+                    FaultKind::AbortStorm {
+                        rate: 0.4,
+                        window: 6,
+                    },
+                )],
+            ),
+            mk(
+                "orphan-subtrees",
+                vec![
+                    ev(2, FaultKind::OrphanSubtree { tx: 3 }),
+                    ev(4, FaultKind::OrphanSubtree { tx: 11 }),
+                ],
+            ),
+            mk(
+                "crash-objects",
+                vec![
+                    ev(3, FaultKind::CrashObject { obj: 0 }),
+                    ev(5, FaultKind::CrashObject { obj: 1 }),
+                    ev(8, FaultKind::CrashObject { obj: 0 }),
+                ],
+            ),
+            mk(
+                "delayed-informs",
+                vec![
+                    ev(2, FaultKind::DelayInform { obj: 0, rounds: 5 }),
+                    ev(4, FaultKind::DelayInform { obj: 2, rounds: 4 }),
+                ],
+            ),
+            mk(
+                "duplicated-informs",
+                vec![
+                    ev(2, FaultKind::DuplicateInform { obj: 0 }),
+                    ev(3, FaultKind::DuplicateInform { obj: 1 }),
+                    ev(5, FaultKind::DuplicateInform { obj: 2 }),
+                ],
+            ),
+            mk(
+                "mixed",
+                vec![
+                    ev(2, FaultKind::DelayInform { obj: 1, rounds: 3 }),
+                    ev(3, FaultKind::AbortTx { tx: 7 }),
+                    ev(4, FaultKind::CrashObject { obj: 0 }),
+                    ev(5, FaultKind::OrphanSubtree { tx: 5 }),
+                    ev(
+                        6,
+                        FaultKind::AbortStorm {
+                            rate: 0.25,
+                            window: 4,
+                        },
+                    ),
+                    ev(9, FaultKind::DuplicateInform { obj: 0 }),
+                ],
+            ),
+        ]
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        let mut p = FaultPlan::new("mixed", "moss-rw");
+        p.sim_seed = 42;
+        p.fault_seed = 7;
+        p.workload = Some(PlanWorkload::default());
+        p.expect = Some("serially-correct".to_string());
+        p.events = vec![
+            FaultEvent {
+                round: 2,
+                kind: FaultKind::AbortTx { tx: 5 },
+            },
+            FaultEvent {
+                round: 3,
+                kind: FaultKind::DelayInform { obj: 1, rounds: 4 },
+            },
+            FaultEvent {
+                round: 4,
+                kind: FaultKind::AbortStorm {
+                    rate: 0.5,
+                    window: 3,
+                },
+            },
+            FaultEvent {
+                round: 9,
+                kind: FaultKind::CrashObject { obj: 0 },
+            },
+        ];
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let p = sample();
+        let json = p.to_json();
+        let q = FaultPlan::from_json(&json).expect("roundtrip parse");
+        assert_eq!(p, q);
+        // And serialization is stable (byte-identical repro cards).
+        assert_eq!(json, q.to_json());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_bad_kinds() {
+        assert!(FaultPlan::from_json("{}").is_err());
+        assert!(FaultPlan::from_json(r#"{"schema":"other/v9"}"#)
+            .unwrap_err()
+            .contains("unsupported"));
+        let bad_kind = r#"{"schema":"nt-faults/plan/v1","name":"x","protocol":"undo",
+            "sim_seed":0,"fault_seed":0,
+            "events":[{"round":1,"kind":"meteor_strike"}]}"#;
+        assert!(FaultPlan::from_json(bad_kind)
+            .unwrap_err()
+            .contains("unknown fault kind"));
+    }
+
+    #[test]
+    fn malformed_plans_still_parse_for_linting() {
+        // Round 0 and a T0 target are *semantically* invalid (nt-lint
+        // errors) but must parse, so the linter can report them.
+        let j = r#"{"schema":"nt-faults/plan/v1","name":"bad","protocol":"chaos",
+            "sim_seed":0,"fault_seed":0,
+            "events":[{"round":0,"kind":"abort_tx","tx":0}]}"#;
+        let p = FaultPlan::from_json(j).expect("parses");
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].round, 0);
+    }
+
+    #[test]
+    fn horizon_covers_windows() {
+        let p = sample();
+        // crash at 9 vs storm ending 4+3 vs delay ending 3+4: max is 9.
+        assert_eq!(p.horizon(), 9);
+        let mut q = FaultPlan::new("w", "undo");
+        q.events = vec![FaultEvent {
+            round: 5,
+            kind: FaultKind::AbortStorm {
+                rate: 0.1,
+                window: 20,
+            },
+        }];
+        assert_eq!(q.horizon(), 25);
+        assert_eq!(FaultPlan::new("e", "undo").horizon(), 0);
+    }
+
+    #[test]
+    fn library_plans_serialize_and_cover_every_kind() {
+        let lib = FaultPlan::library(3);
+        assert_eq!(lib.len(), 6);
+        let mut kinds: Vec<&str> = lib
+            .iter()
+            .flat_map(|p| p.events.iter().map(|e| e.kind.name()))
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(
+            kinds,
+            vec![
+                "abort_storm",
+                "abort_tx",
+                "crash_object",
+                "delay_inform",
+                "duplicate_inform",
+                "orphan_subtree"
+            ]
+        );
+        for p in &lib {
+            let q = FaultPlan::from_json(&p.to_json()).expect("library plan roundtrips");
+            assert_eq!(p, &q);
+            assert_eq!(p.fault_seed, 3);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Static soundness analyzer for the workspace.
 //!
 //! ```text
-//! nt-lint [--json] [--plant-defect] [types|workloads|all]
+//! nt-lint [--json] [--plant-defect] [types|workloads|plans|all] [plan.json ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -10,7 +10,9 @@
 //! * `workloads` — statically lint a representative matrix of workload
 //!   specs and their generated script/tree artifacts against the protocols
 //!   that run them.
-//! * `all` (default) — both.
+//! * `plans` — semantically lint fault-plan repro cards: the shipped
+//!   campaign library always, plus any plan JSON files given as arguments.
+//! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
 //! deliberately unsound fixture type into the analyzed set — a self-check
@@ -21,7 +23,7 @@
 //! 2 = usage error.
 
 use nt_lint::selftest::BrokenCounter;
-use nt_lint::{soundness, workload, Report, SoundnessConfig};
+use nt_lint::{plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
 use nt_locking::LockMode;
 use nt_serial::SerialType;
 use nt_sim::{OpMix, Protocol, WorkloadSpec};
@@ -33,10 +35,13 @@ enum Pass {
     All,
     Types,
     Workloads,
+    Plans,
 }
 
 fn usage(program: &str) {
-    eprintln!("usage: {program} [--json] [--plant-defect] [types|workloads|all]");
+    eprintln!(
+        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|all] [plan.json ...]"
+    );
 }
 
 /// The analyzed workload matrix: every mix under every protocol that is
@@ -115,22 +120,45 @@ fn run_workloads(report: &mut Report) {
     }
 }
 
+fn run_plans(report: &mut Report, files: &[String]) {
+    // The shipped campaign library must itself be well-formed.
+    for p in nt_faults::FaultPlan::library(0) {
+        report.extend(plan::lint_plan(&format!("library/{}", p.name), &p));
+    }
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => report.extend(plan::lint_plan_json(path, &doc)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "plan",
+                format!("plan {path}"),
+                format!("cannot read plan file: {e}"),
+            )),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let program = args.first().map(String::as_str).unwrap_or("nt-lint");
     let mut json = false;
     let mut plant_defect = false;
     let mut pass = Pass::All;
+    let mut plan_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
             "--plant-defect" => plant_defect = true,
             "types" => pass = Pass::Types,
             "workloads" => pass = Pass::Workloads,
+            "plans" => pass = Pass::Plans,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
                 return ExitCode::SUCCESS;
+            }
+            other if other.ends_with(".json") && !other.starts_with('-') => {
+                plan_files.push(other.to_string());
             }
             other => {
                 eprintln!("{program}: unknown argument {other:?}");
@@ -145,6 +173,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Workloads {
         run_workloads(&mut report);
+    }
+    if pass == Pass::All || pass == Pass::Plans {
+        run_plans(&mut report, &plan_files);
     }
     if json {
         print!("{}", report.render_json());

@@ -14,11 +14,17 @@
 //!    panics-in-waiting, dead knobs, orphaned subtrees, and per-protocol
 //!    preconditions (e.g. Moss locking is read/write-only) that the
 //!    simulator otherwise only catches at run time, if at all.
+//! 3. **Fault-plan well-formedness** ([`plan`]): semantic checks on
+//!    [`nt_faults::FaultPlan`] repro cards — well-formed 1-based sorted
+//!    clock points, no fault targeting T0, crashes only against protocols
+//!    with a recovery discipline, sane storm/delay windows. Parsing is
+//!    structural on purpose; this is the pass that makes a plan *valid*.
 //!
-//! The `nt-lint` binary aggregates both into one human or JSON report and
-//! exits nonzero iff any error-severity finding exists, making it usable as
-//! a CI gate.
+//! The `nt-lint` binary aggregates all of it into one human or JSON report
+//! and exits nonzero iff any error-severity finding exists, making it
+//! usable as a CI gate.
 
+pub mod plan;
 pub mod report;
 pub mod soundness;
 pub mod workload;

@@ -1,0 +1,254 @@
+//! Static well-formedness checks for fault plans (`nt_faults::FaultPlan`).
+//!
+//! `FaultPlan::from_json` is deliberately structural-only so that malformed
+//! plans still *load*; this pass is where the semantics are enforced:
+//!
+//! * clock points are well-formed: every round is ≥ 1 (round 0 is pre-run)
+//!   and the schedule is sorted by round;
+//! * no fault targets T0: aborting or orphaning the root (`tx == 0`) is
+//!   meaningless in the model (T0 never aborts) and would be silently
+//!   remapped by live-set resolution;
+//! * crashes only hit recoverable protocols: `crash_object` requires a
+//!   recovery discipline (Moss locking, undo logging) — on anything else
+//!   the executor skips the crash, so the plan doesn't test what it claims;
+//! * storm/delay windows are sane: `abort_storm` needs `rate ∈ (0, 1]` and
+//!   `window ≥ 1`; a `delay_inform` with `rounds == 0` is a dead knob.
+
+use crate::report::{Finding, Severity};
+use nt_faults::{FaultKind, FaultPlan};
+
+/// Protocols whose objects carry a recovery discipline, i.e. the only legal
+/// `crash_object` targets. `"any"` (the library placeholder) is accepted:
+/// such plans are parameterized over the protocol and the executor resolves
+/// crash legality per run.
+const RECOVERABLE: &[&str] = &["moss-rw", "moss-ex", "undo", "any"];
+
+/// All protocol labels a plan may declare.
+const KNOWN_PROTOCOLS: &[&str] = &[
+    "moss-rw",
+    "moss-ex",
+    "undo",
+    "mvto",
+    "certifier",
+    "chaos",
+    "any",
+];
+
+/// Lint one parsed fault plan. `name` labels the findings (file name or
+/// plan name, whichever the caller has).
+pub fn lint_plan(name: &str, plan: &FaultPlan) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let subject = format!("plan {name}");
+    let f = |sev, msg: String| Finding::new(sev, "plan", subject.clone(), msg);
+
+    if !KNOWN_PROTOCOLS.contains(&plan.protocol.as_str()) {
+        out.push(f(
+            Severity::Error,
+            format!(
+                "unknown protocol {:?} (expected one of {})",
+                plan.protocol,
+                KNOWN_PROTOCOLS.join(", ")
+            ),
+        ));
+    }
+    if plan.events.is_empty() {
+        out.push(f(
+            Severity::Warning,
+            "plan has no events: the campaign is a plain run".to_string(),
+        ));
+    }
+
+    let mut last_round = 0u64;
+    for (i, ev) in plan.events.iter().enumerate() {
+        let at = format!("events[{i}] ({})", ev.kind.name());
+        if ev.round == 0 {
+            out.push(f(
+                Severity::Error,
+                format!("{at}: round 0 is pre-run; rounds are 1-based"),
+            ));
+        }
+        if ev.round < last_round {
+            out.push(f(
+                Severity::Error,
+                format!(
+                    "{at}: schedule not sorted by round ({} after {})",
+                    ev.round, last_round
+                ),
+            ));
+        }
+        last_round = last_round.max(ev.round);
+
+        match &ev.kind {
+            FaultKind::AbortTx { tx } | FaultKind::OrphanSubtree { tx } => {
+                if *tx == 0 {
+                    out.push(f(
+                        Severity::Error,
+                        format!(
+                            "{at}: targets T0 (tx 0); the root never aborts \
+                             and live-set resolution would silently remap it"
+                        ),
+                    ));
+                }
+            }
+            FaultKind::CrashObject { .. } => {
+                if !RECOVERABLE.contains(&plan.protocol.as_str()) {
+                    out.push(f(
+                        Severity::Error,
+                        format!(
+                            "{at}: protocol {:?} has no recovery discipline; \
+                             crash_object is only meaningful for moss-rw, \
+                             moss-ex, or undo",
+                            plan.protocol
+                        ),
+                    ));
+                }
+            }
+            FaultKind::DelayInform { rounds, .. } => {
+                if *rounds == 0 {
+                    out.push(f(
+                        Severity::Warning,
+                        format!("{at}: zero-round delay window is a dead knob"),
+                    ));
+                }
+            }
+            FaultKind::DuplicateInform { .. } => {}
+            FaultKind::AbortStorm { rate, window } => {
+                if !(*rate > 0.0 && *rate <= 1.0) {
+                    out.push(f(
+                        Severity::Error,
+                        format!("{at}: storm rate {rate} outside (0, 1]"),
+                    ));
+                }
+                if *window == 0 {
+                    out.push(f(
+                        Severity::Error,
+                        format!("{at}: zero-round storm window never fires"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lint a serialized plan document: parse failures become error findings so
+/// the CLI can gate on unparsable repro cards too.
+pub fn lint_plan_json(name: &str, json: &str) -> Vec<Finding> {
+    match FaultPlan::from_json(json.trim()) {
+        Ok(plan) => lint_plan(name, &plan),
+        Err(e) => vec![Finding::new(
+            Severity::Error,
+            "plan",
+            format!("plan {name}"),
+            format!("not a valid plan document: {e}"),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_faults::FaultEvent;
+
+    fn errors(fs: &[Finding]) -> Vec<&str> {
+        fs.iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.message.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn library_plans_lint_clean() {
+        for plan in FaultPlan::library(7) {
+            let fs = lint_plan(&plan.name, &plan);
+            assert!(
+                errors(&fs).is_empty(),
+                "library plan {:?} must be well-formed: {fs:?}",
+                plan.name
+            );
+        }
+    }
+
+    #[test]
+    fn round_zero_and_t0_targets_are_errors() {
+        let mut p = FaultPlan::new("bad", "chaos");
+        p.events = vec![FaultEvent {
+            round: 0,
+            kind: FaultKind::AbortTx { tx: 0 },
+        }];
+        let fs = lint_plan("bad", &p);
+        let es = errors(&fs);
+        assert!(es.iter().any(|m| m.contains("round 0")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("targets T0")), "{es:?}");
+    }
+
+    #[test]
+    fn crash_on_unrecoverable_protocol_is_an_error() {
+        for (protocol, legal) in [
+            ("moss-rw", true),
+            ("moss-ex", true),
+            ("undo", true),
+            ("any", true),
+            ("chaos", false),
+            ("mvto", false),
+            ("certifier", false),
+        ] {
+            let mut p = FaultPlan::new("crash", protocol);
+            p.events = vec![FaultEvent {
+                round: 2,
+                kind: FaultKind::CrashObject { obj: 0 },
+            }];
+            let fs = lint_plan("crash", &p);
+            let es = errors(&fs);
+            assert_eq!(
+                es.is_empty(),
+                legal,
+                "protocol {protocol}: crash legality mismatch: {es:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_schedules_and_bad_storms_are_errors() {
+        let mut p = FaultPlan::new("storm", "undo");
+        p.events = vec![
+            FaultEvent {
+                round: 5,
+                kind: FaultKind::AbortStorm {
+                    rate: 1.5,
+                    window: 0,
+                },
+            },
+            FaultEvent {
+                round: 2,
+                kind: FaultKind::DuplicateInform { obj: 0 },
+            },
+        ];
+        let fs = lint_plan("storm", &p);
+        let es = errors(&fs);
+        assert!(es.iter().any(|m| m.contains("not sorted")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("outside (0, 1]")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("storm window")), "{es:?}");
+    }
+
+    #[test]
+    fn dead_delay_window_is_a_warning_not_an_error() {
+        let mut p = FaultPlan::new("delay", "moss-rw");
+        p.events = vec![FaultEvent {
+            round: 1,
+            kind: FaultKind::DelayInform { obj: 0, rounds: 0 },
+        }];
+        let fs = lint_plan("delay", &p);
+        assert!(errors(&fs).is_empty());
+        assert!(fs
+            .iter()
+            .any(|f| f.severity == Severity::Warning && f.message.contains("dead knob")));
+    }
+
+    #[test]
+    fn unparsable_documents_become_error_findings() {
+        let fs = lint_plan_json("garbage", "{not json");
+        assert_eq!(errors(&fs).len(), 1);
+        assert!(fs[0].message.contains("not a valid plan document"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Golden tests for the analyzer: the six shipped types certify clean, a
 //! planted unsound type is detected (library- and CLI-level, with nonzero
-//! exit), and hand-built malformed workloads are flagged.
+//! exit), hand-built malformed workloads are flagged, and a committed
+//! malformed fault plan is rejected by the `plans` pass.
 
 use nt_lint::selftest::BrokenCounter;
 use nt_lint::{analyze_type, soundness, workload, Report, Severity, SoundnessConfig};
@@ -134,6 +135,7 @@ fn tiny_workload(ops: [Op; 2], ty: Arc<dyn nt_serial::SerialType>, skip_second: 
         types: ObjectTypes::uniform(1, ty),
         initials: nt_model::rw::RwInitials::uniform(0),
         top: vec![a],
+        retry_chains: Default::default(),
     }
 }
 
@@ -184,6 +186,66 @@ fn orphaned_access_is_flagged() {
         fs.iter().any(|f| f.message.contains("never requested")),
         "{fs:?}"
     );
+}
+
+#[test]
+fn cli_plans_pass_is_clean_on_the_shipped_library() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .arg("plans")
+        .output()
+        .expect("spawn nt-lint");
+    assert!(
+        out.status.success(),
+        "the shipped plan library must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"));
+}
+
+#[test]
+fn cli_rejects_the_golden_malformed_plan() {
+    // The committed fixture parses (structural validity) but is
+    // semantically rotten in four distinct ways; the `plans` pass must
+    // flag every one of them and fail the run.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.plan.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["plans", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "malformed plan must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round 0"), "{stdout}");
+    assert!(stdout.contains("targets T0"), "{stdout}");
+    assert!(stdout.contains("no recovery discipline"), "{stdout}");
+    assert!(stdout.contains("outside (0, 1]"), "{stdout}");
+    assert!(stdout.contains("not sorted"), "{stdout}");
+}
+
+#[test]
+fn cli_flags_unreadable_plan_files() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["plans", "/nonexistent/nowhere.plan.json"])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cannot read plan file"));
+}
+
+#[test]
+fn committed_chaos_repro_card_lints_clean() {
+    // The golden chaos counterexample shipped at the workspace root must
+    // stay a valid plan document.
+    let golden = include_str!("../../../tests/golden/chaos_min.plan.json");
+    let fs = nt_lint::plan::lint_plan_json("chaos_min", golden);
+    assert!(fs.iter().all(|f| f.severity != Severity::Error), "{fs:?}");
 }
 
 #[test]

@@ -89,6 +89,32 @@ impl MossObject {
         self.trace = trace;
     }
 
+    /// Crash–restart recovery: reconstruct an `M1_X` whose volatile state
+    /// (lock tables, tentative values, orphan bookkeeping) was lost, by
+    /// replaying this object's slice of the recorded behavior — its
+    /// `CREATE`s, answered `REQUEST_COMMIT`s, and `INFORM_*` prefix, in
+    /// recorded order. The replay runs untraced (no journal re-emission or
+    /// metric double counting); the returned automaton is bitwise
+    /// equivalent to the pre-crash one because `M1_X` is a deterministic
+    /// function of its input/output history.
+    pub fn recovered_from(
+        tree: Arc<TxTree>,
+        x: ObjId,
+        init: i64,
+        mode: LockMode,
+        behavior: &[Action],
+    ) -> (Self, u64) {
+        let mut o = MossObject::new(tree, x, init, mode);
+        let mut replayed = 0u64;
+        for a in behavior {
+            if o.is_input(a) || o.is_output(a) {
+                o.apply(a);
+                replayed += 1;
+            }
+        }
+        (o, replayed)
+    }
+
     /// The least (deepest) write-lockholder. The write-lockholders always
     /// form an ancestor chain (Lemma 9), so this is the unique holder that
     /// is a descendant of all others.
@@ -451,6 +477,45 @@ mod tests {
         o.apply(&Action::InformCommit(ObjId(0), r));
         o.apply(&Action::InformCommit(ObjId(0), a));
         assert_eq!(enabled(&o), vec![Action::RequestCommit(w, Value::Ok)]);
+    }
+
+    #[test]
+    fn crash_recovery_mid_subtransaction_with_live_orphans() {
+        // Crash while a is mid-flight: w answered and inherited to a, b's
+        // subtree was orphaned by INFORM_ABORT(b) while its access r2 is
+        // still created-but-unanswered (a live orphan), and r1 waits on
+        // nothing yet. Recovery must reproduce locks, tentative values,
+        // orphan bookkeeping, and the waiting set exactly.
+        let (tree, mut o, _a, b, w, r1, r2) = setup(LockMode::ReadWrite);
+        let behavior = vec![
+            Action::Create(w),
+            Action::RequestCommit(w, Value::Ok),
+            Action::Create(r2),
+            Action::InformAbort(ObjId(0), b), // r2 is now a live local orphan
+            Action::InformCommit(ObjId(0), w), // w's lock inherits to a
+            Action::Create(r1),
+        ];
+        for a in &behavior {
+            o.apply(a);
+        }
+        let (rec, replayed) = MossObject::recovered_from(
+            Arc::clone(&tree),
+            ObjId(0),
+            0,
+            LockMode::ReadWrite,
+            &behavior,
+        );
+        assert_eq!(replayed, behavior.len() as u64);
+        assert_eq!(rec.lockholders(), o.lockholders());
+        assert_eq!(rec.current_value(), o.current_value());
+        assert_eq!(rec.current_value(), 5, "a holds w's tentative 5");
+        assert_eq!(rec.waiting(), o.waiting());
+        assert!(rec.is_local_orphan(r2), "orphan bookkeeping survives");
+        assert_eq!(enabled(&rec), enabled(&o), "same enabled answers");
+        // The orphaned access is never answered post-recovery either.
+        assert!(enabled(&rec)
+            .iter()
+            .all(|a| !matches!(a, Action::RequestCommit(t, _) if *t == r2)));
     }
 
     #[test]

@@ -154,6 +154,58 @@ pub enum Event {
         /// The victim.
         tx: u32,
     },
+    /// A fault-plan event was applied by the executor (nt-faults).
+    FaultInjected {
+        /// Stable fault-kind label (`abort_tx`, `orphan_subtree`,
+        /// `crash_object`, `delay_inform`, `duplicate_inform`,
+        /// `abort_storm`).
+        kind: &'static str,
+        /// The round the plan pinned the fault to.
+        round: u64,
+        /// The resolved target (transaction or object index; a storm
+        /// records its window end).
+        target: u64,
+    },
+    /// An object's volatile automaton state was dropped (crash fault).
+    ObjectCrashed {
+        /// The crashed object.
+        obj: u32,
+    },
+    /// A crashed object finished recovery by replaying its slice of the
+    /// recorded behavior.
+    ObjectRecovered {
+        /// The recovered object.
+        obj: u32,
+        /// Actions replayed to reconstruct the state.
+        replayed: u64,
+    },
+    /// An aborted child slot armed a backoff timer for a fresh sibling
+    /// replica (retry-with-backoff).
+    RetryScheduled {
+        /// The slot's original child transaction.
+        orig: u32,
+        /// The replica that will be submitted.
+        replica: u32,
+        /// Retry number (1 = first retry).
+        attempt: u64,
+        /// Round at which the replica becomes eligible.
+        wake_round: u64,
+    },
+    /// A retried slot ran out of replica budget with every attempt
+    /// aborted.
+    RetryExhausted {
+        /// The slot's original child transaction.
+        orig: u32,
+        /// Retries consumed.
+        attempts: u64,
+    },
+    /// The quiescence watchdog fired: no component made progress for the
+    /// configured window, so the run is cut short (with a flight-recorder
+    /// dump) instead of hanging.
+    WatchdogFired {
+        /// Rounds without progress when the watchdog tripped.
+        stalled_rounds: u64,
+    },
     /// A checker phase began (graph build, cycle check, …).
     CheckPhaseStart {
         /// Phase name (stable identifiers, see `DESIGN.md`).
@@ -221,6 +273,12 @@ impl Event {
             Event::VersionsDiscarded { .. } => "versions_discarded",
             Event::DeadlockVictim { .. } => "deadlock_victim",
             Event::AbortInjected { .. } => "abort_injected",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::ObjectCrashed { .. } => "object_crashed",
+            Event::ObjectRecovered { .. } => "object_recovered",
+            Event::RetryScheduled { .. } => "retry_scheduled",
+            Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::WatchdogFired { .. } => "watchdog_fired",
             Event::CheckPhaseStart { .. } => "check_phase_start",
             Event::CheckPhaseEnd { .. } => "check_phase_end",
             Event::SgEdgeInserted { .. } => "sg_edge_inserted",
@@ -242,7 +300,9 @@ impl Event {
             | Event::UndoRollback { obj, .. }
             | Event::VersionInstalled { obj, .. }
             | Event::VersionRead { obj, .. }
-            | Event::VersionsDiscarded { obj, .. } => Some(*obj),
+            | Event::VersionsDiscarded { obj, .. }
+            | Event::ObjectCrashed { obj }
+            | Event::ObjectRecovered { obj, .. } => Some(*obj),
             _ => None,
         }
     }
@@ -331,6 +391,40 @@ impl Event {
             }
             Event::AbortInjected { tx } => {
                 o.num("tx", u64::from(*tx));
+            }
+            Event::FaultInjected {
+                kind,
+                round,
+                target,
+            } => {
+                // The stamp already owns the "round" key, so the plan's
+                // clock point serializes as "plan_round".
+                o.str("kind", kind)
+                    .num("plan_round", *round)
+                    .num("target", *target);
+            }
+            Event::ObjectCrashed { obj } => {
+                o.num("obj", u64::from(*obj));
+            }
+            Event::ObjectRecovered { obj, replayed } => {
+                o.num("obj", u64::from(*obj)).num("replayed", *replayed);
+            }
+            Event::RetryScheduled {
+                orig,
+                replica,
+                attempt,
+                wake_round,
+            } => {
+                o.num("orig", u64::from(*orig))
+                    .num("replica", u64::from(*replica))
+                    .num("attempt", *attempt)
+                    .num("wake_round", *wake_round);
+            }
+            Event::RetryExhausted { orig, attempts } => {
+                o.num("orig", u64::from(*orig)).num("attempts", *attempts);
+            }
+            Event::WatchdogFired { stalled_rounds } => {
+                o.num("stalled_rounds", *stalled_rounds);
             }
             Event::CheckPhaseStart { phase } | Event::CheckPhaseEnd { phase } => {
                 o.str("phase", phase);
@@ -455,6 +549,27 @@ mod tests {
                 blocker: 4,
             },
             Event::AbortInjected { tx: 2 },
+            Event::FaultInjected {
+                kind: "crash_object",
+                round: 4,
+                target: 1,
+            },
+            Event::ObjectCrashed { obj: 1 },
+            Event::ObjectRecovered {
+                obj: 1,
+                replayed: 12,
+            },
+            Event::RetryScheduled {
+                orig: 5,
+                replica: 31,
+                attempt: 1,
+                wake_round: 9,
+            },
+            Event::RetryExhausted {
+                orig: 5,
+                attempts: 2,
+            },
+            Event::WatchdogFired { stalled_rounds: 64 },
             Event::CheckPhaseStart { phase: "sg_build" },
             Event::CheckPhaseEnd { phase: "sg_build" },
             Event::SgEdgeInserted {

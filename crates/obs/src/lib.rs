@@ -321,6 +321,12 @@ fn kind_counter(kind: &'static str) -> &'static str {
         "versions_discarded" => "ev.versions_discarded",
         "deadlock_victim" => "ev.deadlock_victim",
         "abort_injected" => "ev.abort_injected",
+        "fault_injected" => "ev.fault_injected",
+        "object_crashed" => "ev.object_crashed",
+        "object_recovered" => "ev.object_recovered",
+        "retry_scheduled" => "ev.retry_scheduled",
+        "retry_exhausted" => "ev.retry_exhausted",
+        "watchdog_fired" => "ev.watchdog_fired",
         "check_phase_start" => "ev.check_phase_start",
         "check_phase_end" => "ev.check_phase_end",
         "sg_edge_inserted" => "ev.sg_edge_inserted",

@@ -122,6 +122,33 @@ const SCHEMA: &[(&str, &[(&str, FieldTy)])] = &[
         ],
     ),
     ("abort_injected", &[("tx", FieldTy::Num)]),
+    (
+        "fault_injected",
+        &[
+            ("kind", FieldTy::Str),
+            ("plan_round", FieldTy::Num),
+            ("target", FieldTy::Num),
+        ],
+    ),
+    ("object_crashed", &[("obj", FieldTy::Num)]),
+    (
+        "object_recovered",
+        &[("obj", FieldTy::Num), ("replayed", FieldTy::Num)],
+    ),
+    (
+        "retry_scheduled",
+        &[
+            ("orig", FieldTy::Num),
+            ("replica", FieldTy::Num),
+            ("attempt", FieldTy::Num),
+            ("wake_round", FieldTy::Num),
+        ],
+    ),
+    (
+        "retry_exhausted",
+        &[("orig", FieldTy::Num), ("attempts", FieldTy::Num)],
+    ),
+    ("watchdog_fired", &[("stalled_rounds", FieldTy::Num)]),
     ("check_phase_start", &[("phase", FieldTy::Str)]),
     ("check_phase_end", &[("phase", FieldTy::Str)]),
     (
@@ -258,6 +285,12 @@ mod tests {
             "versions_discarded",
             "deadlock_victim",
             "abort_injected",
+            "fault_injected",
+            "object_crashed",
+            "object_recovered",
+            "retry_scheduled",
+            "retry_exhausted",
+            "watchdog_fired",
             "check_phase_start",
             "check_phase_end",
             "sg_edge_inserted",

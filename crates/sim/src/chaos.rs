@@ -86,6 +86,64 @@ mod tests {
     use nt_model::Op;
 
     #[test]
+    fn informs_are_ignored_entirely() {
+        // Neither INFORM_COMMIT nor INFORM_ABORT changes the cell, the
+        // answer set, or the enabled outputs — chaos has no recovery and
+        // no lock inheritance to maintain.
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let w = tree.add_access(a, x, Op::Write(4));
+        let r = tree.add_access(b, x, Op::Read);
+        let tree = Arc::new(tree);
+        let mut o = ChaosObject::new(Arc::clone(&tree), x, 0);
+        o.apply(&Action::Create(w));
+        o.apply(&Action::RequestCommit(w, Value::Ok));
+        assert!(o.is_input(&Action::InformCommit(x, w)));
+        assert!(o.is_input(&Action::InformAbort(x, a)));
+        o.apply(&Action::InformCommit(x, w));
+        o.apply(&Action::InformAbort(x, a));
+        o.apply(&Action::InformCommit(x, a));
+        o.apply(&Action::Create(r));
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        assert_eq!(
+            buf,
+            vec![Action::RequestCommit(r, Value::Int(4))],
+            "informs neither restored nor re-enabled anything"
+        );
+    }
+
+    #[test]
+    fn reads_are_stale_across_aborts() {
+        // Writer under `a` commits its value in place; `a` aborts; a later
+        // unrelated reader still sees the dead write — the dirty read the
+        // serialization-graph checker must flag as an inappropriate return
+        // value.
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        let w = tree.add_access(a, x, Op::Write(7));
+        let r = tree.add_access(b, x, Op::Read);
+        let tree = Arc::new(tree);
+        let mut o = ChaosObject::new(Arc::clone(&tree), x, 1);
+        o.apply(&Action::Create(w));
+        o.apply(&Action::RequestCommit(w, Value::Ok));
+        o.apply(&Action::InformAbort(x, w));
+        o.apply(&Action::InformAbort(x, a));
+        o.apply(&Action::Create(r));
+        let mut buf = Vec::new();
+        o.enabled_outputs(&mut buf);
+        assert_eq!(
+            buf,
+            vec![Action::RequestCommit(r, Value::Int(7))],
+            "the aborted write leaks: no undo, no versions"
+        );
+    }
+
+    #[test]
     fn answers_immediately_and_never_restores() {
         let mut tree = TxTree::new();
         let x = tree.add_object();

@@ -11,6 +11,7 @@ use crate::script::ScriptedTx;
 use crate::workload::Workload;
 use nt_automata::Component;
 use nt_certifier::SgtCertifier;
+use nt_faults::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan, RetryLedger, RetryStats};
 use nt_generic::GenericController;
 use nt_locking::{LockMode, MossObject};
 use nt_model::{Action, ObjId, TxId};
@@ -21,6 +22,7 @@ use nt_undolog::UndoLogObject;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The concurrency-control / recovery protocol run by every object.
@@ -110,11 +112,30 @@ pub struct SimConfig {
     pub max_steps: usize,
     /// Per-step probability of injecting an abort of a random live
     /// transaction (fault injection; deadlock victims come on top).
+    /// Sampled from the dedicated fault RNG stream (`fault_seed`), so
+    /// enabling it never perturbs the scheduler's interleaving choices.
     pub abort_prob: f64,
     /// Run the controller with the paper's full abort nondeterminism
     /// (`AbortMode::Any`): `ABORT(T)` is offered for every incomplete
     /// transaction at every step and the random chooser may pick it.
     pub any_abort: bool,
+    /// Seed for the fault RNG stream — a separate `StdRng` from the
+    /// scheduler's, so fault draws (`abort_prob`, abort storms) consume no
+    /// scheduler randomness and `(seed, fault_seed)` pairs replay
+    /// byte-identically.
+    pub fault_seed: u64,
+    /// Deterministic fault campaign: a schedule of fault events applied at
+    /// logical-clock rounds (see [`nt_faults::FaultPlan`]).
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry-with-backoff for aborted child slots. Requires the workload
+    /// to have pre-materialized replicas (`WorkloadSpec::retry_attempts`);
+    /// without them, the policy is inert.
+    pub retry: Option<BackoffPolicy>,
+    /// Quiescence watchdog: if this many consecutive rounds pass with no
+    /// action fired (and deadlock resolution cannot make progress), the
+    /// run is declared stuck, the flight recorder is dumped to stderr, and
+    /// the executor returns instead of hanging.
+    pub watchdog_rounds: u64,
     /// Observability sink. Disabled by default; when enabled, the executor
     /// drives its logical clock (scheduler round + step) and threads it to
     /// every protocol object, so journals of same-seed runs are
@@ -129,6 +150,10 @@ impl Default for SimConfig {
             max_steps: 2_000_000,
             abort_prob: 0.0,
             any_abort: false,
+            fault_seed: 0,
+            fault_plan: None,
+            retry: None,
+            watchdog_rounds: 10_000,
             trace: TraceHandle::disabled(),
         }
     }
@@ -166,6 +191,18 @@ pub struct SimResult {
     /// lists in `REQUEST_CREATE` order) — the order that serializes the
     /// behavior. `None` for other protocols.
     pub pseudotime_order: Option<Vec<(TxId, Vec<TxId>)>>,
+    /// Fault-plan events actually applied (a plan event whose target pool
+    /// was empty is skipped and not counted).
+    pub plan_faults: usize,
+    /// Crash–restart recoveries performed (`CrashObject` events on
+    /// recoverable protocols).
+    pub crash_recoveries: usize,
+    /// Aggregate retry statistics (all zero when retries are disabled).
+    pub retry: RetryStats,
+    /// The per-slot starvation/fairness ledger behind `retry`.
+    pub retry_ledger: RetryLedger,
+    /// Did the quiescence watchdog cut the run short?
+    pub watchdog_fired: bool,
 }
 
 /// Run a generic system (controller + protocol objects + scripted clients)
@@ -234,9 +271,45 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         });
     }
     let workload_types_len = workload.types.len();
+    // Cloned up front so crash–restart recovery can rebuild objects while
+    // `clients` mutably borrows the workload.
+    let recovery_initials = workload.initials.clone();
+    let recovery_types = workload.types.clone();
     let clients = &mut workload.clients;
+    if let Some(policy) = cfg.retry {
+        for c in clients.iter_mut() {
+            c.set_backoff(policy);
+        }
+    }
+    if cfg.trace.enabled() {
+        for c in clients.iter_mut() {
+            c.attach_trace(cfg.trace.clone());
+        }
+    }
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Dedicated fault stream: probabilistic aborts, storms, and target
+    // draws never consume scheduler randomness (satellite of the plan
+    // replay guarantee — adding faults must not reshape the base schedule).
+    let mut fault_rng = StdRng::seed_from_u64(cfg.fault_seed);
+    // Plan events in round order (stable for same-round events).
+    let mut plan_events: Vec<FaultEvent> = cfg
+        .fault_plan
+        .as_ref()
+        .map(|p| p.events.clone())
+        .unwrap_or_default();
+    plan_events.sort_by_key(|e| e.round);
+    let mut next_plan_event = 0usize;
+    let mut plan_faults = 0usize;
+    let mut crash_recoveries = 0usize;
+    // Object index → round until which its informs are held back.
+    let mut delay_until: BTreeMap<usize, u64> = BTreeMap::new();
+    // Objects whose next inform will be delivered twice (object-side only).
+    let mut dup_armed: BTreeSet<usize> = BTreeSet::new();
+    // Active abort storm: (per-round abort probability, last round).
+    let mut storm: Option<(f64, u64)> = None;
+    let mut watchdog_fired = false;
+    let mut last_progress_round = 0usize;
     let mut trace: Vec<Action> = Vec::new();
     let mut steps = 0usize;
     let mut rounds = 0usize;
@@ -256,8 +329,166 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
 
     'outer: while steps < cfg.max_steps {
         rounds += 1;
+        let now = rounds as u64;
+        // Advance the clients' logical clock (retry backoff timers compare
+        // against it) and expire inform delays that have run out.
+        for c in clients.iter_mut() {
+            c.tick_round(now);
+        }
+        delay_until.retain(|_, until| now < *until);
+
+        // Apply every fault-plan event that is due this round, in plan
+        // order. Target resolution is deterministic: the named transaction
+        // if it is still live, else the name modulo the live pool; object
+        // names are taken modulo the object count.
+        while next_plan_event < plan_events.len() && plan_events[next_plan_event].round <= now {
+            let ev = plan_events[next_plan_event].clone();
+            next_plan_event += 1;
+            let applied: Option<u64> = match ev.kind {
+                FaultKind::AbortTx { tx } => resolve_target(&controller.live(), tx).map(|victim| {
+                    controller.request_abort(victim);
+                    u64::from(victim.0)
+                }),
+                FaultKind::OrphanSubtree { tx } => {
+                    let pool: Vec<TxId> = controller
+                        .live()
+                        .into_iter()
+                        .filter(|&t| !tree.is_access(t))
+                        .collect();
+                    resolve_target(&pool, tx).map(|victim| {
+                        // Descendants keep acting after the abort: a live
+                        // orphan subtree, the paper's §2.2 orphan scenario.
+                        for c in clients.iter_mut() {
+                            if tree.is_ancestor(victim, c.tx()) {
+                                c.halt_on_abort = false;
+                            }
+                        }
+                        controller.request_abort(victim);
+                        u64::from(victim.0)
+                    })
+                }
+                FaultKind::CrashObject { obj } => {
+                    let xi = obj as usize % workload_types_len;
+                    match protocol {
+                        Protocol::Moss(mode) => {
+                            let x = ObjId(xi as u32);
+                            if cfg.trace.enabled() {
+                                cfg.trace.set_now(now, steps as u64);
+                                cfg.trace.record(Event::ObjectCrashed { obj: x.0 });
+                            }
+                            let (mut o, replayed) = MossObject::recovered_from(
+                                Arc::clone(&tree),
+                                x,
+                                recovery_initials.initial(x),
+                                mode,
+                                &trace,
+                            );
+                            if cfg.trace.enabled() {
+                                o.attach_trace(cfg.trace.clone());
+                            }
+                            objects[xi] = ObjectAutomaton::Moss(o);
+                            crash_recoveries += 1;
+                            if cfg.trace.enabled() {
+                                cfg.trace
+                                    .record(Event::ObjectRecovered { obj: x.0, replayed });
+                            }
+                            Some(u64::from(x.0))
+                        }
+                        Protocol::Undo => {
+                            let x = ObjId(xi as u32);
+                            if cfg.trace.enabled() {
+                                cfg.trace.set_now(now, steps as u64);
+                                cfg.trace.record(Event::ObjectCrashed { obj: x.0 });
+                            }
+                            let (mut o, replayed) = UndoLogObject::recovered_from(
+                                Arc::clone(&tree),
+                                x,
+                                Arc::clone(recovery_types.get(x)),
+                                &trace,
+                            );
+                            if cfg.trace.enabled() {
+                                o.attach_trace(cfg.trace.clone());
+                            }
+                            objects[xi] = ObjectAutomaton::Undo(o);
+                            crash_recoveries += 1;
+                            if cfg.trace.enabled() {
+                                cfg.trace
+                                    .record(Event::ObjectRecovered { obj: x.0, replayed });
+                            }
+                            Some(u64::from(x.0))
+                        }
+                        // Mvto / Certifier / Chaos have no recovery story:
+                        // the plan linter rejects such plans; at runtime the
+                        // event is skipped (noted in the journal).
+                        _ => {
+                            if cfg.trace.enabled() {
+                                cfg.trace.set_now(now, steps as u64);
+                                cfg.trace.record(Event::Note {
+                                    text: format!(
+                                        "crash_object skipped: {} is not recoverable",
+                                        protocol.name()
+                                    ),
+                                });
+                            }
+                            None
+                        }
+                    }
+                }
+                FaultKind::DelayInform { obj, rounds: d } => {
+                    let xi = obj as usize % workload_types_len;
+                    delay_until.insert(xi, now + d);
+                    Some(xi as u64)
+                }
+                FaultKind::DuplicateInform { obj } => {
+                    let xi = obj as usize % workload_types_len;
+                    match protocol {
+                        // INFORM is idempotent for these protocols (Chaos
+                        // ignores it outright), so a duplicated delivery is
+                        // a legal environment perturbation.
+                        Protocol::Moss(_) | Protocol::Undo | Protocol::Chaos => {
+                            dup_armed.insert(xi);
+                            Some(xi as u64)
+                        }
+                        _ => {
+                            if cfg.trace.enabled() {
+                                cfg.trace.set_now(now, steps as u64);
+                                cfg.trace.record(Event::Note {
+                                    text: format!(
+                                        "duplicate_inform skipped for {}",
+                                        protocol.name()
+                                    ),
+                                });
+                            }
+                            None
+                        }
+                    }
+                }
+                FaultKind::AbortStorm { rate, window } => {
+                    storm = Some((rate, now + window));
+                    Some(window)
+                }
+            };
+            if let Some(target) = applied {
+                plan_faults += 1;
+                if cfg.trace.enabled() {
+                    cfg.trace.set_now(now, steps as u64);
+                    cfg.trace.record(Event::FaultInjected {
+                        kind: ev.kind.name(),
+                        round: ev.round,
+                        target,
+                    });
+                }
+            }
+        }
+        if let Some((_, until)) = storm {
+            if now > until {
+                storm = None;
+            }
+        }
+
         visit.shuffle(&mut rng);
         let mut fired_this_round = 0usize;
+        let mut informs_delayed_this_round = false;
         let mut buf: Vec<Action> = Vec::new();
 
         for &ci in &visit {
@@ -298,6 +529,25 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
                     };
                     comp.enabled_outputs(&mut buf);
                 }
+                // A delayed object's INFORMs are held in the controller
+                // until the delay expires (per-object FIFO order is
+                // preserved — whole objects are delayed, never reordered).
+                if ci == 0 && !delay_until.is_empty() {
+                    let before = buf.len();
+                    buf.retain(|a| {
+                        let x = match a {
+                            Action::InformCommit(x, _) | Action::InformAbort(x, _) => *x,
+                            _ => return true,
+                        };
+                        match delay_until.get(&x.index()) {
+                            Some(&until) => rounds as u64 >= until,
+                            None => true,
+                        }
+                    });
+                    if buf.len() < before {
+                        informs_delayed_this_round = true;
+                    }
+                }
                 if buf.is_empty() {
                     break;
                 }
@@ -308,6 +558,19 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
                 cfg.trace.set_now(rounds as u64, steps as u64);
                 // Deliver to every component sharing the action.
                 deliver(&mut controller, &mut objects, clients, &a);
+                // Armed duplicate: replay the INFORM into the object a
+                // second time, object-side only — the controller's FIFO and
+                // the recorded behavior see it once (the duplicate models a
+                // repeated message on the wire, and the checkers must not
+                // be told about it).
+                if let Action::InformCommit(x, _) | Action::InformAbort(x, _) = &a {
+                    if dup_armed.remove(&x.index()) {
+                        let o = objects[x.index()].as_component();
+                        if o.is_input(&a) || o.is_output(&a) {
+                            o.apply(&a);
+                        }
+                    }
+                }
                 trace.push(a);
                 steps += 1;
                 fired_here += 1;
@@ -315,11 +578,17 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
             fired_this_round += fired_here;
         }
 
-        // Fault injection.
-        if cfg.abort_prob > 0.0 && rng.gen_bool(cfg.abort_prob) {
+        // Probabilistic fault injection: the baseline `abort_prob`, or the
+        // storm rate while an `AbortStorm` window is active. Draws come
+        // from the dedicated fault stream, never the scheduler RNG.
+        let abort_p = match storm {
+            Some((rate, until)) if rounds as u64 <= until => rate,
+            _ => cfg.abort_prob,
+        };
+        if abort_p > 0.0 && fault_rng.gen_bool(abort_p) {
             let live = controller.live();
             if !live.is_empty() {
-                let victim = live[rng.gen_range(0..live.len())];
+                let victim = live[fault_rng.gen_range(0..live.len())];
                 controller.request_abort(victim);
                 injected_aborts += 1;
                 if cfg.trace.enabled() {
@@ -362,10 +631,34 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
             prev_blocked = now_blocked;
         }
 
-        if fired_this_round == 0 {
-            if waiting.is_empty() {
-                quiescent = true;
+        if fired_this_round > 0 {
+            last_progress_round = rounds;
+        } else {
+            // Watchdog: a run that neither fires, quiesces, nor resolves a
+            // deadlock for this many rounds is stuck — dump the flight
+            // recorder for post-mortem instead of spinning forever.
+            let stalled = (rounds - last_progress_round) as u64;
+            if stalled >= cfg.watchdog_rounds {
+                watchdog_fired = true;
+                if cfg.trace.enabled() {
+                    cfg.trace.set_now(rounds as u64, steps as u64);
+                    cfg.trace.record(Event::WatchdogFired {
+                        stalled_rounds: stalled,
+                    });
+                    cfg.trace.dump_flight_to_stderr("quiescence watchdog fired");
+                }
                 break;
+            }
+            if waiting.is_empty() {
+                // Idle rounds are still progress-in-waiting when a retry
+                // backoff timer or a delayed INFORM is pending: let the
+                // clock advance until it matures.
+                let timer_pending = clients.iter().any(|c| c.next_wake().is_some());
+                if !timer_pending && !informs_delayed_this_round {
+                    quiescent = true;
+                    break;
+                }
+                continue;
             }
             // Blocked with no enabled action anywhere: break the wait by
             // aborting the lowest incomplete transaction in some blocker's
@@ -394,6 +687,10 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
             }
             if !resolved {
                 // Nothing abortable: give up (should not happen).
+                if cfg.trace.enabled() {
+                    cfg.trace
+                        .dump_flight_to_stderr("deadlock resolution found no victim");
+                }
                 break;
             }
         }
@@ -412,6 +709,11 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         ObjectAutomaton::Mvto(m) => Some(m.pseudotime_order_lists()),
         _ => None,
     });
+    let mut retry_ledger = RetryLedger::default();
+    for c in clients.iter() {
+        retry_ledger.records.extend(c.ledger_records());
+    }
+    let retry = retry_ledger.stats();
 
     if cfg.trace.enabled() {
         cfg.trace.set_now(rounds as u64, steps as u64);
@@ -449,6 +751,27 @@ pub fn run_generic(workload: &mut Workload, protocol: Protocol, cfg: &SimConfig)
         wait_rounds,
         blocked_by_object,
         pseudotime_order,
+        plan_faults,
+        crash_recoveries,
+        retry,
+        retry_ledger,
+        watchdog_fired,
+    }
+}
+
+/// Resolve a fault-plan transaction target against a candidate pool: the
+/// named transaction if present, else the name modulo the pool (so a plan
+/// stays applicable as minimization or different seeds shift the live
+/// set). `None` when the pool is empty (the event is skipped).
+fn resolve_target(pool: &[TxId], want: u32) -> Option<TxId> {
+    if pool.is_empty() {
+        return None;
+    }
+    let w = TxId(want);
+    if pool.contains(&w) {
+        Some(w)
+    } else {
+        Some(pool[want as usize % pool.len()])
     }
 }
 
@@ -590,6 +913,11 @@ pub fn run_serial(workload: &mut Workload, cfg: &SimConfig) -> SimResult {
         wait_rounds: 0,
         blocked_by_object: vec![0; workload.types.len()],
         pseudotime_order: None,
+        plan_faults: 0,
+        crash_recoveries: 0,
+        retry: RetryStats::default(),
+        retry_ledger: RetryLedger::default(),
+        watchdog_fired: false,
         trace,
     }
 }
@@ -686,6 +1014,144 @@ mod tests {
         assert!(r.quiescent);
         assert!(r.injected_aborts > 0);
         assert!(r.aborted_top > 0 || r.committed_top == w.top.len());
+    }
+
+    #[test]
+    fn retry_salvages_aborted_slots_without_livelock() {
+        // Two contended objects with sequential exclusive writers: this
+        // pinned seed deadlocks (a single hotspot object cannot — one
+        // queue has no cycle). With replicas and backoff, victims are
+        // resubmitted as fresh siblings; the run must still quiesce (no
+        // livelock) and every retried slot must resolve.
+        let spec = WorkloadSpec {
+            top_level: 10,
+            objects: 2,
+            hotspot: 0.5,
+            sequential_prob: 0.8,
+            mix: OpMix::ReadWrite { read_ratio: 0.0 },
+            retry_attempts: 2,
+            seed: 1,
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::Exclusive),
+            &SimConfig {
+                retry: Some(BackoffPolicy::default()),
+                ..SimConfig::default()
+            },
+        );
+        assert!(r.quiescent, "retries must not livelock the run");
+        assert!(!r.watchdog_fired);
+        assert!(r.deadlock_victims > 0, "contention produced victims");
+        assert!(r.retry.scheduled > 0, "victims were resubmitted");
+        assert!(
+            r.retry_ledger.all_resolved(),
+            "every retried slot committed or exhausted its budget"
+        );
+        let serial = nt_model::seq::serial_projection(&r.trace);
+        assert!(nt_model::wellformed::check_simple_behavior(&w.tree, &serial).is_ok());
+    }
+
+    #[test]
+    fn crash_object_plan_recovers_and_completes() {
+        let mut plan = FaultPlan::new("crash-test", "moss-rw");
+        plan.events.push(nt_faults::FaultEvent {
+            round: 3,
+            kind: FaultKind::CrashObject { obj: 0 },
+        });
+        plan.events.push(nt_faults::FaultEvent {
+            round: 6,
+            kind: FaultKind::CrashObject { obj: 1 },
+        });
+        let mut w = WorkloadSpec::default().generate();
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig {
+                fault_plan: Some(plan),
+                ..SimConfig::default()
+            },
+        );
+        assert!(r.quiescent);
+        assert_eq!(r.crash_recoveries, 2);
+        assert_eq!(r.plan_faults, 2);
+        assert_eq!(r.committed_top + r.aborted_top, w.top.len());
+        let serial = nt_model::seq::serial_projection(&r.trace);
+        assert!(nt_model::wellformed::check_simple_behavior(&w.tree, &serial).is_ok());
+    }
+
+    #[test]
+    fn abort_storm_plan_injects_from_fault_stream() {
+        let mut plan = FaultPlan::new("storm-test", "moss-rw");
+        plan.events.push(nt_faults::FaultEvent {
+            round: 2,
+            kind: FaultKind::AbortStorm {
+                rate: 0.9,
+                window: 30,
+            },
+        });
+        let spec = WorkloadSpec {
+            top_level: 12,
+            ..WorkloadSpec::default()
+        };
+        let mut w = spec.generate();
+        let r = run_generic(
+            &mut w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig {
+                fault_plan: Some(plan),
+                fault_seed: 5,
+                ..SimConfig::default()
+            },
+        );
+        assert!(r.quiescent);
+        assert!(r.injected_aborts > 0, "storm window injected aborts");
+        assert_eq!(r.plan_faults, 1);
+    }
+
+    #[test]
+    fn plan_runs_replay_identically() {
+        let mk = || {
+            let mut plan = FaultPlan::new("replay-test", "moss-rw");
+            plan.events.push(nt_faults::FaultEvent {
+                round: 2,
+                kind: FaultKind::OrphanSubtree { tx: 3 },
+            });
+            plan.events.push(nt_faults::FaultEvent {
+                round: 4,
+                kind: FaultKind::DelayInform { obj: 0, rounds: 5 },
+            });
+            plan.events.push(nt_faults::FaultEvent {
+                round: 5,
+                kind: FaultKind::DuplicateInform { obj: 1 },
+            });
+            SimConfig {
+                seed: 11,
+                fault_seed: 13,
+                fault_plan: Some(plan),
+                retry: Some(BackoffPolicy::default()),
+                ..SimConfig::default()
+            }
+        };
+        let spec = WorkloadSpec {
+            retry_attempts: 1,
+            ..WorkloadSpec::default()
+        };
+        let r1 = run_generic(
+            &mut spec.generate(),
+            Protocol::Moss(LockMode::ReadWrite),
+            &mk(),
+        );
+        let r2 = run_generic(
+            &mut spec.generate(),
+            Protocol::Moss(LockMode::ReadWrite),
+            &mk(),
+        );
+        assert_eq!(r1.trace, r2.trace);
+        assert_eq!(r1.plan_faults, r2.plan_faults);
+        assert_eq!(r1.retry.scheduled, r2.retry.scheduled);
     }
 
     #[test]

@@ -22,3 +22,7 @@ pub use chaos::ChaosObject;
 pub use executor::{run_generic, run_serial, Protocol, SimConfig, SimResult};
 pub use script::{ChildOrder, ScriptedTx};
 pub use workload::{OpMix, Workload, WorkloadSpec};
+
+// Fault-campaign vocabulary, re-exported so executor callers can build
+// plans and policies without naming `nt-faults` directly.
+pub use nt_faults::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan, RetryLedger, RetryStats};

@@ -12,10 +12,25 @@
 //! work for dead transactions. The theory does not require it (orphan
 //! activity is legal and the checkers tolerate it) but it keeps long
 //! simulations from accumulating orphan work.
+//!
+//! ## Retry-with-backoff
+//!
+//! Each child position is a *slot*. A slot normally holds one attempt (the
+//! original child); when the workload pre-materializes replica subtrees
+//! (`WorkloadSpec::retry_attempts`) and the executor attaches a
+//! [`BackoffPolicy`], an aborted attempt re-arms the slot with the next
+//! replica after a capped-exponential backoff measured in scheduler rounds
+//! — the paper's fault-containment story made executable: the parent
+//! retries a dead subtransaction as a fresh sibling instead of dying.
+//! Replicas must be pre-materialized because the naming tree is frozen
+//! behind an `Arc` before the run starts; an unused replica is simply never
+//! requested and leaves no trace in the behavior.
 
 use nt_automata::Component;
+use nt_faults::{BackoffPolicy, RetryOutcome, RetryRecord};
 use nt_model::{Action, TxId, TxTree, Value};
-use std::collections::BTreeSet;
+use nt_obs::{Event, TraceHandle};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How a scripted transaction schedules its children.
@@ -29,15 +44,46 @@ pub enum ChildOrder {
     Sequential,
 }
 
+/// The resolution state of one child slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Current attempt not yet requested, or requested and unreported.
+    Pending,
+    /// Some attempt committed.
+    Committed,
+    /// Every available attempt aborted (or retries are disabled).
+    Failed,
+}
+
+/// One child position: the original child plus optional pre-materialized
+/// retry replicas, tried in order.
+#[derive(Clone, Debug)]
+struct Slot {
+    /// `attempts[0]` is the original child; the rest are replicas.
+    attempts: Vec<TxId>,
+    /// Index of the attempt currently being tried.
+    cursor: usize,
+    /// Has the current attempt's `REQUEST_CREATE` fired?
+    requested: bool,
+    /// Resolution state.
+    state: SlotState,
+    /// Earliest round at which the current attempt may be requested
+    /// (backoff timer; 0 = immediately).
+    wake: u64,
+}
+
 /// A scripted (non-access) transaction automaton.
 pub struct ScriptedTx {
     tree: Arc<TxTree>,
     t: TxId,
+    /// Original children (slot order). Kept verbatim for inspection even
+    /// though `slots` is the operational state.
     children: Vec<TxId>,
     order: ChildOrder,
+    slots: Vec<Slot>,
+    /// Any attempt transaction (original or replica) → its slot index.
+    by_attempt: BTreeMap<TxId, usize>,
     created: bool,
-    requested: usize,
-    reported: BTreeSet<TxId>,
     commit_requested: bool,
     halted: bool,
     /// Whether to stop acting when an ancestor aborts (default true).
@@ -45,6 +91,13 @@ pub struct ScriptedTx {
     /// tolerates: orphans may keep running, and serial correctness for
     /// `T0` is unaffected.
     pub halt_on_abort: bool,
+    /// Retry policy; `None` disables retries even if replicas exist.
+    backoff: Option<BackoffPolicy>,
+    /// Current scheduler round (the executor ticks this; backoff timers
+    /// compare against it).
+    now: u64,
+    /// Observability sink for retry events (disabled by default).
+    trace: TraceHandle,
 }
 
 impl ScriptedTx {
@@ -52,17 +105,31 @@ impl ScriptedTx {
     /// be children of `t` in the tree).
     pub fn new(tree: Arc<TxTree>, t: TxId, children: Vec<TxId>, order: ChildOrder) -> Self {
         debug_assert!(children.iter().all(|&c| tree.parent(c) == Some(t)));
+        let slots: Vec<Slot> = children
+            .iter()
+            .map(|&c| Slot {
+                attempts: vec![c],
+                cursor: 0,
+                requested: false,
+                state: SlotState::Pending,
+                wake: 0,
+            })
+            .collect();
+        let by_attempt = children.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         ScriptedTx {
             tree,
             t,
             children,
             order,
+            slots,
+            by_attempt,
             created: false,
-            requested: 0,
-            reported: BTreeSet::new(),
             commit_requested: false,
             halted: false,
             halt_on_abort: true,
+            backoff: None,
+            now: 0,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -71,7 +138,7 @@ impl ScriptedTx {
         self.t
     }
 
-    /// The children this script will request, in request order.
+    /// The original children this script runs, in slot order.
     pub fn script_children(&self) -> &[TxId] {
         &self.children
     }
@@ -85,6 +152,126 @@ impl ScriptedTx {
     /// halted)?
     pub fn is_done(&self) -> bool {
         self.commit_requested || self.halted
+    }
+
+    /// Attach pre-materialized retry replicas: `chains[i]` lists the
+    /// replica transactions for child `i` (all children of `t`, tried in
+    /// order after the original aborts). Must be called before the run.
+    pub fn set_retry_chains(&mut self, chains: Vec<Vec<TxId>>) {
+        assert_eq!(chains.len(), self.slots.len(), "one chain per child slot");
+        for (i, chain) in chains.into_iter().enumerate() {
+            debug_assert!(chain.iter().all(|&r| self.tree.parent(r) == Some(self.t)));
+            for &r in &chain {
+                self.by_attempt.insert(r, i);
+            }
+            self.slots[i].attempts.extend(chain);
+        }
+    }
+
+    /// Enable retries with the given backoff policy (the executor calls
+    /// this when `SimConfig::retry` is set).
+    pub fn set_backoff(&mut self, policy: BackoffPolicy) {
+        self.backoff = Some(policy);
+    }
+
+    /// Attach an observability sink: retry scheduling / exhaustion events
+    /// are journaled through it.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Advance the logical clock (the executor calls this once per round,
+    /// before components fire).
+    pub fn tick_round(&mut self, round: u64) {
+        self.now = round;
+    }
+
+    /// The earliest pending backoff wake-up, if any slot is re-armed and
+    /// waiting. The executor consults this so a round in which only timers
+    /// are pending is not mistaken for quiescence.
+    pub fn next_wake(&self) -> Option<u64> {
+        if self.is_done() || !self.created {
+            return None;
+        }
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Pending && !s.requested && s.wake > 0)
+            .map(|s| s.wake)
+            .min()
+    }
+
+    /// The starvation/fairness ledger: one record per slot that carries
+    /// retry replicas. Empty when the workload pre-materialized none, and
+    /// empty for clients that never ran (`CREATE` never arrived — unused
+    /// replicas) or were killed mid-flight (an ancestor aborted and the
+    /// script halted): their pending slots are the *parent's* problem —
+    /// its slot for this transaction carries the retry — not starvation.
+    pub fn ledger_records(&self) -> Vec<RetryRecord> {
+        if !self.created || self.halted {
+            return Vec::new();
+        }
+        self.slots
+            .iter()
+            .filter(|s| s.attempts.len() > 1)
+            .map(|s| RetryRecord {
+                original: s.attempts[0].0,
+                retries: s.cursor as u32,
+                outcome: match s.state {
+                    SlotState::Committed => RetryOutcome::Committed,
+                    SlotState::Failed => RetryOutcome::Exhausted,
+                    SlotState::Pending => RetryOutcome::Unresolved,
+                },
+            })
+            .collect()
+    }
+
+    /// Is every slot resolved (committed, or out of attempts)?
+    fn all_resolved(&self) -> bool {
+        self.slots.iter().all(|s| s.state != SlotState::Pending)
+    }
+
+    /// Handle a report for attempt `c` of some slot.
+    fn on_report(&mut self, c: TxId, committed: bool) {
+        let Some(&i) = self.by_attempt.get(&c) else {
+            return;
+        };
+        let slot = &mut self.slots[i];
+        // Reports always concern the slot's current attempt: earlier
+        // attempts each reported exactly once before the cursor advanced,
+        // and later attempts have not been requested yet.
+        if slot.state != SlotState::Pending || slot.attempts[slot.cursor] != c {
+            return;
+        }
+        if committed {
+            slot.state = SlotState::Committed;
+            return;
+        }
+        let budget_left = slot.cursor + 1 < slot.attempts.len();
+        match &self.backoff {
+            Some(policy) if budget_left => {
+                slot.cursor += 1;
+                slot.requested = false;
+                let attempt = slot.cursor as u64;
+                slot.wake = self.now + policy.delay(slot.cursor as u32);
+                if self.trace.enabled() {
+                    self.trace.record(Event::RetryScheduled {
+                        orig: slot.attempts[0].0,
+                        replica: slot.attempts[slot.cursor].0,
+                        attempt,
+                        wake_round: slot.wake,
+                    });
+                }
+            }
+            backoff => {
+                slot.state = SlotState::Failed;
+                if backoff.is_some() && slot.attempts.len() > 1 && self.trace.enabled() {
+                    self.trace.record(Event::RetryExhausted {
+                        orig: slot.attempts[0].0,
+                        attempts: slot.cursor as u64,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -116,13 +303,18 @@ impl Component for ScriptedTx {
     fn apply(&mut self, a: &Action) {
         match a {
             Action::Create(t) if *t == self.t => self.created = true,
-            Action::ReportCommit(c, _) | Action::ReportAbort(c) => {
-                self.reported.insert(*c);
-            }
+            Action::ReportCommit(c, _) => self.on_report(*c, true),
+            Action::ReportAbort(c) => self.on_report(*c, false),
             Action::Abort(_) if self.halt_on_abort => {
                 self.halted = true;
             }
-            Action::RequestCreate(_) => self.requested += 1,
+            Action::RequestCreate(c) => {
+                if let Some(&i) = self.by_attempt.get(c) {
+                    let slot = &mut self.slots[i];
+                    debug_assert_eq!(slot.attempts[slot.cursor], *c, "only the cursor is offered");
+                    slot.requested = true;
+                }
+            }
             Action::RequestCommit(_, _) => self.commit_requested = true,
             _ => {}
         }
@@ -132,19 +324,36 @@ impl Component for ScriptedTx {
         if !self.created || self.halted || self.commit_requested {
             return;
         }
-        let can_request_next = match self.order {
-            ChildOrder::Parallel => self.requested < self.children.len(),
-            ChildOrder::Sequential => {
-                self.requested < self.children.len() && self.reported.len() == self.requested
+        // The next slot eligible for a REQUEST_CREATE, preserving the
+        // pre-retry semantics exactly when no replicas/backoff exist:
+        // slots are requested in order, one per fire, and Sequential
+        // additionally waits for every earlier slot to resolve.
+        let in_flight = self
+            .slots
+            .iter()
+            .any(|s| s.state == SlotState::Pending && s.requested);
+        let next = self
+            .slots
+            .iter()
+            .position(|s| s.state == SlotState::Pending && !s.requested && s.wake <= self.now);
+        if let Some(i) = next {
+            let ok = match self.order {
+                ChildOrder::Parallel => true,
+                // An earlier slot that is sleeping on a backoff timer (or
+                // still in flight) holds all later slots back.
+                ChildOrder::Sequential => {
+                    !in_flight
+                        && self.slots[..i]
+                            .iter()
+                            .all(|s| s.state != SlotState::Pending)
+                }
+            };
+            if ok {
+                let s = &self.slots[i];
+                buf.push(Action::RequestCreate(s.attempts[s.cursor]));
             }
-        };
-        if can_request_next {
-            buf.push(Action::RequestCreate(self.children[self.requested]));
         }
-        if self.t != TxId::ROOT
-            && self.requested == self.children.len()
-            && self.reported.len() == self.children.len()
-        {
+        if self.t != TxId::ROOT && self.all_resolved() {
             buf.push(Action::RequestCommit(self.t, Value::Ok));
         }
     }
@@ -230,5 +439,104 @@ mod tests {
             enabled(&root).is_empty(),
             "T0 models the environment and never finishes"
         );
+    }
+
+    /// Tree with one inner child that has one retry replica sibling.
+    fn retry_setup() -> (Arc<TxTree>, ScriptedTx, TxId, TxId, TxId) {
+        let mut tree = TxTree::new();
+        let a = tree.add_inner(TxId::ROOT);
+        let c = tree.add_inner(a);
+        let c_retry = tree.add_inner(a);
+        let tree = Arc::new(tree);
+        let mut tx = ScriptedTx::new(Arc::clone(&tree), a, vec![c], ChildOrder::Parallel);
+        tx.set_retry_chains(vec![vec![c_retry]]);
+        (tree, tx, a, c, c_retry)
+    }
+
+    #[test]
+    fn abort_rearms_slot_with_replica_after_backoff() {
+        let (_tree, mut tx, a, c, c_retry) = retry_setup();
+        tx.set_backoff(BackoffPolicy {
+            base_rounds: 3,
+            cap_rounds: 8,
+        });
+        tx.tick_round(1);
+        tx.apply(&Action::Create(a));
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c)]);
+        tx.apply(&Action::RequestCreate(c));
+        tx.apply(&Action::ReportAbort(c));
+        // Slot re-armed for round 1 + 3: silent until the clock reaches it.
+        assert_eq!(tx.next_wake(), Some(4));
+        assert!(enabled(&tx).is_empty(), "backoff timer holds the retry");
+        tx.tick_round(3);
+        assert!(enabled(&tx).is_empty());
+        tx.tick_round(4);
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c_retry)]);
+        tx.apply(&Action::RequestCreate(c_retry));
+        assert_eq!(tx.next_wake(), None);
+        tx.apply(&Action::ReportCommit(c_retry, Value::Ok));
+        assert_eq!(enabled(&tx), vec![Action::RequestCommit(a, Value::Ok)]);
+        let ledger = tx.ledger_records();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].retries, 1);
+        assert_eq!(ledger[0].outcome, RetryOutcome::Committed);
+    }
+
+    #[test]
+    fn exhausted_budget_resolves_the_slot_failed() {
+        let (_tree, mut tx, a, c, c_retry) = retry_setup();
+        tx.set_backoff(BackoffPolicy::default());
+        tx.tick_round(1);
+        tx.apply(&Action::Create(a));
+        tx.apply(&Action::RequestCreate(c));
+        tx.apply(&Action::ReportAbort(c));
+        tx.tick_round(100);
+        tx.apply(&Action::RequestCreate(c_retry));
+        tx.apply(&Action::ReportAbort(c_retry));
+        // Out of replicas: the slot fails, the parent still commits
+        // (matching the no-retry semantics for aborted children).
+        assert_eq!(enabled(&tx), vec![Action::RequestCommit(a, Value::Ok)]);
+        let ledger = tx.ledger_records();
+        assert_eq!(ledger[0].outcome, RetryOutcome::Exhausted);
+        assert_eq!(ledger[0].retries, 1);
+    }
+
+    #[test]
+    fn without_backoff_replicas_are_inert() {
+        let (_tree, mut tx, a, c, _c_retry) = retry_setup();
+        // Chains attached but no policy: original semantics.
+        tx.apply(&Action::Create(a));
+        tx.apply(&Action::RequestCreate(c));
+        tx.apply(&Action::ReportAbort(c));
+        assert_eq!(enabled(&tx), vec![Action::RequestCommit(a, Value::Ok)]);
+        assert_eq!(tx.next_wake(), None);
+    }
+
+    #[test]
+    fn sequential_retry_blocks_later_slots_until_resolution() {
+        let mut tree = TxTree::new();
+        let a = tree.add_inner(TxId::ROOT);
+        let c1 = tree.add_inner(a);
+        let c1r = tree.add_inner(a);
+        let c2 = tree.add_inner(a);
+        let tree = Arc::new(tree);
+        let mut tx = ScriptedTx::new(Arc::clone(&tree), a, vec![c1, c2], ChildOrder::Sequential);
+        tx.set_retry_chains(vec![vec![c1r], vec![]]);
+        tx.set_backoff(BackoffPolicy {
+            base_rounds: 2,
+            cap_rounds: 4,
+        });
+        tx.tick_round(1);
+        tx.apply(&Action::Create(a));
+        tx.apply(&Action::RequestCreate(c1));
+        tx.apply(&Action::ReportAbort(c1));
+        // c1's retry is pending: sequential order holds c2 back.
+        tx.tick_round(2);
+        assert!(enabled(&tx).is_empty());
+        tx.tick_round(3);
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c1r)]);
+        tx.apply(&Action::RequestCreate(c1r));
+        tx.apply(&Action::ReportCommit(c1r, Value::Ok));
+        assert_eq!(enabled(&tx), vec![Action::RequestCreate(c2)]);
     }
 }

@@ -12,6 +12,7 @@ use nt_model::{ObjId, Op, TxId, TxTree};
 use nt_serial::{ObjectTypes, RwRegister, SerialType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Which data type the workload's objects have, with its operation mix.
@@ -138,6 +139,13 @@ pub struct WorkloadSpec {
     /// If true, transactions keep acting after an ancestor aborts
     /// (orphan activity — legal per the paper, default off for liveness).
     pub orphan_activity: bool,
+    /// Retry budget per child slot: how many replica attempts to
+    /// pre-materialize for each child of each scripted transaction. The
+    /// naming tree is frozen behind an `Arc` before the run, so retries
+    /// must exist in the tree up front; an unused replica is never
+    /// requested and leaves no trace in the behavior. 0 (the default)
+    /// generates byte-identical trees to the pre-retry simulator.
+    pub retry_attempts: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -154,6 +162,7 @@ impl Default for WorkloadSpec {
             hotspot: 0.0,
             seed: 0,
             orphan_activity: false,
+            retry_attempts: 0,
         }
     }
 }
@@ -171,6 +180,10 @@ pub struct Workload {
     pub initials: RwInitials,
     /// The top-level transaction names.
     pub top: Vec<TxId>,
+    /// Retry chains per slot parent: `retry_chains[t][i]` lists the
+    /// pre-materialized replica transactions for child `i` of `t` (empty
+    /// map when `retry_attempts == 0`).
+    pub retry_chains: BTreeMap<TxId, Vec<Vec<TxId>>>,
 }
 
 impl WorkloadSpec {
@@ -188,6 +201,35 @@ impl WorkloadSpec {
             let t = self.gen_tx(&mut tree, TxId::ROOT, 0, &mut rng, &mut scripts);
             top.push(t);
         }
+        // Pre-materialize retry replicas: for every child slot of every
+        // scripted transaction (including T0's top-level slots), append
+        // `retry_attempts` verbatim copies of the child subtree as fresh
+        // siblings. No RNG is consumed, so retry_attempts == 0 keeps the
+        // tree byte-identical to the pre-retry generator.
+        let mut retry_chains: BTreeMap<TxId, Vec<Vec<TxId>>> = BTreeMap::new();
+        if self.retry_attempts > 0 {
+            let script_map: BTreeMap<TxId, (Vec<TxId>, ChildOrder)> = scripts
+                .iter()
+                .map(|(t, cs, o)| (*t, (cs.clone(), *o)))
+                .collect();
+            let mut replica_scripts = Vec::new();
+            let mut slot_parents: Vec<(TxId, Vec<TxId>)> = vec![(TxId::ROOT, top.clone())];
+            slot_parents.extend(scripts.iter().map(|(t, cs, _)| (*t, cs.clone())));
+            for (p, children) in slot_parents {
+                let chains: Vec<Vec<TxId>> = children
+                    .iter()
+                    .map(|&c| {
+                        (0..self.retry_attempts)
+                            .map(|_| {
+                                copy_subtree(&mut tree, c, p, &script_map, &mut replica_scripts)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                retry_chains.insert(p, chains);
+            }
+            scripts.extend(replica_scripts);
+        }
         let tree = Arc::new(tree);
         let mut clients = Vec::with_capacity(scripts.len() + 1);
         clients.push(ScriptedTx::new(
@@ -201,6 +243,11 @@ impl WorkloadSpec {
             c.halt_on_abort = !self.orphan_activity;
             clients.push(c);
         }
+        for c in clients.iter_mut() {
+            if let Some(chains) = retry_chains.get(&c.tx()) {
+                c.set_retry_chains(chains.clone());
+            }
+        }
         let types = ObjectTypes::uniform(self.objects, self.mix.serial_type());
         Workload {
             tree,
@@ -208,6 +255,7 @@ impl WorkloadSpec {
             types,
             initials: RwInitials::uniform(0),
             top,
+            retry_chains,
         }
     }
 
@@ -245,6 +293,32 @@ impl WorkloadSpec {
             ChildOrder::Parallel
         };
         scripts.push((t, children, order));
+        t
+    }
+}
+
+/// Deep-copy the subtree rooted at `src` as a fresh child of `parent`,
+/// appending a script (same child order as the original) for every copied
+/// inner transaction. Returns the copy's root.
+fn copy_subtree(
+    tree: &mut TxTree,
+    src: TxId,
+    parent: TxId,
+    script_map: &BTreeMap<TxId, (Vec<TxId>, ChildOrder)>,
+    out_scripts: &mut Vec<(TxId, Vec<TxId>, ChildOrder)>,
+) -> TxId {
+    if tree.is_access(src) {
+        let x = tree.object_of(src).expect("access names an object");
+        let op = tree.op_of(src).expect("access carries an op").clone();
+        tree.add_access(parent, x, op)
+    } else {
+        let t = tree.add_inner(parent);
+        let (children, order) = script_map.get(&src).expect("inner tx has a script").clone();
+        let copied: Vec<TxId> = children
+            .iter()
+            .map(|&c| copy_subtree(tree, c, t, script_map, out_scripts))
+            .collect();
+        out_scripts.push((t, copied, order));
         t
     }
 }
@@ -329,6 +403,57 @@ mod tests {
             .generate();
             assert!(w.tree.accesses().count() > 0);
             assert_eq!(w.types.len(), 4);
+        }
+    }
+
+    #[test]
+    fn retry_attempts_zero_is_byte_identical() {
+        let base = WorkloadSpec::default().generate();
+        let with_field = WorkloadSpec {
+            retry_attempts: 0,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        assert_eq!(base.tree.len(), with_field.tree.len());
+        assert!(with_field.retry_chains.is_empty());
+    }
+
+    #[test]
+    fn retry_replicas_mirror_their_originals() {
+        let spec = WorkloadSpec {
+            retry_attempts: 2,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        assert!(!w.retry_chains.is_empty());
+        for (&p, chains) in &w.retry_chains {
+            for (i, chain) in chains.iter().enumerate() {
+                assert_eq!(chain.len(), 2);
+                // Every replica is a fresh sibling of the original.
+                for &r in chain {
+                    assert_eq!(w.tree.parent(r), Some(p));
+                }
+                // Access replicas copy object and op verbatim.
+                let orig = w
+                    .clients
+                    .iter()
+                    .find(|c| c.tx() == p)
+                    .expect("slot parent has a client")
+                    .script_children()[i];
+                if w.tree.is_access(orig) {
+                    for &r in chain {
+                        assert_eq!(w.tree.object_of(r), w.tree.object_of(orig));
+                        assert_eq!(w.tree.op_of(r), w.tree.op_of(orig));
+                    }
+                }
+            }
+        }
+        // Replica inner transactions got scripts (clients) too.
+        let scripted: std::collections::BTreeSet<_> = w.clients.iter().map(|c| c.tx()).collect();
+        for t in w.tree.all_tx() {
+            if !w.tree.is_access(t) {
+                assert!(scripted.contains(&t), "inner tx {t:?} lacks a script");
+            }
         }
     }
 

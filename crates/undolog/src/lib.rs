@@ -85,6 +85,38 @@ impl UndoLogObject {
         self.trace = trace;
     }
 
+    /// Crash–restart recovery: reconstruct a `U_X` whose volatile state
+    /// was lost by replaying this object's slice of the recorded behavior
+    /// (its `CREATE`s, answered `REQUEST_COMMIT`s, and `INFORM_*` prefix,
+    /// in recorded order). The replay runs untraced; the result is
+    /// equivalent to the pre-crash automaton because `U_X` is a
+    /// deterministic function of its input/output history.
+    pub fn recovered_from(
+        tree: Arc<TxTree>,
+        x: ObjId,
+        ty: Arc<dyn SerialType>,
+        behavior: &[Action],
+    ) -> (Self, u64) {
+        let mut o = UndoLogObject::new(tree, x, ty);
+        let mut replayed = 0u64;
+        for a in behavior {
+            if o.is_input(a) || o.is_output(a) {
+                o.apply(a);
+                replayed += 1;
+            }
+        }
+        (o, replayed)
+    }
+
+    /// Drop the volatile replay cache and rebuild it from the durable
+    /// undo log — the undo-log discipline (§6.2) makes the cached state
+    /// fully derived data, so losing it is always recoverable. Used by
+    /// crash tests to model a partial crash where the log survives.
+    pub fn crash_volatile(&mut self) {
+        self.state = self.ty.initial();
+        self.rebuild_state();
+    }
+
     /// The current log (inspection).
     pub fn log(&self) -> &[LogEntry] {
         &self.operations
@@ -373,6 +405,56 @@ mod tests {
         assert_eq!(o.state(), &Value::Int(4));
         assert_eq!(o.log().len(), 1);
         assert_eq!(o.log()[0].tx, ub);
+    }
+
+    #[test]
+    fn crash_recovery_mid_subtransaction_with_live_orphans() {
+        // Crash while a is mid-flight: ua answered and committed (access-
+        // level), b's subtree orphaned by INFORM_ABORT(b) while ub is
+        // still created-but-unanswered (a live orphan). Recovery must
+        // reproduce the log, the visibility sets, the orphan bookkeeping,
+        // and the replayed state exactly.
+        let (tree, mut o, _a, b, ua, ub) = counter_setup();
+        let behavior = vec![
+            Action::Create(ua),
+            Action::RequestCommit(ua, Value::Ok),
+            Action::Create(ub),
+            Action::InformAbort(ObjId(0), b), // ub becomes a live orphan
+            Action::InformCommit(ObjId(0), ua),
+        ];
+        for a in &behavior {
+            o.apply(a);
+        }
+        let (rec, replayed) = UndoLogObject::recovered_from(
+            Arc::clone(&tree),
+            ObjId(0),
+            Arc::new(TestCounter),
+            &behavior,
+        );
+        assert_eq!(replayed, behavior.len() as u64);
+        assert_eq!(rec.log(), o.log());
+        assert_eq!(rec.state(), o.state());
+        assert_eq!(rec.state(), &Value::Int(3));
+        assert!(rec.is_local_orphan(ub), "orphan bookkeeping survives");
+        assert_eq!(enabled(&rec), enabled(&o));
+        assert!(
+            enabled(&rec).is_empty(),
+            "the orphaned add is never answered post-recovery"
+        );
+        assert_eq!(rec.waiting(), o.waiting());
+    }
+
+    #[test]
+    fn crash_volatile_rebuilds_cached_state_from_the_log() {
+        let (_tree, mut o, _a, _b, ua, ub) = counter_setup();
+        o.apply(&Action::Create(ua));
+        o.apply(&Action::RequestCommit(ua, Value::Ok));
+        o.apply(&Action::Create(ub));
+        o.apply(&Action::RequestCommit(ub, Value::Ok));
+        assert_eq!(o.state(), &Value::Int(7));
+        o.crash_volatile();
+        assert_eq!(o.state(), &Value::Int(7), "cache is derived from the log");
+        assert_eq!(o.log().len(), 2);
     }
 
     #[test]

@@ -82,6 +82,7 @@ fn main() {
         types,
         initials,
         top: bookings.clone(),
+        retry_chains: Default::default(),
     };
 
     let result = run_generic(

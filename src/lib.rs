@@ -24,6 +24,8 @@
 //!   future-work direction; experiment E11);
 //! * [`certifier`] — the construction as an *online scheduler*:
 //!   serialization-graph certification (experiment E12);
+//! * [`faults`] — deterministic fault-injection plans, retry backoff
+//!   policies, and fault-schedule minimization (experiment E14);
 //! * [`sim`] — workload generation and simulation.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -33,6 +35,7 @@ pub mod trace;
 pub use nt_automata as automata;
 pub use nt_certifier as certifier;
 pub use nt_datatypes as datatypes;
+pub use nt_faults as faults;
 pub use nt_generic as generic;
 pub use nt_locking as locking;
 pub use nt_model as model;

@@ -1,0 +1,374 @@
+//! Deterministic fault-injection campaigns (experiment E14's assertion
+//! set, run small enough for CI):
+//!
+//! - **Replayability**: the same (workload seed, scheduler seed, fault
+//!   seed, plan) quadruple yields a byte-identical `nt-obs` journal —
+//!   fault campaigns are repro cards, not flaky stress tests.
+//! - **Robustness**: under every plan in the shipped library, the
+//!   recoverable protocols (Moss locking, undo logging) stay 100%
+//!   serially correct, including crash–restart recovery mid-run.
+//! - **Deadlock retry**: the same seeds produce the same deadlock
+//!   victims, and with retry-with-backoff every victim's slot either
+//!   commits a replica or exhausts its budget — never livelocks.
+//! - **Discrimination**: chaos (no control, no recovery) under a fault
+//!   plan still gets *rejected* by the checker, and the minimizer shrinks
+//!   the offending plan to a small core that replays to the same verdict.
+
+use nested_sgt::faults::{minimize, BackoffPolicy, FaultPlan};
+use nested_sgt::locking::LockMode;
+use nested_sgt::sgt::{check_serial_correctness, ConflictSource};
+use nested_sgt::sim::{run_generic, OpMix, Protocol, SimConfig, SimResult, WorkloadSpec};
+use nt_obs::Recorder;
+
+/// The campaign workload: small, contended, with retry replicas.
+fn campaign_spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        seed,
+        top_level: 6,
+        objects: 3,
+        hotspot: 0.5,
+        mix: OpMix::ReadWrite { read_ratio: 0.5 },
+        retry_attempts: 1,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Run one campaign: fresh workload, the given plan, traced journal.
+fn campaign(
+    protocol: Protocol,
+    spec: &WorkloadSpec,
+    plan: &FaultPlan,
+    sim_seed: u64,
+    fault_seed: u64,
+) -> (SimResult, String, WorkloadSpec) {
+    let trace = Recorder::full();
+    let cfg = SimConfig {
+        seed: sim_seed,
+        fault_seed,
+        fault_plan: Some(plan.clone()),
+        retry: Some(BackoffPolicy::default()),
+        trace: trace.clone(),
+        ..SimConfig::default()
+    };
+    let mut w = spec.generate();
+    let r = run_generic(&mut w, protocol, &cfg);
+    let journal = trace.journal_jsonl().expect("full recorder keeps journal");
+    (r, journal, spec.clone())
+}
+
+#[test]
+fn same_seeds_and_plan_give_byte_identical_journals() {
+    for plan in FaultPlan::library(17) {
+        let spec = campaign_spec(7);
+        let (r1, j1, _) = campaign(Protocol::Moss(LockMode::ReadWrite), &spec, &plan, 3, 17);
+        let (r2, j2, _) = campaign(Protocol::Moss(LockMode::ReadWrite), &spec, &plan, 3, 17);
+        assert_eq!(
+            j1, j2,
+            "plan {:?}: same seeds must replay byte-identically",
+            plan.name
+        );
+        assert_eq!(r1.trace, r2.trace);
+        assert_eq!(r1.plan_faults, r2.plan_faults);
+        // And the journal is schema-clean, including the fault events.
+        if let Err((line, msg)) = nt_obs::schema::validate_journal(&j1) {
+            panic!(
+                "plan {:?}: schema violation at line {line}: {msg}",
+                plan.name
+            );
+        }
+    }
+}
+
+#[test]
+fn recoverable_protocols_stay_correct_under_every_library_plan() {
+    for plan in FaultPlan::library(29) {
+        for (protocol, source_rw) in [
+            (Protocol::Moss(LockMode::ReadWrite), true),
+            (Protocol::Undo, false),
+        ] {
+            let spec = campaign_spec(11);
+            let (r, _, w_spec) = campaign(protocol, &spec, &plan, 5, 29);
+            assert!(
+                r.quiescent,
+                "plan {:?} / {}: campaign must finish",
+                plan.name,
+                protocol.name()
+            );
+            assert!(!r.watchdog_fired);
+            let w = w_spec.generate();
+            let verdict = if source_rw {
+                check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite)
+            } else {
+                check_serial_correctness(
+                    &w.tree,
+                    &r.trace,
+                    &w.types,
+                    ConflictSource::Types(&w.types),
+                )
+            };
+            assert!(
+                verdict.is_serially_correct(),
+                "plan {:?} / {}: faults must never break serial correctness \
+                 of a recoverable protocol: {verdict:?}",
+                plan.name,
+                protocol.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_restart_campaigns_recover_both_protocols() {
+    // The crash-objects library plan actually crashes objects mid-run on
+    // both recoverable protocols, and the recovered run passes the full
+    // checker (asserted above); here we assert the recovery machinery
+    // itself engaged.
+    let plan = FaultPlan::library(29)
+        .into_iter()
+        .find(|p| p.name == "crash-objects")
+        .expect("library ships a crash plan");
+    for protocol in [Protocol::Moss(LockMode::ReadWrite), Protocol::Undo] {
+        let spec = campaign_spec(11);
+        let (r, journal, _) = campaign(protocol, &spec, &plan, 5, 29);
+        assert_eq!(
+            r.crash_recoveries,
+            3,
+            "{}: all three crash events must recover",
+            protocol.name()
+        );
+        assert!(journal.contains("\"type\":\"object_crashed\""));
+        assert!(journal.contains("\"type\":\"object_recovered\""));
+    }
+}
+
+#[test]
+fn crash_mid_subtransaction_with_live_orphans_still_recovers() {
+    // The hardest recovery case: a subtree is orphaned first (its clients
+    // keep running against a dead ancestor), and only then do objects
+    // crash and rebuild from the recorded prefix — with the orphans still
+    // live. Both recoverable protocols must come back and pass the full
+    // checker.
+    let mut plan = FaultPlan::new("orphan-then-crash", "any");
+    plan.events = vec![
+        nested_sgt::faults::FaultEvent {
+            round: 3,
+            kind: nested_sgt::faults::FaultKind::OrphanSubtree { tx: 3 },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 5,
+            kind: nested_sgt::faults::FaultKind::CrashObject { obj: 0 },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 6,
+            kind: nested_sgt::faults::FaultKind::CrashObject { obj: 1 },
+        },
+    ];
+    for (protocol, source_rw) in [
+        (Protocol::Moss(LockMode::ReadWrite), true),
+        (Protocol::Undo, false),
+    ] {
+        let spec = campaign_spec(11);
+        let (r, journal, w_spec) = campaign(protocol, &spec, &plan, 5, 13);
+        assert!(r.quiescent, "{}: must finish", protocol.name());
+        assert_eq!(
+            r.crash_recoveries,
+            2,
+            "{}: both crashes must recover",
+            protocol.name()
+        );
+        let orphan_line = journal
+            .lines()
+            .position(|l| l.contains("\"kind\":\"orphan_subtree\""))
+            .expect("orphan fault applied");
+        let crash_line = journal
+            .lines()
+            .position(|l| l.contains("\"type\":\"object_crashed\""))
+            .expect("crash applied");
+        assert!(
+            orphan_line < crash_line,
+            "{}: the orphaning must precede the crash for this scenario to bite",
+            protocol.name()
+        );
+        let w = w_spec.generate();
+        let verdict = if source_rw {
+            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite)
+        } else {
+            check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::Types(&w.types))
+        };
+        assert!(
+            verdict.is_serially_correct(),
+            "{}: recovery with live orphans must stay correct: {verdict:?}",
+            protocol.name()
+        );
+    }
+}
+
+/// A contended exclusive-lock workload that deterministically deadlocks.
+fn deadlock_spec(seed: u64, retry_attempts: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        seed,
+        top_level: 10,
+        objects: 2,
+        hotspot: 0.5,
+        sequential_prob: 0.8,
+        mix: OpMix::ReadWrite { read_ratio: 0.0 },
+        retry_attempts,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn same_seed_same_deadlock_victims() {
+    let run = || {
+        let trace = Recorder::full();
+        let cfg = SimConfig {
+            seed: 2,
+            trace: trace.clone(),
+            ..SimConfig::default()
+        };
+        let mut w = deadlock_spec(1, 0).generate();
+        let r = run_generic(&mut w, Protocol::Moss(LockMode::Exclusive), &cfg);
+        let victims: Vec<String> = trace
+            .journal_jsonl()
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("\"type\":\"deadlock_victim\""))
+            .map(str::to_owned)
+            .collect();
+        (r.deadlock_victims, victims)
+    };
+    let (n1, v1) = run();
+    let (n2, v2) = run();
+    assert!(n1 > 0, "the pinned seed must deadlock");
+    assert_eq!(n1, n2);
+    assert_eq!(v1, v2, "victim selection is part of the replay contract");
+}
+
+#[test]
+fn every_victim_retry_commits_or_exhausts_under_pinned_plan() {
+    // Deadlock victims + an abort-storm plan on top: with retries enabled,
+    // the run must quiesce (no livelock) and every retried slot must end
+    // Committed or Exhausted — the ledger tolerates no Unresolved slot.
+    let plan = FaultPlan::library(41)
+        .into_iter()
+        .find(|p| p.name == "abort-storm")
+        .expect("library ships a storm plan");
+    let trace = Recorder::full();
+    let cfg = SimConfig {
+        seed: 2,
+        fault_seed: 41,
+        fault_plan: Some(plan),
+        retry: Some(BackoffPolicy::default()),
+        trace: trace.clone(),
+        ..SimConfig::default()
+    };
+    let mut w = deadlock_spec(1, 2).generate();
+    let r = run_generic(&mut w, Protocol::Moss(LockMode::Exclusive), &cfg);
+    assert!(r.quiescent, "retry-with-backoff must not livelock");
+    assert!(!r.watchdog_fired);
+    assert!(r.retry.scheduled > 0, "aborts must have triggered retries");
+    assert!(
+        r.retry_ledger.all_resolved(),
+        "every retried slot commits or exhausts: {:?}",
+        r.retry_ledger
+    );
+    assert!(
+        r.retry.salvaged + r.retry.exhausted > 0,
+        "retried slots must show up in the aggregate stats"
+    );
+}
+
+/// The pinned chaos counterexample workload: gentle enough that chaos
+/// *passes* the checker with no faults, so the fault plan is load-bearing.
+fn chaos_counterexample_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 5,
+        top_level: 3,
+        objects: 2,
+        hotspot: 0.0,
+        mix: OpMix::ReadWrite { read_ratio: 0.6 },
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Does chaos violate serial correctness under this plan (pinned seeds)?
+fn chaos_fails_under(plan: &FaultPlan) -> bool {
+    let mut w = chaos_counterexample_spec().generate();
+    let cfg = SimConfig {
+        seed: 2,
+        fault_seed: 9,
+        fault_plan: Some(plan.clone()),
+        ..SimConfig::default()
+    };
+    let r = run_generic(&mut w, Protocol::Chaos, &cfg);
+    !check_serial_correctness(&w.tree, &r.trace, &w.types, ConflictSource::ReadWrite)
+        .is_serially_correct()
+}
+
+#[test]
+fn chaos_violation_minimizes_to_a_small_replayable_plan() {
+    // With no faults this workload is tame enough that even chaos passes
+    // the checker — the violation below is *caused* by the plan.
+    assert!(
+        !chaos_fails_under(&FaultPlan::new("empty", "chaos")),
+        "baseline chaos run must pass so the faults are load-bearing"
+    );
+    let mut full = FaultPlan::new("chaos-campaign", "chaos");
+    full.sim_seed = 2;
+    full.fault_seed = 9;
+    full.events = vec![
+        nested_sgt::faults::FaultEvent {
+            round: 2,
+            kind: nested_sgt::faults::FaultKind::AbortStorm {
+                rate: 0.6,
+                window: 10,
+            },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 3,
+            kind: nested_sgt::faults::FaultKind::AbortTx { tx: 5 },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 4,
+            kind: nested_sgt::faults::FaultKind::OrphanSubtree { tx: 3 },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 5,
+            kind: nested_sgt::faults::FaultKind::DelayInform { obj: 0, rounds: 4 },
+        },
+        nested_sgt::faults::FaultEvent {
+            round: 6,
+            kind: nested_sgt::faults::FaultKind::DuplicateInform { obj: 1 },
+        },
+    ];
+    assert!(
+        chaos_fails_under(&full),
+        "chaos under the campaign plan must violate serial correctness"
+    );
+    let minimal = minimize(&full, chaos_fails_under);
+    assert!(
+        (1..=4).contains(&minimal.events.len()),
+        "minimized chaos counterexample must be small but non-empty, got {}",
+        minimal.events.len()
+    );
+    // The minimized plan is a self-contained repro card: it round-trips
+    // through JSON and replays to the same verdict.
+    let reloaded = FaultPlan::from_json(&minimal.to_json()).expect("repro card parses");
+    assert!(
+        chaos_fails_under(&reloaded),
+        "minimized plan must replay to the same verdict"
+    );
+}
+
+#[test]
+fn committed_golden_chaos_plan_still_reproduces_its_violation() {
+    // The minimized counterexample is committed as a golden artifact (CI
+    // re-validates it): parse it and replay to the expected verdict.
+    let golden = include_str!("golden/chaos_min.plan.json");
+    let plan = FaultPlan::from_json(golden.trim()).expect("golden plan parses");
+    assert_eq!(plan.expect.as_deref(), Some("violation"));
+    assert!(
+        chaos_fails_under(&plan),
+        "golden chaos plan must still reproduce its violation"
+    );
+}
