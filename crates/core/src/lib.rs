@@ -73,9 +73,9 @@ pub mod relations;
 pub mod witness;
 
 pub use checker::{
-    appropriate_return_values, check_current_and_safe, check_serial_correctness,
+    appropriate_return_values, certify_recorded, check_current_and_safe, check_serial_correctness,
     check_serial_correctness_traced, sg_is_acyclic, view, visible_operations, Inappropriate,
-    RwConditionFailure, Verdict,
+    RecordedCertificate, RwConditionFailure, Verdict,
 };
 pub use classical::{build_classical_sg, ClassicalSg};
 pub use graph::{EdgeKind, SerializationGraph, SgEdge};

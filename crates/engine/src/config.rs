@@ -1,0 +1,273 @@
+//! Engine configuration: thread-pool size, lock-table sharding, deadlock
+//! detector cadence, and retry/backoff wiring — with a JSON form so configs
+//! can be linted statically (`nt-lint engine`).
+
+use nt_faults::BackoffPolicy;
+use nt_obs::json::{Json, JsonObj};
+
+/// Configuration of one threaded engine run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads executing top-level transactions (must be ≥ 1).
+    pub threads: usize,
+    /// Lock-table shards; must be a power of two (objects map to shards by
+    /// `object_id & (shards - 1)`).
+    pub shards: usize,
+    /// Deadlock-detector scan period in microseconds (must be > 0).
+    pub detector_period_us: u64,
+    /// Retry policy for deadlock victims. `None` disables retries even when
+    /// the workload pre-materialized replica chains (they stay inert, like
+    /// the simulator without `SimConfig::retry`).
+    pub backoff: Option<BackoffPolicy>,
+    /// Wall-clock microseconds one backoff "round" maps to (must be > 0
+    /// when `backoff` is set): the policy's round counts become real
+    /// sleeps.
+    pub backoff_round_us: u64,
+    /// Simulated storage latency per access in microseconds, applied while
+    /// the access holds its lock (0 = none). With it the workload is
+    /// latency-bound, so the throughput benchmark measures the engine's
+    /// ability to overlap access latency across workers — meaningful even
+    /// on a single hardware core.
+    pub access_latency_us: u64,
+    /// Watchdog: the detector thread aborts all in-flight work after this
+    /// many wall-clock milliseconds (must be > 0). A run that trips it is
+    /// reported with `gave_up = true` and still certifies (aborted work is
+    /// invisible to `T0`).
+    pub max_wall_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 4,
+            shards: 16,
+            detector_period_us: 200,
+            backoff: Some(BackoffPolicy::default()),
+            backoff_round_us: 50,
+            access_latency_us: 0,
+            max_wall_ms: 30_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Every rule violation in this config, as human-readable sentences.
+    /// Empty means the config is runnable. `nt-lint`'s `engine` pass turns
+    /// these into findings; [`run_plan`](crate::run_plan) refuses configs
+    /// with any problem.
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.threads == 0 {
+            out.push("threads must be >= 1".to_string());
+        }
+        if self.shards == 0 || !self.shards.is_power_of_two() {
+            out.push(format!(
+                "shards must be a nonzero power of two (got {})",
+                self.shards
+            ));
+        }
+        if self.detector_period_us == 0 {
+            out.push("detector_period_us must be > 0 (a zero-period detector spins)".to_string());
+        }
+        if let Some(b) = &self.backoff {
+            if self.backoff_round_us == 0 {
+                out.push("backoff_round_us must be > 0 when a backoff policy is set".to_string());
+            }
+            if b.base_rounds == 0 {
+                out.push("backoff.base_rounds must be >= 1".to_string());
+            }
+            if b.cap_rounds < b.base_rounds {
+                out.push(format!(
+                    "backoff.cap_rounds ({}) must be >= base_rounds ({})",
+                    b.cap_rounds, b.base_rounds
+                ));
+            }
+        }
+        if self.max_wall_ms == 0 {
+            out.push("max_wall_ms must be > 0 (the watchdog is the liveness backstop)".to_string());
+        }
+        out
+    }
+
+    /// `Ok` iff [`problems`](Self::problems) is empty.
+    pub fn validate(&self) -> Result<(), String> {
+        let problems = self.problems();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
+    /// The named configurations the workspace actually runs (benchmarks and
+    /// CI smoke). `nt-lint`'s `engine` pass lints all of them, so the
+    /// shipped configs are exactly the statically validated ones.
+    pub fn presets() -> Vec<(&'static str, EngineConfig)> {
+        vec![
+            ("default", EngineConfig::default()),
+            (
+                "bench-partitioned",
+                EngineConfig {
+                    access_latency_us: 300,
+                    ..EngineConfig::default()
+                },
+            ),
+            (
+                "bench-contended",
+                EngineConfig {
+                    access_latency_us: 100,
+                    shards: 4,
+                    ..EngineConfig::default()
+                },
+            ),
+            (
+                "ci-smoke",
+                EngineConfig {
+                    threads: 4,
+                    shards: 8,
+                    ..EngineConfig::default()
+                },
+            ),
+        ]
+    }
+
+    /// Serialize to the JSON document form `from_json` parses.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("threads", self.threads as u64)
+            .num("shards", self.shards as u64)
+            .num("detector_period_us", self.detector_period_us);
+        match &self.backoff {
+            Some(b) => {
+                let mut bo = JsonObj::new();
+                bo.num("base_rounds", b.base_rounds)
+                    .num("cap_rounds", b.cap_rounds);
+                o.raw("backoff", bo.build());
+            }
+            None => {
+                o.raw("backoff", "null".to_string());
+            }
+        }
+        o.num("backoff_round_us", self.backoff_round_us)
+            .num("access_latency_us", self.access_latency_us)
+            .num("max_wall_ms", self.max_wall_ms);
+        o.build()
+    }
+
+    /// Parse an engine config from its JSON document form. Structural
+    /// errors (bad JSON, missing or unknown keys, wrong types) are `Err`;
+    /// semantic rules are *not* applied here — call
+    /// [`problems`](Self::problems) or [`validate`](Self::validate) on the
+    /// result.
+    pub fn from_json(doc: &str) -> Result<EngineConfig, String> {
+        let parsed = Json::parse(doc)?;
+        let Json::Obj(map) = &parsed else {
+            return Err("engine config must be a JSON object".to_string());
+        };
+        const KNOWN: [&str; 7] = [
+            "threads",
+            "shards",
+            "detector_period_us",
+            "backoff",
+            "backoff_round_us",
+            "access_latency_us",
+            "max_wall_ms",
+        ];
+        for key in map.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!("unknown engine config key {key:?}"));
+            }
+        }
+        let uint = |key: &str| -> Result<u64, String> {
+            let v = parsed
+                .get(key)
+                .ok_or_else(|| format!("missing required key {key:?}"))?;
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("key {key:?} must be a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("key {key:?} must be a non-negative integer"));
+            }
+            Ok(n as u64)
+        };
+        let backoff = match parsed.get("backoff") {
+            None | Some(Json::Null) => None,
+            Some(b @ Json::Obj(fields)) => {
+                for key in fields.keys() {
+                    if key != "base_rounds" && key != "cap_rounds" {
+                        return Err(format!("unknown backoff key {key:?}"));
+                    }
+                }
+                let field = |key: &str| -> Result<u64, String> {
+                    let n = b
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("backoff.{key} must be a number"))?;
+                    Ok(n as u64)
+                };
+                Some(BackoffPolicy {
+                    base_rounds: field("base_rounds")?,
+                    cap_rounds: field("cap_rounds")?,
+                })
+            }
+            Some(_) => return Err("backoff must be an object or null".to_string()),
+        };
+        Ok(EngineConfig {
+            threads: uint("threads")? as usize,
+            shards: uint("shards")? as usize,
+            detector_period_us: uint("detector_period_us")?,
+            backoff,
+            backoff_round_us: uint("backoff_round_us")?,
+            access_latency_us: uint("access_latency_us")?,
+            max_wall_ms: uint("max_wall_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_presets_are_clean() {
+        for (name, cfg) in EngineConfig::presets() {
+            assert!(cfg.problems().is_empty(), "{name}: {:?}", cfg.problems());
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for (_, cfg) in EngineConfig::presets() {
+            let doc = cfg.to_json();
+            assert_eq!(EngineConfig::from_json(&doc).expect("round trip"), cfg);
+        }
+        let none = EngineConfig {
+            backoff: None,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            EngineConfig::from_json(&none.to_json()).expect("null backoff"),
+            none
+        );
+    }
+
+    #[test]
+    fn bad_configs_are_flagged() {
+        let bad = EngineConfig {
+            threads: 0,
+            shards: 12,
+            detector_period_us: 0,
+            max_wall_ms: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(bad.problems().len(), 4);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        assert!(EngineConfig::from_json("{\"threads\":1,\"bogus\":2}").is_err());
+        assert!(EngineConfig::from_json("[1,2]").is_err());
+        assert!(EngineConfig::from_json("{\"threads\":\"two\"}").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Concurrent history recorder: per-worker append-only buffers stamped from
+//! one global sequence counter, merged into a single behavior after the
+//! run.
+//!
+//! Correctness of the merged history rests on one property: if action `A`
+//! causally precedes action `B` — same worker in program order, or across
+//! workers through a lock-shard mutex — then `stamp(A) < stamp(B)`. Both
+//! cases follow from coherence of the single atomic counter: the later
+//! `fetch_add` necessarily observes a larger value, regardless of memory
+//! ordering, so `Relaxed` suffices. Object-level actions (`REQUEST_COMMIT`
+//! answers, `INFORM_*`) are stamped *while the owning shard mutex is held*,
+//! which linearizes them per object exactly as the lock table serialized
+//! the state changes they describe.
+
+use nt_model::Action;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The global sequence counter every stamp is drawn from.
+#[derive(Debug, Default)]
+pub struct SeqClock(AtomicU64);
+
+impl SeqClock {
+    /// A fresh clock at zero.
+    pub fn new() -> Self {
+        SeqClock(AtomicU64::new(0))
+    }
+
+    /// Draw the next stamp.
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stamps issued so far.
+    pub fn issued(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's (or the main thread's, or a shard-stamped) action buffer.
+#[derive(Debug, Default)]
+pub struct WorkerLog {
+    entries: Vec<(u64, Action)>,
+}
+
+impl WorkerLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        WorkerLog::default()
+    }
+
+    /// Stamp and append one action.
+    pub fn record(&mut self, clock: &SeqClock, action: Action) {
+        self.entries.push((clock.next(), action));
+    }
+
+    /// Actions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Merge per-worker logs into one behavior, ordered by stamp. Stamps are
+/// unique (one `fetch_add` each), so the order is total.
+pub fn merge(logs: impl IntoIterator<Item = WorkerLog>) -> Vec<Action> {
+    let mut all: Vec<(u64, Action)> = logs.into_iter().flat_map(|l| l.entries).collect();
+    all.sort_by_key(|&(s, _)| s);
+    all.into_iter().map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_model::TxId;
+
+    #[test]
+    fn merge_orders_by_stamp_across_logs() {
+        let clock = SeqClock::new();
+        let mut a = WorkerLog::new();
+        let mut b = WorkerLog::new();
+        a.record(&clock, Action::Create(TxId(1)));
+        b.record(&clock, Action::Create(TxId(2)));
+        a.record(&clock, Action::Create(TxId(3)));
+        b.record(&clock, Action::Create(TxId(4)));
+        let merged = merge([a, b]);
+        assert_eq!(
+            merged,
+            vec![
+                Action::Create(TxId(1)),
+                Action::Create(TxId(2)),
+                Action::Create(TxId(3)),
+                Action::Create(TxId(4)),
+            ]
+        );
+        assert_eq!(clock.issued(), 4);
+    }
+}

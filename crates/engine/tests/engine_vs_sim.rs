@@ -1,0 +1,66 @@
+//! Cross-validation: the same generated workload runs through the
+//! single-threaded simulator (`nt-sim`'s Moss automata under the logical
+//! scheduler) and through the threaded engine, and *both* histories pass
+//! the same Theorem 17 checker. The executors share nothing but the
+//! workload and `moss_precondition`, so agreement here is evidence that
+//! the engine's blocking/inheritance/abort paths implement the same
+//! protocol the proofs are about.
+
+use nt_engine::{run_workload, EngineConfig};
+use nt_locking::LockMode;
+use nt_sgt::{check_serial_correctness, ConflictSource};
+use nt_sim::{run_generic, Protocol, SimConfig, WorkloadSpec};
+
+#[test]
+fn same_workload_certifies_under_simulator_and_engine() {
+    for seed in [3, 21] {
+        let spec = WorkloadSpec {
+            top_level: 8,
+            objects: 3,
+            hotspot: 0.5,
+            seed,
+            ..WorkloadSpec::default()
+        };
+
+        // Simulator path: logical clock, automata, random interleaving.
+        let mut sim_w = spec.generate();
+        let sim = run_generic(
+            &mut sim_w,
+            Protocol::Moss(LockMode::ReadWrite),
+            &SimConfig::default(),
+        );
+        assert!(sim.quiescent, "seed {seed}: simulator must quiesce");
+        let sim_verdict = check_serial_correctness(
+            &sim_w.tree,
+            &sim.trace,
+            &sim_w.types,
+            ConflictSource::ReadWrite,
+        );
+        assert!(
+            sim_verdict.is_serially_correct(),
+            "seed {seed}: simulator history must certify, got {}",
+            sim_verdict.name()
+        );
+
+        // Engine path: OS threads, condvars, wall-clock time — same tree
+        // (the generator is deterministic per spec), same checker.
+        let eng_w = spec.generate();
+        assert_eq!(
+            sim_w.tree.len(),
+            eng_w.tree.len(),
+            "generation must be deterministic"
+        );
+        let r = run_workload(&eng_w, &EngineConfig::default()).expect("engine run");
+        assert!(!r.gave_up, "seed {seed}: engine watchdog must not fire");
+        let cert = r.certify();
+        assert!(
+            cert.is_serially_correct(),
+            "seed {seed}: engine history must certify, got {}",
+            cert.verdict.name()
+        );
+
+        // Both executors resolve every top-level slot.
+        assert_eq!(sim.committed_top + sim.aborted_top, sim_w.top.len());
+        assert_eq!(r.committed_top + r.aborted_top, eng_w.top.len());
+    }
+}

@@ -1,7 +1,8 @@
 //! Static soundness analyzer for the workspace.
 //!
 //! ```text
-//! nt-lint [--json] [--plant-defect] [types|workloads|plans|all] [plan.json ...]
+//! nt-lint [--json] [--plant-defect] [types|workloads|plans|engine|all]
+//!         [plan.json ...] [config.engine.json ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -12,6 +13,10 @@
 //!   that run them.
 //! * `plans` — semantically lint fault-plan repro cards: the shipped
 //!   campaign library always, plus any plan JSON files given as arguments.
+//! * `engine` — semantically lint threaded-engine configurations: the
+//!   shipped presets always, plus any `*.engine.json` files given as
+//!   arguments (threads ≥ 1, power-of-two shards, live detector period,
+//!   coherent backoff/watchdog wiring).
 //! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
@@ -23,7 +28,7 @@
 //! 2 = usage error.
 
 use nt_lint::selftest::BrokenCounter;
-use nt_lint::{plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
+use nt_lint::{engine, plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
 use nt_locking::LockMode;
 use nt_serial::SerialType;
 use nt_sim::{OpMix, Protocol, WorkloadSpec};
@@ -36,11 +41,13 @@ enum Pass {
     Types,
     Workloads,
     Plans,
+    Engine,
 }
 
 fn usage(program: &str) {
     eprintln!(
-        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|all] [plan.json ...]"
+        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|engine|all] \
+         [plan.json ...] [config.engine.json ...]"
     );
 }
 
@@ -138,6 +145,22 @@ fn run_plans(report: &mut Report, files: &[String]) {
     }
 }
 
+fn run_engine(report: &mut Report, files: &[String]) {
+    // The shipped presets must themselves be well-formed.
+    report.extend(engine::lint_presets());
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => report.extend(engine::lint_config_json(path, &doc)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "engine",
+                format!("engine {path}"),
+                format!("cannot read engine config file: {e}"),
+            )),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let program = args.first().map(String::as_str).unwrap_or("nt-lint");
@@ -145,6 +168,7 @@ fn main() -> ExitCode {
     let mut plant_defect = false;
     let mut pass = Pass::All;
     let mut plan_files: Vec<String> = Vec::new();
+    let mut engine_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
@@ -152,10 +176,14 @@ fn main() -> ExitCode {
             "types" => pass = Pass::Types,
             "workloads" => pass = Pass::Workloads,
             "plans" => pass = Pass::Plans,
+            "engine" => pass = Pass::Engine,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
                 return ExitCode::SUCCESS;
+            }
+            other if other.ends_with(".engine.json") && !other.starts_with('-') => {
+                engine_files.push(other.to_string());
             }
             other if other.ends_with(".json") && !other.starts_with('-') => {
                 plan_files.push(other.to_string());
@@ -176,6 +204,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Plans {
         run_plans(&mut report, &plan_files);
+    }
+    if pass == Pass::All || pass == Pass::Engine {
+        run_engine(&mut report, &engine_files);
     }
     if json {
         print!("{}", report.render_json());

@@ -19,11 +19,17 @@
 //!    clock points, no fault targeting T0, crashes only against protocols
 //!    with a recovery discipline, sane storm/delay windows. Parsing is
 //!    structural on purpose; this is the pass that makes a plan *valid*.
+//! 4. **Engine-config well-formedness** ([`engine`]): semantic checks on
+//!    [`nt_engine::EngineConfig`] documents and the shipped presets —
+//!    `threads ≥ 1`, power-of-two sharding, a live deadlock detector, and
+//!    coherent backoff/watchdog wiring. Same structural-parse /
+//!    semantic-lint split as fault plans.
 //!
 //! The `nt-lint` binary aggregates all of it into one human or JSON report
 //! and exits nonzero iff any error-severity finding exists, making it
 //! usable as a CI gate.
 
+pub mod engine;
 pub mod plan;
 pub mod report;
 pub mod soundness;

@@ -1,0 +1,90 @@
+//! Golden tests for the `engine` pass: the shipped presets lint clean
+//! (library- and CLI-level), and the committed malformed fixture — which
+//! *parses* structurally — is rejected with one finding per broken semantic
+//! rule and a nonzero exit.
+
+use nt_lint::{engine, Severity};
+use std::process::Command;
+
+#[test]
+fn cli_engine_pass_is_clean_on_the_shipped_presets() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .arg("engine")
+        .output()
+        .expect("spawn nt-lint");
+    assert!(
+        out.status.success(),
+        "the shipped engine presets must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"));
+}
+
+#[test]
+fn cli_rejects_the_golden_malformed_engine_config() {
+    // The committed fixture parses (structural validity) but breaks every
+    // semantic rule at once: zero threads, non-power-of-two shards, a dead
+    // detector, inverted backoff bounds with a zero round duration, and no
+    // watchdog. The `engine` pass must flag each and fail the run.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.engine.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["engine", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "malformed engine config must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("threads must be >= 1"), "{stdout}");
+    assert!(stdout.contains("power of two"), "{stdout}");
+    assert!(stdout.contains("detector_period_us"), "{stdout}");
+    assert!(stdout.contains("backoff_round_us"), "{stdout}");
+    assert!(stdout.contains("cap_rounds"), "{stdout}");
+    assert!(stdout.contains("max_wall_ms"), "{stdout}");
+}
+
+#[test]
+fn engine_files_route_to_the_engine_pass_not_the_plan_pass() {
+    // A `*.engine.json` argument must be linted as an engine config even
+    // though it also ends in `.json` — the plan pass would misparse it.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.engine.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["engine", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("not a valid plan document"), "{stdout}");
+    assert!(stdout.contains("engine"), "{stdout}");
+}
+
+#[test]
+fn cli_flags_unreadable_engine_files() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["engine", "/nonexistent/nowhere.engine.json"])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cannot read engine config file"));
+}
+
+#[test]
+fn committed_fixture_matches_the_library_verdict() {
+    // The fixture the CLI test gates on must stay in sync with the library
+    // pass: same document, same findings.
+    let doc = include_str!("fixtures/malformed.engine.json");
+    let fs = engine::lint_config_json("malformed.engine.json", doc);
+    let errors: Vec<_> = fs
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert_eq!(errors.len(), 6, "{errors:?}");
+}

@@ -34,6 +34,51 @@ use nt_obs::{Event, LockClass, TraceHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+/// Moss' lock-grant precondition (§5.2), shared between the simulated
+/// object automaton [`MossObject`] and the threaded engine's sharded lock
+/// table (`nt-engine`): an access `t` may be granted only when every holder
+/// of a conflicting lock is an ancestor of `t`. Write-like requests
+/// conflict with both lock classes; read requests conflict with write
+/// locks only.
+pub fn moss_precondition(
+    tree: &TxTree,
+    t: TxId,
+    write_like: bool,
+    write_holders: impl IntoIterator<Item = TxId>,
+    read_holders: impl IntoIterator<Item = TxId>,
+) -> bool {
+    let writes_ok = write_holders.into_iter().all(|h| tree.is_ancestor(h, t));
+    if !write_like {
+        writes_ok
+    } else {
+        writes_ok && read_holders.into_iter().all(|h| tree.is_ancestor(h, t))
+    }
+}
+
+/// The lockholders that block access `t` under [`moss_precondition`]: the
+/// non-ancestor holders of conflicting locks. Empty iff the precondition
+/// holds.
+pub fn moss_blockers(
+    tree: &TxTree,
+    t: TxId,
+    write_like: bool,
+    write_holders: impl IntoIterator<Item = TxId>,
+    read_holders: impl IntoIterator<Item = TxId>,
+) -> Vec<TxId> {
+    let mut blockers: Vec<TxId> = write_holders
+        .into_iter()
+        .filter(|&h| !tree.is_ancestor(h, t))
+        .collect();
+    if write_like {
+        blockers.extend(
+            read_holders
+                .into_iter()
+                .filter(|&h| !tree.is_ancestor(h, t)),
+        );
+    }
+    blockers
+}
+
 /// Locking discipline: Moss read/write locks, or exclusive-only (ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockMode {
@@ -165,19 +210,13 @@ impl MossObject {
             .op_of(t)
             .expect("created only holds accesses of x (is_input admits Create(t) only then)");
         let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
-        let writes_ok = self
-            .write_lockholders
-            .keys()
-            .all(|&h| self.tree.is_ancestor(h, t));
-        if !write_like {
-            writes_ok
-        } else {
-            writes_ok
-                && self
-                    .read_lockholders
-                    .iter()
-                    .all(|&h| self.tree.is_ancestor(h, t))
-        }
+        moss_precondition(
+            &self.tree,
+            t,
+            write_like,
+            self.write_lockholders.keys().copied(),
+            self.read_lockholders.iter().copied(),
+        )
     }
 
     /// Accesses created but not yet answered whose locks are unavailable
@@ -193,20 +232,13 @@ impl MossObject {
                     "created only holds accesses of x (is_input admits Create(t) only then)",
                 );
                 let write_like = !op.is_rw_read() || self.mode == LockMode::Exclusive;
-                let mut blockers: Vec<TxId> = self
-                    .write_lockholders
-                    .keys()
-                    .copied()
-                    .filter(|&h| !self.tree.is_ancestor(h, t))
-                    .collect();
-                if write_like {
-                    blockers.extend(
-                        self.read_lockholders
-                            .iter()
-                            .copied()
-                            .filter(|&h| !self.tree.is_ancestor(h, t)),
-                    );
-                }
+                let blockers = moss_blockers(
+                    &self.tree,
+                    t,
+                    write_like,
+                    self.write_lockholders.keys().copied(),
+                    self.read_lockholders.iter().copied(),
+                );
                 out.push((t, blockers));
             }
         }

@@ -21,7 +21,7 @@ pub mod workload;
 pub use chaos::ChaosObject;
 pub use executor::{run_generic, run_serial, Protocol, SimConfig, SimResult};
 pub use script::{ChildOrder, ScriptedTx};
-pub use workload::{OpMix, Workload, WorkloadSpec};
+pub use workload::{OpMix, ScriptPlan, Workload, WorkloadSpec};
 
 // Fault-campaign vocabulary, re-exported so executor callers can build
 // plans and policies without naming `nt-faults` directly.

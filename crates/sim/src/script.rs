@@ -159,7 +159,15 @@ impl ScriptedTx {
     /// order after the original aborts). Must be called before the run.
     pub fn set_retry_chains(&mut self, chains: Vec<Vec<TxId>>) {
         assert_eq!(chains.len(), self.slots.len(), "one chain per child slot");
+        // All-empty chains (retry_attempts == 0) attach nothing: skip the
+        // whole pass rather than touching every slot's attempt vector.
+        if chains.iter().all(Vec::is_empty) {
+            return;
+        }
         for (i, chain) in chains.into_iter().enumerate() {
+            if chain.is_empty() {
+                continue;
+            }
             debug_assert!(chain.iter().all(|&r| self.tree.parent(r) == Some(self.t)));
             for &r in &chain {
                 self.by_attempt.insert(r, i);
@@ -499,6 +507,22 @@ mod tests {
         let ledger = tx.ledger_records();
         assert_eq!(ledger[0].outcome, RetryOutcome::Exhausted);
         assert_eq!(ledger[0].retries, 1);
+    }
+
+    #[test]
+    fn empty_retry_chains_attach_nothing() {
+        let (_tree, mut tx, a, c1, c2) = setup(ChildOrder::Parallel);
+        tx.set_retry_chains(vec![vec![], vec![]]);
+        tx.set_backoff(BackoffPolicy::default());
+        tx.apply(&Action::Create(a));
+        tx.apply(&Action::RequestCreate(c1));
+        tx.apply(&Action::RequestCreate(c2));
+        tx.apply(&Action::ReportAbort(c1));
+        tx.apply(&Action::ReportAbort(c2));
+        // No replicas were attached, so the ledger stays empty and the
+        // parent proceeds exactly as without retry machinery.
+        assert!(tx.ledger_records().is_empty());
+        assert_eq!(enabled(&tx), vec![Action::RequestCommit(a, Value::Ok)]);
     }
 
     #[test]

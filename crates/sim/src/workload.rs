@@ -134,6 +134,13 @@ pub struct WorkloadSpec {
     /// Access skew: probability an access goes to object 0 (the hotspot);
     /// otherwise uniform over all objects.
     pub hotspot: f64,
+    /// Partition the keyspace: when `> 0`, top-level transaction `i` draws
+    /// its objects only from partition `i % object_partitions` (objects
+    /// `k` with `k % P == p`), so transactions in different partitions
+    /// never conflict. Overrides `hotspot`; clamped to `objects`. 0 (the
+    /// default) keeps generation byte-identical to the unpartitioned
+    /// generator. Used by the engine benchmark's scaling workloads.
+    pub object_partitions: usize,
     /// RNG seed.
     pub seed: u64,
     /// If true, transactions keep acting after an ancestor aborts
@@ -160,6 +167,7 @@ impl Default for WorkloadSpec {
             sequential_prob: 0.3,
             mix: OpMix::ReadWrite { read_ratio: 0.5 },
             hotspot: 0.0,
+            object_partitions: 0,
             seed: 0,
             orphan_activity: false,
             retry_attempts: 0,
@@ -186,6 +194,38 @@ pub struct Workload {
     pub retry_chains: BTreeMap<TxId, Vec<Vec<TxId>>>,
 }
 
+/// The *data* of one scripted transaction — its child slots and schedule —
+/// decoupled from the [`ScriptedTx`] automaton. The threaded engine
+/// (`nt-engine`) executes workloads from these plans directly, since it
+/// drives transactions with a call stack rather than an automaton scheduler.
+#[derive(Clone, Debug)]
+pub struct ScriptPlan {
+    /// Original children, in slot order.
+    pub children: Vec<TxId>,
+    /// How the children are scheduled.
+    pub order: ChildOrder,
+}
+
+impl Workload {
+    /// Extract the per-transaction [`ScriptPlan`]s (including `T0`'s and
+    /// every retry replica's). Together with `tree`, `retry_chains`, and
+    /// `initials` this is everything an alternative executor needs.
+    pub fn script_plans(&self) -> BTreeMap<TxId, ScriptPlan> {
+        self.clients
+            .iter()
+            .map(|c| {
+                (
+                    c.tx(),
+                    ScriptPlan {
+                        children: c.script_children().to_vec(),
+                        order: c.order(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
 impl WorkloadSpec {
     /// Generate the workload deterministically from the seed.
     pub fn generate(&self) -> Workload {
@@ -197,8 +237,10 @@ impl WorkloadSpec {
         // (tx, children, order) scripts, built during tree construction.
         let mut scripts: Vec<(TxId, Vec<TxId>, ChildOrder)> = Vec::new();
         let mut top = Vec::with_capacity(self.top_level);
-        for _ in 0..self.top_level {
-            let t = self.gen_tx(&mut tree, TxId::ROOT, 0, &mut rng, &mut scripts);
+        let partitions = self.object_partitions.min(self.objects);
+        for i in 0..self.top_level {
+            let partition = (partitions > 0).then(|| i % partitions);
+            let t = self.gen_tx(&mut tree, TxId::ROOT, 0, partition, &mut rng, &mut scripts);
             top.push(t);
         }
         // Pre-materialize retry replicas: for every child slot of every
@@ -259,7 +301,13 @@ impl WorkloadSpec {
         }
     }
 
-    fn pick_object(&self, rng: &mut StdRng) -> ObjId {
+    fn pick_object(&self, rng: &mut StdRng, partition: Option<usize>) -> ObjId {
+        if let Some(p) = partition {
+            let stride = self.object_partitions.min(self.objects);
+            // Objects k with k % stride == p; there are ceil((objects-p)/stride).
+            let count = (self.objects - p).div_ceil(stride);
+            return ObjId((p + stride * rng.gen_range(0..count)) as u32);
+        }
         if self.hotspot > 0.0 && rng.gen_bool(self.hotspot) {
             ObjId(0)
         } else {
@@ -272,6 +320,7 @@ impl WorkloadSpec {
         tree: &mut TxTree,
         parent: TxId,
         depth: u32,
+        partition: Option<usize>,
         rng: &mut StdRng,
         scripts: &mut Vec<(TxId, Vec<TxId>, ChildOrder)>,
     ) -> TxId {
@@ -280,9 +329,9 @@ impl WorkloadSpec {
         let mut children = Vec::with_capacity(n);
         for _ in 0..n {
             if depth < self.max_depth && rng.gen_bool(self.subtx_prob) {
-                children.push(self.gen_tx(tree, t, depth + 1, rng, scripts));
+                children.push(self.gen_tx(tree, t, depth + 1, partition, rng, scripts));
             } else {
-                let x = self.pick_object(rng);
+                let x = self.pick_object(rng, partition);
                 let op = self.mix.draw(rng);
                 children.push(tree.add_access(t, x, op));
             }
@@ -455,6 +504,73 @@ mod tests {
                 assert!(scripted.contains(&t), "inner tx {t:?} lacks a script");
             }
         }
+    }
+
+    #[test]
+    fn object_partitions_zero_is_byte_identical() {
+        let base = WorkloadSpec::default().generate();
+        let with_field = WorkloadSpec {
+            object_partitions: 0,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        assert_eq!(base.tree.len(), with_field.tree.len());
+        for u in base.tree.accesses() {
+            assert_eq!(base.tree.object_of(u), with_field.tree.object_of(u));
+            assert_eq!(base.tree.op_of(u), with_field.tree.op_of(u));
+        }
+    }
+
+    #[test]
+    fn object_partitions_make_disjoint_keyspaces() {
+        let spec = WorkloadSpec {
+            objects: 10,
+            object_partitions: 4,
+            top_level: 8,
+            hotspot: 0.9, // overridden by partitioning
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        for (i, &t) in w.top.iter().enumerate() {
+            let p = i % 4;
+            for u in w.tree.accesses() {
+                if w.tree.is_ancestor(t, u) {
+                    let x = w.tree.object_of(u).expect("access");
+                    assert_eq!(x.index() % 4, p, "top {t} must stay in partition {p}");
+                    assert!(x.index() < 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn script_plans_cover_every_inner_tx() {
+        let w = WorkloadSpec {
+            retry_attempts: 1,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let plans = w.script_plans();
+        for t in w.tree.all_tx() {
+            if !w.tree.is_access(t) {
+                let plan = plans.get(&t).expect("inner tx has a plan");
+                assert_eq!(
+                    plan.children,
+                    w.tree
+                        .children(t)
+                        .iter()
+                        .copied()
+                        .filter(|c| {
+                            // Replica children live in retry_chains, not slots.
+                            w.retry_chains
+                                .get(&t)
+                                .is_none_or(|chains| !chains.iter().flatten().any(|r| r == c))
+                        })
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+        assert_eq!(plans[&TxId::ROOT].children, w.top);
     }
 
     #[test]

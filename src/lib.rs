@@ -26,7 +26,11 @@
 //!   serialization-graph certification (experiment E12);
 //! * [`faults`] — deterministic fault-injection plans, retry backoff
 //!   policies, and fault-schedule minimization (experiment E14);
-//! * [`sim`] — workload generation and simulation.
+//! * [`sim`] — workload generation and simulation;
+//! * [`engine`] — the multi-threaded nested-transaction engine: sharded
+//!   Moss lock tables with real blocking, wait-for-graph deadlock
+//!   detection, and post-hoc SGT certification of every concurrent run
+//!   (experiment E15).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -35,6 +39,7 @@ pub mod trace;
 pub use nt_automata as automata;
 pub use nt_certifier as certifier;
 pub use nt_datatypes as datatypes;
+pub use nt_engine as engine;
 pub use nt_faults as faults;
 pub use nt_generic as generic;
 pub use nt_locking as locking;
