@@ -127,7 +127,9 @@ fn run_cell(workload: &'static str, w: &Workload, cfg: &EngineConfig) -> Row {
 }
 
 fn smoke() {
-    // The CI gate: one 4-thread contended run, certified, exit 0.
+    // The CI gate: one 4-thread contended run, certified, exit 0. Output
+    // is one machine-readable JSON line (shared shape with net_bench and
+    // nt-load smokes).
     let w = contended_spec().generate();
     let cfg = EngineConfig {
         access_latency_us: 100,
@@ -135,14 +137,15 @@ fn smoke() {
     };
     let report = run_workload(&w, &cfg).expect("engine smoke run");
     let cert = report.certify();
-    println!(
-        "engine-smoke: {} committed, {} aborted, {} victims, {} actions, SGT {}",
-        report.committed_top,
-        report.aborted_top,
-        report.victims.len(),
-        report.history.len(),
-        cert.verdict.name(),
-    );
+    nt_bench::SmokeLine::new("engine-smoke")
+        .num("committed_top", report.committed_top as u64)
+        .num("aborted_top", report.aborted_top as u64)
+        .num("victims", report.victims.len() as u64)
+        .num("actions", report.history.len() as u64)
+        .num("sg_nodes", cert.sg_nodes as u64)
+        .num("sg_edges", cert.sg_edges as u64)
+        .bool("serially_correct", cert.is_serially_correct())
+        .emit();
     assert!(!report.gave_up, "engine smoke run hit the watchdog");
     assert!(
         cert.is_serially_correct(),

@@ -1,0 +1,167 @@
+//! Throughput harness for the networked server (`nt-net`), experiment
+//! E16.
+//!
+//! Sweeps client connection counts over a contended closed-loop workload
+//! against a fresh loopback server per cell, keeping the *total* number
+//! of top-level transactions constant so cells are comparable: more
+//! connections means the same work arriving with more concurrency. Each
+//! cell's recorded history is fetched over the wire and certified
+//! against Theorem 17 post-hoc; a cell that fails certification fails
+//! the whole harness. Results land in `BENCH_net.json`.
+//!
+//! ```sh
+//! cargo run --release -p nt-bench --bin net_bench            # sweep
+//! cargo run --release -p nt-bench --bin net_bench -- --smoke # CI gate
+//! ```
+
+use nt_bench::SmokeLine;
+use nt_net::{fetch_and_certify, run_load, ConnConfig, LoadConfig, NetServer, ServerConfig};
+use nt_obs::json::JsonObj;
+
+const CONN_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const TOTAL_TOPS: usize = 64;
+
+fn sweep_load(connections: usize) -> LoadConfig {
+    LoadConfig {
+        connections,
+        tops_per_conn: TOTAL_TOPS / connections,
+        objects: 6,
+        hotspot: 0.5,
+        read_ratio: 0.5,
+        max_depth: 2,
+        seed: 16,
+        ..LoadConfig::default()
+    }
+}
+
+struct Row {
+    connections: usize,
+    committed: u64,
+    aborted: u64,
+    gave_up: u64,
+    requests: u64,
+    retries: u64,
+    wall_us: u64,
+    certified: bool,
+    sg_nodes: usize,
+    sg_edges: usize,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.committed as f64 / (self.wall_us as f64 / 1e6)
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("connections", self.connections as u64)
+            .float("wall_ms", self.wall_us as f64 / 1e3)
+            .num("committed_tops", self.committed)
+            .num("aborted_tops", self.aborted)
+            .num("gave_up", self.gave_up)
+            .num("requests", self.requests)
+            .num("retries", self.retries)
+            .float("throughput_tps", self.throughput())
+            .bool("certified", self.certified)
+            .num("sg_nodes", self.sg_nodes as u64)
+            .num("sg_edges", self.sg_edges as u64);
+        o.build()
+    }
+}
+
+/// Run one sweep cell against a fresh loopback server.
+fn run_cell(connections: usize) -> Row {
+    let server = NetServer::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    let load = sweep_load(connections);
+    let report = run_load(&addr, &load).expect("load runs");
+    let cert = fetch_and_certify(&addr, ConnConfig::from(&load)).expect("history certifies");
+    handle.wait();
+    let row = Row {
+        connections,
+        committed: report.committed_tops,
+        aborted: report.aborted_tops,
+        gave_up: report.gave_up,
+        requests: report.requests,
+        retries: report.retries,
+        wall_us: report.wall_us,
+        certified: cert.is_serially_correct(),
+        sg_nodes: cert.sg_nodes,
+        sg_edges: cert.sg_edges,
+    };
+    println!(
+        "| {:5} | {:8.1} | {:9} | {:7} | {:8} | {:10.1} | {:9} |",
+        row.connections,
+        row.wall_us as f64 / 1e3,
+        row.committed,
+        row.aborted,
+        row.requests,
+        row.throughput(),
+        if row.certified { "acyclic" } else { "FAILED" },
+    );
+    assert!(
+        row.certified,
+        "{connections} connections: recorded history failed certification"
+    );
+    assert_eq!(row.gave_up, 0, "tops exhausted their retry budget");
+    row
+}
+
+fn smoke() {
+    // The CI gate: one 4-connection contended cell, certified, exit 0.
+    let server = NetServer::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    let load = LoadConfig {
+        tops_per_conn: 8,
+        ..sweep_load(4)
+    };
+    let report = run_load(&addr, &load).expect("load runs");
+    let cert = fetch_and_certify(&addr, ConnConfig::from(&load)).expect("history certifies");
+    handle.wait();
+    SmokeLine::new("net-bench-smoke")
+        .num("connections", load.connections as u64)
+        .num("committed_tops", report.committed_tops)
+        .num("aborted_tops", report.aborted_tops)
+        .num("requests", report.requests)
+        .num("sg_nodes", cert.sg_nodes as u64)
+        .num("sg_edges", cert.sg_edges as u64)
+        .bool("serially_correct", cert.is_serially_correct())
+        .emit();
+    assert!(cert.is_serially_correct(), "net smoke failed certification");
+    assert!(report.committed_tops > 0, "net smoke committed nothing");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    println!(
+        "| {:5} | {:8} | {:9} | {:7} | {:8} | {:10} | {:9} |",
+        "conns", "wall_ms", "committed", "aborted", "requests", "tput_tps", "SGT"
+    );
+    println!("|-------|----------|-----------|---------|----------|------------|-----------|");
+    let rows: Vec<Row> = CONN_SWEEP.iter().map(|&c| run_cell(c)).collect();
+    let mut doc = JsonObj::new();
+    doc.str("benchmark", "net_bench")
+        .num(
+            "host_cores",
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        )
+        .num("total_tops", TOTAL_TOPS as u64)
+        .raw(
+            "rows",
+            format!(
+                "[{}]",
+                rows.iter().map(Row::to_json).collect::<Vec<_>>().join(",")
+            ),
+        );
+    std::fs::write("BENCH_net.json", doc.build()).expect("write BENCH_net.json");
+    eprintln!("wrote BENCH_net.json ({} cells)", rows.len());
+    assert!(
+        rows.iter().all(|r| r.committed > 0),
+        "every cell must commit work"
+    );
+}

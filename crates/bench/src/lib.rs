@@ -78,6 +78,52 @@ pub fn moss_trace(
     (w.tree, w.types, serial_projection(&r.trace))
 }
 
+/// One-line machine-readable smoke summary.
+///
+/// Every `--smoke` binary in the workspace (engine_bench, net_bench,
+/// nt-load) emits exactly one JSON line on stdout so CI can grep and
+/// parse the result uniformly: `{"suite": "...", ...}`. This builder
+/// keeps the shape consistent — `suite` first, then whatever counters
+/// the gate cares about.
+pub struct SmokeLine(JsonObj);
+
+impl SmokeLine {
+    /// Start a line for the named suite.
+    pub fn new(suite: &str) -> SmokeLine {
+        let mut o = JsonObj::new();
+        o.str("suite", suite);
+        SmokeLine(o)
+    }
+
+    /// Add an integer counter.
+    pub fn num(mut self, key: &str, v: u64) -> SmokeLine {
+        self.0.num(key, v);
+        self
+    }
+
+    /// Add a float measurement.
+    pub fn float(mut self, key: &str, v: f64) -> SmokeLine {
+        self.0.float(key, v);
+        self
+    }
+
+    /// Add a boolean verdict.
+    pub fn bool(mut self, key: &str, v: bool) -> SmokeLine {
+        self.0.bool(key, v);
+        self
+    }
+
+    /// The finished line (no trailing newline).
+    pub fn build(self) -> String {
+        self.0.build()
+    }
+
+    /// Print the line to stdout.
+    pub fn emit(self) {
+        println!("{}", self.build());
+    }
+}
+
 /// Simple fixed-width table printer for experiment outputs.
 pub struct Table {
     headers: Vec<String>,

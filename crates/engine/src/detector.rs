@@ -19,7 +19,8 @@
 
 use crate::locktable::LockTable;
 use crate::status::StatusTable;
-use nt_model::{TxId, TxTree};
+use crate::tree_view::TreeView;
+use nt_model::TxId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -52,10 +53,10 @@ pub struct DetectorOutcome {
 /// (every incomplete top-level transaction is doomed and the lock table is
 /// put into give-up mode).
 #[allow(clippy::too_many_arguments)] // one call site, in run_plan
-pub fn detect_loop(
-    tree: &TxTree,
+pub fn detect_loop<T: TreeView>(
+    tree: &T,
     status: &StatusTable,
-    table: &LockTable,
+    table: &LockTable<T>,
     top: &[TxId],
     period: Duration,
     max_wall: Duration,
@@ -89,7 +90,11 @@ pub fn detect_loop(
 
 /// One detector pass: snapshot, build the group-level wait-for graph, doom
 /// at most one victim. Public so tests can drive the detector manually.
-pub fn scan_once(tree: &TxTree, status: &StatusTable, table: &LockTable) -> Option<Victim> {
+pub fn scan_once<T: TreeView, U: TreeView>(
+    tree: &T,
+    status: &StatusTable,
+    table: &LockTable<U>,
+) -> Option<Victim> {
     let snapshot = table.waiting_snapshot();
     if snapshot.is_empty() {
         return None;
@@ -115,7 +120,8 @@ pub fn scan_once(tree: &TxTree, status: &StatusTable, table: &LockTable) -> Opti
     // chain. Try each edge until one doom CAS lands (a racing commit may
     // have dissolved part of the cycle since the snapshot).
     for (waiter, blocker) in cycle {
-        for u in tree.ancestors(blocker) {
+        let mut cur = Some(blocker);
+        while let Some(u) = cur {
             if u == TxId::ROOT {
                 break;
             }
@@ -126,6 +132,7 @@ pub fn scan_once(tree: &TxTree, status: &StatusTable, table: &LockTable) -> Opti
                     blocker,
                 });
             }
+            cur = tree.parent(u);
         }
     }
     None

@@ -34,11 +34,19 @@ pub mod detector;
 pub mod locktable;
 pub mod recorder;
 pub mod run;
+pub mod session;
+pub mod session_tree;
 pub mod status;
+pub mod tree_view;
 
 pub use config::EngineConfig;
 pub use detector::DetectorOutcome;
 pub use locktable::{Acquired, LockTable};
 pub use recorder::{SeqClock, WorkerLog};
 pub use run::{run_plan, run_workload, EnginePlan, EngineReport, EngineStats, Victim};
+pub use session::{
+    AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError,
+};
+pub use session_tree::{SessionTree, TreeError};
 pub use status::StatusTable;
+pub use tree_view::TreeView;

@@ -29,7 +29,8 @@
 
 use crate::recorder::{SeqClock, WorkerLog};
 use crate::status::StatusTable;
-use nt_locking::{moss_blockers, moss_precondition};
+use crate::tree_view::TreeView;
+use nt_locking::{moss_blockers_by, moss_precondition_by};
 use nt_model::rw::RwInitials;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,7 +80,7 @@ impl ObjLocks {
 
     /// The tentative value a read observes: the deepest write-lockholder's
     /// (Lemma 9 makes it unique).
-    fn read_value(&self, tree: &TxTree) -> i64 {
+    fn read_value(&self, tree: &impl TreeView) -> i64 {
         *self
             .write
             .iter()
@@ -89,7 +90,7 @@ impl ObjLocks {
     }
 
     #[cfg(debug_assertions)]
-    fn check_lemma9(&self, tree: &TxTree, x: ObjId) {
+    fn check_lemma9(&self, tree: &impl TreeView, x: ObjId) {
         for &w in self.write.keys() {
             for other in self.write.keys().chain(self.read.iter()) {
                 assert!(
@@ -115,9 +116,11 @@ struct Shard {
     cv: Condvar,
 }
 
-/// The sharded lock manager.
-pub struct LockTable {
-    tree: Arc<TxTree>,
+/// The sharded lock manager, generic over the tree representation: the
+/// batch engine passes a frozen `Arc<TxTree>` (the default), the session
+/// engine a growable [`SessionTree`](crate::session_tree::SessionTree).
+pub struct LockTable<T: TreeView = Arc<TxTree>> {
+    tree: T,
     status: Arc<StatusTable>,
     clock: Arc<SeqClock>,
     initials: RwInitials,
@@ -130,10 +133,10 @@ pub struct LockTable {
     timeout_rescues: AtomicU64,
 }
 
-impl LockTable {
+impl<T: TreeView> LockTable<T> {
     /// A table with `shards` shards (must be a nonzero power of two).
     pub fn new(
-        tree: Arc<TxTree>,
+        tree: T,
         status: Arc<StatusTable>,
         clock: Arc<SeqClock>,
         initials: RwInitials,
@@ -197,8 +200,8 @@ impl LockTable {
                 }
                 return Acquired::Doomed(d);
             }
-            let eligible = moss_precondition(
-                &self.tree,
+            let eligible = moss_precondition_by(
+                |a, b| self.tree.is_ancestor(a, b),
                 t,
                 write_like,
                 locks.write.keys().copied(),
@@ -207,8 +210,8 @@ impl LockTable {
             let earlier_eligible = locks.waiters.iter().any(|w| {
                 my_ticket.is_none_or(|mine| w.ticket < mine)
                     && w.t != t
-                    && moss_precondition(
-                        &self.tree,
+                    && moss_precondition_by(
+                        |a, b| self.tree.is_ancestor(a, b),
                         w.t,
                         w.write_like,
                         locks.write.keys().copied(),
@@ -311,8 +314,8 @@ impl LockTable {
             let st = shard.state.lock().expect("shard poisoned");
             for locks in st.objects.values() {
                 for w in &locks.waiters {
-                    let blockers = moss_blockers(
-                        &self.tree,
+                    let blockers = moss_blockers_by(
+                        |a, b| self.tree.is_ancestor(a, b),
                         w.t,
                         w.write_like,
                         locks.write.keys().copied(),
@@ -352,6 +355,16 @@ impl LockTable {
         self.shards
             .iter()
             .map(|s| std::mem::take(&mut s.state.lock().expect("shard poisoned").log))
+            .collect()
+    }
+
+    /// Clone the per-shard object-action logs without draining them — the
+    /// session engine's `HISTORY_FETCH` snapshots a live server whose
+    /// shards keep recording afterwards.
+    pub fn snapshot_logs(&self) -> Vec<WorkerLog> {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("shard poisoned").log.clone())
             .collect()
     }
 

@@ -37,7 +37,7 @@ impl SeqClock {
 }
 
 /// One worker's (or the main thread's, or a shard-stamped) action buffer.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerLog {
     entries: Vec<(u64, Action)>,
 }

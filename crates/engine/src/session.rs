@@ -1,0 +1,611 @@
+//! Session-scoped transaction handles: the external-client entry point the
+//! networked server (`nt-net`) drives.
+//!
+//! The batch engine ([`run_plan`](crate::run_plan)) executes a frozen plan;
+//! here instead each connected client *interactively* grows the tree —
+//! `begin_top` / `begin_child` / `access` / `commit` / `abort` — against a
+//! shared [`SessionTree`], the same sharded [`LockTable`], the same status
+//! table, and the same global [`SeqClock`] recorder. A detector thread
+//! watches the wait-for graph exactly as in the batch engine, dooming one
+//! victim per cycle; a session discovers the doom at its next operation on
+//! the victim's subtree, aborts precisely that subtree (one `ABORT`, the
+//! `INFORM_ABORT`s, one `REPORT_ABORT`), and reports the victim to the
+//! client so it can retry the whole top-level transaction.
+//!
+//! Every action is stamped into per-session logs (serial actions) and the
+//! lock shards' logs (object actions), so
+//! [`SessionEngine::history_snapshot`] merges to a recorded history with
+//! the same refinement property as the batch engine's — certifiable by
+//! `nt_sgt::certify_recorded` across a process boundary.
+
+use crate::detector::scan_once;
+pub use crate::detector::Victim;
+use crate::locktable::{Acquired, LockTable};
+use crate::recorder::{merge, SeqClock, WorkerLog};
+use crate::session_tree::{SessionTree, TreeError};
+use crate::status::StatusTable;
+use crate::tree_view::TreeView;
+use nt_model::rw::RwInitials;
+use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Why a session operation was refused (protocol misuse or admission
+/// control — distinct from the benign [`Aborted`](BeginOutcome::Aborted)
+/// outcomes, which are part of normal contention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The server's transaction arena is full.
+    Capacity,
+    /// The named transaction does not exist.
+    UnknownTx(TxId),
+    /// The named transaction belongs to another session.
+    NotOwned(TxId),
+    /// The named parent is an access (accesses are leaves).
+    NotInner(TxId),
+    /// The named transaction already completed.
+    Completed(TxId),
+    /// The access op is not a read/write-register operation.
+    NonRwOp,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Capacity => write!(f, "transaction capacity exhausted"),
+            SessionError::UnknownTx(t) => write!(f, "unknown transaction {t}"),
+            SessionError::NotOwned(t) => write!(f, "transaction {t} belongs to another session"),
+            SessionError::NotInner(t) => write!(f, "transaction {t} is an access (a leaf)"),
+            SessionError::Completed(t) => write!(f, "transaction {t} already completed"),
+            SessionError::NonRwOp => {
+                write!(f, "only read/write-register operations are supported")
+            }
+        }
+    }
+}
+
+impl From<TreeError> for SessionError {
+    fn from(e: TreeError) -> Self {
+        match e {
+            TreeError::Capacity => SessionError::Capacity,
+            TreeError::UnknownParent(t) => SessionError::UnknownTx(t),
+            TreeError::ParentIsAccess(t) => SessionError::NotInner(t),
+        }
+    }
+}
+
+/// Outcome of `begin_child`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BeginOutcome {
+    /// The child was created.
+    Fresh(TxId),
+    /// The parent's subtree was already doomed/aborted; `victim` is the
+    /// highest aborted ancestor, whose whole subtree is gone.
+    Aborted(TxId),
+}
+
+/// Outcome of `access`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessOutcome {
+    /// Granted and committed; the access's `REQUEST_COMMIT` return value.
+    Done(Value),
+    /// A deadlock victim (ancestor-or-self) was aborted instead.
+    Aborted(TxId),
+}
+
+/// Outcome of `commit`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Committed; locks inherited by the parent.
+    Committed,
+    /// The transaction (or an ancestor) was doomed; the named victim's
+    /// subtree was aborted.
+    Aborted(TxId),
+}
+
+/// The shared engine a server embeds: one growable tree, one lock table,
+/// one status table, one clock, one detector thread.
+pub struct SessionEngine {
+    tree: Arc<SessionTree>,
+    status: Arc<StatusTable>,
+    table: Arc<LockTable<Arc<SessionTree>>>,
+    clock: Arc<SeqClock>,
+    logs: Mutex<Vec<Arc<Mutex<WorkerLog>>>>,
+    victims: Mutex<Vec<Victim>>,
+    detector_passes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    detector: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SessionEngine {
+    /// Start an engine with room for `capacity` transactions, a lock table
+    /// of `shards` shards (nonzero power of two), and a detector thread
+    /// scanning every `detector_period`. Objects all start at value 0.
+    pub fn start(capacity: usize, shards: usize, detector_period: Duration) -> Arc<SessionEngine> {
+        let tree = Arc::new(SessionTree::new(capacity));
+        let status = Arc::new(StatusTable::new(capacity));
+        let clock = Arc::new(SeqClock::new());
+        let table = Arc::new(LockTable::new(
+            Arc::clone(&tree),
+            Arc::clone(&status),
+            Arc::clone(&clock),
+            RwInitials::uniform(0),
+            shards,
+        ));
+        let mut root_log = WorkerLog::new();
+        root_log.record(&clock, Action::Create(TxId::ROOT));
+        let engine = Arc::new(SessionEngine {
+            tree,
+            status,
+            table,
+            clock,
+            logs: Mutex::new(vec![Arc::new(Mutex::new(root_log))]),
+            victims: Mutex::new(Vec::new()),
+            detector_passes: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+            detector: Mutex::new(None),
+        });
+        let handle = {
+            let e = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                while !e.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(detector_period);
+                    if e.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    e.detector_passes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(v) = scan_once(&*e.tree, &e.status, &*e.table) {
+                        e.victims.lock().expect("victims poisoned").push(v);
+                        e.table.notify_all_shards();
+                    }
+                }
+            })
+        };
+        *engine.detector.lock().expect("detector poisoned") = Some(handle);
+        engine
+    }
+
+    /// Stop the detector thread (idempotent). Called on server drain.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.detector.lock().expect("detector poisoned").take() {
+            h.join().expect("detector thread panicked");
+        }
+    }
+
+    /// Open a fresh session (one per client connection).
+    pub fn open_session(self: &Arc<Self>) -> Session {
+        let log = Arc::new(Mutex::new(WorkerLog::new()));
+        self.logs
+            .lock()
+            .expect("logs poisoned")
+            .push(Arc::clone(&log));
+        Session {
+            engine: Arc::clone(self),
+            log,
+            held: BTreeMap::new(),
+            tops: BTreeSet::new(),
+        }
+    }
+
+    /// Transactions registered so far (including `T0`).
+    pub fn tx_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Deadlock victims doomed so far, in doom order.
+    pub fn victims(&self) -> Vec<Victim> {
+        self.victims.lock().expect("victims poisoned").clone()
+    }
+
+    /// Detector scan passes so far.
+    pub fn detector_passes(&self) -> u64 {
+        self.detector_passes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the run so far: the frozen tree and the merged recorded
+    /// history. Logs are cloned *before* the tree is snapshotted, so every
+    /// transaction a recorded action names is present in the tree (actions
+    /// are recorded only after their transaction is registered, and the
+    /// tree grows monotonically).
+    pub fn history_snapshot(&self) -> (TxTree, Vec<Action>) {
+        let mut logs: Vec<WorkerLog> = self
+            .logs
+            .lock()
+            .expect("logs poisoned")
+            .iter()
+            .map(|l| l.lock().expect("session log poisoned").clone())
+            .collect();
+        logs.extend(self.table.snapshot_logs());
+        let history = merge(logs);
+        let tree = self.tree.to_tx_tree();
+        (tree, history)
+    }
+}
+
+impl Drop for SessionEngine {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Ok(mut guard) = self.detector.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// One client's handle: owns the top-level transactions it began and the
+/// lock bookkeeping for their subtrees (mirroring the batch engine's
+/// per-worker `held` map — a session drives its subtrees itself, so the
+/// bookkeeping needs no sharing).
+pub struct Session {
+    engine: Arc<SessionEngine>,
+    log: Arc<Mutex<WorkerLog>>,
+    held: BTreeMap<TxId, BTreeSet<ObjId>>,
+    tops: BTreeSet<TxId>,
+}
+
+impl Session {
+    fn record(&self, action: Action) {
+        self.log
+            .lock()
+            .expect("session log poisoned")
+            .record(&self.engine.clock, action);
+    }
+
+    fn tree(&self) -> &SessionTree {
+        &self.engine.tree
+    }
+
+    /// Validate that `t` exists and this session began its top-level
+    /// ancestor.
+    fn check_owned(&self, t: TxId) -> Result<(), SessionError> {
+        if t == TxId::ROOT || !self.tree().contains(t) {
+            return Err(SessionError::UnknownTx(t));
+        }
+        let top = if self.tree().parent(t) == Some(TxId::ROOT) {
+            t
+        } else {
+            self.tree().child_toward(TxId::ROOT, t)
+        };
+        if !self.tops.contains(&top) {
+            return Err(SessionError::NotOwned(t));
+        }
+        Ok(())
+    }
+
+    /// The highest (closest to `T0`, excluding `T0`) doomed-or-aborted
+    /// ancestor-or-self of `t` — the transaction whose whole subtree is
+    /// (or must become) gone.
+    fn dead_ancestor(&self, t: TxId) -> Option<TxId> {
+        let mut highest = None;
+        let mut cur = Some(t);
+        while let Some(u) = cur {
+            if u == TxId::ROOT {
+                break;
+            }
+            if self.engine.status.is_doomed(u) || self.engine.status.is_aborted(u) {
+                highest = Some(u);
+            }
+            cur = self.tree().parent(u);
+        }
+        highest
+    }
+
+    /// Abort `v`'s subtree if not already aborted, recording the abort
+    /// actions once. Returns `v` for reporting.
+    fn ensure_aborted(&mut self, v: TxId) -> TxId {
+        if !self.engine.status.is_aborted(v) {
+            self.abort_subtree(v);
+        }
+        v
+    }
+
+    /// `ABORT(v)`, discard every lock a descendant-or-self of `v` holds
+    /// (`INFORM_ABORT` per object), `REPORT_ABORT(v)` — the batch worker's
+    /// `abort_tx`, driven from a session.
+    fn abort_subtree(&mut self, v: TxId) {
+        self.engine.status.mark_aborted(v);
+        self.record(Action::Abort(v));
+        let mut discarded: BTreeSet<ObjId> = BTreeSet::new();
+        let dead: Vec<TxId> = self
+            .held
+            .keys()
+            .copied()
+            .filter(|&h| self.tree().is_ancestor(v, h))
+            .collect();
+        for h in dead {
+            if let Some(objs) = self.held.remove(&h) {
+                discarded.extend(objs);
+            }
+        }
+        if !discarded.is_empty() {
+            self.engine.table.discard(v, discarded.iter().copied());
+        }
+        self.record(Action::ReportAbort(v));
+    }
+
+    /// Begin a fresh top-level transaction.
+    pub fn begin_top(&mut self) -> Result<TxId, SessionError> {
+        let t = self
+            .tree()
+            .add_inner(TxId::ROOT)
+            .map_err(SessionError::from)?;
+        self.tops.insert(t);
+        self.record(Action::RequestCreate(t));
+        self.record(Action::Create(t));
+        Ok(t)
+    }
+
+    /// Begin a child transaction under `parent` (which this session owns).
+    pub fn begin_child(&mut self, parent: TxId) -> Result<BeginOutcome, SessionError> {
+        self.check_owned(parent)?;
+        if self.tree().is_access(parent) {
+            return Err(SessionError::NotInner(parent));
+        }
+        if self.engine.status.is_committed(parent) {
+            return Err(SessionError::Completed(parent));
+        }
+        if let Some(v) = self.dead_ancestor(parent) {
+            return Ok(BeginOutcome::Aborted(self.ensure_aborted(v)));
+        }
+        let t = self.tree().add_inner(parent).map_err(SessionError::from)?;
+        self.record(Action::RequestCreate(t));
+        self.record(Action::Create(t));
+        Ok(BeginOutcome::Fresh(t))
+    }
+
+    /// Run one access under `parent`: create the access transaction,
+    /// acquire its Moss lock (blocking; the detector breaks deadlocks),
+    /// commit it, and inherit the lock to `parent`.
+    pub fn access(
+        &mut self,
+        parent: TxId,
+        x: ObjId,
+        op: Op,
+    ) -> Result<AccessOutcome, SessionError> {
+        if !op.is_rw_read() && !op.is_rw_write() {
+            return Err(SessionError::NonRwOp);
+        }
+        self.check_owned(parent)?;
+        if self.tree().is_access(parent) {
+            return Err(SessionError::NotInner(parent));
+        }
+        if self.engine.status.is_committed(parent) {
+            return Err(SessionError::Completed(parent));
+        }
+        if let Some(v) = self.dead_ancestor(parent) {
+            return Ok(AccessOutcome::Aborted(self.ensure_aborted(v)));
+        }
+        let t = self
+            .tree()
+            .add_access(parent, x, op.clone())
+            .map_err(SessionError::from)?;
+        self.record(Action::RequestCreate(t));
+        self.record(Action::Create(t));
+        match self.engine.table.acquire(t, x, &op) {
+            Acquired::Doomed(d) => Ok(AccessOutcome::Aborted(self.ensure_aborted(d))),
+            Acquired::Granted(v) => {
+                self.held.entry(t).or_default().insert(x);
+                if self.engine.status.try_commit(t) {
+                    self.record(Action::Commit(t));
+                    if let Some(objs) = self.held.remove(&t) {
+                        self.engine.table.release_inherit(t, objs.iter().copied());
+                        self.held.entry(parent).or_default().extend(objs);
+                    }
+                    self.record(Action::ReportCommit(t, v.clone()));
+                    Ok(AccessOutcome::Done(v))
+                } else {
+                    let d = self.dead_ancestor(t).unwrap_or(t);
+                    Ok(AccessOutcome::Aborted(self.ensure_aborted(d)))
+                }
+            }
+        }
+    }
+
+    /// Commit `t` (top-level or inner): `REQUEST_COMMIT`, the status CAS,
+    /// lock inheritance to the parent, `REPORT_COMMIT` — or the abort path
+    /// when the detector doomed `t` (or an ancestor) meanwhile.
+    pub fn commit(&mut self, t: TxId) -> Result<CommitOutcome, SessionError> {
+        self.check_owned(t)?;
+        if self.tree().is_access(t) {
+            return Err(SessionError::NotInner(t));
+        }
+        if self.engine.status.is_committed(t) {
+            return Err(SessionError::Completed(t));
+        }
+        if let Some(v) = self.dead_ancestor(t) {
+            return Ok(CommitOutcome::Aborted(self.ensure_aborted(v)));
+        }
+        self.record(Action::RequestCommit(t, Value::Ok));
+        if self.engine.status.try_commit(t) {
+            self.record(Action::Commit(t));
+            if let Some(objs) = self.held.remove(&t) {
+                self.engine.table.release_inherit(t, objs.iter().copied());
+                let parent = self.tree().parent(t).expect("non-root commits");
+                self.held.entry(parent).or_default().extend(objs);
+            }
+            self.record(Action::ReportCommit(t, Value::Ok));
+            Ok(CommitOutcome::Committed)
+        } else {
+            let d = self.dead_ancestor(t).unwrap_or(t);
+            Ok(CommitOutcome::Aborted(self.ensure_aborted(d)))
+        }
+    }
+
+    /// Abort `t` at the client's request. Idempotent on already-aborted
+    /// subtrees; refuses committed transactions.
+    pub fn abort(&mut self, t: TxId) -> Result<(), SessionError> {
+        self.check_owned(t)?;
+        if self.tree().is_access(t) {
+            return Err(SessionError::NotInner(t));
+        }
+        if self.engine.status.is_committed(t) {
+            return Err(SessionError::Completed(t));
+        }
+        if let Some(v) = self.dead_ancestor(t) {
+            self.ensure_aborted(v);
+            return Ok(());
+        }
+        // Doom first so a racing detector cannot pick it up twice, then
+        // abort; `mark_doomed` failing means a race completed it — re-check.
+        if !self.engine.status.mark_doomed(t) && self.engine.status.is_committed(t) {
+            return Err(SessionError::Completed(t));
+        }
+        self.ensure_aborted(t);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_serial::{ObjectTypes, RwRegister};
+    use nt_sgt::{certify_recorded, ConflictSource};
+
+    fn engine() -> Arc<SessionEngine> {
+        SessionEngine::start(1024, 4, Duration::from_micros(200))
+    }
+
+    fn certify(e: &SessionEngine) -> nt_sgt::RecordedCertificate {
+        let (tree, history) = e.history_snapshot();
+        let types = ObjectTypes::uniform(tree.num_objects(), Arc::new(RwRegister::new(0)));
+        certify_recorded(&tree, &history, &types, ConflictSource::ReadWrite)
+    }
+
+    #[test]
+    fn one_session_nested_run_certifies() {
+        let e = engine();
+        let mut s = e.open_session();
+        let top = s.begin_top().expect("top");
+        let inner = match s.begin_child(top).expect("child") {
+            BeginOutcome::Fresh(t) => t,
+            BeginOutcome::Aborted(v) => panic!("unexpected abort at {v}"),
+        };
+        assert_eq!(
+            s.access(inner, ObjId(0), Op::Write(5)).expect("write"),
+            AccessOutcome::Done(Value::Ok)
+        );
+        assert_eq!(
+            s.access(inner, ObjId(0), Op::Read).expect("read"),
+            AccessOutcome::Done(Value::Int(5))
+        );
+        assert_eq!(s.commit(inner).expect("commit"), CommitOutcome::Committed);
+        assert_eq!(s.commit(top).expect("commit"), CommitOutcome::Committed);
+        e.shutdown();
+        let cert = certify(&e);
+        assert!(cert.is_serially_correct(), "{}", cert.verdict.name());
+        assert_eq!(cert.violations, 0);
+    }
+
+    #[test]
+    fn sibling_read_visibility_and_isolation() {
+        let e = engine();
+        let mut a = e.open_session();
+        let mut b = e.open_session();
+        let ta = a.begin_top().expect("top");
+        let tb = b.begin_top().expect("top");
+        // a writes object 0 and commits; b then reads the committed value.
+        assert_eq!(
+            a.access(ta, ObjId(0), Op::Write(9)).expect("write"),
+            AccessOutcome::Done(Value::Ok)
+        );
+        assert_eq!(a.commit(ta).expect("commit"), CommitOutcome::Committed);
+        assert_eq!(
+            b.access(tb, ObjId(0), Op::Read).expect("read"),
+            AccessOutcome::Done(Value::Int(9))
+        );
+        assert_eq!(b.commit(tb).expect("commit"), CommitOutcome::Committed);
+        e.shutdown();
+        let cert = certify(&e);
+        assert!(cert.is_serially_correct(), "{}", cert.verdict.name());
+    }
+
+    #[test]
+    fn ownership_and_protocol_errors_are_typed() {
+        let e = engine();
+        let mut a = e.open_session();
+        let mut b = e.open_session();
+        let ta = a.begin_top().expect("top");
+        assert_eq!(b.begin_child(ta), Err(SessionError::NotOwned(ta)));
+        assert_eq!(
+            a.access(ta, ObjId(0), Op::GetCount),
+            Err(SessionError::NonRwOp)
+        );
+        assert_eq!(
+            a.begin_child(TxId(999)),
+            Err(SessionError::UnknownTx(TxId(999)))
+        );
+        assert_eq!(a.commit(ta).expect("commit"), CommitOutcome::Committed);
+        assert_eq!(a.commit(ta), Err(SessionError::Completed(ta)));
+        e.shutdown();
+    }
+
+    #[test]
+    fn client_abort_discards_subtree_work() {
+        let e = engine();
+        let mut s = e.open_session();
+        let top = s.begin_top().expect("top");
+        assert_eq!(
+            s.access(top, ObjId(1), Op::Write(42)).expect("write"),
+            AccessOutcome::Done(Value::Ok)
+        );
+        s.abort(top).expect("abort");
+        // The write is gone: a fresh top reads the initial value.
+        let top2 = s.begin_top().expect("top");
+        assert_eq!(
+            s.access(top2, ObjId(1), Op::Read).expect("read"),
+            AccessOutcome::Done(Value::Int(0))
+        );
+        assert_eq!(s.commit(top2).expect("commit"), CommitOutcome::Committed);
+        // Ops on the aborted subtree stay benign.
+        assert_eq!(
+            s.begin_child(top).expect("begin on aborted"),
+            BeginOutcome::Aborted(top)
+        );
+        e.shutdown();
+        let cert = certify(&e);
+        assert!(cert.is_serially_correct(), "{}", cert.verdict.name());
+    }
+
+    #[test]
+    fn cross_session_deadlock_is_broken_and_certifies() {
+        let e = engine();
+        let (x, y) = (ObjId(0), ObjId(1));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mk = |obj_first: ObjId, obj_second: ObjId| {
+            let e = Arc::clone(&e);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut s = e.open_session();
+                let top = s.begin_top().expect("top");
+                let first = s.access(top, obj_first, Op::Write(1)).expect("first");
+                barrier.wait();
+                let second = s.access(top, obj_second, Op::Write(2)).expect("second");
+                match (first, second) {
+                    (AccessOutcome::Done(_), AccessOutcome::Done(_)) => {
+                        matches!(s.commit(top).expect("commit"), CommitOutcome::Committed)
+                    }
+                    _ => false,
+                }
+            })
+        };
+        let h1 = mk(x, y);
+        let h2 = mk(y, x);
+        let c1 = h1.join().expect("session 1");
+        let c2 = h2.join().expect("session 2");
+        // At least one side commits; if both blocked, the detector doomed
+        // exactly one victim and the other side proceeded.
+        assert!(c1 || c2, "deadlock must not take both transactions down");
+        e.shutdown();
+        let cert = certify(&e);
+        assert!(
+            cert.is_serially_correct(),
+            "deadlock-broken run must certify: {}",
+            cert.verdict.name()
+        );
+        assert_eq!(cert.violations, 0);
+    }
+}

@@ -6,7 +6,8 @@
 //! refuses doomed ones. Exactly one of the two wins, so no global mutex is
 //! needed on the hot commit path.
 
-use nt_model::{TxId, TxTree};
+use crate::tree_view::TreeView;
+use nt_model::TxId;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 const RUNNING: u8 = 0;
@@ -88,12 +89,14 @@ impl StatusTable {
     /// ancestor-or-self of `t`, if any. The worker unwinds its depth-first
     /// execution to that transaction's frame and aborts there, so one doom
     /// kills exactly one subtree.
-    pub fn doomed_ancestor(&self, tree: &TxTree, t: TxId) -> Option<TxId> {
+    pub fn doomed_ancestor<T: TreeView + ?Sized>(&self, tree: &T, t: TxId) -> Option<TxId> {
         let mut highest = None;
-        for u in tree.ancestors(t) {
+        let mut cur = Some(t);
+        while let Some(u) = cur {
             if u != TxId::ROOT && self.is_doomed(u) {
                 highest = Some(u);
             }
+            cur = tree.parent(u);
         }
         highest
     }
@@ -102,7 +105,7 @@ impl StatusTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nt_model::Op;
+    use nt_model::{Op, TxTree};
 
     #[test]
     fn doom_and_commit_exclude_each_other() {

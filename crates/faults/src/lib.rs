@@ -28,7 +28,9 @@
 pub mod backoff;
 pub mod minimize;
 pub mod plan;
+pub mod transport;
 
 pub use backoff::{BackoffPolicy, RetryLedger, RetryOutcome, RetryRecord, RetryStats};
 pub use minimize::minimize;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanWorkload, SCHEMA_ID};
+pub use transport::{FrameFate, TransportPlan};

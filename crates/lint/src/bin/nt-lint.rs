@@ -1,8 +1,8 @@
 //! Static soundness analyzer for the workspace.
 //!
 //! ```text
-//! nt-lint [--json] [--plant-defect] [types|workloads|plans|engine|all]
-//!         [plan.json ...] [config.engine.json ...]
+//! nt-lint [--json] [--plant-defect] [types|workloads|plans|engine|net|all]
+//!         [plan.json ...] [config.engine.json ...] [config.net.json ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -17,6 +17,11 @@
 //!   shipped presets always, plus any `*.engine.json` files given as
 //!   arguments (threads ≥ 1, power-of-two shards, live detector period,
 //!   coherent backoff/watchdog wiring).
+//! * `net` — semantically lint networked-server and load-driver
+//!   configurations: the shipped defaults always, plus any `*.net.json`
+//!   files given as arguments (serviceable queue/capacity/frame limits,
+//!   coherent transport fault plans, probabilities that are
+//!   probabilities, live timeouts).
 //! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
@@ -28,7 +33,7 @@
 //! 2 = usage error.
 
 use nt_lint::selftest::BrokenCounter;
-use nt_lint::{engine, plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
+use nt_lint::{engine, net, plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
 use nt_locking::LockMode;
 use nt_serial::SerialType;
 use nt_sim::{OpMix, Protocol, WorkloadSpec};
@@ -42,12 +47,13 @@ enum Pass {
     Workloads,
     Plans,
     Engine,
+    Net,
 }
 
 fn usage(program: &str) {
     eprintln!(
-        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|engine|all] \
-         [plan.json ...] [config.engine.json ...]"
+        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|engine|net|all] \
+         [plan.json ...] [config.engine.json ...] [config.net.json ...]"
     );
 }
 
@@ -145,6 +151,22 @@ fn run_plans(report: &mut Report, files: &[String]) {
     }
 }
 
+fn run_net(report: &mut Report, files: &[String]) {
+    // The shipped defaults must themselves be well-formed.
+    report.extend(net::lint_defaults());
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => report.extend(net::lint_config_json(path, &doc)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "net",
+                format!("net {path}"),
+                format!("cannot read net config file: {e}"),
+            )),
+        }
+    }
+}
+
 fn run_engine(report: &mut Report, files: &[String]) {
     // The shipped presets must themselves be well-formed.
     report.extend(engine::lint_presets());
@@ -169,6 +191,7 @@ fn main() -> ExitCode {
     let mut pass = Pass::All;
     let mut plan_files: Vec<String> = Vec::new();
     let mut engine_files: Vec<String> = Vec::new();
+    let mut net_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
@@ -177,6 +200,7 @@ fn main() -> ExitCode {
             "workloads" => pass = Pass::Workloads,
             "plans" => pass = Pass::Plans,
             "engine" => pass = Pass::Engine,
+            "net" => pass = Pass::Net,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
@@ -184,6 +208,9 @@ fn main() -> ExitCode {
             }
             other if other.ends_with(".engine.json") && !other.starts_with('-') => {
                 engine_files.push(other.to_string());
+            }
+            other if other.ends_with(".net.json") && !other.starts_with('-') => {
+                net_files.push(other.to_string());
             }
             other if other.ends_with(".json") && !other.starts_with('-') => {
                 plan_files.push(other.to_string());
@@ -207,6 +234,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Engine {
         run_engine(&mut report, &engine_files);
+    }
+    if pass == Pass::All || pass == Pass::Net {
+        run_net(&mut report, &net_files);
     }
     if json {
         print!("{}", report.render_json());

@@ -24,12 +24,18 @@
 //!    `threads ≥ 1`, power-of-two sharding, a live deadlock detector, and
 //!    coherent backoff/watchdog wiring. Same structural-parse /
 //!    semantic-lint split as fault plans.
+//! 5. **Net-config well-formedness** ([`net`]): semantic checks on
+//!    [`nt_net::NetConfig`] documents (`*.net.json`) and the shipped
+//!    defaults — a server whose queue, capacity, frame limit, and
+//!    transport fault plan can actually serve, and a load driver whose
+//!    probabilities, ranges, and timeouts can actually drive.
 //!
 //! The `nt-lint` binary aggregates all of it into one human or JSON report
 //! and exits nonzero iff any error-severity finding exists, making it
 //! usable as a CI gate.
 
 pub mod engine;
+pub mod net;
 pub mod plan;
 pub mod report;
 pub mod soundness;

@@ -67,6 +67,28 @@ fn engine_files_route_to_the_engine_pass_not_the_plan_pass() {
 }
 
 #[test]
+fn cli_rejects_engine_configs_with_unknown_keys() {
+    // A typo'd knob must be named in the finding, not silently ignored —
+    // a misspelled "threads" would otherwise run the default thread count
+    // while the author believes the override took.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/unknown-key.engine.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["engine", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "unknown-key engine config must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("threds"), "{stdout}");
+}
+
+#[test]
 fn cli_flags_unreadable_engine_files() {
     let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
         .args(["engine", "/nonexistent/nowhere.engine.json"])

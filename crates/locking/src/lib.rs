@@ -47,11 +47,31 @@ pub fn moss_precondition(
     write_holders: impl IntoIterator<Item = TxId>,
     read_holders: impl IntoIterator<Item = TxId>,
 ) -> bool {
-    let writes_ok = write_holders.into_iter().all(|h| tree.is_ancestor(h, t));
+    moss_precondition_by(
+        |a, b| tree.is_ancestor(a, b),
+        t,
+        write_like,
+        write_holders,
+        read_holders,
+    )
+}
+
+/// [`moss_precondition`] parameterized over the ancestor relation instead
+/// of a concrete [`TxTree`], so callers holding a different tree
+/// representation (the engine's growable session tree) can apply the exact
+/// same rule.
+pub fn moss_precondition_by(
+    is_ancestor: impl Fn(TxId, TxId) -> bool,
+    t: TxId,
+    write_like: bool,
+    write_holders: impl IntoIterator<Item = TxId>,
+    read_holders: impl IntoIterator<Item = TxId>,
+) -> bool {
+    let writes_ok = write_holders.into_iter().all(|h| is_ancestor(h, t));
     if !write_like {
         writes_ok
     } else {
-        writes_ok && read_holders.into_iter().all(|h| tree.is_ancestor(h, t))
+        writes_ok && read_holders.into_iter().all(|h| is_ancestor(h, t))
     }
 }
 
@@ -65,16 +85,30 @@ pub fn moss_blockers(
     write_holders: impl IntoIterator<Item = TxId>,
     read_holders: impl IntoIterator<Item = TxId>,
 ) -> Vec<TxId> {
+    moss_blockers_by(
+        |a, b| tree.is_ancestor(a, b),
+        t,
+        write_like,
+        write_holders,
+        read_holders,
+    )
+}
+
+/// [`moss_blockers`] parameterized over the ancestor relation (see
+/// [`moss_precondition_by`]).
+pub fn moss_blockers_by(
+    is_ancestor: impl Fn(TxId, TxId) -> bool,
+    t: TxId,
+    write_like: bool,
+    write_holders: impl IntoIterator<Item = TxId>,
+    read_holders: impl IntoIterator<Item = TxId>,
+) -> Vec<TxId> {
     let mut blockers: Vec<TxId> = write_holders
         .into_iter()
-        .filter(|&h| !tree.is_ancestor(h, t))
+        .filter(|&h| !is_ancestor(h, t))
         .collect();
     if write_like {
-        blockers.extend(
-            read_holders
-                .into_iter()
-                .filter(|&h| !tree.is_ancestor(h, t)),
-        );
+        blockers.extend(read_holders.into_iter().filter(|&h| !is_ancestor(h, t)));
     }
     blockers
 }

@@ -1,0 +1,199 @@
+//! `nt-load`: drive load at an nt-net server, then fetch and certify
+//! the server's recorded history over the wire.
+//!
+//! ```text
+//! nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke]
+//!         [--shutdown]
+//! ```
+//!
+//! * `--addr` targets a running server (overrides the config's `addr`).
+//!   With `--smoke` and no address, a faulty in-process server is
+//!   started instead, so the smoke gate is self-contained.
+//! * `--smoke` runs a small contended preset and asserts the run
+//!   certifies serially correct; output is one machine-readable JSON
+//!   line on stdout.
+//! * `--shutdown` sends a wire `Shutdown` after the run (CI uses this to
+//!   stop an `nt-serve` it spawned).
+//!
+//! Exit status is non-zero if certification finds any violation, if no
+//! top-level transaction committed, or on transport failure.
+
+use nt_faults::TransportPlan;
+use nt_net::client::{fetch_and_certify, Conn, ConnConfig};
+use nt_net::{run_load, LoadConfig, NetConfig, NetServer, ServerConfig};
+use nt_obs::json::JsonObj;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke] [--shutdown]");
+    ExitCode::from(2)
+}
+
+/// The smoke preset: contended, faulty, small enough for CI.
+fn smoke_load() -> LoadConfig {
+    LoadConfig {
+        connections: 4,
+        tops_per_conn: 12,
+        objects: 4,
+        hotspot: 0.6,
+        read_ratio: 0.5,
+        max_depth: 2,
+        seed: 15,
+        ..LoadConfig::default()
+    }
+}
+
+/// The transport fault plan the self-hosted smoke server runs.
+fn smoke_fault() -> TransportPlan {
+    TransportPlan {
+        drop_period: 13,
+        dup_period: 7,
+        delay_period: 5,
+        delay_us: 200,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg: Option<LoadConfig> = None;
+    let mut addr_override = None;
+    let mut smoke = false;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("nt-load: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match NetConfig::from_json(&text) {
+                    Ok(NetConfig::Load(c)) => cfg = Some(c),
+                    Ok(NetConfig::Server(_)) => {
+                        eprintln!("nt-load: {path} is a server config, not a load config");
+                        return ExitCode::from(2);
+                    }
+                    Err(e) => {
+                        eprintln!("nt-load: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    return usage();
+                };
+                addr_override = Some(a.clone());
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let mut load = cfg.unwrap_or_else(|| {
+        if smoke {
+            smoke_load()
+        } else {
+            LoadConfig::default()
+        }
+    });
+    if let Some(a) = addr_override {
+        load.addr = a;
+    }
+    let problems = load.problems();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("nt-load: config problem: {p}");
+        }
+        return ExitCode::from(2);
+    }
+
+    // Self-host a faulty server when smoking without a target.
+    let own_server = if load.addr.is_empty() {
+        if !smoke {
+            eprintln!("nt-load: no server address (give --addr or a config with one)");
+            return ExitCode::from(2);
+        }
+        let server = match NetServer::bind(ServerConfig {
+            fault: Some(smoke_fault()),
+            ..ServerConfig::default()
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("nt-load: cannot self-host smoke server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        load.addr = server.local_addr().to_string();
+        Some(server.serve())
+    } else {
+        None
+    };
+
+    let addr = load.addr.clone();
+    let report = match run_load(&addr, &load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nt-load: load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cert = match fetch_and_certify(&addr, ConnConfig::from(&load)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("nt-load: history fetch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if shutdown || own_server.is_some() {
+        let sent =
+            Conn::connect(&addr, 0, ConnConfig::from(&load)).and_then(|mut c| c.shutdown_server());
+        if let Err(e) = sent {
+            eprintln!("nt-load: shutdown request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(handle) = own_server {
+        let _ = handle.wait();
+    }
+
+    let mut o = JsonObj::new();
+    o.str("suite", if smoke { "net-smoke" } else { "net-load" })
+        .num("committed_tops", report.committed_tops)
+        .num("aborted_tops", report.aborted_tops)
+        .num("gave_up", report.gave_up)
+        .num("requests", report.requests)
+        .num("retries", report.retries)
+        .num("wall_us", report.wall_us)
+        .num("violations", cert.violations as u64)
+        .bool("serially_correct", cert.is_serially_correct())
+        .num("sg_nodes", cert.sg_nodes as u64)
+        .num("sg_edges", cert.sg_edges as u64);
+    println!("{}", o.build());
+    if !smoke {
+        eprintln!("{}", report.to_json());
+    }
+    if !cert.is_serially_correct() {
+        eprintln!("nt-load: certification found violations");
+        return ExitCode::FAILURE;
+    }
+    if report.committed_tops == 0 {
+        eprintln!("nt-load: no top-level transaction committed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

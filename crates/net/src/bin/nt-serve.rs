@@ -1,0 +1,131 @@
+//! `nt-serve`: run the networked nested-transaction server until a
+//! client asks it to shut down.
+//!
+//! ```text
+//! nt-serve [--config FILE.net.json] [--addr HOST:PORT]
+//!          [--port-file FILE] [--journal FILE]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints `nt-serve listening on ADDR`,
+//! optionally writes the resolved address to `--port-file` (for CI
+//! orchestration), serves until a wire `Shutdown` request drains it, and
+//! prints a one-line JSON drain summary. `--journal` dumps the
+//! observability event lines after the drain.
+
+use nt_net::{NetConfig, NetServer, ServerConfig};
+use nt_obs::json::JsonObj;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServerConfig::default();
+    let mut addr_override = None;
+    let mut port_file = None;
+    let mut journal_file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("nt-serve: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match NetConfig::from_json(&text) {
+                    Ok(NetConfig::Server(c)) => cfg = c,
+                    Ok(NetConfig::Load(_)) => {
+                        eprintln!("nt-serve: {path} is a load config, not a server config");
+                        return ExitCode::from(2);
+                    }
+                    Err(e) => {
+                        eprintln!("nt-serve: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    return usage();
+                };
+                addr_override = Some(a.clone());
+                i += 2;
+            }
+            "--port-file" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                port_file = Some(f.clone());
+                i += 2;
+            }
+            "--journal" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                journal_file = Some(f.clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    if let Some(a) = addr_override {
+        cfg.addr = a;
+    }
+    let problems = cfg.problems();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("nt-serve: config problem: {p}");
+        }
+        return ExitCode::from(2);
+    }
+    let server = match NetServer::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nt-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("nt-serve listening on {addr}");
+    if let Some(f) = &port_file {
+        if let Err(e) = std::fs::write(f, format!("{addr}\n")) {
+            eprintln!("nt-serve: cannot write port file {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Park until a wire `Shutdown` initiates the drain.
+    let report = server.serve().join();
+    if let Some(f) = &journal_file {
+        let mut text = report.journal.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(f, text) {
+            eprintln!("nt-serve: cannot write journal {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut o = JsonObj::new();
+    o.str("suite", "nt-serve")
+        .num("conns", report.stats.conns.into_inner())
+        .num("frames", report.stats.frames.into_inner())
+        .num("dropped", report.stats.dropped.into_inner())
+        .num("duplicated", report.stats.duplicated.into_inner())
+        .num("delayed", report.stats.delayed.into_inner())
+        .num("executed", report.stats.executed.into_inner())
+        .num("cache_hits", report.stats.cache_hits.into_inner())
+        .num("tx_count", report.tx_count as u64)
+        .num("victims", report.victims as u64);
+    println!("{}", o.build());
+    ExitCode::SUCCESS
+}

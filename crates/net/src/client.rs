@@ -1,0 +1,266 @@
+//! The client side: a pipelining connection with retry-with-backoff, and
+//! the post-run fetch-and-certify path.
+//!
+//! [`Conn`] assigns every request a monotone sequence number and keeps
+//! the encoded frame in an in-flight map until its response arrives, so
+//! a response that never comes (the server's fault plan dropped the
+//! frame) is survivable: the receive wait times out, the client re-sends
+//! the *same* bytes after `BackoffPolicy` delay, and the server's
+//! per-`seq` cache guarantees the retry executes nothing twice.
+//! Pipelining falls out of the same structure — send any number of
+//! requests, then await their responses in any order.
+
+use crate::config::LoadConfig;
+use crate::wire::{
+    encode_request, parse_response, FrameReader, Request, Response, WireError, DEFAULT_MAX_FRAME,
+};
+use nt_faults::BackoffPolicy;
+use nt_model::{Action, Op, TxTree};
+use nt_obs::{Event, MetricsRegistry, Stamped};
+use nt_serial::{ObjectTypes, RwRegister};
+use nt_sgt::{certify_recorded, ConflictSource, RecordedCertificate};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry/timeout knobs (a slice of [`LoadConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ConnConfig {
+    /// Per-response wait before a resend, milliseconds.
+    pub timeout_ms: u64,
+    /// Resend budget per request.
+    pub max_retries: u32,
+    /// Backoff between resends, in rounds.
+    pub backoff: BackoffPolicy,
+    /// Microseconds per backoff round.
+    pub backoff_round_us: u64,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        let l = LoadConfig::default();
+        ConnConfig {
+            timeout_ms: l.timeout_ms,
+            max_retries: l.max_retries,
+            backoff: l.backoff,
+            backoff_round_us: l.backoff_round_us,
+        }
+    }
+}
+
+impl From<&LoadConfig> for ConnConfig {
+    fn from(l: &LoadConfig) -> ConnConfig {
+        ConnConfig {
+            timeout_ms: l.timeout_ms,
+            max_retries: l.max_retries,
+            backoff: l.backoff,
+            backoff_round_us: l.backoff_round_us,
+        }
+    }
+}
+
+struct InFlight {
+    bytes: Vec<u8>,
+    sent_at: Instant,
+}
+
+/// One client connection: sequence numbers, pipelining, retries.
+pub struct Conn {
+    stream: TcpStream,
+    fr: FrameReader,
+    next_seq: u64,
+    in_flight: BTreeMap<u64, InFlight>,
+    got: BTreeMap<u64, Response>,
+    cfg: ConnConfig,
+    conn_id: u64,
+    /// Resends performed (observability).
+    pub retries: u64,
+    /// Client-side request metrics (`net_request_us` histogram).
+    pub metrics: MetricsRegistry,
+    /// Client-side event journal (`net_retry` lines).
+    pub journal: Vec<String>,
+    jseq: u64,
+}
+
+impl Conn {
+    /// Connect to `addr` (blocking socket with a read timeout).
+    pub fn connect(addr: &str, conn_id: u64, cfg: ConnConfig) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::from_io(&e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(cfg.timeout_ms.max(1))))
+            .map_err(|e| WireError::from_io(&e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| WireError::from_io(&e))?;
+        Ok(Conn {
+            stream,
+            fr: FrameReader::new(),
+            next_seq: 1,
+            in_flight: BTreeMap::new(),
+            got: BTreeMap::new(),
+            cfg,
+            conn_id,
+            retries: 0,
+            metrics: MetricsRegistry::new(),
+            journal: Vec::new(),
+            jseq: 0,
+        })
+    }
+
+    /// Send a request without waiting (pipelining). Returns its `seq`.
+    pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = encode_request(seq, req)?;
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| WireError::from_io(&e))?;
+        self.in_flight.insert(
+            seq,
+            InFlight {
+                bytes,
+                sent_at: Instant::now(),
+            },
+        );
+        Ok(seq)
+    }
+
+    fn poll(&mut self) -> Result<(), WireError> {
+        match self.fr.read_frame(&mut self.stream, DEFAULT_MAX_FRAME)? {
+            None => Err(WireError::Io("server closed the connection".to_string())),
+            Some(frame) => {
+                let (seq, resp) = parse_response(&frame)?;
+                // A duplicate response for an already-completed seq is
+                // dropped on the floor (at-least-once transport).
+                if self.in_flight.contains_key(&seq) {
+                    self.got.insert(seq, resp);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Await the response for `seq`, re-sending the original frame with
+    /// capped exponential backoff when the wait times out.
+    pub fn recv(&mut self, seq: u64) -> Result<Response, WireError> {
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(resp) = self.got.remove(&seq) {
+                if let Some(inf) = self.in_flight.remove(&seq) {
+                    let us = inf.sent_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    self.metrics.observe("net_request_us", us);
+                }
+                return Ok(resp);
+            }
+            match self.poll() {
+                Ok(()) => continue,
+                Err(WireError::TimedOut) => {
+                    attempt += 1;
+                    if attempt > self.cfg.max_retries {
+                        return Err(WireError::TimedOut);
+                    }
+                    self.retries += 1;
+                    self.jseq += 1;
+                    self.journal.push(
+                        Stamped {
+                            round: 0,
+                            step: 0,
+                            seq: self.jseq,
+                            event: Event::NetRetry {
+                                conn: self.conn_id,
+                                req_seq: seq,
+                                attempt: u64::from(attempt),
+                            },
+                        }
+                        .to_json_line(),
+                    );
+                    let rounds = self.cfg.backoff.delay(attempt);
+                    std::thread::sleep(Duration::from_micros(rounds * self.cfg.backoff_round_us));
+                    let bytes = self
+                        .in_flight
+                        .get(&seq)
+                        .map(|inf| inf.bytes.clone())
+                        .ok_or(WireError::TimedOut)?;
+                    self.stream
+                        .write_all(&bytes)
+                        .map_err(|e| WireError::from_io(&e))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send and await in one call.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        let seq = self.send(req)?;
+        self.recv(seq)
+    }
+
+    /// Requests sent on this connection so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Fetch the server's recorded history and rebuild it locally.
+    pub fn fetch_history(&mut self) -> Result<(TxTree, Vec<Action>), WireError> {
+        match self.request(&Request::HistoryFetch)? {
+            Response::History(doc) => doc.into_run(),
+            other => Err(WireError::BadPayload(format!(
+                "expected History, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(WireError::BadPayload(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Fetch the server's recorded history over the wire and certify it with
+/// the Theorem 17 post-hoc pipeline (read/write conflicts, registers
+/// initially 0 — matching the session engine's initial values).
+pub fn fetch_and_certify(addr: &str, cfg: ConnConfig) -> Result<RecordedCertificate, WireError> {
+    let mut conn = Conn::connect(addr, 0, cfg)?;
+    let (tree, actions) = conn.fetch_history()?;
+    Ok(certify_history(&tree, &actions))
+}
+
+/// Certify an already-fetched history.
+pub fn certify_history(tree: &TxTree, actions: &[Action]) -> RecordedCertificate {
+    let types = ObjectTypes::uniform(tree.num_objects(), Arc::new(RwRegister::new(0)));
+    certify_recorded(tree, actions, &types, ConflictSource::ReadWrite)
+}
+
+/// A typed view of the three response shapes a transaction request can
+/// produce (anything else is a protocol error).
+pub enum TxReply {
+    /// The operation succeeded (payload per request kind).
+    Ok(Response),
+    /// The addressed subtree is dead up to `victim`.
+    Aborted(u32),
+}
+
+/// Classify a response, mapping `Error` frames to [`WireError`].
+pub fn tx_reply(resp: Response) -> Result<TxReply, WireError> {
+    match resp {
+        Response::Aborted { victim } => Ok(TxReply::Aborted(victim)),
+        Response::Error { code, msg } => {
+            Err(WireError::BadPayload(format!("server error {code}: {msg}")))
+        }
+        other => Ok(TxReply::Ok(other)),
+    }
+}
+
+/// An `Op` restricted to what the wire carries — re-exported convenience
+/// for workload code.
+pub fn is_wire_op(op: &Op) -> bool {
+    matches!(op, Op::Read | Op::Write(_))
+}

@@ -1,0 +1,436 @@
+//! `*.net.json` configuration documents for the networked server and the
+//! load driver, with the workspace's config discipline: every key
+//! explicit, unknown keys rejected by name, and a `problems()` semantic
+//! check the `nt-lint` `net` pass runs over committed configs.
+//!
+//! One document format serves both roles, dispatched on `"role"`:
+//!
+//! ```json
+//! { "role": "server", "addr": "127.0.0.1:0", "shards": 8, … }
+//! { "role": "load",   "connections": 4, "tops_per_conn": 64, … }
+//! ```
+
+use nt_faults::{BackoffPolicy, TransportPlan};
+use nt_obs::json::{Json, JsonObj};
+
+/// The schema identifier embedded in every `*.net.json` document.
+pub const SCHEMA_ID: &str = "nt-net-config-v1";
+
+/// Server-role settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 = ephemeral).
+    pub addr: String,
+    /// Lock-table shards.
+    pub shards: usize,
+    /// Transaction arena capacity (including `T0`).
+    pub capacity: usize,
+    /// Deadlock-detector scan period, microseconds.
+    pub detector_period_us: u64,
+    /// Bounded per-connection request queue depth (backpressure).
+    pub queue_depth: usize,
+    /// Largest accepted frame length (the `len` prefix value).
+    pub max_frame_len: usize,
+    /// Optional deterministic transport fault plan on the receive path.
+    pub fault: Option<TransportPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 8,
+            capacity: 1 << 16,
+            detector_period_us: 500,
+            queue_depth: 32,
+            max_frame_len: crate::wire::DEFAULT_MAX_FRAME,
+            fault: None,
+        }
+    }
+}
+
+/// How the load driver paces top-level transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Closed loop: each connection starts its next top as soon as the
+    /// previous one finishes.
+    Closed,
+    /// Open loop: tops start on a fixed schedule of `rate_tps`
+    /// tops/second (aggregate across connections), regardless of how the
+    /// previous ones are doing.
+    Open {
+        /// Aggregate arrival rate, top-level transactions per second.
+        rate_tps: u64,
+    },
+}
+
+/// Load-driver settings (the client side).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadConfig {
+    /// Server address (`host:port`). Empty = supplied on the command line.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Top-level transactions each connection drives.
+    pub tops_per_conn: usize,
+    /// Objects in the workload keyspace.
+    pub objects: usize,
+    /// Probability an access goes to object 0 (contention knob).
+    pub hotspot: f64,
+    /// Fraction of accesses that are reads.
+    pub read_ratio: f64,
+    /// Maximum nesting depth below top level.
+    pub max_depth: u32,
+    /// Probability a child slot is a subtransaction rather than an access.
+    pub subtx_prob: f64,
+    /// Children per inner transaction: uniform in `min..=max`.
+    pub min_children: usize,
+    /// See `min_children`.
+    pub max_children: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// Per-response wait before a retry, milliseconds.
+    pub timeout_ms: u64,
+    /// Resend budget per request before the run gives up.
+    pub max_retries: u32,
+    /// Re-runs of a top-level transaction whose subtree aborted.
+    pub top_retries: u32,
+    /// Capped exponential backoff between resends/re-runs, in rounds.
+    pub backoff: BackoffPolicy,
+    /// Microseconds per backoff round.
+    pub backoff_round_us: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            connections: 4,
+            tops_per_conn: 64,
+            objects: 8,
+            hotspot: 0.3,
+            read_ratio: 0.5,
+            max_depth: 2,
+            subtx_prob: 0.4,
+            min_children: 1,
+            max_children: 3,
+            seed: 7,
+            mode: LoadMode::Closed,
+            timeout_ms: 200,
+            max_retries: 10,
+            top_retries: 3,
+            backoff: BackoffPolicy::default(),
+            backoff_round_us: 500,
+        }
+    }
+}
+
+/// A parsed `*.net.json`: one of the two roles.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetConfig {
+    /// `"role": "server"`.
+    Server(ServerConfig),
+    /// `"role": "load"`.
+    Load(LoadConfig),
+}
+
+fn num_field(v: &Json, key: &str) -> Result<u64, String> {
+    let n = v
+        .as_num()
+        .ok_or_else(|| format!("net config key {key:?} must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!(
+            "net config key {key:?} must be a non-negative integer"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn frac_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.as_num()
+        .ok_or_else(|| format!("net config key {key:?} must be a number"))
+}
+
+impl ServerConfig {
+    /// Semantic problems the lint pass reports.
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.shards == 0 {
+            out.push("shards must be >= 1".to_string());
+        }
+        if self.capacity < 2 {
+            out.push("capacity below 2 cannot register any transaction".to_string());
+        }
+        if self.detector_period_us == 0 {
+            out.push("detector_period_us of 0 busy-spins the detector".to_string());
+        }
+        if self.queue_depth == 0 {
+            out.push("queue_depth of 0 deadlocks the connection pipeline".to_string());
+        }
+        if self.max_frame_len < crate::wire::HEADER_LEN + 64 {
+            out.push(format!(
+                "max_frame_len {} cannot carry a history response",
+                self.max_frame_len
+            ));
+        }
+        if let Some(plan) = &self.fault {
+            out.extend(plan.problems());
+        }
+        out
+    }
+
+    /// Serialize as a `*.net.json` document.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", SCHEMA_ID)
+            .str("role", "server")
+            .str("addr", &self.addr)
+            .num("shards", self.shards as u64)
+            .num("capacity", self.capacity as u64)
+            .num("detector_period_us", self.detector_period_us)
+            .num("queue_depth", self.queue_depth as u64)
+            .num("max_frame_len", self.max_frame_len as u64);
+        if let Some(plan) = &self.fault {
+            o.raw("fault", plan.to_json());
+        }
+        o.build()
+    }
+}
+
+impl LoadConfig {
+    /// Semantic problems the lint pass reports.
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.connections == 0 {
+            out.push("connections must be >= 1".to_string());
+        }
+        if self.tops_per_conn == 0 {
+            out.push("tops_per_conn of 0 drives no load".to_string());
+        }
+        if self.objects == 0 {
+            out.push("objects must be >= 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.hotspot) {
+            out.push(format!("hotspot {} is not a probability", self.hotspot));
+        }
+        if !(0.0..=1.0).contains(&self.read_ratio) {
+            out.push(format!(
+                "read_ratio {} is not a probability",
+                self.read_ratio
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.subtx_prob) {
+            out.push(format!(
+                "subtx_prob {} is not a probability",
+                self.subtx_prob
+            ));
+        }
+        if self.min_children == 0 || self.min_children > self.max_children {
+            out.push(format!(
+                "children range {}..={} is empty or zero",
+                self.min_children, self.max_children
+            ));
+        }
+        if let LoadMode::Open { rate_tps: 0 } = self.mode {
+            out.push("open-loop rate_tps of 0 never starts a transaction".to_string());
+        }
+        if self.timeout_ms == 0 {
+            out.push("timeout_ms of 0 retries before the server can answer".to_string());
+        }
+        out
+    }
+
+    /// Serialize as a `*.net.json` document.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", SCHEMA_ID)
+            .str("role", "load")
+            .str("addr", &self.addr)
+            .num("connections", self.connections as u64)
+            .num("tops_per_conn", self.tops_per_conn as u64)
+            .num("objects", self.objects as u64)
+            .float("hotspot", self.hotspot)
+            .float("read_ratio", self.read_ratio)
+            .num("max_depth", u64::from(self.max_depth))
+            .float("subtx_prob", self.subtx_prob)
+            .num("min_children", self.min_children as u64)
+            .num("max_children", self.max_children as u64)
+            .num("seed", self.seed);
+        match self.mode {
+            LoadMode::Closed => o.str("mode", "closed"),
+            LoadMode::Open { rate_tps } => o.str("mode", "open").num("rate_tps", rate_tps),
+        };
+        o.num("timeout_ms", self.timeout_ms)
+            .num("max_retries", u64::from(self.max_retries))
+            .num("top_retries", u64::from(self.top_retries))
+            .num("backoff_base_rounds", self.backoff.base_rounds)
+            .num("backoff_cap_rounds", self.backoff.cap_rounds)
+            .num("backoff_round_us", self.backoff_round_us);
+        o.build()
+    }
+}
+
+impl NetConfig {
+    /// Problems of whichever role this is.
+    pub fn problems(&self) -> Vec<String> {
+        match self {
+            NetConfig::Server(c) => c.problems(),
+            NetConfig::Load(c) => c.problems(),
+        }
+    }
+
+    /// Parse a `*.net.json` document, rejecting unknown keys by name.
+    pub fn from_json(input: &str) -> Result<NetConfig, String> {
+        let v = Json::parse(input).map_err(|e| format!("net config is not JSON: {e}"))?;
+        let Json::Obj(fields) = &v else {
+            return Err("net config must be a JSON object".to_string());
+        };
+        let role = v
+            .get("role")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "net config needs a \"role\" of \"server\" or \"load\"".to_string())?;
+        match role {
+            "server" => {
+                let mut c = ServerConfig::default();
+                for (key, val) in fields {
+                    match key.as_str() {
+                        "schema" | "role" => {}
+                        "addr" => {
+                            c.addr = val
+                                .as_str()
+                                .ok_or_else(|| "addr must be a string".to_string())?
+                                .to_string();
+                        }
+                        "shards" => c.shards = num_field(val, key)? as usize,
+                        "capacity" => c.capacity = num_field(val, key)? as usize,
+                        "detector_period_us" => c.detector_period_us = num_field(val, key)?,
+                        "queue_depth" => c.queue_depth = num_field(val, key)? as usize,
+                        "max_frame_len" => c.max_frame_len = num_field(val, key)? as usize,
+                        "fault" => c.fault = Some(TransportPlan::from_json_value(val)?),
+                        other => return Err(format!("unknown net server config key {other:?}")),
+                    }
+                }
+                Ok(NetConfig::Server(c))
+            }
+            "load" => {
+                let mut c = LoadConfig::default();
+                let mut mode = "closed".to_string();
+                let mut rate_tps = 0u64;
+                for (key, val) in fields {
+                    match key.as_str() {
+                        "schema" | "role" => {}
+                        "addr" => {
+                            c.addr = val
+                                .as_str()
+                                .ok_or_else(|| "addr must be a string".to_string())?
+                                .to_string();
+                        }
+                        "connections" => c.connections = num_field(val, key)? as usize,
+                        "tops_per_conn" => c.tops_per_conn = num_field(val, key)? as usize,
+                        "objects" => c.objects = num_field(val, key)? as usize,
+                        "hotspot" => c.hotspot = frac_field(val, key)?,
+                        "read_ratio" => c.read_ratio = frac_field(val, key)?,
+                        "max_depth" => c.max_depth = num_field(val, key)? as u32,
+                        "subtx_prob" => c.subtx_prob = frac_field(val, key)?,
+                        "min_children" => c.min_children = num_field(val, key)? as usize,
+                        "max_children" => c.max_children = num_field(val, key)? as usize,
+                        "seed" => c.seed = num_field(val, key)?,
+                        "mode" => {
+                            mode = val
+                                .as_str()
+                                .ok_or_else(|| "mode must be \"closed\" or \"open\"".to_string())?
+                                .to_string();
+                        }
+                        "rate_tps" => rate_tps = num_field(val, key)?,
+                        "timeout_ms" => c.timeout_ms = num_field(val, key)?,
+                        "max_retries" => c.max_retries = num_field(val, key)? as u32,
+                        "top_retries" => c.top_retries = num_field(val, key)? as u32,
+                        "backoff_base_rounds" => c.backoff.base_rounds = num_field(val, key)?,
+                        "backoff_cap_rounds" => c.backoff.cap_rounds = num_field(val, key)?,
+                        "backoff_round_us" => c.backoff_round_us = num_field(val, key)?,
+                        other => return Err(format!("unknown net load config key {other:?}")),
+                    }
+                }
+                c.mode = match mode.as_str() {
+                    "closed" => LoadMode::Closed,
+                    "open" => LoadMode::Open { rate_tps },
+                    other => return Err(format!("unknown load mode {other:?}")),
+                };
+                Ok(NetConfig::Load(c))
+            }
+            other => Err(format!("unknown net config role {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_roles_roundtrip() {
+        let s = ServerConfig {
+            fault: Some(TransportPlan {
+                drop_period: 7,
+                dup_period: 5,
+                delay_period: 3,
+                delay_us: 200,
+            }),
+            ..ServerConfig::default()
+        };
+        match NetConfig::from_json(&s.to_json()).expect("server roundtrip") {
+            NetConfig::Server(back) => assert_eq!(back, s),
+            other => panic!("wrong role: {other:?}"),
+        }
+        let l = LoadConfig {
+            mode: LoadMode::Open { rate_tps: 500 },
+            ..LoadConfig::default()
+        };
+        match NetConfig::from_json(&l.to_json()).expect("load roundtrip") {
+            NetConfig::Load(back) => assert_eq!(back, l),
+            other => panic!("wrong role: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_roles_are_rejected() {
+        let err =
+            NetConfig::from_json(r#"{"role":"server","sharts":4}"#).expect_err("typo rejected");
+        assert!(err.contains("sharts"), "{err}");
+        let err = NetConfig::from_json(r#"{"role":"load","connection_count":4}"#)
+            .expect_err("typo rejected");
+        assert!(err.contains("connection_count"), "{err}");
+        let err = NetConfig::from_json(r#"{"role":"proxy"}"#).expect_err("role rejected");
+        assert!(err.contains("proxy"), "{err}");
+        let err = NetConfig::from_json(r#"{"shards":4}"#).expect_err("missing role");
+        assert!(err.contains("role"), "{err}");
+    }
+
+    #[test]
+    fn problems_catch_degenerate_configs() {
+        let s = ServerConfig {
+            queue_depth: 0,
+            fault: Some(TransportPlan {
+                drop_period: 1,
+                ..TransportPlan::default()
+            }),
+            ..ServerConfig::default()
+        };
+        let probs = s.problems();
+        assert!(probs.iter().any(|p| p.contains("queue_depth")), "{probs:?}");
+        assert!(probs.iter().any(|p| p.contains("drop_period")), "{probs:?}");
+
+        let l = LoadConfig {
+            read_ratio: 1.5,
+            mode: LoadMode::Open { rate_tps: 0 },
+            ..LoadConfig::default()
+        };
+        let probs = l.problems();
+        assert!(probs.iter().any(|p| p.contains("read_ratio")), "{probs:?}");
+        assert!(probs.iter().any(|p| p.contains("rate_tps")), "{probs:?}");
+        assert!(LoadConfig::default().problems().is_empty());
+        assert!(ServerConfig::default().problems().is_empty());
+    }
+}

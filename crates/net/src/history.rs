@@ -1,0 +1,233 @@
+//! The on-wire form of a recorded run: the server's transaction naming
+//! tree plus its merged action history, fetched by clients with
+//! [`Request::HistoryFetch`](crate::wire::Request::HistoryFetch) and
+//! certified locally with `nt_sgt::certify_recorded`.
+//!
+//! The encoding is positional: node `i` of the document is `TxId(i + 1)`
+//! (`T0` is implicit), so rebuilding the tree by replaying nodes in order
+//! reproduces the server's ids exactly — the same invariant
+//! `SessionTree::to_tx_tree` relies on. Decoding validates every parent
+//! and transaction reference before touching `TxTree` (whose mutators
+//! assert), so malformed documents yield typed errors, never panics.
+
+use crate::wire::{put_i64, put_u32, put_value, take_value, Cur, WireError};
+use nt_model::{Action, ObjId, Op, TxId, TxTree};
+
+const NODE_INNER: u8 = 0;
+const NODE_READ: u8 = 1;
+const NODE_WRITE: u8 = 2;
+
+/// One transaction node: `TxId(index + 1)` in document order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeRec {
+    /// The parent transaction (`0` = `T0`).
+    pub parent: u32,
+    /// The node's operation: `None` for inner transactions, `Some(op)`
+    /// for accesses (read/write only).
+    pub op: Option<Op>,
+    /// The object accessed (meaningful for accesses only).
+    pub obj: u32,
+}
+
+/// A recorded run in wire form.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistoryDoc {
+    /// Number of objects the run named.
+    pub objects: u32,
+    /// Transaction nodes in id order (excluding `T0`).
+    pub nodes: Vec<NodeRec>,
+    /// The merged action history, in recorded sequence order.
+    pub actions: Vec<Action>,
+}
+
+fn action_tag(a: &Action) -> u8 {
+    match a {
+        Action::Create(_) => 0,
+        Action::RequestCreate(_) => 1,
+        Action::RequestCommit(..) => 2,
+        Action::Commit(_) => 3,
+        Action::Abort(_) => 4,
+        Action::ReportCommit(..) => 5,
+        Action::ReportAbort(_) => 6,
+        Action::InformCommit(..) => 7,
+        Action::InformAbort(..) => 8,
+    }
+}
+
+impl HistoryDoc {
+    /// Package a recorded run. Fails on non-read/write access ops (which
+    /// the session engine never admits).
+    pub fn from_run(tree: &TxTree, actions: &[Action]) -> Result<HistoryDoc, WireError> {
+        let mut nodes = Vec::with_capacity(tree.len().saturating_sub(1));
+        for i in 1..tree.len() {
+            let t = TxId(i as u32);
+            let parent = tree.parent(t).expect("non-root has a parent").0;
+            let (op, obj) = if tree.is_access(t) {
+                let op = tree.op_of(t).expect("access has an op").clone();
+                if !matches!(op, Op::Read | Op::Write(_)) {
+                    return Err(WireError::BadPayload(format!(
+                        "access {t} has non-read/write op {op:?}"
+                    )));
+                }
+                let obj = tree.object_of(t).expect("access has an object").0;
+                (Some(op), obj)
+            } else {
+                (None, 0)
+            };
+            nodes.push(NodeRec { parent, op, obj });
+        }
+        Ok(HistoryDoc {
+            objects: tree.num_objects() as u32,
+            nodes,
+            actions: actions.to_vec(),
+        })
+    }
+
+    /// Rebuild the naming tree and history, validating every reference.
+    pub fn into_run(&self) -> Result<(TxTree, Vec<Action>), WireError> {
+        let mut tree = TxTree::new();
+        tree.add_objects(self.objects as usize);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = TxId((i + 1) as u32);
+            let parent = TxId(n.parent);
+            if n.parent as usize >= tree.len() {
+                return Err(WireError::BadPayload(format!(
+                    "node {id}: unknown parent {parent}"
+                )));
+            }
+            if tree.is_access(parent) {
+                return Err(WireError::BadPayload(format!(
+                    "node {id}: parent {parent} is an access"
+                )));
+            }
+            let got = match &n.op {
+                None => tree.add_inner(parent),
+                Some(op) => {
+                    if n.obj >= self.objects {
+                        return Err(WireError::BadPayload(format!(
+                            "node {id}: unknown object {}",
+                            n.obj
+                        )));
+                    }
+                    tree.add_access(parent, ObjId(n.obj), op.clone())
+                }
+            };
+            debug_assert_eq!(got, id, "positional ids replay identically");
+        }
+        for a in &self.actions {
+            let t = a.subject();
+            // Histories open with the paper's CREATE(T0); no other action
+            // may name the root.
+            if t == TxId::ROOT && !matches!(a, Action::Create(_)) {
+                return Err(WireError::BadPayload(format!("{a:?} names the root")));
+            }
+            if t != TxId::ROOT && t.index() >= tree.len() {
+                return Err(WireError::BadPayload(format!(
+                    "action names unknown tx {t}"
+                )));
+            }
+            if let Action::InformCommit(x, _) | Action::InformAbort(x, _) = a {
+                if x.0 >= self.objects {
+                    return Err(WireError::BadPayload(format!(
+                        "action names unknown object {}",
+                        x.0
+                    )));
+                }
+            }
+        }
+        Ok((tree, self.actions.clone()))
+    }
+
+    /// Append the document's binary form to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.objects);
+        put_u32(out, self.nodes.len() as u32);
+        for n in &self.nodes {
+            put_u32(out, n.parent);
+            match &n.op {
+                None => out.push(NODE_INNER),
+                Some(Op::Read) => {
+                    out.push(NODE_READ);
+                    put_u32(out, n.obj);
+                }
+                Some(Op::Write(v)) => {
+                    out.push(NODE_WRITE);
+                    put_u32(out, n.obj);
+                    put_i64(out, *v);
+                }
+                // `from_run` refuses these; an in-memory doc built by hand
+                // degrades to an inner node rather than corrupting the
+                // stream.
+                Some(_) => out.push(NODE_INNER),
+            }
+        }
+        put_u32(out, self.actions.len() as u32);
+        for a in &self.actions {
+            out.push(action_tag(a));
+            match a {
+                Action::Create(t)
+                | Action::RequestCreate(t)
+                | Action::Commit(t)
+                | Action::Abort(t)
+                | Action::ReportAbort(t) => put_u32(out, t.0),
+                Action::RequestCommit(t, v) | Action::ReportCommit(t, v) => {
+                    put_u32(out, t.0);
+                    put_value(out, v);
+                }
+                Action::InformCommit(x, t) | Action::InformAbort(x, t) => {
+                    put_u32(out, x.0);
+                    put_u32(out, t.0);
+                }
+            }
+        }
+    }
+
+    /// Decode a document from a payload cursor.
+    pub(crate) fn decode(cur: &mut Cur<'_>) -> Result<HistoryDoc, WireError> {
+        let objects = cur.u32()?;
+        let nnodes = cur.u32()?;
+        let mut nodes = Vec::new();
+        for _ in 0..nnodes {
+            let parent = cur.u32()?;
+            let (op, obj) = match cur.u8()? {
+                NODE_INNER => (None, 0),
+                NODE_READ => (Some(Op::Read), cur.u32()?),
+                NODE_WRITE => {
+                    let obj = cur.u32()?;
+                    (Some(Op::Write(cur.i64()?)), obj)
+                }
+                t => return Err(WireError::BadPayload(format!("node tag {t}"))),
+            };
+            nodes.push(NodeRec { parent, op, obj });
+        }
+        let nacts = cur.u32()?;
+        let mut actions = Vec::new();
+        for _ in 0..nacts {
+            let tag = cur.u8()?;
+            let a = match tag {
+                0 => Action::Create(TxId(cur.u32()?)),
+                1 => Action::RequestCreate(TxId(cur.u32()?)),
+                2 => {
+                    let t = TxId(cur.u32()?);
+                    Action::RequestCommit(t, take_value(cur)?)
+                }
+                3 => Action::Commit(TxId(cur.u32()?)),
+                4 => Action::Abort(TxId(cur.u32()?)),
+                5 => {
+                    let t = TxId(cur.u32()?);
+                    Action::ReportCommit(t, take_value(cur)?)
+                }
+                6 => Action::ReportAbort(TxId(cur.u32()?)),
+                7 => Action::InformCommit(ObjId(cur.u32()?), TxId(cur.u32()?)),
+                8 => Action::InformAbort(ObjId(cur.u32()?), TxId(cur.u32()?)),
+                t => return Err(WireError::BadPayload(format!("action tag {t}"))),
+            };
+            actions.push(a);
+        }
+        Ok(HistoryDoc {
+            objects,
+            nodes,
+            actions,
+        })
+    }
+}

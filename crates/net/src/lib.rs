@@ -1,0 +1,39 @@
+//! # nt-net
+//!
+//! A networked nested-transaction server and load-driving client over
+//! the threaded session engine (`nt_engine::SessionEngine`) — the
+//! workspace's answer to "does the paper's certification discipline
+//! survive a real client/server boundary?".
+//!
+//! * [`wire`] — the versioned, length-prefixed, CRC-checked binary frame
+//!   protocol (`BEGIN_TOP`/`BEGIN_CHILD`/`ACCESS`/`COMMIT`/`ABORT`/
+//!   `HISTORY_FETCH`), with client-assigned sequence numbers that make
+//!   the transport at-least-once with exactly-once execution;
+//! * [`server`] — connection-per-thread TCP server: per-connection
+//!   reader + executor threads around a bounded queue (backpressure),
+//!   per-`seq` response cache, deterministic transport fault injection
+//!   (`nt_faults::TransportPlan`) on the receive path, graceful drain;
+//! * [`client`] — pipelining connection with retry-with-backoff
+//!   (`nt_faults::BackoffPolicy`) and the post-run fetch-and-certify
+//!   path: pull the server's recorded history over the wire and run it
+//!   through `nt_sgt::certify_recorded` (Theorem 17, post hoc);
+//! * [`load`] — the load driver: `nt-sim` workload specs replayed as
+//!   wire traffic, open- or closed-loop, latency histograms through
+//!   `nt-obs` metrics;
+//! * [`history`] — the on-wire form of a recorded run;
+//! * [`config`] — `*.net.json` documents (server + load roles) with
+//!   unknown-key rejection and lint-facing semantic checks.
+
+pub mod client;
+pub mod config;
+pub mod history;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use client::{certify_history, fetch_and_certify, Conn, ConnConfig};
+pub use config::{LoadConfig, LoadMode, NetConfig, ServerConfig};
+pub use history::HistoryDoc;
+pub use load::{run_load, workload_spec, LoadReport};
+pub use server::{DrainReport, NetServer, ServerHandle, ServerStats};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,487 @@
+//! The networked nested-transaction server: a connection-per-thread TCP
+//! front end over `nt_engine::SessionEngine`.
+//!
+//! Each accepted connection gets two threads: a **reader** that frames
+//! bytes off the socket, applies the deterministic transport fault plan
+//! (drop / duplicate / delay, keyed on the connection's own frame
+//! counter), and feeds a **bounded** `sync_channel` (backpressure: a
+//! client that pipelines faster than the executor drains simply blocks in
+//! TCP); and an **executor** that owns the connection's
+//! [`Session`](nt_engine::Session), executes requests in order, and
+//! writes responses. A per-`seq` response cache makes execution
+//! exactly-once under the at-least-once transport: a retried or
+//! duplicated frame is answered from cache, never re-executed.
+//!
+//! Graceful drain (`ServerHandle::drain`, or a wire `Shutdown` request)
+//! stops the acceptor, half-closes every connection's read side so
+//! readers see EOF at a frame boundary, lets executors finish everything
+//! already queued, and only then tears the engine down — so a drained
+//! server's recorded history is complete and certifiable.
+
+use crate::config::ServerConfig;
+use crate::history::HistoryDoc;
+use crate::wire::{
+    encode_response, err_code, parse_request, FrameReader, Request, Response, WireError,
+};
+use nt_engine::{AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError};
+use nt_faults::FrameFate;
+use nt_model::{ObjId, TxId};
+use nt_obs::{Event, Stamped};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Monotone counters the server exposes after a drain.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub conns: AtomicU64,
+    /// Request frames read (before fault injection).
+    pub frames: AtomicU64,
+    /// Frames discarded by the fault plan.
+    pub dropped: AtomicU64,
+    /// Frames duplicated by the fault plan.
+    pub duplicated: AtomicU64,
+    /// Frames delayed by the fault plan.
+    pub delayed: AtomicU64,
+    /// Requests executed against a session (cache misses).
+    pub executed: AtomicU64,
+    /// Requests answered from the per-`seq` response cache.
+    pub cache_hits: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    engine: Arc<SessionEngine>,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    stats: ServerStats,
+    journal: Mutex<Vec<String>>,
+    jseq: AtomicU64,
+    /// Read-half clones, shut down on drain to unblock readers.
+    read_halves: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn emit(&self, event: Event) {
+        let seq = self.jseq.fetch_add(1, Ordering::Relaxed);
+        let line = Stamped {
+            round: 0,
+            step: 0,
+            seq,
+            event,
+        }
+        .to_json_line();
+        self.journal.lock().expect("journal poisoned").push(line);
+    }
+
+    /// Initiate a graceful drain (idempotent, non-blocking).
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for s in self
+            .read_halves
+            .lock()
+            .expect("read halves poisoned")
+            .iter()
+        {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        // Wake the acceptor with a throwaway connection; it observes the
+        // draining flag and exits instead of serving it.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound (not yet serving) server.
+pub struct NetServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A serving server: drain it, then wait for it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+/// What a drained server leaves behind.
+pub struct DrainReport {
+    /// Final counter values.
+    pub stats: ServerStats,
+    /// The observability journal (`Stamped` event lines).
+    pub journal: Vec<String>,
+    /// Transactions registered over the server's lifetime.
+    pub tx_count: usize,
+    /// Deadlock victims the detector doomed.
+    pub victims: usize,
+}
+
+impl NetServer {
+    /// Bind the listener and start the engine (no connections yet).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = SessionEngine::start(
+            cfg.capacity,
+            cfg.shards.max(1),
+            Duration::from_micros(cfg.detector_period_us.max(1)),
+        );
+        let shared = Arc::new(Shared {
+            cfg,
+            engine,
+            addr,
+            draining: AtomicBool::new(false),
+            stats: ServerStats::default(),
+            journal: Mutex::new(Vec::new()),
+            jseq: AtomicU64::new(0),
+            read_halves: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        Ok(NetServer { listener, shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Start accepting connections.
+    pub fn serve(self) -> ServerHandle {
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let acceptor = std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let conn = shared.stats.conns.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.emit(Event::ConnAccepted { conn });
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                shared
+                    .read_halves
+                    .lock()
+                    .expect("read halves poisoned")
+                    .push(read_half);
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || run_conn(shared2, conn, stream));
+                shared
+                    .conn_threads
+                    .lock()
+                    .expect("threads poisoned")
+                    .push(handle);
+            }
+        });
+        ServerHandle {
+            shared: self.shared,
+            acceptor,
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine underneath (for in-process certification in tests).
+    pub fn engine(&self) -> Arc<SessionEngine> {
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// Initiate a graceful drain (idempotent, returns immediately).
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Drain (if not already draining) and block until every connection
+    /// finished its queued work; stops the engine and returns the report.
+    pub fn wait(self) -> DrainReport {
+        self.shared.begin_drain();
+        self.join()
+    }
+
+    /// Block until something else initiates a drain — a wire `Shutdown`
+    /// request or a `drain()` call from another thread — then finish it.
+    /// This is how `nt-serve` parks: the acceptor thread only exits once
+    /// the draining flag is set.
+    pub fn join(self) -> DrainReport {
+        let _ = self.acceptor.join();
+        loop {
+            let handle = self
+                .shared
+                .conn_threads
+                .lock()
+                .expect("threads poisoned")
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let conns = self.shared.stats.conns.load(Ordering::Relaxed);
+        self.shared.emit(Event::ServerDrained { conns });
+        self.shared.engine.shutdown();
+        let shared = &self.shared;
+        DrainReport {
+            stats: ServerStats {
+                conns: AtomicU64::new(conns),
+                frames: AtomicU64::new(shared.stats.frames.load(Ordering::Relaxed)),
+                dropped: AtomicU64::new(shared.stats.dropped.load(Ordering::Relaxed)),
+                duplicated: AtomicU64::new(shared.stats.duplicated.load(Ordering::Relaxed)),
+                delayed: AtomicU64::new(shared.stats.delayed.load(Ordering::Relaxed)),
+                executed: AtomicU64::new(shared.stats.executed.load(Ordering::Relaxed)),
+                cache_hits: AtomicU64::new(shared.stats.cache_hits.load(Ordering::Relaxed)),
+            },
+            journal: shared.journal.lock().expect("journal poisoned").clone(),
+            tx_count: shared.engine.tx_count(),
+            victims: shared.engine.victims().len(),
+        }
+    }
+}
+
+/// What the reader hands the executor.
+enum Work {
+    Req(u64, Request),
+    Malformed(WireError),
+}
+
+fn run_conn(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
+    let (tx, rx) = mpsc::sync_channel::<Work>(shared.cfg.queue_depth.max(1));
+    let reader = {
+        let shared = Arc::clone(&shared);
+        let Ok(read_stream) = stream.try_clone() else {
+            return;
+        };
+        std::thread::spawn(move || read_loop(&shared, conn, read_stream, &tx))
+    };
+    let session = shared.engine.open_session();
+    execute_loop(&shared, conn, stream, session, &rx);
+    let frames = reader.join().unwrap_or(0);
+    shared.emit(Event::ConnClosed { conn, frames });
+}
+
+/// Frame the socket, apply the fault plan, feed the bounded queue.
+/// Returns the number of frames read.
+fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<Work>) -> u64 {
+    let mut fr = FrameReader::new();
+    let mut frame_no = 0u64;
+    loop {
+        match fr.read_frame(&mut stream, shared.cfg.max_frame_len) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                frame_no += 1;
+                shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+                let work = match parse_request(&frame) {
+                    Ok((seq, req)) => Work::Req(seq, req),
+                    Err(e) => {
+                        let _ = tx.send(Work::Malformed(e));
+                        break;
+                    }
+                };
+                let fate = shared
+                    .cfg
+                    .fault
+                    .map(|p| p.fate(frame_no))
+                    .unwrap_or(FrameFate::Deliver);
+                let sent = match fate {
+                    FrameFate::Deliver => tx.send(work).is_ok(),
+                    FrameFate::Drop => {
+                        shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.emit(Event::FrameFault {
+                            conn,
+                            frame: frame_no,
+                            fault: "drop",
+                        });
+                        true
+                    }
+                    FrameFate::Duplicate => {
+                        shared.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                        shared.emit(Event::FrameFault {
+                            conn,
+                            frame: frame_no,
+                            fault: "duplicate",
+                        });
+                        match &work {
+                            Work::Req(seq, req) => {
+                                let copy = Work::Req(*seq, req.clone());
+                                tx.send(work).is_ok() && tx.send(copy).is_ok()
+                            }
+                            Work::Malformed(_) => tx.send(work).is_ok(),
+                        }
+                    }
+                    FrameFate::Delay(us) => {
+                        shared.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                        shared.emit(Event::FrameFault {
+                            conn,
+                            frame: frame_no,
+                            fault: "delay",
+                        });
+                        std::thread::sleep(Duration::from_micros(us));
+                        tx.send(work).is_ok()
+                    }
+                };
+                if !sent {
+                    break;
+                }
+            }
+            Err(WireError::TimedOut) => continue,
+            Err(e) => {
+                let _ = tx.send(Work::Malformed(e));
+                break;
+            }
+        }
+    }
+    frame_no
+}
+
+fn session_error_response(e: &SessionError) -> Response {
+    let code = match e {
+        SessionError::Capacity => err_code::CAPACITY,
+        SessionError::UnknownTx(_) => err_code::UNKNOWN_TX,
+        SessionError::NotOwned(_) => err_code::NOT_OWNED,
+        SessionError::NotInner(_) => err_code::NOT_INNER,
+        SessionError::Completed(_) => err_code::COMPLETED,
+        SessionError::NonRwOp => err_code::NON_RW_OP,
+    };
+    Response::Error {
+        code,
+        msg: e.to_string(),
+    }
+}
+
+/// Execute requests in order, answering retries/duplicates from the
+/// per-`seq` cache; on exit, abort every top this connection left open so
+/// no lock outlives its client.
+fn execute_loop(
+    shared: &Shared,
+    _conn: u64,
+    mut stream: TcpStream,
+    mut session: Session,
+    rx: &Receiver<Work>,
+) {
+    let mut cache: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut open_tops: BTreeSet<TxId> = BTreeSet::new();
+    for work in rx.iter() {
+        match work {
+            Work::Req(seq, req) => {
+                if let Some(bytes) = cache.get(&seq) {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if stream.write_all(bytes).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+                let resp = execute(shared, &mut session, &mut open_tops, &req);
+                let Ok(bytes) = encode_response(seq, &resp) else {
+                    break;
+                };
+                cache.insert(seq, bytes.clone());
+                if stream.write_all(&bytes).is_err() {
+                    break;
+                }
+                if matches!(req, Request::Shutdown) {
+                    let _ = stream.flush();
+                    shared.begin_drain();
+                }
+            }
+            Work::Malformed(e) => {
+                let resp = Response::Error {
+                    code: err_code::PROTOCOL,
+                    msg: e.to_string(),
+                };
+                if let Ok(bytes) = encode_response(0, &resp) {
+                    let _ = stream.write_all(&bytes);
+                }
+                break;
+            }
+        }
+    }
+    // The client is gone (EOF, protocol error, or drain). Abort whatever
+    // it left open so held locks cannot starve other sessions.
+    for t in open_tops {
+        let _ = session.abort(t);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn execute(
+    shared: &Shared,
+    session: &mut Session,
+    open_tops: &mut BTreeSet<TxId>,
+    req: &Request,
+) -> Response {
+    match req {
+        Request::BeginTop => match session.begin_top() {
+            Ok(t) => {
+                open_tops.insert(t);
+                Response::Begun { tx: t.0 }
+            }
+            Err(e) => session_error_response(&e),
+        },
+        Request::BeginChild { parent } => match session.begin_child(TxId(*parent)) {
+            Ok(BeginOutcome::Fresh(t)) => Response::Begun { tx: t.0 },
+            Ok(BeginOutcome::Aborted(v)) => {
+                // If the victim is the top itself it is gone; a deeper
+                // victim is not in `open_tops` and the remove is a no-op.
+                open_tops.remove(&v);
+                Response::Aborted { victim: v.0 }
+            }
+            Err(e) => session_error_response(&e),
+        },
+        Request::Access { parent, obj, op } => {
+            match session.access(TxId(*parent), ObjId(*obj), op.clone()) {
+                Ok(AccessOutcome::Done(v)) => Response::AccessOk { value: v },
+                Ok(AccessOutcome::Aborted(v)) => {
+                    open_tops.remove(&v);
+                    Response::Aborted { victim: v.0 }
+                }
+                Err(e) => session_error_response(&e),
+            }
+        }
+        Request::Commit { tx } => match session.commit(TxId(*tx)) {
+            Ok(CommitOutcome::Committed) => {
+                open_tops.remove(&TxId(*tx));
+                Response::Committed
+            }
+            Ok(CommitOutcome::Aborted(v)) => {
+                open_tops.remove(&v);
+                Response::Aborted { victim: v.0 }
+            }
+            Err(e) => session_error_response(&e),
+        },
+        Request::Abort { tx } => match session.abort(TxId(*tx)) {
+            Ok(()) => {
+                open_tops.remove(&TxId(*tx));
+                Response::AbortOk
+            }
+            Err(e) => session_error_response(&e),
+        },
+        Request::HistoryFetch => {
+            let (tree, actions) = shared.engine.history_snapshot();
+            match HistoryDoc::from_run(&tree, &actions) {
+                Ok(doc) => Response::History(doc),
+                Err(e) => Response::Error {
+                    code: err_code::PROTOCOL,
+                    msg: e.to_string(),
+                },
+            }
+        }
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}

@@ -1,0 +1,666 @@
+//! The nt-net wire protocol: versioned, length-prefixed, CRC-checked
+//! binary frames over TCP.
+//!
+//! Every frame is
+//!
+//! ```text
+//! | len u32le | magic u16le | ver u8 | kind u8 | seq u64le | crc u32le | body… |
+//! ```
+//!
+//! where `len` counts every byte after the length prefix (so `len =
+//! 16 + body.len()`), `magic` is `0x4E54` (`"NT"` little-endian), `ver`
+//! is [`VERSION`], `kind` names the payload ([`Request`] kinds use the
+//! low half of the byte space, [`Response`] kinds the high half), `seq`
+//! is the client-assigned request sequence number echoed on the
+//! response, and `crc` is the IEEE CRC-32 of the body.
+//!
+//! Sequence numbers make the transport *at-least-once with exactly-once
+//! execution*: the server caches the encoded response per `seq`, so a
+//! client retry of a dropped frame re-executes nothing, and a duplicated
+//! frame is answered from cache. Decoding is total — every malformed
+//! input maps to a typed [`WireError`], never a panic — which the
+//! property tests in `tests/wire_props.rs` drive with a corrupt-frame
+//! corpus.
+
+use nt_model::{Op, Value};
+use std::io::{self, Read};
+
+/// `"NT"` little-endian.
+pub const MAGIC: u16 = 0x4E54;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Header bytes after the length prefix (magic + ver + kind + seq + crc).
+pub const HEADER_LEN: usize = 16;
+/// Default cap on `len` (prefix value); larger frames are a protocol error.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 22;
+
+// --- CRC-32 (IEEE 802.3, reflected), const-built table -------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- Errors ---------------------------------------------------------------
+
+/// Every way a frame can fail to decode or a socket can fail underneath.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// An underlying socket error (message only; `io::Error` is not `Eq`).
+    Io(String),
+    /// A read timed out (the client's retry trigger).
+    TimedOut,
+    /// The length prefix is below the header size or above the cap.
+    BadLength {
+        /// The declared length.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The magic bytes are wrong (not an nt-net peer).
+    BadMagic(u16),
+    /// The protocol version is unknown.
+    BadVersion(u8),
+    /// The body does not match the declared checksum.
+    BadCrc {
+        /// The checksum declared in the header.
+        declared: u32,
+        /// The checksum computed over the received body.
+        computed: u32,
+    },
+    /// The kind byte names no known request or response.
+    UnknownKind(u8),
+    /// The payload (or stream) ended before the structure did.
+    Truncated,
+    /// Decoding finished with this many unconsumed payload bytes.
+    Trailing(usize),
+    /// The payload is structurally valid but semantically impossible.
+    BadPayload(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(m) => write!(f, "io error: {m}"),
+            WireError::TimedOut => write!(f, "timed out"),
+            WireError::BadLength { len, max } => {
+                write!(f, "bad frame length {len} (header needs 16, cap {max})")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadCrc { declared, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: declared {declared:#010x}, computed {computed:#010x}"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Truncated => write!(f, "truncated payload"),
+            WireError::Trailing(n) => write!(f, "{n} trailing payload bytes"),
+            WireError::BadPayload(m) => write!(f, "bad payload: {m}"),
+        }
+    }
+}
+
+impl WireError {
+    /// Classify an `io::Error` (timeouts are retryable, the rest fatal).
+    pub fn from_io(e: &io::Error) -> WireError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::TimedOut,
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+// --- Little-endian put/take helpers ---------------------------------------
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian payload reader.
+pub(crate) struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.b.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    pub(crate) fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::BadPayload("non-utf8 string".into()))
+    }
+    /// Every payload byte must be consumed.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        let left = self.b.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing(left))
+        }
+    }
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- Value and Op payload encodings ---------------------------------------
+
+/// Encode a [`Value`] (full coverage; the session engine only produces
+/// `Ok`/`Nil`/`Int`/`Bool`, but the encoding is total so property tests
+/// can round-trip every variant).
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Ok => out.push(0),
+        Value::Nil => out.push(1),
+        Value::Int(i) => {
+            out.push(2);
+            put_i64(out, *i);
+        }
+        Value::Bool(b) => {
+            out.push(3);
+            out.push(u8::from(*b));
+        }
+        Value::IntSet(s) => {
+            out.push(4);
+            put_u32(out, s.len() as u32);
+            for &i in s {
+                put_i64(out, i);
+            }
+        }
+        Value::IntList(l) => {
+            out.push(5);
+            put_u32(out, l.len() as u32);
+            for &i in l {
+                put_i64(out, i);
+            }
+        }
+        Value::IntMap(m) => {
+            out.push(6);
+            put_u32(out, m.len() as u32);
+            for (&k, &v) in m {
+                put_i64(out, k);
+                put_i64(out, v);
+            }
+        }
+    }
+}
+
+pub(crate) fn take_value(cur: &mut Cur<'_>) -> Result<Value, WireError> {
+    match cur.u8()? {
+        0 => Ok(Value::Ok),
+        1 => Ok(Value::Nil),
+        2 => Ok(Value::Int(cur.i64()?)),
+        3 => match cur.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            b => Err(WireError::BadPayload(format!("bool byte {b}"))),
+        },
+        4 => {
+            let n = cur.u32()?;
+            let mut s = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                s.insert(cur.i64()?);
+            }
+            Ok(Value::IntSet(s))
+        }
+        5 => {
+            let n = cur.u32()?;
+            let mut l = Vec::new();
+            for _ in 0..n {
+                l.push(cur.i64()?);
+            }
+            Ok(Value::IntList(l))
+        }
+        6 => {
+            let n = cur.u32()?;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let k = cur.i64()?;
+                let v = cur.i64()?;
+                m.insert(k, v);
+            }
+            Ok(Value::IntMap(m))
+        }
+        t => Err(WireError::BadPayload(format!("value tag {t}"))),
+    }
+}
+
+/// Encode a read/write [`Op`]. The wire carries only the read/write
+/// fragment of the alphabet — the session engine's Moss lock table is a
+/// read/write table, and [`crate::history`] rejects anything else too.
+pub(crate) fn put_op(out: &mut Vec<u8>, op: &Op) -> Result<(), WireError> {
+    match op {
+        Op::Read => {
+            out.push(0);
+            Ok(())
+        }
+        Op::Write(v) => {
+            out.push(1);
+            put_i64(out, *v);
+            Ok(())
+        }
+        other => Err(WireError::BadPayload(format!(
+            "non-read/write op {other:?} cannot cross the wire"
+        ))),
+    }
+}
+
+pub(crate) fn take_op(cur: &mut Cur<'_>) -> Result<Op, WireError> {
+    match cur.u8()? {
+        0 => Ok(Op::Read),
+        1 => Ok(Op::Write(cur.i64()?)),
+        t => Err(WireError::BadPayload(format!("op tag {t}"))),
+    }
+}
+
+// --- Requests and responses -----------------------------------------------
+
+/// A client-to-server request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Begin a fresh top-level transaction.
+    BeginTop,
+    /// Begin a child under `parent` (which this connection's session owns).
+    BeginChild {
+        /// The parent transaction.
+        parent: u32,
+    },
+    /// Run one read/write access under `parent`.
+    Access {
+        /// The access's parent transaction.
+        parent: u32,
+        /// The object accessed.
+        obj: u32,
+        /// `Read` or `Write(v)` only.
+        op: Op,
+    },
+    /// Commit `tx` (lock inheritance to its parent).
+    Commit {
+        /// The transaction to commit.
+        tx: u32,
+    },
+    /// Abort `tx` and its whole subtree.
+    Abort {
+        /// The transaction to abort.
+        tx: u32,
+    },
+    /// Fetch the server's full recorded history for certification.
+    HistoryFetch,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain gracefully and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The frame kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::BeginTop => 0x01,
+            Request::BeginChild { .. } => 0x02,
+            Request::Access { .. } => 0x03,
+            Request::Commit { .. } => 0x04,
+            Request::Abort { .. } => 0x05,
+            Request::HistoryFetch => 0x06,
+            Request::Ping => 0x07,
+            Request::Shutdown => 0x08,
+        }
+    }
+
+    fn put_body(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        match self {
+            Request::BeginTop | Request::HistoryFetch | Request::Ping | Request::Shutdown => Ok(()),
+            Request::BeginChild { parent } => {
+                put_u32(out, *parent);
+                Ok(())
+            }
+            Request::Access { parent, obj, op } => {
+                put_u32(out, *parent);
+                put_u32(out, *obj);
+                put_op(out, op)
+            }
+            Request::Commit { tx } | Request::Abort { tx } => {
+                put_u32(out, *tx);
+                Ok(())
+            }
+        }
+    }
+
+    /// Decode a request body for `kind`.
+    pub fn decode(kind: u8, body: &[u8]) -> Result<Request, WireError> {
+        let mut cur = Cur::new(body);
+        let req = match kind {
+            0x01 => Request::BeginTop,
+            0x02 => Request::BeginChild { parent: cur.u32()? },
+            0x03 => Request::Access {
+                parent: cur.u32()?,
+                obj: cur.u32()?,
+                op: take_op(&mut cur)?,
+            },
+            0x04 => Request::Commit { tx: cur.u32()? },
+            0x05 => Request::Abort { tx: cur.u32()? },
+            0x06 => Request::HistoryFetch,
+            0x07 => Request::Ping,
+            0x08 => Request::Shutdown,
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+/// Stable error codes carried by [`Response::Error`].
+pub mod err_code {
+    /// The server's transaction arena is full.
+    pub const CAPACITY: u16 = 1;
+    /// The named transaction does not exist.
+    pub const UNKNOWN_TX: u16 = 2;
+    /// The named transaction belongs to another connection's session.
+    pub const NOT_OWNED: u16 = 3;
+    /// The named transaction is an access (a leaf).
+    pub const NOT_INNER: u16 = 4;
+    /// The named transaction already committed.
+    pub const COMPLETED: u16 = 5;
+    /// The operation is not a read/write operation.
+    pub const NON_RW_OP: u16 = 6;
+    /// The connection sent a malformed frame.
+    pub const PROTOCOL: u16 = 7;
+}
+
+/// A server-to-client response (its `seq` echoes the request's).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The fresh transaction from `BeginTop`/`BeginChild`.
+    Begun {
+        /// The new transaction.
+        tx: u32,
+    },
+    /// The access committed with this return value.
+    AccessOk {
+        /// The access's return value.
+        value: Value,
+    },
+    /// The `Commit` succeeded.
+    Committed,
+    /// The `Abort` was carried out (idempotent).
+    AbortOk,
+    /// The addressed subtree is dead: `victim` is its highest aborted
+    /// transaction (the client unwinds to `victim`'s parent).
+    Aborted {
+        /// The highest aborted ancestor.
+        victim: u32,
+    },
+    /// The recorded history (naming tree + merged action log).
+    History(crate::history::HistoryDoc),
+    /// Liveness reply.
+    Pong,
+    /// The server acknowledged `Shutdown` and is draining.
+    ShuttingDown,
+    /// A protocol-level failure (see [`err_code`]).
+    Error {
+        /// Stable error code.
+        code: u16,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// The frame kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Begun { .. } => 0x81,
+            Response::AccessOk { .. } => 0x82,
+            Response::Committed => 0x83,
+            Response::AbortOk => 0x84,
+            Response::Aborted { .. } => 0x85,
+            Response::History(_) => 0x86,
+            Response::Pong => 0x87,
+            Response::ShuttingDown => 0x88,
+            Response::Error { .. } => 0x89,
+        }
+    }
+
+    fn put_body(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        match self {
+            Response::Begun { tx } | Response::Aborted { victim: tx } => {
+                put_u32(out, *tx);
+                Ok(())
+            }
+            Response::AccessOk { value } => {
+                put_value(out, value);
+                Ok(())
+            }
+            Response::Committed | Response::AbortOk | Response::Pong | Response::ShuttingDown => {
+                Ok(())
+            }
+            Response::History(doc) => {
+                doc.encode(out);
+                Ok(())
+            }
+            Response::Error { code, msg } => {
+                put_u16(out, *code);
+                put_str(out, msg);
+                Ok(())
+            }
+        }
+    }
+
+    /// Decode a response body for `kind`.
+    pub fn decode(kind: u8, body: &[u8]) -> Result<Response, WireError> {
+        let mut cur = Cur::new(body);
+        let resp = match kind {
+            0x81 => Response::Begun { tx: cur.u32()? },
+            0x82 => Response::AccessOk {
+                value: take_value(&mut cur)?,
+            },
+            0x83 => Response::Committed,
+            0x84 => Response::AbortOk,
+            0x85 => Response::Aborted { victim: cur.u32()? },
+            0x86 => Response::History(crate::history::HistoryDoc::decode(&mut cur)?),
+            0x87 => Response::Pong,
+            0x88 => Response::ShuttingDown,
+            0x89 => Response::Error {
+                code: cur.u16()?,
+                msg: cur.str()?,
+            },
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+// --- Frame assembly and parsing -------------------------------------------
+
+fn encode_frame(kind: u8, seq: u64, body: &[u8]) -> Vec<u8> {
+    let len = HEADER_LEN + body.len();
+    let mut out = Vec::with_capacity(4 + len);
+    put_u32(&mut out, len as u32);
+    put_u16(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u64(&mut out, seq);
+    put_u32(&mut out, crc32(body));
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encode one request frame (length prefix included).
+pub fn encode_request(seq: u64, req: &Request) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::new();
+    req.put_body(&mut body)?;
+    Ok(encode_frame(req.kind(), seq, &body))
+}
+
+/// Encode one response frame (length prefix included).
+pub fn encode_response(seq: u64, resp: &Response) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::new();
+    resp.put_body(&mut body)?;
+    Ok(encode_frame(resp.kind(), seq, &body))
+}
+
+/// Parse one frame (everything *after* the length prefix) into its kind,
+/// sequence number, and body. Validates magic, version, and checksum.
+pub fn parse_frame(frame: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let magic = u16::from_le_bytes([frame[0], frame[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let ver = frame[2];
+    if ver != VERSION {
+        return Err(WireError::BadVersion(ver));
+    }
+    let kind = frame[3];
+    let seq = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    let declared = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
+    let body = &frame[HEADER_LEN..];
+    let computed = crc32(body);
+    if declared != computed {
+        return Err(WireError::BadCrc { declared, computed });
+    }
+    Ok((kind, seq, body))
+}
+
+/// Parse and decode a full request frame.
+pub fn parse_request(frame: &[u8]) -> Result<(u64, Request), WireError> {
+    let (kind, seq, body) = parse_frame(frame)?;
+    Ok((seq, Request::decode(kind, body)?))
+}
+
+/// Parse and decode a full response frame.
+pub fn parse_response(frame: &[u8]) -> Result<(u64, Response), WireError> {
+    let (kind, seq, body) = parse_frame(frame)?;
+    Ok((seq, Response::decode(kind, body)?))
+}
+
+// --- Stream framing -------------------------------------------------------
+
+/// Accumulates socket bytes and yields complete frames (sans length
+/// prefix). Robust to partial reads and read timeouts mid-frame: a
+/// [`WireError::TimedOut`] leaves accumulated bytes in place, so the next
+/// call resumes where the stream paused.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    fn take_frame(&mut self, max_len: usize) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len < HEADER_LEN || len > max_len {
+            return Err(WireError::BadLength { len, max: max_len });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    /// Read until one complete frame is available. `Ok(None)` is clean
+    /// EOF at a frame boundary; EOF mid-frame is [`WireError::Truncated`].
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        max_len: usize,
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        loop {
+            if let Some(frame) = self.take_frame(max_len)? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(WireError::Truncated);
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::from_io(&e)),
+            }
+        }
+    }
+}

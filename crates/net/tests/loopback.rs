@@ -1,0 +1,250 @@
+//! End-to-end loopback tests: a real `NetServer` on 127.0.0.1, real
+//! `Conn` clients, contended multi-connection load, transport faults
+//! with client retries, graceful drain, and malformed-frame handling —
+//! every run's recorded history is fetched over the wire and certified
+//! with the Theorem 17 post-hoc pipeline.
+
+use nt_faults::TransportPlan;
+use nt_model::{Op, Value};
+use nt_net::client::tx_reply;
+use nt_net::wire::{crc32, err_code, parse_response};
+use nt_net::{
+    fetch_and_certify, run_load, Conn, ConnConfig, LoadConfig, NetServer, Request, Response,
+    ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+fn start_server(cfg: ServerConfig) -> (String, nt_net::ServerHandle) {
+    let server = NetServer::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (addr, server.serve())
+}
+
+#[test]
+fn single_session_runs_a_nested_transaction_end_to_end() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut conn = Conn::connect(&addr, 1, ConnConfig::default()).expect("connect");
+
+    assert!(matches!(conn.request(&Request::Ping), Ok(Response::Pong)));
+
+    let top = match conn.request(&Request::BeginTop).expect("begin top") {
+        Response::Begun { tx } => tx,
+        other => panic!("expected Begun, got {other:?}"),
+    };
+    let wrote = conn
+        .request(&Request::Access {
+            parent: top,
+            obj: 0,
+            op: Op::Write(42),
+        })
+        .expect("write");
+    assert!(matches!(wrote, Response::AccessOk { .. }));
+
+    let child = match conn
+        .request(&Request::BeginChild { parent: top })
+        .expect("begin child")
+    {
+        Response::Begun { tx } => tx,
+        other => panic!("expected Begun, got {other:?}"),
+    };
+    // The child sees its ancestor's uncommitted write (Moss rules).
+    match conn
+        .request(&Request::Access {
+            parent: child,
+            obj: 0,
+            op: Op::Read,
+        })
+        .expect("read")
+    {
+        Response::AccessOk { value } => assert_eq!(value, Value::Int(42)),
+        other => panic!("expected AccessOk, got {other:?}"),
+    }
+    assert!(matches!(
+        conn.request(&Request::Commit { tx: child }),
+        Ok(Response::Committed)
+    ));
+    assert!(matches!(
+        conn.request(&Request::Commit { tx: top }),
+        Ok(Response::Committed)
+    ));
+
+    // Unknown transaction ids come back as typed errors, not closes.
+    match conn.request(&Request::Commit { tx: 9999 }).expect("reply") {
+        Response::Error { code, .. } => assert_eq!(code, err_code::UNKNOWN_TX),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    let (tree, actions) = conn.fetch_history().expect("history");
+    let cert = nt_net::certify_history(&tree, &actions);
+    assert!(
+        cert.is_serially_correct(),
+        "violations: {}",
+        cert.violations
+    );
+    assert!(cert.actions > 0);
+
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    let report = handle.wait();
+    assert!(report.stats.executed.load(Ordering::Relaxed) > 0);
+    assert_eq!(report.victims, 0);
+}
+
+#[test]
+fn contended_connections_certify_acyclic() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let load = LoadConfig {
+        addr: addr.clone(),
+        connections: 4,
+        tops_per_conn: 16,
+        objects: 3,
+        hotspot: 0.7,
+        read_ratio: 0.4,
+        max_depth: 2,
+        seed: 23,
+        top_retries: 10,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&addr, &load).expect("load runs");
+    // Under this contention some tops may exhaust even a generous retry
+    // budget on a loaded host; the invariant is that the bulk of the work
+    // commits and the recorded history certifies clean, not that every
+    // deadlock victim is salvaged.
+    assert!(
+        report.committed_tops >= 32,
+        "too little committed: {report:?}"
+    );
+
+    let cert = fetch_and_certify(&addr, ConnConfig::from(&load)).expect("certify");
+    assert_eq!(cert.violations, 0);
+    assert!(cert.is_serially_correct());
+    assert!(cert.sg_nodes as u64 >= report.committed_tops);
+
+    handle.wait();
+}
+
+#[test]
+fn faulty_transport_still_certifies_with_retries() {
+    let fault = TransportPlan {
+        drop_period: 11,
+        dup_period: 7,
+        delay_period: 5,
+        delay_us: 200,
+    };
+    let (addr, handle) = start_server(ServerConfig {
+        fault: Some(fault),
+        ..ServerConfig::default()
+    });
+    let load = LoadConfig {
+        addr: addr.clone(),
+        connections: 4,
+        tops_per_conn: 10,
+        objects: 4,
+        hotspot: 0.5,
+        read_ratio: 0.5,
+        max_depth: 2,
+        seed: 31,
+        timeout_ms: 50,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&addr, &load).expect("load survives faults");
+    assert!(report.committed_tops > 0);
+    assert!(
+        report.retries > 0,
+        "the drop plan must have forced client resends"
+    );
+
+    let cert = fetch_and_certify(&addr, ConnConfig::from(&load)).expect("certify");
+    assert_eq!(cert.violations, 0);
+    assert!(cert.is_serially_correct());
+
+    let drained = handle.wait();
+    assert!(drained.stats.dropped.load(Ordering::Relaxed) > 0);
+    assert!(drained.stats.duplicated.load(Ordering::Relaxed) > 0);
+    assert!(drained.stats.delayed.load(Ordering::Relaxed) > 0);
+    // Duplicated frames were answered from the response cache, never
+    // executed twice.
+    assert!(drained.stats.cache_hits.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn graceful_drain_answers_all_queued_work() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut conn = Conn::connect(&addr, 1, ConnConfig::default()).expect("connect");
+
+    // Pipeline a burst, then a Shutdown *behind* it: the executor must
+    // answer everything already queued before the drain takes hold.
+    let top_seq = conn.send(&Request::BeginTop).expect("send");
+    let top = match conn.recv(top_seq).expect("recv") {
+        Response::Begun { tx } => tx,
+        other => panic!("expected Begun, got {other:?}"),
+    };
+    let mut pending = Vec::new();
+    for i in 0..8 {
+        pending.push(
+            conn.send(&Request::Access {
+                parent: top,
+                obj: 0,
+                op: Op::Write(i),
+            })
+            .expect("send access"),
+        );
+    }
+    pending.push(
+        conn.send(&Request::Commit { tx: top })
+            .expect("send commit"),
+    );
+    let down_seq = conn.send(&Request::Shutdown).expect("send shutdown");
+
+    for seq in pending {
+        let resp = conn.recv(seq).expect("queued work answered");
+        assert!(tx_reply(resp).is_ok(), "queued request was rejected");
+    }
+    assert!(matches!(conn.recv(down_seq), Ok(Response::ShuttingDown)));
+    drop(conn);
+
+    let report = handle.wait();
+    // BeginTop + 8 writes + commit + shutdown, all executed exactly once.
+    assert_eq!(report.stats.executed.load(Ordering::Relaxed), 11);
+    assert_eq!(report.stats.cache_hits.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn malformed_frame_yields_protocol_error_then_close() {
+    let (addr, handle) = start_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(&addr).expect("connect raw");
+
+    // A syntactically framed request with the wrong magic.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&0xAAAAu16.to_le_bytes()); // bad magic
+    frame.push(1); // version
+    frame.push(0x07); // Ping
+    frame.extend_from_slice(&1u64.to_le_bytes()); // seq
+    frame.extend_from_slice(&crc32(b"").to_le_bytes());
+    let mut wire = (frame.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&frame);
+    stream.write_all(&wire).expect("write garbage");
+
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("response length");
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body).expect("response frame");
+    let (seq, resp) = parse_response(&body).expect("typed response");
+    assert_eq!(seq, 0);
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, err_code::PROTOCOL),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The server closes the connection after a protocol error.
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).expect("clean close");
+    assert_eq!(n, 0);
+    drop(stream);
+
+    handle.drain();
+    let report = handle.wait();
+    assert_eq!(report.stats.executed.load(Ordering::Relaxed), 0);
+}

@@ -1,0 +1,252 @@
+//! Wire-protocol property tests: every frame type round-trips through
+//! encode/decode, and a corpus of corrupted frames (truncations, bit
+//! flips, bad CRC, bad magic, bad version, unknown kinds, trailing
+//! bytes) always yields a typed [`WireError`] — never a panic.
+
+use nt_model::{Op, Value};
+use nt_net::history::{HistoryDoc, NodeRec};
+use nt_net::wire::{
+    crc32, encode_request, encode_response, parse_frame, parse_request, parse_response, Request,
+    Response, HEADER_LEN,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Read), any::<i64>().prop_map(Op::Write)]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Ok),
+        Just(Value::Nil),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        prop::collection::vec(any::<i64>(), 0..5)
+            .prop_map(|v| Value::IntSet(v.into_iter().collect::<BTreeSet<i64>>())),
+        prop::collection::vec(any::<i64>(), 0..5).prop_map(Value::IntList),
+        prop::collection::vec((any::<i64>(), any::<i64>()), 0..5)
+            .prop_map(|v| Value::IntMap(v.into_iter().collect::<BTreeMap<i64, i64>>())),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::BeginTop),
+        any::<u32>().prop_map(|parent| Request::BeginChild { parent }),
+        (any::<u32>(), any::<u32>(), arb_op()).prop_map(|(parent, obj, op)| Request::Access {
+            parent,
+            obj,
+            op
+        }),
+        any::<u32>().prop_map(|tx| Request::Commit { tx }),
+        any::<u32>().prop_map(|tx| Request::Abort { tx }),
+        Just(Request::HistoryFetch),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_doc() -> impl Strategy<Value = HistoryDoc> {
+    // Structurally arbitrary (not necessarily a valid run — `into_run`
+    // validation is separate); encode/decode must round-trip regardless.
+    (
+        0u32..8,
+        prop::collection::vec((any::<u32>(), any::<bool>(), arb_op(), any::<u32>()), 0..6),
+    )
+        .prop_map(|(objects, nodes)| HistoryDoc {
+            objects,
+            nodes: nodes
+                .into_iter()
+                .map(|(parent, access, op, obj)| NodeRec {
+                    parent,
+                    op: access.then_some(op),
+                    // Inner nodes carry no object on the wire; keep the
+                    // in-memory form canonical so round-trips compare equal.
+                    obj: if access { obj } else { 0 },
+                })
+                .collect(),
+            actions: Vec::new(),
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u32>().prop_map(|tx| Response::Begun { tx }),
+        arb_value().prop_map(|value| Response::AccessOk { value }),
+        Just(Response::Committed),
+        Just(Response::AbortOk),
+        any::<u32>().prop_map(|victim| Response::Aborted { victim }),
+        arb_doc().prop_map(Response::History),
+        Just(Response::Pong),
+        Just(Response::ShuttingDown),
+        (any::<u16>(), any::<u16>()).prop_map(|(code, m)| Response::Error {
+            code,
+            msg: format!("err {m}")
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip(seq in any::<u64>(), req in arb_request()) {
+        let frame = encode_request(seq, &req).expect("rw requests encode");
+        let (got_seq, got) = parse_request(&frame[4..]).expect("decodes");
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn responses_roundtrip(seq in any::<u64>(), resp in arb_response()) {
+        let frame = encode_response(seq, &resp).expect("responses encode");
+        let (got_seq, got) = parse_response(&frame[4..]).expect("decodes");
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(got, resp);
+    }
+
+    /// Truncating a valid frame at any point yields a typed error, not a
+    /// panic, and never a bogus success.
+    #[test]
+    fn truncations_never_panic(seq in any::<u64>(), req in arb_request()) {
+        let frame = encode_request(seq, &req).expect("encodes");
+        let payload = &frame[4..];
+        for cut in 0..payload.len() {
+            let r = parse_request(&payload[..cut]);
+            prop_assert!(r.is_err(), "cut at {cut} decoded: {r:?}");
+        }
+    }
+
+    /// Flipping any single byte of a frame is always detected (CRC over
+    /// the body, field validation over the header).
+    #[test]
+    fn single_byte_corruption_is_detected(
+        seq in any::<u64>(),
+        req in arb_request(),
+        at in any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let frame = encode_request(seq, &req).expect("encodes");
+        let mut payload = frame[4..].to_vec();
+        let i = at as usize % payload.len();
+        payload[i] ^= xor;
+        // Corrupting the seq bytes (offsets 4..12) only changes the
+        // sequence number — the frame stays valid by design.
+        if let Ok((got_seq, got)) = parse_request(&payload) {
+            prop_assert!((4..12).contains(&i));
+            prop_assert!(got_seq != seq);
+            prop_assert_eq!(got, req);
+        }
+    }
+}
+
+#[test]
+fn corrupt_frame_corpus_yields_typed_errors() {
+    use nt_net::wire::WireError;
+    let frame = encode_request(42, &Request::Commit { tx: 7 }).expect("encodes");
+    let payload = frame[4..].to_vec();
+
+    // Bad magic.
+    let mut bad = payload.clone();
+    bad[0] = 0xAA;
+    bad[1] = 0xBB;
+    assert!(matches!(
+        parse_request(&bad),
+        Err(WireError::BadMagic(0xBBAA))
+    ));
+
+    // Bad version.
+    let mut bad = payload.clone();
+    bad[2] = 99;
+    assert!(matches!(
+        parse_request(&bad),
+        Err(WireError::BadVersion(99))
+    ));
+
+    // Unknown kind (header stays valid, body CRC still matches).
+    let mut bad = payload.clone();
+    bad[3] = 0x7F;
+    assert!(matches!(
+        parse_request(&bad),
+        Err(WireError::UnknownKind(0x7F))
+    ));
+
+    // Bad CRC: flip a body byte.
+    let mut bad = payload.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xFF;
+    assert!(matches!(parse_request(&bad), Err(WireError::BadCrc { .. })));
+
+    // Trailing bytes after a valid body: the declared CRC no longer
+    // matches the longer body.
+    let mut bad = payload.clone();
+    bad.extend_from_slice(&[0, 0, 0]);
+    assert!(parse_request(&bad).is_err());
+
+    // Shorter than a header.
+    assert!(matches!(
+        parse_request(&payload[..HEADER_LEN - 1]),
+        Err(WireError::Truncated)
+    ));
+
+    // Empty.
+    assert!(matches!(parse_request(&[]), Err(WireError::Truncated)));
+
+    // A frame whose body decodes short (declared Commit but no tx bytes):
+    // rebuild with a valid CRC over a truncated body.
+    let body: [u8; 2] = [7, 0];
+    let mut handmade = Vec::new();
+    handmade.extend_from_slice(&0x4E54u16.to_le_bytes());
+    handmade.push(1); // version
+    handmade.push(0x04); // Commit
+    handmade.extend_from_slice(&42u64.to_le_bytes());
+    handmade.extend_from_slice(&crc32(&body).to_le_bytes());
+    handmade.extend_from_slice(&body);
+    assert!(matches!(
+        parse_request(&handmade),
+        Err(WireError::Truncated)
+    ));
+
+    // Same but with extra body bytes beyond the structure: Trailing.
+    let body: [u8; 6] = [7, 0, 0, 0, 9, 9];
+    let mut handmade = Vec::new();
+    handmade.extend_from_slice(&0x4E54u16.to_le_bytes());
+    handmade.push(1);
+    handmade.push(0x04);
+    handmade.extend_from_slice(&42u64.to_le_bytes());
+    handmade.extend_from_slice(&crc32(&body).to_le_bytes());
+    handmade.extend_from_slice(&body);
+    assert!(matches!(
+        parse_request(&handmade),
+        Err(WireError::Trailing(2))
+    ));
+}
+
+#[test]
+fn crc32_matches_reference_vectors() {
+    // Standard IEEE CRC-32 check values.
+    assert_eq!(crc32(b""), 0x0000_0000);
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(
+        crc32(b"The quick brown fox jumps over the lazy dog"),
+        0x414F_A339
+    );
+}
+
+#[test]
+fn frame_layout_is_stable() {
+    // Lock the on-wire layout: little-endian length, magic "NT", version,
+    // kind, seq, crc, body.
+    let frame = encode_request(0x0102_0304_0506_0708, &Request::Ping).expect("encodes");
+    assert_eq!(&frame[..4], &16u32.to_le_bytes()); // empty body
+    assert_eq!(&frame[4..6], &0x4E54u16.to_le_bytes());
+    assert_eq!(frame[6], 1);
+    assert_eq!(frame[7], 0x07);
+    assert_eq!(&frame[8..16], &0x0102_0304_0506_0708u64.to_le_bytes());
+    assert_eq!(&frame[16..20], &crc32(b"").to_le_bytes());
+    assert_eq!(frame.len(), 20);
+    let (_, seq, body) = parse_frame(&frame[4..]).expect("parses");
+    assert_eq!(seq, 0x0102_0304_0506_0708);
+    assert!(body.is_empty());
+}

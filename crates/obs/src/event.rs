@@ -206,6 +206,44 @@ pub enum Event {
         /// Rounds without progress when the watchdog tripped.
         stalled_rounds: u64,
     },
+    /// The networked server accepted a client connection (nt-net).
+    ConnAccepted {
+        /// Server-assigned connection id.
+        conn: u64,
+    },
+    /// A client connection finished (EOF, error, or drain).
+    ConnClosed {
+        /// Connection id.
+        conn: u64,
+        /// Request frames read off this connection (after fault injection).
+        frames: u64,
+    },
+    /// The transport fault plan acted on a received frame (nt-net).
+    FrameFault {
+        /// Connection id.
+        conn: u64,
+        /// The connection's frame counter (1-based).
+        frame: u64,
+        /// Stable fault label (`drop`, `duplicate`, `delay`).
+        fault: &'static str,
+    },
+    /// A client re-sent a request whose response timed out (nt-net,
+    /// client side).
+    NetRetry {
+        /// Connection id (client-local numbering).
+        conn: u64,
+        /// The retried request's wire sequence number (written as
+        /// `req_seq` — `seq` is the stamp's own field).
+        req_seq: u64,
+        /// Retry number (1 = first resend).
+        attempt: u64,
+    },
+    /// The server finished a graceful drain: stopped accepting, executed
+    /// every queued request, closed every connection.
+    ServerDrained {
+        /// Connections served over the server's lifetime.
+        conns: u64,
+    },
     /// A checker phase began (graph build, cycle check, …).
     CheckPhaseStart {
         /// Phase name (stable identifiers, see `DESIGN.md`).
@@ -279,6 +317,11 @@ impl Event {
             Event::RetryScheduled { .. } => "retry_scheduled",
             Event::RetryExhausted { .. } => "retry_exhausted",
             Event::WatchdogFired { .. } => "watchdog_fired",
+            Event::ConnAccepted { .. } => "conn_accepted",
+            Event::ConnClosed { .. } => "conn_closed",
+            Event::FrameFault { .. } => "frame_fault",
+            Event::NetRetry { .. } => "net_retry",
+            Event::ServerDrained { .. } => "server_drained",
             Event::CheckPhaseStart { .. } => "check_phase_start",
             Event::CheckPhaseEnd { .. } => "check_phase_end",
             Event::SgEdgeInserted { .. } => "sg_edge_inserted",
@@ -422,6 +465,29 @@ impl Event {
             }
             Event::RetryExhausted { orig, attempts } => {
                 o.num("orig", u64::from(*orig)).num("attempts", *attempts);
+            }
+            Event::ConnAccepted { conn } => {
+                o.num("conn", *conn);
+            }
+            Event::ConnClosed { conn, frames } => {
+                o.num("conn", *conn).num("frames", *frames);
+            }
+            Event::FrameFault { conn, frame, fault } => {
+                o.num("conn", *conn)
+                    .num("frame", *frame)
+                    .str("fault", fault);
+            }
+            Event::NetRetry {
+                conn,
+                req_seq,
+                attempt,
+            } => {
+                o.num("conn", *conn)
+                    .num("req_seq", *req_seq)
+                    .num("attempt", *attempt);
+            }
+            Event::ServerDrained { conns } => {
+                o.num("conns", *conns);
             }
             Event::WatchdogFired { stalled_rounds } => {
                 o.num("stalled_rounds", *stalled_rounds);
@@ -570,6 +636,22 @@ mod tests {
                 attempts: 2,
             },
             Event::WatchdogFired { stalled_rounds: 64 },
+            Event::ConnAccepted { conn: 3 },
+            Event::ConnClosed {
+                conn: 3,
+                frames: 17,
+            },
+            Event::FrameFault {
+                conn: 3,
+                frame: 6,
+                fault: "drop",
+            },
+            Event::NetRetry {
+                conn: 3,
+                req_seq: 6,
+                attempt: 1,
+            },
+            Event::ServerDrained { conns: 4 },
             Event::CheckPhaseStart { phase: "sg_build" },
             Event::CheckPhaseEnd { phase: "sg_build" },
             Event::SgEdgeInserted {

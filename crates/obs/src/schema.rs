@@ -149,6 +149,28 @@ const SCHEMA: &[(&str, &[(&str, FieldTy)])] = &[
         &[("orig", FieldTy::Num), ("attempts", FieldTy::Num)],
     ),
     ("watchdog_fired", &[("stalled_rounds", FieldTy::Num)]),
+    ("conn_accepted", &[("conn", FieldTy::Num)]),
+    (
+        "conn_closed",
+        &[("conn", FieldTy::Num), ("frames", FieldTy::Num)],
+    ),
+    (
+        "frame_fault",
+        &[
+            ("conn", FieldTy::Num),
+            ("frame", FieldTy::Num),
+            ("fault", FieldTy::Str),
+        ],
+    ),
+    (
+        "net_retry",
+        &[
+            ("conn", FieldTy::Num),
+            ("req_seq", FieldTy::Num),
+            ("attempt", FieldTy::Num),
+        ],
+    ),
+    ("server_drained", &[("conns", FieldTy::Num)]),
     ("check_phase_start", &[("phase", FieldTy::Str)]),
     ("check_phase_end", &[("phase", FieldTy::Str)]),
     (
@@ -297,6 +319,11 @@ mod tests {
             "check_verdict",
             "violation",
             "note",
+            "conn_accepted",
+            "conn_closed",
+            "frame_fault",
+            "net_retry",
+            "server_drained",
         ];
         for k in kinds {
             assert!(

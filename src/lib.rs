@@ -45,6 +45,7 @@ pub use nt_generic as generic;
 pub use nt_locking as locking;
 pub use nt_model as model;
 pub use nt_mvto as mvto;
+pub use nt_net as net;
 pub use nt_serial as serial;
 pub use nt_sgt as sgt;
 pub use nt_sim as sim;
