@@ -21,6 +21,8 @@
 //! * *Strong compatibility* (at most one component outputs a given action)
 //!   is asserted at fire time in debug builds.
 
+#![forbid(unsafe_code)]
+
 use nt_model::Action;
 
 /// One component automaton of a composed system.

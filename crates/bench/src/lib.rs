@@ -4,6 +4,8 @@
 //! `experiments` binary (which regenerates every table in
 //! `EXPERIMENTS.md`) and the criterion benches.
 
+#![forbid(unsafe_code)]
+
 use nt_locking::LockMode;
 use nt_model::seq::serial_projection;
 use nt_obs::json::JsonObj;

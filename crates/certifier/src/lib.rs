@@ -30,6 +30,8 @@
 //!
 //! Read/write objects only (the value of a read is the last logged write).
 
+#![forbid(unsafe_code)]
+
 use nt_automata::Component;
 use nt_model::{Action, TxId, TxTree, Value};
 use nt_sgt::{EdgeKind, SerializationGraph, SgEdge};

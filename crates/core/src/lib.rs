@@ -66,6 +66,8 @@
 //! assert!(verdict.is_serially_correct());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checker;
 pub mod classical;
 pub mod graph;

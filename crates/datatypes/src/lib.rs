@@ -28,6 +28,8 @@
 //! assert!(!acc.commutes_backward(&d, &w1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod account;
 pub mod counter;
 pub mod kvmap;

@@ -29,6 +29,8 @@
 //! transaction concurrency); concurrency happens *between* top-level
 //! transactions, which is where the paper's serializability questions live.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod detector;
 pub mod locktable;
@@ -43,7 +45,10 @@ pub use config::EngineConfig;
 pub use detector::DetectorOutcome;
 pub use locktable::{Acquired, LockTable};
 pub use recorder::{SeqClock, WorkerLog};
-pub use run::{run_plan, run_workload, EnginePlan, EngineReport, EngineStats, Victim};
+pub use run::{
+    run_plan, run_plan_gated, run_workload, EnginePlan, EngineReport, EngineStats, PreflightGate,
+    Victim,
+};
 pub use session::{
     AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError,
 };

@@ -25,6 +25,8 @@
 //! bench harness, and the static analyzer can all consume plans without
 //! dependency cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod backoff;
 pub mod minimize;
 pub mod plan;

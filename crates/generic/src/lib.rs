@@ -14,6 +14,8 @@
 //! completions to parents, and inform objects of the fate of transactions
 //! (the `INFORM_COMMIT` / `INFORM_ABORT` actions generic objects consume).
 
+#![forbid(unsafe_code)]
+
 pub mod simple;
 
 pub use simple::SimpleDatabase;

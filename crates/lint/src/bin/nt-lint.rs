@@ -1,8 +1,10 @@
 //! Static soundness analyzer for the workspace.
 //!
 //! ```text
-//! nt-lint [--json] [--plant-defect] [types|workloads|plans|engine|net|all]
+//! nt-lint [--json] [--plant-defect] [--plant-cycle]
+//!         [types|workloads|plans|engine|net|analyze|all]
 //!         [plan.json ...] [config.engine.json ...] [config.net.json ...]
+//!         [plan.access.json ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -22,18 +24,28 @@
 //!   files given as arguments (serviceable queue/capacity/frame limits,
 //!   coherent transport fault plans, probabilities that are
 //!   probabilities, live timeouts).
+//! * `analyze` — static serializability and lock-order analysis: build the
+//!   potential conflict graph of every `*.access.json` plan given as an
+//!   argument and error with ranked potential-cycle witnesses unless the
+//!   plan is serializable under **all** schedules; also sweep the workload
+//!   matrix advisorily (the engine certifies those dynamically) and flag
+//!   reversed lock-acquisition orders between tops.
 //! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
 //! deliberately unsound fixture type into the analyzed set — a self-check
 //! that the analyzer still detects planted defects (used by the golden
-//! tests; must make the exit code nonzero).
+//! tests; must make the exit code nonzero). `--plant-cycle` does the same
+//! for the static serializability pass with a guaranteed-cyclic plan.
 //!
 //! Exit codes: 0 = no errors, 1 = at least one error-severity finding,
 //! 2 = usage error.
 
 use nt_lint::selftest::BrokenCounter;
-use nt_lint::{engine, net, plan, soundness, workload, Finding, Report, Severity, SoundnessConfig};
+use nt_lint::{
+    analyze, engine, lockorder, net, plan, soundness, workload, Finding, Report, Severity,
+    SoundnessConfig, StaticPlan,
+};
 use nt_locking::LockMode;
 use nt_serial::SerialType;
 use nt_sim::{OpMix, Protocol, WorkloadSpec};
@@ -48,12 +60,15 @@ enum Pass {
     Plans,
     Engine,
     Net,
+    Analyze,
 }
 
 fn usage(program: &str) {
     eprintln!(
-        "usage: {program} [--json] [--plant-defect] [types|workloads|plans|engine|net|all] \
-         [plan.json ...] [config.engine.json ...] [config.net.json ...]"
+        "usage: {program} [--json] [--plant-defect] [--plant-cycle] \
+         [types|workloads|plans|engine|net|analyze|all] \
+         [plan.json ...] [config.engine.json ...] [config.net.json ...] \
+         [plan.access.json ...]"
     );
 }
 
@@ -183,28 +198,101 @@ fn run_engine(report: &mut Report, files: &[String]) {
     }
 }
 
+fn run_analyze(report: &mut Report, files: &[String], plant_cycle: bool) {
+    // Advisory sweep of the workload matrix: the engine certifies those
+    // runs dynamically, so a potential cycle is context, not a defect.
+    for (name, spec, _) in workload_matrix() {
+        let w = spec.generate();
+        let sp = StaticPlan::from_workload(name, &w);
+        let a = analyze::analyze(&sp);
+        let msg = if a.certified() {
+            format!(
+                "statically serializable under all schedules: {} accesses, {} potential conflict pair(s)",
+                a.accesses,
+                a.edges.len()
+            )
+        } else {
+            let first = a
+                .witnesses
+                .first()
+                .map(analyze::CycleWitness::describe)
+                .unwrap_or_default();
+            format!(
+                "{} potential cycle component(s) over {} conflict pair(s); dynamic certification required; e.g. {}",
+                a.cyclic.len(),
+                a.edges.len(),
+                first
+            )
+        };
+        report.push(Finding::new(
+            Severity::Info,
+            "analyze",
+            format!("workload {name}"),
+            msg,
+        ));
+        report.extend(lockorder::lint_lock_order(&sp));
+    }
+    if plant_cycle {
+        // Self-check: the analyzer must flag a guaranteed potential cycle.
+        report.extend(analyze::lint_static_plan(
+            &nt_lint::selftest::planted_cycle_plan(),
+        ));
+    }
+    // Explicit `.access.json` plans are admission requests: a potential
+    // cycle is an error with ranked witnesses.
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => match nt_lint::parse_access_plan(&doc) {
+                Ok(sp) => {
+                    report.extend(analyze::lint_static_plan(&sp));
+                    report.extend(lockorder::lint_lock_order(&sp));
+                }
+                Err(e) => report.push(Finding::new(
+                    Severity::Error,
+                    "analyze",
+                    format!("plan {path}"),
+                    format!("invalid access plan: {e}"),
+                )),
+            },
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "analyze",
+                format!("plan {path}"),
+                format!("cannot read access plan: {e}"),
+            )),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let program = args.first().map(String::as_str).unwrap_or("nt-lint");
     let mut json = false;
     let mut plant_defect = false;
+    let mut plant_cycle = false;
     let mut pass = Pass::All;
     let mut plan_files: Vec<String> = Vec::new();
     let mut engine_files: Vec<String> = Vec::new();
     let mut net_files: Vec<String> = Vec::new();
+    let mut access_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
             "--plant-defect" => plant_defect = true,
+            "--plant-cycle" => plant_cycle = true,
             "types" => pass = Pass::Types,
             "workloads" => pass = Pass::Workloads,
             "plans" => pass = Pass::Plans,
             "engine" => pass = Pass::Engine,
             "net" => pass = Pass::Net,
+            "analyze" => pass = Pass::Analyze,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
                 return ExitCode::SUCCESS;
+            }
+            other if other.ends_with(".access.json") && !other.starts_with('-') => {
+                access_files.push(other.to_string());
             }
             other if other.ends_with(".engine.json") && !other.starts_with('-') => {
                 engine_files.push(other.to_string());
@@ -237,6 +325,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Net {
         run_net(&mut report, &net_files);
+    }
+    if pass == Pass::All || pass == Pass::Analyze {
+        run_analyze(&mut report, &access_files, plant_cycle);
     }
     if json {
         print!("{}", report.render_json());

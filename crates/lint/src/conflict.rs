@@ -1,0 +1,234 @@
+//! Static (value-free) conflict analysis of operation pairs.
+//!
+//! The runtime conflict relation ([`nt_sgt::ConflictSource`]) is defined
+//! on *op–value* pairs: two visible `REQUEST_COMMIT`s conflict iff their
+//! `(Op, Value)` pairs fail the object's declared `commutes_backward`
+//! relation (§6.1), or — for the read/write fragment — unless both are
+//! reads (§4). A static analyzer sees the plan before any value exists,
+//! so it must decide conflicts on *bare operations*.
+//!
+//! This module lifts the runtime relation to operations soundly:
+//! `ops_may_conflict(a, b)` holds iff **some** return-value assignment
+//! reachable within the type's bounded state space makes the runtime
+//! relation report a conflict. Candidate values are enumerated by closing
+//! [`SerialType::bounded_states`] under [`SerialType::op_domain`] (the
+//! same bounded-exhaustive discipline as the soundness pass in
+//! [`crate::soundness`]) and applying each operation to every closure
+//! state. Whenever the runtime would see a conflict, the closure contains
+//! a state producing the same value pair, so the static relation is an
+//! over-approximation: it may flag pairs that never conflict in a given
+//! run (imprecision, measured by the witness-validation harness), but it
+//! never misses a runtime conflict within the bounded domain.
+//!
+//! For the read/write fragment the relation is value-independent, so
+//! [`StaticConflictMode::ReadWrite`] is *exact*: conflict unless both
+//! operations are reads.
+
+use nt_model::{Op, Value};
+use nt_serial::{OpVal, SerialType};
+
+/// Cap on the bounded state-closure size; beyond this the analysis falls
+/// back to "everything conflicts" (sound, maximally conservative).
+pub const MAX_CLOSURE_STATES: usize = 4096;
+
+/// Which conflict relation the static analysis over-approximates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticConflictMode {
+    /// §4 read/write conflicts: exact (value-independent).
+    ReadWrite,
+    /// §6.1 commutativity conflicts: bounded-exhaustive over-approximation
+    /// via the declared `commutes_backward` relation.
+    Commutativity,
+}
+
+/// The bounded closure of `bounded_states()` under `op_domain()` — every
+/// state the bounded analysis considers reachable.
+pub fn state_closure(ty: &dyn SerialType) -> Vec<Value> {
+    let mut states: Vec<Value> = Vec::new();
+    for s in ty.bounded_states() {
+        if !states.contains(&s) {
+            states.push(s);
+        }
+    }
+    let domain = ty.op_domain();
+    let mut frontier = states.clone();
+    while !frontier.is_empty() && states.len() < MAX_CLOSURE_STATES {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for op in &domain {
+                let (s2, _) = ty.apply(s, op);
+                if !states.contains(&s2) {
+                    states.push(s2.clone());
+                    next.push(s2);
+                }
+            }
+        }
+        frontier = next;
+    }
+    states
+}
+
+/// Every `(op, return_value)` pair `op` can produce from some closure
+/// state — the static stand-in for "what the runtime might record".
+pub fn candidate_opvals(ty: &dyn SerialType, op: &Op, closure: &[Value]) -> Vec<OpVal> {
+    let mut out: Vec<OpVal> = Vec::new();
+    for s in closure {
+        let (_, v) = ty.apply(s, op);
+        let cand = (op.clone(), v);
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// May `a` and `b` conflict on an object of type `ty` under `mode`?
+///
+/// Sound over-approximation of the runtime relation: `true` whenever any
+/// candidate value assignment yields a runtime conflict. A type with an
+/// empty `op_domain()` opts out of bounded analysis, so every pair is
+/// (conservatively) a potential conflict in `Commutativity` mode.
+pub fn ops_may_conflict(ty: &dyn SerialType, mode: StaticConflictMode, a: &Op, b: &Op) -> bool {
+    match mode {
+        StaticConflictMode::ReadWrite => !(a.is_rw_read() && b.is_rw_read()),
+        StaticConflictMode::Commutativity => {
+            if ty.op_domain().is_empty() {
+                return true;
+            }
+            let closure = state_closure(ty);
+            let cands_a = candidate_opvals(ty, a, &closure);
+            let cands_b = candidate_opvals(ty, b, &closure);
+            cands_a
+                .iter()
+                .any(|va| cands_b.iter().any(|vb| !ty.commutes_backward(va, vb)))
+        }
+    }
+}
+
+/// One access of a static summary: which object, with which operation,
+/// and whether its Moss lock mode is write-like (everything that is not a
+/// read/write *read* takes an exclusive-style lock in the engine's table).
+#[derive(Clone, Debug)]
+pub struct SummaryAccess {
+    /// The access transaction in the naming tree.
+    pub access: nt_model::TxId,
+    /// The object accessed.
+    pub obj: nt_model::ObjId,
+    /// The operation.
+    pub op: Op,
+    /// Moss lock mode: `true` iff the access takes a write lock.
+    pub write_like: bool,
+}
+
+/// The static access summary of one (sub)transaction subtree: its
+/// accesses in depth-first program order (the order a single-threaded
+/// depth-first executor — the engine — acquires locks in).
+#[derive(Clone, Debug, Default)]
+pub struct AccessSummary {
+    /// Accesses in depth-first program order.
+    pub accesses: Vec<SummaryAccess>,
+}
+
+impl AccessSummary {
+    /// Build the summary of the subtree rooted at `t` by depth-first
+    /// traversal of the naming tree (children in slot order).
+    pub fn of_subtree(tree: &nt_model::TxTree, t: nt_model::TxId) -> AccessSummary {
+        let mut accesses = Vec::new();
+        let mut stack = vec![t];
+        while let Some(n) = stack.pop() {
+            if tree.is_access(n) {
+                let op = tree.op_of(n).expect("access carries an op").clone();
+                let write_like = !op.is_rw_read();
+                accesses.push(SummaryAccess {
+                    access: n,
+                    obj: tree.object_of(n).expect("access names an object"),
+                    op,
+                    write_like,
+                });
+            } else {
+                // Push in reverse so slot order pops first.
+                for &c in tree.children(n).iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        AccessSummary { accesses }
+    }
+
+    /// The ordered object footprint: objects in first-touch order, each
+    /// with a write-like flag (true if *any* access to it is write-like).
+    pub fn object_footprint(&self) -> Vec<(nt_model::ObjId, bool)> {
+        let mut out: Vec<(nt_model::ObjId, bool)> = Vec::new();
+        for a in &self.accesses {
+            match out.iter_mut().find(|(x, _)| *x == a.obj) {
+                Some((_, w)) => *w |= a.write_like,
+                None => out.push((a.obj, a.write_like)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_datatypes::Counter;
+    use nt_model::{TxId, TxTree};
+    use nt_serial::RwRegister;
+
+    #[test]
+    fn read_write_mode_is_exact() {
+        let reg = RwRegister::new(0);
+        let m = StaticConflictMode::ReadWrite;
+        assert!(!ops_may_conflict(&reg, m, &Op::Read, &Op::Read));
+        assert!(ops_may_conflict(&reg, m, &Op::Read, &Op::Write(1)));
+        assert!(ops_may_conflict(&reg, m, &Op::Write(1), &Op::Write(1)));
+    }
+
+    #[test]
+    fn counter_adds_commute_statically() {
+        let c = Counter::new(0);
+        let m = StaticConflictMode::Commutativity;
+        assert!(!ops_may_conflict(&c, m, &Op::Add(1), &Op::Add(2)));
+        assert!(!ops_may_conflict(&c, m, &Op::GetCount, &Op::GetCount));
+        // Add(δ≠0)/GetCount genuinely conflicts.
+        assert!(ops_may_conflict(&c, m, &Op::Add(1), &Op::GetCount));
+        // Add(0)/GetCount commutes even though one is a "write".
+        assert!(!ops_may_conflict(&c, m, &Op::Add(0), &Op::GetCount));
+    }
+
+    #[test]
+    fn register_writes_conflict_in_both_modes() {
+        let reg = RwRegister::new(0);
+        let m = StaticConflictMode::Commutativity;
+        assert!(ops_may_conflict(&reg, m, &Op::Write(1), &Op::Write(2)));
+        assert!(ops_may_conflict(&reg, m, &Op::Write(1), &Op::Read));
+        assert!(!ops_may_conflict(&reg, m, &Op::Read, &Op::Read));
+    }
+
+    #[test]
+    fn closure_reaches_written_states() {
+        let reg = RwRegister::new(7);
+        let closure = state_closure(&reg);
+        // bounded_states plus the writes 0/1 from the op domain.
+        assert!(closure.contains(&Value::Int(7)));
+        assert!(closure.contains(&Value::Int(0)));
+        assert!(closure.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn summary_follows_depth_first_slot_order() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let a1 = tree.add_inner(a);
+        let u1 = tree.add_access(a1, y, Op::Write(1));
+        let u2 = tree.add_access(a, x, Op::Read);
+        let s = AccessSummary::of_subtree(&tree, a);
+        let order: Vec<_> = s.accesses.iter().map(|sa| sa.access).collect();
+        assert_eq!(order, vec![u1, u2], "a1's access runs before a's own");
+        let fp = s.object_footprint();
+        assert_eq!(fp, vec![(y, true), (x, false)]);
+    }
+}

@@ -29,18 +29,42 @@
 //!    defaults — a server whose queue, capacity, frame limit, and
 //!    transport fault plan can actually serve, and a load driver whose
 //!    probabilities, ranges, and timeouts can actually drive.
+//! 6. **Static serializability analysis** ([`analyze`], [`conflict`]):
+//!    build the *potential conflict graph* of a plan — a sound
+//!    over-approximation of every serialization graph any schedule could
+//!    produce — and either certify the plan "serializable under all
+//!    schedules" or emit ranked concrete potential-cycle witnesses, each
+//!    realizable into a behavior the Theorem 8/19 checker re-judges
+//!    ([`analyze::validate_witness`], experiment E17). Also the
+//!    `run_plan_gated` pre-flight ([`analyze::engine_preflight`]) and the
+//!    `nt-serve --static-gate` admission rule build on this pass.
+//! 7. **Lock-order / deadlock-potential analysis** ([`lockorder`]): from
+//!    each top's depth-first footprint, flag object pairs acquired in
+//!    opposite orders under Moss modes (cross-top deadlock potential) and
+//!    predict per-object write contention.
 //!
 //! The `nt-lint` binary aggregates all of it into one human or JSON report
 //! and exits nonzero iff any error-severity finding exists, making it
 //! usable as a CI gate.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod conflict;
 pub mod engine;
+pub mod lockorder;
 pub mod net;
 pub mod plan;
 pub mod report;
 pub mod soundness;
 pub mod workload;
 
+pub use analyze::{
+    analyze as analyze_static, engine_preflight, parse_access_plan, Analysis, CycleWitness,
+    StaticPlan, WitnessValidation,
+};
+pub use conflict::{ops_may_conflict, AccessSummary, StaticConflictMode};
+pub use lockorder::{lock_order, LockOrderReport};
 pub use report::{Finding, Report, Severity};
 pub use soundness::{analyze_type, SoundnessConfig, TypeReport};
 
@@ -90,6 +114,39 @@ pub mod selftest {
 
         fn bounded_states(&self) -> Vec<Value> {
             (-4..=4).map(Value::Int).collect()
+        }
+    }
+
+    /// A plan with a *guaranteed* potential serialization cycle: two
+    /// parallel tops, each writing X0 then X1 — the crossing-writes
+    /// pattern. The static analyzer must flag it (the `--plant-cycle`
+    /// self-check) and its witness must reproduce live.
+    pub fn planted_cycle_plan() -> crate::StaticPlan {
+        use nt_model::{TxId, TxTree};
+        use nt_serial::{ObjectTypes, RwRegister};
+        use nt_sim::ChildOrder;
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::sync::Arc;
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        tree.add_access(a, x, Op::Write(1));
+        tree.add_access(a, y, Op::Write(1));
+        tree.add_access(b, x, Op::Write(2));
+        tree.add_access(b, y, Op::Write(2));
+        crate::StaticPlan {
+            name: "planted-cycle".into(),
+            tree: Arc::new(tree),
+            types: ObjectTypes::uniform(2, Arc::new(RwRegister::new(0))),
+            mode: crate::StaticConflictMode::ReadWrite,
+            orders: BTreeMap::from([
+                (TxId::ROOT, ChildOrder::Parallel),
+                (a, ChildOrder::Parallel),
+                (b, ChildOrder::Parallel),
+            ]),
+            skip: BTreeSet::new(),
         }
     }
 }

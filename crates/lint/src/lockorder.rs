@@ -1,0 +1,248 @@
+//! Static wait-for / lock-order analysis over Moss modes.
+//!
+//! The engine's lock table (`nt-engine`) grants a conflicting request only
+//! to an **ancestor** of every current holder; everything else blocks and
+//! the deadlock detector aborts a victim. Distinct top-level transactions
+//! are never ancestors of each other, so the ancestor-holder upgrade rule
+//! never exonerates a cross-top conflict: two tops that acquire locks on
+//! the same pair of objects **in opposite orders** can deadlock, exactly
+//! like flat 2PL.
+//!
+//! This pass lifts that rule to the plan: from each top's depth-first
+//! access footprint ([`crate::conflict::AccessSummary`], the order a
+//! single worker acquires locks in), it reports
+//!
+//! * **reversed object-pair acquisitions** between two tops where the
+//!   usage is not read/read on both objects — a deadlock-potential pair
+//!   the detector will have to break at run time (Warning);
+//! * a **contention score** — how many cross-top write-sharing pairs each
+//!   object participates in — predicting the contended anti-scaling
+//!   measured in `BENCH_engine.json` (hot objects serialize workers).
+//!
+//! Purely static and conservative: a flagged pair may never deadlock in a
+//! given run (timing), but an unflagged plan cannot cross-top deadlock on
+//! declared accesses.
+
+use crate::analyze::StaticPlan;
+use crate::conflict::AccessSummary;
+use crate::report::{Finding, Severity};
+use nt_model::{ObjId, TxId};
+use std::collections::BTreeMap;
+
+/// A deadlock-potential pair: two tops acquiring two objects in opposite
+/// orders, with at least one write-like access on each object.
+#[derive(Clone, Debug)]
+pub struct ReversedPair {
+    /// The first top (acquires `obj_a` before `obj_b`).
+    pub top_a: TxId,
+    /// The second top (acquires `obj_b` before `obj_a`).
+    pub top_b: TxId,
+    /// Object acquired first by `top_a`, second by `top_b`.
+    pub obj_a: ObjId,
+    /// Object acquired first by `top_b`, second by `top_a`.
+    pub obj_b: ObjId,
+}
+
+/// The result of the lock-order analysis.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderReport {
+    /// Deadlock-potential object pairs between tops.
+    pub reversed: Vec<ReversedPair>,
+    /// Per-object count of cross-top pairs sharing it with a write on
+    /// either side, sorted hottest first.
+    pub contention: Vec<(ObjId, usize)>,
+}
+
+/// Analyze the plan's top-level footprints for reversed acquisition orders
+/// and write contention.
+pub fn lock_order(plan: &StaticPlan) -> LockOrderReport {
+    let tree = &plan.tree;
+    let tops: Vec<TxId> = tree
+        .children(TxId::ROOT)
+        .iter()
+        .copied()
+        .filter(|t| !plan.skip.contains(t))
+        .collect();
+    // (footprint in first-touch order, with write flags) per top.
+    let foot: Vec<(TxId, Vec<(ObjId, bool)>)> = tops
+        .iter()
+        .map(|&t| (t, AccessSummary::of_subtree(tree, t).object_footprint()))
+        .collect();
+    let mut reversed = Vec::new();
+    let mut contention: BTreeMap<ObjId, usize> = BTreeMap::new();
+    for i in 0..foot.len() {
+        for j in i + 1..foot.len() {
+            let (ta, fa) = &foot[i];
+            let (tb, fb) = &foot[j];
+            // Contention: shared objects with a write on either side.
+            for &(x, wa) in fa {
+                if let Some(&(_, wb)) = fb.iter().find(|(y, _)| *y == x) {
+                    if wa || wb {
+                        *contention.entry(x).or_default() += 1;
+                    }
+                }
+            }
+            // Reversal: a pair (x, y) that `ta` orders x-then-y and `tb`
+            // orders y-then-x, where locks actually exclude (a write on
+            // each contended object by at least one side).
+            let pos = |f: &[(ObjId, bool)], x: ObjId| f.iter().position(|(o, _)| *o == x);
+            for (pa_x, &(x, wax)) in fa.iter().enumerate() {
+                for &(y, way) in &fa[pa_x + 1..] {
+                    let (Some(pb_x), Some(pb_y)) = (pos(fb, x), pos(fb, y)) else {
+                        continue;
+                    };
+                    if pb_y >= pb_x {
+                        continue; // same order: no circular wait possible
+                    }
+                    let wbx = fb[pb_x].1;
+                    let wby = fb[pb_y].1;
+                    // Each object must actually exclude: not read/read.
+                    if (wax || wbx) && (way || wby) {
+                        reversed.push(ReversedPair {
+                            top_a: *ta,
+                            top_b: *tb,
+                            obj_a: x,
+                            obj_b: y,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let mut contention: Vec<(ObjId, usize)> = contention.into_iter().collect();
+    contention.sort_by_key(|&(x, n)| (std::cmp::Reverse(n), x));
+    LockOrderReport {
+        reversed,
+        contention,
+    }
+}
+
+/// Lint findings for the lock-order analysis: one Warning per reversed
+/// pair (deadlock potential is not an error — the engine's detector
+/// resolves it at a throughput cost), plus an Info contention prediction
+/// for the hottest object.
+pub fn lint_lock_order(plan: &StaticPlan) -> Vec<Finding> {
+    let r = lock_order(plan);
+    let subject = format!("plan {}", plan.name);
+    let mut out = Vec::new();
+    for p in &r.reversed {
+        out.push(Finding::new(
+            Severity::Warning,
+            "lockorder",
+            subject.clone(),
+            format!(
+                "deadlock potential: {} acquires {} before {} but {} acquires them reversed; the detector will abort a victim under contention",
+                p.top_a, p.obj_a, p.obj_b, p.top_b
+            ),
+        ));
+    }
+    if let Some(&(x, n)) = r.contention.first() {
+        if n > 0 {
+            out.push(Finding::new(
+                Severity::Info,
+                "lockorder",
+                subject,
+                format!(
+                    "hottest object {x} is write-shared by {n} top pair(s); expect serialized workers on it (the contended anti-scaling of BENCH_engine.json)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::StaticConflictMode;
+    use nt_model::{Op, TxTree};
+    use nt_serial::{ObjectTypes, RwRegister};
+    use nt_sim::WorkloadSpec;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::Arc;
+
+    fn plan_of(tree: TxTree, objects: usize) -> StaticPlan {
+        StaticPlan {
+            name: "test".into(),
+            tree: Arc::new(tree),
+            types: ObjectTypes::uniform(objects, Arc::new(RwRegister::new(0))),
+            mode: StaticConflictMode::ReadWrite,
+            orders: BTreeMap::new(),
+            skip: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn reversed_writes_are_flagged() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        tree.add_access(a, x, Op::Write(1));
+        tree.add_access(a, y, Op::Write(1));
+        tree.add_access(b, y, Op::Write(2));
+        tree.add_access(b, x, Op::Write(2));
+        let r = lock_order(&plan_of(tree, 2));
+        assert_eq!(r.reversed.len(), 1);
+        let p = &r.reversed[0];
+        assert_eq!((p.obj_a, p.obj_b), (x, y));
+        assert_eq!(r.contention.len(), 2);
+    }
+
+    #[test]
+    fn aligned_or_readonly_orders_are_clean() {
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        // Same acquisition order: no reversal however contended.
+        tree.add_access(a, x, Op::Write(1));
+        tree.add_access(a, y, Op::Write(1));
+        tree.add_access(b, x, Op::Write(2));
+        tree.add_access(b, y, Op::Write(2));
+        assert!(lock_order(&plan_of(tree, 2)).reversed.is_empty());
+        // Reversed but read/read on one object: that object never blocks.
+        let mut tree = TxTree::new();
+        let x = tree.add_object();
+        let y = tree.add_object();
+        let a = tree.add_inner(TxId::ROOT);
+        let b = tree.add_inner(TxId::ROOT);
+        tree.add_access(a, x, Op::Read);
+        tree.add_access(a, y, Op::Write(1));
+        tree.add_access(b, y, Op::Write(2));
+        tree.add_access(b, x, Op::Read);
+        assert!(lock_order(&plan_of(tree, 2)).reversed.is_empty());
+    }
+
+    #[test]
+    fn hotspot_workloads_predict_contention() {
+        let spec = WorkloadSpec {
+            objects: 2,
+            top_level: 6,
+            hotspot: 1.0,
+            seed: 3,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        let plan = StaticPlan::from_workload("hotspot", &w);
+        let r = lock_order(&plan);
+        let hottest = r.contention.first().expect("some contention");
+        assert!(hottest.1 > 0, "hotspot must write-share an object");
+        // Fully partitioned tops never contend across tops.
+        let spec = WorkloadSpec {
+            objects: 6,
+            top_level: 6,
+            object_partitions: 6,
+            hotspot: 0.0,
+            seed: 3,
+            ..WorkloadSpec::default()
+        };
+        let w = spec.generate();
+        let plan = StaticPlan::from_workload("partitioned", &w);
+        let r = lock_order(&plan);
+        assert!(r.reversed.is_empty());
+        assert!(r.contention.is_empty());
+    }
+}

@@ -28,6 +28,8 @@
 //! Lemma 9 (conflicting lockholders form an ancestor chain) is checked as a
 //! debug-mode invariant after every step.
 
+#![forbid(unsafe_code)]
+
 use nt_automata::Component;
 use nt_model::{Action, ObjId, TxId, TxTree, Value};
 use nt_obs::{Event, LockClass, TraceHandle};

@@ -26,6 +26,8 @@
 //! `nt-locking` and `nt-undolog`, and the serialization-graph checker — the
 //! paper's contribution — lives in `nt-sgt`.
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod affects;
 pub mod op;

@@ -40,6 +40,8 @@
 //! * `INFORM_ABORT(T)` discards versions and read records of `T`'s
 //!   descendants.
 
+#![forbid(unsafe_code)]
+
 use nt_automata::Component;
 use nt_model::{Action, ObjId, TxId, TxTree, Value};
 use nt_obs::{Event, TraceHandle};

@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! nt-serve [--config FILE.net.json] [--addr HOST:PORT]
-//!          [--port-file FILE] [--journal FILE]
+//!          [--port-file FILE] [--journal FILE] [--static-gate]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `nt-serve listening on ADDR`,
 //! optionally writes the resolved address to `--port-file` (for CI
 //! orchestration), serves until a wire `Shutdown` request drains it, and
 //! prints a one-line JSON drain summary. `--journal` dumps the
-//! observability event lines after the drain.
+//! observability event lines after the drain. `--static-gate` turns on
+//! the static admission gate: `BEGIN_TOP_DECLARED` requests whose
+//! declared read/write sets could close a potential serialization cycle
+//! against the live declared tops are refused with a typed
+//! `STATIC_GATE` error before they acquire any lock.
 
 use nt_net::{NetConfig, NetServer, ServerConfig};
 use nt_obs::json::JsonObj;
@@ -18,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE]"
+        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate]"
     );
     ExitCode::from(2)
 }
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
     let mut addr_override = None;
     let mut port_file = None;
     let mut journal_file = None;
+    let mut static_gate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -77,11 +82,18 @@ fn main() -> ExitCode {
                 journal_file = Some(f.clone());
                 i += 2;
             }
+            "--static-gate" => {
+                static_gate = true;
+                i += 1;
+            }
             _ => return usage(),
         }
     }
     if let Some(a) = addr_override {
         cfg.addr = a;
+    }
+    if static_gate {
+        cfg.static_gate = true;
     }
     let problems = cfg.problems();
     if !problems.is_empty() {

@@ -33,6 +33,11 @@ pub struct ServerConfig {
     pub max_frame_len: usize,
     /// Optional deterministic transport fault plan on the receive path.
     pub fault: Option<TransportPlan>,
+    /// Run the static admission gate: `BEGIN_TOP_DECLARED` requests are
+    /// checked against the live declared tops and refused (with
+    /// `err_code::STATIC_GATE`) when their potential conflict component
+    /// could close a serialization cycle.
+    pub static_gate: bool,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +50,7 @@ impl Default for ServerConfig {
             queue_depth: 32,
             max_frame_len: crate::wire::DEFAULT_MAX_FRAME,
             fault: None,
+            static_gate: false,
         }
     }
 }
@@ -191,7 +197,8 @@ impl ServerConfig {
             .num("capacity", self.capacity as u64)
             .num("detector_period_us", self.detector_period_us)
             .num("queue_depth", self.queue_depth as u64)
-            .num("max_frame_len", self.max_frame_len as u64);
+            .num("max_frame_len", self.max_frame_len as u64)
+            .bool("static_gate", self.static_gate);
         if let Some(plan) = &self.fault {
             o.raw("fault", plan.to_json());
         }
@@ -309,6 +316,10 @@ impl NetConfig {
                         "queue_depth" => c.queue_depth = num_field(val, key)? as usize,
                         "max_frame_len" => c.max_frame_len = num_field(val, key)? as usize,
                         "fault" => c.fault = Some(TransportPlan::from_json_value(val)?),
+                        "static_gate" => match val {
+                            Json::Bool(b) => c.static_gate = *b,
+                            _ => return Err("static_gate must be a boolean".to_string()),
+                        },
                         other => return Err(format!("unknown net server config key {other:?}")),
                     }
                 }
@@ -378,6 +389,7 @@ mod tests {
                 delay_period: 3,
                 delay_us: 200,
             }),
+            static_gate: true,
             ..ServerConfig::default()
         };
         match NetConfig::from_json(&s.to_json()).expect("server roundtrip") {

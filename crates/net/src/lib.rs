@@ -22,8 +22,16 @@
 //!   `nt-obs` metrics;
 //! * [`history`] — the on-wire form of a recorded run;
 //! * [`config`] — `*.net.json` documents (server + load roles) with
-//!   unknown-key rejection and lint-facing semantic checks.
+//!   unknown-key rejection and lint-facing semantic checks;
+//! * [`admission`] — the static admission gate's ledger: under
+//!   `nt-serve --static-gate`, `BEGIN_TOP_DECLARED` requests carry
+//!   declared read/write sets, and a top whose potential conflict
+//!   component could close a serialization cycle is refused with a
+//!   typed `STATIC_GATE` error before it acquires any lock.
 
+#![forbid(unsafe_code)]
+
+pub mod admission;
 pub mod client;
 pub mod config;
 pub mod history;
@@ -31,6 +39,7 @@ pub mod load;
 pub mod server;
 pub mod wire;
 
+pub use admission::{AdmissionLedger, DeclaredSets};
 pub use client::{certify_history, fetch_and_certify, Conn, ConnConfig};
 pub use config::{LoadConfig, LoadMode, NetConfig, ServerConfig};
 pub use history::HistoryDoc;

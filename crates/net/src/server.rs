@@ -18,6 +18,7 @@
 //! already queued, and only then tears the engine down — so a drained
 //! server's recorded history is complete and certifiable.
 
+use crate::admission::{AdmissionLedger, DeclaredSets};
 use crate::config::ServerConfig;
 use crate::history::HistoryDoc;
 use crate::wire::{
@@ -66,6 +67,8 @@ struct Shared {
     /// Read-half clones, shut down on drain to unblock readers.
     read_halves: Mutex<Vec<TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Declared summaries of live tops (the static admission gate).
+    admission: Mutex<AdmissionLedger>,
 }
 
 impl Shared {
@@ -79,6 +82,14 @@ impl Shared {
         }
         .to_json_line();
         self.journal.lock().expect("journal poisoned").push(line);
+    }
+
+    /// Forget a top's declared summary (no-op for undeclared tops).
+    fn release_admission(&self, tx: TxId) {
+        self.admission
+            .lock()
+            .expect("admission poisoned")
+            .release(tx.0);
     }
 
     /// Initiate a graceful drain (idempotent, non-blocking).
@@ -144,6 +155,7 @@ impl NetServer {
             jseq: AtomicU64::new(0),
             read_halves: Mutex::new(Vec::new()),
             conn_threads: Mutex::new(Vec::new()),
+            admission: Mutex::new(AdmissionLedger::new()),
         });
         Ok(NetServer { listener, shared })
     }
@@ -412,9 +424,11 @@ fn execute_loop(
         }
     }
     // The client is gone (EOF, protocol error, or drain). Abort whatever
-    // it left open so held locks cannot starve other sessions.
+    // it left open so held locks cannot starve other sessions, and free
+    // its admission slots so declared tops cannot block future clients.
     for t in open_tops {
         let _ = session.abort(t);
+        shared.release_admission(t);
     }
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -433,12 +447,37 @@ fn execute(
             }
             Err(e) => session_error_response(&e),
         },
+        Request::BeginTopDeclared { reads, writes } => {
+            if !shared.cfg.static_gate {
+                // Gate disabled: a declared begin degrades to BeginTop.
+                return execute(shared, session, open_tops, &Request::BeginTop);
+            }
+            let sets = DeclaredSets::new(reads, writes);
+            // Hold the ledger across check + record so two connections
+            // cannot jointly admit a component of weight >= 2.
+            let mut ledger = shared.admission.lock().expect("admission poisoned");
+            if let Err(msg) = ledger.check(&sets) {
+                return Response::Error {
+                    code: err_code::STATIC_GATE,
+                    msg: format!("static gate refused the top: {msg}"),
+                };
+            }
+            match session.begin_top() {
+                Ok(t) => {
+                    ledger.record(t.0, sets);
+                    open_tops.insert(t);
+                    Response::Begun { tx: t.0 }
+                }
+                Err(e) => session_error_response(&e),
+            }
+        }
         Request::BeginChild { parent } => match session.begin_child(TxId(*parent)) {
             Ok(BeginOutcome::Fresh(t)) => Response::Begun { tx: t.0 },
             Ok(BeginOutcome::Aborted(v)) => {
                 // If the victim is the top itself it is gone; a deeper
                 // victim is not in `open_tops` and the remove is a no-op.
                 open_tops.remove(&v);
+                shared.release_admission(v);
                 Response::Aborted { victim: v.0 }
             }
             Err(e) => session_error_response(&e),
@@ -448,6 +487,7 @@ fn execute(
                 Ok(AccessOutcome::Done(v)) => Response::AccessOk { value: v },
                 Ok(AccessOutcome::Aborted(v)) => {
                     open_tops.remove(&v);
+                    shared.release_admission(v);
                     Response::Aborted { victim: v.0 }
                 }
                 Err(e) => session_error_response(&e),
@@ -456,10 +496,12 @@ fn execute(
         Request::Commit { tx } => match session.commit(TxId(*tx)) {
             Ok(CommitOutcome::Committed) => {
                 open_tops.remove(&TxId(*tx));
+                shared.release_admission(TxId(*tx));
                 Response::Committed
             }
             Ok(CommitOutcome::Aborted(v)) => {
                 open_tops.remove(&v);
+                shared.release_admission(v);
                 Response::Aborted { victim: v.0 }
             }
             Err(e) => session_error_response(&e),
@@ -467,6 +509,7 @@ fn execute(
         Request::Abort { tx } => match session.abort(TxId(*tx)) {
             Ok(()) => {
                 open_tops.remove(&TxId(*tx));
+                shared.release_admission(TxId(*tx));
                 Response::AbortOk
             }
             Err(e) => session_error_response(&e),

@@ -328,6 +328,19 @@ pub(crate) fn take_op(cur: &mut Cur<'_>) -> Result<Op, WireError> {
 pub enum Request {
     /// Begin a fresh top-level transaction.
     BeginTop,
+    /// Begin a top-level transaction *with a declared access summary*:
+    /// the objects it may read and the objects it may write. When the
+    /// server runs with the static admission gate enabled, the declared
+    /// sets feed an [`crate::admission::AdmissionLedger`] that refuses
+    /// (with [`err_code::STATIC_GATE`]) any top whose potential conflict
+    /// graph against the currently live declared tops could close a
+    /// serialization cycle. Without the gate this behaves as `BeginTop`.
+    BeginTopDeclared {
+        /// Objects the transaction may read.
+        reads: Vec<u32>,
+        /// Objects the transaction may write.
+        writes: Vec<u32>,
+    },
     /// Begin a child under `parent` (which this connection's session owns).
     BeginChild {
         /// The parent transaction.
@@ -372,6 +385,7 @@ impl Request {
             Request::HistoryFetch => 0x06,
             Request::Ping => 0x07,
             Request::Shutdown => 0x08,
+            Request::BeginTopDeclared { .. } => 0x09,
         }
     }
 
@@ -389,6 +403,15 @@ impl Request {
             }
             Request::Commit { tx } | Request::Abort { tx } => {
                 put_u32(out, *tx);
+                Ok(())
+            }
+            Request::BeginTopDeclared { reads, writes } => {
+                for set in [reads, writes] {
+                    put_u32(out, set.len() as u32);
+                    for &obj in set {
+                        put_u32(out, obj);
+                    }
+                }
                 Ok(())
             }
         }
@@ -410,6 +433,17 @@ impl Request {
             0x06 => Request::HistoryFetch,
             0x07 => Request::Ping,
             0x08 => Request::Shutdown,
+            0x09 => {
+                let mut sets = [Vec::new(), Vec::new()];
+                for set in &mut sets {
+                    let n = cur.u32()?;
+                    for _ in 0..n {
+                        set.push(cur.u32()?);
+                    }
+                }
+                let [reads, writes] = sets;
+                Request::BeginTopDeclared { reads, writes }
+            }
             k => return Err(WireError::UnknownKind(k)),
         };
         cur.finish()?;
@@ -433,6 +467,9 @@ pub mod err_code {
     pub const NON_RW_OP: u16 = 6;
     /// The connection sent a malformed frame.
     pub const PROTOCOL: u16 = 7;
+    /// The static admission gate refused the declared access summary:
+    /// admitting it could close a potential serialization cycle.
+    pub const STATIC_GATE: u16 = 8;
 }
 
 /// A server-to-client response (its `seq` echoes the request's).

@@ -44,6 +44,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::HistoryFetch),
         Just(Request::Ping),
         Just(Request::Shutdown),
+        (
+            prop::collection::vec(any::<u32>(), 0..6),
+            prop::collection::vec(any::<u32>(), 0..6),
+        )
+            .prop_map(|(reads, writes)| Request::BeginTopDeclared { reads, writes }),
     ]
 }
 

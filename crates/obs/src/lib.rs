@@ -31,6 +31,8 @@
 //! assert!(journal.contains("\"type\":\"note\""));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod json;

@@ -13,6 +13,8 @@
 //!   a behavior of some serial system; the executable meaning of the
 //!   paper's "serially correct for `T0`" witness.
 
+#![forbid(unsafe_code)]
+
 pub mod object;
 pub mod scheduler;
 pub mod types;

@@ -13,6 +13,8 @@
 //! Note: a [`workload::Workload`]'s client automata carry run state — use a
 //! freshly generated workload for each run.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod executor;
 pub mod script;

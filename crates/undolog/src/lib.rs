@@ -22,6 +22,8 @@
 //!   allowed to run concurrently guarantees the surviving log is still
 //!   replayable (Lemma 21).
 
+#![forbid(unsafe_code)]
+
 use nt_automata::Component;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 use nt_obs::{Event, TraceHandle};

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Every BENCH_*.json artifact named in EXPERIMENTS.md must be committed
+# at the repo root and must parse as JSON — a measured table in the docs
+# with no backing artifact (or a corrupt one) fails CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t benches < <(grep -o 'BENCH_[A-Za-z0-9_]*\.json' EXPERIMENTS.md | sort -u)
+if [ "${#benches[@]}" -eq 0 ]; then
+    echo "check_benches: EXPERIMENTS.md names no BENCH_*.json artifacts" >&2
+    exit 1
+fi
+
+fail=0
+for b in "${benches[@]}"; do
+    if [ ! -f "$b" ]; then
+        echo "check_benches: EXPERIMENTS.md names $b but it is not committed" >&2
+        fail=1
+        continue
+    fi
+    if ! python3 -m json.tool "$b" > /dev/null 2>&1; then
+        echo "check_benches: $b is not valid JSON" >&2
+        fail=1
+        continue
+    fi
+    # Existing-but-untracked artifacts pass locally yet vanish in a
+    # fresh checkout (a gitignore pattern can silently swallow them).
+    if git rev-parse --is-inside-work-tree > /dev/null 2>&1 \
+        && ! git ls-files --error-unmatch "$b" > /dev/null 2>&1; then
+        echo "check_benches: $b exists but is not tracked by git (gitignored?)" >&2
+        fail=1
+        continue
+    fi
+    echo "check_benches: $b ok"
+done
+exit "$fail"

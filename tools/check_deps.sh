@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline unused-dependency audit: every crate's [dependencies] entry
+# must be referenced somewhere in that crate's sources (src/, tests/,
+# benches/) as `crate_name::…`, `use crate_name`, or an attribute path.
+# Workspace-internal and external deps are treated alike. This is a
+# textual heuristic, not a resolver — but it catches the real failure
+# mode (a dependency edge nobody imports), and it needs no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for manifest in crates/*/Cargo.toml; do
+    crate_dir=$(dirname "$manifest")
+    # Lines between [dependencies] and the next section header.
+    deps=$(awk '/^\[dependencies\]/{on=1; next} /^\[/{on=0} on && NF {print $1}' "$manifest" \
+        | sed 's/[=.].*//' | sort -u)
+    for dep in $deps; do
+        ident=${dep//-/_}
+        if ! grep -rqE "\b${ident}(::|;| as )" "$crate_dir/src" \
+            $( [ -d "$crate_dir/tests" ] && echo "$crate_dir/tests" ) \
+            $( [ -d "$crate_dir/benches" ] && echo "$crate_dir/benches" ); then
+            echo "check_deps: $manifest declares '$dep' but $crate_dir never references $ident" >&2
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -eq 0 ]; then
+    echo "check_deps: all declared dependencies are referenced"
+fi
+exit "$fail"
