@@ -77,6 +77,7 @@ impl Row {
     }
 
     fn to_json(&self) -> String {
+        let (p50, p95, p99) = self.report.top_latency.p50_p95_p99();
         let mut o = JsonObj::new();
         o.str("workload", self.workload)
             .num("threads", self.threads as u64)
@@ -88,6 +89,9 @@ impl Row {
             .num("lock_blocks", self.report.stats.blocked)
             .num("timeout_rescues", self.report.stats.timeout_rescues)
             .float("throughput_tps", self.throughput())
+            .num("top_us_p50", p50)
+            .num("top_us_p95", p95)
+            .num("top_us_p99", p99)
             .bool("certified", self.certified)
             .num("sg_nodes", self.sg_nodes as u64)
             .num("sg_edges", self.sg_edges as u64);
@@ -106,8 +110,9 @@ fn run_cell(workload: &'static str, w: &Workload, cfg: &EngineConfig) -> Row {
         sg_edges: cert.sg_edges,
         report,
     };
+    let (p50, p95, _) = row.report.top_latency.p50_p95_p99();
     println!(
-        "| {:11} | {:7} | {:8.1} | {:9} | {:7} | {:7} | {:10.1} | {:9} |",
+        "| {:11} | {:7} | {:8.1} | {:9} | {:7} | {:7} | {:10.1} | {:7} | {:7} | {:9} |",
         row.workload,
         row.threads,
         row.report.wall.as_secs_f64() * 1e3,
@@ -115,6 +120,8 @@ fn run_cell(workload: &'static str, w: &Workload, cfg: &EngineConfig) -> Row {
         row.report.aborted_top,
         row.report.victims.len(),
         row.throughput(),
+        p50,
+        p95,
         if row.certified { "acyclic" } else { "FAILED" },
     );
     assert!(
@@ -144,6 +151,7 @@ fn smoke() {
         .num("actions", report.history.len() as u64)
         .num("sg_nodes", cert.sg_nodes as u64)
         .num("sg_edges", cert.sg_edges as u64)
+        .percentiles("top_us", &report.top_latency)
         .bool("serially_correct", cert.is_serially_correct())
         .emit();
     assert!(!report.gave_up, "engine smoke run hit the watchdog");
@@ -163,10 +171,19 @@ fn main() {
         return;
     }
     println!(
-        "| {:11} | {:7} | {:8} | {:9} | {:7} | {:7} | {:10} | {:9} |",
-        "workload", "threads", "wall_ms", "committed", "aborted", "victims", "tput_tps", "SGT"
+        "| {:11} | {:7} | {:8} | {:9} | {:7} | {:7} | {:10} | {:7} | {:7} | {:9} |",
+        "workload",
+        "threads",
+        "wall_ms",
+        "committed",
+        "aborted",
+        "victims",
+        "tput_tps",
+        "p50_us",
+        "p95_us",
+        "SGT"
     );
-    println!("|-------------|---------|----------|-----------|---------|---------|------------|-----------|");
+    println!("|-------------|---------|----------|-----------|---------|---------|------------|---------|---------|-----------|");
     let mut rows: Vec<Row> = Vec::new();
     let partitioned = partitioned_spec().generate();
     for &threads in &THREAD_SWEEP {

@@ -17,6 +17,7 @@
 use nt_bench::SmokeLine;
 use nt_net::{fetch_and_certify, run_load, ConnConfig, LoadConfig, NetServer, ServerConfig};
 use nt_obs::json::JsonObj;
+use nt_telemetry::HistSnapshot;
 
 const CONN_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const TOTAL_TOPS: usize = 64;
@@ -42,6 +43,8 @@ struct Row {
     requests: u64,
     retries: u64,
     wall_us: u64,
+    req_hist: HistSnapshot,
+    top_hist: HistSnapshot,
     certified: bool,
     sg_nodes: usize,
     sg_edges: usize,
@@ -53,6 +56,8 @@ impl Row {
     }
 
     fn to_json(&self) -> String {
+        let (rp50, rp95, rp99) = self.req_hist.p50_p95_p99();
+        let (tp50, tp95, tp99) = self.top_hist.p50_p95_p99();
         let mut o = JsonObj::new();
         o.num("connections", self.connections as u64)
             .float("wall_ms", self.wall_us as f64 / 1e3)
@@ -62,6 +67,12 @@ impl Row {
             .num("requests", self.requests)
             .num("retries", self.retries)
             .float("throughput_tps", self.throughput())
+            .num("request_us_p50", rp50)
+            .num("request_us_p95", rp95)
+            .num("request_us_p99", rp99)
+            .num("top_us_p50", tp50)
+            .num("top_us_p95", tp95)
+            .num("top_us_p99", tp99)
             .bool("certified", self.certified)
             .num("sg_nodes", self.sg_nodes as u64)
             .num("sg_edges", self.sg_edges as u64);
@@ -86,18 +97,23 @@ fn run_cell(connections: usize) -> Row {
         requests: report.requests,
         retries: report.retries,
         wall_us: report.wall_us,
+        req_hist: report.req_hist.clone(),
+        top_hist: report.top_hist.clone(),
         certified: cert.is_serially_correct(),
         sg_nodes: cert.sg_nodes,
         sg_edges: cert.sg_edges,
     };
+    let (rp50, rp95, _) = row.req_hist.p50_p95_p99();
     println!(
-        "| {:5} | {:8.1} | {:9} | {:7} | {:8} | {:10.1} | {:9} |",
+        "| {:5} | {:8.1} | {:9} | {:7} | {:8} | {:10.1} | {:7} | {:7} | {:9} |",
         row.connections,
         row.wall_us as f64 / 1e3,
         row.committed,
         row.aborted,
         row.requests,
         row.throughput(),
+        rp50,
+        rp95,
         if row.certified { "acyclic" } else { "FAILED" },
     );
     assert!(
@@ -127,6 +143,8 @@ fn smoke() {
         .num("requests", report.requests)
         .num("sg_nodes", cert.sg_nodes as u64)
         .num("sg_edges", cert.sg_edges as u64)
+        .percentiles("request_us", &report.req_hist)
+        .percentiles("top_us", &report.top_hist)
         .bool("serially_correct", cert.is_serially_correct())
         .emit();
     assert!(cert.is_serially_correct(), "net smoke failed certification");
@@ -139,10 +157,20 @@ fn main() {
         return;
     }
     println!(
-        "| {:5} | {:8} | {:9} | {:7} | {:8} | {:10} | {:9} |",
-        "conns", "wall_ms", "committed", "aborted", "requests", "tput_tps", "SGT"
+        "| {:5} | {:8} | {:9} | {:7} | {:8} | {:10} | {:7} | {:7} | {:9} |",
+        "conns",
+        "wall_ms",
+        "committed",
+        "aborted",
+        "requests",
+        "tput_tps",
+        "p50_us",
+        "p95_us",
+        "SGT"
     );
-    println!("|-------|----------|-----------|---------|----------|------------|-----------|");
+    println!(
+        "|-------|----------|-----------|---------|----------|------------|---------|---------|-----------|"
+    );
     let rows: Vec<Row> = CONN_SWEEP.iter().map(|&c| run_cell(c)).collect();
     let mut doc = JsonObj::new();
     doc.str("benchmark", "net_bench")

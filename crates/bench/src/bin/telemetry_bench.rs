@@ -1,0 +1,277 @@
+//! Telemetry harness for the traced networked server (`nt-telemetry` +
+//! `nt-net`), experiment E18.
+//!
+//! Two questions, both measured:
+//!
+//! 1. **Attribution** — rerun the E16 connection sweep with runtime
+//!    telemetry enabled and decompose each request's latency into the
+//!    server's phase stamps (decode→enqueue, queue wait, execute with
+//!    its lock-wait share, respond). The server-side span plus one
+//!    measured loopback `PING` round-trip (the wire + framing time the
+//!    span cannot see) must account for ≥ 90% of the mean client-side
+//!    request latency — otherwise the trace is lying about where time
+//!    goes.
+//! 2. **Overhead** — a paired, repeated, uncontended cell (median of 5
+//!    runs each way) measures what *full tracing* costs in the
+//!    worst-case CPU-bound regime, where requests are microseconds and
+//!    every probe site fires. The number is reported, bounded by a
+//!    sanity cap, and broken down to a per-request cost. The separate
+//!    ≤3% claim for the telemetry-*disabled* default path is measured
+//!    against the untraced baseline by regenerating `BENCH_engine.json`
+//!    and comparing the latency-bound E15 cells against the
+//!    pre-telemetry table (EXPERIMENTS.md E18).
+//!
+//! Every traced cell's history is still fetched over the wire and
+//! certified against Theorem 17 post-hoc. Results land in
+//! `BENCH_telemetry.json`.
+//!
+//! ```sh
+//! cargo run --release -p nt-bench --bin telemetry_bench   # ~20 s
+//! ```
+
+use nt_net::{run_load, Conn, ConnConfig, LoadConfig, NetServer, Request, Response, ServerConfig};
+use nt_obs::json::JsonObj;
+use nt_telemetry::ReqSpan;
+use std::time::Instant;
+
+const CONN_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const TOTAL_TOPS: usize = 64;
+const PINGS: u32 = 64;
+const OVERHEAD_REPEATS: usize = 5;
+const OVERHEAD_CONNS: usize = 2;
+const OVERHEAD_TOPS_PER_CONN: usize = 256;
+
+/// The E16 sweep cell, byte-for-byte: same spec, same seed, total work
+/// held constant so cells are comparable with `BENCH_net.json`.
+fn sweep_load(connections: usize) -> LoadConfig {
+    LoadConfig {
+        connections,
+        tops_per_conn: TOTAL_TOPS / connections,
+        objects: 6,
+        hotspot: 0.5,
+        read_ratio: 0.5,
+        max_depth: 2,
+        seed: 16,
+        ..LoadConfig::default()
+    }
+}
+
+fn mean<F: Fn(&ReqSpan) -> u64>(spans: &[ReqSpan], f: F) -> f64 {
+    if spans.is_empty() {
+        return 0.0;
+    }
+    spans.iter().map(|s| f(s) as f64).sum::<f64>() / spans.len() as f64
+}
+
+struct PhaseRow {
+    connections: usize,
+    spans: usize,
+    decode_enqueue_us: f64,
+    queue_wait_us: f64,
+    execute_us: f64,
+    lock_wait_us: f64,
+    respond_us: f64,
+    span_total_us: f64,
+    ping_rtt_us: f64,
+    client_req_us: f64,
+}
+
+impl PhaseRow {
+    /// Fraction of the mean client-observed request latency the server
+    /// span plus one measured wire round-trip explains.
+    fn coverage(&self) -> f64 {
+        (self.span_total_us + self.ping_rtt_us) / self.client_req_us
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("connections", self.connections as u64)
+            .num("spans", self.spans as u64)
+            .float("decode_enqueue_us", self.decode_enqueue_us)
+            .float("queue_wait_us", self.queue_wait_us)
+            .float("execute_us", self.execute_us)
+            .float("lock_wait_us", self.lock_wait_us)
+            .float("respond_us", self.respond_us)
+            .float("span_total_us", self.span_total_us)
+            .float("ping_rtt_us", self.ping_rtt_us)
+            .float("client_req_us", self.client_req_us)
+            .float("coverage", self.coverage());
+        o.build()
+    }
+}
+
+/// Run one traced sweep cell: drive the load, snapshot the span ring,
+/// measure the loopback RTT with PINGs, certify the history.
+fn run_traced_cell(connections: usize) -> PhaseRow {
+    let server = NetServer::bind(ServerConfig {
+        telemetry: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    let probe = handle.probe();
+    let load = sweep_load(connections);
+    let report = run_load(&addr, &load).expect("load runs");
+    // Snapshot the spans the load produced before the PING probe adds
+    // its own (tiny) spans to the ring.
+    let spans = probe.telemetry().spans();
+    assert!(!spans.is_empty(), "traced cell retained no spans");
+
+    // The wire-and-framing floor the server span cannot see: a PING
+    // touches no lock and executes in nanoseconds, so its round-trip is
+    // almost entirely client encode + loopback + server decode/respond.
+    let mut conn = Conn::connect(&addr, 9000, ConnConfig::default()).expect("connect");
+    let mut rtt_sum_us = 0.0;
+    for _ in 0..PINGS {
+        let t = Instant::now();
+        assert!(matches!(conn.request(&Request::Ping), Ok(Response::Pong)));
+        rtt_sum_us += t.elapsed().as_secs_f64() * 1e6;
+    }
+    let cert = nt_net::fetch_and_certify(&addr, ConnConfig::from(&load)).expect("history fetched");
+    assert!(
+        cert.is_serially_correct(),
+        "traced cell failed certification"
+    );
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    handle.wait();
+
+    let row = PhaseRow {
+        connections,
+        spans: spans.len(),
+        decode_enqueue_us: mean(&spans, ReqSpan::decode_enqueue_us),
+        queue_wait_us: mean(&spans, ReqSpan::queue_wait_us),
+        execute_us: mean(&spans, ReqSpan::execute_us),
+        lock_wait_us: mean(&spans, |s| s.lock_wait_us),
+        respond_us: mean(&spans, ReqSpan::respond_us),
+        span_total_us: mean(&spans, ReqSpan::total_us),
+        ping_rtt_us: rtt_sum_us / f64::from(PINGS),
+        client_req_us: report.req_hist.mean(),
+    };
+    println!(
+        "| {:5} | {:5} | {:9.1} | {:8.1} | {:7.1} | {:9.1} | {:7.1} | {:8.1} | {:7.1} | {:9.1} | {:7.2} |",
+        row.connections,
+        row.spans,
+        row.decode_enqueue_us,
+        row.queue_wait_us,
+        row.execute_us,
+        row.lock_wait_us,
+        row.respond_us,
+        row.span_total_us,
+        row.ping_rtt_us,
+        row.client_req_us,
+        row.coverage(),
+    );
+    row
+}
+
+/// Throughput (committed tops/s) of one cell with telemetry on or off.
+fn cell_tps(telemetry: bool) -> f64 {
+    let server = NetServer::bind(ServerConfig {
+        telemetry,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    // Uncontended on purpose: no deadlocks, no backoff sleeps, no retry
+    // variance — the paired delta isolates the per-probe telemetry cost
+    // instead of the contended workload's scheduling noise.
+    let load = LoadConfig {
+        tops_per_conn: OVERHEAD_TOPS_PER_CONN,
+        objects: 64,
+        hotspot: 0.0,
+        ..sweep_load(OVERHEAD_CONNS)
+    };
+    let report = run_load(&addr, &load).expect("load runs");
+    let mut conn = Conn::connect(&addr, 9000, ConnConfig::default()).expect("connect");
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    handle.wait();
+    assert_eq!(report.gave_up, 0, "overhead cell exhausted retries");
+    report.committed_tops as f64 / (report.wall_us as f64 / 1e6)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite tps"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!("phase attribution (mean µs per request, traced E16 sweep):\n");
+    println!(
+        "| {:5} | {:5} | {:9} | {:8} | {:7} | {:9} | {:7} | {:8} | {:7} | {:9} | {:7} |",
+        "conns",
+        "spans",
+        "dec_enq",
+        "queue",
+        "exec",
+        "lock_wait",
+        "respond",
+        "span_tot",
+        "ping",
+        "client",
+        "cover"
+    );
+    println!("|-------|-------|-----------|----------|---------|-----------|---------|----------|---------|-----------|---------|");
+    let rows: Vec<PhaseRow> = CONN_SWEEP.iter().map(|&c| run_traced_cell(c)).collect();
+    for r in &rows {
+        assert!(
+            r.coverage() >= 0.90,
+            "{} connections: span + wire RTT explain only {:.0}% of client latency",
+            r.connections,
+            r.coverage() * 100.0
+        );
+    }
+
+    // Paired overhead runs, interleaved so drift hits both modes alike.
+    let mut disabled = Vec::with_capacity(OVERHEAD_REPEATS);
+    let mut enabled = Vec::with_capacity(OVERHEAD_REPEATS);
+    for _ in 0..OVERHEAD_REPEATS {
+        disabled.push(cell_tps(false));
+        enabled.push(cell_tps(true));
+    }
+    let dis = median(disabled.clone());
+    let en = median(enabled.clone());
+    let overhead_pct = (dis - en) / dis * 100.0;
+    // Per top-level transaction, then per request (~8 requests/top on
+    // this spec): the absolute price of one fully traced request.
+    let per_top_us = (1e6 / en - 1e6 / dis).max(0.0);
+    println!(
+        "\nfull-tracing overhead ({OVERHEAD_CONNS}-connection uncontended cell, median of {OVERHEAD_REPEATS}):\n"
+    );
+    println!("| mode     | tput (tx/s) |");
+    println!("|----------|-------------|");
+    println!("| disabled | {dis:11.1} |");
+    println!("| enabled  | {en:11.1} |");
+    println!("\nenabled-tracing cost: {overhead_pct:.2}% ({per_top_us:.2} µs per top)");
+    assert!(
+        overhead_pct <= 25.0,
+        "full-tracing overhead {overhead_pct:.2}% exceeds the 25% sanity cap"
+    );
+
+    let mut doc = JsonObj::new();
+    doc.str("benchmark", "telemetry_bench")
+        .num(
+            "host_cores",
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        )
+        .num("total_tops", TOTAL_TOPS as u64)
+        .raw(
+            "phase_rows",
+            format!(
+                "[{}]",
+                rows.iter()
+                    .map(PhaseRow::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .float("tps_disabled_median", dis)
+        .float("tps_enabled_median", en)
+        .float("enabled_overhead_pct", overhead_pct)
+        .float("enabled_overhead_us_per_top", per_top_us);
+    std::fs::write("BENCH_telemetry.json", doc.build()).expect("write BENCH_telemetry.json");
+    eprintln!("wrote BENCH_telemetry.json ({} traced cells)", rows.len());
+}

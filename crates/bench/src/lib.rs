@@ -115,6 +115,18 @@ impl SmokeLine {
         self
     }
 
+    /// Add `{prefix}_p50`/`_p95`/`_p99` from a latency histogram, so
+    /// every smoke line reports tail latency alongside its throughput
+    /// counters under uniform key names (prefixes carry the unit, e.g.
+    /// `top_us`).
+    pub fn percentiles(mut self, prefix: &str, hist: &nt_telemetry::HistSnapshot) -> SmokeLine {
+        let (p50, p95, p99) = hist.p50_p95_p99();
+        self.0.num(&format!("{prefix}_p50"), p50);
+        self.0.num(&format!("{prefix}_p95"), p95);
+        self.0.num(&format!("{prefix}_p99"), p99);
+        self
+    }
+
     /// The finished line (no trailing newline).
     pub fn build(self) -> String {
         self.0.build()
@@ -310,6 +322,20 @@ mod tests {
         assert!(r.quiescent);
         assert_eq!(outcome, CheckOutcome::Correct);
         let _ = edges;
+    }
+
+    #[test]
+    fn smoke_line_reports_percentiles_uniformly() {
+        let mut h = nt_telemetry::HistSnapshot::new();
+        for v in 1..=100u64 {
+            h.observe(v * 10);
+        }
+        let line = SmokeLine::new("demo").percentiles("req_us", &h).build();
+        let v = nt_obs::json::Json::parse(&line).expect("smoke line parses");
+        let num = |k: &str| v.get(k).and_then(nt_obs::json::Json::as_num).unwrap();
+        assert!(num("req_us_p50") > 0.0);
+        assert!(num("req_us_p95") >= num("req_us_p50"));
+        assert!(num("req_us_p99") >= num("req_us_p95"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod tree_view;
 
 pub use config::EngineConfig;
 pub use detector::DetectorOutcome;
-pub use locktable::{Acquired, LockTable};
+pub use locktable::{Acquired, LockTable, ShardCounters};
 pub use recorder::{SeqClock, WorkerLog};
 pub use run::{
     run_plan, run_plan_gated, run_workload, EnginePlan, EngineReport, EngineStats, PreflightGate,

@@ -33,10 +33,11 @@ use crate::tree_view::TreeView;
 use nt_locking::{moss_blockers_by, moss_precondition_by};
 use nt_model::rw::RwInitials;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
+use nt_telemetry::TelemetryHandle;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of a lock acquisition attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -65,6 +66,9 @@ struct ObjLocks {
     write: BTreeMap<TxId, i64>,
     read: BTreeSet<TxId>,
     waiters: Vec<Waiter>,
+    /// Grant times per holder, kept only while telemetry is enabled —
+    /// feeds the hold-time histogram at release/discard.
+    since: BTreeMap<TxId, Instant>,
 }
 
 impl ObjLocks {
@@ -75,6 +79,7 @@ impl ObjLocks {
             write,
             read: BTreeSet::new(),
             waiters: Vec::new(),
+            since: BTreeMap::new(),
         }
     }
 
@@ -102,9 +107,23 @@ impl ObjLocks {
     }
 }
 
+/// Per-shard lock-traffic counters, updated under the shard mutex (so a
+/// [`LockTable::shard_counters`] snapshot of one shard is coherent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Lock grants on this shard.
+    pub grants: u64,
+    /// Acquires that parked at least once on this shard.
+    pub waits: u64,
+    /// Total lock hold time released on this shard, microseconds
+    /// (tracked only while telemetry is enabled).
+    pub hold_us: u64,
+}
+
 struct ShardState {
     objects: BTreeMap<u32, ObjLocks>,
     next_ticket: u64,
+    counters: ShardCounters,
     /// Object-level actions, stamped while this shard's mutex is held —
     /// the stamps linearize them exactly as the shard serialized the state
     /// changes they describe.
@@ -131,6 +150,7 @@ pub struct LockTable<T: TreeView = Arc<TxTree>> {
     granted: AtomicU64,
     blocked: AtomicU64,
     timeout_rescues: AtomicU64,
+    telemetry: TelemetryHandle,
 }
 
 impl<T: TreeView> LockTable<T> {
@@ -153,6 +173,7 @@ impl<T: TreeView> LockTable<T> {
                     state: Mutex::new(ShardState {
                         objects: BTreeMap::new(),
                         next_ticket: 0,
+                        counters: ShardCounters::default(),
                         log: WorkerLog::new(),
                     }),
                     cv: Condvar::new(),
@@ -164,7 +185,16 @@ impl<T: TreeView> LockTable<T> {
             granted: AtomicU64::new(0),
             blocked: AtomicU64::new(0),
             timeout_rescues: AtomicU64::new(0),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attach a live telemetry handle (builder-style, before the table is
+    /// shared): blocked intervals and hold times start feeding its
+    /// histograms.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     fn shard_of(&self, x: ObjId) -> &Shard {
@@ -179,6 +209,9 @@ impl<T: TreeView> LockTable<T> {
         let mut st = shard.state.lock().expect("shard poisoned");
         let mut my_ticket: Option<u64> = None;
         let mut last_wait_timed_out = false;
+        // Set when this acquire first parks; telemetry-only, so the
+        // uncontended grant path never reads the wall clock.
+        let mut wait_start: Option<Instant> = None;
         loop {
             // Doom / watchdog checks come first so a doomed waiter leaves
             // the queue promptly (its departure can unblock others).
@@ -228,6 +261,9 @@ impl<T: TreeView> LockTable<T> {
                     locks.read.insert(t);
                     Value::Int(v)
                 };
+                if self.telemetry.is_enabled() {
+                    locks.since.insert(t, Instant::now());
+                }
                 #[cfg(debug_assertions)]
                 locks.check_lemma9(&self.tree, x);
                 if my_ticket.is_some() {
@@ -236,10 +272,15 @@ impl<T: TreeView> LockTable<T> {
                         self.timeout_rescues.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                st.counters.grants += 1;
                 st.log
                     .record(&self.clock, Action::RequestCommit(t, value.clone()));
                 self.granted.fetch_add(1, Ordering::Relaxed);
                 shard.cv.notify_all();
+                if let Some(start) = wait_start {
+                    self.telemetry
+                        .observe_lock_blocked(start.elapsed().as_micros() as u64);
+                }
                 return Acquired::Granted(value);
             }
             if my_ticket.is_none() {
@@ -255,7 +296,11 @@ impl<T: TreeView> LockTable<T> {
                         write_like,
                     });
                 my_ticket = Some(ticket);
+                st.counters.waits += 1;
                 self.blocked.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    wait_start = Some(Instant::now());
+                }
             }
             let (next, timeout) = shard
                 .cv
@@ -273,6 +318,7 @@ impl<T: TreeView> LockTable<T> {
         for x in objs {
             let shard = self.shard_of(x);
             let mut st = shard.state.lock().expect("shard poisoned");
+            let mut held_us = None;
             if let Some(locks) = st.objects.get_mut(&x.0) {
                 if let Some(v) = locks.write.remove(&t) {
                     locks.write.insert(parent, v);
@@ -280,8 +326,18 @@ impl<T: TreeView> LockTable<T> {
                 if locks.read.remove(&t) {
                     locks.read.insert(parent);
                 }
+                // `t`'s hold ends here; the inherited lock starts the
+                // parent's hold clock (unless it already holds one).
+                if let Some(start) = locks.since.remove(&t) {
+                    held_us = Some(start.elapsed().as_micros() as u64);
+                    locks.since.entry(parent).or_insert_with(Instant::now);
+                }
                 #[cfg(debug_assertions)]
                 locks.check_lemma9(&self.tree, x);
+            }
+            if let Some(us) = held_us {
+                st.counters.hold_us += us;
+                self.telemetry.observe_lock_hold(us);
             }
             st.log.record(&self.clock, Action::InformCommit(x, t));
             shard.cv.notify_all();
@@ -294,9 +350,25 @@ impl<T: TreeView> LockTable<T> {
         for x in objs {
             let shard = self.shard_of(x);
             let mut st = shard.state.lock().expect("shard poisoned");
+            let mut discarded_us = Vec::new();
             if let Some(locks) = st.objects.get_mut(&x.0) {
                 locks.write.retain(|h, _| !self.tree.is_ancestor(d, *h));
                 locks.read.retain(|h| !self.tree.is_ancestor(d, *h));
+                let dead: Vec<TxId> = locks
+                    .since
+                    .keys()
+                    .copied()
+                    .filter(|h| self.tree.is_ancestor(d, *h))
+                    .collect();
+                for h in dead {
+                    if let Some(start) = locks.since.remove(&h) {
+                        discarded_us.push(start.elapsed().as_micros() as u64);
+                    }
+                }
+            }
+            for us in discarded_us {
+                st.counters.hold_us += us;
+                self.telemetry.observe_lock_hold(us);
             }
             st.log.record(&self.clock, Action::InformAbort(x, d));
             shard.cv.notify_all();
@@ -383,5 +455,14 @@ impl<T: TreeView> LockTable<T> {
     /// backstop papered over.
     pub fn timeout_rescues(&self) -> u64 {
         self.timeout_rescues.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard lock-traffic counters (each shard's triple is snapshotted
+    /// under its own mutex, so it is internally coherent).
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("shard poisoned").counters)
+            .collect()
     }
 }

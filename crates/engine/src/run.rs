@@ -44,6 +44,7 @@ use nt_obs::{Event, TraceHandle};
 use nt_serial::ObjectTypes;
 use nt_sgt::{certify_recorded, ConflictSource, RecordedCertificate};
 use nt_sim::{ScriptPlan, Workload};
+use nt_telemetry::HistSnapshot;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -141,6 +142,9 @@ pub struct EngineReport {
     pub wall: Duration,
     /// Lock-table and detector counters.
     pub stats: EngineStats,
+    /// Per-top-level-slot latency (claim to resolution, including retry
+    /// backoff), microseconds — merged across workers for p50/p95/p99.
+    pub top_latency: HistSnapshot,
 }
 
 impl EngineReport {
@@ -217,6 +221,7 @@ struct Worker<'a> {
     records: Vec<RetryRecord>,
     committed_top: usize,
     aborted_top: usize,
+    top_lat: HistSnapshot,
 }
 
 impl<'a> Worker<'a> {
@@ -228,6 +233,7 @@ impl<'a> Worker<'a> {
             records: Vec::new(),
             committed_top: 0,
             aborted_top: 0,
+            top_lat: HistSnapshot::new(),
         }
     }
 
@@ -243,6 +249,7 @@ impl<'a> Worker<'a> {
                 return;
             }
             let original = self.ctx.plan.top[i];
+            let slot_start = Instant::now();
             match self.run_slot(TxId::ROOT, i, original) {
                 SlotResult::Committed => self.committed_top += 1,
                 SlotResult::Failed => self.aborted_top += 1,
@@ -253,6 +260,8 @@ impl<'a> Worker<'a> {
                     self.aborted_top += 1;
                 }
             }
+            self.top_lat
+                .observe(slot_start.elapsed().as_micros() as u64);
         }
     }
 
@@ -506,7 +515,7 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
                 s.spawn(|| {
                     let mut w = Worker::new(&ctx);
                     w.run();
-                    (w.log, w.records, w.committed_top, w.aborted_top)
+                    (w.log, w.records, w.committed_top, w.aborted_top, w.top_lat)
                 })
             })
             .collect();
@@ -523,11 +532,13 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
     let mut aborted_top = 0;
     let mut records = Vec::new();
     let mut logs = vec![main_log];
-    for (log, recs, c, a) in workers {
+    let mut top_latency = HistSnapshot::new();
+    for (log, recs, c, a, lat) in workers {
         logs.push(log);
         records.extend(recs);
         committed_top += c;
         aborted_top += a;
+        top_latency.merge(&lat);
     }
     logs.extend(table.drain_logs());
     let history = merge(logs);
@@ -547,6 +558,7 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
             timeout_rescues: table.timeout_rescues(),
             detector_passes: detector.passes,
         },
+        top_latency,
     })
 }
 

@@ -20,17 +20,19 @@
 
 use crate::detector::scan_once;
 pub use crate::detector::Victim;
-use crate::locktable::{Acquired, LockTable};
+use crate::locktable::{Acquired, LockTable, ShardCounters};
 use crate::recorder::{merge, SeqClock, WorkerLog};
 use crate::session_tree::{SessionTree, TreeError};
 use crate::status::StatusTable;
 use crate::tree_view::TreeView;
 use nt_model::rw::RwInitials;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
+use nt_obs::json::JsonObj;
+use nt_telemetry::TelemetryHandle;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a session operation was refused (protocol misuse or admission
 /// control — distinct from the benign [`Aborted`](BeginOutcome::Aborted)
@@ -112,6 +114,7 @@ pub struct SessionEngine {
     status: Arc<StatusTable>,
     table: Arc<LockTable<Arc<SessionTree>>>,
     clock: Arc<SeqClock>,
+    telemetry: TelemetryHandle,
     logs: Mutex<Vec<Arc<Mutex<WorkerLog>>>>,
     victims: Mutex<Vec<Victim>>,
     detector_passes: Arc<AtomicU64>,
@@ -124,16 +127,36 @@ impl SessionEngine {
     /// of `shards` shards (nonzero power of two), and a detector thread
     /// scanning every `detector_period`. Objects all start at value 0.
     pub fn start(capacity: usize, shards: usize, detector_period: Duration) -> Arc<SessionEngine> {
+        SessionEngine::start_with_telemetry(
+            capacity,
+            shards,
+            detector_period,
+            TelemetryHandle::disabled(),
+        )
+    }
+
+    /// [`SessionEngine::start`] with a live telemetry handle: the lock
+    /// table feeds its blocked/hold histograms and sessions attribute lock
+    /// wait per request.
+    pub fn start_with_telemetry(
+        capacity: usize,
+        shards: usize,
+        detector_period: Duration,
+        telemetry: TelemetryHandle,
+    ) -> Arc<SessionEngine> {
         let tree = Arc::new(SessionTree::new(capacity));
         let status = Arc::new(StatusTable::new(capacity));
         let clock = Arc::new(SeqClock::new());
-        let table = Arc::new(LockTable::new(
-            Arc::clone(&tree),
-            Arc::clone(&status),
-            Arc::clone(&clock),
-            RwInitials::uniform(0),
-            shards,
-        ));
+        let table = Arc::new(
+            LockTable::new(
+                Arc::clone(&tree),
+                Arc::clone(&status),
+                Arc::clone(&clock),
+                RwInitials::uniform(0),
+                shards,
+            )
+            .with_telemetry(telemetry.clone()),
+        );
         let mut root_log = WorkerLog::new();
         root_log.record(&clock, Action::Create(TxId::ROOT));
         let engine = Arc::new(SessionEngine {
@@ -141,6 +164,7 @@ impl SessionEngine {
             status,
             table,
             clock,
+            telemetry,
             logs: Mutex::new(vec![Arc::new(Mutex::new(root_log))]),
             victims: Mutex::new(Vec::new()),
             detector_passes: Arc::new(AtomicU64::new(0)),
@@ -187,6 +211,7 @@ impl SessionEngine {
             log,
             held: BTreeMap::new(),
             tops: BTreeSet::new(),
+            lock_wait_us: 0,
         }
     }
 
@@ -203,6 +228,60 @@ impl SessionEngine {
     /// Detector scan passes so far.
     pub fn detector_passes(&self) -> u64 {
         self.detector_passes.load(Ordering::Relaxed)
+    }
+
+    /// The telemetry handle this engine records into.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Current logical-clock reading (stamps issued so far) — a
+    /// non-advancing peek, for dual wall/logical request stamps.
+    pub fn clock_now(&self) -> u64 {
+        self.clock.issued()
+    }
+
+    /// Lock grants so far.
+    pub fn lock_grants(&self) -> u64 {
+        self.table.granted()
+    }
+
+    /// Lock acquires that parked at least once.
+    pub fn lock_blocks(&self) -> u64 {
+        self.table.blocked()
+    }
+
+    /// Grants that landed right after a timed-out wait (lost-wakeup
+    /// backstop metric).
+    pub fn timeout_rescues(&self) -> u64 {
+        self.table.timeout_rescues()
+    }
+
+    /// Per-shard lock-traffic counters.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.table.shard_counters()
+    }
+
+    /// On-demand wait-for-graph snapshot as one JSON object:
+    /// `{"wait_for": [{"waiter": t, "blockers": [u, ...]}, ...]}`. Each
+    /// edge is a parked lock request and the holders currently blocking
+    /// it — the same relation the deadlock detector folds into cycles.
+    pub fn wait_for_json(&self) -> String {
+        let snapshot = self.table.waiting_snapshot();
+        let edges: Vec<String> = snapshot
+            .iter()
+            .map(|(waiter, blockers)| {
+                let mut o = JsonObj::new();
+                o.num("waiter", u64::from(waiter.0));
+                let ids: Vec<u64> = blockers.iter().map(|b| u64::from(b.0)).collect();
+                o.num_arr("blockers", &ids);
+                o.build()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.num("edges", edges.len() as u64)
+            .raw("wait_for", format!("[{}]", edges.join(",")));
+        o.build()
     }
 
     /// Snapshot the run so far: the frozen tree and the merged recorded
@@ -245,9 +324,19 @@ pub struct Session {
     log: Arc<Mutex<WorkerLog>>,
     held: BTreeMap<TxId, BTreeSet<ObjId>>,
     tops: BTreeSet<TxId>,
+    /// Microseconds this session spent inside lock acquisition since the
+    /// last [`Session::take_lock_wait_us`] — the per-request lock-wait
+    /// attribution the server drains after each executed request.
+    /// Accumulated only while the engine's telemetry is enabled.
+    lock_wait_us: u64,
 }
 
 impl Session {
+    /// Drain the lock-wait time accumulated since the last call.
+    pub fn take_lock_wait_us(&mut self) -> u64 {
+        std::mem::take(&mut self.lock_wait_us)
+    }
+
     fn record(&self, action: Action) {
         self.log
             .lock()
@@ -385,7 +474,12 @@ impl Session {
             .map_err(SessionError::from)?;
         self.record(Action::RequestCreate(t));
         self.record(Action::Create(t));
-        match self.engine.table.acquire(t, x, &op) {
+        let acquire_start = self.engine.telemetry.is_enabled().then(Instant::now);
+        let acquired = self.engine.table.acquire(t, x, &op);
+        if let Some(start) = acquire_start {
+            self.lock_wait_us += start.elapsed().as_micros() as u64;
+        }
+        match acquired {
             Acquired::Doomed(d) => Ok(AccessOutcome::Aborted(self.ensure_aborted(d))),
             Acquired::Granted(v) => {
                 self.held.entry(t).or_default().insert(x);

@@ -306,6 +306,14 @@ fn main() -> ExitCode {
         .bool("serially_correct", cert.is_serially_correct())
         .num("sg_nodes", cert.sg_nodes as u64)
         .num("sg_edges", cert.sg_edges as u64);
+    let (p50, p95, p99) = report.req_hist.p50_p95_p99();
+    o.num("request_us_p50", p50)
+        .num("request_us_p95", p95)
+        .num("request_us_p99", p99);
+    let (p50, p95, p99) = report.top_hist.p50_p95_p99();
+    o.num("top_us_p50", p50)
+        .num("top_us_p95", p95)
+        .num("top_us_p99", p99);
     println!("{}", o.build());
     if !smoke {
         eprintln!("{}", report.to_json());

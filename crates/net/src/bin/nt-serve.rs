@@ -4,6 +4,7 @@
 //! ```text
 //! nt-serve [--config FILE.net.json] [--addr HOST:PORT]
 //!          [--port-file FILE] [--journal FILE] [--static-gate]
+//!          [--metrics-out FILE] [--trace-out FILE]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `nt-serve listening on ADDR`,
@@ -15,14 +16,24 @@
 //! declared read/write sets could close a potential serialization cycle
 //! against the live declared tops are refused with a typed
 //! `STATIC_GATE` error before they acquire any lock.
+//!
+//! `--metrics-out FILE` enables runtime telemetry and rewrites `FILE`
+//! with a live `nt-net/stats/v1` snapshot every `metrics_period_ms`
+//! (plus a final post-drain snapshot). `--trace-out FILE` enables
+//! telemetry and writes the retained request spans as a Chrome
+//! `trace_event` document after the drain. Either flag also turns on
+//! the SGT health monitor (100 ms sampling unless the config file set
+//! `sgt_sample_period_ms` itself), so snapshots carry `sgt.*` gauges —
+//! including one final post-drain sample of the committed history.
 
 use nt_net::{NetConfig, NetServer, ServerConfig};
 use nt_obs::json::JsonObj;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate]"
+        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate] [--metrics-out FILE] [--trace-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -34,6 +45,8 @@ fn main() -> ExitCode {
     let mut port_file = None;
     let mut journal_file = None;
     let mut static_gate = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +99,20 @@ fn main() -> ExitCode {
                 static_gate = true;
                 i += 1;
             }
+            "--metrics-out" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                metrics_out = Some(f.clone());
+                i += 2;
+            }
+            "--trace-out" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                trace_out = Some(f.clone());
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -95,6 +122,16 @@ fn main() -> ExitCode {
     if static_gate {
         cfg.static_gate = true;
     }
+    if metrics_out.is_some() || trace_out.is_some() {
+        cfg.telemetry = true;
+        // A traced server should also report SGT health; a config file
+        // that set its own period (or wants it off via an explicit
+        // telemetry=true config without tracing flags) still wins.
+        if cfg.sgt_sample_period_ms == 0 {
+            cfg.sgt_sample_period_ms = 100;
+        }
+    }
+    let metrics_period_ms = cfg.metrics_period_ms.max(1);
     let problems = cfg.problems();
     if !problems.is_empty() {
         for p in &problems {
@@ -117,8 +154,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    // Park until a wire `Shutdown` initiates the drain.
-    let report = server.serve().join();
+    // Park until a wire `Shutdown` initiates the drain. A metrics writer
+    // rewrites the snapshot file each period until the drain begins.
+    let handle = server.serve();
+    let probe = handle.probe();
+    let metrics_thread = metrics_out.clone().map(|f| {
+        let probe = probe.clone();
+        std::thread::spawn(move || {
+            while !probe.is_draining() {
+                if std::fs::write(&f, probe.stats_json() + "\n").is_err() {
+                    break;
+                }
+                let mut slept = 0u64;
+                while slept < metrics_period_ms && !probe.is_draining() {
+                    let step = metrics_period_ms.min(20);
+                    std::thread::sleep(Duration::from_millis(step));
+                    slept += step;
+                }
+            }
+        })
+    });
+    let report = handle.join();
+    if let Some(t) = metrics_thread {
+        let _ = t.join();
+    }
+    if let Some(f) = &metrics_out {
+        if let Err(e) = std::fs::write(f, probe.stats_json() + "\n") {
+            eprintln!("nt-serve: cannot write metrics file {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(f) = &trace_out {
+        let trace = probe.chrome_trace().unwrap_or_else(|| "{}".to_string());
+        if let Err(e) = std::fs::write(f, trace) {
+            eprintln!("nt-serve: cannot write trace file {f}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(f) = &journal_file {
         let mut text = report.journal.join("\n");
         text.push('\n');
@@ -129,13 +201,13 @@ fn main() -> ExitCode {
     }
     let mut o = JsonObj::new();
     o.str("suite", "nt-serve")
-        .num("conns", report.stats.conns.into_inner())
-        .num("frames", report.stats.frames.into_inner())
-        .num("dropped", report.stats.dropped.into_inner())
-        .num("duplicated", report.stats.duplicated.into_inner())
-        .num("delayed", report.stats.delayed.into_inner())
-        .num("executed", report.stats.executed.into_inner())
-        .num("cache_hits", report.stats.cache_hits.into_inner())
+        .num("conns", report.stats.conns)
+        .num("frames", report.stats.frames)
+        .num("dropped", report.stats.dropped)
+        .num("duplicated", report.stats.duplicated)
+        .num("delayed", report.stats.delayed)
+        .num("executed", report.stats.executed)
+        .num("cache_hits", report.stats.cache_hits)
         .num("tx_count", report.tx_count as u64)
         .num("victims", report.victims as u64);
     println!("{}", o.build());

@@ -19,6 +19,7 @@ use nt_model::{Action, Op, TxTree};
 use nt_obs::{Event, MetricsRegistry, Stamped};
 use nt_serial::{ObjectTypes, RwRegister};
 use nt_sgt::{certify_recorded, ConflictSource, RecordedCertificate};
+use nt_telemetry::HistSnapshot;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::TcpStream;
@@ -79,6 +80,9 @@ pub struct Conn {
     pub retries: u64,
     /// Client-side request metrics (`net_request_us` histogram).
     pub metrics: MetricsRegistry,
+    /// Per-request round-trip latency as a log-linear histogram
+    /// (mergeable across connections, p50/p95/p99-capable).
+    pub req_hist: HistSnapshot,
     /// Client-side event journal (`net_retry` lines).
     pub journal: Vec<String>,
     jseq: u64,
@@ -104,6 +108,7 @@ impl Conn {
             conn_id,
             retries: 0,
             metrics: MetricsRegistry::new(),
+            req_hist: HistSnapshot::new(),
             journal: Vec::new(),
             jseq: 0,
         })
@@ -151,6 +156,7 @@ impl Conn {
                 if let Some(inf) = self.in_flight.remove(&seq) {
                     let us = inf.sent_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     self.metrics.observe("net_request_us", us);
+                    self.req_hist.observe(us);
                 }
                 return Ok(resp);
             }
@@ -231,6 +237,17 @@ impl Conn {
             Response::History(doc) => doc.into_run(),
             other => Err(WireError::BadPayload(format!(
                 "expected History, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's live runtime-stats document (schema
+    /// `nt-net/stats/v1`) as a JSON string.
+    pub fn stats(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            other => Err(WireError::BadPayload(format!(
+                "expected Stats, got {other:?}"
             ))),
         }
     }

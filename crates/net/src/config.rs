@@ -38,6 +38,23 @@ pub struct ServerConfig {
     /// `err_code::STATIC_GATE`) when their potential conflict component
     /// could close a serialization cycle.
     pub static_gate: bool,
+    /// Enable runtime telemetry: per-request lifecycle spans, lock-wait
+    /// attribution, phase histograms, and the `STATS` document's
+    /// histogram/gauge section. Off by default — the disabled handle
+    /// costs one branch per probe site.
+    pub telemetry: bool,
+    /// Bounded ring of retained request spans (newest win) when
+    /// telemetry is enabled.
+    pub span_ring: usize,
+    /// Period of the SGT health monitor, which certifies the recorded
+    /// history prefix through the Theorem 17 gate and publishes `sgt.*`
+    /// gauges. 0 disables the monitor thread.
+    pub sgt_sample_period_ms: u64,
+    /// Period of `nt-serve --metrics-out` snapshot rewrites.
+    pub metrics_period_ms: u64,
+    /// How long a drain may take before the flight recorder is dumped
+    /// for diagnosis (the drain itself keeps waiting).
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +68,11 @@ impl Default for ServerConfig {
             max_frame_len: crate::wire::DEFAULT_MAX_FRAME,
             fault: None,
             static_gate: false,
+            telemetry: false,
+            span_ring: nt_telemetry::DEFAULT_SPAN_RING,
+            sgt_sample_period_ms: 0,
+            metrics_period_ms: 1000,
+            drain_timeout_ms: 10_000,
         }
     }
 }
@@ -184,6 +206,15 @@ impl ServerConfig {
         if let Some(plan) = &self.fault {
             out.extend(plan.problems());
         }
+        if self.telemetry && self.span_ring == 0 {
+            out.push("span_ring of 0 retains no spans under telemetry".to_string());
+        }
+        if self.metrics_period_ms == 0 {
+            out.push("metrics_period_ms of 0 busy-writes the snapshot file".to_string());
+        }
+        if self.drain_timeout_ms == 0 {
+            out.push("drain_timeout_ms of 0 dumps diagnostics on every drain".to_string());
+        }
         out
     }
 
@@ -198,7 +229,12 @@ impl ServerConfig {
             .num("detector_period_us", self.detector_period_us)
             .num("queue_depth", self.queue_depth as u64)
             .num("max_frame_len", self.max_frame_len as u64)
-            .bool("static_gate", self.static_gate);
+            .bool("static_gate", self.static_gate)
+            .bool("telemetry", self.telemetry)
+            .num("span_ring", self.span_ring as u64)
+            .num("sgt_sample_period_ms", self.sgt_sample_period_ms)
+            .num("metrics_period_ms", self.metrics_period_ms)
+            .num("drain_timeout_ms", self.drain_timeout_ms);
         if let Some(plan) = &self.fault {
             o.raw("fault", plan.to_json());
         }
@@ -320,6 +356,14 @@ impl NetConfig {
                             Json::Bool(b) => c.static_gate = *b,
                             _ => return Err("static_gate must be a boolean".to_string()),
                         },
+                        "telemetry" => match val {
+                            Json::Bool(b) => c.telemetry = *b,
+                            _ => return Err("telemetry must be a boolean".to_string()),
+                        },
+                        "span_ring" => c.span_ring = num_field(val, key)? as usize,
+                        "sgt_sample_period_ms" => c.sgt_sample_period_ms = num_field(val, key)?,
+                        "metrics_period_ms" => c.metrics_period_ms = num_field(val, key)?,
+                        "drain_timeout_ms" => c.drain_timeout_ms = num_field(val, key)?,
                         other => return Err(format!("unknown net server config key {other:?}")),
                     }
                 }
@@ -390,6 +434,11 @@ mod tests {
                 delay_us: 200,
             }),
             static_gate: true,
+            telemetry: true,
+            span_ring: 512,
+            sgt_sample_period_ms: 50,
+            metrics_period_ms: 250,
+            drain_timeout_ms: 5_000,
             ..ServerConfig::default()
         };
         match NetConfig::from_json(&s.to_json()).expect("server roundtrip") {
@@ -433,6 +482,19 @@ mod tests {
         let probs = s.problems();
         assert!(probs.iter().any(|p| p.contains("queue_depth")), "{probs:?}");
         assert!(probs.iter().any(|p| p.contains("drop_period")), "{probs:?}");
+
+        let s = ServerConfig {
+            telemetry: true,
+            span_ring: 0,
+            metrics_period_ms: 0,
+            ..ServerConfig::default()
+        };
+        let probs = s.problems();
+        assert!(probs.iter().any(|p| p.contains("span_ring")), "{probs:?}");
+        assert!(
+            probs.iter().any(|p| p.contains("metrics_period_ms")),
+            "{probs:?}"
+        );
 
         let l = LoadConfig {
             read_ratio: 1.5,

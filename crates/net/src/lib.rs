@@ -28,6 +28,16 @@
 //!   declared read/write sets, and a top whose potential conflict
 //!   component could close a serialization cycle is refused with a
 //!   typed `STATIC_GATE` error before it acquires any lock.
+//!
+//! Runtime observability (`nt-telemetry`, DESIGN.md §8g) threads
+//! through the server: per-request phase spans with dual wall/logical
+//! stamps, the `STATS` wire op returning one `nt-net/stats/v1`
+//! document (coherent counters, lock-table shard totals, phase
+//! histograms, SGT health gauges, live wait-for graph), `nt-serve
+//! --metrics-out`/`--trace-out`, an optional monitor thread that
+//! certifies the recorded prefix through the Theorem 17 gate while the
+//! server runs, and a flight-recorder ring dumped on watchdog fires,
+//! stuck drains, and static-gate refusals.
 
 #![forbid(unsafe_code)]
 
@@ -44,5 +54,5 @@ pub use client::{certify_history, fetch_and_certify, Conn, ConnConfig};
 pub use config::{LoadConfig, LoadMode, NetConfig, ServerConfig};
 pub use history::HistoryDoc;
 pub use load::{run_load, workload_spec, LoadReport};
-pub use server::{DrainReport, NetServer, ServerHandle, ServerStats};
+pub use server::{DrainReport, NetServer, ServerHandle, ServerProbe, ServerStats};
 pub use wire::{Request, Response, WireError};

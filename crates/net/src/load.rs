@@ -19,6 +19,7 @@ use nt_model::{Op, TxId, TxTree};
 use nt_obs::json::JsonObj;
 use nt_obs::MetricsRegistry;
 use nt_sim::{OpMix, WorkloadSpec};
+use nt_telemetry::HistSnapshot;
 use std::time::{Duration, Instant};
 
 /// One node of a top-level transaction template.
@@ -219,6 +220,10 @@ pub struct LoadReport {
     pub wall_us: u64,
     /// Merged client metrics (`net_request_us`, `net_top_us` histograms).
     pub metrics: MetricsRegistry,
+    /// Per-request round-trip latency, merged across connections.
+    pub req_hist: HistSnapshot,
+    /// Per-committed-top latency, merged across connections.
+    pub top_hist: HistSnapshot,
     /// Merged client event journals (`net_retry` lines).
     pub journal: Vec<String>,
 }
@@ -239,6 +244,14 @@ impl LoadReport {
         if let Some(h) = self.metrics.histogram("net_top_us") {
             o.float("top_us_mean", h.mean());
         }
+        let (p50, p95, p99) = self.req_hist.p50_p95_p99();
+        o.num("request_us_p50", p50)
+            .num("request_us_p95", p95)
+            .num("request_us_p99", p99);
+        let (p50, p95, p99) = self.top_hist.p50_p95_p99();
+        o.num("top_us_p50", p50)
+            .num("top_us_p95", p95)
+            .num("top_us_p99", p99);
         if self.wall_us > 0 {
             o.float(
                 "tops_per_sec",
@@ -308,6 +321,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, WireError> {
                                 let us = top_start.elapsed().as_micros().min(u128::from(u64::MAX))
                                     as u64;
                                 conn.metrics.observe("net_top_us", us);
+                                rep.top_hist.observe(us);
                                 break;
                             }
                             TopEnd::TopAborted => {
@@ -327,6 +341,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, WireError> {
                 rep.requests = conn.requests_sent();
                 rep.retries = conn.retries;
                 rep.metrics.merge(&conn.metrics);
+                rep.req_hist.merge(&conn.req_hist);
                 rep.journal.append(&mut conn.journal);
                 Ok(rep)
             },
@@ -343,6 +358,8 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, WireError> {
                 merged.requests += rep.requests;
                 merged.retries += rep.retries;
                 merged.metrics.merge(&rep.metrics);
+                merged.req_hist.merge(&rep.req_hist);
+                merged.top_hist.merge(&rep.top_hist);
                 merged.journal.extend(rep.journal);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),

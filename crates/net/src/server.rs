@@ -12,6 +12,16 @@
 //! exactly-once under the at-least-once transport: a retried or
 //! duplicated frame is answered from cache, never re-executed.
 //!
+//! When the config enables telemetry, both threads stamp each request's
+//! lifecycle (decode → enqueue → dequeue → execute → respond) into an
+//! [`nt_telemetry::ReqSpan`] carrying dual wall-clock/`SeqClock` stamps,
+//! and a sampling **monitor thread** folds the committed prefix of the
+//! recorded history through the Theorem 17 gate, publishing SGT health
+//! gauges (`sgt.nodes`, `sgt.edges`, `sgt.watermark`, `sgt.check_us`,
+//! `sgt.ok`). A bounded flight-recorder ring mirrors the journal and is
+//! dumped to stderr on a deadlock-watchdog fire, a drain timeout, or a
+//! static-gate refusal.
+//!
 //! Graceful drain (`ServerHandle::drain`, or a wire `Shutdown` request)
 //! stops the acceptor, half-closes every connection's read side so
 //! readers see EOF at a frame boundary, lets executors finish everything
@@ -19,6 +29,7 @@
 //! server's recorded history is complete and certifiable.
 
 use crate::admission::{AdmissionLedger, DeclaredSets};
+use crate::client::certify_history;
 use crate::config::ServerConfig;
 use crate::history::HistoryDoc;
 use crate::wire::{
@@ -27,7 +38,9 @@ use crate::wire::{
 use nt_engine::{AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError};
 use nt_faults::FrameFate;
 use nt_model::{ObjId, TxId};
-use nt_obs::{Event, Stamped};
+use nt_obs::json::JsonObj;
+use nt_obs::{Event, Stamped, TraceHandle};
+use nt_telemetry::{ReqSpan, StatsCell, TelemetryHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -35,44 +48,59 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Monotone counters the server exposes after a drain.
-#[derive(Debug, Default)]
+/// Flight-recorder ring capacity (journal tail kept for crash dumps).
+const FLIGHT_CAPACITY: usize = 256;
+
+/// Monotone counters the server exposes while serving and after a drain.
+///
+/// This is a plain `Copy` struct held in a [`StatsCell`], not a struct of
+/// atomics: every increment is a coherent update and every read is a
+/// coherent snapshot, so an observer can never see a torn state such as
+/// `executed + cache_hits > frames` (which field-by-field relaxed loads
+/// of independent atomics permitted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted.
-    pub conns: AtomicU64,
+    pub conns: u64,
     /// Request frames read (before fault injection).
-    pub frames: AtomicU64,
+    pub frames: u64,
     /// Frames discarded by the fault plan.
-    pub dropped: AtomicU64,
+    pub dropped: u64,
     /// Frames duplicated by the fault plan.
-    pub duplicated: AtomicU64,
+    pub duplicated: u64,
     /// Frames delayed by the fault plan.
-    pub delayed: AtomicU64,
+    pub delayed: u64,
     /// Requests executed against a session (cache misses).
-    pub executed: AtomicU64,
+    pub executed: u64,
     /// Requests answered from the per-`seq` response cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: u64,
 }
 
 struct Shared {
     cfg: ServerConfig,
     engine: Arc<SessionEngine>,
+    telemetry: TelemetryHandle,
+    /// Bounded journal tail for diagnostic dumps.
+    flight: TraceHandle,
     addr: SocketAddr,
     draining: AtomicBool,
-    stats: ServerStats,
+    stats: StatsCell<ServerStats>,
     journal: Mutex<Vec<String>>,
     jseq: AtomicU64,
     /// Read-half clones, shut down on drain to unblock readers.
     read_halves: Mutex<Vec<TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
     /// Declared summaries of live tops (the static admission gate).
     admission: Mutex<AdmissionLedger>,
 }
 
 impl Shared {
     fn emit(&self, event: Event) {
+        self.flight.tick();
+        self.flight.record(event.clone());
         let seq = self.jseq.fetch_add(1, Ordering::Relaxed);
         let line = Stamped {
             round: 0,
@@ -82,6 +110,47 @@ impl Shared {
         }
         .to_json_line();
         self.journal.lock().expect("journal poisoned").push(line);
+    }
+
+    /// One live runtime snapshot (schema `nt-net/stats/v1`): coherent
+    /// server counters, engine/lock-shard counters, telemetry histograms
+    /// and gauges, and the current wait-for graph.
+    fn stats_json(&self) -> String {
+        let (generation, s) = self.stats.snapshot();
+        let shards = self.engine.shard_counters();
+        let grants: Vec<u64> = shards.iter().map(|c| c.grants).collect();
+        let waits: Vec<u64> = shards.iter().map(|c| c.waits).collect();
+        let hold_us: Vec<u64> = shards.iter().map(|c| c.hold_us).collect();
+        let mut o = JsonObj::new();
+        o.str("schema", "nt-net/stats/v1")
+            .num("generation", generation)
+            .num("conns", s.conns)
+            .num("frames", s.frames)
+            .num("dropped", s.dropped)
+            .num("duplicated", s.duplicated)
+            .num("delayed", s.delayed)
+            .num("executed", s.executed)
+            .num("cache_hits", s.cache_hits)
+            .num("tx_count", self.engine.tx_count() as u64)
+            .num("victims", self.engine.victims().len() as u64)
+            .num("lock_grants", self.engine.lock_grants())
+            .num("lock_blocks", self.engine.lock_blocks())
+            .num("timeout_rescues", self.engine.timeout_rescues())
+            .num("clock", self.engine.clock_now())
+            .num_arr("shard_grants", &grants)
+            .num_arr("shard_waits", &waits)
+            .num_arr("shard_hold_us", &hold_us)
+            .raw("telemetry", self.telemetry.to_json())
+            .raw("wait_for", self.engine.wait_for_json());
+        o.build()
+    }
+
+    /// Dump the flight ring and a stats snapshot to stderr (called on a
+    /// deadlock-watchdog fire, a drain timeout, or a static-gate refusal).
+    fn dump_diagnostics(&self, reason: &str) {
+        self.flight.dump_flight_to_stderr(reason);
+        eprintln!("=== nt-net stats snapshot ({reason}) ===");
+        eprintln!("{}", self.stats_json());
     }
 
     /// Forget a top's declared summary (no-op for undeclared tops).
@@ -111,6 +180,73 @@ impl Shared {
     }
 }
 
+/// Samples the engine on a fixed period: surfaces new deadlock victims
+/// and timeout rescues as structured events (dumping diagnostics on a
+/// watchdog fire), and folds the recorded-history prefix through the
+/// Theorem 17 gate, publishing SGT health gauges. An in-flight prefix
+/// may transiently fail certification (`sgt.ok = 0`) — the gauge reports
+/// health of the *committed* prefix, which a drained server always
+/// passes.
+fn monitor_loop(shared: &Shared) {
+    let period = Duration::from_millis(shared.cfg.sgt_sample_period_ms.max(1));
+    let mut seen_victims = 0usize;
+    let mut seen_rescues = 0u64;
+    let mut samples = 0u64;
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < period {
+            if shared.draining.load(Ordering::Acquire) {
+                return;
+            }
+            let step = period.min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let victims = shared.engine.victims();
+        for v in victims.iter().skip(seen_victims) {
+            shared.emit(Event::DeadlockVictim {
+                victim: v.victim.0,
+                waiter: v.waiter.0,
+                blocker: v.blocker.0,
+            });
+        }
+        seen_victims = victims.len();
+        let rescues = shared.engine.timeout_rescues();
+        if rescues > seen_rescues {
+            shared.emit(Event::WatchdogFired {
+                stalled_rounds: rescues - seen_rescues,
+            });
+            shared.dump_diagnostics("deadlock watchdog fired");
+        }
+        seen_rescues = rescues;
+        samples += 1;
+        sgt_sample(shared, samples);
+    }
+}
+
+/// Fold the recorded-history prefix through the Theorem 17 gate and
+/// publish the SGT health gauges under the given sample count.
+fn sgt_sample(shared: &Shared, samples: u64) {
+    let t0 = Instant::now();
+    let (tree, actions) = shared.engine.history_snapshot();
+    let cert = certify_history(&tree, &actions);
+    let check_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shared
+        .telemetry
+        .gauge_set("sgt.nodes", cert.sg_nodes as u64);
+    shared
+        .telemetry
+        .gauge_set("sgt.edges", cert.sg_edges as u64);
+    shared
+        .telemetry
+        .gauge_set("sgt.watermark", cert.serial_actions as u64);
+    shared.telemetry.gauge_set("sgt.check_us", check_us);
+    shared
+        .telemetry
+        .gauge_set("sgt.ok", u64::from(cert.violations == 0));
+    shared.telemetry.gauge_set("sgt.samples", samples);
+}
+
 /// A bound (not yet serving) server.
 pub struct NetServer {
     listener: TcpListener,
@@ -123,9 +259,44 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
 }
 
+/// A clonable live view of a serving server, for metrics writers and
+/// tests that observe the server while `ServerHandle::join` parks.
+#[derive(Clone)]
+pub struct ServerProbe {
+    shared: Arc<Shared>,
+}
+
+impl ServerProbe {
+    /// A coherent counter snapshot plus the generation it reflects.
+    pub fn stats(&self) -> (u64, ServerStats) {
+        self.shared.stats.snapshot()
+    }
+
+    /// The full live stats document (schema `nt-net/stats/v1`).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// The server's telemetry handle (disabled unless configured).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.shared.telemetry
+    }
+
+    /// A Chrome `trace_event` document of the retained request spans
+    /// (`None` when telemetry is disabled).
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.shared.telemetry.chrome_trace()
+    }
+
+    /// Whether a drain has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+}
+
 /// What a drained server leaves behind.
 pub struct DrainReport {
-    /// Final counter values.
+    /// Final counter values (a coherent snapshot).
     pub stats: ServerStats,
     /// The observability journal (`Stamped` event lines).
     pub journal: Vec<String>,
@@ -140,21 +311,30 @@ impl NetServer {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let engine = SessionEngine::start(
+        let telemetry = if cfg.telemetry {
+            TelemetryHandle::enabled(cfg.span_ring.max(1))
+        } else {
+            TelemetryHandle::disabled()
+        };
+        let engine = SessionEngine::start_with_telemetry(
             cfg.capacity,
             cfg.shards.max(1),
             Duration::from_micros(cfg.detector_period_us.max(1)),
+            telemetry.clone(),
         );
         let shared = Arc::new(Shared {
             cfg,
             engine,
+            telemetry,
+            flight: nt_obs::Recorder::flight(FLIGHT_CAPACITY),
             addr,
             draining: AtomicBool::new(false),
-            stats: ServerStats::default(),
+            stats: StatsCell::default(),
             journal: Mutex::new(Vec::new()),
             jseq: AtomicU64::new(0),
             read_halves: Mutex::new(Vec::new()),
             conn_threads: Mutex::new(Vec::new()),
+            monitor: Mutex::new(None),
             admission: Mutex::new(AdmissionLedger::new()),
         });
         Ok(NetServer { listener, shared })
@@ -167,6 +347,11 @@ impl NetServer {
 
     /// Start accepting connections.
     pub fn serve(self) -> ServerHandle {
+        if self.shared.cfg.sgt_sample_period_ms > 0 {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::spawn(move || monitor_loop(&shared));
+            *self.shared.monitor.lock().expect("monitor poisoned") = Some(handle);
+        }
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
         let acceptor = std::thread::spawn(move || {
@@ -175,7 +360,14 @@ impl NetServer {
                     break;
                 }
                 let Ok(stream) = incoming else { continue };
-                let conn = shared.stats.conns.fetch_add(1, Ordering::Relaxed) + 1;
+                // Small request/response frames stall badly under Nagle +
+                // delayed ACK once a client pipelines (E18 measured ~6 ms
+                // client-side against a ~20 µs server span before this).
+                let _ = stream.set_nodelay(true);
+                let conn = shared.stats.update(|s| {
+                    s.conns += 1;
+                    s.conns
+                });
                 shared.emit(Event::ConnAccepted { conn });
                 let Ok(read_half) = stream.try_clone() else {
                     continue;
@@ -212,6 +404,13 @@ impl ServerHandle {
         Arc::clone(&self.shared.engine)
     }
 
+    /// A clonable live view (counters, stats document, Chrome trace).
+    pub fn probe(&self) -> ServerProbe {
+        ServerProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Initiate a graceful drain (idempotent, returns immediately).
     pub fn drain(&self) {
         self.shared.begin_drain();
@@ -230,6 +429,25 @@ impl ServerHandle {
     /// the draining flag is set.
     pub fn join(self) -> DrainReport {
         let _ = self.acceptor.join();
+        // Drain watchdog: if connections fail to quiesce within the
+        // configured timeout, dump the flight ring so the stall is
+        // diagnosable; the dump fires at most once and join keeps waiting.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let watchdog = {
+            let shared = Arc::clone(&self.shared);
+            let timeout = Duration::from_millis(shared.cfg.drain_timeout_ms.max(1));
+            std::thread::spawn(move || {
+                if matches!(
+                    done_rx.recv_timeout(timeout),
+                    Err(mpsc::RecvTimeoutError::Timeout)
+                ) {
+                    shared.emit(Event::Violation {
+                        reason: "drain timeout".to_string(),
+                    });
+                    shared.dump_diagnostics("drain timeout");
+                }
+            })
+        };
         loop {
             let handle = self
                 .shared
@@ -244,20 +462,34 @@ impl ServerHandle {
                 None => break,
             }
         }
-        let conns = self.shared.stats.conns.load(Ordering::Relaxed);
-        self.shared.emit(Event::ServerDrained { conns });
+        let monitor = self.shared.monitor.lock().expect("monitor poisoned").take();
+        let monitored = monitor.is_some();
+        if let Some(m) = monitor {
+            let _ = m.join();
+        }
+        let _ = done_tx.send(());
+        let _ = watchdog.join();
+        if monitored {
+            // One final sample over the fully-drained history, so even a
+            // run shorter than the sample period publishes gauges — and
+            // the post-drain snapshot always reports the committed
+            // prefix's health (`sgt.ok = 1` unless certification failed).
+            let prior = self
+                .shared
+                .telemetry
+                .gauges()
+                .iter()
+                .find(|(k, _)| *k == "sgt.samples")
+                .map_or(0, |&(_, v)| v);
+            sgt_sample(&self.shared, prior + 1);
+        }
+        let (_, stats) = self.shared.stats.snapshot();
+        self.shared
+            .emit(Event::ServerDrained { conns: stats.conns });
         self.shared.engine.shutdown();
         let shared = &self.shared;
         DrainReport {
-            stats: ServerStats {
-                conns: AtomicU64::new(conns),
-                frames: AtomicU64::new(shared.stats.frames.load(Ordering::Relaxed)),
-                dropped: AtomicU64::new(shared.stats.dropped.load(Ordering::Relaxed)),
-                duplicated: AtomicU64::new(shared.stats.duplicated.load(Ordering::Relaxed)),
-                delayed: AtomicU64::new(shared.stats.delayed.load(Ordering::Relaxed)),
-                executed: AtomicU64::new(shared.stats.executed.load(Ordering::Relaxed)),
-                cache_hits: AtomicU64::new(shared.stats.cache_hits.load(Ordering::Relaxed)),
-            },
+            stats,
             journal: shared.journal.lock().expect("journal poisoned").clone(),
             tx_count: shared.engine.tx_count(),
             victims: shared.engine.victims().len(),
@@ -265,10 +497,33 @@ impl ServerHandle {
     }
 }
 
+/// One parsed request with its lifecycle stamps (all zero when telemetry
+/// is disabled — the stamping calls are single-branch no-ops).
+#[derive(Clone)]
+struct ReqWork {
+    seq: u64,
+    req: Request,
+    /// Wall µs (telemetry epoch) when the reader finished decoding.
+    t_decode: u64,
+    /// Wall µs when the reader handed the request to the queue.
+    t_enqueue: u64,
+    /// Engine `SeqClock` reading at decode time.
+    seq_decode: u64,
+}
+
 /// What the reader hands the executor.
 enum Work {
-    Req(u64, Request),
+    Req(ReqWork),
     Malformed(WireError),
+}
+
+/// Stamp the enqueue time (as close to the channel hand-off as possible,
+/// so `queue_wait` excludes fault-plan delay sleeps) and send.
+fn send_stamped(shared: &Shared, tx: &SyncSender<Work>, mut work: Work) -> bool {
+    if let Work::Req(rw) = &mut work {
+        rw.t_enqueue = shared.telemetry.now_us();
+    }
+    tx.send(work).is_ok()
 }
 
 fn run_conn(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
@@ -296,9 +551,15 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
             Ok(None) => break,
             Ok(Some(frame)) => {
                 frame_no += 1;
-                shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+                shared.stats.update(|s| s.frames += 1);
                 let work = match parse_request(&frame) {
-                    Ok((seq, req)) => Work::Req(seq, req),
+                    Ok((seq, req)) => Work::Req(ReqWork {
+                        seq,
+                        req,
+                        t_decode: shared.telemetry.now_us(),
+                        t_enqueue: 0,
+                        seq_decode: shared.engine.clock_now(),
+                    }),
                     Err(e) => {
                         let _ = tx.send(Work::Malformed(e));
                         break;
@@ -310,9 +571,9 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
                     .map(|p| p.fate(frame_no))
                     .unwrap_or(FrameFate::Deliver);
                 let sent = match fate {
-                    FrameFate::Deliver => tx.send(work).is_ok(),
+                    FrameFate::Deliver => send_stamped(shared, tx, work),
                     FrameFate::Drop => {
-                        shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.update(|s| s.dropped += 1);
                         shared.emit(Event::FrameFault {
                             conn,
                             frame: frame_no,
@@ -321,29 +582,30 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
                         true
                     }
                     FrameFate::Duplicate => {
-                        shared.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.update(|s| s.duplicated += 1);
                         shared.emit(Event::FrameFault {
                             conn,
                             frame: frame_no,
                             fault: "duplicate",
                         });
-                        match &work {
-                            Work::Req(seq, req) => {
-                                let copy = Work::Req(*seq, req.clone());
-                                tx.send(work).is_ok() && tx.send(copy).is_ok()
+                        match work {
+                            Work::Req(rw) => {
+                                let copy = Work::Req(rw.clone());
+                                send_stamped(shared, tx, Work::Req(rw))
+                                    && send_stamped(shared, tx, copy)
                             }
-                            Work::Malformed(_) => tx.send(work).is_ok(),
+                            Work::Malformed(_) => send_stamped(shared, tx, work),
                         }
                     }
                     FrameFate::Delay(us) => {
-                        shared.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.update(|s| s.delayed += 1);
                         shared.emit(Event::FrameFault {
                             conn,
                             frame: frame_no,
                             fault: "delay",
                         });
                         std::thread::sleep(Duration::from_micros(us));
-                        tx.send(work).is_ok()
+                        send_stamped(shared, tx, work)
                     }
                 };
                 if !sent {
@@ -380,7 +642,7 @@ fn session_error_response(e: &SessionError) -> Response {
 /// no lock outlives its client.
 fn execute_loop(
     shared: &Shared,
-    _conn: u64,
+    conn: u64,
     mut stream: TcpStream,
     mut session: Session,
     rx: &Receiver<Work>,
@@ -389,24 +651,48 @@ fn execute_loop(
     let mut open_tops: BTreeSet<TxId> = BTreeSet::new();
     for work in rx.iter() {
         match work {
-            Work::Req(seq, req) => {
-                if let Some(bytes) = cache.get(&seq) {
-                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    if stream.write_all(bytes).is_err() {
-                        break;
+            Work::Req(rw) => {
+                let t_dequeue = shared.telemetry.now_us();
+                let mut lock_wait_us = 0;
+                let (bytes, from_cache) = match cache.get(&rw.seq) {
+                    Some(bytes) => (bytes.clone(), true),
+                    None => {
+                        let resp = execute(shared, &mut session, &mut open_tops, &rw.req);
+                        lock_wait_us = session.take_lock_wait_us();
+                        let Ok(bytes) = encode_response(rw.seq, &resp) else {
+                            break;
+                        };
+                        cache.insert(rw.seq, bytes.clone());
+                        (bytes, false)
                     }
-                    continue;
-                }
-                shared.stats.executed.fetch_add(1, Ordering::Relaxed);
-                let resp = execute(shared, &mut session, &mut open_tops, &req);
-                let Ok(bytes) = encode_response(seq, &resp) else {
-                    break;
                 };
-                cache.insert(seq, bytes.clone());
+                shared.stats.update(|s| {
+                    if from_cache {
+                        s.cache_hits += 1;
+                    } else {
+                        s.executed += 1;
+                    }
+                });
+                let t_exec_end = shared.telemetry.now_us();
                 if stream.write_all(&bytes).is_err() {
                     break;
                 }
-                if matches!(req, Request::Shutdown) {
+                if shared.telemetry.is_enabled() {
+                    shared.telemetry.record_span(ReqSpan {
+                        conn,
+                        seq: rw.seq,
+                        kind: rw.req.kind(),
+                        t_decode: rw.t_decode,
+                        t_enqueue: rw.t_enqueue,
+                        t_dequeue,
+                        t_exec_end,
+                        t_respond: shared.telemetry.now_us(),
+                        lock_wait_us,
+                        seq_decode: rw.seq_decode,
+                        seq_respond: shared.engine.clock_now(),
+                    });
+                }
+                if !from_cache && matches!(rw.req, Request::Shutdown) {
                     let _ = stream.flush();
                     shared.begin_drain();
                 }
@@ -457,6 +743,11 @@ fn execute(
             // cannot jointly admit a component of weight >= 2.
             let mut ledger = shared.admission.lock().expect("admission poisoned");
             if let Err(msg) = ledger.check(&sets) {
+                drop(ledger);
+                shared.emit(Event::Violation {
+                    reason: format!("static gate refusal: {msg}"),
+                });
+                shared.dump_diagnostics("static gate refusal");
                 return Response::Error {
                     code: err_code::STATIC_GATE,
                     msg: format!("static gate refused the top: {msg}"),
@@ -526,5 +817,8 @@ fn execute(
         }
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::ShuttingDown,
+        Request::Stats => Response::Stats {
+            json: shared.stats_json(),
+        },
     }
 }

@@ -371,6 +371,10 @@ pub enum Request {
     Ping,
     /// Ask the server to drain gracefully and exit.
     Shutdown,
+    /// Fetch a live runtime-telemetry snapshot (server counters, lock
+    /// shard counters, phase histograms, SGT health gauges, wait-for
+    /// graph) as one JSON document.
+    Stats,
 }
 
 impl Request {
@@ -386,12 +390,17 @@ impl Request {
             Request::Ping => 0x07,
             Request::Shutdown => 0x08,
             Request::BeginTopDeclared { .. } => 0x09,
+            Request::Stats => 0x0A,
         }
     }
 
     fn put_body(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
-            Request::BeginTop | Request::HistoryFetch | Request::Ping | Request::Shutdown => Ok(()),
+            Request::BeginTop
+            | Request::HistoryFetch
+            | Request::Ping
+            | Request::Shutdown
+            | Request::Stats => Ok(()),
             Request::BeginChild { parent } => {
                 put_u32(out, *parent);
                 Ok(())
@@ -444,6 +453,7 @@ impl Request {
                 let [reads, writes] = sets;
                 Request::BeginTopDeclared { reads, writes }
             }
+            0x0A => Request::Stats,
             k => return Err(WireError::UnknownKind(k)),
         };
         cur.finish()?;
@@ -501,6 +511,11 @@ pub enum Response {
     Pong,
     /// The server acknowledged `Shutdown` and is draining.
     ShuttingDown,
+    /// A runtime-telemetry snapshot serialized as a JSON document.
+    Stats {
+        /// The snapshot (schema `nt-net/stats/v1`).
+        json: String,
+    },
     /// A protocol-level failure (see [`err_code`]).
     Error {
         /// Stable error code.
@@ -523,6 +538,7 @@ impl Response {
             Response::Pong => 0x87,
             Response::ShuttingDown => 0x88,
             Response::Error { .. } => 0x89,
+            Response::Stats { .. } => 0x8A,
         }
     }
 
@@ -548,6 +564,10 @@ impl Response {
                 put_str(out, msg);
                 Ok(())
             }
+            Response::Stats { json } => {
+                put_str(out, json);
+                Ok(())
+            }
         }
     }
 
@@ -569,6 +589,7 @@ impl Response {
                 code: cur.u16()?,
                 msg: cur.str()?,
             },
+            0x8A => Response::Stats { json: cur.str()? },
             k => return Err(WireError::UnknownKind(k)),
         };
         cur.finish()?;

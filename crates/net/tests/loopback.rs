@@ -14,7 +14,6 @@ use nt_net::{
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 
 fn start_server(cfg: ServerConfig) -> (String, nt_net::ServerHandle) {
     let server = NetServer::bind(cfg).expect("bind loopback");
@@ -88,7 +87,7 @@ fn single_session_runs_a_nested_transaction_end_to_end() {
     conn.shutdown_server().expect("shutdown");
     drop(conn);
     let report = handle.wait();
-    assert!(report.stats.executed.load(Ordering::Relaxed) > 0);
+    assert!(report.stats.executed > 0);
     assert_eq!(report.victims, 0);
 }
 
@@ -161,12 +160,12 @@ fn faulty_transport_still_certifies_with_retries() {
     assert!(cert.is_serially_correct());
 
     let drained = handle.wait();
-    assert!(drained.stats.dropped.load(Ordering::Relaxed) > 0);
-    assert!(drained.stats.duplicated.load(Ordering::Relaxed) > 0);
-    assert!(drained.stats.delayed.load(Ordering::Relaxed) > 0);
+    assert!(drained.stats.dropped > 0);
+    assert!(drained.stats.duplicated > 0);
+    assert!(drained.stats.delayed > 0);
     // Duplicated frames were answered from the response cache, never
     // executed twice.
-    assert!(drained.stats.cache_hits.load(Ordering::Relaxed) > 0);
+    assert!(drained.stats.cache_hits > 0);
 }
 
 #[test]
@@ -207,8 +206,8 @@ fn graceful_drain_answers_all_queued_work() {
 
     let report = handle.wait();
     // BeginTop + 8 writes + commit + shutdown, all executed exactly once.
-    assert_eq!(report.stats.executed.load(Ordering::Relaxed), 11);
-    assert_eq!(report.stats.cache_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(report.stats.executed, 11);
+    assert_eq!(report.stats.cache_hits, 0);
 }
 
 #[test]
@@ -246,5 +245,5 @@ fn malformed_frame_yields_protocol_error_then_close() {
 
     handle.drain();
     let report = handle.wait();
-    assert_eq!(report.stats.executed.load(Ordering::Relaxed), 0);
+    assert_eq!(report.stats.executed, 0);
 }

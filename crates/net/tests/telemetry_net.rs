@@ -1,0 +1,227 @@
+//! Telemetry integration over real sockets: the `STATS` wire op (plain
+//! and under transport faults), phase-stamped request spans, coherent
+//! counter snapshots under concurrent load, and the SGT health monitor's
+//! gauges.
+
+use nt_faults::TransportPlan;
+use nt_net::{
+    run_load, Conn, ConnConfig, LoadConfig, NetServer, Request, Response, ServerConfig,
+    ServerHandle,
+};
+use nt_obs::json::Json;
+use std::time::{Duration, Instant};
+
+fn start(cfg: ServerConfig) -> (String, ServerHandle) {
+    let server = NetServer::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (addr, server.serve())
+}
+
+fn telemetry_cfg() -> ServerConfig {
+    ServerConfig {
+        telemetry: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn small_load(addr: &str) -> LoadConfig {
+    LoadConfig {
+        addr: addr.to_string(),
+        connections: 2,
+        tops_per_conn: 8,
+        objects: 4,
+        hotspot: 0.5,
+        seed: 41,
+        ..LoadConfig::default()
+    }
+}
+
+#[test]
+fn stats_round_trips_over_the_wire() {
+    let (addr, handle) = start(telemetry_cfg());
+    let load = small_load(&addr);
+    run_load(&addr, &load).expect("load runs");
+
+    let mut conn = Conn::connect(&addr, 9, ConnConfig::default()).expect("connect");
+    let doc = conn.stats().expect("stats answered");
+    let v = Json::parse(&doc).expect("stats document parses");
+    assert_eq!(
+        v.get("schema").and_then(Json::as_str),
+        Some("nt-net/stats/v1")
+    );
+    let executed = v.get("executed").and_then(Json::as_num).expect("executed");
+    let frames = v.get("frames").and_then(Json::as_num).expect("frames");
+    assert!(executed > 0.0);
+    assert!(frames >= executed);
+    assert!(v.get("lock_grants").and_then(Json::as_num).unwrap_or(0.0) > 0.0);
+    // The telemetry section carries per-phase histograms whose total
+    // phase saw every span-recorded request.
+    let total = v
+        .get("telemetry")
+        .and_then(|t| t.get("phases"))
+        .and_then(|p| p.get("total"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_num)
+        .expect("total phase count");
+    assert!(total > 0.0);
+    // The wait-for dump is present (usually empty once the load drained).
+    assert!(v.get("wait_for").is_some());
+
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    handle.wait();
+}
+
+#[test]
+fn stats_survives_a_faulty_transport() {
+    let (addr, handle) = start(ServerConfig {
+        fault: Some(TransportPlan {
+            drop_period: 3,
+            dup_period: 2,
+            delay_period: 5,
+            delay_us: 100,
+        }),
+        ..telemetry_cfg()
+    });
+    let cfg = ConnConfig {
+        timeout_ms: 50,
+        ..ConnConfig::default()
+    };
+    let mut conn = Conn::connect(&addr, 1, cfg).expect("connect");
+    // Drive enough STATS requests that the plan drops and duplicates
+    // some; retries plus the per-seq cache must still answer every one
+    // with a parsable document.
+    for _ in 0..12 {
+        let doc = conn.stats().expect("stats despite faults");
+        Json::parse(&doc).expect("stats document parses");
+    }
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    let report = handle.wait();
+    assert!(report.stats.dropped + report.stats.duplicated > 0);
+}
+
+#[test]
+fn request_spans_are_monotone_with_dual_stamps() {
+    let (addr, handle) = start(telemetry_cfg());
+    let probe = handle.probe();
+    let load = small_load(&addr);
+    run_load(&addr, &load).expect("load runs");
+
+    let spans = probe.telemetry().spans();
+    assert!(!spans.is_empty(), "telemetry retained no spans");
+    for s in &spans {
+        assert!(s.monotone(), "non-monotone span: {s:?}");
+        let phase_sum = s.queue_wait_us() + s.execute_us() + s.respond_us();
+        assert!(
+            s.total_us() >= phase_sum,
+            "phases exceed total: {s:?} (total {} < phases {phase_sum})",
+            s.total_us()
+        );
+        assert!(s.seq_respond >= s.seq_decode, "logical clock regressed");
+        assert!(s.conn > 0, "span missing its connection id");
+    }
+    // The Chrome export of the live ring is a valid trace document
+    // (JSON-array format: metadata record plus three slices per span).
+    let trace = probe.chrome_trace().expect("telemetry enabled");
+    let v = Json::parse(&trace).expect("chrome trace parses");
+    let Json::Arr(events) = v else {
+        panic!("chrome trace is not an event array");
+    };
+    assert_eq!(events.len(), spans.len() * 3 + 1);
+    for e in &events {
+        assert!(e.get("ph").is_some(), "event missing phase field: {e:?}");
+    }
+    handle.wait();
+}
+
+#[test]
+fn counter_snapshots_are_coherent_under_live_load() {
+    let (addr, handle) = start(telemetry_cfg());
+    let probe = handle.probe();
+    let load = LoadConfig {
+        tops_per_conn: 24,
+        connections: 4,
+        ..small_load(&addr)
+    };
+    let driver = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_load(&addr, &load).expect("load runs"))
+    };
+    let mut last_generation = 0u64;
+    let mut polled = 0u32;
+    while !driver.is_finished() {
+        let (generation, s) = probe.stats();
+        assert!(
+            s.executed + s.cache_hits <= s.frames,
+            "torn snapshot: executed {} + cache_hits {} > frames {}",
+            s.executed,
+            s.cache_hits,
+            s.frames
+        );
+        assert!(generation >= last_generation, "generation regressed");
+        last_generation = generation;
+        polled += 1;
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    driver.join().expect("driver thread");
+    assert!(polled > 0);
+    let (_, finished) = probe.stats();
+    assert!(finished.executed > 0);
+    handle.wait();
+}
+
+#[test]
+fn sgt_monitor_publishes_health_gauges() {
+    let (addr, handle) = start(ServerConfig {
+        sgt_sample_period_ms: 10,
+        ..telemetry_cfg()
+    });
+    let probe = handle.probe();
+    let load = small_load(&addr);
+    run_load(&addr, &load).expect("load runs");
+
+    // The load has drained its sessions; wait for one full monitor
+    // sample taken over the now-quiescent history, which must certify.
+    let gauge = |name: &str| {
+        probe
+            .telemetry()
+            .gauges()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    };
+    let after_load = gauge("sgt.samples").unwrap_or(0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while gauge("sgt.samples").unwrap_or(0) <= after_load {
+        assert!(Instant::now() < deadline, "monitor stopped sampling");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(gauge("sgt.ok"), Some(1), "quiescent history must certify");
+    let nodes = gauge("sgt.nodes").expect("sgt.nodes published");
+    assert!(nodes > 0, "committed tops must appear in the graph");
+    assert!(gauge("sgt.watermark").unwrap_or(0) > 0);
+    handle.wait();
+}
+
+#[test]
+fn telemetry_off_by_default_keeps_the_fast_path_dark() {
+    let (addr, handle) = start(ServerConfig::default());
+    let probe = handle.probe();
+    let mut conn = Conn::connect(&addr, 1, ConnConfig::default()).expect("connect");
+    for _ in 0..4 {
+        assert!(matches!(conn.request(&Request::Ping), Ok(Response::Pong)));
+    }
+    assert!(!probe.telemetry().is_enabled());
+    assert_eq!(probe.telemetry().span_count(), 0);
+    assert!(probe.chrome_trace().is_none());
+    // STATS still answers — counters and the wait-for dump don't need
+    // the telemetry handle, only the histogram section is empty.
+    let doc = conn.stats().expect("stats answered");
+    let v = Json::parse(&doc).expect("stats document parses");
+    assert!(v.get("executed").and_then(Json::as_num).unwrap_or(0.0) > 0.0);
+    assert!(v.get("telemetry").is_some());
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    handle.wait();
+}

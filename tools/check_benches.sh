@@ -33,4 +33,31 @@ for b in "${benches[@]}"; do
     fi
     echo "check_benches: $b ok"
 done
+
+# The engine and net sweeps report tail latency, not just throughput:
+# every row must carry p50/p95/p99 percentile fields (E18 discipline).
+check_percentiles() {
+    local file=$1
+    shift
+    python3 - "$file" "$@" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["rows"]
+assert rows, f"{sys.argv[1]}: empty rows"
+for prefix in sys.argv[2:]:
+    for q in ("p50", "p95", "p99"):
+        key = f"{prefix}_{q}"
+        for row in rows:
+            assert key in row, f"{sys.argv[1]}: row missing {key}"
+EOF
+}
+for spec in "BENCH_engine.json top_us" "BENCH_net.json request_us top_us"; do
+    # shellcheck disable=SC2086
+    if check_percentiles $spec; then
+        echo "check_benches: ${spec%% *} percentiles ok"
+    else
+        echo "check_benches: ${spec%% *} rows lack latency percentiles" >&2
+        fail=1
+    fi
+done
 exit "$fail"
