@@ -109,6 +109,12 @@ impl SmokeLine {
         self
     }
 
+    /// Add a string field (e.g. a sweep cell's mode tag).
+    pub fn str(mut self, key: &str, v: &str) -> SmokeLine {
+        self.0.str(key, v);
+        self
+    }
+
     /// Add a boolean verdict.
     pub fn bool(mut self, key: &str, v: bool) -> SmokeLine {
         self.0.bool(key, v);

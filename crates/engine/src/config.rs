@@ -5,6 +5,75 @@
 use nt_faults::BackoffPolicy;
 use nt_obs::json::{Json, JsonObj};
 
+/// When a durable store is mounted, how an acknowledgment relates to the
+/// write-ahead log reaching disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// No durability wait: the WAL is appended but acknowledgments never
+    /// block on fsync (crash loses the OS-buffered tail; recovery still
+    /// replays the durable prefix).
+    #[default]
+    None,
+    /// Fsync the WAL before acknowledging every state-changing request —
+    /// strongest guarantee, one fsync per request on the critical path.
+    FsyncPerCommit,
+    /// Group commit: a background flusher fsyncs every `window_us`
+    /// microseconds and acknowledgments park until their records are
+    /// durable — amortizes the fsync across concurrent requests.
+    GroupCommit {
+        /// Flush window in microseconds (must be > 0).
+        window_us: u64,
+    },
+}
+
+impl DurabilityMode {
+    /// The JSON tag `to_json`/`from_json` use for this mode.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DurabilityMode::None => "none",
+            DurabilityMode::FsyncPerCommit => "fsync",
+            DurabilityMode::GroupCommit { .. } => "group",
+        }
+    }
+
+    /// Parse from the JSON tag plus the optional window key. `window_us`
+    /// is required (and must be > 0 to pass `problems`) only for `group`.
+    pub fn from_tag(tag: &str, window_us: Option<u64>) -> Result<DurabilityMode, String> {
+        match (tag, window_us) {
+            ("none", None) => Ok(DurabilityMode::None),
+            ("fsync", None) => Ok(DurabilityMode::FsyncPerCommit),
+            ("group", Some(window_us)) => Ok(DurabilityMode::GroupCommit { window_us }),
+            ("group", None) => Err("durability \"group\" requires group_commit_window_us".into()),
+            ("none" | "fsync", Some(_)) => Err(format!(
+                "durability {tag:?} takes no group_commit_window_us"
+            )),
+            _ => Err(format!(
+                "unknown durability {tag:?} (expected \"none\", \"fsync\", or \"group\")"
+            )),
+        }
+    }
+
+    /// Rule violations for this mode (folded into the owning config's
+    /// `problems`).
+    pub fn problems(&self) -> Vec<String> {
+        match self {
+            DurabilityMode::GroupCommit { window_us: 0 } => {
+                vec!["durability group_commit_window_us must be > 0".to_string()]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityMode::GroupCommit { window_us } => write!(f, "group:{window_us}"),
+            other => write!(f, "{}", other.tag()),
+        }
+    }
+}
+
 /// Configuration of one threaded engine run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -34,6 +103,10 @@ pub struct EngineConfig {
     /// reported with `gave_up = true` and still certifies (aborted work is
     /// invisible to `T0`).
     pub max_wall_ms: u64,
+    /// Acknowledgment/durability coupling when a WAL store is mounted
+    /// (`nt-store`). The batch engine runs in memory and ignores it; the
+    /// session engine behind `nt-serve --data-dir` enforces it.
+    pub durability: DurabilityMode,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +119,7 @@ impl Default for EngineConfig {
             backoff_round_us: 50,
             access_latency_us: 0,
             max_wall_ms: 30_000,
+            durability: DurabilityMode::None,
         }
     }
 }
@@ -86,6 +160,7 @@ impl EngineConfig {
         if self.max_wall_ms == 0 {
             out.push("max_wall_ms must be > 0 (the watchdog is the liveness backstop)".to_string());
         }
+        out.extend(self.durability.problems());
         out
     }
 
@@ -128,6 +203,20 @@ impl EngineConfig {
                     ..EngineConfig::default()
                 },
             ),
+            (
+                "durable-fsync",
+                EngineConfig {
+                    durability: DurabilityMode::FsyncPerCommit,
+                    ..EngineConfig::default()
+                },
+            ),
+            (
+                "durable-group",
+                EngineConfig {
+                    durability: DurabilityMode::GroupCommit { window_us: 500 },
+                    ..EngineConfig::default()
+                },
+            ),
         ]
     }
 
@@ -150,7 +239,11 @@ impl EngineConfig {
         }
         o.num("backoff_round_us", self.backoff_round_us)
             .num("access_latency_us", self.access_latency_us)
-            .num("max_wall_ms", self.max_wall_ms);
+            .num("max_wall_ms", self.max_wall_ms)
+            .str("durability", self.durability.tag());
+        if let DurabilityMode::GroupCommit { window_us } = self.durability {
+            o.num("group_commit_window_us", window_us);
+        }
         o.build()
     }
 
@@ -164,7 +257,7 @@ impl EngineConfig {
         let Json::Obj(map) = &parsed else {
             return Err("engine config must be a JSON object".to_string());
         };
-        const KNOWN: [&str; 7] = [
+        const KNOWN: [&str; 9] = [
             "threads",
             "shards",
             "detector_period_us",
@@ -172,6 +265,8 @@ impl EngineConfig {
             "backoff_round_us",
             "access_latency_us",
             "max_wall_ms",
+            "durability",
+            "group_commit_window_us",
         ];
         for key in map.keys() {
             if !KNOWN.contains(&key.as_str()) {
@@ -212,6 +307,23 @@ impl EngineConfig {
             }
             Some(_) => return Err("backoff must be an object or null".to_string()),
         };
+        // Optional for compatibility with pre-durability documents.
+        let durability = match parsed.get("durability") {
+            None => {
+                if parsed.get("group_commit_window_us").is_some() {
+                    return Err("group_commit_window_us requires durability \"group\"".to_string());
+                }
+                DurabilityMode::None
+            }
+            Some(Json::Str(tag)) => {
+                let window = match parsed.get("group_commit_window_us") {
+                    None => None,
+                    Some(_) => Some(uint("group_commit_window_us")?),
+                };
+                DurabilityMode::from_tag(tag, window)?
+            }
+            Some(_) => return Err("durability must be a string tag".to_string()),
+        };
         Ok(EngineConfig {
             threads: uint("threads")? as usize,
             shards: uint("shards")? as usize,
@@ -220,6 +332,7 @@ impl EngineConfig {
             backoff_round_us: uint("backoff_round_us")?,
             access_latency_us: uint("access_latency_us")?,
             max_wall_ms: uint("max_wall_ms")?,
+            durability,
         })
     }
 }
@@ -269,5 +382,42 @@ mod tests {
         assert!(EngineConfig::from_json("{\"threads\":1,\"bogus\":2}").is_err());
         assert!(EngineConfig::from_json("[1,2]").is_err());
         assert!(EngineConfig::from_json("{\"threads\":\"two\"}").is_err());
+    }
+
+    #[test]
+    fn durability_modes_round_trip_and_validate() {
+        for mode in [
+            DurabilityMode::None,
+            DurabilityMode::FsyncPerCommit,
+            DurabilityMode::GroupCommit { window_us: 250 },
+        ] {
+            let cfg = EngineConfig {
+                durability: mode,
+                ..EngineConfig::default()
+            };
+            assert!(cfg.problems().is_empty(), "{mode}: {:?}", cfg.problems());
+            assert_eq!(
+                EngineConfig::from_json(&cfg.to_json()).expect("round trip"),
+                cfg
+            );
+        }
+        // A zero group window is structurally parseable but semantically bad.
+        let zero = EngineConfig {
+            durability: DurabilityMode::GroupCommit { window_us: 0 },
+            ..EngineConfig::default()
+        };
+        assert_eq!(zero.problems().len(), 1);
+        // Missing durability defaults to none (pre-durability documents).
+        let legacy = EngineConfig::default()
+            .to_json()
+            .replace(",\"durability\":\"none\"", "");
+        assert_eq!(
+            EngineConfig::from_json(&legacy).expect("legacy doc"),
+            EngineConfig::default()
+        );
+        // Tag/window mismatches are structural errors.
+        assert!(DurabilityMode::from_tag("group", None).is_err());
+        assert!(DurabilityMode::from_tag("fsync", Some(5)).is_err());
+        assert!(DurabilityMode::from_tag("paranoid", None).is_err());
     }
 }

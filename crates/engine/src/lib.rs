@@ -41,16 +41,16 @@ pub mod session_tree;
 pub mod status;
 pub mod tree_view;
 
-pub use config::EngineConfig;
+pub use config::{DurabilityMode, EngineConfig};
 pub use detector::DetectorOutcome;
 pub use locktable::{Acquired, LockTable, ShardCounters};
-pub use recorder::{SeqClock, WorkerLog};
+pub use recorder::{ActionSink, SeqClock, WorkerLog};
 pub use run::{
     run_plan, run_plan_gated, run_workload, EnginePlan, EngineReport, EngineStats, PreflightGate,
     Victim,
 };
 pub use session::{
-    AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError,
+    AccessOutcome, BeginOutcome, CommitOutcome, RecoveredSeed, Session, SessionEngine, SessionError,
 };
 pub use session_tree::{SessionTree, TreeError};
 pub use status::StatusTable;

@@ -27,7 +27,7 @@
 //! counted in [`LockTable::timeout_rescues`], which the stress tests assert
 //! stays at (or near) zero — the broadcasts, not the timeouts, do the work.
 
-use crate::recorder::{SeqClock, WorkerLog};
+use crate::recorder::{ActionSink, SeqClock, WorkerLog};
 use crate::status::StatusTable;
 use crate::tree_view::TreeView;
 use nt_locking::{moss_blockers_by, moss_precondition_by};
@@ -194,6 +194,18 @@ impl<T: TreeView> LockTable<T> {
     /// histograms.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Tee every shard's object actions into a durable sink
+    /// (builder-style, before the table is shared). Shard logs stamp under
+    /// the shard mutex, and the sink stamps under its own append mutex, so
+    /// persisted order still equals stamp order per object.
+    pub fn with_sink(mut self, sink: Arc<dyn ActionSink>) -> Self {
+        for shard in &mut self.shards {
+            shard.state.get_mut().expect("shard poisoned").log =
+                WorkerLog::with_sink(Arc::clone(&sink));
+        }
         self
     }
 

@@ -11,9 +11,21 @@
 //! answers, `INFORM_*`) are stamped *while the owning shard mutex is held*,
 //! which linearizes them per object exactly as the lock table serialized
 //! the state changes they describe.
+//!
+//! ## Durable sinks
+//!
+//! A log may carry an [`ActionSink`] — the write-ahead log mount point
+//! (`nt-store`). When present, [`WorkerLog::record`] delegates stamp
+//! drawing to the sink, which draws the stamp *inside its own append
+//! mutex* so the persisted log's file order equals stamp order. That
+//! invariant is what makes a torn tail recoverable: losing a suffix of
+//! WAL frames loses a *suffix* of stamps, never punches a hole in the
+//! middle of the recorded history.
 
-use nt_model::Action;
+use nt_model::{Action, ObjId, Op, TxId};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The global sequence counter every stamp is drawn from.
 #[derive(Debug, Default)]
@@ -23,6 +35,13 @@ impl SeqClock {
     /// A fresh clock at zero.
     pub fn new() -> Self {
         SeqClock(AtomicU64::new(0))
+    }
+
+    /// A clock that resumes at `next` — the crash–restart path: the
+    /// recovered history owns every stamp below `next`, so the restarted
+    /// engine's new actions merge strictly after it.
+    pub fn starting_at(next: u64) -> Self {
+        SeqClock(AtomicU64::new(next))
     }
 
     /// Draw the next stamp.
@@ -36,10 +55,38 @@ impl SeqClock {
     }
 }
 
+/// A durable sink the recorder tees into: the write-ahead log.
+///
+/// Implementations must draw the stamp from `clock` **while holding their
+/// append lock**, so that persisted order equals stamp order (see the
+/// module docs). The sink is invoked before the action is visible in any
+/// in-memory log, i.e. the engine writes ahead.
+pub trait ActionSink: Send + Sync {
+    /// Draw a stamp and append `(stamp, action)` to the log; returns the
+    /// stamp drawn.
+    fn append_action(&self, clock: &SeqClock, action: &Action) -> u64;
+
+    /// Record a transaction registration (`t` under `parent`; accesses
+    /// carry their object and operation). Called under the session tree's
+    /// append mutex, so tree records land in `TxId` order and always
+    /// precede any action naming `t`.
+    fn append_tree_add(&self, t: TxId, parent: TxId, access: Option<(ObjId, &Op)>);
+}
+
 /// One worker's (or the main thread's, or a shard-stamped) action buffer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct WorkerLog {
     entries: Vec<(u64, Action)>,
+    sink: Option<Arc<dyn ActionSink>>,
+}
+
+impl fmt::Debug for WorkerLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerLog")
+            .field("entries", &self.entries)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl WorkerLog {
@@ -48,9 +95,31 @@ impl WorkerLog {
         WorkerLog::default()
     }
 
-    /// Stamp and append one action.
+    /// An empty log that tees every record into a durable sink.
+    pub fn with_sink(sink: Arc<dyn ActionSink>) -> Self {
+        WorkerLog {
+            entries: Vec::new(),
+            sink: Some(sink),
+        }
+    }
+
+    /// A frozen log seeded with already-recovered entries (no sink — the
+    /// entries are already durable; re-appending them would duplicate the
+    /// WAL).
+    pub fn from_entries(entries: Vec<(u64, Action)>) -> Self {
+        WorkerLog {
+            entries,
+            sink: None,
+        }
+    }
+
+    /// Stamp and append one action (write-ahead when a sink is mounted).
     pub fn record(&mut self, clock: &SeqClock, action: Action) {
-        self.entries.push((clock.next(), action));
+        let stamp = match &self.sink {
+            Some(sink) => sink.append_action(clock, &action),
+            None => clock.next(),
+        };
+        self.entries.push((stamp, action));
     }
 
     /// Actions recorded.
@@ -76,6 +145,7 @@ pub fn merge(logs: impl IntoIterator<Item = WorkerLog>) -> Vec<Action> {
 mod tests {
     use super::*;
     use nt_model::TxId;
+    use std::sync::Mutex;
 
     #[test]
     fn merge_orders_by_stamp_across_logs() {
@@ -97,5 +167,52 @@ mod tests {
             ]
         );
         assert_eq!(clock.issued(), 4);
+    }
+
+    struct CaptureSink(Mutex<Vec<(u64, Action)>>);
+
+    impl ActionSink for CaptureSink {
+        fn append_action(&self, clock: &SeqClock, action: &Action) -> u64 {
+            let mut guard = self.0.lock().expect("capture poisoned");
+            let stamp = clock.next();
+            guard.push((stamp, action.clone()));
+            stamp
+        }
+        fn append_tree_add(&self, _t: TxId, _parent: TxId, _access: Option<(ObjId, &Op)>) {}
+    }
+
+    #[test]
+    fn sink_sees_every_record_with_matching_stamps() {
+        let clock = SeqClock::starting_at(100);
+        let sink = Arc::new(CaptureSink(Mutex::new(Vec::new())));
+        let mut log = WorkerLog::with_sink(Arc::clone(&sink) as Arc<dyn ActionSink>);
+        log.record(&clock, Action::Create(TxId(1)));
+        log.record(&clock, Action::Commit(TxId(1)));
+        let seen = sink.0.lock().expect("capture poisoned").clone();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (100, Action::Create(TxId(1))));
+        assert_eq!(seen[1], (101, Action::Commit(TxId(1))));
+        let merged = merge([log]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn from_entries_merges_before_live_records() {
+        let clock = SeqClock::starting_at(2);
+        let seeded = WorkerLog::from_entries(vec![
+            (0, Action::Create(TxId(1))),
+            (1, Action::Commit(TxId(1))),
+        ]);
+        let mut live = WorkerLog::new();
+        live.record(&clock, Action::Create(TxId(2)));
+        let merged = merge([live, seeded]);
+        assert_eq!(
+            merged,
+            vec![
+                Action::Create(TxId(1)),
+                Action::Commit(TxId(1)),
+                Action::Create(TxId(2)),
+            ]
+        );
     }
 }

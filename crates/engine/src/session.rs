@@ -21,7 +21,7 @@
 use crate::detector::scan_once;
 pub use crate::detector::Victim;
 use crate::locktable::{Acquired, LockTable, ShardCounters};
-use crate::recorder::{merge, SeqClock, WorkerLog};
+use crate::recorder::{merge, ActionSink, SeqClock, WorkerLog};
 use crate::session_tree::{SessionTree, TreeError};
 use crate::status::StatusTable;
 use crate::tree_view::TreeView;
@@ -107,6 +107,32 @@ pub enum CommitOutcome {
     Aborted(TxId),
 }
 
+/// State recovered from a durable store, carried across a crash–restart
+/// boundary into [`SessionEngine::start_recovered`]. The recovered
+/// history (with its crash-time losers already rolled back) becomes the
+/// prefix of the restarted engine's recorded history, so one
+/// `certify_recorded` pass covers pre- and post-crash work as a single
+/// behavior.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredSeed {
+    /// Tree registrations in `TxId` order starting at `TxId(1)`: each
+    /// entry is `(parent, access)` where accesses carry object and op.
+    pub nodes: Vec<(TxId, Option<(ObjId, Op)>)>,
+    /// Transactions recovered as committed.
+    pub committed: Vec<TxId>,
+    /// Transactions recovered as aborted (loser subtree roots included;
+    /// their descendants stay `Running`, exactly as a live abort leaves
+    /// them).
+    pub aborted: Vec<TxId>,
+    /// Per-object committed values (objects not listed keep the default
+    /// initial value 0).
+    pub initials: Vec<(ObjId, i64)>,
+    /// The recovered `(stamp, action)` history, stamp-sorted.
+    pub entries: Vec<(u64, Action)>,
+    /// First stamp the restarted clock issues (past every recovered one).
+    pub next_stamp: u64,
+}
+
 /// The shared engine a server embeds: one growable tree, one lock table,
 /// one status table, one clock, one detector thread.
 pub struct SessionEngine {
@@ -115,6 +141,7 @@ pub struct SessionEngine {
     table: Arc<LockTable<Arc<SessionTree>>>,
     clock: Arc<SeqClock>,
     telemetry: TelemetryHandle,
+    sink: Option<Arc<dyn ActionSink>>,
     logs: Mutex<Vec<Arc<Mutex<WorkerLog>>>>,
     victims: Mutex<Vec<Victim>>,
     detector_passes: Arc<AtomicU64>,
@@ -144,28 +171,91 @@ impl SessionEngine {
         detector_period: Duration,
         telemetry: TelemetryHandle,
     ) -> Arc<SessionEngine> {
-        let tree = Arc::new(SessionTree::new(capacity));
+        SessionEngine::start_recovered(
+            capacity,
+            shards,
+            detector_period,
+            telemetry,
+            RecoveredSeed::default(),
+            None,
+        )
+        .expect("empty seed always replays")
+    }
+
+    /// Start an engine from a [`RecoveredSeed`], optionally teeing every
+    /// new registration and action into a durable sink (the WAL). With an
+    /// empty seed and no sink this is exactly
+    /// [`SessionEngine::start_with_telemetry`]. With a recovered seed, the
+    /// tree is replayed *before* the sink attaches (the registrations are
+    /// already durable), completed transactions are pre-marked in the
+    /// status table, per-object committed values seed the lock table's
+    /// initials, and the clock resumes past the recovered stamps.
+    pub fn start_recovered(
+        capacity: usize,
+        shards: usize,
+        detector_period: Duration,
+        telemetry: TelemetryHandle,
+        seed: RecoveredSeed,
+        sink: Option<Arc<dyn ActionSink>>,
+    ) -> Result<Arc<SessionEngine>, TreeError> {
+        let bare = SessionTree::new(capacity);
+        for (parent, access) in &seed.nodes {
+            match access {
+                None => bare.add_inner(*parent)?,
+                Some((x, op)) => bare.add_access(*parent, *x, op.clone())?,
+            };
+        }
+        let tree = Arc::new(match &sink {
+            Some(s) => bare.with_sink(Arc::clone(s)),
+            None => bare,
+        });
         let status = Arc::new(StatusTable::new(capacity));
-        let clock = Arc::new(SeqClock::new());
-        let table = Arc::new(
-            LockTable::new(
-                Arc::clone(&tree),
-                Arc::clone(&status),
-                Arc::clone(&clock),
-                RwInitials::uniform(0),
-                shards,
-            )
-            .with_telemetry(telemetry.clone()),
-        );
-        let mut root_log = WorkerLog::new();
-        root_log.record(&clock, Action::Create(TxId::ROOT));
+        for &t in &seed.committed {
+            assert!(status.try_commit(t), "recovered commit marks a fresh slot");
+        }
+        for &t in &seed.aborted {
+            status.mark_aborted(t);
+        }
+        let clock = Arc::new(SeqClock::starting_at(seed.next_stamp));
+        let mut initials = RwInitials::uniform(0);
+        for &(x, v) in &seed.initials {
+            initials.set(x, v);
+        }
+        let mut table = LockTable::new(
+            Arc::clone(&tree),
+            Arc::clone(&status),
+            Arc::clone(&clock),
+            initials,
+            shards,
+        )
+        .with_telemetry(telemetry.clone());
+        if let Some(s) = &sink {
+            table = table.with_sink(Arc::clone(s));
+        }
+        let table = Arc::new(table);
+        let fresh = seed.entries.is_empty();
+        let mut logs = Vec::new();
+        if !fresh {
+            // The recovered history, frozen: it merges ahead of every new
+            // action by stamp order and is never re-appended to the WAL.
+            logs.push(Arc::new(Mutex::new(WorkerLog::from_entries(seed.entries))));
+        }
+        let mut root_log = match &sink {
+            Some(s) => WorkerLog::with_sink(Arc::clone(s)),
+            None => WorkerLog::new(),
+        };
+        if fresh {
+            root_log.record(&clock, Action::Create(TxId::ROOT));
+        }
+        logs.push(Arc::new(Mutex::new(root_log)));
         let engine = Arc::new(SessionEngine {
             tree,
             status,
             table,
             clock,
             telemetry,
-            logs: Mutex::new(vec![Arc::new(Mutex::new(root_log))]),
+            sink,
+            logs: Mutex::new(logs),
             victims: Mutex::new(Vec::new()),
             detector_passes: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
@@ -188,7 +278,7 @@ impl SessionEngine {
             })
         };
         *engine.detector.lock().expect("detector poisoned") = Some(handle);
-        engine
+        Ok(engine)
     }
 
     /// Stop the detector thread (idempotent). Called on server drain.
@@ -201,7 +291,10 @@ impl SessionEngine {
 
     /// Open a fresh session (one per client connection).
     pub fn open_session(self: &Arc<Self>) -> Session {
-        let log = Arc::new(Mutex::new(WorkerLog::new()));
+        let log = Arc::new(Mutex::new(match &self.sink {
+            Some(s) => WorkerLog::with_sink(Arc::clone(s)),
+            None => WorkerLog::new(),
+        }));
         self.logs
             .lock()
             .expect("logs poisoned")

@@ -19,10 +19,11 @@
 //! error the server surfaces to the client (admission control), not a
 //! reallocation hazard.
 
+use crate::recorder::ActionSink;
 use crate::tree_view::TreeView;
 use nt_model::{ObjId, Op, TxId, TxTree};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Why an append was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +63,7 @@ pub struct SessionTree {
     len: AtomicU32,
     num_objects: AtomicU32,
     append: Mutex<()>,
+    sink: Option<Arc<dyn ActionSink>>,
 }
 
 impl SessionTree {
@@ -81,7 +83,18 @@ impl SessionTree {
             len: AtomicU32::new(1),
             num_objects: AtomicU32::new(0),
             append: Mutex::new(()),
+            sink: None,
         }
+    }
+
+    /// Tee every registration into a durable sink. Records are written
+    /// under the append mutex, so the sink sees them in `TxId` order and
+    /// always before any action naming the transaction. Attach the sink
+    /// *after* replaying recovered registrations, or recovery would
+    /// re-log them.
+    pub fn with_sink(mut self, sink: Arc<dyn ActionSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Registered transactions (monotone; includes `T0`).
@@ -135,6 +148,15 @@ impl SessionTree {
             if object.0 + 1 > seen {
                 self.num_objects.store(object.0 + 1, Ordering::Release);
             }
+        }
+        if let Some(sink) = &self.sink {
+            // Logged before the slot is published: the registration is
+            // durable (in WAL order) by the time any reader can name it.
+            let access = match &kind {
+                NodeKind::Access { object, op } => Some((*object, op)),
+                NodeKind::Inner => None,
+            };
+            sink.append_tree_add(TxId(i as u32), parent, access);
         }
         self.slots[i]
             .set(Node {

@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 
 pub mod backoff;
+pub mod crash;
 pub mod minimize;
 pub mod plan;
 pub mod transport;
 
 pub use backoff::{BackoffPolicy, RetryLedger, RetryOutcome, RetryRecord, RetryStats};
+pub use crash::CrashPlan;
 pub use minimize::minimize;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanWorkload, SCHEMA_ID};
 pub use transport::{FrameFate, TransportPlan};

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! nt-lint [--json] [--plant-defect] [--plant-cycle]
-//!         [types|workloads|plans|engine|net|analyze|all]
+//!         [types|workloads|plans|engine|net|analyze|store|all]
 //!         [plan.json ...] [config.engine.json ...] [config.net.json ...]
-//!         [plan.access.json ...]
+//!         [plan.access.json ...] [plan.crash.json ...] [FILE.wal ...]
+//!         [FILE.ckpt ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -30,6 +31,10 @@
 //!   plan is serializable under **all** schedules; also sweep the workload
 //!   matrix advisorily (the engine certifies those dynamically) and flag
 //!   reversed lock-acquisition orders between tops.
+//! * `store` — durable-store artifacts: the shipped crash-campaign plans
+//!   always, plus any `*.crash.json` plans and `*.wal` / `*.ckpt` log
+//!   files given as arguments (CRC-checked frame stream, header role and
+//!   generation, torn tails flagged with their truncation offset).
 //! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
@@ -43,7 +48,7 @@
 
 use nt_lint::selftest::BrokenCounter;
 use nt_lint::{
-    analyze, engine, lockorder, net, plan, soundness, workload, Finding, Report, Severity,
+    analyze, engine, lockorder, net, plan, soundness, store, workload, Finding, Report, Severity,
     SoundnessConfig, StaticPlan,
 };
 use nt_locking::LockMode;
@@ -61,14 +66,15 @@ enum Pass {
     Engine,
     Net,
     Analyze,
+    Store,
 }
 
 fn usage(program: &str) {
     eprintln!(
         "usage: {program} [--json] [--plant-defect] [--plant-cycle] \
-         [types|workloads|plans|engine|net|analyze|all] \
+         [types|workloads|plans|engine|net|analyze|store|all] \
          [plan.json ...] [config.engine.json ...] [config.net.json ...] \
-         [plan.access.json ...]"
+         [plan.access.json ...] [plan.crash.json ...] [FILE.wal ...] [FILE.ckpt ...]"
     );
 }
 
@@ -198,6 +204,33 @@ fn run_engine(report: &mut Report, files: &[String]) {
     }
 }
 
+fn run_store(report: &mut Report, crash_files: &[String], log_files: &[String]) {
+    // The shipped crash plans must themselves be well-formed.
+    report.extend(store::lint_defaults());
+    for path in crash_files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => report.extend(store::lint_crash_plan_json(path, &doc)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "store",
+                format!("crash plan {path}"),
+                format!("cannot read crash plan file: {e}"),
+            )),
+        }
+    }
+    for path in log_files {
+        match std::fs::read(path) {
+            Ok(bytes) => report.extend(store::lint_log_bytes(path, &bytes)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "store",
+                format!("log {path}"),
+                format!("cannot read log file: {e}"),
+            )),
+        }
+    }
+}
+
 fn run_analyze(report: &mut Report, files: &[String], plant_cycle: bool) {
     // Advisory sweep of the workload matrix: the engine certifies those
     // runs dynamically, so a potential cycle is context, not a defect.
@@ -275,6 +308,8 @@ fn main() -> ExitCode {
     let mut engine_files: Vec<String> = Vec::new();
     let mut net_files: Vec<String> = Vec::new();
     let mut access_files: Vec<String> = Vec::new();
+    let mut crash_files: Vec<String> = Vec::new();
+    let mut log_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
@@ -286,6 +321,7 @@ fn main() -> ExitCode {
             "engine" => pass = Pass::Engine,
             "net" => pass = Pass::Net,
             "analyze" => pass = Pass::Analyze,
+            "store" => pass = Pass::Store,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
@@ -299,6 +335,15 @@ fn main() -> ExitCode {
             }
             other if other.ends_with(".net.json") && !other.starts_with('-') => {
                 net_files.push(other.to_string());
+            }
+            other if other.ends_with(".crash.json") && !other.starts_with('-') => {
+                crash_files.push(other.to_string());
+            }
+            other
+                if (other.ends_with(".wal") || other.ends_with(".ckpt"))
+                    && !other.starts_with('-') =>
+            {
+                log_files.push(other.to_string());
             }
             other if other.ends_with(".json") && !other.starts_with('-') => {
                 plan_files.push(other.to_string());
@@ -328,6 +373,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Analyze {
         run_analyze(&mut report, &access_files, plant_cycle);
+    }
+    if pass == Pass::All || pass == Pass::Store {
+        run_store(&mut report, &crash_files, &log_files);
     }
     if json {
         print!("{}", report.render_json());

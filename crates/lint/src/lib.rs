@@ -42,6 +42,11 @@
 //!    each top's depth-first footprint, flag object pairs acquired in
 //!    opposite orders under Moss modes (cross-top deadlock potential) and
 //!    predict per-object write contention.
+//! 8. **Durable-store artifact checks** ([`store`]): structurally decode
+//!    WAL / checkpoint files (`*.wal`, `*.ckpt`) — CRC-checked frame
+//!    stream, header role and generation, torn tails flagged with the
+//!    truncation offset — and semantically lint crash-campaign plans
+//!    (`*.crash.json`, [`nt_faults::CrashPlan`]).
 //!
 //! The `nt-lint` binary aggregates all of it into one human or JSON report
 //! and exits nonzero iff any error-severity finding exists, making it
@@ -57,6 +62,7 @@ pub mod net;
 pub mod plan;
 pub mod report;
 pub mod soundness;
+pub mod store;
 pub mod workload;
 
 pub use analyze::{

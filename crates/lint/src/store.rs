@@ -1,0 +1,204 @@
+//! Static well-formedness checks for durable-store artifacts: WAL /
+//! checkpoint files (`*.wal`, `*.ckpt`) and crash-campaign plans
+//! (`*.crash.json`, [`nt_faults::CrashPlan`]).
+//!
+//! Log files are checked *structurally, without replay*: the frame
+//! stream must decode (length-prefixed, CRC-checked), must open with a
+//! header record whose kind matches the file's role, and a torn tail —
+//! legitimate in a WAL that survived `SIGKILL`, since recovery truncates
+//! it — is surfaced as a warning with the exact byte offset where the
+//! valid prefix ends. A file with no valid frame at all is an error:
+//! recovery would refuse it too, but the lint names the corruption
+//! before anything tries to mount the directory.
+//!
+//! Crash plans get the same treatment as transport plans: the shipped
+//! defaults always lint clean, and a plan that kills nothing, drives no
+//! load, or promises durability under `none` is called out before a
+//! campaign burns minutes discovering it.
+
+use crate::report::{Finding, Severity};
+use nt_faults::CrashPlan;
+use nt_store::{decode_stream, FileKind, Record};
+
+/// Lint one parsed crash plan. `name` labels the findings.
+pub fn lint_crash_plan(name: &str, plan: &CrashPlan) -> Vec<Finding> {
+    plan.problems()
+        .into_iter()
+        .map(|msg| Finding::new(Severity::Error, "store", format!("crash plan {name}"), msg))
+        .collect()
+}
+
+/// Lint a serialized `*.crash.json` document; parse failures become
+/// error findings.
+pub fn lint_crash_plan_json(name: &str, json: &str) -> Vec<Finding> {
+    match CrashPlan::from_json(json.trim()) {
+        Ok(plan) => lint_crash_plan(name, &plan),
+        Err(e) => vec![Finding::new(
+            Severity::Error,
+            "store",
+            format!("crash plan {name}"),
+            format!("not a valid crash plan document: {e}"),
+        )],
+    }
+}
+
+/// Which role a log file claims by extension (`None` when the path has
+/// neither `.wal` nor `.ckpt`).
+fn expected_kind(name: &str) -> Option<FileKind> {
+    if name.ends_with(".wal") {
+        Some(FileKind::Wal)
+    } else if name.ends_with(".ckpt") {
+        Some(FileKind::Checkpoint)
+    } else {
+        None
+    }
+}
+
+/// Structurally lint the bytes of a WAL or checkpoint file.
+pub fn lint_log_bytes(name: &str, bytes: &[u8]) -> Vec<Finding> {
+    let ctx = format!("log {name}");
+    let mut out = Vec::new();
+    if bytes.is_empty() {
+        out.push(Finding::new(
+            Severity::Info,
+            "store",
+            ctx,
+            "empty log file (a fresh store before its first append)".to_string(),
+        ));
+        return out;
+    }
+    let decoded = decode_stream(bytes);
+    if decoded.records.is_empty() {
+        out.push(Finding::new(
+            Severity::Error,
+            "store",
+            ctx,
+            format!(
+                "no valid frame decodes from {} bytes{}",
+                bytes.len(),
+                decoded.torn.map(|e| format!(" ({e})")).unwrap_or_default()
+            ),
+        ));
+        return out;
+    }
+    match (&decoded.records[0], expected_kind(name)) {
+        (Record::Header { kind, gen, .. }, expected) => {
+            if let Some(expected) = expected {
+                if *kind != expected {
+                    out.push(Finding::new(
+                        Severity::Error,
+                        "store",
+                        ctx.clone(),
+                        format!("header says {kind:?} but the file extension implies {expected:?}"),
+                    ));
+                }
+            }
+            if *gen == 0 {
+                out.push(Finding::new(
+                    Severity::Error,
+                    "store",
+                    ctx.clone(),
+                    "generation 0 is reserved (generations start at 1)".to_string(),
+                ));
+            }
+        }
+        (other, _) => out.push(Finding::new(
+            Severity::Error,
+            "store",
+            ctx.clone(),
+            format!("first frame is {other:?}, not a header record"),
+        )),
+    }
+    if let Some(torn) = &decoded.torn {
+        out.push(Finding::new(
+            Severity::Warning,
+            "store",
+            ctx,
+            format!(
+                "torn tail: {} record(s) decode cleanly, then {torn} at byte {} of {} — recovery will truncate here",
+                decoded.records.len(),
+                decoded.valid_len,
+                bytes.len()
+            ),
+        ));
+    }
+    out
+}
+
+/// Lint the shipped crash-plan defaults — what `nt-crash` runs bare and
+/// what the CI smoke uses.
+pub fn lint_defaults() -> Vec<Finding> {
+    let mut out = lint_crash_plan("default", &CrashPlan::default());
+    out.extend(lint_crash_plan("ci_smoke", &CrashPlan::ci_smoke()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn errors(fs: &[Finding]) -> Vec<&str> {
+        fs.iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.message.as_str())
+            .collect()
+    }
+
+    fn header(kind: FileKind) -> Vec<u8> {
+        Record::Header {
+            kind,
+            gen: 1,
+            covers_stamp: 0,
+        }
+        .encode_frame()
+        .expect("encode header")
+    }
+
+    #[test]
+    fn shipped_defaults_lint_clean() {
+        assert!(lint_defaults().is_empty(), "{:?}", lint_defaults());
+    }
+
+    #[test]
+    fn degenerate_crash_plans_are_errors() {
+        let fs = lint_crash_plan(
+            "bad",
+            &CrashPlan {
+                runs: 0,
+                durability: "none".to_string(),
+                ..CrashPlan::default()
+            },
+        );
+        let es = errors(&fs);
+        assert!(es.iter().any(|m| m.contains("0 runs")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("none")), "{es:?}");
+        let fs = lint_crash_plan_json("garbage", "{not json");
+        assert_eq!(errors(&fs).len(), 1);
+    }
+
+    #[test]
+    fn clean_wal_lints_clean_and_torn_tail_warns() {
+        let mut bytes = header(FileKind::Wal);
+        assert!(lint_log_bytes("a.wal", &bytes).is_empty());
+
+        bytes.extend_from_slice(&[0xFF; 5]);
+        let fs = lint_log_bytes("a.wal", &bytes);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].severity, Severity::Warning);
+        assert!(fs[0].message.contains("torn tail"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn garbage_and_role_mismatch_are_errors() {
+        let fs = lint_log_bytes("junk.wal", b"this was never a wal");
+        assert_eq!(errors(&fs).len(), 1, "{fs:?}");
+
+        let fs = lint_log_bytes("mislabeled.ckpt", &header(FileKind::Wal));
+        assert!(
+            errors(&fs)[0].contains("extension implies"),
+            "{:?}",
+            errors(&fs)
+        );
+
+        assert_eq!(lint_log_bytes("empty.wal", b"")[0].severity, Severity::Info);
+    }
+}

@@ -1,0 +1,89 @@
+//! Golden tests for the `store` pass: the shipped crash-plan defaults
+//! lint clean, a file of bytes that was never a WAL is rejected with a
+//! nonzero exit, and a degenerate crash plan is flagged per broken rule.
+
+use nt_lint::{store, Severity};
+use std::process::Command;
+
+#[test]
+fn cli_store_pass_is_clean_on_the_shipped_defaults() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .arg("store")
+        .output()
+        .expect("spawn nt-lint");
+    assert!(
+        out.status.success(),
+        "the shipped crash-plan defaults must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_the_golden_malformed_wal() {
+    // The committed fixture is prose, not frames: no length prefix ever
+    // yields a CRC-valid record, so the pass must report "no valid frame
+    // decodes" and fail the run — the same file would also be refused by
+    // recovery, but the lint names the corruption without mounting it.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/malformed.wal");
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["store", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a garbage WAL must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no valid frame decodes"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_the_golden_degenerate_crash_plan() {
+    // The fixture parses structurally but breaks every campaign
+    // precondition at once: zero runs, no connections, no load, no
+    // objects, an inverted kill window, and durability "none" (nothing
+    // to recover). Each must surface as its own error finding.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/degenerate.crash.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["store", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a degenerate crash plan must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("runs"), "{stdout}");
+    assert!(stdout.contains("kill"), "{stdout}");
+    assert!(stdout.contains("none"), "{stdout}");
+}
+
+#[test]
+fn library_agrees_with_the_committed_fixtures() {
+    // Same fixtures through the library API: the WAL yields exactly one
+    // error; the crash plan yields several, all error-severity.
+    let wal = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.wal"
+    ))
+    .expect("read wal fixture");
+    let fs = store::lint_log_bytes("malformed.wal", &wal);
+    assert_eq!(fs.len(), 1, "{fs:?}");
+    assert_eq!(fs[0].severity, Severity::Error);
+
+    let plan = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/degenerate.crash.json"
+    ))
+    .expect("read crash plan fixture");
+    let fs = store::lint_crash_plan_json("degenerate.crash.json", &plan);
+    assert!(fs.len() >= 4, "{fs:?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Error), "{fs:?}");
+}

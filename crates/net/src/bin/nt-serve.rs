@@ -5,6 +5,7 @@
 //! nt-serve [--config FILE.net.json] [--addr HOST:PORT]
 //!          [--port-file FILE] [--journal FILE] [--static-gate]
 //!          [--metrics-out FILE] [--trace-out FILE]
+//!          [--data-dir DIR] [--durability none|fsync|group:WINDOW_US]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `nt-serve listening on ADDR`,
@@ -25,17 +26,50 @@
 //! the SGT health monitor (100 ms sampling unless the config file set
 //! `sgt_sample_period_ms` itself), so snapshots carry `sgt.*` gauges —
 //! including one final post-drain sample of the committed history.
+//!
+//! `--data-dir DIR` mounts an `nt-store` WAL + checkpoint under the
+//! engine: every applied action is journaled, and on startup the dir is
+//! recovered (crash losers rolled back, Theorem 17 re-certification)
+//! before the listener accepts work. The recovery report is printed as
+//! one JSON line (`nt-serve recovery {...}`) *before* the listening
+//! line, so orchestration can gate on it. `--durability` picks the ack
+//! barrier (default `none`): `fsync` fsyncs before every mutating ack,
+//! `group:250` runs a 250 µs group-commit flusher.
+//!
+//! `SIGTERM`/`SIGINT` initiate the same graceful drain as a wire
+//! `Shutdown`: in-flight work finishes, the store rotates into a fresh
+//! checkpoint, and the drain summary is still printed.
+//!
+//! All output files (`--port-file`, `--journal`, `--metrics-out`,
+//! `--trace-out`) are written atomically (temp file + rename), so a
+//! reader never observes a torn snapshot.
 
+use nt_engine::DurabilityMode;
 use nt_net::{NetConfig, NetServer, ServerConfig};
 use nt_obs::json::JsonObj;
+use nt_store::write_atomic;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate] [--metrics-out FILE] [--trace-out FILE]"
+        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate] [--metrics-out FILE] [--trace-out FILE] [--data-dir DIR] [--durability none|fsync|group:WINDOW_US]"
     );
     ExitCode::from(2)
+}
+
+/// Parse the `--durability` flag: `none`, `fsync`, or `group:WINDOW_US`.
+fn parse_durability(s: &str) -> Result<DurabilityMode, String> {
+    match s.split_once(':') {
+        Some((tag, window)) => {
+            let window_us: u64 = window
+                .parse()
+                .map_err(|_| format!("bad durability window {window:?}"))?;
+            DurabilityMode::from_tag(tag, Some(window_us))
+        }
+        None => DurabilityMode::from_tag(s, None),
+    }
 }
 
 fn main() -> ExitCode {
@@ -47,6 +81,8 @@ fn main() -> ExitCode {
     let mut static_gate = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut durability: Option<DurabilityMode> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -113,6 +149,26 @@ fn main() -> ExitCode {
                 trace_out = Some(f.clone());
                 i += 2;
             }
+            "--data-dir" => {
+                let Some(d) = args.get(i + 1) else {
+                    return usage();
+                };
+                data_dir = Some(d.clone());
+                i += 2;
+            }
+            "--durability" => {
+                let Some(m) = args.get(i + 1) else {
+                    return usage();
+                };
+                match parse_durability(m) {
+                    Ok(mode) => durability = Some(mode),
+                    Err(e) => {
+                        eprintln!("nt-serve: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -121,6 +177,12 @@ fn main() -> ExitCode {
     }
     if static_gate {
         cfg.static_gate = true;
+    }
+    if let Some(d) = data_dir {
+        cfg.data_dir = Some(d);
+    }
+    if let Some(m) = durability {
+        cfg.durability = m;
     }
     if metrics_out.is_some() || trace_out.is_some() {
         cfg.telemetry = true;
@@ -146,23 +208,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The recovery report precedes the listening line so orchestration
+    // (CI, the crash-campaign driver) can gate on certification before
+    // pointing load at the server.
+    if let Some(report) = server.recovery_report() {
+        println!("nt-serve recovery {}", report.to_json());
+    }
     let addr = server.local_addr();
     println!("nt-serve listening on {addr}");
     if let Some(f) = &port_file {
-        if let Err(e) = std::fs::write(f, format!("{addr}\n")) {
+        if let Err(e) = write_atomic(Path::new(f), format!("{addr}\n").as_bytes()) {
             eprintln!("nt-serve: cannot write port file {f}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    // Park until a wire `Shutdown` initiates the drain. A metrics writer
-    // rewrites the snapshot file each period until the drain begins.
+    // Park until a wire `Shutdown` (or SIGTERM/SIGINT) initiates the
+    // drain. A metrics writer rewrites the snapshot file each period
+    // until the drain begins.
     let handle = server.serve();
     let probe = handle.probe();
+    let signal_thread = sigshim::install_exit_handlers().then(|| {
+        let probe = probe.clone();
+        std::thread::spawn(move || {
+            while !probe.is_draining() {
+                if sigshim::last_signal().is_some() {
+                    probe.drain();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    });
     let metrics_thread = metrics_out.clone().map(|f| {
         let probe = probe.clone();
         std::thread::spawn(move || {
             while !probe.is_draining() {
-                if std::fs::write(&f, probe.stats_json() + "\n").is_err() {
+                if write_atomic(Path::new(&f), (probe.stats_json() + "\n").as_bytes()).is_err() {
                     break;
                 }
                 let mut slept = 0u64;
@@ -178,15 +259,18 @@ fn main() -> ExitCode {
     if let Some(t) = metrics_thread {
         let _ = t.join();
     }
+    if let Some(t) = signal_thread {
+        let _ = t.join();
+    }
     if let Some(f) = &metrics_out {
-        if let Err(e) = std::fs::write(f, probe.stats_json() + "\n") {
+        if let Err(e) = write_atomic(Path::new(f), (probe.stats_json() + "\n").as_bytes()) {
             eprintln!("nt-serve: cannot write metrics file {f}: {e}");
             return ExitCode::FAILURE;
         }
     }
     if let Some(f) = &trace_out {
         let trace = probe.chrome_trace().unwrap_or_else(|| "{}".to_string());
-        if let Err(e) = std::fs::write(f, trace) {
+        if let Err(e) = write_atomic(Path::new(f), trace.as_bytes()) {
             eprintln!("nt-serve: cannot write trace file {f}: {e}");
             return ExitCode::FAILURE;
         }
@@ -194,7 +278,7 @@ fn main() -> ExitCode {
     if let Some(f) = &journal_file {
         let mut text = report.journal.join("\n");
         text.push('\n');
-        if let Err(e) = std::fs::write(f, text) {
+        if let Err(e) = write_atomic(Path::new(f), text.as_bytes()) {
             eprintln!("nt-serve: cannot write journal {f}: {e}");
             return ExitCode::FAILURE;
         }

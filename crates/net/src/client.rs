@@ -72,6 +72,7 @@ pub struct Conn {
     stream: TcpStream,
     fr: FrameReader,
     next_seq: u64,
+    sent: u64,
     in_flight: BTreeMap<u64, InFlight>,
     got: BTreeMap<u64, Response>,
     cfg: ConnConfig,
@@ -89,6 +90,16 @@ pub struct Conn {
 }
 
 impl Conn {
+    /// The first sequence number a connection with this id uses. Seqs
+    /// key the server's *durable* response cache, which is shared across
+    /// connections and survives restarts — so each connection gets its
+    /// own `2^32`-wide band and ids must not be reused for new work
+    /// against the same data directory (a resend of a *retained* frame
+    /// is exactly what the shared cache exists to answer).
+    pub fn seq_base(conn_id: u64) -> u64 {
+        ((conn_id + 1) << 32) | 1
+    }
+
     /// Connect to `addr` (blocking socket with a read timeout).
     pub fn connect(addr: &str, conn_id: u64, cfg: ConnConfig) -> Result<Conn, WireError> {
         let stream = TcpStream::connect(addr).map_err(|e| WireError::from_io(&e))?;
@@ -101,7 +112,8 @@ impl Conn {
         Ok(Conn {
             stream,
             fr: FrameReader::new(),
-            next_seq: 1,
+            next_seq: Conn::seq_base(conn_id),
+            sent: 0,
             in_flight: BTreeMap::new(),
             got: BTreeMap::new(),
             cfg,
@@ -118,6 +130,7 @@ impl Conn {
     pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.sent += 1;
         let bytes = encode_request(seq, req)?;
         self.stream
             .write_all(&bytes)
@@ -206,7 +219,7 @@ impl Conn {
 
     /// Requests sent on this connection so far.
     pub fn requests_sent(&self) -> u64 {
-        self.next_seq - 1
+        self.sent
     }
 
     /// Begin a top with a declared access summary, for servers running

@@ -10,6 +10,7 @@
 //! { "role": "load",   "connections": 4, "tops_per_conn": 64, … }
 //! ```
 
+use nt_engine::DurabilityMode;
 use nt_faults::{BackoffPolicy, TransportPlan};
 use nt_obs::json::{Json, JsonObj};
 
@@ -55,6 +56,13 @@ pub struct ServerConfig {
     /// How long a drain may take before the flight recorder is dumped
     /// for diagnosis (the drain itself keeps waiting).
     pub drain_timeout_ms: u64,
+    /// Directory for the WAL-backed durable store. `None` keeps the
+    /// server purely in memory; set, every applied action and response is
+    /// journaled and a restart recovers (and re-certifies) the history.
+    pub data_dir: Option<String>,
+    /// When to acknowledge relative to the fsync: never wait, fsync per
+    /// commit, or group-commit batching. Requires `data_dir`.
+    pub durability: DurabilityMode,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +81,8 @@ impl Default for ServerConfig {
             sgt_sample_period_ms: 0,
             metrics_period_ms: 1000,
             drain_timeout_ms: 10_000,
+            data_dir: None,
+            durability: DurabilityMode::None,
         }
     }
 }
@@ -215,6 +225,13 @@ impl ServerConfig {
         if self.drain_timeout_ms == 0 {
             out.push("drain_timeout_ms of 0 dumps diagnostics on every drain".to_string());
         }
+        out.extend(self.durability.problems());
+        if self.durability != DurabilityMode::None && self.data_dir.is_none() {
+            out.push(format!(
+                "durability {} needs a data_dir to journal into",
+                self.durability
+            ));
+        }
         out
     }
 
@@ -237,6 +254,13 @@ impl ServerConfig {
             .num("drain_timeout_ms", self.drain_timeout_ms);
         if let Some(plan) = &self.fault {
             o.raw("fault", plan.to_json());
+        }
+        if let Some(dir) = &self.data_dir {
+            o.str("data_dir", dir);
+        }
+        o.str("durability", self.durability.tag());
+        if let DurabilityMode::GroupCommit { window_us } = self.durability {
+            o.num("group_commit_window_us", window_us);
         }
         o.build()
     }
@@ -337,6 +361,8 @@ impl NetConfig {
         match role {
             "server" => {
                 let mut c = ServerConfig::default();
+                let mut durability_tag: Option<String> = None;
+                let mut group_window: Option<u64> = None;
                 for (key, val) in fields {
                     match key.as_str() {
                         "schema" | "role" => {}
@@ -364,8 +390,32 @@ impl NetConfig {
                         "sgt_sample_period_ms" => c.sgt_sample_period_ms = num_field(val, key)?,
                         "metrics_period_ms" => c.metrics_period_ms = num_field(val, key)?,
                         "drain_timeout_ms" => c.drain_timeout_ms = num_field(val, key)?,
+                        "data_dir" => {
+                            c.data_dir = Some(
+                                val.as_str()
+                                    .ok_or_else(|| "data_dir must be a string".to_string())?
+                                    .to_string(),
+                            );
+                        }
+                        "durability" => {
+                            durability_tag = Some(
+                                val.as_str()
+                                    .ok_or_else(|| "durability must be a string".to_string())?
+                                    .to_string(),
+                            );
+                        }
+                        "group_commit_window_us" => group_window = Some(num_field(val, key)?),
                         other => return Err(format!("unknown net server config key {other:?}")),
                     }
+                }
+                match durability_tag {
+                    Some(tag) => c.durability = DurabilityMode::from_tag(&tag, group_window)?,
+                    None if group_window.is_some() => {
+                        return Err(
+                            "group_commit_window_us without a \"durability\" mode".to_string()
+                        );
+                    }
+                    None => {}
                 }
                 Ok(NetConfig::Server(c))
             }
@@ -439,6 +489,8 @@ mod tests {
             sgt_sample_period_ms: 50,
             metrics_period_ms: 250,
             drain_timeout_ms: 5_000,
+            data_dir: Some("/tmp/nt-data".to_string()),
+            durability: DurabilityMode::GroupCommit { window_us: 250 },
             ..ServerConfig::default()
         };
         match NetConfig::from_json(&s.to_json()).expect("server roundtrip") {
@@ -506,5 +558,34 @@ mod tests {
         assert!(probs.iter().any(|p| p.contains("rate_tps")), "{probs:?}");
         assert!(LoadConfig::default().problems().is_empty());
         assert!(ServerConfig::default().problems().is_empty());
+    }
+
+    #[test]
+    fn durability_needs_a_data_dir() {
+        let s = ServerConfig {
+            durability: DurabilityMode::FsyncPerCommit,
+            ..ServerConfig::default()
+        };
+        let probs = s.problems();
+        assert!(probs.iter().any(|p| p.contains("data_dir")), "{probs:?}");
+        let ok = ServerConfig {
+            durability: DurabilityMode::FsyncPerCommit,
+            data_dir: Some("/tmp/nt".to_string()),
+            ..ServerConfig::default()
+        };
+        assert!(ok.problems().is_empty());
+        // A data dir without waits is valid: journaled, never awaited.
+        let fire_and_forget = ServerConfig {
+            data_dir: Some("/tmp/nt".to_string()),
+            ..ServerConfig::default()
+        };
+        assert!(fire_and_forget.problems().is_empty());
+        match NetConfig::from_json(&ok.to_json()).expect("roundtrip") {
+            NetConfig::Server(back) => assert_eq!(back, ok),
+            other => panic!("wrong role: {other:?}"),
+        }
+        let err = NetConfig::from_json(r#"{"role":"server","group_commit_window_us":100}"#)
+            .expect_err("orphan window rejected");
+        assert!(err.contains("durability"), "{err}");
     }
 }

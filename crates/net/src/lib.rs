@@ -23,6 +23,11 @@
 //! * [`history`] — the on-wire form of a recorded run;
 //! * [`config`] — `*.net.json` documents (server + load roles) with
 //!   unknown-key rejection and lint-facing semantic checks;
+//! * [`crashdrv`] — the crash-campaign driver (`nt-crash`): spawn a
+//!   real `nt-serve` on an `nt-store` data directory, `SIGKILL` it
+//!   mid-load at a seeded point, restart, and verify recovery —
+//!   Theorem 17 re-certification, zero committed-transaction loss, and
+//!   byte-identical replies to resent pre-crash frames;
 //! * [`admission`] — the static admission gate's ledger: under
 //!   `nt-serve --static-gate`, `BEGIN_TOP_DECLARED` requests carry
 //!   declared read/write sets, and a top whose potential conflict
@@ -44,6 +49,7 @@
 pub mod admission;
 pub mod client;
 pub mod config;
+pub mod crashdrv;
 pub mod history;
 pub mod load;
 pub mod server;

@@ -35,15 +35,20 @@ use crate::history::HistoryDoc;
 use crate::wire::{
     encode_response, err_code, parse_request, FrameReader, Request, Response, WireError,
 };
-use nt_engine::{AccessOutcome, BeginOutcome, CommitOutcome, Session, SessionEngine, SessionError};
+use nt_engine::{
+    AccessOutcome, ActionSink, BeginOutcome, CommitOutcome, RecoveredSeed, Session, SessionEngine,
+    SessionError,
+};
 use nt_faults::FrameFate;
 use nt_model::{ObjId, TxId};
 use nt_obs::json::JsonObj;
 use nt_obs::{Event, Stamped, TraceHandle};
+use nt_store::{RecoveryReport, Store};
 use nt_telemetry::{ReqSpan, StatsCell, TelemetryHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -95,6 +100,13 @@ struct Shared {
     monitor: Mutex<Option<JoinHandle<()>>>,
     /// Declared summaries of live tops (the static admission gate).
     admission: Mutex<AdmissionLedger>,
+    /// The durable store, when the config mounts one (`data_dir`).
+    store: Option<Arc<Store>>,
+    /// Responses recovered from the previous incarnation's WAL, keyed by
+    /// wire `seq`: a client resending a pre-crash request gets the byte-
+    /// identical cached answer instead of a second execution. Read-only
+    /// after bind.
+    recovered_cache: BTreeMap<u64, Vec<u8>>,
 }
 
 impl Shared {
@@ -142,6 +154,12 @@ impl Shared {
             .num_arr("shard_hold_us", &hold_us)
             .raw("telemetry", self.telemetry.to_json())
             .raw("wait_for", self.engine.wait_for_json());
+        if let Some(store) = &self.store {
+            o.num("wal_appended", store.wal().appended_count())
+                .num("wal_syncs", store.wal().sync_count())
+                .num("wal_io_errors", store.wal().io_error_count())
+                .num("wal_generation", store.generation());
+        }
         o.build()
     }
 
@@ -292,6 +310,13 @@ impl ServerProbe {
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::Acquire)
     }
+
+    /// Initiate a graceful drain (idempotent, returns immediately). The
+    /// probe variant lets a signal-watcher thread trigger the drain while
+    /// `ServerHandle::join` parks on the acceptor.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
 }
 
 /// What a drained server leaves behind.
@@ -308,6 +333,13 @@ pub struct DrainReport {
 
 impl NetServer {
     /// Bind the listener and start the engine (no connections yet).
+    ///
+    /// With a `data_dir` configured, this first runs full store recovery:
+    /// the WAL's durable prefix is replayed, crash-time losers are rolled
+    /// back, and the recovered history must pass the Theorem 17 gate —
+    /// a store that fails certification refuses to open, and so does the
+    /// server. The engine then boots from the recovered seed with the
+    /// WAL mounted as its action sink.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -316,12 +348,26 @@ impl NetServer {
         } else {
             TelemetryHandle::disabled()
         };
-        let engine = SessionEngine::start_with_telemetry(
+        let (store, recovered_cache, seed) = match &cfg.data_dir {
+            Some(dir) => {
+                let (store, recovered) = Store::open(Path::new(dir), cfg.durability)
+                    .map_err(|e| std::io::Error::other(format!("store open: {e}")))?;
+                (Some(Arc::new(store)), recovered.cache, recovered.seed)
+            }
+            None => (None, BTreeMap::new(), RecoveredSeed::default()),
+        };
+        let sink = store
+            .as_ref()
+            .map(|s| Arc::clone(s.wal()) as Arc<dyn ActionSink>);
+        let engine = SessionEngine::start_recovered(
             cfg.capacity,
             cfg.shards.max(1),
             Duration::from_micros(cfg.detector_period_us.max(1)),
             telemetry.clone(),
-        );
+            seed,
+            sink,
+        )
+        .map_err(|e| std::io::Error::other(format!("recovered seed replay: {e}")))?;
         let shared = Arc::new(Shared {
             cfg,
             engine,
@@ -336,6 +382,8 @@ impl NetServer {
             conn_threads: Mutex::new(Vec::new()),
             monitor: Mutex::new(None),
             admission: Mutex::new(AdmissionLedger::new()),
+            store,
+            recovered_cache,
         });
         Ok(NetServer { listener, shared })
     }
@@ -343,6 +391,11 @@ impl NetServer {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// What store recovery found at bind (`None` without a `data_dir`).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.store.as_ref().map(|s| s.report().clone())
     }
 
     /// Start accepting connections.
@@ -487,6 +540,14 @@ impl ServerHandle {
         self.shared
             .emit(Event::ServerDrained { conns: stats.conns });
         self.shared.engine.shutdown();
+        // Fold the WAL into a fresh checkpoint so the next open replays
+        // from a compact image, then stop the group-commit flusher.
+        if let Some(store) = &self.shared.store {
+            if let Err(e) = store.rotate() {
+                eprintln!("nt-serve: checkpoint rotation on drain failed: {e}");
+            }
+            store.close();
+        }
         let shared = &self.shared;
         DrainReport {
             stats,
@@ -654,17 +715,38 @@ fn execute_loop(
             Work::Req(rw) => {
                 let t_dequeue = shared.telemetry.now_us();
                 let mut lock_wait_us = 0;
+                let mut log_wait_us = 0;
                 let (bytes, from_cache) = match cache.get(&rw.seq) {
                     Some(bytes) => (bytes.clone(), true),
-                    None => {
-                        let resp = execute(shared, &mut session, &mut open_tops, &rw.req);
-                        lock_wait_us = session.take_lock_wait_us();
-                        let Ok(bytes) = encode_response(rw.seq, &resp) else {
-                            break;
-                        };
-                        cache.insert(rw.seq, bytes.clone());
-                        (bytes, false)
-                    }
+                    // A pre-crash request resent after restart: answer
+                    // with the recovered byte-identical response, never a
+                    // second execution (exactly-once across restart).
+                    None => match shared.recovered_cache.get(&rw.seq) {
+                        Some(bytes) => (bytes.clone(), true),
+                        None => {
+                            let resp = execute(shared, &mut session, &mut open_tops, &rw.req);
+                            lock_wait_us = session.take_lock_wait_us();
+                            let Ok(bytes) = encode_response(rw.seq, &resp) else {
+                                break;
+                            };
+                            cache.insert(rw.seq, bytes.clone());
+                            // Durability barrier: journal the response and
+                            // wait for the WAL watermark *before* the ack
+                            // goes on the wire, so an acknowledged effect
+                            // (and its cached answer) survives a crash.
+                            if let Some(store) = &shared.store {
+                                if mutates(&rw.req) {
+                                    store.append_cache(rw.seq, &bytes);
+                                    let t0 = shared.telemetry.is_enabled().then(Instant::now);
+                                    store.wait_durable();
+                                    if let Some(t0) = t0 {
+                                        log_wait_us = t0.elapsed().as_micros() as u64;
+                                    }
+                                }
+                            }
+                            (bytes, false)
+                        }
+                    },
                 };
                 shared.stats.update(|s| {
                     if from_cache {
@@ -688,6 +770,7 @@ fn execute_loop(
                         t_exec_end,
                         t_respond: shared.telemetry.now_us(),
                         lock_wait_us,
+                        log_wait_us,
                         seq_decode: rw.seq_decode,
                         seq_respond: shared.engine.clock_now(),
                     });
@@ -717,6 +800,22 @@ fn execute_loop(
         shared.release_admission(t);
     }
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Whether a request can change engine state — only these pay the
+/// durability barrier before their ack. Reads of server metadata
+/// (history, stats, ping) and the shutdown nudge are answerable from
+/// volatile state.
+fn mutates(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::BeginTop
+            | Request::BeginTopDeclared { .. }
+            | Request::BeginChild { .. }
+            | Request::Access { .. }
+            | Request::Commit { .. }
+            | Request::Abort { .. }
+    )
 }
 
 fn execute(

@@ -1,0 +1,420 @@
+//! End-to-end store tests: a real engine appends through the WAL sink,
+//! then the store is reopened — cleanly, after a simulated crash with
+//! in-flight transactions, with a torn tail, after checkpoints and
+//! rotations, and with a stale pre-rotation WAL. Every reopen must pass
+//! the Theorem 17 gate before it yields a seed.
+
+use nt_engine::{AccessOutcome, CommitOutcome, DurabilityMode, SessionEngine};
+use nt_model::{ObjId, Op, Value};
+use nt_store::{Store, StoreError, CKPT_FILE, WAL_FILE};
+use nt_telemetry::TelemetryHandle;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A per-test scratch dir (fresh on entry, removed on drop).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("nt-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn boot(store: &Store, recovered: nt_store::Recovered) -> Arc<SessionEngine> {
+    SessionEngine::start_recovered(
+        4096,
+        4,
+        Duration::from_micros(500),
+        TelemetryHandle::disabled(),
+        recovered.seed,
+        Some(Arc::clone(store.wal()) as Arc<dyn nt_engine::ActionSink>),
+    )
+    .expect("recovered seed replays")
+}
+
+/// Write `val` into object `x` under a fresh committed top.
+fn commit_write(engine: &Arc<SessionEngine>, x: ObjId, val: i64) {
+    let mut s = engine.open_session();
+    let top = s.begin_top().expect("top");
+    assert_eq!(
+        s.access(top, x, Op::Write(val)).expect("write"),
+        AccessOutcome::Done(Value::Ok)
+    );
+    assert_eq!(s.commit(top).expect("commit"), CommitOutcome::Committed);
+}
+
+fn read_committed(engine: &Arc<SessionEngine>, x: ObjId) -> Value {
+    let mut s = engine.open_session();
+    let top = s.begin_top().expect("top");
+    let got = match s.access(top, x, Op::Read).expect("read") {
+        AccessOutcome::Done(v) => v,
+        AccessOutcome::Aborted(v) => panic!("read aborted at {v}"),
+    };
+    assert_eq!(s.commit(top).expect("commit"), CommitOutcome::Committed);
+    got
+}
+
+#[test]
+fn clean_restart_recovers_committed_state() {
+    let scratch = Scratch::new("clean");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::FsyncPerCommit).expect("open");
+        assert_eq!(rec.report.tx_count, 0);
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 41);
+        commit_write(&engine, ObjId(1), 7);
+        store.wait_durable();
+        engine.shutdown();
+        store.close();
+        assert!(store.wal().sync_count() > 0, "fsync mode must sync");
+    }
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::FsyncPerCommit).expect("reopen");
+    assert!(rec.report.certified);
+    assert!(rec.report.losers.is_empty(), "clean run has no losers");
+    // Two tops plus their two access transactions.
+    assert_eq!(rec.report.committed, 4);
+    assert!(rec.seed.initials.contains(&(ObjId(0), 41)));
+    assert!(rec.seed.initials.contains(&(ObjId(1), 7)));
+    let engine = boot(&store, rec);
+    assert_eq!(read_committed(&engine, ObjId(0)), Value::Int(41));
+    assert_eq!(read_committed(&engine, ObjId(1)), Value::Int(7));
+    engine.shutdown();
+    store.close();
+}
+
+#[test]
+fn crash_with_inflight_top_rolls_back_the_loser() {
+    let scratch = Scratch::new("loser");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 7);
+        // An in-flight top holds a tentative overwrite when the "crash"
+        // hits (we drop everything without committing or aborting).
+        let mut s = engine.open_session();
+        let top = s.begin_top().expect("top");
+        assert_eq!(
+            s.access(top, ObjId(0), Op::Write(999)).expect("write"),
+            AccessOutcome::Done(Value::Ok)
+        );
+        engine.shutdown();
+        // No rotate, no close: the unsynced-but-written WAL stands in for
+        // the durable prefix at the kill point.
+    }
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("reopen");
+    assert!(rec.report.certified);
+    assert!(
+        !rec.report.losers.is_empty(),
+        "the in-flight top must be rolled back"
+    );
+    assert!(rec.report.synthesized_actions > 0);
+    // The loser's tentative write is gone; the committed 7 survives.
+    assert!(rec.seed.initials.contains(&(ObjId(0), 7)));
+    let engine = boot(&store, rec);
+    assert_eq!(read_committed(&engine, ObjId(0)), Value::Int(7));
+    engine.shutdown();
+    store.close();
+}
+
+#[test]
+fn torn_tail_is_dropped_and_next_open_is_clean() {
+    let scratch = Scratch::new("torn");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 13);
+        engine.shutdown();
+        store.close();
+    }
+    // A crash mid-append leaves arbitrary garbage past the last frame.
+    let wal_path = scratch.0.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    let valid = bytes.len() as u64;
+    bytes.extend_from_slice(&[0x2a, 0xff, 0x13, 0x00, 0x37]);
+    std::fs::write(&wal_path, &bytes).expect("tear wal");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("reopen");
+        assert!(rec.report.torn.is_some(), "the tear must be reported");
+        assert!(rec.report.certified);
+        assert!(rec.seed.initials.contains(&(ObjId(0), 13)));
+        store.close();
+    }
+    // Opening truncated the tail: the file ends on the last valid frame
+    // and a third open sees a clean log.
+    assert_eq!(std::fs::metadata(&wal_path).expect("stat").len(), valid);
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("third open");
+    assert!(rec.report.torn.is_none());
+    assert!(rec.seed.initials.contains(&(ObjId(0), 13)));
+    store.close();
+}
+
+#[test]
+fn response_cache_survives_restart_and_rotation() {
+    let scratch = Scratch::new("cache");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::FsyncPerCommit).expect("open");
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 3);
+        store.append_cache(0x1_0000_0001, b"resp-a");
+        store.append_cache(0x2_0000_0001, b"resp-b");
+        store.wait_durable();
+        engine.shutdown();
+        store.close();
+    }
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::FsyncPerCommit).expect("reopen");
+        assert_eq!(
+            rec.cache.get(&0x1_0000_0001).map(Vec::as_slice),
+            Some(&b"resp-a"[..])
+        );
+        assert_eq!(
+            rec.cache.get(&0x2_0000_0001).map(Vec::as_slice),
+            Some(&b"resp-b"[..])
+        );
+        // Rotation compacts the cache into the checkpoint.
+        store.rotate().expect("rotate");
+        store.close();
+    }
+    let (store, rec) =
+        Store::open(&scratch.0, DurabilityMode::FsyncPerCommit).expect("post-rotate");
+    assert_eq!(rec.report.cache_entries, 2);
+    assert_eq!(
+        rec.cache.get(&0x1_0000_0001).map(Vec::as_slice),
+        Some(&b"resp-a"[..])
+    );
+    store.close();
+}
+
+#[test]
+fn fuzzy_checkpoint_plus_wal_merge_without_double_replay() {
+    let scratch = Scratch::new("ckpt");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 5);
+        let stats = store.checkpoint().expect("checkpoint");
+        assert!(stats.records > 0);
+        // More work after the checkpoint: recovery must merge checkpoint
+        // and WAL, deduplicating the overlap.
+        commit_write(&engine, ObjId(1), 6);
+        engine.shutdown();
+        store.close();
+    }
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("reopen");
+    assert!(rec.report.ckpt_records > 0);
+    assert!(rec.report.certified);
+    assert_eq!(rec.report.committed, 4);
+    assert!(rec.seed.initials.contains(&(ObjId(0), 5)));
+    assert!(rec.seed.initials.contains(&(ObjId(1), 6)));
+    let engine = boot(&store, rec);
+    assert_eq!(read_committed(&engine, ObjId(0)), Value::Int(5));
+    assert_eq!(read_committed(&engine, ObjId(1)), Value::Int(6));
+    engine.shutdown();
+    store.close();
+}
+
+#[test]
+fn rotation_bumps_generation_and_a_stale_wal_is_ignored() {
+    let scratch = Scratch::new("rotate");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        assert_eq!(store.generation(), 1);
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 21);
+        engine.shutdown();
+        store.close();
+    }
+    // Keep the generation-1 WAL: it becomes the stale leftover below.
+    let old_wal = std::fs::read(scratch.0.join(WAL_FILE)).expect("read old wal");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("reopen");
+        let engine = boot(&store, rec);
+        engine.shutdown();
+        store.rotate().expect("rotate");
+        assert_eq!(store.generation(), 2);
+        store.close();
+    }
+    // Simulate a crash between checkpoint rename and WAL reset: the
+    // checkpoint is at generation 2 but the WAL on disk is generation 1.
+    std::fs::write(scratch.0.join(WAL_FILE), &old_wal).expect("restore stale wal");
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("stale open");
+    assert_eq!(rec.report.gen, 2);
+    assert_eq!(
+        rec.report.wal_records, 0,
+        "the stale WAL must be ignored, not replayed"
+    );
+    assert!(rec.seed.initials.contains(&(ObjId(0), 21)));
+    store.close();
+}
+
+#[test]
+fn unrelated_generations_refuse_to_open() {
+    let scratch = Scratch::new("genmismatch");
+    {
+        let (store, _rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        store.rotate().expect("rotate to 2");
+        store.rotate().expect("rotate to 3");
+        store.close();
+    }
+    // Replace the WAL with a fresh generation-1 file: neither equal nor
+    // one behind the generation-3 checkpoint.
+    std::fs::remove_file(scratch.0.join(WAL_FILE)).expect("drop wal");
+    {
+        let header = nt_store::Record::Header {
+            kind: nt_store::FileKind::Wal,
+            gen: 1,
+            covers_stamp: 0,
+        }
+        .encode_frame()
+        .expect("encode");
+        std::fs::write(scratch.0.join(WAL_FILE), &header).expect("write old-gen wal");
+    }
+    match Store::open(&scratch.0, DurabilityMode::None) {
+        Err(StoreError::GenerationMismatch { wal: 1, ckpt: 3 }) => {}
+        Err(other) => panic!("expected generation mismatch, got {other}"),
+        Ok(_) => panic!("expected generation mismatch, got a store"),
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_refuses_to_open() {
+    let scratch = Scratch::new("badckpt");
+    {
+        let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("open");
+        let engine = boot(&store, rec);
+        commit_write(&engine, ObjId(0), 2);
+        engine.shutdown();
+        store.rotate().expect("rotate");
+        store.close();
+    }
+    let ckpt_path = scratch.0.join(CKPT_FILE);
+    let mut bytes = std::fs::read(&ckpt_path).expect("read ckpt");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&ckpt_path, &bytes).expect("corrupt ckpt");
+    match Store::open(&scratch.0, DurabilityMode::None) {
+        Err(StoreError::CorruptCheckpoint(_)) => {}
+        Err(other) => panic!("expected corrupt-checkpoint error, got {other}"),
+        Ok(_) => panic!("expected corrupt-checkpoint error, got a store"),
+    }
+}
+
+#[test]
+fn group_commit_wait_durable_reaches_the_watermark() {
+    let scratch = Scratch::new("group");
+    let (store, rec) =
+        Store::open(&scratch.0, DurabilityMode::GroupCommit { window_us: 200 }).expect("open");
+    let engine = boot(&store, rec);
+    for i in 0..8 {
+        commit_write(&engine, ObjId(0), i);
+    }
+    store.wait_durable();
+    assert!(store.wal().sync_count() >= 1);
+    let appended = store.wal().appended_count();
+    engine.shutdown();
+    store.close();
+    assert!(appended > 0);
+    let (store, rec) = Store::open(&scratch.0, DurabilityMode::None).expect("reopen");
+    assert!(rec.report.certified);
+    assert!(rec.seed.initials.contains(&(ObjId(0), 7)));
+    store.close();
+}
+
+mod record_roundtrip_props {
+    //! Property tests over the frame codec driven through real files:
+    //! random record sequences written through a [`Store`]-level WAL
+    //! survive an encode/decode round trip, and any truncation decodes a
+    //! prefix (never an error mid-file, never a panic).
+
+    use nt_store::{decode_stream, FileKind, Record};
+    use proptest::prelude::*;
+
+    fn arb_action() -> impl Strategy<Value = nt_model::Action> {
+        use nt_model::{Action, ObjId, TxId, Value};
+        prop_oneof![
+            (1u32..2000).prop_map(|t| Action::RequestCreate(TxId(t))),
+            (1u32..2000).prop_map(|t| Action::Create(TxId(t))),
+            ((1u32..2000), any::<i64>())
+                .prop_map(|(t, v)| Action::RequestCommit(TxId(t), Value::Int(v))),
+            (1u32..2000).prop_map(|t| Action::Commit(TxId(t))),
+            (1u32..2000).prop_map(|t| Action::Abort(TxId(t))),
+            (1u32..2000).prop_map(|t| Action::ReportCommit(TxId(t), Value::Ok)),
+            (1u32..2000).prop_map(|t| Action::ReportAbort(TxId(t))),
+            ((0u32..64), (1u32..2000)).prop_map(|(x, t)| Action::InformCommit(ObjId(x), TxId(t))),
+            ((0u32..64), (1u32..2000)).prop_map(|(x, t)| Action::InformAbort(ObjId(x), TxId(t))),
+        ]
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        use nt_model::{ObjId, Op, TxId};
+        prop_oneof![
+            ((1u64..10), (0u64..1_000_000)).prop_map(|(gen, covers)| Record::Header {
+                kind: FileKind::Wal,
+                gen,
+                covers_stamp: covers,
+            }),
+            ((2u32..2000), (0u32..64), any::<i64>()).prop_map(|(t, x, d)| Record::TreeAdd {
+                t: TxId(t),
+                parent: TxId(t - 1),
+                access: Some((ObjId(x), Op::Write(d))),
+            }),
+            ((2u32..2000), (0u32..64)).prop_map(|(t, x)| Record::TreeAdd {
+                t: TxId(t),
+                parent: TxId(t / 2),
+                access: Some((ObjId(x), Op::Read)),
+            }),
+            (any::<u64>(), arb_action()).prop_map(|(stamp, action)| Record::Act { stamp, action }),
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..48))
+                .prop_map(|(seq, resp)| Record::Cache { seq, resp }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_record_streams_round_trip(
+            recs in prop::collection::vec(arb_record(), 1..24),
+        ) {
+            let mut bytes = Vec::new();
+            for r in &recs {
+                bytes.extend_from_slice(&r.encode_frame().expect("encode"));
+            }
+            let decoded = decode_stream(&bytes);
+            prop_assert!(decoded.torn.is_none());
+            prop_assert_eq!(decoded.valid_len, bytes.len());
+            prop_assert_eq!(&decoded.records, &recs);
+        }
+
+        #[test]
+        fn random_truncations_decode_a_prefix(
+            recs in prop::collection::vec(arb_record(), 1..12),
+            cut_seed in any::<u64>(),
+        ) {
+            let mut bytes = Vec::new();
+            let mut boundaries = vec![0usize];
+            for r in &recs {
+                bytes.extend_from_slice(&r.encode_frame().expect("encode"));
+                boundaries.push(bytes.len());
+            }
+            let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+            let decoded = decode_stream(&bytes[..cut]);
+            // The valid prefix is a frame boundary at or before the cut,
+            // and the records are exactly those fully inside it.
+            prop_assert!(boundaries.contains(&decoded.valid_len));
+            prop_assert!(decoded.valid_len <= cut);
+            let n = boundaries.iter().filter(|&&b| b > 0 && b <= decoded.valid_len).count();
+            prop_assert_eq!(&decoded.records[..], &recs[..n]);
+            prop_assert_eq!(decoded.torn.is_some(), decoded.valid_len != cut);
+        }
+    }
+}

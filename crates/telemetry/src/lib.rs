@@ -40,11 +40,12 @@ pub const DEFAULT_SPAN_RING: usize = 4096;
 
 /// The fixed request phases aggregated into histograms. Order is the
 /// lifecycle order; names are the JSON keys.
-pub const PHASES: [&str; 6] = [
+pub const PHASES: [&str; 7] = [
     "decode_enqueue",
     "queue_wait",
     "execute",
     "lock_wait",
+    "log_wait",
     "respond",
     "total",
 ];
@@ -60,6 +61,9 @@ pub struct PhaseHists {
     pub execute: WallHist,
     /// Blocked in the lock table (subset of execute).
     pub lock_wait: WallHist,
+    /// Waiting for the WAL durability watermark (subset of execute's
+    /// tail; zero without a durable store).
+    pub log_wait: WallHist,
     /// Response encode + socket write.
     pub respond: WallHist,
     /// Whole server-side span.
@@ -74,6 +78,7 @@ impl PhaseHists {
             ("queue_wait", self.queue_wait.snapshot()),
             ("execute", self.execute.snapshot()),
             ("lock_wait", self.lock_wait.snapshot()),
+            ("log_wait", self.log_wait.snapshot()),
             ("respond", self.respond.snapshot()),
             ("total", self.total.snapshot()),
         ]
@@ -146,6 +151,7 @@ impl TelemetryHandle {
         t.phases.queue_wait.observe(span.queue_wait_us());
         t.phases.execute.observe(span.execute_us());
         t.phases.lock_wait.observe(span.lock_wait_us);
+        t.phases.log_wait.observe(span.log_wait_us);
         t.phases.respond.observe(span.respond_us());
         t.phases.total.observe(span.total_us());
         let mut ring = t.spans.lock().expect("span ring poisoned");

@@ -1,0 +1,119 @@
+//! Minimal POSIX signal handling for the workspace, without `libc`.
+//!
+//! The rest of the tree is `forbid(unsafe_code)`; this shim is the one
+//! crate that touches the C signal API, and it exposes exactly three
+//! things: install flag-setting handlers for the two exit signals
+//! (`SIGTERM`, `SIGINT`), poll which exit signal (if any) has been
+//! delivered, and send a signal to a process (`kill(2)`, used by the
+//! crash-campaign driver). The handler itself performs a single atomic
+//! store — async-signal-safe per POSIX — so callers poll
+//! [`last_signal`] from an ordinary thread and run their graceful-drain
+//! logic outside signal context.
+//!
+//! On non-Unix targets everything degrades to a no-op: [`install_exit_handlers`]
+//! and [`send`] return `false`, and [`last_signal`] stays `None`.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// `SIGINT` (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGKILL` (uncatchable; only meaningful as a [`send`] argument).
+pub const SIGKILL: i32 = 9;
+/// `SIGTERM` (polite termination request).
+pub const SIGTERM: i32 = 15;
+
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+#[cfg(unix)]
+mod imp {
+    use super::LAST_SIGNAL;
+    use std::sync::atomic::Ordering;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    extern "C" fn note(sig: i32) {
+        // Async-signal-safe: one atomic store, no allocation, no locks.
+        LAST_SIGNAL.store(sig, Ordering::Relaxed);
+    }
+
+    pub fn install(signum: i32) -> bool {
+        // SAFETY: `signal(2)` replaces the process disposition for
+        // `signum` with `note`, a static fn item that lives for the whole
+        // program and performs only an atomic store (async-signal-safe).
+        // The returned previous handler is intentionally discarded.
+        let _prev = unsafe { signal(signum, note) };
+        true
+    }
+
+    pub fn send(pid: u32, sig: i32) -> bool {
+        let Ok(pid) = i32::try_from(pid) else {
+            return false;
+        };
+        // SAFETY: `kill(2)` takes two plain integers and touches no
+        // caller memory; any invalid pid/signal is reported via the
+        // return value, not UB.
+        (unsafe { kill(pid, sig) }) == 0
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install(_signum: i32) -> bool {
+        false
+    }
+
+    pub fn send(_pid: u32, _sig: i32) -> bool {
+        false
+    }
+}
+
+/// Install flag-setting handlers for `SIGTERM` and `SIGINT`. Returns
+/// `false` when the platform has no POSIX signals (non-Unix).
+pub fn install_exit_handlers() -> bool {
+    imp::install(SIGTERM) && imp::install(SIGINT)
+}
+
+/// Send `sig` to process `pid` (`kill(2)`). Returns `false` on failure
+/// or on platforms without POSIX signals.
+pub fn send(pid: u32, sig: i32) -> bool {
+    imp::send(pid, sig)
+}
+
+/// The most recent exit signal delivered since
+/// [`install_exit_handlers`], or `None`.
+pub fn last_signal() -> Option<i32> {
+    match LAST_SIGNAL.load(Ordering::Relaxed) {
+        0 => None,
+        s => Some(s),
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handlers_catch_a_self_delivered_sigterm() {
+        assert!(install_exit_handlers());
+        assert_eq!(last_signal(), None);
+        assert!(send(std::process::id(), SIGTERM));
+        // Delivery is asynchronous; give the kernel a beat.
+        for _ in 0..100 {
+            if last_signal().is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(last_signal(), Some(SIGTERM));
+    }
+
+    #[test]
+    fn send_to_an_impossible_pid_fails() {
+        assert!(!send(u32::MAX, 0));
+    }
+}

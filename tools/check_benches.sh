@@ -51,7 +51,8 @@ for prefix in sys.argv[2:]:
             assert key in row, f"{sys.argv[1]}: row missing {key}"
 EOF
 }
-for spec in "BENCH_engine.json top_us" "BENCH_net.json request_us top_us"; do
+for spec in "BENCH_engine.json top_us" "BENCH_net.json request_us top_us" \
+    "BENCH_store.json request_us"; do
     # shellcheck disable=SC2086
     if check_percentiles $spec; then
         echo "check_benches: ${spec%% *} percentiles ok"
@@ -60,4 +61,21 @@ for spec in "BENCH_engine.json top_us" "BENCH_net.json request_us top_us"; do
         fail=1
     fi
 done
+
+# The durability sweep's whole point is the recovery gate: every cell
+# must have certified both live and after a reopen of its directory.
+if python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_store.json"))
+for row in doc["rows"]:
+    assert row["certified"], f"{row['mode']}: live run failed certification"
+    assert row["reopen_certified"], f"{row['mode']}: recovery failed certification"
+    assert row["reopen_history_len"] > 0, f"{row['mode']}: empty recovered history"
+EOF
+then
+    echo "check_benches: BENCH_store.json recovery gate ok"
+else
+    echo "check_benches: BENCH_store.json rows failed the recovery gate" >&2
+    fail=1
+fi
 exit "$fail"
