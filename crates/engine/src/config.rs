@@ -107,6 +107,12 @@ pub struct EngineConfig {
     /// (`nt-store`). The batch engine runs in memory and ignores it; the
     /// session engine behind `nt-serve --data-dir` enforces it.
     pub durability: DurabilityMode,
+    /// Maintain the serialization graph *live* while the run executes
+    /// (`nt-sgt-live`): every recorded action streams to a certifier
+    /// thread that detects cycles incrementally and garbage-collects the
+    /// certified prefix. Off the hot path (a channel send per action);
+    /// the verdict lands in `EngineReport::live`.
+    pub live_certify: bool,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +126,7 @@ impl Default for EngineConfig {
             access_latency_us: 0,
             max_wall_ms: 30_000,
             durability: DurabilityMode::None,
+            live_certify: false,
         }
     }
 }
@@ -217,6 +224,13 @@ impl EngineConfig {
                     ..EngineConfig::default()
                 },
             ),
+            (
+                "live-certify",
+                EngineConfig {
+                    live_certify: true,
+                    ..EngineConfig::default()
+                },
+            ),
         ]
     }
 
@@ -244,6 +258,7 @@ impl EngineConfig {
         if let DurabilityMode::GroupCommit { window_us } = self.durability {
             o.num("group_commit_window_us", window_us);
         }
+        o.bool("live_certify", self.live_certify);
         o.build()
     }
 
@@ -257,7 +272,7 @@ impl EngineConfig {
         let Json::Obj(map) = &parsed else {
             return Err("engine config must be a JSON object".to_string());
         };
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "threads",
             "shards",
             "detector_period_us",
@@ -267,6 +282,7 @@ impl EngineConfig {
             "max_wall_ms",
             "durability",
             "group_commit_window_us",
+            "live_certify",
         ];
         for key in map.keys() {
             if !KNOWN.contains(&key.as_str()) {
@@ -324,6 +340,12 @@ impl EngineConfig {
             }
             Some(_) => return Err("durability must be a string tag".to_string()),
         };
+        // Optional for compatibility with pre-live-certify documents.
+        let live_certify = match parsed.get("live_certify") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("live_certify must be a boolean".to_string()),
+        };
         Ok(EngineConfig {
             threads: uint("threads")? as usize,
             shards: uint("shards")? as usize,
@@ -333,6 +355,7 @@ impl EngineConfig {
             access_latency_us: uint("access_latency_us")?,
             max_wall_ms: uint("max_wall_ms")?,
             durability,
+            live_certify,
         })
     }
 }

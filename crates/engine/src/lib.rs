@@ -44,6 +44,7 @@ pub mod tree_view;
 pub use config::{DurabilityMode, EngineConfig};
 pub use detector::DetectorOutcome;
 pub use locktable::{Acquired, LockTable, ShardCounters};
+pub use nt_sgt_live::{FeedHandle, LiveCertifier, LiveStatus};
 pub use recorder::{ActionSink, SeqClock, WorkerLog};
 pub use run::{
     run_plan, run_plan_gated, run_workload, EnginePlan, EngineReport, EngineStats, PreflightGate,

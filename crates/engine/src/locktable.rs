@@ -209,6 +209,17 @@ impl<T: TreeView> LockTable<T> {
         self
     }
 
+    /// Tee every shard's object actions into the live certifier
+    /// (builder-style, before the table is shared; after [`with_sink`]
+    /// when both are mounted — `with_sink` replaces the shard logs).
+    pub fn with_feed(mut self, feed: nt_sgt_live::FeedHandle) -> Self {
+        for shard in &mut self.shards {
+            let st = shard.state.get_mut().expect("shard poisoned");
+            st.log = std::mem::take(&mut st.log).with_feed(feed.clone());
+        }
+        self
+    }
+
     fn shard_of(&self, x: ObjId) -> &Shard {
         &self.shards[x.index() & self.mask]
     }

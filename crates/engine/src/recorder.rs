@@ -21,8 +21,20 @@
 //! invariant is what makes a torn tail recoverable: losing a suffix of
 //! WAL frames loses a *suffix* of stamps, never punches a hole in the
 //! middle of the recorded history.
+//!
+//! ## Live certification feed
+//!
+//! A log may additionally carry a [`FeedHandle`] to the live
+//! serialization-graph certifier (`nt-sgt-live`). Every recorded
+//! `(stamp, action)` pair is teed to the feed right after the stamp is
+//! drawn — a non-blocking channel send off the lock path. The certifier
+//! reorders racy arrivals by stamp, but it only advances through a
+//! *contiguous* stamp sequence, so **every** log sharing a clock must
+//! carry the feed (a stamp drawn by an unfed log would park the
+//! maintainer until the end-of-run flush).
 
 use nt_model::{Action, ObjId, Op, TxId};
+use nt_sgt_live::FeedHandle;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,6 +90,7 @@ pub trait ActionSink: Send + Sync {
 pub struct WorkerLog {
     entries: Vec<(u64, Action)>,
     sink: Option<Arc<dyn ActionSink>>,
+    feed: Option<FeedHandle>,
 }
 
 impl fmt::Debug for WorkerLog {
@@ -85,6 +98,7 @@ impl fmt::Debug for WorkerLog {
         f.debug_struct("WorkerLog")
             .field("entries", &self.entries)
             .field("sink", &self.sink.is_some())
+            .field("feed", &self.feed.is_some())
             .finish()
     }
 }
@@ -100,7 +114,15 @@ impl WorkerLog {
         WorkerLog {
             entries: Vec::new(),
             sink: Some(sink),
+            feed: None,
         }
+    }
+
+    /// Tee every record into the live certifier (builder-style; composes
+    /// with a sink — the WAL stamps, then the feed observes).
+    pub fn with_feed(mut self, feed: FeedHandle) -> Self {
+        self.feed = Some(feed);
+        self
     }
 
     /// A frozen log seeded with already-recovered entries (no sink — the
@@ -110,15 +132,20 @@ impl WorkerLog {
         WorkerLog {
             entries,
             sink: None,
+            feed: None,
         }
     }
 
-    /// Stamp and append one action (write-ahead when a sink is mounted).
+    /// Stamp and append one action (write-ahead when a sink is mounted,
+    /// teed to the live certifier when a feed is attached).
     pub fn record(&mut self, clock: &SeqClock, action: Action) {
         let stamp = match &self.sink {
             Some(sink) => sink.append_action(clock, &action),
             None => clock.next(),
         };
+        if let Some(feed) = &self.feed {
+            feed.act(stamp, action.clone());
+        }
         self.entries.push((stamp, action));
     }
 

@@ -43,8 +43,9 @@ use nt_model::{Action, ObjId, TxId, TxTree, Value};
 use nt_obs::{Event, TraceHandle};
 use nt_serial::ObjectTypes;
 use nt_sgt::{certify_recorded, ConflictSource, RecordedCertificate};
+use nt_sgt_live::{FeedHandle, LiveCertifier, LiveStatus, SgtConfig};
 use nt_sim::{ScriptPlan, Workload};
-use nt_telemetry::HistSnapshot;
+use nt_telemetry::{HistSnapshot, TelemetryHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -145,6 +146,11 @@ pub struct EngineReport {
     /// Per-top-level-slot latency (claim to resolution, including retry
     /// backoff), microseconds — merged across workers for p50/p95/p99.
     pub top_latency: HistSnapshot,
+    /// Final status of the live serialization-graph certifier, when
+    /// `cfg.live_certify` streamed the run into one (`None` otherwise).
+    /// `live.ok == false` means the maintainer caught a cycle *during*
+    /// the run, with the inserting edge in `live.violation`.
+    pub live: Option<LiveStatus>,
 }
 
 impl EngineReport {
@@ -209,6 +215,7 @@ struct Ctx<'a> {
     status: &'a StatusTable,
     clock: &'a SeqClock,
     next_slot: &'a AtomicUsize,
+    feed: Option<FeedHandle>,
 }
 
 /// One worker thread's state.
@@ -226,9 +233,13 @@ struct Worker<'a> {
 
 impl<'a> Worker<'a> {
     fn new(ctx: &'a Ctx<'a>) -> Self {
+        let log = match &ctx.feed {
+            Some(f) => WorkerLog::new().with_feed(f.clone()),
+            None => WorkerLog::new(),
+        };
         Worker {
             ctx,
-            log: WorkerLog::new(),
+            log,
             held: BTreeMap::new(),
             records: Vec::new(),
             committed_top: 0,
@@ -477,13 +488,38 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
     plan.validate()?;
     let status = Arc::new(StatusTable::new(plan.tree.len()));
     let clock = Arc::new(SeqClock::new());
-    let table = LockTable::new(
+    // Live certification: the whole (static) naming tree seeds the
+    // maintainer before any action is stamped, then every log sharing
+    // the clock carries the feed (the maintainer advances through a
+    // contiguous stamp sequence, so none may be left out).
+    let live_cert = cfg.live_certify.then(|| {
+        let lc = LiveCertifier::start(SgtConfig::default(), TelemetryHandle::disabled());
+        let feed = lc.handle();
+        for t in plan.tree.all_tx() {
+            if t == TxId::ROOT {
+                continue;
+            }
+            let parent = plan.tree.parent(t).expect("non-root has a parent");
+            let access = plan
+                .tree
+                .object_of(t)
+                .map(|x| (x, plan.tree.op_of(t).expect("access has an op").clone()));
+            feed.tree_add(t, parent, access);
+        }
+        lc
+    });
+    let feed = live_cert.as_ref().map(LiveCertifier::handle);
+    let mut table = LockTable::new(
         Arc::clone(&plan.tree),
         Arc::clone(&status),
         Arc::clone(&clock),
         plan.initials.clone(),
         cfg.shards,
     );
+    if let Some(f) = &feed {
+        table = table.with_feed(f.clone());
+    }
+    let table = table;
     let next_slot = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let ctx = Ctx {
@@ -493,8 +529,12 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
         status: &status,
         clock: &clock,
         next_slot: &next_slot,
+        feed: feed.clone(),
     };
-    let mut main_log = WorkerLog::new();
+    let mut main_log = match &feed {
+        Some(f) => WorkerLog::new().with_feed(f.clone()),
+        None => WorkerLog::new(),
+    };
     main_log.record(&clock, Action::Create(TxId::ROOT));
     let start = Instant::now();
     let (workers, detector) = std::thread::scope(|s| {
@@ -542,6 +582,10 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
     }
     logs.extend(table.drain_logs());
     let history = merge(logs);
+    let live = live_cert.map(|lc| {
+        let (status, _maintainer) = lc.stop();
+        status
+    });
     Ok(EngineReport {
         tree: Arc::clone(&plan.tree),
         types: plan.types.clone(),
@@ -559,6 +603,7 @@ pub fn run_plan(plan: &EnginePlan, cfg: &EngineConfig) -> Result<EngineReport, S
             detector_passes: detector.passes,
         },
         top_latency,
+        live,
     })
 }
 
@@ -629,6 +674,39 @@ mod tests {
             "contended run must certify: {}",
             cert.verdict.name()
         );
+    }
+
+    #[test]
+    fn live_certify_agrees_with_posthoc() {
+        let w = WorkloadSpec {
+            top_level: 12,
+            objects: 3,
+            hotspot: 0.5,
+            seed: 11,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let cfg = EngineConfig {
+            threads: 4,
+            shards: 4,
+            live_certify: true,
+            ..EngineConfig::default()
+        };
+        let r = run_workload(&w, &cfg).expect("runs");
+        let live = r.live.as_ref().expect("live status present when enabled");
+        assert!(live.ok, "live certifier must agree with post-hoc");
+        assert!(live.violation.is_none());
+        assert_eq!(live.processed, r.history.len() as u64);
+        assert!(
+            live.watermark > 0,
+            "committed work must advance the GC watermark"
+        );
+        let cert = r.certify();
+        assert!(cert.is_serially_correct(), "{}", cert.verdict.name());
+
+        // Disabled by default: no live status.
+        let r2 = run_workload(&w, &EngineConfig::default()).expect("runs");
+        assert!(r2.live.is_none());
     }
 
     #[test]

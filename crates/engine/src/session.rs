@@ -28,6 +28,7 @@ use crate::tree_view::TreeView;
 use nt_model::rw::RwInitials;
 use nt_model::{Action, ObjId, Op, TxId, TxTree, Value};
 use nt_obs::json::JsonObj;
+use nt_sgt_live::FeedHandle;
 use nt_telemetry::TelemetryHandle;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -142,6 +143,7 @@ pub struct SessionEngine {
     clock: Arc<SeqClock>,
     telemetry: TelemetryHandle,
     sink: Option<Arc<dyn ActionSink>>,
+    feed: Option<FeedHandle>,
     logs: Mutex<Vec<Arc<Mutex<WorkerLog>>>>,
     victims: Mutex<Vec<Victim>>,
     detector_passes: Arc<AtomicU64>,
@@ -178,6 +180,7 @@ impl SessionEngine {
             telemetry,
             RecoveredSeed::default(),
             None,
+            None,
         )
         .expect("empty seed always replays")
     }
@@ -190,6 +193,14 @@ impl SessionEngine {
     /// already durable), completed transactions are pre-marked in the
     /// status table, per-object committed values seed the lock table's
     /// initials, and the clock resumes past the recovered stamps.
+    ///
+    /// With a live-certifier `feed`, every registration and recorded
+    /// action streams to the maintainer: recovered registrations replay
+    /// through the feed first, then the recovered history preloads (its
+    /// unresolved tops finalize as aborted — recovery rolled them back),
+    /// and only then does live recording begin, so the certifier sees one
+    /// seamless behavior across the crash boundary.
+    #[allow(clippy::too_many_arguments)]
     pub fn start_recovered(
         capacity: usize,
         shards: usize,
@@ -197,8 +208,15 @@ impl SessionEngine {
         telemetry: TelemetryHandle,
         seed: RecoveredSeed,
         sink: Option<Arc<dyn ActionSink>>,
+        feed: Option<FeedHandle>,
     ) -> Result<Arc<SessionEngine>, TreeError> {
-        let bare = SessionTree::new(capacity);
+        let mut bare = SessionTree::new(capacity);
+        if let Some(f) = &feed {
+            // Attached before the seed replays: recovered registrations
+            // are new to this incarnation's maintainer (unlike the WAL
+            // sink, which must not see them twice).
+            bare = bare.with_feed(f.clone());
+        }
         for (parent, access) in &seed.nodes {
             match access {
                 None => bare.add_inner(*parent)?,
@@ -209,6 +227,11 @@ impl SessionEngine {
             Some(s) => bare.with_sink(Arc::clone(s)),
             None => bare,
         });
+        if let Some(f) = &feed {
+            // FIFO channel: the preload lands after the registrations
+            // above and before any live action recorded below.
+            f.preload(seed.entries.clone(), seed.next_stamp);
+        }
         let status = Arc::new(StatusTable::new(capacity));
         for &t in &seed.committed {
             assert!(status.try_commit(t), "recovered commit marks a fresh slot");
@@ -232,6 +255,10 @@ impl SessionEngine {
         if let Some(s) = &sink {
             table = table.with_sink(Arc::clone(s));
         }
+        if let Some(f) = &feed {
+            // After `with_sink` — the sink swap replaces the shard logs.
+            table = table.with_feed(f.clone());
+        }
         let table = Arc::new(table);
         let fresh = seed.entries.is_empty();
         let mut logs = Vec::new();
@@ -244,6 +271,9 @@ impl SessionEngine {
             Some(s) => WorkerLog::with_sink(Arc::clone(s)),
             None => WorkerLog::new(),
         };
+        if let Some(f) = &feed {
+            root_log = root_log.with_feed(f.clone());
+        }
         if fresh {
             root_log.record(&clock, Action::Create(TxId::ROOT));
         }
@@ -255,6 +285,7 @@ impl SessionEngine {
             clock,
             telemetry,
             sink,
+            feed,
             logs: Mutex::new(logs),
             victims: Mutex::new(Vec::new()),
             detector_passes: Arc::new(AtomicU64::new(0)),
@@ -291,10 +322,14 @@ impl SessionEngine {
 
     /// Open a fresh session (one per client connection).
     pub fn open_session(self: &Arc<Self>) -> Session {
-        let log = Arc::new(Mutex::new(match &self.sink {
+        let mut session_log = match &self.sink {
             Some(s) => WorkerLog::with_sink(Arc::clone(s)),
             None => WorkerLog::new(),
-        }));
+        };
+        if let Some(f) = &self.feed {
+            session_log = session_log.with_feed(f.clone());
+        }
+        let log = Arc::new(Mutex::new(session_log));
         self.logs
             .lock()
             .expect("logs poisoned")

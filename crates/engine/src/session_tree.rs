@@ -22,6 +22,7 @@
 use crate::recorder::ActionSink;
 use crate::tree_view::TreeView;
 use nt_model::{ObjId, Op, TxId, TxTree};
+use nt_sgt_live::FeedHandle;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -64,6 +65,7 @@ pub struct SessionTree {
     num_objects: AtomicU32,
     append: Mutex<()>,
     sink: Option<Arc<dyn ActionSink>>,
+    feed: Option<FeedHandle>,
 }
 
 impl SessionTree {
@@ -84,6 +86,7 @@ impl SessionTree {
             num_objects: AtomicU32::new(0),
             append: Mutex::new(()),
             sink: None,
+            feed: None,
         }
     }
 
@@ -94,6 +97,14 @@ impl SessionTree {
     /// re-log them.
     pub fn with_sink(mut self, sink: Arc<dyn ActionSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Tee every registration into the live certifier. Sent under the
+    /// append mutex before the slot is published, so the certifier learns
+    /// a transaction's shape strictly before any action naming it.
+    pub fn with_feed(mut self, feed: FeedHandle) -> Self {
+        self.feed = Some(feed);
         self
     }
 
@@ -157,6 +168,13 @@ impl SessionTree {
                 NodeKind::Inner => None,
             };
             sink.append_tree_add(TxId(i as u32), parent, access);
+        }
+        if let Some(feed) = &self.feed {
+            let access = match &kind {
+                NodeKind::Access { object, op } => Some((*object, op.clone())),
+                NodeKind::Inner => None,
+            };
+            feed.tree_add(TxId(i as u32), parent, access);
         }
         self.slots[i]
             .set(Node {

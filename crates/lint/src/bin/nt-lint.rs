@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! nt-lint [--json] [--plant-defect] [--plant-cycle]
-//!         [types|workloads|plans|engine|net|analyze|store|all]
+//!         [types|workloads|plans|engine|net|analyze|store|sgt|all]
 //!         [plan.json ...] [config.engine.json ...] [config.net.json ...]
 //!         [plan.access.json ...] [plan.crash.json ...] [FILE.wal ...]
-//!         [FILE.ckpt ...]
+//!         [FILE.ckpt ...] [FILE.sgt.json ...]
 //! ```
 //!
 //! * `types` — certify the declared commutativity relation of every shipped
@@ -35,21 +35,28 @@
 //!   always, plus any `*.crash.json` plans and `*.wal` / `*.ckpt` log
 //!   files given as arguments (CRC-checked frame stream, header role and
 //!   generation, torn tails flagged with their truncation offset).
+//! * `sgt` — exported serialization-graph documents: the live
+//!   maintainer's own snapshot always (self-check), plus any `*.sgt.json`
+//!   violation/snapshot/cert documents given as arguments, validated
+//!   against their schemas.
 //! * `all` (default) — everything.
 //!
 //! `--json` emits a machine-readable report. `--plant-defect` injects a
 //! deliberately unsound fixture type into the analyzed set — a self-check
 //! that the analyzer still detects planted defects (used by the golden
 //! tests; must make the exit code nonzero). `--plant-cycle` does the same
-//! for the static serializability pass with a guaranteed-cyclic plan.
+//! for the static serializability pass with a guaranteed-cyclic plan, and
+//! for the `sgt` pass drives a guaranteed-cyclic history through a real
+//! live maintainer (detection is reported as an error, so the run exits
+//! nonzero; a *missed* cycle is its own, worse error).
 //!
 //! Exit codes: 0 = no errors, 1 = at least one error-severity finding,
 //! 2 = usage error.
 
 use nt_lint::selftest::BrokenCounter;
 use nt_lint::{
-    analyze, engine, lockorder, net, plan, soundness, store, workload, Finding, Report, Severity,
-    SoundnessConfig, StaticPlan,
+    analyze, engine, lockorder, net, plan, sgt, soundness, store, workload, Finding, Report,
+    Severity, SoundnessConfig, StaticPlan,
 };
 use nt_locking::LockMode;
 use nt_serial::SerialType;
@@ -67,14 +74,16 @@ enum Pass {
     Net,
     Analyze,
     Store,
+    Sgt,
 }
 
 fn usage(program: &str) {
     eprintln!(
         "usage: {program} [--json] [--plant-defect] [--plant-cycle] \
-         [types|workloads|plans|engine|net|analyze|store|all] \
+         [types|workloads|plans|engine|net|analyze|store|sgt|all] \
          [plan.json ...] [config.engine.json ...] [config.net.json ...] \
-         [plan.access.json ...] [plan.crash.json ...] [FILE.wal ...] [FILE.ckpt ...]"
+         [plan.access.json ...] [plan.crash.json ...] [FILE.wal ...] [FILE.ckpt ...] \
+         [FILE.sgt.json ...]"
     );
 }
 
@@ -231,6 +240,25 @@ fn run_store(report: &mut Report, crash_files: &[String], log_files: &[String]) 
     }
 }
 
+fn run_sgt(report: &mut Report, files: &[String], plant_cycle: bool) {
+    // The maintainer's own exported documents must lint clean.
+    report.extend(sgt::lint_defaults());
+    if plant_cycle {
+        report.extend(sgt::planted_cycle_selftest());
+    }
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => report.extend(sgt::lint_sgt_json(path, &doc)),
+            Err(e) => report.push(Finding::new(
+                Severity::Error,
+                "sgt",
+                format!("sgt {path}"),
+                format!("cannot read sgt document: {e}"),
+            )),
+        }
+    }
+}
+
 fn run_analyze(report: &mut Report, files: &[String], plant_cycle: bool) {
     // Advisory sweep of the workload matrix: the engine certifies those
     // runs dynamically, so a potential cycle is context, not a defect.
@@ -310,6 +338,7 @@ fn main() -> ExitCode {
     let mut access_files: Vec<String> = Vec::new();
     let mut crash_files: Vec<String> = Vec::new();
     let mut log_files: Vec<String> = Vec::new();
+    let mut sgt_files: Vec<String> = Vec::new();
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
@@ -322,6 +351,7 @@ fn main() -> ExitCode {
             "net" => pass = Pass::Net,
             "analyze" => pass = Pass::Analyze,
             "store" => pass = Pass::Store,
+            "sgt" => pass = Pass::Sgt,
             "all" => pass = Pass::All,
             "--help" | "-h" => {
                 usage(program);
@@ -329,6 +359,9 @@ fn main() -> ExitCode {
             }
             other if other.ends_with(".access.json") && !other.starts_with('-') => {
                 access_files.push(other.to_string());
+            }
+            other if other.ends_with(".sgt.json") && !other.starts_with('-') => {
+                sgt_files.push(other.to_string());
             }
             other if other.ends_with(".engine.json") && !other.starts_with('-') => {
                 engine_files.push(other.to_string());
@@ -376,6 +409,9 @@ fn main() -> ExitCode {
     }
     if pass == Pass::All || pass == Pass::Store {
         run_store(&mut report, &crash_files, &log_files);
+    }
+    if pass == Pass::All || pass == Pass::Sgt {
+        run_sgt(&mut report, &sgt_files, plant_cycle);
     }
     if json {
         print!("{}", report.render_json());

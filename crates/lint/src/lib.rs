@@ -47,6 +47,11 @@
 //!    stream, header role and generation, torn tails flagged with the
 //!    truncation offset — and semantically lint crash-campaign plans
 //!    (`*.crash.json`, [`nt_faults::CrashPlan`]).
+//! 9. **Serialization-graph document checks** ([`sgt`]): structurally
+//!    validate exported live-maintainer documents (`*.sgt.json` —
+//!    violation reports, graph snapshots, `CERT` verdicts) against their
+//!    schemas, plus the planted-cycle self-check that drives a
+//!    guaranteed-cyclic history through a real maintainer.
 //!
 //! The `nt-lint` binary aggregates all of it into one human or JSON report
 //! and exits nonzero iff any error-severity finding exists, making it
@@ -61,6 +66,7 @@ pub mod lockorder;
 pub mod net;
 pub mod plan;
 pub mod report;
+pub mod sgt;
 pub mod soundness;
 pub mod store;
 pub mod workload;

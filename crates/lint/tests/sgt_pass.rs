@@ -1,0 +1,81 @@
+//! Golden tests for the `sgt` pass: the maintainer's own exported
+//! documents lint clean, the committed malformed fixture is rejected per
+//! broken rule with a nonzero exit, and the planted-cycle self-check
+//! detects its cycle and fails the run.
+
+use nt_lint::{sgt, Severity};
+use std::process::Command;
+
+#[test]
+fn cli_sgt_pass_is_clean_by_default() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .arg("sgt")
+        .output()
+        .expect("spawn nt-lint");
+    assert!(
+        out.status.success(),
+        "the maintainer's own documents must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_the_golden_malformed_document() {
+    // The fixture parses as JSON but breaks one rule per section: an
+    // unclosed cycle, an unknown edge kind, inverted witness stamps, a
+    // missing hop edge, a slice stamp outside the witness span, and a
+    // slice entry without a stamp.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.sgt.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["sgt", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a malformed sgt document must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("not closed"), "{stdout}");
+    assert!(stdout.contains("entangles"), "{stdout}");
+    assert!(stdout.contains("not ordered"), "{stdout}");
+    assert!(stdout.contains("one per hop"), "{stdout}");
+    assert!(stdout.contains("outside witness span"), "{stdout}");
+    assert!(stdout.contains("missing stamp"), "{stdout}");
+}
+
+#[test]
+fn cli_planted_cycle_selfcheck_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["--plant-cycle", "sgt"])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "the planted-cycle self-check must fail the run"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("detected as intended"), "{stdout}");
+    assert!(
+        !stdout.contains("MISSED"),
+        "the maintainer must not miss the planted cycle:\n{stdout}"
+    );
+}
+
+#[test]
+fn library_agrees_with_the_committed_fixture() {
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.sgt.json"
+    ))
+    .expect("read sgt fixture");
+    let fs = sgt::lint_sgt_json("malformed.sgt.json", &doc);
+    assert!(fs.len() >= 6, "one finding per broken rule, got {fs:?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Error));
+}

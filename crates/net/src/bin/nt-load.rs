@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke]
-//!         [--gate-probe] [--shutdown]
+//!         [--gate-probe] [--cert] [--shutdown]
 //! ```
 //!
 //! * `--addr` targets a running server (overrides the config's `addr`).
@@ -19,6 +19,10 @@
 //!   analyzer's weight-2 criterion, not naive set-disjointness), and
 //!   committing the blocker must reopen admission. Exit 0 iff all
 //!   three hold.
+//! * `--cert` fetches the server's live serialization-graph certificate
+//!   (the `CERT` wire op) after the run, embeds it in the output line,
+//!   and fails if a live certifier reports a violation. A server running
+//!   without `--live-certify` answers `"mode":"disabled"`, which passes.
 //! * `--shutdown` sends a wire `Shutdown` after the run (CI uses this to
 //!   stop an `nt-serve` it spawned).
 //!
@@ -29,12 +33,12 @@ use nt_faults::TransportPlan;
 use nt_net::client::{fetch_and_certify, Conn, ConnConfig};
 use nt_net::wire::{err_code, Request, Response};
 use nt_net::{run_load, LoadConfig, NetConfig, NetServer, ServerConfig};
-use nt_obs::json::JsonObj;
+use nt_obs::json::{Json, JsonObj};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke] [--gate-probe] [--shutdown]"
+        "usage: nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke] [--gate-probe] [--cert] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -174,6 +178,7 @@ fn main() -> ExitCode {
     let mut addr_override = None;
     let mut smoke = false;
     let mut gate_probe = false;
+    let mut cert_probe = false;
     let mut shutdown = false;
     let mut i = 0;
     while i < args.len() {
@@ -215,6 +220,10 @@ fn main() -> ExitCode {
             }
             "--gate-probe" => {
                 gate_probe = true;
+                i += 1;
+            }
+            "--cert" => {
+                cert_probe = true;
                 i += 1;
             }
             "--shutdown" => {
@@ -282,6 +291,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let live_cert = if cert_probe {
+        match Conn::connect(&addr, 0, ConnConfig::from(&load)).and_then(|mut c| c.cert()) {
+            Ok(json) => Some(json),
+            Err(e) => {
+                eprintln!("nt-load: cert fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     if shutdown || own_server.is_some() {
         let sent =
             Conn::connect(&addr, 0, ConnConfig::from(&load)).and_then(|mut c| c.shutdown_server());
@@ -314,6 +334,9 @@ fn main() -> ExitCode {
     o.num("top_us_p50", p50)
         .num("top_us_p95", p95)
         .num("top_us_p99", p99);
+    if let Some(json) = &live_cert {
+        o.raw("live_cert", json.clone());
+    }
     println!("{}", o.build());
     if !smoke {
         eprintln!("{}", report.to_json());
@@ -321,6 +344,14 @@ fn main() -> ExitCode {
     if !cert.is_serially_correct() {
         eprintln!("nt-load: certification found violations");
         return ExitCode::FAILURE;
+    }
+    if let Some(json) = &live_cert {
+        let parsed = Json::parse(json).unwrap_or(Json::Null);
+        let mode = parsed.get("mode").and_then(Json::as_str).unwrap_or("");
+        if mode == "live" && parsed.get("ok") != Some(&Json::Bool(true)) {
+            eprintln!("nt-load: live certifier reported a violation: {json}");
+            return ExitCode::FAILURE;
+        }
     }
     if report.committed_tops == 0 {
         eprintln!("nt-load: no top-level transaction committed");

@@ -4,7 +4,7 @@
 //! ```text
 //! nt-serve [--config FILE.net.json] [--addr HOST:PORT]
 //!          [--port-file FILE] [--journal FILE] [--static-gate]
-//!          [--metrics-out FILE] [--trace-out FILE]
+//!          [--metrics-out FILE] [--trace-out FILE] [--live-certify]
 //!          [--data-dir DIR] [--durability none|fsync|group:WINDOW_US]
 //! ```
 //!
@@ -23,9 +23,11 @@
 //! (plus a final post-drain snapshot). `--trace-out FILE` enables
 //! telemetry and writes the retained request spans as a Chrome
 //! `trace_event` document after the drain. Either flag also turns on
-//! the SGT health monitor (100 ms sampling unless the config file set
-//! `sgt_sample_period_ms` itself), so snapshots carry `sgt.*` gauges —
-//! including one final post-drain sample of the committed history.
+//! the live serialization-graph certifier, so snapshots carry the
+//! `sgt.*` gauges the certifier publishes as conflict edges form.
+//! `--live-certify` turns the certifier on by itself: every recorded
+//! action streams through the incremental Theorem 17 gate and the `CERT`
+//! wire op serves the live verdict (`nt-sgt/cert/v1`).
 //!
 //! `--data-dir DIR` mounts an `nt-store` WAL + checkpoint under the
 //! engine: every applied action is journaled, and on startup the dir is
@@ -54,7 +56,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate] [--metrics-out FILE] [--trace-out FILE] [--data-dir DIR] [--durability none|fsync|group:WINDOW_US]"
+        "usage: nt-serve [--config FILE.net.json] [--addr HOST:PORT] [--port-file FILE] [--journal FILE] [--static-gate] [--metrics-out FILE] [--trace-out FILE] [--live-certify] [--data-dir DIR] [--durability none|fsync|group:WINDOW_US]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +81,7 @@ fn main() -> ExitCode {
     let mut port_file = None;
     let mut journal_file = None;
     let mut static_gate = false;
+    let mut live_certify = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut data_dir: Option<String> = None;
@@ -135,6 +138,10 @@ fn main() -> ExitCode {
                 static_gate = true;
                 i += 1;
             }
+            "--live-certify" => {
+                live_certify = true;
+                i += 1;
+            }
             "--metrics-out" => {
                 let Some(f) = args.get(i + 1) else {
                     return usage();
@@ -185,13 +192,13 @@ fn main() -> ExitCode {
         cfg.durability = m;
     }
     if metrics_out.is_some() || trace_out.is_some() {
+        // A traced server should also report SGT health: the live
+        // certifier publishes the `sgt.*` gauges those snapshots carry.
         cfg.telemetry = true;
-        // A traced server should also report SGT health; a config file
-        // that set its own period (or wants it off via an explicit
-        // telemetry=true config without tracing flags) still wins.
-        if cfg.sgt_sample_period_ms == 0 {
-            cfg.sgt_sample_period_ms = 100;
-        }
+        cfg.live_certify = true;
+    }
+    if live_certify {
+        cfg.live_certify = true;
     }
     let metrics_period_ms = cfg.metrics_period_ms.max(1);
     let problems = cfg.problems();

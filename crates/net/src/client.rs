@@ -265,6 +265,20 @@ impl Conn {
         }
     }
 
+    /// Fetch the server's live serialization-graph certificate (schema
+    /// `nt-sgt/cert/v1`) as a JSON string. The server drains its
+    /// certifier queue first, so the verdict covers every action recorded
+    /// before this request; a server without `live_certify` answers with
+    /// a `"disabled"` document.
+    pub fn cert(&mut self) -> Result<String, WireError> {
+        match self.request(&Request::Cert)? {
+            Response::Cert { json } => Ok(json),
+            other => Err(WireError::BadPayload(format!(
+                "expected Cert, got {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown_server(&mut self) -> Result<(), WireError> {
         match self.request(&Request::Shutdown)? {

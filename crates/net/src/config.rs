@@ -47,10 +47,12 @@ pub struct ServerConfig {
     /// Bounded ring of retained request spans (newest win) when
     /// telemetry is enabled.
     pub span_ring: usize,
-    /// Period of the SGT health monitor, which certifies the recorded
-    /// history prefix through the Theorem 17 gate and publishes `sgt.*`
-    /// gauges. 0 disables the monitor thread.
-    pub sgt_sample_period_ms: u64,
+    /// Run the live serialization-graph certifier: every recorded action
+    /// streams into an incremental Theorem 17 gate (cycle check per
+    /// conflict edge, watermark GC bounding memory), the `CERT` wire op
+    /// serves its verdict, and the `sgt.*`/`sgt.live.*` gauges publish
+    /// its health.
+    pub live_certify: bool,
     /// Period of `nt-serve --metrics-out` snapshot rewrites.
     pub metrics_period_ms: u64,
     /// How long a drain may take before the flight recorder is dumped
@@ -78,7 +80,7 @@ impl Default for ServerConfig {
             static_gate: false,
             telemetry: false,
             span_ring: nt_telemetry::DEFAULT_SPAN_RING,
-            sgt_sample_period_ms: 0,
+            live_certify: false,
             metrics_period_ms: 1000,
             drain_timeout_ms: 10_000,
             data_dir: None,
@@ -249,7 +251,7 @@ impl ServerConfig {
             .bool("static_gate", self.static_gate)
             .bool("telemetry", self.telemetry)
             .num("span_ring", self.span_ring as u64)
-            .num("sgt_sample_period_ms", self.sgt_sample_period_ms)
+            .bool("live_certify", self.live_certify)
             .num("metrics_period_ms", self.metrics_period_ms)
             .num("drain_timeout_ms", self.drain_timeout_ms);
         if let Some(plan) = &self.fault {
@@ -387,7 +389,10 @@ impl NetConfig {
                             _ => return Err("telemetry must be a boolean".to_string()),
                         },
                         "span_ring" => c.span_ring = num_field(val, key)? as usize,
-                        "sgt_sample_period_ms" => c.sgt_sample_period_ms = num_field(val, key)?,
+                        "live_certify" => match val {
+                            Json::Bool(b) => c.live_certify = *b,
+                            _ => return Err("live_certify must be a boolean".to_string()),
+                        },
                         "metrics_period_ms" => c.metrics_period_ms = num_field(val, key)?,
                         "drain_timeout_ms" => c.drain_timeout_ms = num_field(val, key)?,
                         "data_dir" => {
@@ -486,7 +491,7 @@ mod tests {
             static_gate: true,
             telemetry: true,
             span_ring: 512,
-            sgt_sample_period_ms: 50,
+            live_certify: true,
             metrics_period_ms: 250,
             drain_timeout_ms: 5_000,
             data_dir: Some("/tmp/nt-data".to_string()),

@@ -14,13 +14,17 @@
 //!
 //! When the config enables telemetry, both threads stamp each request's
 //! lifecycle (decode → enqueue → dequeue → execute → respond) into an
-//! [`nt_telemetry::ReqSpan`] carrying dual wall-clock/`SeqClock` stamps,
-//! and a sampling **monitor thread** folds the committed prefix of the
-//! recorded history through the Theorem 17 gate, publishing SGT health
-//! gauges (`sgt.nodes`, `sgt.edges`, `sgt.watermark`, `sgt.check_us`,
-//! `sgt.ok`). A bounded flight-recorder ring mirrors the journal and is
-//! dumped to stderr on a deadlock-watchdog fire, a drain timeout, or a
-//! static-gate refusal.
+//! [`nt_telemetry::ReqSpan`] carrying dual wall-clock/`SeqClock` stamps.
+//! With `live_certify` on, every recorded action also streams into an
+//! [`nt_sgt_live::LiveCertifier`] — an incremental Theorem 17 gate that
+//! checks each conflict edge as it forms, garbage-collects the committed
+//! acyclic prefix behind a watermark, publishes SGT health gauges
+//! (`sgt.nodes`, `sgt.edges`, `sgt.watermark`, `sgt.check_us`, `sgt.ok`,
+//! and the `sgt.live.*` mirrors), and answers the `CERT` wire op with its
+//! verdict. A **monitor thread** surfaces deadlock victims and watchdog
+//! rescues as structured events; a bounded flight-recorder ring mirrors
+//! the journal and is dumped to stderr on a deadlock-watchdog fire, a
+//! drain timeout, or a static-gate refusal.
 //!
 //! Graceful drain (`ServerHandle::drain`, or a wire `Shutdown` request)
 //! stops the acceptor, half-closes every connection's read side so
@@ -29,7 +33,6 @@
 //! server's recorded history is complete and certifiable.
 
 use crate::admission::{AdmissionLedger, DeclaredSets};
-use crate::client::certify_history;
 use crate::config::ServerConfig;
 use crate::history::HistoryDoc;
 use crate::wire::{
@@ -43,6 +46,7 @@ use nt_faults::FrameFate;
 use nt_model::{ObjId, TxId};
 use nt_obs::json::JsonObj;
 use nt_obs::{Event, Stamped, TraceHandle};
+use nt_sgt_live::{cert_disabled_json, LiveCertifier, SgtConfig};
 use nt_store::{RecoveryReport, Store};
 use nt_telemetry::{ReqSpan, StatsCell, TelemetryHandle};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,6 +61,9 @@ use std::time::{Duration, Instant};
 
 /// Flight-recorder ring capacity (journal tail kept for crash dumps).
 const FLIGHT_CAPACITY: usize = 256;
+
+/// Monitor-thread sample period (victim/watchdog surfacing).
+const MONITOR_PERIOD_MS: u64 = 50;
 
 /// Monotone counters the server exposes while serving and after a drain.
 ///
@@ -100,6 +107,9 @@ struct Shared {
     monitor: Mutex<Option<JoinHandle<()>>>,
     /// Declared summaries of live tops (the static admission gate).
     admission: Mutex<AdmissionLedger>,
+    /// The live serialization-graph certifier (`live_certify`); taken
+    /// (stopped) once during the drain's final join.
+    live: Mutex<Option<LiveCertifier>>,
     /// The durable store, when the config mounts one (`data_dir`).
     store: Option<Arc<Store>>,
     /// Responses recovered from the previous incarnation's WAL, keyed by
@@ -171,6 +181,21 @@ impl Shared {
         eprintln!("{}", self.stats_json());
     }
 
+    /// The live certificate document: drain the certifier's queue (so the
+    /// verdict covers every action recorded before this call), then
+    /// serialize its status. Without `live_certify`, a `"disabled"`
+    /// document (schema `nt-sgt/cert/v1`).
+    fn cert_json(&self) -> String {
+        let guard = self.live.lock().expect("live poisoned");
+        match guard.as_ref() {
+            Some(lc) => {
+                lc.drain();
+                lc.status().cert_json()
+            }
+            None => cert_disabled_json(),
+        }
+    }
+
     /// Forget a top's declared summary (no-op for undeclared tops).
     fn release_admission(&self, tx: TxId) {
         self.admission
@@ -198,18 +223,16 @@ impl Shared {
     }
 }
 
-/// Samples the engine on a fixed period: surfaces new deadlock victims
+/// Samples the engine on a fixed period, surfacing new deadlock victims
 /// and timeout rescues as structured events (dumping diagnostics on a
-/// watchdog fire), and folds the recorded-history prefix through the
-/// Theorem 17 gate, publishing SGT health gauges. An in-flight prefix
-/// may transiently fail certification (`sgt.ok = 0`) — the gauge reports
-/// health of the *committed* prefix, which a drained server always
-/// passes.
+/// watchdog fire). SGT health is no longer sampled here: the live
+/// certifier (`live_certify`) checks every conflict edge as it forms and
+/// publishes the `sgt.*` gauges itself — continuously, in O(affected
+/// region) per edge, instead of this thread's old O(history) re-fold.
 fn monitor_loop(shared: &Shared) {
-    let period = Duration::from_millis(shared.cfg.sgt_sample_period_ms.max(1));
+    let period = Duration::from_millis(MONITOR_PERIOD_MS);
     let mut seen_victims = 0usize;
     let mut seen_rescues = 0u64;
-    let mut samples = 0u64;
     loop {
         let mut slept = Duration::ZERO;
         while slept < period {
@@ -237,32 +260,7 @@ fn monitor_loop(shared: &Shared) {
             shared.dump_diagnostics("deadlock watchdog fired");
         }
         seen_rescues = rescues;
-        samples += 1;
-        sgt_sample(shared, samples);
     }
-}
-
-/// Fold the recorded-history prefix through the Theorem 17 gate and
-/// publish the SGT health gauges under the given sample count.
-fn sgt_sample(shared: &Shared, samples: u64) {
-    let t0 = Instant::now();
-    let (tree, actions) = shared.engine.history_snapshot();
-    let cert = certify_history(&tree, &actions);
-    let check_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    shared
-        .telemetry
-        .gauge_set("sgt.nodes", cert.sg_nodes as u64);
-    shared
-        .telemetry
-        .gauge_set("sgt.edges", cert.sg_edges as u64);
-    shared
-        .telemetry
-        .gauge_set("sgt.watermark", cert.serial_actions as u64);
-    shared.telemetry.gauge_set("sgt.check_us", check_us);
-    shared
-        .telemetry
-        .gauge_set("sgt.ok", u64::from(cert.violations == 0));
-    shared.telemetry.gauge_set("sgt.samples", samples);
 }
 
 /// A bound (not yet serving) server.
@@ -359,6 +357,10 @@ impl NetServer {
         let sink = store
             .as_ref()
             .map(|s| Arc::clone(s.wal()) as Arc<dyn ActionSink>);
+        let live = cfg
+            .live_certify
+            .then(|| LiveCertifier::start(SgtConfig::default(), telemetry.clone()));
+        let feed = live.as_ref().map(LiveCertifier::handle);
         let engine = SessionEngine::start_recovered(
             cfg.capacity,
             cfg.shards.max(1),
@@ -366,6 +368,7 @@ impl NetServer {
             telemetry.clone(),
             seed,
             sink,
+            feed,
         )
         .map_err(|e| std::io::Error::other(format!("recovered seed replay: {e}")))?;
         let shared = Arc::new(Shared {
@@ -382,6 +385,7 @@ impl NetServer {
             conn_threads: Mutex::new(Vec::new()),
             monitor: Mutex::new(None),
             admission: Mutex::new(AdmissionLedger::new()),
+            live: Mutex::new(live),
             store,
             recovered_cache,
         });
@@ -400,7 +404,7 @@ impl NetServer {
 
     /// Start accepting connections.
     pub fn serve(self) -> ServerHandle {
-        if self.shared.cfg.sgt_sample_period_ms > 0 {
+        {
             let shared = Arc::clone(&self.shared);
             let handle = std::thread::spawn(move || monitor_loop(&shared));
             *self.shared.monitor.lock().expect("monitor poisoned") = Some(handle);
@@ -516,30 +520,27 @@ impl ServerHandle {
             }
         }
         let monitor = self.shared.monitor.lock().expect("monitor poisoned").take();
-        let monitored = monitor.is_some();
         if let Some(m) = monitor {
             let _ = m.join();
         }
         let _ = done_tx.send(());
         let _ = watchdog.join();
-        if monitored {
-            // One final sample over the fully-drained history, so even a
-            // run shorter than the sample period publishes gauges — and
-            // the post-drain snapshot always reports the committed
-            // prefix's health (`sgt.ok = 1` unless certification failed).
-            let prior = self
-                .shared
-                .telemetry
-                .gauges()
-                .iter()
-                .find(|(k, _)| *k == "sgt.samples")
-                .map_or(0, |&(_, v)| v);
-            sgt_sample(&self.shared, prior + 1);
-        }
         let (_, stats) = self.shared.stats.snapshot();
         self.shared
             .emit(Event::ServerDrained { conns: stats.conns });
         self.shared.engine.shutdown();
+        // Every connection and the detector are gone, so the recorded
+        // history is complete: stop the live certifier (final flush +
+        // gauge publish) and surface a violation verdict loudly.
+        if let Some(lc) = self.shared.live.lock().expect("live poisoned").take() {
+            let (status, _maintainer) = lc.stop();
+            if !status.ok {
+                self.shared.emit(Event::Violation {
+                    reason: "live certifier found a serialization cycle".to_string(),
+                });
+                self.shared.dump_diagnostics("live certifier violation");
+            }
+        }
         // Fold the WAL into a fresh checkpoint so the next open replays
         // from a compact image, then stop the group-commit flusher.
         if let Some(store) = &self.shared.store {
@@ -918,6 +919,9 @@ fn execute(
         Request::Shutdown => Response::ShuttingDown,
         Request::Stats => Response::Stats {
             json: shared.stats_json(),
+        },
+        Request::Cert => Response::Cert {
+            json: shared.cert_json(),
         },
     }
 }

@@ -375,6 +375,11 @@ pub enum Request {
     /// shard counters, phase histograms, SGT health gauges, wait-for
     /// graph) as one JSON document.
     Stats,
+    /// Fetch the live serialization-graph certificate: the incremental
+    /// certifier's verdict over every action recorded so far (schema
+    /// `nt-sgt/cert/v1`), or a `"disabled"` document when the server runs
+    /// without live certification.
+    Cert,
 }
 
 impl Request {
@@ -391,6 +396,7 @@ impl Request {
             Request::Shutdown => 0x08,
             Request::BeginTopDeclared { .. } => 0x09,
             Request::Stats => 0x0A,
+            Request::Cert => 0x0B,
         }
     }
 
@@ -400,7 +406,8 @@ impl Request {
             | Request::HistoryFetch
             | Request::Ping
             | Request::Shutdown
-            | Request::Stats => Ok(()),
+            | Request::Stats
+            | Request::Cert => Ok(()),
             Request::BeginChild { parent } => {
                 put_u32(out, *parent);
                 Ok(())
@@ -454,6 +461,7 @@ impl Request {
                 Request::BeginTopDeclared { reads, writes }
             }
             0x0A => Request::Stats,
+            0x0B => Request::Cert,
             k => return Err(WireError::UnknownKind(k)),
         };
         cur.finish()?;
@@ -516,6 +524,11 @@ pub enum Response {
         /// The snapshot (schema `nt-net/stats/v1`).
         json: String,
     },
+    /// The live serialization-graph certificate as a JSON document.
+    Cert {
+        /// The certificate (schema `nt-sgt/cert/v1`).
+        json: String,
+    },
     /// A protocol-level failure (see [`err_code`]).
     Error {
         /// Stable error code.
@@ -539,6 +552,7 @@ impl Response {
             Response::ShuttingDown => 0x88,
             Response::Error { .. } => 0x89,
             Response::Stats { .. } => 0x8A,
+            Response::Cert { .. } => 0x8B,
         }
     }
 
@@ -564,7 +578,7 @@ impl Response {
                 put_str(out, msg);
                 Ok(())
             }
-            Response::Stats { json } => {
+            Response::Stats { json } | Response::Cert { json } => {
                 put_str(out, json);
                 Ok(())
             }
@@ -590,6 +604,7 @@ impl Response {
                 msg: cur.str()?,
             },
             0x8A => Response::Stats { json: cur.str()? },
+            0x8B => Response::Cert { json: cur.str()? },
             k => return Err(WireError::UnknownKind(k)),
         };
         cur.finish()?;

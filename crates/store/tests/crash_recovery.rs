@@ -37,6 +37,7 @@ fn boot(store: &Store, recovered: nt_store::Recovered) -> Arc<SessionEngine> {
         TelemetryHandle::disabled(),
         recovered.seed,
         Some(Arc::clone(store.wal()) as Arc<dyn nt_engine::ActionSink>),
+        None,
     )
     .expect("recovered seed replays")
 }

@@ -78,4 +78,36 @@ else
     echo "check_benches: BENCH_store.json rows failed the recovery gate" >&2
     fail=1
 fi
+
+# The live-certifier sweep (E20): every live cell must have certified
+# ok with an advanced watermark, and the soak must show the watermark GC
+# holding the resident graph far below the total work processed. The
+# <5% overhead target assumes the certifier worker can overlap on its
+# own core; on a single-core host its full CPU share lands in the
+# throughput delta, so the bound is relaxed there (see EXPERIMENTS.md).
+if python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_sgt.json"))
+cores = doc["host_cores"]
+limit = 5.0 if cores > 1 else 60.0
+for row in doc["rows"]:
+    c = row["connections"]
+    assert row["cert_ok"], f"{c} conns: live certifier reported a violation"
+    assert row["watermark"] > 0, f"{c} conns: watermark never advanced"
+    assert row["overhead_pct"] < limit, (
+        f"{c} conns: {row['overhead_pct']:.1f}% overhead exceeds "
+        f"{limit}% ({cores}-core host)")
+soak = doc["soak"]
+assert soak["watermark_end"] > soak["watermark_start"], \
+    "soak: watermark never advanced"
+assert soak["max_resident_nodes"] < soak["tops_total"], (
+    f"soak: resident graph ({soak['max_resident_nodes']} nodes) grew to "
+    f"the total top count ({soak['tops_total']}) — GC is not pruning")
+EOF
+then
+    echo "check_benches: BENCH_sgt.json live-certify gate ok"
+else
+    echo "check_benches: BENCH_sgt.json failed the live-certify gate" >&2
+    fail=1
+fi
 exit "$fail"
