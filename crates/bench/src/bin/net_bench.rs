@@ -1,26 +1,45 @@
-//! Throughput harness for the networked server (`nt-net`), experiment
-//! E16.
+//! Throughput harness for the networked server (`nt-net`), experiments
+//! E16 and E21.
 //!
-//! Sweeps client connection counts over a contended closed-loop workload
-//! against a fresh loopback server per cell, keeping the *total* number
-//! of top-level transactions constant so cells are comparable: more
-//! connections means the same work arriving with more concurrency. Each
-//! cell's recorded history is fetched over the wire and certified
+//! E16 sweeps client connection counts over a contended closed-loop
+//! workload against a fresh loopback server per cell (now fronted by the
+//! `nt-reactor` event loop by default), keeping the *total* number of
+//! top-level transactions constant so cells are comparable: more
+//! connections means the same work arriving with more concurrency.
+//!
+//! E21 pushes the reactor out to 64 connections with `BATCH` framing:
+//! per-connection work is held constant (so offered load scales with the
+//! connection count) and every pipelined sibling-access run goes out as
+//! batch frames — one syscall round-trip, and under durability one
+//! group-commit barrier, per frame. A final cell mounts a WAL in
+//! `group:100` durability with batching on, the configuration E19
+//! measured at its slowest, to show the coalesced barrier amortizing.
+//!
+//! Each cell's recorded history is fetched over the wire and certified
 //! against Theorem 17 post-hoc; a cell that fails certification fails
 //! the whole harness. Results land in `BENCH_net.json`.
 //!
 //! ```sh
-//! cargo run --release -p nt-bench --bin net_bench            # sweep
-//! cargo run --release -p nt-bench --bin net_bench -- --smoke # CI gate
+//! cargo run --release -p nt-bench --bin net_bench               # sweep
+//! cargo run --release -p nt-bench --bin net_bench -- --smoke    # CI gate
+//! cargo run --release -p nt-bench --bin net_bench -- --gc-sweep # debug:
+//! #   just the group-commit cell across batch sizes 1..16
 //! ```
 
 use nt_bench::SmokeLine;
+use nt_engine::DurabilityMode;
 use nt_net::{fetch_and_certify, run_load, ConnConfig, LoadConfig, NetServer, ServerConfig};
 use nt_obs::json::JsonObj;
 use nt_telemetry::HistSnapshot;
 
 const CONN_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const TOTAL_TOPS: usize = 64;
+
+/// E21: the batched reactor sweep. Per-connection work is fixed at
+/// [`E21_TOPS_PER_CONN`] so the offered load grows with the sweep.
+const E21_SWEEP: [usize; 4] = [8, 16, 32, 64];
+const E21_TOPS_PER_CONN: usize = 8;
+const E21_BATCH: usize = 16;
 
 fn sweep_load(connections: usize) -> LoadConfig {
     LoadConfig {
@@ -31,12 +50,35 @@ fn sweep_load(connections: usize) -> LoadConfig {
         read_ratio: 0.5,
         max_depth: 2,
         seed: 16,
+        // Closed-loop cells retry until the work commits: a cell's tops
+        // are its denominator, so a gave-up top would skew the sweep.
+        top_retries: 20,
+        ..LoadConfig::default()
+    }
+}
+
+fn e21_load(connections: usize) -> LoadConfig {
+    LoadConfig {
+        connections,
+        tops_per_conn: E21_TOPS_PER_CONN,
+        batch: E21_BATCH,
+        // E21 measures *connection handling*, not lock contention: a wide
+        // cold object space keeps 2PL conflicts (and their abort/backoff
+        // noise) out of the sweep, so throughput tracks how the front end
+        // scales with sockets — the thing the reactor changes.
+        objects: 512,
+        hotspot: 0.0,
+        read_ratio: 0.7,
+        max_depth: 2,
+        seed: 21,
+        top_retries: 20,
         ..LoadConfig::default()
     }
 }
 
 struct Row {
     connections: usize,
+    batch: usize,
     committed: u64,
     aborted: u64,
     gave_up: u64,
@@ -60,6 +102,7 @@ impl Row {
         let (tp50, tp95, tp99) = self.top_hist.p50_p95_p99();
         let mut o = JsonObj::new();
         o.num("connections", self.connections as u64)
+            .num("batch", self.batch as u64)
             .float("wall_ms", self.wall_us as f64 / 1e3)
             .num("committed_tops", self.committed)
             .num("aborted_tops", self.aborted)
@@ -81,16 +124,17 @@ impl Row {
 }
 
 /// Run one sweep cell against a fresh loopback server.
-fn run_cell(connections: usize) -> Row {
-    let server = NetServer::bind(ServerConfig::default()).expect("bind loopback");
+fn run_cell(cfg: ServerConfig, load: &LoadConfig) -> Row {
+    let connections = load.connections;
+    let server = NetServer::bind(cfg).expect("bind loopback");
     let addr = server.local_addr().to_string();
     let handle = server.serve();
-    let load = sweep_load(connections);
-    let report = run_load(&addr, &load).expect("load runs");
-    let cert = fetch_and_certify(&addr, ConnConfig::from(&load)).expect("history certifies");
+    let report = run_load(&addr, load).expect("load runs");
+    let cert = fetch_and_certify(&addr, ConnConfig::from(load)).expect("history certifies");
     handle.wait();
     let row = Row {
         connections,
+        batch: load.batch.max(1),
         committed: report.committed_tops,
         aborted: report.aborted_tops,
         gave_up: report.gave_up,
@@ -105,8 +149,9 @@ fn run_cell(connections: usize) -> Row {
     };
     let (rp50, rp95, _) = row.req_hist.p50_p95_p99();
     println!(
-        "| {:5} | {:8.1} | {:9} | {:7} | {:8} | {:10.1} | {:7} | {:7} | {:9} |",
+        "| {:5} | {:5} | {:8.1} | {:9} | {:7} | {:8} | {:10.1} | {:7} | {:7} | {:9} |",
         row.connections,
+        row.batch,
         row.wall_us as f64 / 1e3,
         row.committed,
         row.aborted,
@@ -121,6 +166,29 @@ fn run_cell(connections: usize) -> Row {
         "{connections} connections: recorded history failed certification"
     );
     assert_eq!(row.gave_up, 0, "tops exhausted their retry budget");
+    row
+}
+
+/// The batched group-commit cell: the E19 durability configuration that
+/// measured slowest (`group:100`), re-run with `BATCH` framing so one
+/// `wait_durable` barrier covers a whole frame of ops. Compared in
+/// `tools/check_benches.sh` against the unbatched `group:100` row of
+/// `BENCH_store.json`.
+fn run_group_commit_cell(batch: usize) -> Row {
+    let dir = std::env::temp_dir().join(format!("nt-net-bench-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig {
+        data_dir: Some(dir.to_string_lossy().into_owned()),
+        durability: DurabilityMode::GroupCommit { window_us: 100 },
+        ..ServerConfig::default()
+    };
+    // The E19 shape: 4 connections, 64 total tops — but batched.
+    let load = LoadConfig {
+        batch,
+        ..sweep_load(4)
+    };
+    let row = run_cell(cfg, &load);
+    let _ = std::fs::remove_dir_all(&dir);
     row
 }
 
@@ -156,9 +224,17 @@ fn main() {
         smoke();
         return;
     }
+    if std::env::args().any(|a| a == "--gc-sweep") {
+        // Debug mode: just the group-commit cell across batch sizes.
+        for b in [1usize, 2, 4, 8, 16] {
+            let _ = run_group_commit_cell(b);
+        }
+        return;
+    }
     println!(
-        "| {:5} | {:8} | {:9} | {:7} | {:8} | {:10} | {:7} | {:7} | {:9} |",
+        "| {:5} | {:5} | {:8} | {:9} | {:7} | {:8} | {:10} | {:7} | {:7} | {:9} |",
         "conns",
+        "batch",
         "wall_ms",
         "committed",
         "aborted",
@@ -169,9 +245,20 @@ fn main() {
         "SGT"
     );
     println!(
-        "|-------|----------|-----------|---------|----------|------------|---------|---------|-----------|"
+        "|-------|-------|----------|-----------|---------|----------|------------|---------|---------|-----------|"
     );
-    let rows: Vec<Row> = CONN_SWEEP.iter().map(|&c| run_cell(c)).collect();
+    // E16: fixed total work, unbatched, reactor front end (the default).
+    let rows: Vec<Row> = CONN_SWEEP
+        .iter()
+        .map(|&c| run_cell(ServerConfig::default(), &sweep_load(c)))
+        .collect();
+    // E21: offered load scales with connections, batch frames on.
+    let e21_rows: Vec<Row> = E21_SWEEP
+        .iter()
+        .map(|&c| run_cell(ServerConfig::default(), &e21_load(c)))
+        .collect();
+    // The batched group-commit cell (vs E19's unbatched group:100).
+    let gc = run_group_commit_cell(E21_BATCH);
     let mut doc = JsonObj::new();
     doc.str("benchmark", "net_bench")
         .num(
@@ -185,11 +272,27 @@ fn main() {
                 "[{}]",
                 rows.iter().map(Row::to_json).collect::<Vec<_>>().join(",")
             ),
-        );
+        )
+        .raw(
+            "e21_rows",
+            format!(
+                "[{}]",
+                e21_rows
+                    .iter()
+                    .map(Row::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .raw("group_commit", gc.to_json());
     std::fs::write("BENCH_net.json", doc.build()).expect("write BENCH_net.json");
-    eprintln!("wrote BENCH_net.json ({} cells)", rows.len());
+    eprintln!(
+        "wrote BENCH_net.json ({} + {} cells + group-commit)",
+        rows.len(),
+        e21_rows.len()
+    );
     assert!(
-        rows.iter().all(|r| r.committed > 0),
+        rows.iter().chain(&e21_rows).all(|r| r.committed > 0) && gc.committed > 0,
         "every cell must commit work"
     );
 }

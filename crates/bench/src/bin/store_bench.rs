@@ -5,10 +5,12 @@
 //! before every mutating ack, and group commit at two windows — over
 //! the *same* contended closed-loop workload on a fresh data directory
 //! per cell, so the only variable is where the ack barrier sits. Each
-//! cell records with runtime telemetry enabled: the `log_wait` phase
-//! histogram attributes exactly how much of every request went to the
-//! durability watermark, and the server's WAL counters report the
-//! fsync amortization (`syncs / committed top`). Every cell's history
+//! cell records with runtime telemetry enabled: the durability wait is
+//! attributed by phase histogram — `log_wait` on the threaded front end
+//! (one barrier per mutating ack) or `coalesce` on the reactor front
+//! end (one barrier per reply flush, covering the whole burst) — and
+//! the server's WAL counters report the fsync amortization
+//! (`syncs / committed top`). Every cell's history
 //! is fetched and certified (Theorem 17) and every cell's data dir is
 //! reopened afterward to prove the recovery path certifies what the
 //! load left behind. Results land in `BENCH_store.json`.
@@ -64,6 +66,8 @@ struct Row {
     wal_syncs: u64,
     log_wait_mean_us: f64,
     log_wait_p95_us: u64,
+    coalesce_mean_us: f64,
+    coalesce_p95_us: u64,
     req_p50_us: u64,
     req_p95_us: u64,
     req_p99_us: u64,
@@ -93,6 +97,8 @@ impl Row {
             .float("syncs_per_commit", self.syncs_per_commit())
             .float("log_wait_mean_us", self.log_wait_mean_us)
             .num("log_wait_p95_us", self.log_wait_p95_us)
+            .float("coalesce_mean_us", self.coalesce_mean_us)
+            .num("coalesce_p95_us", self.coalesce_p95_us)
             .num("request_us_p50", self.req_p50_us)
             .num("request_us_p95", self.req_p95_us)
             .num("request_us_p99", self.req_p99_us)
@@ -153,6 +159,8 @@ fn run_cell(tag: &str, mode: DurabilityMode, dir: &PathBuf) -> Row {
         wal_syncs: num(&stats, &["wal_syncs"]) as u64,
         log_wait_mean_us: num(&tele, &["phases", "log_wait", "mean_us"]),
         log_wait_p95_us: num(&tele, &["phases", "log_wait", "p95_us"]) as u64,
+        coalesce_mean_us: num(&tele, &["phases", "coalesce", "mean_us"]),
+        coalesce_p95_us: num(&tele, &["phases", "coalesce", "p95_us"]) as u64,
         req_p50_us: report.req_hist.p50_p95_p99().0,
         req_p95_us: report.req_hist.p50_p95_p99().1,
         req_p99_us: report.req_hist.p50_p95_p99().2,
@@ -168,7 +176,7 @@ fn run_cell(tag: &str, mode: DurabilityMode, dir: &PathBuf) -> Row {
         row.throughput(),
         row.wal_syncs,
         row.syncs_per_commit(),
-        row.log_wait_mean_us,
+        row.log_wait_mean_us.max(row.coalesce_mean_us),
         row.req_p95_us,
         if row.certified && row.reopen_certified {
             "acyclic"
@@ -219,7 +227,7 @@ fn main() {
         "tput_tps",
         "wal_sync",
         "sync/ct",
-        "log_wait_us",
+        "barrier_us",
         "p95_us",
         "SGT"
     );

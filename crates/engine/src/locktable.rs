@@ -453,6 +453,16 @@ impl<T: TreeView> LockTable<T> {
             .collect()
     }
 
+    /// Ship every shard log's buffered feed entries to the live
+    /// certifier now. Feed sends are batched at transaction resolutions
+    /// ([`WorkerLog::record`]); a certifier barrier (`CERT`) needs the
+    /// still-buffered tail too, or the maintainer parks at the hole.
+    pub fn flush_feeds(&self) {
+        for shard in &self.shards {
+            shard.state.lock().expect("shard poisoned").log.flush_feed();
+        }
+    }
+
     /// Clone the per-shard object-action logs without draining them — the
     /// session engine's `HISTORY_FETCH` snapshots a live server whose
     /// shards keep recording afterwards.

@@ -25,13 +25,19 @@
 //! ## Live certification feed
 //!
 //! A log may additionally carry a [`FeedHandle`] to the live
-//! serialization-graph certifier (`nt-sgt-live`). Every recorded
-//! `(stamp, action)` pair is teed to the feed right after the stamp is
-//! drawn — a non-blocking channel send off the lock path. The certifier
-//! reorders racy arrivals by stamp, but it only advances through a
-//! *contiguous* stamp sequence, so **every** log sharing a clock must
-//! carry the feed (a stamp drawn by an unfed log would park the
-//! maintainer until the end-of-run flush).
+//! serialization-graph certifier (`nt-sgt-live`). Recorded
+//! `(stamp, action)` pairs destined for the feed are *buffered in the
+//! log* and shipped with one `act_batch` channel send per flush instead
+//! of one send per action. A flush fires when the recorded action
+//! resolves a transaction (`COMMIT`/`ABORT`/`REPORT_*`/`INFORM_*`),
+//! when the buffer hits [`FEED_BUF_CAP`], and when the log is dropped —
+//! so a buffered stamp is held no longer than the lifetime of the
+//! transaction that drew it, which is also exactly how long the
+//! maintainer's GC watermark would have been pinned by that live
+//! transaction anyway. The certifier reorders racy arrivals by stamp,
+//! but it only advances through a *contiguous* stamp sequence, so
+//! **every** log sharing a clock must carry the feed (a stamp drawn by
+//! an unfed log would park the maintainer until the end-of-run flush).
 
 use nt_model::{Action, ObjId, Op, TxId};
 use nt_sgt_live::FeedHandle;
@@ -85,12 +91,34 @@ pub trait ActionSink: Send + Sync {
     fn append_tree_add(&self, t: TxId, parent: TxId, access: Option<(ObjId, &Op)>);
 }
 
+/// Feed entries buffered in one log before a forced flush. Caps how
+/// stale the live certifier's view of a long access run can get (and
+/// how much memory a buffer pins) between transaction resolutions.
+pub const FEED_BUF_CAP: usize = 64;
+
 /// One worker's (or the main thread's, or a shard-stamped) action buffer.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct WorkerLog {
     entries: Vec<(u64, Action)>,
     sink: Option<Arc<dyn ActionSink>>,
     feed: Option<FeedHandle>,
+    /// Entries recorded since the last feed flush (empty when no feed).
+    feed_buf: Vec<(u64, Action)>,
+}
+
+impl Clone for WorkerLog {
+    /// Clones are history *snapshots* (`HISTORY_FETCH` on a live server):
+    /// they copy the recorded entries but not the pending feed buffer —
+    /// the original log keeps the responsibility of shipping those to
+    /// the certifier exactly once.
+    fn clone(&self) -> Self {
+        WorkerLog {
+            entries: self.entries.clone(),
+            sink: self.sink.clone(),
+            feed: self.feed.clone(),
+            feed_buf: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Debug for WorkerLog {
@@ -99,7 +127,16 @@ impl fmt::Debug for WorkerLog {
             .field("entries", &self.entries)
             .field("sink", &self.sink.is_some())
             .field("feed", &self.feed.is_some())
+            .field("feed_buf", &self.feed_buf.len())
             .finish()
+    }
+}
+
+impl Drop for WorkerLog {
+    fn drop(&mut self) {
+        // Ship any still-buffered entries: a dropped log must never
+        // strand a stamp, or the certifier parks at the hole forever.
+        self.flush_feed();
     }
 }
 
@@ -115,6 +152,7 @@ impl WorkerLog {
             entries: Vec::new(),
             sink: Some(sink),
             feed: None,
+            feed_buf: Vec::new(),
         }
     }
 
@@ -133,20 +171,48 @@ impl WorkerLog {
             entries,
             sink: None,
             feed: None,
+            feed_buf: Vec::new(),
         }
     }
 
     /// Stamp and append one action (write-ahead when a sink is mounted,
-    /// teed to the live certifier when a feed is attached).
+    /// buffered toward the live certifier when a feed is attached).
+    ///
+    /// Feed buffering: one `act_batch` send per transaction resolution
+    /// instead of one send per action. A resolution action is flushed
+    /// *with* the buffer, so the certifier sees a commit and everything
+    /// that led to it in a single message.
     pub fn record(&mut self, clock: &SeqClock, action: Action) {
         let stamp = match &self.sink {
             Some(sink) => sink.append_action(clock, &action),
             None => clock.next(),
         };
-        if let Some(feed) = &self.feed {
-            feed.act(stamp, action.clone());
+        if self.feed.is_some() {
+            let resolves = matches!(
+                action,
+                Action::Commit(_)
+                    | Action::Abort(_)
+                    | Action::ReportCommit(..)
+                    | Action::ReportAbort(_)
+                    | Action::InformCommit(..)
+                    | Action::InformAbort(..)
+            );
+            self.feed_buf.push((stamp, action.clone()));
+            if resolves || self.feed_buf.len() >= FEED_BUF_CAP {
+                self.flush_feed();
+            }
         }
         self.entries.push((stamp, action));
+    }
+
+    /// Ship the buffered feed entries now (one channel send). No-op
+    /// without a feed or with an empty buffer.
+    pub fn flush_feed(&mut self) {
+        if let Some(feed) = &self.feed {
+            if !self.feed_buf.is_empty() {
+                feed.act_batch(std::mem::take(&mut self.feed_buf));
+            }
+        }
     }
 
     /// Actions recorded.
@@ -163,7 +229,10 @@ impl WorkerLog {
 /// Merge per-worker logs into one behavior, ordered by stamp. Stamps are
 /// unique (one `fetch_add` each), so the order is total.
 pub fn merge(logs: impl IntoIterator<Item = WorkerLog>) -> Vec<Action> {
-    let mut all: Vec<(u64, Action)> = logs.into_iter().flat_map(|l| l.entries).collect();
+    let mut all: Vec<(u64, Action)> = logs
+        .into_iter()
+        .flat_map(|mut l| std::mem::take(&mut l.entries))
+        .collect();
     all.sort_by_key(|&(s, _)| s);
     all.into_iter().map(|(_, a)| a).collect()
 }

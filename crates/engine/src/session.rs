@@ -412,6 +412,24 @@ impl SessionEngine {
         o.build()
     }
 
+    /// Ship every log's buffered live-certifier feed entries now: the
+    /// session logs' and the lock shards'. Feed sends are batched at
+    /// transaction resolutions, so a log whose tail is unresolved work —
+    /// or the root log, whose only entry is the unresolving
+    /// `Create(ROOT)` — strands its stamps until the next resolution; the
+    /// certifier, which processes in dense stamp order, parks at the
+    /// hole. A certifier barrier (`CERT`) must call this first so the
+    /// verdict actually covers everything recorded before it.
+    pub fn flush_feeds(&self) {
+        if self.feed.is_none() {
+            return;
+        }
+        for log in self.logs.lock().expect("logs poisoned").iter() {
+            log.lock().expect("session log poisoned").flush_feed();
+        }
+        self.table.flush_feeds();
+    }
+
     /// Snapshot the run so far: the frozen tree and the merged recorded
     /// history. Logs are cloned *before* the tree is snapshotted, so every
     /// transaction a recorded action names is present in the tree (actions

@@ -53,6 +53,50 @@ fn cli_rejects_the_golden_malformed_net_config() {
 }
 
 #[test]
+fn cli_rejects_the_batch_framing_fixture() {
+    // A load config asking for `batch: 0` would pack no ops into any
+    // BATCH frame — the pass must flag it, pointing at the `1` sentinel
+    // that disables batching instead.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.batch.net.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["net", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "zero batch must fail the net pass"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("batch of 0"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_the_reactor_knob_fixture() {
+    // A server config pairing the threaded frontend with a worker pool
+    // (a reactor-only knob) and oversubscribing it: both rules must fire.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/malformed.reactor.net.json"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_nt-lint"))
+        .args(["net", fixture])
+        .output()
+        .expect("spawn nt-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "bad reactor knobs must fail the net pass"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oversubscribes"), "{stdout}");
+    assert!(stdout.contains("reactor knob"), "{stdout}");
+}
+
+#[test]
 fn net_files_route_to_the_net_pass_not_the_plan_pass() {
     // A `*.net.json` argument must be linted as a net config even though
     // it also ends in `.json` — the plan pass would misparse it.
@@ -81,8 +125,8 @@ fn cli_flags_unreadable_net_files() {
 
 #[test]
 fn committed_fixture_matches_the_library_verdict() {
-    // The fixture the CLI test gates on must stay in sync with the
-    // library pass: same document, same findings.
+    // The fixtures the CLI tests gate on must stay in sync with the
+    // library pass: same documents, same findings.
     let doc = include_str!("fixtures/malformed.net.json");
     let fs = net::lint_config_json("malformed.net.json", doc);
     let errors: Vec<_> = fs
@@ -90,4 +134,20 @@ fn committed_fixture_matches_the_library_verdict() {
         .filter(|f| f.severity == Severity::Error)
         .collect();
     assert_eq!(errors.len(), 7, "{errors:?}");
+
+    let doc = include_str!("fixtures/malformed.batch.net.json");
+    let fs = net::lint_config_json("malformed.batch.net.json", doc);
+    let errors: Vec<_> = fs
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert_eq!(errors.len(), 1, "{errors:?}");
+
+    let doc = include_str!("fixtures/malformed.reactor.net.json");
+    let fs = net::lint_config_json("malformed.reactor.net.json", doc);
+    let errors: Vec<_> = fs
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert_eq!(errors.len(), 2, "{errors:?}");
 }

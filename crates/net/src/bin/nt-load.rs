@@ -4,6 +4,7 @@
 //! ```text
 //! nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke]
 //!         [--gate-probe] [--cert] [--shutdown]
+//!         [--batch N] [--conns N,N,...]
 //! ```
 //!
 //! * `--addr` targets a running server (overrides the config's `addr`).
@@ -25,6 +26,14 @@
 //!   without `--live-certify` answers `"mode":"disabled"`, which passes.
 //! * `--shutdown` sends a wire `Shutdown` after the run (CI uses this to
 //!   stop an `nt-serve` it spawned).
+//! * `--batch N` chunks pipelined sibling-access runs into `BATCH`
+//!   frames of up to N ops each — one syscall round-trip and one
+//!   durability barrier per frame instead of per op.
+//! * `--conns N,N,...` sweeps the run over each connection count in
+//!   turn (e.g. `--conns 1,8,64`), emitting one JSON cell line per
+//!   count with throughput and latency percentiles, then the usual
+//!   summary line. Each cell re-certifies the server's cumulative
+//!   history over the wire; any violation fails the sweep.
 //!
 //! Exit status is non-zero if certification finds any violation, if no
 //! top-level transaction committed, or on transport failure.
@@ -34,11 +43,12 @@ use nt_net::client::{fetch_and_certify, Conn, ConnConfig};
 use nt_net::wire::{err_code, Request, Response};
 use nt_net::{run_load, LoadConfig, NetConfig, NetServer, ServerConfig};
 use nt_obs::json::{Json, JsonObj};
+use nt_telemetry::SmokeLine;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke] [--gate-probe] [--cert] [--shutdown]"
+        "usage: nt-load [--config FILE.net.json] [--addr HOST:PORT] [--smoke] [--gate-probe] [--cert] [--shutdown] [--batch N] [--conns N,N,...]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +125,46 @@ fn probe_gate(conn: &mut Conn) -> Result<(bool, bool, bool), String> {
     Ok((crossing_refused, single_admitted, reopened))
 }
 
+/// Run the load once per connection count, emitting one `net-sweep`
+/// JSON cell line per count with throughput and per-connection latency
+/// percentiles. Each cell re-certifies the server's cumulative recorded
+/// history over the wire. `Err` means transport failure; `Ok(false)`
+/// means some cell failed certification or committed nothing.
+fn run_sweep(addr: &str, base: &LoadConfig, sweep: &[usize]) -> Result<bool, String> {
+    let mut all_ok = true;
+    for &conns in sweep {
+        let mut cell = base.clone();
+        cell.connections = conns;
+        let report = run_load(addr, &cell)
+            .map_err(|e| format!("sweep cell conns={conns}: load failed: {e}"))?;
+        let cert = fetch_and_certify(addr, ConnConfig::from(&cell))
+            .map_err(|e| format!("sweep cell conns={conns}: history fetch failed: {e}"))?;
+        let ok = cert.is_serially_correct() && report.committed_tops > 0;
+        all_ok &= ok;
+        let tps = if report.wall_us > 0 {
+            report.committed_tops as f64 / (report.wall_us as f64 / 1e6)
+        } else {
+            0.0
+        };
+        SmokeLine::new("net-sweep")
+            .num("conns", conns as u64)
+            .num("batch", cell.batch.max(1) as u64)
+            .num("committed_tops", report.committed_tops)
+            .num("aborted_tops", report.aborted_tops)
+            .num("gave_up", report.gave_up)
+            .num("requests", report.requests)
+            .num("retries", report.retries)
+            .num("wall_us", report.wall_us)
+            .float("tops_per_sec", tps)
+            .percentiles("request_us", &report.req_hist)
+            .percentiles("top_us", &report.top_hist)
+            .num("violations", cert.violations as u64)
+            .bool("serially_correct", cert.is_serially_correct())
+            .emit();
+    }
+    Ok(all_ok)
+}
+
 fn run_gate_probe(addr: Option<String>, shutdown: bool) -> ExitCode {
     // Self-host a static-gate server when no target was given.
     let (addr, own_server) = match addr {
@@ -180,6 +230,8 @@ fn main() -> ExitCode {
     let mut gate_probe = false;
     let mut cert_probe = false;
     let mut shutdown = false;
+    let mut batch_override: Option<usize> = None;
+    let mut conns_sweep: Option<Vec<usize>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -230,6 +282,34 @@ fn main() -> ExitCode {
                 shutdown = true;
                 i += 1;
             }
+            "--batch" => {
+                let Some(n) = args.get(i + 1) else {
+                    return usage();
+                };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => batch_override = Some(n),
+                    _ => {
+                        eprintln!("nt-load: bad batch size {n:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--conns" => {
+                let Some(list) = args.get(i + 1) else {
+                    return usage();
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&n| n > 0) => conns_sweep = Some(v),
+                    _ => {
+                        eprintln!("nt-load: bad connection sweep {list:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -245,6 +325,9 @@ fn main() -> ExitCode {
     });
     if let Some(a) = addr_override {
         load.addr = a;
+    }
+    if let Some(b) = batch_override {
+        load.batch = b;
     }
     let problems = load.problems();
     if !problems.is_empty() {
@@ -277,6 +360,31 @@ fn main() -> ExitCode {
     };
 
     let addr = load.addr.clone();
+    if let Some(sweep) = &conns_sweep {
+        let swept = run_sweep(&addr, &load, sweep);
+        if shutdown || own_server.is_some() {
+            let sent = Conn::connect(&addr, 0, ConnConfig::from(&load))
+                .and_then(|mut c| c.shutdown_server());
+            if let Err(e) = sent {
+                eprintln!("nt-load: shutdown request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(handle) = own_server {
+            let _ = handle.wait();
+        }
+        return match swept {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => {
+                eprintln!("nt-load: sweep observed violations or empty cells");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("nt-load: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let report = match run_load(&addr, &load) {
         Ok(r) => r,
         Err(e) => {

@@ -12,7 +12,8 @@
 
 use crate::config::LoadConfig;
 use crate::wire::{
-    encode_request, parse_response, FrameReader, Request, Response, WireError, DEFAULT_MAX_FRAME,
+    encode_batch_request, encode_request, parse_frame, parse_response, FrameReader, Request,
+    Response, WireError, DEFAULT_MAX_FRAME, KIND_BATCH_RESP,
 };
 use nt_faults::BackoffPolicy;
 use nt_model::{Action, Op, TxTree};
@@ -63,7 +64,11 @@ impl From<&LoadConfig> for ConnConfig {
 }
 
 struct InFlight {
-    bytes: Vec<u8>,
+    /// The frame to re-send on timeout. Members of one `BATCH` share the
+    /// same frame bytes: a retry re-sends the *whole* batch, and the
+    /// server's per-op cache answers already-executed members
+    /// byte-identically (exactly-once per op).
+    bytes: Arc<Vec<u8>>,
     sent_at: Instant,
 }
 
@@ -138,17 +143,73 @@ impl Conn {
         self.in_flight.insert(
             seq,
             InFlight {
-                bytes,
+                bytes: Arc::new(bytes),
                 sent_at: Instant::now(),
             },
         );
         Ok(seq)
     }
 
+    /// Send many requests as one `BATCH` frame (one syscall round-trip,
+    /// one server-side durability barrier for the lot). Returns the
+    /// per-op seqs in request order; await each with [`Conn::recv`]. A
+    /// timed-out member re-sends the whole batch — safe, because every
+    /// member executes exactly once under the server's per-op cache.
+    pub fn send_batch(&mut self, reqs: &[Request]) -> Result<Vec<u64>, WireError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let outer = self.next_seq;
+        self.next_seq += 1;
+        let ops: Vec<(u64, Request)> = reqs
+            .iter()
+            .map(|r| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, r.clone())
+            })
+            .collect();
+        self.sent += reqs.len() as u64;
+        let bytes = Arc::new(encode_batch_request(outer, &ops)?);
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| WireError::from_io(&e))?;
+        let sent_at = Instant::now();
+        let mut seqs = Vec::with_capacity(ops.len());
+        for (seq, _) in &ops {
+            self.in_flight.insert(
+                *seq,
+                InFlight {
+                    bytes: Arc::clone(&bytes),
+                    sent_at,
+                },
+            );
+            seqs.push(*seq);
+        }
+        Ok(seqs)
+    }
+
+    /// Send a batch and await every member, in order.
+    pub fn batch_request(&mut self, reqs: &[Request]) -> Result<Vec<Response>, WireError> {
+        let seqs = self.send_batch(reqs)?;
+        seqs.into_iter().map(|seq| self.recv(seq)).collect()
+    }
+
     fn poll(&mut self) -> Result<(), WireError> {
         match self.fr.read_frame(&mut self.stream, DEFAULT_MAX_FRAME)? {
             None => Err(WireError::Io("server closed the connection".to_string())),
             Some(frame) => {
+                let (kind, _outer, body) = parse_frame(&frame)?;
+                if kind == KIND_BATCH_RESP {
+                    // Per-op responses; duplicates (from a whole-batch
+                    // resend) for completed seqs drop on the floor.
+                    for (seq, resp) in crate::wire::decode_batch_response(body)? {
+                        if self.in_flight.contains_key(&seq) {
+                            self.got.insert(seq, resp);
+                        }
+                    }
+                    return Ok(());
+                }
                 let (seq, resp) = parse_response(&frame)?;
                 // A duplicate response for an already-completed seq is
                 // dropped on the floor (at-least-once transport).

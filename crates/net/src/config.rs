@@ -17,6 +17,40 @@ use nt_obs::json::{Json, JsonObj};
 /// The schema identifier embedded in every `*.net.json` document.
 pub const SCHEMA_ID: &str = "nt-net-config-v1";
 
+/// Which server front end frames sockets and schedules request execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// The readiness-based reactor (nt-reactor): one poll loop owns every
+    /// socket, a small worker pool executes, replies coalesce. The
+    /// default — it scales monotonically with connections.
+    #[default]
+    Reactor,
+    /// The legacy connection-per-thread front end (two threads per
+    /// connection), kept for differential testing against the reactor.
+    Threaded,
+}
+
+impl Frontend {
+    /// The config-file tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frontend::Reactor => "reactor",
+            Frontend::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a config-file tag.
+    pub fn from_tag(tag: &str) -> Result<Frontend, String> {
+        match tag {
+            "reactor" => Ok(Frontend::Reactor),
+            "threaded" => Ok(Frontend::Threaded),
+            other => Err(format!(
+                "unknown frontend {other:?} (expected \"reactor\" or \"threaded\")"
+            )),
+        }
+    }
+}
+
 /// Server-role settings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServerConfig {
@@ -65,6 +99,16 @@ pub struct ServerConfig {
     /// When to acknowledge relative to the fsync: never wait, fsync per
     /// commit, or group-commit batching. Requires `data_dir`.
     pub durability: DurabilityMode,
+    /// Which front end serves connections (reactor by default; the
+    /// threaded path is kept for differential testing).
+    pub frontend: Frontend,
+    /// Reactor executor model. `0` (default): one executor thread per
+    /// connection — required for liveness, since request execution can
+    /// block on another connection's lock. `N > 0`: a fixed pool of `N`
+    /// workers sharded by connection id — fewer threads, but a blocked
+    /// lock waiter can starve the lock holder queued on its shard
+    /// (experiments only). Ignored by the threaded front end.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +129,8 @@ impl Default for ServerConfig {
             drain_timeout_ms: 10_000,
             data_dir: None,
             durability: DurabilityMode::None,
+            frontend: Frontend::default(),
+            workers: 0,
         }
     }
 }
@@ -141,6 +187,10 @@ pub struct LoadConfig {
     pub backoff: BackoffPolicy,
     /// Microseconds per backoff round.
     pub backoff_round_us: u64,
+    /// Ops per `BATCH` wire frame: sibling access runs are packed into
+    /// batches of up to this many ops. `1` sends every op as its own
+    /// frame (the pre-batching wire shape).
+    pub batch: usize,
 }
 
 impl Default for LoadConfig {
@@ -163,6 +213,7 @@ impl Default for LoadConfig {
             top_retries: 3,
             backoff: BackoffPolicy::default(),
             backoff_round_us: 500,
+            batch: 1,
         }
     }
 }
@@ -234,6 +285,15 @@ impl ServerConfig {
                 self.durability
             ));
         }
+        if self.workers > 64 {
+            out.push(format!(
+                "workers {} oversubscribes any plausible host (cap 64)",
+                self.workers
+            ));
+        }
+        if self.frontend == Frontend::Threaded && self.workers != 0 {
+            out.push("workers is a reactor knob; the threaded frontend ignores it".to_string());
+        }
         out
     }
 
@@ -253,7 +313,9 @@ impl ServerConfig {
             .num("span_ring", self.span_ring as u64)
             .bool("live_certify", self.live_certify)
             .num("metrics_period_ms", self.metrics_period_ms)
-            .num("drain_timeout_ms", self.drain_timeout_ms);
+            .num("drain_timeout_ms", self.drain_timeout_ms)
+            .str("frontend", self.frontend.tag())
+            .num("workers", self.workers as u64);
         if let Some(plan) = &self.fault {
             o.raw("fault", plan.to_json());
         }
@@ -308,6 +370,9 @@ impl LoadConfig {
         if self.timeout_ms == 0 {
             out.push("timeout_ms of 0 retries before the server can answer".to_string());
         }
+        if self.batch == 0 {
+            out.push("batch of 0 packs no ops into a frame; use 1 to disable batching".to_string());
+        }
         out
     }
 
@@ -336,7 +401,8 @@ impl LoadConfig {
             .num("top_retries", u64::from(self.top_retries))
             .num("backoff_base_rounds", self.backoff.base_rounds)
             .num("backoff_cap_rounds", self.backoff.cap_rounds)
-            .num("backoff_round_us", self.backoff_round_us);
+            .num("backoff_round_us", self.backoff_round_us)
+            .num("batch", self.batch as u64);
         o.build()
     }
 }
@@ -410,6 +476,13 @@ impl NetConfig {
                             );
                         }
                         "group_commit_window_us" => group_window = Some(num_field(val, key)?),
+                        "frontend" => {
+                            c.frontend = Frontend::from_tag(
+                                val.as_str()
+                                    .ok_or_else(|| "frontend must be a string".to_string())?,
+                            )?;
+                        }
+                        "workers" => c.workers = num_field(val, key)? as usize,
                         other => return Err(format!("unknown net server config key {other:?}")),
                     }
                 }
@@ -460,6 +533,7 @@ impl NetConfig {
                         "backoff_base_rounds" => c.backoff.base_rounds = num_field(val, key)?,
                         "backoff_cap_rounds" => c.backoff.cap_rounds = num_field(val, key)?,
                         "backoff_round_us" => c.backoff_round_us = num_field(val, key)?,
+                        "batch" => c.batch = num_field(val, key)? as usize,
                         other => return Err(format!("unknown net load config key {other:?}")),
                     }
                 }
@@ -496,6 +570,8 @@ mod tests {
             drain_timeout_ms: 5_000,
             data_dir: Some("/tmp/nt-data".to_string()),
             durability: DurabilityMode::GroupCommit { window_us: 250 },
+            frontend: Frontend::Threaded,
+            workers: 0,
             ..ServerConfig::default()
         };
         match NetConfig::from_json(&s.to_json()).expect("server roundtrip") {
@@ -504,6 +580,7 @@ mod tests {
         }
         let l = LoadConfig {
             mode: LoadMode::Open { rate_tps: 500 },
+            batch: 16,
             ..LoadConfig::default()
         };
         match NetConfig::from_json(&l.to_json()).expect("load roundtrip") {
@@ -556,11 +633,30 @@ mod tests {
         let l = LoadConfig {
             read_ratio: 1.5,
             mode: LoadMode::Open { rate_tps: 0 },
+            batch: 0,
             ..LoadConfig::default()
         };
         let probs = l.problems();
         assert!(probs.iter().any(|p| p.contains("read_ratio")), "{probs:?}");
         assert!(probs.iter().any(|p| p.contains("rate_tps")), "{probs:?}");
+        assert!(probs.iter().any(|p| p.contains("batch")), "{probs:?}");
+
+        let s = ServerConfig {
+            frontend: Frontend::Threaded,
+            workers: 4,
+            ..ServerConfig::default()
+        };
+        let probs = s.problems();
+        assert!(probs.iter().any(|p| p.contains("workers")), "{probs:?}");
+        let s = ServerConfig {
+            workers: 100,
+            ..ServerConfig::default()
+        };
+        let probs = s.problems();
+        assert!(
+            probs.iter().any(|p| p.contains("oversubscribes")),
+            "{probs:?}"
+        );
         assert!(LoadConfig::default().problems().is_empty());
         assert!(ServerConfig::default().problems().is_empty());
     }

@@ -50,6 +50,7 @@ pub mod admission;
 pub mod client;
 pub mod config;
 pub mod crashdrv;
+mod front_reactor;
 pub mod history;
 pub mod load;
 pub mod server;
@@ -57,7 +58,7 @@ pub mod wire;
 
 pub use admission::{AdmissionLedger, DeclaredSets};
 pub use client::{certify_history, fetch_and_certify, Conn, ConnConfig};
-pub use config::{LoadConfig, LoadMode, NetConfig, ServerConfig};
+pub use config::{Frontend, LoadConfig, LoadMode, NetConfig, ServerConfig};
 pub use history::HistoryDoc;
 pub use load::{run_load, workload_spec, LoadReport};
 pub use server::{DrainReport, NetServer, ServerHandle, ServerProbe, ServerStats};

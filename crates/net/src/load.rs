@@ -90,24 +90,38 @@ fn run_children(
     parent: u32,
     kids: &[TNode],
     stack: &[u32],
+    batch: usize,
 ) -> Result<Unwind, WireError> {
     let mut i = 0;
     while i < kids.len() {
         // Pipeline a maximal run of sibling accesses: send every request
-        // first, then await the responses in order.
+        // first, then await the responses in order. With `batch > 1` the
+        // run goes out as `BATCH` frames of up to `batch` ops — one
+        // syscall round-trip and one durability barrier per frame
+        // instead of per op.
         if matches!(kids[i], TNode::Access(..)) {
-            let mut seqs = Vec::new();
+            let mut reqs = Vec::new();
             let mut j = i;
             while j < kids.len() {
                 let TNode::Access(obj, op) = &kids[j] else {
                     break;
                 };
-                seqs.push(conn.send(&Request::Access {
+                reqs.push(Request::Access {
                     parent,
                     obj: *obj,
                     op: op.clone(),
-                })?);
+                });
                 j += 1;
+            }
+            let mut seqs = Vec::with_capacity(reqs.len());
+            if batch > 1 {
+                for chunk in reqs.chunks(batch) {
+                    seqs.extend(conn.send_batch(chunk)?);
+                }
+            } else {
+                for req in &reqs {
+                    seqs.push(conn.send(req)?);
+                }
             }
             let mut unwind = None;
             for seq in seqs {
@@ -152,7 +166,7 @@ fn run_children(
         let mut deeper = Vec::with_capacity(stack.len() + 1);
         deeper.extend_from_slice(stack);
         deeper.push(child);
-        match run_children(conn, child, grandkids, &deeper)? {
+        match run_children(conn, child, grandkids, &deeper, batch)? {
             Unwind::Done => match conn.request(&Request::Commit { tx: child })? {
                 Response::Committed => {}
                 Response::Aborted { victim } => {
@@ -179,7 +193,7 @@ fn run_children(
     Ok(Unwind::Done)
 }
 
-fn run_top(conn: &mut Conn, template: &TNode) -> Result<TopEnd, WireError> {
+fn run_top(conn: &mut Conn, template: &TNode, batch: usize) -> Result<TopEnd, WireError> {
     let TNode::Sub(kids) = template else {
         unreachable!("top-level transactions are inner nodes")
     };
@@ -191,7 +205,7 @@ fn run_top(conn: &mut Conn, template: &TNode) -> Result<TopEnd, WireError> {
             )))
         }
     };
-    match run_children(conn, top, kids, &[top])? {
+    match run_children(conn, top, kids, &[top], batch)? {
         Unwind::Done => match conn.request(&Request::Commit { tx: top })? {
             Response::Committed => Ok(TopEnd::Committed),
             Response::Aborted { .. } => Ok(TopEnd::TopAborted),
@@ -295,6 +309,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, WireError> {
         let top_retries = cfg.top_retries;
         let backoff = cfg.backoff;
         let backoff_round_us = cfg.backoff_round_us;
+        let batch = cfg.batch.max(1);
         handles.push(std::thread::spawn(
             move || -> Result<LoadReport, WireError> {
                 let mut conn = Conn::connect(&addr, c as u64 + 1, conn_cfg)?;
@@ -315,7 +330,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, WireError> {
                     };
                     let mut attempt: u32 = 0;
                     loop {
-                        match run_top(&mut conn, template)? {
+                        match run_top(&mut conn, template, batch)? {
                             TopEnd::Committed => {
                                 rep.committed_tops += 1;
                                 let us = top_start.elapsed().as_micros().min(u128::from(u64::MAX))

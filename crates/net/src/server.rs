@@ -33,10 +33,11 @@
 //! server's recorded history is complete and certifiable.
 
 use crate::admission::{AdmissionLedger, DeclaredSets};
-use crate::config::ServerConfig;
+use crate::config::{Frontend, ServerConfig};
 use crate::history::HistoryDoc;
 use crate::wire::{
-    encode_response, err_code, parse_request, FrameReader, Request, Response, WireError,
+    decode_batch_request, encode_response, err_code, parse_frame, parse_request, FrameReader,
+    Request, Response, WireError, KIND_BATCH_REQ,
 };
 use nt_engine::{
     AccessOutcome, ActionSink, BeginOutcome, CommitOutcome, RecoveredSeed, Session, SessionEngine,
@@ -90,18 +91,19 @@ pub struct ServerStats {
     pub cache_hits: u64,
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    engine: Arc<SessionEngine>,
-    telemetry: TelemetryHandle,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) engine: Arc<SessionEngine>,
+    pub(crate) telemetry: TelemetryHandle,
     /// Bounded journal tail for diagnostic dumps.
     flight: TraceHandle,
     addr: SocketAddr,
     draining: AtomicBool,
-    stats: StatsCell<ServerStats>,
+    pub(crate) stats: StatsCell<ServerStats>,
     journal: Mutex<Vec<String>>,
     jseq: AtomicU64,
-    /// Read-half clones, shut down on drain to unblock readers.
+    /// Read-half clones, shut down on drain to unblock readers
+    /// (threaded front end only).
     read_halves: Mutex<Vec<TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     monitor: Mutex<Option<JoinHandle<()>>>,
@@ -111,16 +113,19 @@ struct Shared {
     /// (stopped) once during the drain's final join.
     live: Mutex<Option<LiveCertifier>>,
     /// The durable store, when the config mounts one (`data_dir`).
-    store: Option<Arc<Store>>,
+    pub(crate) store: Option<Arc<Store>>,
     /// Responses recovered from the previous incarnation's WAL, keyed by
     /// wire `seq`: a client resending a pre-crash request gets the byte-
     /// identical cached answer instead of a second execution. Read-only
     /// after bind.
-    recovered_cache: BTreeMap<u64, Vec<u8>>,
+    pub(crate) recovered_cache: BTreeMap<u64, Vec<u8>>,
+    /// The reactor front end's drain trigger (reactor front end only),
+    /// registered by `serve` and fired by `begin_drain`.
+    reactor_drain: Mutex<Option<nt_reactor::Drainer>>,
 }
 
 impl Shared {
-    fn emit(&self, event: Event) {
+    pub(crate) fn emit(&self, event: Event) {
         self.flight.tick();
         self.flight.record(event.clone());
         let seq = self.jseq.fetch_add(1, Ordering::Relaxed);
@@ -189,6 +194,11 @@ impl Shared {
         let guard = self.live.lock().expect("live poisoned");
         match guard.as_ref() {
             Some(lc) => {
+                // Producer-side feed buffers flush at transaction
+                // resolutions; push the buffered tails (and the root
+                // log's lone `Create(ROOT)`) into the channel first, or
+                // the drain barrier certifies up to a stamp hole.
+                self.engine.flush_feeds();
                 lc.drain();
                 lc.status().cert_json()
             }
@@ -197,7 +207,7 @@ impl Shared {
     }
 
     /// Forget a top's declared summary (no-op for undeclared tops).
-    fn release_admission(&self, tx: TxId) {
+    pub(crate) fn release_admission(&self, tx: TxId) {
         self.admission
             .lock()
             .expect("admission poisoned")
@@ -205,10 +215,24 @@ impl Shared {
     }
 
     /// Initiate a graceful drain (idempotent, non-blocking).
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         if self.draining.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Reactor front end: the drainer wakes the poll loop, which stops
+        // accepting and reading, answers everything already dispatched,
+        // flushes, and exits.
+        if let Some(d) = self
+            .reactor_drain
+            .lock()
+            .expect("reactor drain poisoned")
+            .as_ref()
+        {
+            d.drain();
+            return;
+        }
+        // Threaded front end: half-close every reader so it sees EOF at a
+        // frame boundary.
         for s in self
             .read_halves
             .lock()
@@ -269,10 +293,17 @@ pub struct NetServer {
     shared: Arc<Shared>,
 }
 
+/// The running front end: either the legacy acceptor thread
+/// (connection-per-thread) or the reactor's handle.
+enum Front {
+    Threaded(JoinHandle<()>),
+    Reactor(nt_reactor::ReactorHandle),
+}
+
 /// A serving server: drain it, then wait for it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    front: Front,
 }
 
 /// A clonable live view of a serving server, for metrics writers and
@@ -388,6 +419,7 @@ impl NetServer {
             live: Mutex::new(live),
             store,
             recovered_cache,
+            reactor_drain: Mutex::new(None),
         });
         Ok(NetServer { listener, shared })
     }
@@ -402,12 +434,17 @@ impl NetServer {
         self.shared.store.as_ref().map(|s| s.report().clone())
     }
 
-    /// Start accepting connections.
+    /// Start accepting connections on the configured front end: the
+    /// readiness-based reactor (default) or the legacy
+    /// connection-per-thread acceptor (`frontend = "threaded"`).
     pub fn serve(self) -> ServerHandle {
         {
             let shared = Arc::clone(&self.shared);
             let handle = std::thread::spawn(move || monitor_loop(&shared));
             *self.shared.monitor.lock().expect("monitor poisoned") = Some(handle);
+        }
+        if self.shared.cfg.frontend == Frontend::Reactor {
+            return self.serve_reactor();
         }
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
@@ -445,7 +482,42 @@ impl NetServer {
         });
         ServerHandle {
             shared: self.shared,
-            acceptor,
+            front: Front::Threaded(acceptor),
+        }
+    }
+
+    /// Spawn the readiness-based reactor front end (DESIGN.md §8j): one
+    /// poll thread owns the listener and every socket, a small worker
+    /// pool runs the per-connection protocol services, and replies
+    /// coalesce into as few `write` syscalls (and `wait_durable`
+    /// barriers) as readiness allows.
+    fn serve_reactor(self) -> ServerHandle {
+        let drainer = nt_reactor::Drainer::new();
+        *self
+            .shared
+            .reactor_drain
+            .lock()
+            .expect("reactor drain poisoned") = Some(drainer.clone());
+        let phase = self.shared.telemetry.is_enabled().then(|| {
+            let telemetry = self.shared.telemetry.clone();
+            Arc::new(move |name: &'static str, us: u64| telemetry.observe_phase(name, us))
+                as nt_reactor::PhaseObserver
+        });
+        let rcfg = nt_reactor::ReactorConfig {
+            workers: self.shared.cfg.workers,
+            min_frame_len: crate::wire::HEADER_LEN,
+            max_frame_len: self.shared.cfg.max_frame_len,
+            queue_depth: self.shared.cfg.queue_depth.max(1),
+            phase,
+        };
+        let factory = Arc::new(crate::front_reactor::ReactorFactory::new(Arc::clone(
+            &self.shared,
+        )));
+        let handle = nt_reactor::spawn(self.listener, rcfg, factory, drainer)
+            .expect("reactor spawn: nonblocking listener + self-pipe");
+        ServerHandle {
+            shared: self.shared,
+            front: Front::Reactor(handle),
         }
     }
 }
@@ -485,15 +557,26 @@ impl ServerHandle {
     /// This is how `nt-serve` parks: the acceptor thread only exits once
     /// the draining flag is set.
     pub fn join(self) -> DrainReport {
-        let _ = self.acceptor.join();
-        // Drain watchdog: if connections fail to quiesce within the
-        // configured timeout, dump the flight ring so the stall is
-        // diagnosable; the dump fires at most once and join keeps waiting.
+        // Drain watchdog: armed the moment a drain is initiated; if
+        // connections then fail to quiesce within the configured timeout,
+        // dump the flight ring so the stall is diagnosable. The dump
+        // fires at most once and join keeps waiting.
         let (done_tx, done_rx) = mpsc::channel::<()>();
         let watchdog = {
             let shared = Arc::clone(&self.shared);
             let timeout = Duration::from_millis(shared.cfg.drain_timeout_ms.max(1));
             std::thread::spawn(move || {
+                // Wait (interruptibly) for the drain to start.
+                loop {
+                    match done_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if shared.draining.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    }
+                }
                 if matches!(
                     done_rx.recv_timeout(timeout),
                     Err(mpsc::RecvTimeoutError::Timeout)
@@ -505,19 +588,27 @@ impl ServerHandle {
                 }
             })
         };
-        loop {
-            let handle = self
-                .shared
-                .conn_threads
-                .lock()
-                .expect("threads poisoned")
-                .pop();
-            match handle {
-                Some(h) => {
-                    let _ = h.join();
+        match self.front {
+            Front::Threaded(acceptor) => {
+                let _ = acceptor.join();
+                loop {
+                    let handle = self
+                        .shared
+                        .conn_threads
+                        .lock()
+                        .expect("threads poisoned")
+                        .pop();
+                    match handle {
+                        Some(h) => {
+                            let _ = h.join();
+                        }
+                        None => break,
+                    }
                 }
-                None => break,
             }
+            // Blocks until the drain completes: every dispatched frame
+            // answered, every output buffer flushed, workers joined.
+            Front::Reactor(handle) => handle.join(),
         }
         let monitor = self.shared.monitor.lock().expect("monitor poisoned").take();
         if let Some(m) = monitor {
@@ -573,17 +664,31 @@ struct ReqWork {
     seq_decode: u64,
 }
 
+/// One decoded `BATCH` frame: many ops under one outer seq, answered by
+/// one `BATCH_RESP` and covered by one durability barrier.
+#[derive(Clone)]
+struct BatchWork {
+    seq: u64,
+    ops: Vec<(u64, Request)>,
+    t_decode: u64,
+    t_enqueue: u64,
+    seq_decode: u64,
+}
+
 /// What the reader hands the executor.
 enum Work {
     Req(ReqWork),
+    Batch(BatchWork),
     Malformed(WireError),
 }
 
 /// Stamp the enqueue time (as close to the channel hand-off as possible,
 /// so `queue_wait` excludes fault-plan delay sleeps) and send.
 fn send_stamped(shared: &Shared, tx: &SyncSender<Work>, mut work: Work) -> bool {
-    if let Work::Req(rw) = &mut work {
-        rw.t_enqueue = shared.telemetry.now_us();
+    match &mut work {
+        Work::Req(rw) => rw.t_enqueue = shared.telemetry.now_us(),
+        Work::Batch(bw) => bw.t_enqueue = shared.telemetry.now_us(),
+        Work::Malformed(_) => {}
     }
     tx.send(work).is_ok()
 }
@@ -614,14 +719,8 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
             Ok(Some(frame)) => {
                 frame_no += 1;
                 shared.stats.update(|s| s.frames += 1);
-                let work = match parse_request(&frame) {
-                    Ok((seq, req)) => Work::Req(ReqWork {
-                        seq,
-                        req,
-                        t_decode: shared.telemetry.now_us(),
-                        t_enqueue: 0,
-                        seq_decode: shared.engine.clock_now(),
-                    }),
+                let work = match decode_work(shared, &frame) {
+                    Ok(work) => work,
                     Err(e) => {
                         let _ = tx.send(Work::Malformed(e));
                         break;
@@ -656,6 +755,11 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
                                 send_stamped(shared, tx, Work::Req(rw))
                                     && send_stamped(shared, tx, copy)
                             }
+                            Work::Batch(bw) => {
+                                let copy = Work::Batch(bw.clone());
+                                send_stamped(shared, tx, Work::Batch(bw))
+                                    && send_stamped(shared, tx, copy)
+                            }
                             Work::Malformed(_) => send_stamped(shared, tx, work),
                         }
                     }
@@ -684,7 +788,31 @@ fn read_loop(shared: &Shared, conn: u64, mut stream: TcpStream, tx: &SyncSender<
     frame_no
 }
 
-fn session_error_response(e: &SessionError) -> Response {
+/// Decode one frame into executor work: a single request, or a `BATCH`
+/// carrying many per-seq ops under one outer seq.
+fn decode_work(shared: &Shared, frame: &[u8]) -> Result<Work, WireError> {
+    let (kind, seq, body) = parse_frame(frame)?;
+    if kind == KIND_BATCH_REQ {
+        let ops = decode_batch_request(body)?;
+        return Ok(Work::Batch(BatchWork {
+            seq,
+            ops,
+            t_decode: shared.telemetry.now_us(),
+            t_enqueue: 0,
+            seq_decode: shared.engine.clock_now(),
+        }));
+    }
+    let (seq, req) = parse_request(frame)?;
+    Ok(Work::Req(ReqWork {
+        seq,
+        req,
+        t_decode: shared.telemetry.now_us(),
+        t_enqueue: 0,
+        seq_decode: shared.engine.clock_now(),
+    }))
+}
+
+pub(crate) fn session_error_response(e: &SessionError) -> Response {
     let code = match e {
         SessionError::Capacity => err_code::CAPACITY,
         SessionError::UnknownTx(_) => err_code::UNKNOWN_TX,
@@ -697,6 +825,128 @@ fn session_error_response(e: &SessionError) -> Response {
         code,
         msg: e.to_string(),
     }
+}
+
+/// The outcome of answering one op (a single request, or one member of a
+/// `BATCH`): the full single-response frame bytes, whether they came
+/// from a cache, and whether a fresh mutating execution was journaled
+/// (so a durability barrier is owed before the ack hits the wire).
+pub(crate) struct OpAnswer {
+    /// Full response frame, length prefix included — exactly what the
+    /// exactly-once cache stores and a single-op reply writes.
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) from_cache: bool,
+    pub(crate) lock_wait_us: u64,
+    /// A fresh mutating execution was appended to the store's cache
+    /// journal; `wait_durable` must run before the reply is acked.
+    pub(crate) mutated: bool,
+}
+
+/// Answer one op: per-connection cache, then the recovered pre-crash
+/// cache (exactly-once across restart), then a fresh execution whose
+/// response is cached and — for mutating ops with a store — journaled.
+/// The durability *barrier* is the caller's: a single request pays it
+/// immediately, a batch pays one barrier for all members (group commit).
+/// `None` only on response-encoding failure (connection-fatal).
+pub(crate) fn answer_op(
+    shared: &Shared,
+    session: &mut Session,
+    cache: &mut BTreeMap<u64, Vec<u8>>,
+    open_tops: &mut BTreeSet<TxId>,
+    seq: u64,
+    req: &Request,
+) -> Option<OpAnswer> {
+    if let Some(bytes) = cache.get(&seq) {
+        return Some(OpAnswer {
+            bytes: bytes.clone(),
+            from_cache: true,
+            lock_wait_us: 0,
+            mutated: false,
+        });
+    }
+    // A pre-crash request resent after restart: answer with the
+    // recovered byte-identical response, never a second execution.
+    if let Some(bytes) = shared.recovered_cache.get(&seq) {
+        return Some(OpAnswer {
+            bytes: bytes.clone(),
+            from_cache: true,
+            lock_wait_us: 0,
+            mutated: false,
+        });
+    }
+    let resp = execute(shared, session, open_tops, req);
+    let lock_wait_us = session.take_lock_wait_us();
+    let bytes = encode_response(seq, &resp).ok()?;
+    cache.insert(seq, bytes.clone());
+    let mut mutated = false;
+    if let Some(store) = &shared.store {
+        if mutates(req) {
+            store.append_cache(seq, &bytes);
+            mutated = true;
+        }
+    }
+    Some(OpAnswer {
+        bytes,
+        from_cache: false,
+        lock_wait_us,
+        mutated,
+    })
+}
+
+/// Record one answered op in the coherent counter snapshot.
+pub(crate) fn count_answer(shared: &Shared, from_cache: bool) {
+    shared.stats.update(|s| {
+        if from_cache {
+            s.cache_hits += 1;
+        } else {
+            s.executed += 1;
+        }
+    });
+}
+
+/// Pay the durability barrier (WAL group-commit watermark), returning the
+/// time spent waiting in µs when telemetry is enabled.
+pub(crate) fn pay_durability(shared: &Shared) -> u64 {
+    let Some(store) = &shared.store else { return 0 };
+    let t0 = shared.telemetry.is_enabled().then(Instant::now);
+    store.wait_durable();
+    t0.map(|t0| t0.elapsed().as_micros() as u64).unwrap_or(0)
+}
+
+/// Assemble the per-op entries of a `BATCH_RESP` by executing each op in
+/// order through [`answer_op`]. Returns the entries, the summed lock
+/// wait, whether any member owes a durability barrier, and whether a
+/// fresh `Shutdown` was executed. `None` on encoding failure.
+pub(crate) fn answer_batch(
+    shared: &Shared,
+    session: &mut Session,
+    cache: &mut BTreeMap<u64, Vec<u8>>,
+    open_tops: &mut BTreeSet<TxId>,
+    ops: &[(u64, Request)],
+) -> Option<(Vec<crate::wire::BatchEntry>, u64, bool, bool)> {
+    let mut entries = Vec::with_capacity(ops.len());
+    let mut lock_wait_us = 0;
+    let mut owes_barrier = false;
+    let mut shutdown = false;
+    for (op_seq, req) in ops {
+        let ans = answer_op(shared, session, cache, open_tops, *op_seq, req)?;
+        count_answer(shared, ans.from_cache);
+        lock_wait_us += ans.lock_wait_us;
+        owes_barrier |= ans.mutated;
+        if !ans.from_cache && matches!(req, Request::Shutdown) {
+            shutdown = true;
+        }
+        // The cached bytes are a full single-response frame (4-byte
+        // length prefix + header + body); lift its kind and body into a
+        // batch entry.
+        let (kind, _seq, body) = parse_frame(&ans.bytes[4..]).ok()?;
+        entries.push(crate::wire::BatchEntry {
+            seq: *op_seq,
+            kind,
+            body: body.to_vec(),
+        });
+    }
+    Some((entries, lock_wait_us, owes_barrier, shutdown))
 }
 
 /// Execute requests in order, answering retries/duplicates from the
@@ -715,49 +965,27 @@ fn execute_loop(
         match work {
             Work::Req(rw) => {
                 let t_dequeue = shared.telemetry.now_us();
-                let mut lock_wait_us = 0;
-                let mut log_wait_us = 0;
-                let (bytes, from_cache) = match cache.get(&rw.seq) {
-                    Some(bytes) => (bytes.clone(), true),
-                    // A pre-crash request resent after restart: answer
-                    // with the recovered byte-identical response, never a
-                    // second execution (exactly-once across restart).
-                    None => match shared.recovered_cache.get(&rw.seq) {
-                        Some(bytes) => (bytes.clone(), true),
-                        None => {
-                            let resp = execute(shared, &mut session, &mut open_tops, &rw.req);
-                            lock_wait_us = session.take_lock_wait_us();
-                            let Ok(bytes) = encode_response(rw.seq, &resp) else {
-                                break;
-                            };
-                            cache.insert(rw.seq, bytes.clone());
-                            // Durability barrier: journal the response and
-                            // wait for the WAL watermark *before* the ack
-                            // goes on the wire, so an acknowledged effect
-                            // (and its cached answer) survives a crash.
-                            if let Some(store) = &shared.store {
-                                if mutates(&rw.req) {
-                                    store.append_cache(rw.seq, &bytes);
-                                    let t0 = shared.telemetry.is_enabled().then(Instant::now);
-                                    store.wait_durable();
-                                    if let Some(t0) = t0 {
-                                        log_wait_us = t0.elapsed().as_micros() as u64;
-                                    }
-                                }
-                            }
-                            (bytes, false)
-                        }
-                    },
+                let Some(ans) = answer_op(
+                    shared,
+                    &mut session,
+                    &mut cache,
+                    &mut open_tops,
+                    rw.seq,
+                    &rw.req,
+                ) else {
+                    break;
                 };
-                shared.stats.update(|s| {
-                    if from_cache {
-                        s.cache_hits += 1;
-                    } else {
-                        s.executed += 1;
-                    }
-                });
+                // Durability barrier: wait for the WAL watermark *before*
+                // the ack goes on the wire, so an acknowledged effect
+                // (and its cached answer) survives a crash.
+                let log_wait_us = if ans.mutated {
+                    pay_durability(shared)
+                } else {
+                    0
+                };
+                count_answer(shared, ans.from_cache);
                 let t_exec_end = shared.telemetry.now_us();
-                if stream.write_all(&bytes).is_err() {
+                if stream.write_all(&ans.bytes).is_err() {
                     break;
                 }
                 if shared.telemetry.is_enabled() {
@@ -770,13 +998,62 @@ fn execute_loop(
                         t_dequeue,
                         t_exec_end,
                         t_respond: shared.telemetry.now_us(),
-                        lock_wait_us,
+                        lock_wait_us: ans.lock_wait_us,
                         log_wait_us,
                         seq_decode: rw.seq_decode,
                         seq_respond: shared.engine.clock_now(),
                     });
                 }
-                if !from_cache && matches!(rw.req, Request::Shutdown) {
+                if !ans.from_cache && matches!(rw.req, Request::Shutdown) {
+                    let _ = stream.flush();
+                    shared.begin_drain();
+                }
+            }
+            Work::Batch(bw) => {
+                let t_dequeue = shared.telemetry.now_us();
+                let t_asm = shared.telemetry.is_enabled().then(Instant::now);
+                let Some((entries, lock_wait_us, owes_barrier, shutdown)) =
+                    answer_batch(shared, &mut session, &mut cache, &mut open_tops, &bw.ops)
+                else {
+                    break;
+                };
+                if let Some(t_asm) = t_asm {
+                    shared
+                        .telemetry
+                        .observe_phase("batch_assemble", t_asm.elapsed().as_micros() as u64);
+                }
+                // One group-commit barrier covers every member of the
+                // batch — this is the coalescing the BATCH frame buys.
+                let log_wait_us = if owes_barrier {
+                    pay_durability(shared)
+                } else {
+                    0
+                };
+                if owes_barrier {
+                    shared.telemetry.observe_phase("coalesce", log_wait_us);
+                }
+                let bytes = crate::wire::encode_batch_response(bw.seq, &entries);
+                let t_exec_end = shared.telemetry.now_us();
+                if stream.write_all(&bytes).is_err() {
+                    break;
+                }
+                if shared.telemetry.is_enabled() {
+                    shared.telemetry.record_span(ReqSpan {
+                        conn,
+                        seq: bw.seq,
+                        kind: KIND_BATCH_REQ,
+                        t_decode: bw.t_decode,
+                        t_enqueue: bw.t_enqueue,
+                        t_dequeue,
+                        t_exec_end,
+                        t_respond: shared.telemetry.now_us(),
+                        lock_wait_us,
+                        log_wait_us,
+                        seq_decode: bw.seq_decode,
+                        seq_respond: shared.engine.clock_now(),
+                    });
+                }
+                if shutdown {
                     let _ = stream.flush();
                     shared.begin_drain();
                 }

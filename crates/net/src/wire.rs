@@ -184,6 +184,11 @@ impl<'a> Cur<'a> {
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
     pub(crate) fn i64(&mut self) -> Result<i64, WireError> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
@@ -676,6 +681,103 @@ pub fn parse_request(frame: &[u8]) -> Result<(u64, Request), WireError> {
 pub fn parse_response(frame: &[u8]) -> Result<(u64, Response), WireError> {
     let (kind, seq, body) = parse_frame(frame)?;
     Ok((seq, Response::decode(kind, body)?))
+}
+
+// --- Batched frames --------------------------------------------------------
+
+/// Frame kind of a batched request: many ops in one frame.
+pub const KIND_BATCH_REQ: u8 = 0x0C;
+/// Frame kind of a batched response: one status entry per op.
+pub const KIND_BATCH_RESP: u8 = 0x8C;
+
+/// One answered op inside a batch response: the op's own `seq`, its
+/// response kind byte (the per-op status — errors keep their typed
+/// [`err_code`]), and its encoded response body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// The op's sequence number (keys the exactly-once cache, exactly as
+    /// a standalone frame's `seq` would).
+    pub seq: u64,
+    /// The response kind byte for this op.
+    pub kind: u8,
+    /// The encoded response body for this op.
+    pub body: Vec<u8>,
+}
+
+/// Encode a `BATCH` request frame: the outer `seq` identifies the batch
+/// (echoed on the response), each op carries its own `seq` for per-op
+/// exactly-once caching. The whole body is CRC-checked like every frame.
+/// Entries are `seq u64 | kind u8 | body_len u32 | body`. An empty batch
+/// or a nested batch is a [`WireError::BadPayload`].
+pub fn encode_batch_request(seq: u64, ops: &[(u64, Request)]) -> Result<Vec<u8>, WireError> {
+    if ops.is_empty() {
+        return Err(WireError::BadPayload("empty batch".into()));
+    }
+    let mut body = Vec::new();
+    put_u32(&mut body, ops.len() as u32);
+    for (op_seq, req) in ops {
+        let mut op_body = Vec::new();
+        req.put_body(&mut op_body)?;
+        put_u64(&mut body, *op_seq);
+        body.push(req.kind());
+        put_u32(&mut body, op_body.len() as u32);
+        body.extend_from_slice(&op_body);
+    }
+    Ok(encode_frame(KIND_BATCH_REQ, seq, &body))
+}
+
+/// Decode a `BATCH` request body into its `(seq, request)` ops. Total:
+/// truncated entries, nested batches, unknown kinds, and trailing bytes
+/// all map to typed errors.
+pub fn decode_batch_request(body: &[u8]) -> Result<Vec<(u64, Request)>, WireError> {
+    let mut cur = Cur::new(body);
+    let count = cur.u32()?;
+    if count == 0 {
+        return Err(WireError::BadPayload("empty batch".into()));
+    }
+    let mut ops = Vec::new();
+    for _ in 0..count {
+        let op_seq = cur.u64()?;
+        let kind = cur.u8()?;
+        if kind == KIND_BATCH_REQ {
+            return Err(WireError::BadPayload("nested batch".into()));
+        }
+        let len = cur.u32()? as usize;
+        let op_body = cur.take(len)?;
+        ops.push((op_seq, Request::decode(kind, op_body)?));
+    }
+    cur.finish()?;
+    Ok(ops)
+}
+
+/// Encode a `BATCH` response frame: the outer `seq` echoes the batch's,
+/// each entry carries one op's `(seq, status kind, body)`.
+pub fn encode_batch_response(seq: u64, entries: &[BatchEntry]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u32(&mut body, entries.len() as u32);
+    for e in entries {
+        put_u64(&mut body, e.seq);
+        body.push(e.kind);
+        put_u32(&mut body, e.body.len() as u32);
+        body.extend_from_slice(&e.body);
+    }
+    encode_frame(KIND_BATCH_RESP, seq, &body)
+}
+
+/// Decode a `BATCH` response body into per-op `(seq, response)` pairs.
+pub fn decode_batch_response(body: &[u8]) -> Result<Vec<(u64, Response)>, WireError> {
+    let mut cur = Cur::new(body);
+    let count = cur.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let op_seq = cur.u64()?;
+        let kind = cur.u8()?;
+        let len = cur.u32()? as usize;
+        let op_body = cur.take(len)?;
+        out.push((op_seq, Response::decode(kind, op_body)?));
+    }
+    cur.finish()?;
+    Ok(out)
 }
 
 // --- Stream framing -------------------------------------------------------

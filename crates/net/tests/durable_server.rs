@@ -120,6 +120,104 @@ fn durable_server_state_survives_a_drain_and_restart() {
     handle.wait();
 }
 
+/// Exactly-once across restart for *batched* ops: a client that never
+/// saw the server's batch reply resends the identical `BATCH` frame to
+/// the restarted server, and every per-op reply comes back byte-
+/// identical from the recovered durable cache — no double-execution.
+#[test]
+fn whole_batch_resend_across_restart_replies_byte_identical() {
+    use nt_net::wire::{encode_batch_request, encode_request, parse_frame, KIND_BATCH_RESP};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// Read one length-prefixed frame, returning it *with* the prefix.
+    fn read_frame(s: &mut TcpStream) -> Vec<u8> {
+        let mut len = [0u8; 4];
+        s.read_exact(&mut len).expect("frame length");
+        let n = u32::from_le_bytes(len) as usize;
+        let mut frame = vec![0u8; 4 + n];
+        frame[..4].copy_from_slice(&len);
+        s.read_exact(&mut frame[4..]).expect("frame body");
+        frame
+    }
+
+    let dir = Scratch::new("batch-resend");
+    // Seqs from connection 7's band, exactly as a real client would draw
+    // them — the durable cache is keyed by these across restarts.
+    let base: u64 = (7u64 + 1) << 32 | 1;
+
+    // First life: begin a top, then a batch of three mutating ops
+    // (two writes + the commit). Capture the batch reply bytes.
+    let server = NetServer::bind(durable_cfg(&dir, DurabilityMode::FsyncPerCommit)).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(&encode_request(base, &Request::BeginTop).expect("encode"))
+        .expect("send begin");
+    let begun = read_frame(&mut s);
+    let (_, _, body) = parse_frame(&begun[4..]).expect("parse begun");
+    let top = match Response::decode(begun[4 + 3], body).expect("decode begun") {
+        Response::Begun { tx } => tx,
+        other => panic!("expected Begun, got {other:?}"),
+    };
+    let ops = vec![
+        (
+            base + 2,
+            Request::Access {
+                parent: top,
+                obj: 0,
+                op: Op::Write(5),
+            },
+        ),
+        (
+            base + 3,
+            Request::Access {
+                parent: top,
+                obj: 1,
+                op: Op::Write(6),
+            },
+        ),
+        (base + 4, Request::Commit { tx: top }),
+    ];
+    let batch = encode_batch_request(base + 1, &ops).expect("encode batch");
+    s.write_all(&batch).expect("send batch");
+    let first_reply = read_frame(&mut s);
+    let (kind, seq, _) = parse_frame(&first_reply[4..]).expect("parse batch reply");
+    assert_eq!(kind, KIND_BATCH_RESP);
+    assert_eq!(seq, base + 1);
+    s.write_all(&encode_request(base + 5, &Request::Shutdown).expect("encode"))
+        .expect("send shutdown");
+    let _ = read_frame(&mut s); // ShuttingDown ack
+    drop(s);
+    handle.wait();
+
+    // Second life: the recovered cache answers the very same frame —
+    // byte-identical per-op replies, nothing re-executed.
+    let server =
+        NetServer::bind(durable_cfg(&dir, DurabilityMode::FsyncPerCommit)).expect("rebind");
+    let report = server.recovery_report().expect("store mounted");
+    assert!(report.certified);
+    assert!(report.cache_entries >= 3, "per-op acks must be durable");
+    let addr = server.local_addr().to_string();
+    let handle = server.serve();
+    let mut s = TcpStream::connect(&addr).expect("reconnect");
+    s.write_all(&batch).expect("resend identical batch");
+    let second_reply = read_frame(&mut s);
+    assert_eq!(
+        first_reply, second_reply,
+        "resent batch must answer byte-identically from the durable cache"
+    );
+    drop(s);
+
+    // And the committed state is the first run's, applied exactly once.
+    let mut conn = Conn::connect(&addr, 9, ConnConfig::default()).expect("connect");
+    assert_eq!(read_committed(&mut conn, 0), Value::Int(5));
+    assert_eq!(read_committed(&mut conn, 1), Value::Int(6));
+    conn.shutdown_server().expect("shutdown");
+    drop(conn);
+    handle.wait();
+}
+
 #[test]
 fn wal_counters_surface_in_the_stats_document() {
     let dir = Scratch::new("stats");

@@ -6,8 +6,9 @@
 use nt_model::{Op, Value};
 use nt_net::history::{HistoryDoc, NodeRec};
 use nt_net::wire::{
-    crc32, encode_request, encode_response, parse_frame, parse_request, parse_response, Request,
-    Response, HEADER_LEN,
+    crc32, decode_batch_request, decode_batch_response, encode_batch_request,
+    encode_batch_response, encode_request, encode_response, parse_frame, parse_request,
+    parse_response, BatchEntry, Request, Response, HEADER_LEN, KIND_BATCH_REQ, KIND_BATCH_RESP,
 };
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -152,6 +153,153 @@ proptest! {
             }
         }
     }
+
+    /// A `BATCH` request frame round-trips: outer seq, per-op seqs, and
+    /// every op's request survive encode/decode.
+    #[test]
+    fn batch_requests_roundtrip(
+        seq in any::<u64>(),
+        ops in prop::collection::vec((any::<u64>(), arb_request()), 1..8),
+    ) {
+        let frame = encode_batch_request(seq, &ops).expect("batch encodes");
+        let (kind, got_seq, body) = parse_frame(&frame[4..]).expect("frame parses");
+        prop_assert_eq!(kind, KIND_BATCH_REQ);
+        prop_assert_eq!(got_seq, seq);
+        let got = decode_batch_request(body).expect("batch decodes");
+        prop_assert_eq!(got, ops);
+    }
+
+    /// A `BATCH` response frame round-trips: entries built from real
+    /// encoded responses come back as the same `(seq, response)` pairs.
+    #[test]
+    fn batch_responses_roundtrip(
+        seq in any::<u64>(),
+        resps in prop::collection::vec((any::<u64>(), arb_response()), 0..8),
+    ) {
+        let entries: Vec<BatchEntry> = resps
+            .iter()
+            .map(|(op_seq, resp)| {
+                let bytes = encode_response(*op_seq, resp).expect("response encodes");
+                let (kind, _, body) = parse_frame(&bytes[4..]).expect("parses");
+                BatchEntry { seq: *op_seq, kind, body: body.to_vec() }
+            })
+            .collect();
+        let frame = encode_batch_response(seq, &entries);
+        let (kind, got_seq, body) = parse_frame(&frame[4..]).expect("frame parses");
+        prop_assert_eq!(kind, KIND_BATCH_RESP);
+        prop_assert_eq!(got_seq, seq);
+        let got = decode_batch_response(body).expect("batch decodes");
+        prop_assert_eq!(got, resps);
+    }
+
+    /// Truncating a `BATCH` frame anywhere — including torn tails whose
+    /// CRC was recomputed to *match* the truncated body, so only the
+    /// entry structure can catch them — yields a typed error, never a
+    /// panic and never a bogus success.
+    #[test]
+    fn batch_truncations_never_panic(
+        seq in any::<u64>(),
+        ops in prop::collection::vec((any::<u64>(), arb_request()), 1..6),
+    ) {
+        let frame = encode_batch_request(seq, &ops).expect("batch encodes");
+        let payload = &frame[4..];
+        // Raw truncation: the frame parser rejects (Truncated or BadCrc).
+        for cut in 0..payload.len() {
+            prop_assert!(parse_frame(&payload[..cut]).is_err(), "cut {cut} parsed");
+        }
+        // Torn tail with a *valid* CRC over the truncated body: the
+        // entry cursor must reject, and must not read out of bounds.
+        let body = &payload[HEADER_LEN..];
+        for cut in 0..body.len() {
+            let r = decode_batch_request(&body[..cut]);
+            prop_assert!(r.is_err(), "torn body at {cut} decoded: {r:?}");
+        }
+    }
+
+    /// Flipping one byte of a `BATCH` frame is detected, except the two
+    /// survivors every frame has by design: the outer seq bytes (change
+    /// the batch id, ops intact) and the kind byte (reframes the same
+    /// CRC-valid body under another kind — which must still decode or
+    /// fail *typed*, never panic).
+    #[test]
+    fn batch_single_byte_corruption_is_detected(
+        seq in any::<u64>(),
+        ops in prop::collection::vec((any::<u64>(), arb_request()), 1..6),
+        at in any::<u16>(),
+        xor in 1u8..=255,
+    ) {
+        let frame = encode_batch_request(seq, &ops).expect("batch encodes");
+        let mut payload = frame[4..].to_vec();
+        let i = at as usize % payload.len();
+        payload[i] ^= xor;
+        match parse_frame(&payload) {
+            Err(_) => {} // detected
+            Ok((kind, got_seq, body)) => {
+                if i == 3 {
+                    // Kind byte isn't CRC-covered; the body no longer
+                    // claims to be a batch. Decoding under the flipped
+                    // kind must not panic.
+                    prop_assert!(kind != KIND_BATCH_REQ);
+                    let _ = parse_request(&payload);
+                } else {
+                    prop_assert!((4..12).contains(&i), "byte {i} survived");
+                    prop_assert_eq!(kind, KIND_BATCH_REQ);
+                    prop_assert!(got_seq != seq);
+                    let got = decode_batch_request(body).expect("ops intact");
+                    prop_assert_eq!(got, ops);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_corpus_yields_typed_errors() {
+    use nt_net::wire::WireError;
+
+    // Empty batches are rejected at both ends.
+    assert!(matches!(
+        encode_batch_request(1, &[]),
+        Err(WireError::BadPayload(_))
+    ));
+    let empty = {
+        let mut b = Vec::new();
+        b.extend_from_slice(&0u32.to_le_bytes());
+        b
+    };
+    assert!(matches!(
+        decode_batch_request(&empty),
+        Err(WireError::BadPayload(_))
+    ));
+
+    // A nested batch entry is rejected.
+    let ops = vec![(7u64, Request::Ping)];
+    let frame = encode_batch_request(9, &ops).expect("encodes");
+    let (_, _, body) = parse_frame(&frame[4..]).expect("parses");
+    let mut nested = body.to_vec();
+    // Entry layout: count u32 | seq u64 | kind u8 | len u32 | body.
+    nested[4 + 8] = KIND_BATCH_REQ;
+    assert!(matches!(
+        decode_batch_request(&nested),
+        Err(WireError::BadPayload(_))
+    ));
+
+    // An entry declaring more body bytes than remain: Truncated.
+    let mut overlong = body.to_vec();
+    let len_at = 4 + 8 + 1;
+    overlong[len_at..len_at + 4].copy_from_slice(&1000u32.to_le_bytes());
+    assert!(matches!(
+        decode_batch_request(&overlong),
+        Err(WireError::Truncated)
+    ));
+
+    // Stray bytes after the last entry: Trailing.
+    let mut trailing = body.to_vec();
+    trailing.extend_from_slice(&[0xAB, 0xCD]);
+    assert!(matches!(
+        decode_batch_request(&trailing),
+        Err(WireError::Trailing(2))
+    ));
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Incremental length-prefixed frame accumulation for nonblocking reads.
+
+/// A declared frame length outside the configured `[min, max]` window.
+/// The stream past this point is garbage (there is no way to resynchronize
+/// a length-prefixed stream after a corrupt prefix), so the reactor stops
+/// reading the connection and hands the error to the service, which
+/// typically answers with a protocol error and closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BadFrame {
+    /// The length the prefix declared.
+    pub len: usize,
+    /// The configured cap.
+    pub max: usize,
+}
+
+/// Accumulates raw socket bytes and yields complete `u32le`-length-prefixed
+/// frames (sans prefix). The nonblocking twin of nt-net's blocking
+/// `FrameReader`: bytes go in whenever the socket is readable, frames come
+/// out whenever enough have arrived, and a partial tail just waits.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append freshly read socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Buffered bytes not yet popped (partial frames included).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered (a clean frame boundary).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Discard everything buffered (drain: undispatched bytes are dropped,
+    /// mirroring the threaded path's read-half shutdown mid-stream).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Pop the next complete frame, `Ok(None)` when more bytes are needed,
+    /// or [`BadFrame`] when the prefix declares a length below `min_len`
+    /// (too short to hold a header) or above `max_len`.
+    pub fn pop(&mut self, min_len: usize, max_len: usize) -> Result<Option<Vec<u8>>, BadFrame> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len < min_len || len > max_len {
+            return Err(BadFrame { len, max: max_len });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut out = (body.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn partial_bytes_wait_then_yield_a_frame() {
+        let mut fb = FrameBuf::new();
+        let wire = framed(b"hello");
+        fb.extend(&wire[..3]);
+        assert_eq!(fb.pop(1, 1024), Ok(None));
+        fb.extend(&wire[3..7]);
+        assert_eq!(fb.pop(1, 1024), Ok(None));
+        fb.extend(&wire[7..]);
+        assert_eq!(fb.pop(1, 1024), Ok(Some(b"hello".to_vec())));
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn pipelined_frames_pop_in_order() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&framed(b"a"));
+        fb.extend(&framed(b"bb"));
+        assert_eq!(fb.pop(1, 1024), Ok(Some(b"a".to_vec())));
+        assert_eq!(fb.pop(1, 1024), Ok(Some(b"bb".to_vec())));
+        assert_eq!(fb.pop(1, 1024), Ok(None));
+    }
+
+    #[test]
+    fn oversize_and_undersize_prefixes_are_typed_errors() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&framed(&[0u8; 64]));
+        assert_eq!(fb.pop(1, 16), Err(BadFrame { len: 64, max: 16 }));
+        let mut fb = FrameBuf::new();
+        fb.extend(&framed(b"xy"));
+        assert_eq!(fb.pop(16, 1024), Err(BadFrame { len: 2, max: 1024 }));
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end reactor tests over real loopback sockets, with a tiny echo
+//! protocol: each frame is `len u32le | payload`, and the service echoes
+//! the payload back in its own frame. Exercises accept, nonblocking
+//! framing across partial writes, worker dispatch, reply coalescing,
+//! per-connection ordering, corrupt-prefix handling, and graceful drain.
+
+use nt_reactor::{spawn, BadFrame, Drainer, ReactorConfig, ReplySink, Service, ServiceFactory};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn framed(body: &[u8]) -> Vec<u8> {
+    let mut out = (body.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Read one `len u32le | payload` frame off a blocking socket.
+fn read_frame(s: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len).ok()?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    s.read_exact(&mut body).ok()?;
+    Some(body)
+}
+
+struct Echo {
+    sink: ReplySink,
+    /// Buffered replies, emitted on flush (exercises the group-commit
+    /// path: a pipelined burst produces one coalesced send).
+    pending: Vec<u8>,
+    pending_frames: u64,
+    hangups: Arc<AtomicU64>,
+}
+
+impl Service for Echo {
+    fn frame(&mut self, frame: Vec<u8>, _enqueued: std::time::Instant) {
+        if frame == b"DRAIN" {
+            // Through the same pending buffer as every other reply, so
+            // the drain ack cannot overtake earlier buffered replies.
+            self.pending.extend_from_slice(&framed(b"draining"));
+            self.pending_frames += 1;
+            self.sink.drain();
+            return;
+        }
+        self.pending.extend_from_slice(&framed(&frame));
+        self.pending_frames += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.pending_frames > 0 {
+            self.sink
+                .send(std::mem::take(&mut self.pending), self.pending_frames);
+            self.pending_frames = 0;
+        }
+    }
+
+    fn corrupt(&mut self, bad: BadFrame) {
+        self.flush();
+        self.sink
+            .send(framed(format!("bad frame len {}", bad.len).as_bytes()), 1);
+        self.sink.close();
+    }
+
+    fn hangup(&mut self, _frames: u64) {
+        self.hangups.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct EchoFactory {
+    hangups: Arc<AtomicU64>,
+}
+
+impl ServiceFactory for EchoFactory {
+    fn open(&self, _conn: u64, sink: ReplySink) -> Box<dyn Service> {
+        Box::new(Echo {
+            sink,
+            pending: Vec::new(),
+            pending_frames: 0,
+            hangups: Arc::clone(&self.hangups),
+        })
+    }
+}
+
+fn start(
+    max_frame: usize,
+) -> (
+    std::net::SocketAddr,
+    nt_reactor::ReactorHandle,
+    Arc<AtomicU64>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hangups = Arc::new(AtomicU64::new(0));
+    let factory = Arc::new(EchoFactory {
+        hangups: Arc::clone(&hangups),
+    });
+    let cfg = ReactorConfig {
+        workers: 2,
+        min_frame_len: 1,
+        max_frame_len: max_frame,
+        queue_depth: 16,
+        phase: None,
+    };
+    let handle = spawn(listener, cfg, factory, Drainer::new()).expect("spawn");
+    (addr, handle, hangups)
+}
+
+#[test]
+fn echoes_across_many_connections_in_order() {
+    let (addr, handle, hangups) = start(1 << 20);
+    let mut clients: Vec<TcpStream> = (0..8)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    // Pipeline a burst per client, then read every reply back in order.
+    for (i, c) in clients.iter_mut().enumerate() {
+        for k in 0..10 {
+            let msg = format!("conn{i}-frame{k}");
+            c.write_all(&framed(msg.as_bytes())).expect("write");
+        }
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        for k in 0..10 {
+            let got = read_frame(c).expect("reply");
+            assert_eq!(got, format!("conn{i}-frame{k}").into_bytes());
+        }
+    }
+    drop(clients);
+    handle.drainer().drain();
+    handle.join();
+    assert_eq!(hangups.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn partial_and_split_writes_still_frame() {
+    let (addr, handle, _) = start(1 << 20);
+    let mut c = TcpStream::connect(addr).expect("connect");
+    let wire = framed(b"split-me");
+    c.write_all(&wire[..3]).expect("write");
+    c.flush().expect("flush");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    c.write_all(&wire[3..]).expect("write");
+    assert_eq!(read_frame(&mut c).expect("reply"), b"split-me".to_vec());
+    handle.drainer().drain();
+    handle.join();
+}
+
+#[test]
+fn corrupt_length_prefix_gets_an_error_then_close() {
+    let (addr, handle, hangups) = start(64);
+    let mut c = TcpStream::connect(addr).expect("connect");
+    // A valid frame first, then a prefix past the 64-byte cap.
+    c.write_all(&framed(b"ok")).expect("write");
+    c.write_all(&u32::MAX.to_le_bytes()).expect("write");
+    assert_eq!(read_frame(&mut c).expect("reply"), b"ok".to_vec());
+    let err = read_frame(&mut c).expect("error reply");
+    assert_eq!(err, format!("bad frame len {}", u32::MAX).into_bytes());
+    // Server closes after the error: EOF.
+    let mut rest = Vec::new();
+    assert_eq!(c.read_to_end(&mut rest).unwrap_or(0), 0);
+    // The service's hangup ran even though the client never disconnected.
+    for _ in 0..200 {
+        if hangups.load(Ordering::Relaxed) == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(hangups.load(Ordering::Relaxed), 1);
+    handle.drainer().drain();
+    handle.join();
+}
+
+#[test]
+fn drain_answers_everything_already_dispatched() {
+    let (addr, handle, _) = start(1 << 20);
+    let mut c = TcpStream::connect(addr).expect("connect");
+    for k in 0..5 {
+        c.write_all(&framed(format!("work{k}").as_bytes()))
+            .expect("write");
+    }
+    c.write_all(&framed(b"DRAIN")).expect("write");
+    for k in 0..5 {
+        assert_eq!(
+            read_frame(&mut c).expect("reply"),
+            format!("work{k}").into_bytes()
+        );
+    }
+    assert_eq!(read_frame(&mut c).expect("reply"), b"draining".to_vec());
+    // After the drain reply the server closes cleanly.
+    let mut rest = Vec::new();
+    assert_eq!(c.read_to_end(&mut rest).unwrap_or(0), 0);
+    handle.join();
+}
+
+#[test]
+fn external_drainer_stops_an_idle_reactor() {
+    let (addr, handle, _) = start(1 << 20);
+    let drainer = handle.drainer();
+    assert!(!drainer.is_draining());
+    // A connected-but-idle client must not hold the drain open.
+    let _idle = TcpStream::connect(addr).expect("connect");
+    drainer.drain();
+    assert!(drainer.is_draining());
+    handle.join();
+}

@@ -46,6 +46,10 @@ pub enum FeedEvent {
 
 enum Msg {
     Event(FeedEvent),
+    /// Many stamped actions in one channel send (a producer-side buffer
+    /// flushed at commit/abort boundaries — see `WorkerLog` in
+    /// `nt-engine`). Equivalent to that many `Event(Act)` messages.
+    Acts(Vec<(u64, Action)>),
     Preload {
         entries: Vec<(u64, Action)>,
         resume_at: u64,
@@ -72,6 +76,18 @@ impl FeedHandle {
     /// Stream one stamped action.
     pub fn act(&self, stamp: u64, action: Action) {
         let _ = self.tx.send(Msg::Event(FeedEvent::Act { stamp, action }));
+    }
+
+    /// Stream many stamped actions in one channel send. Semantically
+    /// identical to calling [`act`](Self::act) per entry — the maintainer
+    /// reorders by stamp either way — but amortizes the channel traffic
+    /// to one send per producer-side flush (the engine's worker logs
+    /// flush at commit/abort boundaries instead of per action).
+    pub fn act_batch(&self, entries: Vec<(u64, Action)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let _ = self.tx.send(Msg::Acts(entries));
     }
 
     /// Replay a recovered prefix (see [`LiveCertifier::preload`]) — the
@@ -264,6 +280,12 @@ fn run(
         }
         Msg::Event(FeedEvent::Act { stamp, action }) => {
             m.apply(stamp, action);
+            false
+        }
+        Msg::Acts(entries) => {
+            for (stamp, action) in entries {
+                m.apply(stamp, action);
+            }
             false
         }
         Msg::Preload { entries, resume_at } => {

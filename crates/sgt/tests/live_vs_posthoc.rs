@@ -63,6 +63,25 @@ fn fresh_seeded_runs_agree_with_posthoc() {
         assert_eq!(live.processed, r.history.len() as u64, "seed {seed}");
         assert!(live.watermark > 0, "seed {seed}: watermark never advanced");
 
+        // Gauge parity: the engine feeds the certifier through buffered
+        // `act_batch` sends (one per commit/abort boundary, not one per
+        // action), so the published gauges must still land exactly where
+        // a from-scratch in-order replay of the same history lands —
+        // same graph shape, same GC watermark, same live-top count.
+        let m = nt_sgt_live::SgtMaintainer::replay(&r.tree, &r.history, SgtConfig::default());
+        assert_eq!(live.nodes, m.node_count(), "seed {seed}: node gauge");
+        assert_eq!(live.edges, m.edge_count(), "seed {seed}: edge gauge");
+        assert_eq!(
+            live.watermark,
+            m.watermark(),
+            "seed {seed}: watermark gauge"
+        );
+        assert_eq!(
+            live.live_tops,
+            m.live_tops(),
+            "seed {seed}: live_tops gauge"
+        );
+
         // From-scratch replay of the merged history vs the graph stage.
         let (replayed, acyclic) = verdicts(&r.tree, &r.history);
         assert_eq!(replayed, acyclic, "seed {seed}: replay disagrees");

@@ -24,10 +24,12 @@
 
 pub mod cell;
 pub mod hist;
+pub mod smoke;
 pub mod span;
 
 pub use cell::StatsCell;
 pub use hist::{HistSnapshot, WallHist};
+pub use smoke::SmokeLine;
 pub use span::{spans_to_chrome_trace, ReqSpan};
 
 use nt_obs::json::JsonObj;
@@ -39,8 +41,9 @@ use std::time::Instant;
 pub const DEFAULT_SPAN_RING: usize = 4096;
 
 /// The fixed request phases aggregated into histograms. Order is the
-/// lifecycle order; names are the JSON keys.
-pub const PHASES: [&str; 7] = [
+/// lifecycle order (the last three are reactor phases observed outside
+/// the span lifecycle); names are the JSON keys.
+pub const PHASES: [&str; 10] = [
     "decode_enqueue",
     "queue_wait",
     "execute",
@@ -48,6 +51,9 @@ pub const PHASES: [&str; 7] = [
     "log_wait",
     "respond",
     "total",
+    "poll_wait",
+    "batch_assemble",
+    "coalesce",
 ];
 
 /// Per-phase latency histograms for the request lifecycle.
@@ -68,6 +74,15 @@ pub struct PhaseHists {
     pub respond: WallHist,
     /// Whole server-side span.
     pub total: WallHist,
+    /// Reactor poll loop blocked waiting for readiness (per `poll(2)`
+    /// call, not per request; includes idle time).
+    pub poll_wait: WallHist,
+    /// Decoding a `BATCH` frame's ops and assembling its per-op response
+    /// entries (per batch frame; excludes the durability barrier).
+    pub batch_assemble: WallHist,
+    /// The coalesced group-commit durability barrier: one `wait_durable`
+    /// covering every mutating op since the last flush (per barrier).
+    pub coalesce: WallHist,
 }
 
 impl PhaseHists {
@@ -81,6 +96,9 @@ impl PhaseHists {
             ("log_wait", self.log_wait.snapshot()),
             ("respond", self.respond.snapshot()),
             ("total", self.total.snapshot()),
+            ("poll_wait", self.poll_wait.snapshot()),
+            ("batch_assemble", self.batch_assemble.snapshot()),
+            ("coalesce", self.coalesce.snapshot()),
         ]
     }
 }
@@ -172,6 +190,21 @@ impl TelemetryHandle {
     pub fn observe_lock_hold(&self, us: u64) {
         if let Some(t) = &self.0 {
             t.lock_hold.observe(us);
+        }
+    }
+
+    /// Record one observation into a named reactor phase histogram
+    /// (`poll_wait`, `batch_assemble`, `coalesce`). These phases are fed
+    /// outside the request-span lifecycle — the reactor's poll loop and
+    /// the worker's group-commit flush have no single request to pin a
+    /// span to. Unknown names are ignored.
+    pub fn observe_phase(&self, name: &str, us: u64) {
+        let Some(t) = &self.0 else { return };
+        match name {
+            "poll_wait" => t.phases.poll_wait.observe(us),
+            "batch_assemble" => t.phases.batch_assemble.observe(us),
+            "coalesce" => t.phases.coalesce.observe(us),
+            _ => {}
         }
     }
 
@@ -317,6 +350,9 @@ mod tests {
         });
         h.observe_lock_blocked(60);
         h.observe_lock_hold(90);
+        h.observe_phase("poll_wait", 40);
+        h.observe_phase("batch_assemble", 15);
+        h.observe_phase("coalesce", 25);
         h.gauge_set("sgt.nodes", 3);
         let v = Json::parse(&h.to_json()).expect("telemetry JSON parses");
         let phases = v.get("phases").unwrap();
@@ -338,6 +374,40 @@ mod tests {
             Some(3.0)
         );
         assert_eq!(v.get("spans_retained").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn reactor_phases_record_via_observe_phase_only() {
+        let h = TelemetryHandle::enabled(4);
+        h.observe_phase("poll_wait", 100);
+        h.observe_phase("poll_wait", 200);
+        h.observe_phase("coalesce", 50);
+        h.observe_phase("no_such_phase", 1);
+        let v = Json::parse(&h.to_json()).expect("telemetry JSON parses");
+        let phases = v.get("phases").unwrap();
+        let count = |name: &str| {
+            phases
+                .get(name)
+                .and_then(|p| p.get("count"))
+                .and_then(Json::as_num)
+        };
+        assert_eq!(count("poll_wait"), Some(2.0));
+        assert_eq!(count("coalesce"), Some(1.0));
+        assert_eq!(count("batch_assemble"), Some(0.0));
+        // A span record must not feed the reactor phases.
+        h.record_span(ReqSpan::default());
+        let v = Json::parse(&h.to_json()).expect("parses");
+        let phases = v.get("phases").unwrap();
+        assert_eq!(
+            phases
+                .get("poll_wait")
+                .and_then(|p| p.get("count"))
+                .and_then(Json::as_num),
+            Some(2.0)
+        );
+        let disabled = TelemetryHandle::disabled();
+        disabled.observe_phase("poll_wait", 10);
+        assert_eq!(disabled.to_json(), "{}");
     }
 
     #[test]

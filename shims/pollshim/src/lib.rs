@@ -1,0 +1,155 @@
+//! Minimal `poll(2)` readiness shim for the workspace, without `libc`.
+//!
+//! The rest of the tree is `forbid(unsafe_code)`; this shim is the second
+//! crate (after `sigshim`) allowed to touch a C API, and it exposes exactly
+//! one operation: block until any of a set of file descriptors is ready,
+//! via POSIX `poll(2)`. `nt-reactor` builds its readiness event loop on
+//! top of this, registering nonblocking sockets plus a self-pipe waker.
+//!
+//! The interest/readiness masks are the portable POSIX subset only
+//! ([`POLLIN`], [`POLLOUT`]) plus the result-only bits the kernel may set
+//! ([`POLLERR`], [`POLLHUP`], [`POLLNVAL`]). [`PollFd`] is `repr(C)` and
+//! layout-identical to `struct pollfd` on every Unix this workspace
+//! targets (fd `int`, events/revents `short`).
+//!
+//! On non-Unix targets [`poll`] degrades to an error return, never UB.
+
+/// Readable (or, for a listener, accept-ready). Interest and result bit.
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking. Interest and result bit.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition. Result-only bit; ignored in `events`.
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up. Result-only bit; ignored in `events`.
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open. Result-only bit; ignored in `events`.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a [`poll`] set: mirror of C `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollFd {
+    /// File descriptor to watch (a negative fd is ignored by the kernel).
+    pub fd: i32,
+    /// Requested events (`POLLIN | POLLOUT` subset).
+    pub events: i16,
+    /// Returned events, written by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for the interest mask `events`, with `revents` cleared.
+    pub fn new(fd: i32, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when any requested or error/hangup event fired.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+
+    /// True when the fd is readable (or the peer hung up, which also
+    /// surfaces as a readable EOF to the caller's `read`).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// True when the fd is writable (errors count: the caller's `write`
+    /// will surface the real errno).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::PollFd;
+    use std::io;
+
+    // `nfds_t` is `unsigned long` on Linux and the BSDs this workspace
+    // targets; `c_ulong` matches it on both 32- and 64-bit.
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `PollFd` is `repr(C)` and layout-identical to the C
+        // `struct pollfd` (int, short, short); the pointer/length pair
+        // comes from a live mutable slice, so the kernel writes `revents`
+        // only inside bounds. `poll(2)` touches no other caller memory.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::PollFd;
+    use std::io;
+
+    pub fn poll_impl(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "poll(2) unavailable on this platform",
+        ))
+    }
+}
+
+/// Block until at least one fd in `fds` is ready, an error is pending, or
+/// `timeout_ms` elapses (`-1` blocks indefinitely, `0` polls). Returns the
+/// number of entries with nonzero `revents`. `EINTR` is surfaced as an
+/// error (kind `Interrupted`); callers retry.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+    imp::poll_impl(fds, timeout_ms)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn pipe_pair_reports_readable_after_write() {
+        let (mut tx, rx) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero-timeout poll reports no readiness.
+        assert_eq!(poll(&mut fds, 0).expect("poll"), 0);
+        assert!(!fds[0].readable());
+        tx.write_all(b"x").expect("write");
+        let n = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn writable_socket_reports_pollout() {
+        let (tx, _rx) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(tx.as_raw_fd(), POLLOUT)];
+        let n = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn timeout_zero_with_no_events_returns_zero() {
+        let (_tx, rx) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).expect("poll"), 0);
+        assert!(!fds[0].ready());
+    }
+}

@@ -110,4 +110,45 @@ else
     echo "check_benches: BENCH_sgt.json failed the live-certify gate" >&2
     fail=1
 fi
+
+# The reactor sweep (E21): every cell — E16 rows, E21 batched rows, and
+# the group-commit cell — must have certified over the wire, and the
+# batched sweep must hold its throughput out to 64 connections. On a
+# multi-core host the reactor should be flat-to-monotone (tput@64 >=
+# tput@8); a single core has no parallelism to expose, so only a bounded
+# decline is required there (see EXPERIMENTS.md E21). The batched
+# group-commit cell must beat the unbatched group:100 row of E19 on the
+# same host (again with single-core slack for run-to-run noise).
+if python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_net.json"))
+cores = doc["host_cores"]
+for row in doc["rows"] + doc["e21_rows"] + [doc["group_commit"]]:
+    c = row["connections"]
+    assert row["certified"], f"{c} conns: cell failed wire certification"
+    assert row["committed_tops"] > 0, f"{c} conns: cell committed nothing"
+    assert row["gave_up"] == 0, f"{c} conns: tops gave up"
+by_conns = {r["connections"]: r for r in doc["e21_rows"]}
+assert 8 in by_conns and 64 in by_conns, "E21 sweep missing endpoints"
+t8 = by_conns[8]["throughput_tps"]
+t64 = by_conns[64]["throughput_tps"]
+floor = 1.0 if cores > 1 else 0.25
+assert t64 >= t8 * floor, (
+    f"E21: tput@64 ({t64:.0f} tps) fell below {floor:.2f}x tput@8 "
+    f"({t8:.0f} tps) on a {cores}-core host")
+store = json.load(open("BENCH_store.json"))
+g100 = next(r for r in store["rows"] if r["mode"] == "group:100")
+gc = doc["group_commit"]["throughput_tps"]
+margin = 1.0 if cores > 1 else 0.7
+assert gc >= g100["throughput_tps"] * margin, (
+    f"E21: batched group-commit ({gc:.0f} tps) did not beat the "
+    f"unbatched group:100 row ({g100['throughput_tps']:.0f} tps, "
+    f"margin {margin:.2f} on {cores} cores)")
+EOF
+then
+    echo "check_benches: BENCH_net.json reactor gate ok"
+else
+    echo "check_benches: BENCH_net.json failed the reactor gate" >&2
+    fail=1
+fi
 exit "$fail"
